@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the simulation substrate: the transfer engine's
+//! slice loop, max-min fair sharing, dataset partitioning, and channel
+//! allocation — the hot paths of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_core::baselines::ProMc;
+use eadt_core::{mine_allocation, weight_allocation, Algorithm};
+use eadt_dataset::{partition, PartitionConfig};
+use eadt_net::fair::fair_share;
+use eadt_sim::Rate;
+use eadt_testbeds::xsede;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.01).generate(42);
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("promc_transfer_1.6GB", |b| {
+        b.iter(|| black_box(ProMc::new(8).run(&tb.env, &dataset)))
+    });
+    g.finish();
+
+    c.bench_function("partition_mixed_dataset", |b| {
+        b.iter(|| {
+            black_box(partition(
+                black_box(&dataset),
+                tb.env.link.bdp(),
+                &PartitionConfig::default(),
+            ))
+        })
+    });
+
+    let chunks = partition(&dataset, tb.env.link.bdp(), &PartitionConfig::default());
+    c.bench_function("weight_allocation_12", |b| {
+        b.iter(|| black_box(weight_allocation(black_box(&chunks), 12)))
+    });
+    c.bench_function("mine_allocation_12", |b| {
+        b.iter(|| black_box(mine_allocation(&tb.env.link, black_box(&chunks), 12)))
+    });
+
+    let demands: Vec<Rate> = (0..16)
+        .map(|i| Rate::from_mbps(100.0 + 50.0 * i as f64))
+        .collect();
+    c.bench_function("fair_share_16_channels", |b| {
+        b.iter(|| black_box(fair_share(Rate::from_gbps(10.0), black_box(&demands))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Times the Figure 10 harness (end-system vs. network decomposition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::fig10_decomposition;
+use eadt_testbeds::all;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let testbeds = all();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("decomposition_all_testbeds", |b| {
+        b.iter(|| black_box(fig10_decomposition(&testbeds, 0.02, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

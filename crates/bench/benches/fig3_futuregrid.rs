@@ -1,0 +1,21 @@
+//! Times the Figure 3 harness (FutureGrid sweep) on a scaled dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::sweep_figure;
+use eadt_testbeds::futuregrid;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut tb = futuregrid();
+    tb.sweep_levels = vec![1, 4, 8];
+    let dataset = tb.dataset_spec.scaled(0.02).generate(42);
+    let mut g = c.benchmark_group("fig3_futuregrid");
+    g.sample_size(10);
+    g.bench_function("sweep_3_levels_plus_bf4", |b| {
+        b.iter(|| black_box(sweep_figure(&tb, &dataset, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

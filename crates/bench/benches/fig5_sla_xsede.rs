@@ -1,0 +1,20 @@
+//! Times the Figure 5 harness (SLA transfers on XSEDE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::sla_figure;
+use eadt_testbeds::xsede;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.02).generate(42);
+    let mut g = c.benchmark_group("fig5_sla_xsede");
+    g.sample_size(10);
+    g.bench_function("targets_90_50", |b| {
+        b.iter(|| black_box(sla_figure(&tb, &dataset, &[90, 50])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

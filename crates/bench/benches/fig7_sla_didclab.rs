@@ -1,0 +1,20 @@
+//! Times the Figure 7 harness (SLA transfers on the DIDCLAB LAN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::sla_figure;
+use eadt_testbeds::didclab;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tb = didclab();
+    let dataset = tb.dataset_spec.scaled(0.05).generate(42);
+    let mut g = c.benchmark_group("fig7_sla_didclab");
+    g.sample_size(10);
+    g.bench_function("targets_90_50", |b| {
+        b.iter(|| black_box(sla_figure(&tb, &dataset, &[90, 50])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Times the Figure 8 device-power curves and the Eq. 5 path accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::fig8_series;
+use eadt_netenergy::account::path_energy_joules;
+use eadt_netenergy::topology::futuregrid_path;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig8_series_100pts", |b| {
+        b.iter(|| black_box(fig8_series(100)))
+    });
+    let path = futuregrid_path();
+    c.bench_function("eq5_path_energy", |b| {
+        b.iter(|| black_box(path_energy_joules(&path, black_box(123_456_789))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Times the §2.2 power-model calibration + accuracy experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::model_accuracy;
+use eadt_power::calibrate::{build_models, GroundTruth};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("build_models", |b| {
+        b.iter(|| black_box(build_models(&GroundTruth::intel_server(), 115.0, 4, 42)))
+    });
+    c.bench_function("model_accuracy_full", |b| {
+        b.iter(|| black_box(model_accuracy(42)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Times the §2.1 parameter-effect sweeps and the workload-composition
+//! study on scaled inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_bench::{parameter_surface, workload_study};
+use eadt_sim::Bytes;
+use eadt_testbeds::xsede;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tb = xsede();
+    let mut g = c.benchmark_group("surface");
+    g.sample_size(10);
+    g.bench_function("parameter_surface_2pts", |b| {
+        b.iter(|| black_box(parameter_surface(&tb, &[1, 4], 1)))
+    });
+    g.bench_function("workload_study_3_shares", |b| {
+        b.iter(|| {
+            black_box(workload_study(
+                &tb,
+                Bytes::from_gb(2),
+                &[0.0, 0.5, 1.0],
+                8,
+                5,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

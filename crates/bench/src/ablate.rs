@@ -1,0 +1,231 @@
+//! Ablations over the design choices DESIGN.md §6 calls out.
+//!
+//! Each ablation runs the same dataset through a paper variant and an
+//! alternative, reporting throughput/energy/efficiency so the cost or
+//! benefit of each design choice is a number, not a claim.
+
+use eadt_core::baselines::ProMc;
+use eadt_core::{chunk_params, linear_weight_allocation, Algorithm, Htee, MinE, Slaee};
+use eadt_dataset::{partition, Dataset};
+use eadt_endsys::Placement;
+use eadt_sim::SimDuration;
+use eadt_testbeds::Environment;
+use eadt_transfer::{ChunkPlan, Engine, NullController, TransferPlan, TransferReport};
+use serde::{Deserialize, Serialize};
+
+/// One ablation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Which design choice is being varied.
+    pub study: String,
+    /// The variant within the study ("paper" is always present).
+    pub variant: String,
+    /// Average throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Total end-system energy, Joules.
+    pub energy_j: f64,
+    /// Throughput/energy ratio.
+    pub efficiency: f64,
+}
+
+impl AblationRow {
+    fn new(study: &str, variant: &str, r: &TransferReport) -> Self {
+        AblationRow {
+            study: study.to_string(),
+            variant: variant.to_string(),
+            throughput_mbps: r.avg_throughput().as_mbps(),
+            energy_j: r.total_energy_j(),
+            efficiency: r.efficiency(),
+        }
+    }
+}
+
+/// Runs the full ablation matrix on one testbed.
+pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) -> Vec<AblationRow> {
+    let env = &tb.env;
+    let mut rows = Vec::new();
+
+    // 1. HTEE chunk weights: log·log (paper) vs byte-linear.
+    {
+        let paper = ProMc {
+            partition: tb.partition,
+            ..ProMc::new(max_channel)
+        }
+        .run(env, dataset);
+        rows.push(AblationRow::new("chunk-weights", "log-log (paper)", &paper));
+        let chunks = partition(dataset, env.link.bdp(), &tb.partition);
+        let alloc = linear_weight_allocation(&chunks, max_channel);
+        let plans: Vec<ChunkPlan> = chunks
+            .iter()
+            .zip(&alloc)
+            .map(|(c, &ch)| {
+                let p = chunk_params(&env.link, c);
+                ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
+            })
+            .collect();
+        let plan = TransferPlan::concurrent(plans, Placement::PackFirst);
+        let linear = Engine::new(env).run(&plan, &mut NullController);
+        rows.push(AblationRow::new("chunk-weights", "byte-linear", &linear));
+    }
+
+    // 2. HTEE search stride: 2 (paper) vs full sweep.
+    {
+        let stride2 = Htee {
+            partition: tb.partition,
+            ..Htee::new(max_channel)
+        }
+        .run(env, dataset);
+        rows.push(AblationRow::new(
+            "htee-stride",
+            "stride 2 (paper)",
+            &stride2,
+        ));
+        let stride1 = Htee {
+            partition: tb.partition,
+            search_stride: 1,
+            ..Htee::new(max_channel)
+        }
+        .run(env, dataset);
+        rows.push(AblationRow::new(
+            "htee-stride",
+            "stride 1 (full sweep)",
+            &stride1,
+        ));
+    }
+
+    // 3. HTEE probe window: 5 s (paper) vs 1 s and 10 s.
+    for (label, secs) in [("5 s (paper)", 5u64), ("1 s", 1), ("10 s", 10)] {
+        let algo = Htee {
+            partition: tb.partition,
+            probe_window: SimDuration::from_secs(secs),
+            ..Htee::new(max_channel)
+        };
+        rows.push(AblationRow::new(
+            "probe-window",
+            label,
+            &algo.run(env, dataset),
+        ));
+    }
+
+    // 4. MinE's single-channel-for-Large pin: on (paper) vs off.
+    {
+        let mine = MinE {
+            partition: tb.partition,
+            ..MinE::new(max_channel)
+        };
+        let pinned = mine.run(env, dataset);
+        rows.push(AblationRow::new(
+            "mine-large-pin",
+            "pinned (paper)",
+            &pinned,
+        ));
+        let mut plan = mine.plan(env, dataset);
+        for c in &mut plan.stages[0].chunks {
+            c.accepts_reallocation = true;
+        }
+        let unpinned = Engine::new(env).run(&plan, &mut NullController);
+        rows.push(AblationRow::new("mine-large-pin", "unpinned", &unpinned));
+    }
+
+    // 5. Channel placement: pack one server (custom client) vs spread
+    // (GO). Run at concurrency 2 — the regime the paper's GO-vs-SC
+    // comparison highlights; at high concurrency spreading can *win* by
+    // ducking the over-subscription penalty, which the matrix also shows
+    // when max_channel is large.
+    for cc in [2u32, max_channel] {
+        let promc = ProMc {
+            partition: tb.partition,
+            ..ProMc::new(cc)
+        };
+        let packed = promc.run(env, dataset);
+        rows.push(AblationRow::new(
+            "placement",
+            &format!("pack-first cc={cc} (paper)"),
+            &packed,
+        ));
+        let mut plan = promc.plan(env, dataset);
+        plan.placement = Placement::RoundRobin;
+        let spread = Engine::new(env).run(&plan, &mut NullController);
+        rows.push(AblationRow::new(
+            "placement",
+            &format!("round-robin cc={cc}"),
+            &spread,
+        ));
+    }
+
+    // 6. SLAEE guard thresholds: the overshoot-shedding margin (extension)
+    // on vs effectively off.
+    {
+        let reference = ProMc {
+            partition: tb.partition,
+            ..ProMc::new(max_channel)
+        }
+        .run(env, dataset);
+        for (label, margin) in [("shed at +15% (default)", 1.15), ("never shed", 1e9)] {
+            let algo = Slaee {
+                partition: tb.partition,
+                overshoot_margin: margin,
+                ..Slaee::new(0.5, reference.avg_throughput(), max_channel)
+            };
+            rows.push(AblationRow::new(
+                "slaee-shedding",
+                label,
+                &algo.run(env, dataset),
+            ));
+        }
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_testbeds::xsede;
+
+    #[test]
+    fn matrix_covers_all_studies_and_shows_expected_directions() {
+        let tb = xsede();
+        let dataset = tb.dataset_spec.scaled(0.03).generate(5);
+        let rows = ablation_matrix(&tb, &dataset, 8);
+        let studies: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.study.as_str()).collect();
+        assert_eq!(
+            studies.into_iter().collect::<Vec<_>>(),
+            vec![
+                "chunk-weights",
+                "htee-stride",
+                "mine-large-pin",
+                "placement",
+                "probe-window",
+                "slaee-shedding"
+            ]
+        );
+        let get = |study: &str, variant: &str| -> &AblationRow {
+            rows.iter()
+                .find(|r| r.study == study && r.variant.starts_with(variant))
+                .unwrap_or_else(|| panic!("missing {study}/{variant}"))
+        };
+        // Spreading channels over four servers costs energy at the GO
+        // regime (concurrency 2).
+        assert!(
+            get("placement", "round-robin cc=2").energy_j
+                > get("placement", "pack-first cc=2").energy_j
+        );
+        // Unpinning MinE's Large chunk buys throughput.
+        assert!(
+            get("mine-large-pin", "unpinned").throughput_mbps
+                >= get("mine-large-pin", "pinned").throughput_mbps
+        );
+        // The shedding guard must not cost energy vs never shedding.
+        assert!(
+            get("slaee-shedding", "shed at +15%").energy_j
+                <= get("slaee-shedding", "never shed").energy_j * 1.02
+        );
+        // Every row is a completed run with sane numbers.
+        for r in &rows {
+            assert!(r.throughput_mbps > 0.0, "{r:?}");
+            assert!(r.energy_j > 0.0, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The §2.2 power-model accuracy experiment ("error rate below 6%…").
+
+use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
+use serde::{Deserialize, Serialize};
+
+/// Per-tool model errors (percent MAPE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Transfer tool (scp/rsync/ftp/bbcp/gridftp).
+    pub tool: String,
+    /// Fine-grained model error on the Intel calibration server.
+    pub fine_grained_pct: f64,
+    /// CPU-only model error on the same server.
+    pub cpu_only_pct: f64,
+    /// TDP-extended CPU model error on the AMD server.
+    pub extended_pct: f64,
+}
+
+/// Runs the full calibration + evaluation and returns per-tool errors plus
+/// the CPU/power correlation (the paper quotes 89.71%).
+pub fn model_accuracy(seed: u64) -> (Vec<AccuracyRow>, f64) {
+    const CORES: u32 = 4;
+    const INTEL_TDP: f64 = 115.0;
+    const AMD_TDP: f64 = 95.0;
+    let intel = GroundTruth::intel_server();
+    let amd = GroundTruth::amd_server();
+    let outcome = build_models(&intel, INTEL_TDP, CORES, seed);
+    let extended = outcome.cpu_only.extend_to(AMD_TDP);
+    let rows = ToolProfile::paper_tools()
+        .into_iter()
+        .map(|tool| AccuracyRow {
+            tool: tool.name.to_string(),
+            fine_grained_pct: evaluate_model(&outcome.fine_grained, &tool, &intel, CORES, seed),
+            cpu_only_pct: evaluate_model(&outcome.cpu_only, &tool, &intel, CORES, seed),
+            extended_pct: evaluate_model(&extended, &tool, &amd, CORES, seed),
+        })
+        .collect();
+    (rows, outcome.cpu_power_correlation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bands_match_the_paper() {
+        let (rows, corr) = model_accuracy(42);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.fine_grained_pct < 6.0,
+                "{}: fine {}",
+                r.tool,
+                r.fine_grained_pct
+            );
+            assert!(r.cpu_only_pct < 10.0, "{}: cpu {}", r.tool, r.cpu_only_pct);
+            assert!(r.extended_pct < 12.0, "{}: ext {}", r.tool, r.extended_pct);
+        }
+        assert!(corr > 0.85 && corr < 1.0, "corr={corr}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Figures 8, 9, 10 and Table 1: the network-infrastructure side (§4).
+
+use eadt_core::{Algorithm, Htee};
+use eadt_netenergy::account::decompose;
+use eadt_netenergy::device::DeviceKind;
+use eadt_netenergy::dynmodel::DynamicPowerModel;
+use eadt_netenergy::topology::NetworkPath;
+use eadt_testbeds::Environment;
+use serde::{Deserialize, Serialize};
+
+/// Figure 8: power fraction vs. traffic rate for the three dynamic-power
+/// families, sampled at `steps` points.
+pub fn fig8_series(steps: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+    DynamicPowerModel::ALL
+        .into_iter()
+        .map(|m| {
+            let pts = (0..=steps)
+                .map(|i| {
+                    let u = i as f64 / steps.max(1) as f64;
+                    (u * 100.0, m.power_fraction(u))
+                })
+                .collect();
+            (m.label().to_string(), pts)
+        })
+        .collect()
+}
+
+/// Figure 9: the device paths of the three testbeds.
+pub fn fig9_paths() -> Vec<NetworkPath> {
+    vec![
+        eadt_netenergy::topology::xsede_path(),
+        eadt_netenergy::topology::futuregrid_path(),
+        eadt_netenergy::topology::didclab_path(),
+    ]
+}
+
+/// Table 1: the per-packet coefficients, as `(label, P_p nW, P_s−f pW)`.
+pub fn table1_rows() -> Vec<(String, f64, f64)> {
+    DeviceKind::ALL
+        .into_iter()
+        .map(|d| {
+            (
+                d.label().to_string(),
+                d.per_packet_processing_nj(),
+                d.per_packet_store_forward_pj(),
+            )
+        })
+        .collect()
+}
+
+/// One bar pair of Figure 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionRow {
+    /// Testbed name.
+    pub testbed: String,
+    /// End-system energy of the HTEE transfer, Joules.
+    pub end_system_j: f64,
+    /// Load-dependent network-device energy, Joules (Eq. 5 over the
+    /// Figure 9 path).
+    pub network_j: f64,
+    /// End-system share in percent.
+    pub end_system_pct: f64,
+    /// Network share in percent.
+    pub network_pct: f64,
+    /// Network-device energy per gigabyte moved (J/GB) — the quantity the
+    /// metro-router observation of §4 is about.
+    pub network_j_per_gb: f64,
+}
+
+/// Figure 10: end-system vs. network energy for an HTEE transfer on each
+/// given testbed (`scale` shrinks the dataset for quick runs; 1.0 = the
+/// paper's volumes).
+pub fn fig10_decomposition(
+    testbeds: &[Environment],
+    scale: f64,
+    seed: u64,
+) -> Vec<DecompositionRow> {
+    testbeds
+        .iter()
+        .map(|tb| {
+            let dataset = tb.dataset_spec.scaled(scale).generate(seed);
+            let r = Htee {
+                partition: tb.partition,
+                ..Htee::new(tb.reference_concurrency.max(8))
+            }
+            .run(&tb.env, &dataset);
+            let d = decompose(r.total_energy_j(), &tb.path, r.wire_bytes, &tb.env.packets);
+            let gb = r.wire_bytes.as_gb().max(1e-9);
+            DecompositionRow {
+                testbed: tb.name.clone(),
+                end_system_j: d.end_system_joules,
+                network_j: d.network_joules,
+                end_system_pct: d.end_system_percent(),
+                network_pct: d.network_percent(),
+                network_j_per_gb: d.network_joules / gb,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_testbeds::didclab;
+
+    #[test]
+    fn fig8_has_three_series_spanning_unit_interval() {
+        let series = fig8_series(10);
+        assert_eq!(series.len(), 3);
+        for (label, pts) in &series {
+            assert_eq!(pts.len(), 11, "{label}");
+            assert_eq!(pts[0].0, 0.0);
+            assert_eq!(pts[10].0, 100.0);
+            assert!((pts[10].1 - 1.0).abs() < 1e-12, "{label}");
+        }
+    }
+
+    #[test]
+    fn table1_has_four_devices() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows
+            .iter()
+            .any(|(l, p, _)| l.contains("Edge IP") && *p == 1707.0));
+    }
+
+    #[test]
+    fn decomposition_end_system_dominates_on_lan() {
+        let rows = fig10_decomposition(&[didclab()], 0.02, 1);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.end_system_pct > 90.0, "{r:?}");
+        assert!((r.end_system_pct + r.network_pct - 100.0).abs() < 1e-9);
+    }
+}

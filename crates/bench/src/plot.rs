@@ -1,0 +1,191 @@
+//! Gnuplot emission: write `.dat` series and a ready-to-run `.gp` script
+//! per figure, so `gnuplot fig2.gp` renders paper-style panels without any
+//! Rust tooling.
+
+use crate::sla::SlaFigure;
+use crate::sweep::SweepFigure;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Writes `<name>.dat` (one block per algorithm) and `<name>.gp` (a 3-panel
+/// script: throughput, energy, efficiency-vs-BF) for a sweep figure.
+/// Returns the script path.
+pub fn write_sweep_plot(
+    fig: &SweepFigure,
+    dir: &Path,
+    name: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let algorithms = ["GUC", "GO", "SC", "MinE", "ProMC", "HTEE"];
+
+    let mut dat = String::new();
+    for algo in algorithms {
+        writeln!(
+            dat,
+            "# {algo}: concurrency throughput_mbps energy_j efficiency"
+        )
+        .unwrap();
+        for p in fig.series(algo) {
+            writeln!(
+                dat,
+                "{} {:.3} {:.3} {:.6}",
+                p.concurrency, p.throughput_mbps, p.energy_j, p.efficiency
+            )
+            .unwrap();
+        }
+        dat.push_str("\n\n"); // gnuplot index separator
+    }
+    writeln!(dat, "# BF: concurrency ratio").unwrap();
+    let best = fig.best_efficiency();
+    for p in &fig.brute_force {
+        writeln!(
+            dat,
+            "{} {:.6}",
+            p.concurrency,
+            if best > 0.0 { p.efficiency / best } else { 0.0 }
+        )
+        .unwrap();
+    }
+    let dat_path = dir.join(format!("{name}.dat"));
+    std::fs::write(&dat_path, dat)?;
+
+    let mut gp = String::new();
+    writeln!(gp, "# Regenerates the {} panels of the paper.", fig.testbed).unwrap();
+    writeln!(gp, "set terminal pngcairo size 1500,500").unwrap();
+    writeln!(gp, "set output '{name}.png'").unwrap();
+    writeln!(gp, "set multiplot layout 1,3").unwrap();
+    writeln!(gp, "set key top left").unwrap();
+    writeln!(gp, "set xlabel 'Concurrency'").unwrap();
+    for (panel, (col, ylabel)) in [(2u32, "Throughput (Mbps)"), (3, "Energy (J)")]
+        .iter()
+        .enumerate()
+    {
+        writeln!(
+            gp,
+            "set title '({}) {}'",
+            (b'a' + panel as u8) as char,
+            ylabel
+        )
+        .unwrap();
+        writeln!(gp, "set ylabel '{ylabel}'").unwrap();
+        let plots: Vec<String> = algorithms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                format!("'{name}.dat' index {i} using 1:{col} with linespoints title '{a}'")
+            })
+            .collect();
+        writeln!(gp, "plot {}", plots.join(", \\\n     ")).unwrap();
+    }
+    writeln!(gp, "set title '(c) Efficiency vs BF'").unwrap();
+    writeln!(gp, "set ylabel 'Throughput/Energy (normalised)'").unwrap();
+    writeln!(
+        gp,
+        "plot '{name}.dat' index {} using 1:2 with linespoints title 'BF'",
+        algorithms.len()
+    )
+    .unwrap();
+    writeln!(gp, "unset multiplot").unwrap();
+    let gp_path = dir.join(format!("{name}.gp"));
+    std::fs::write(&gp_path, gp)?;
+    Ok(gp_path)
+}
+
+/// Writes `<name>.dat`/`<name>.gp` for an SLA figure (targets on x).
+pub fn write_sla_plot(
+    fig: &SlaFigure,
+    dir: &Path,
+    name: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut dat = String::new();
+    writeln!(
+        dat,
+        "# target_pct target_mbps achieved_mbps energy_j deviation_pct"
+    )
+    .unwrap();
+    for r in &fig.rows {
+        writeln!(
+            dat,
+            "{} {:.3} {:.3} {:.3} {:.3}",
+            r.target_pct, r.target_mbps, r.achieved_mbps, r.energy_j, r.deviation_pct
+        )
+        .unwrap();
+    }
+    std::fs::write(dir.join(format!("{name}.dat")), dat)?;
+
+    let mut gp = String::new();
+    writeln!(
+        gp,
+        "# SLA panels for {} (max {:.0} Mbps).",
+        fig.testbed, fig.max_throughput_mbps
+    )
+    .unwrap();
+    writeln!(gp, "set terminal pngcairo size 1500,500").unwrap();
+    writeln!(gp, "set output '{name}.png'").unwrap();
+    writeln!(gp, "set multiplot layout 1,3").unwrap();
+    writeln!(gp, "set style data histograms").unwrap();
+    writeln!(gp, "set style fill solid 0.7").unwrap();
+    writeln!(gp, "set xlabel 'Target (%)'").unwrap();
+    writeln!(gp, "set title '(a) Throughput'").unwrap();
+    writeln!(
+        gp,
+        "plot '{name}.dat' using 2:xtic(1) title 'target', '' using 3 title 'achieved'"
+    )
+    .unwrap();
+    writeln!(gp, "set title '(b) Energy'").unwrap();
+    writeln!(
+        gp,
+        "plot '{name}.dat' using 4:xtic(1) title 'SLAEE', {:.1} title 'ProMC max'",
+        fig.promc_energy_j
+    )
+    .unwrap();
+    writeln!(gp, "set title '(c) Deviation'").unwrap();
+    writeln!(gp, "plot '{name}.dat' using 5:xtic(1) title 'deviation %'").unwrap();
+    writeln!(gp, "unset multiplot").unwrap();
+    let gp_path = dir.join(format!("{name}.gp"));
+    std::fs::write(&gp_path, gp)?;
+    Ok(gp_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::sla_figure;
+    use crate::sweep::sweep_figure;
+    use eadt_testbeds::didclab;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("eadt-plot-test");
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn sweep_plot_files_are_complete() {
+        let mut tb = didclab();
+        tb.sweep_levels = vec![1, 2];
+        let dataset = tb.dataset_spec.scaled(0.01).generate(1);
+        let fig = sweep_figure(&tb, &dataset, 2);
+        let gp = write_sweep_plot(&fig, &tmpdir(), "test_fig").unwrap();
+        let script = std::fs::read_to_string(&gp).unwrap();
+        assert!(script.contains("multiplot"));
+        assert!(script.contains("index 6 using 1:2")); // the BF block
+        let dat = std::fs::read_to_string(tmpdir().join("test_fig.dat")).unwrap();
+        // 6 algorithm blocks + BF block.
+        assert_eq!(dat.matches('#').count(), 7, "{dat}");
+        assert!(dat.contains("# MinE:"));
+    }
+
+    #[test]
+    fn sla_plot_files_are_complete() {
+        let tb = didclab();
+        let dataset = tb.dataset_spec.scaled(0.01).generate(1);
+        let fig = sla_figure(&tb, &dataset, &[90, 50]);
+        let gp = write_sla_plot(&fig, &tmpdir(), "test_sla").unwrap();
+        let script = std::fs::read_to_string(&gp).unwrap();
+        assert!(script.contains("histograms"));
+        let dat = std::fs::read_to_string(tmpdir().join("test_sla.dat")).unwrap();
+        assert_eq!(dat.lines().count(), 3); // header + 2 targets
+    }
+}

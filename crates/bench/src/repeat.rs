@@ -1,0 +1,150 @@
+//! Multi-seed replication: the paper plots single runs; a credible artifact
+//! reports mean ± standard deviation over several dataset draws.
+
+use crate::sweep::{sweep_figure, SweepFigure};
+use eadt_sim::stats::Summary;
+use eadt_testbeds::Environment;
+use serde::{Deserialize, Serialize};
+
+/// Mean ± population standard deviation of one (algorithm, concurrency)
+/// cell across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatePoint {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Concurrency level.
+    pub concurrency: u32,
+    /// Mean throughput, Mbps.
+    pub throughput_mean: f64,
+    /// Standard deviation of throughput.
+    pub throughput_std: f64,
+    /// Mean energy, Joules.
+    pub energy_mean: f64,
+    /// Standard deviation of energy.
+    pub energy_std: f64,
+    /// Number of seeds aggregated.
+    pub runs: usize,
+}
+
+/// A sweep figure replicated over several seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedSweep {
+    /// Testbed name.
+    pub testbed: String,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Aggregated cells.
+    pub points: Vec<AggregatePoint>,
+}
+
+impl ReplicatedSweep {
+    /// The aggregate for one cell, if present.
+    pub fn cell(&self, algorithm: &str, concurrency: u32) -> Option<&AggregatePoint> {
+        self.points
+            .iter()
+            .find(|p| p.algorithm == algorithm && p.concurrency == concurrency)
+    }
+}
+
+/// Runs [`sweep_figure`] once per seed (at `scale`) and aggregates each
+/// (algorithm, concurrency) cell.
+pub fn replicated_sweep(
+    tb: &Environment,
+    seeds: &[u64],
+    scale: f64,
+    bf_max: u32,
+) -> ReplicatedSweep {
+    let figures: Vec<SweepFigure> = seeds
+        .iter()
+        .map(|&seed| {
+            let dataset = tb.dataset_spec.scaled(scale).generate(seed);
+            sweep_figure(tb, &dataset, bf_max)
+        })
+        .collect();
+
+    // Collect the distinct cells from the first figure (all share the grid).
+    let mut points = Vec::new();
+    if let Some(first) = figures.first() {
+        let mut cells: Vec<(String, u32)> = first
+            .points
+            .iter()
+            .map(|p| (p.algorithm.clone(), p.concurrency))
+            .collect();
+        cells.sort();
+        cells.dedup();
+        for (algorithm, concurrency) in cells {
+            let thr: Vec<f64> = figures
+                .iter()
+                .filter_map(|f| {
+                    f.points
+                        .iter()
+                        .find(|p| p.algorithm == algorithm && p.concurrency == concurrency)
+                        .map(|p| p.throughput_mbps)
+                })
+                .collect();
+            let energy: Vec<f64> = figures
+                .iter()
+                .filter_map(|f| {
+                    f.points
+                        .iter()
+                        .find(|p| p.algorithm == algorithm && p.concurrency == concurrency)
+                        .map(|p| p.energy_j)
+                })
+                .collect();
+            let ts = Summary::of(&thr);
+            let es = Summary::of(&energy);
+            points.push(AggregatePoint {
+                algorithm,
+                concurrency,
+                throughput_mean: ts.mean,
+                throughput_std: ts.std_dev,
+                energy_mean: es.mean,
+                energy_std: es.std_dev,
+                runs: thr.len(),
+            });
+        }
+    }
+    ReplicatedSweep {
+        testbed: tb.name.clone(),
+        seeds: seeds.to_vec(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_testbeds::didclab;
+
+    #[test]
+    fn aggregates_every_cell_over_all_seeds() {
+        let mut tb = didclab();
+        tb.sweep_levels = vec![1, 4];
+        let rep = replicated_sweep(&tb, &[1, 2, 3], 0.02, 2);
+        assert_eq!(rep.seeds.len(), 3);
+        // 6 algorithms × 2 levels cells.
+        assert_eq!(rep.points.len(), 12);
+        for p in &rep.points {
+            assert_eq!(p.runs, 3, "{p:?}");
+            assert!(p.throughput_mean > 0.0);
+            assert!(p.energy_mean > 0.0);
+            assert!(p.throughput_std >= 0.0);
+        }
+        // Different seeds produce different datasets → some variance
+        // somewhere.
+        assert!(rep.points.iter().any(|p| p.energy_std > 0.0));
+    }
+
+    #[test]
+    fn single_seed_has_zero_variance() {
+        let mut tb = didclab();
+        tb.sweep_levels = vec![1];
+        let rep = replicated_sweep(&tb, &[7], 0.02, 1);
+        for p in &rep.points {
+            assert_eq!(p.runs, 1);
+            assert_eq!(p.throughput_std, 0.0);
+        }
+        assert!(rep.cell("ProMC", 1).is_some());
+        assert!(rep.cell("ProMC", 99).is_none());
+    }
+}

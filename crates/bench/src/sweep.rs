@@ -1,0 +1,181 @@
+//! Figures 2, 3 and 4: throughput / energy / efficiency vs. concurrency.
+
+use eadt_core::baselines::{GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt_core::{Algorithm, Htee, MinE};
+use eadt_dataset::Dataset;
+use eadt_testbeds::Environment;
+use eadt_transfer::TransferReport;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One measured point of a sweep figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Algorithm name (GUC/GO/SC/MinE/ProMC/HTEE/BF).
+    pub algorithm: String,
+    /// The concurrency level (`maxChannel` for MinE/HTEE; the x-axis of
+    /// Figures 2–4). GUC and GO are concurrency-independent and appear
+    /// once per level with identical values, as in the paper's flat lines.
+    pub concurrency: u32,
+    /// Average achieved throughput, Mbps (panel a).
+    pub throughput_mbps: f64,
+    /// Total end-system energy, Joules (panel b).
+    pub energy_j: f64,
+    /// Throughput/energy ratio (panel c), not yet normalised.
+    pub efficiency: f64,
+    /// Transfer duration in simulated seconds.
+    pub duration_s: f64,
+}
+
+impl SweepPoint {
+    fn from_report(algorithm: &str, concurrency: u32, r: &TransferReport) -> Self {
+        SweepPoint {
+            algorithm: algorithm.to_string(),
+            concurrency,
+            throughput_mbps: r.avg_throughput().as_mbps(),
+            energy_j: r.total_energy_j(),
+            efficiency: r.efficiency(),
+            duration_s: r.duration.as_secs_f64(),
+        }
+    }
+}
+
+/// A whole sweep figure: all algorithms over the testbed's concurrency
+/// levels, plus the BF oracle sweep for panel (c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepFigure {
+    /// Testbed name.
+    pub testbed: String,
+    /// Measured points (algorithm × concurrency).
+    pub points: Vec<SweepPoint>,
+    /// BF oracle points over `1..=bf_max` concurrency.
+    pub brute_force: Vec<SweepPoint>,
+}
+
+impl SweepFigure {
+    /// All points of one algorithm, in concurrency order.
+    pub fn series(&self, algorithm: &str) -> Vec<&SweepPoint> {
+        let mut v: Vec<&SweepPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.algorithm == algorithm)
+            .collect();
+        v.sort_by_key(|p| p.concurrency);
+        v
+    }
+
+    /// The best BF efficiency (the 1.0 mark of panel c).
+    pub fn best_efficiency(&self) -> f64 {
+        self.brute_force
+            .iter()
+            .map(|p| p.efficiency)
+            .fold(0.0, f64::max)
+    }
+
+    /// An algorithm's best efficiency across levels, normalised to BF's
+    /// best (the bar heights of panel c).
+    pub fn normalized_best(&self, algorithm: &str) -> f64 {
+        let best = self.best_efficiency();
+        if best <= 0.0 {
+            return 0.0;
+        }
+        self.series(algorithm)
+            .iter()
+            .map(|p| p.efficiency)
+            .fold(0.0, f64::max)
+            / best
+    }
+}
+
+/// Runs the full sweep of Figures 2/3/4 on a testbed.
+///
+/// `bf_max` is the BF oracle's search bound (20 in the paper). The runs
+/// are embarrassingly parallel and spread over the Rayon pool.
+pub fn sweep_figure(tb: &Environment, dataset: &Dataset, bf_max: u32) -> SweepFigure {
+    let env = &tb.env;
+    let levels = &tb.sweep_levels;
+
+    // Concurrency-independent baselines, run once and replicated.
+    let guc = GlobusUrlCopy::new().run(env, dataset);
+    let go = GlobusOnline::new().run(env, dataset);
+
+    let mut jobs: Vec<(String, u32)> = Vec::new();
+    for &cc in levels {
+        jobs.push(("SC".into(), cc));
+        jobs.push(("MinE".into(), cc));
+        jobs.push(("ProMC".into(), cc));
+        jobs.push(("HTEE".into(), cc));
+    }
+    let mut points: Vec<SweepPoint> = jobs
+        .par_iter()
+        .map(|(name, cc)| {
+            let r = match name.as_str() {
+                "SC" => SingleChunk {
+                    partition: tb.partition,
+                    ..SingleChunk::new(*cc)
+                }
+                .run(env, dataset),
+                "MinE" => MinE {
+                    partition: tb.partition,
+                    ..MinE::new(*cc)
+                }
+                .run(env, dataset),
+                "ProMC" => ProMc {
+                    partition: tb.partition,
+                    ..ProMc::new(*cc)
+                }
+                .run(env, dataset),
+                "HTEE" => Htee {
+                    partition: tb.partition,
+                    ..Htee::new(*cc)
+                }
+                .run(env, dataset),
+                _ => unreachable!("job names are fixed above"),
+            };
+            SweepPoint::from_report(name, *cc, &r)
+        })
+        .collect();
+    for &cc in levels {
+        points.push(SweepPoint::from_report("GUC", cc, &guc));
+        points.push(SweepPoint::from_report("GO", cc, &go));
+    }
+
+    let brute_force: Vec<SweepPoint> = (1..=bf_max)
+        .into_par_iter()
+        .map(|cc| {
+            let r = ProMc {
+                partition: tb.partition,
+                ..ProMc::new(cc)
+            }
+            .run(env, dataset);
+            SweepPoint::from_report("BF", cc, &r)
+        })
+        .collect();
+
+    SweepFigure {
+        testbed: tb.name.clone(),
+        points,
+        brute_force,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_testbeds::didclab;
+
+    #[test]
+    fn sweep_on_scaled_didclab_has_all_series() {
+        let mut tb = didclab();
+        tb.sweep_levels = vec![1, 4];
+        let dataset = tb.dataset_spec.scaled(0.02).generate(1);
+        let fig = sweep_figure(&tb, &dataset, 2);
+        for name in ["GUC", "GO", "SC", "MinE", "ProMC", "HTEE"] {
+            assert_eq!(fig.series(name).len(), 2, "{name}");
+        }
+        assert_eq!(fig.brute_force.len(), 2);
+        assert!(fig.best_efficiency() > 0.0);
+        let norm = fig.normalized_best("ProMC");
+        assert!(norm > 0.0 && norm <= 1.001, "norm={norm}");
+    }
+}

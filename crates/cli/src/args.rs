@@ -1,0 +1,450 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! external crates to the approved numeric/concurrency set, so no clap).
+
+use std::fmt;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — Minimum Energy.
+    MinE,
+    /// Algorithm 2 — High Throughput Energy-Efficient.
+    Htee,
+    /// Algorithm 3 — SLA-based Energy-Efficient.
+    Slaee,
+    /// globus-url-copy baseline (untuned).
+    Guc,
+    /// Globus Online baseline (fixed parameters).
+    Go,
+    /// Single-Chunk baseline.
+    Sc,
+    /// Pro-active Multi-Chunk baseline.
+    ProMc,
+    /// Brute-force oracle.
+    Bf,
+    /// Manual tuning: the whole dataset with explicit pipelining /
+    /// parallelism / concurrency (like a hand-tuned globus-url-copy).
+    Manual,
+}
+
+impl AlgorithmKind {
+    /// Parses a (case-insensitive) algorithm name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "mine" | "min-e" => Ok(AlgorithmKind::MinE),
+            "htee" => Ok(AlgorithmKind::Htee),
+            "slaee" | "sla" => Ok(AlgorithmKind::Slaee),
+            "guc" | "globus-url-copy" => Ok(AlgorithmKind::Guc),
+            "go" | "globus-online" => Ok(AlgorithmKind::Go),
+            "sc" | "single-chunk" => Ok(AlgorithmKind::Sc),
+            "promc" | "pro-mc" | "pro-multi-chunk" => Ok(AlgorithmKind::ProMc),
+            "bf" | "brute-force" => Ok(AlgorithmKind::Bf),
+            "manual" => Ok(AlgorithmKind::Manual),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected one of: mine, htee, slaee, guc, go, sc, promc, bf, manual)"
+            )),
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::MinE => "MinE",
+            AlgorithmKind::Htee => "HTEE",
+            AlgorithmKind::Slaee => "SLAEE",
+            AlgorithmKind::Guc => "GUC",
+            AlgorithmKind::Go => "GO",
+            AlgorithmKind::Sc => "SC",
+            AlgorithmKind::ProMc => "ProMC",
+            AlgorithmKind::Bf => "BF",
+            AlgorithmKind::Manual => "manual",
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where the transfer runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvSource {
+    /// One of the built-in paper testbeds.
+    Testbed(String),
+    /// A JSON environment file (see [`crate::envfile`]).
+    File(String),
+}
+
+/// The sub-command to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one transfer and print its report.
+    Transfer {
+        /// Algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Channel budget (`maxChannel`).
+        max_channel: u32,
+        /// SLA level for `slaee` (fraction of the reference maximum).
+        sla_level: f64,
+        /// Write the per-slice time series to this CSV file.
+        csv: Option<String>,
+        /// Pipelining for `--algorithm manual`.
+        pipelining: u32,
+        /// Parallelism for `--algorithm manual`.
+        parallelism: u32,
+    },
+    /// Run several algorithms over several concurrency levels.
+    Sweep {
+        /// Algorithms to include.
+        algorithms: Vec<AlgorithmKind>,
+        /// Concurrency levels.
+        levels: Vec<u32>,
+    },
+    /// Run the SLAEE experiment over target percentages.
+    Sla {
+        /// Target percentages (e.g. 95, 90, 50).
+        targets: Vec<u32>,
+        /// Channel budget.
+        max_channel: u32,
+    },
+    /// Inspect the dataset and its BDP partitioning.
+    Dataset,
+    /// Print the environment (or export it as JSON with `--export`).
+    Env {
+        /// Path to write the JSON environment to.
+        export: Option<String>,
+    },
+    /// Run the §2.2 power-model calibration and print accuracies.
+    Calibrate,
+    /// The §4 network-energy analysis for one transfer.
+    NetEnergy {
+        /// Algorithm whose transfer is analysed.
+        algorithm: AlgorithmKind,
+        /// Channel budget.
+        max_channel: u32,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// What to do.
+    pub command: Command,
+    /// Where to do it.
+    pub env: EnvSource,
+    /// Dataset scale factor (1.0 = the paper's volumes).
+    pub scale: f64,
+    /// Path to a dataset manifest (one file size per line); overrides the
+    /// testbed's synthetic dataset.
+    pub dataset_file: Option<String>,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Emit a JSON report instead of tables.
+    pub json: bool,
+}
+
+/// The usage string printed by `eadt help`.
+pub const USAGE: &str = "\
+eadt — energy-aware data transfer simulator (SC'15 reproduction)
+
+USAGE:
+  eadt <command> [options]
+
+COMMANDS:
+  transfer   run one transfer            (--algorithm, --max-channel, --sla-level)
+  sweep      algorithms × concurrency    (--algorithms a,b,c --levels 1,2,4)
+  sla        SLAEE target sweep          (--targets 95,90,50 --max-channel N)
+  dataset    show the dataset and its BDP partitioning
+  env        show the environment        (--export FILE writes JSON)
+  calibrate  run the power-model calibration of paper §2.2
+  netenergy  §4 analysis: end-system vs network split, per-device breakdown
+  help       this text
+
+OPTIONS:
+  --testbed NAME     xsede | futuregrid | didclab        [default: xsede]
+  --env-file FILE    load a custom JSON environment instead of a testbed
+  --dataset-file F   one file size per line (3MB, 2.5GB, …) instead of the
+                     synthetic paper dataset
+  --scale F          dataset volume scale                [default: 0.1]
+  --seed N           dataset seed                        [default: 42]
+  --algorithm NAME   mine|htee|slaee|guc|go|sc|promc|bf  [default: htee]
+  --algorithms A,B   for `sweep`                         [default: sc,mine,promc,htee]
+  --levels L1,L2     for `sweep`                         [default: 1,2,4,8]
+  --targets T1,T2    for `sla`                           [default: 95,90,80,70,50]
+  --max-channel N    channel budget                      [default: 8]
+  --sla-level F      SLAEE target fraction               [default: 0.9]
+  --csv FILE         (transfer) write per-slice series as CSV
+  --pipelining N     (transfer --algorithm manual) command queue depth
+  --parallelism N    (transfer --algorithm manual) streams per channel
+  --json             machine-readable output
+";
+
+impl Cli {
+    /// Parses `argv` (program name excluded).
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let mut it = argv.iter().peekable();
+        let cmd_word = it.next().map(String::as_str).unwrap_or("help");
+
+        let mut testbed: Option<String> = None;
+        let mut env_file: Option<String> = None;
+        let mut scale = 0.1f64;
+        let mut seed = 42u64;
+        let mut json = false;
+        let mut algorithm = AlgorithmKind::Htee;
+        let mut algorithms = vec![
+            AlgorithmKind::Sc,
+            AlgorithmKind::MinE,
+            AlgorithmKind::ProMc,
+            AlgorithmKind::Htee,
+        ];
+        let mut levels = vec![1u32, 2, 4, 8];
+        let mut targets = vec![95u32, 90, 80, 70, 50];
+        let mut max_channel = 8u32;
+        let mut sla_level = 0.9f64;
+        let mut export: Option<String> = None;
+        let mut csv: Option<String> = None;
+        let mut pipelining = 1u32;
+        let mut parallelism = 1u32;
+        let mut dataset_file: Option<String> = None;
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--testbed" => testbed = Some(value("--testbed")?.clone()),
+                "--env-file" => env_file = Some(value("--env-file")?.clone()),
+                "--scale" => scale = parse_num(value("--scale")?, "--scale")?,
+                "--seed" => seed = parse_num(value("--seed")?, "--seed")?,
+                "--json" => json = true,
+                "--algorithm" => algorithm = AlgorithmKind::parse(value("--algorithm")?)?,
+                "--algorithms" => {
+                    algorithms = value("--algorithms")?
+                        .split(',')
+                        .map(AlgorithmKind::parse)
+                        .collect::<Result<_, _>>()?;
+                }
+                "--levels" => levels = parse_list(value("--levels")?, "--levels")?,
+                "--targets" => targets = parse_list(value("--targets")?, "--targets")?,
+                "--max-channel" => {
+                    max_channel = parse_num(value("--max-channel")?, "--max-channel")?
+                }
+                "--sla-level" => sla_level = parse_num(value("--sla-level")?, "--sla-level")?,
+                "--export" => export = Some(value("--export")?.clone()),
+                "--csv" => csv = Some(value("--csv")?.clone()),
+                "--dataset-file" => dataset_file = Some(value("--dataset-file")?.clone()),
+                "--pipelining" => pipelining = parse_num(value("--pipelining")?, "--pipelining")?,
+                "--parallelism" => {
+                    parallelism = parse_num(value("--parallelism")?, "--parallelism")?
+                }
+                other => return Err(format!("unknown option '{other}' (try `eadt help`)")),
+            }
+        }
+
+        if testbed.is_some() && env_file.is_some() {
+            return Err("--testbed and --env-file are mutually exclusive".into());
+        }
+        let env = match env_file {
+            Some(f) => EnvSource::File(f),
+            None => EnvSource::Testbed(testbed.unwrap_or_else(|| "xsede".into())),
+        };
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("--scale must be positive".into());
+        }
+
+        let command = match cmd_word {
+            "transfer" => Command::Transfer {
+                algorithm,
+                max_channel,
+                sla_level,
+                csv,
+                pipelining,
+                parallelism,
+            },
+            "sweep" => {
+                if algorithms.is_empty() || levels.is_empty() {
+                    return Err("sweep needs at least one algorithm and one level".into());
+                }
+                Command::Sweep { algorithms, levels }
+            }
+            "sla" => {
+                if targets.is_empty() {
+                    return Err("sla needs at least one target".into());
+                }
+                Command::Sla {
+                    targets,
+                    max_channel,
+                }
+            }
+            "dataset" => Command::Dataset,
+            "env" => Command::Env { export },
+            "calibrate" => Command::Calibrate,
+            "netenergy" | "net-energy" => Command::NetEnergy {
+                algorithm,
+                max_channel,
+            },
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(format!("unknown command '{other}' (try `eadt help`)")),
+        };
+
+        Ok(Cli {
+            command,
+            env,
+            scale,
+            seed,
+            json,
+            dataset_file,
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse '{s}'"))
+}
+
+fn parse_list(s: &str, flag: &str) -> Result<Vec<u32>, String> {
+    s.split(',').map(|p| parse_num(p.trim(), flag)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn default_invocation_is_help() {
+        let cli = Cli::parse(&[]).unwrap();
+        assert_eq!(cli.command, Command::Help);
+        assert_eq!(cli.env, EnvSource::Testbed("xsede".into()));
+    }
+
+    #[test]
+    fn transfer_with_options() {
+        let cli = Cli::parse(&argv(
+            "transfer --testbed didclab --algorithm mine --max-channel 12 --scale 0.5 --seed 7 --json",
+        ))
+        .unwrap();
+        assert_eq!(cli.env, EnvSource::Testbed("didclab".into()));
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.seed, 7);
+        assert!(cli.json);
+        match cli.command {
+            Command::Transfer {
+                algorithm,
+                max_channel,
+                csv,
+                pipelining,
+                parallelism,
+                ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::MinE);
+                assert_eq!(max_channel, 12);
+                assert_eq!(csv, None);
+                assert_eq!((pipelining, parallelism), (1, 1));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_lists() {
+        let cli = Cli::parse(&argv("sweep --algorithms sc,promc --levels 1,4,8")).unwrap();
+        match cli.command {
+            Command::Sweep { algorithms, levels } => {
+                assert_eq!(algorithms, vec![AlgorithmKind::Sc, AlgorithmKind::ProMc]);
+                assert_eq!(levels, vec![1, 4, 8]);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sla_targets() {
+        let cli = Cli::parse(&argv("sla --targets 90,50 --max-channel 6")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sla {
+                targets: vec![90, 50],
+                max_channel: 6
+            }
+        );
+    }
+
+    #[test]
+    fn env_export() {
+        let cli = Cli::parse(&argv("env --export /tmp/x.json")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Env {
+                export: Some("/tmp/x.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn env_file_source() {
+        let cli = Cli::parse(&argv("dataset --env-file custom.json")).unwrap();
+        assert_eq!(cli.env, EnvSource::File("custom.json".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(Cli::parse(&argv("frobnicate")).is_err());
+        assert!(Cli::parse(&argv("transfer --bogus 1")).is_err());
+        assert!(Cli::parse(&argv("transfer --algorithm nope")).is_err());
+        assert!(Cli::parse(&argv("transfer --scale -1")).is_err());
+        assert!(Cli::parse(&argv("transfer --scale")).is_err());
+        assert!(Cli::parse(&argv("transfer --testbed a --env-file b")).is_err());
+        assert!(Cli::parse(&argv("sweep --levels x")).is_err());
+    }
+
+    #[test]
+    fn netenergy_command_parses() {
+        let cli = Cli::parse(&argv("netenergy --algorithm promc --max-channel 4")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::NetEnergy {
+                algorithm: AlgorithmKind::ProMc,
+                max_channel: 4
+            }
+        );
+    }
+
+    #[test]
+    fn manual_transfer_parses_params() {
+        let cli = Cli::parse(&argv(
+            "transfer --algorithm manual --pipelining 8 --parallelism 4 --max-channel 2",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Transfer {
+                algorithm,
+                pipelining,
+                parallelism,
+                max_channel,
+                ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::Manual);
+                assert_eq!((pipelining, parallelism, max_channel), (8, 4, 2));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for name in [
+            "mine", "htee", "slaee", "guc", "go", "sc", "promc", "bf", "manual",
+        ] {
+            let kind = AlgorithmKind::parse(name).unwrap();
+            assert!(AlgorithmKind::parse(&kind.name().to_ascii_lowercase()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Command execution: resolve the environment, build the dataset, run the
+//! requested experiment, render tables (or JSON).
+
+use crate::args::{AlgorithmKind, Cli, Command};
+use crate::envfile;
+use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt_core::{Algorithm, Htee, MinE, Slaee};
+use eadt_dataset::{partition, Dataset};
+use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
+use eadt_testbeds::Environment;
+use eadt_transfer::TransferReport;
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+/// Executes a parsed invocation.
+pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
+    match &cli.command {
+        Command::Help => writeln!(out, "{}", crate::args::USAGE),
+        Command::Transfer {
+            algorithm,
+            max_channel,
+            sla_level,
+            csv,
+            pipelining,
+            parallelism,
+        } => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            let report = if *algorithm == AlgorithmKind::Manual {
+                let params =
+                    eadt_transfer::TransferParams::new(*pipelining, *parallelism, *max_channel);
+                let plan = eadt_transfer::uniform_plan(
+                    &dataset,
+                    params,
+                    eadt_endsys::Placement::PackFirst,
+                );
+                eadt_transfer::Engine::new(&tb.env).run(&plan, &mut eadt_transfer::NullController)
+            } else {
+                run_algorithm(&tb, &dataset, *algorithm, *max_channel, *sla_level)
+            };
+            if let Some(path) = csv {
+                let mut file = std::fs::File::create(path)?;
+                report.write_series_csv(&mut file)?;
+                writeln!(out, "[series written to {path}]")?;
+            }
+            print_report(cli, out, algorithm.name(), &report)
+        }
+        Command::Sweep { algorithms, levels } => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            writeln!(
+                out,
+                "{:<8} {:>5} {:>10} {:>10} {:>12} {:>10}",
+                "algo", "cc", "Mbps", "seconds", "energy (J)", "Mbps/J"
+            )?;
+            for &cc in levels {
+                for &a in algorithms {
+                    let r = run_algorithm(&tb, &dataset, a, cc, 0.9);
+                    writeln!(
+                        out,
+                        "{:<8} {:>5} {:>10.0} {:>10.1} {:>12.0} {:>10.4}",
+                        a.name(),
+                        cc,
+                        r.avg_throughput().as_mbps(),
+                        r.duration.as_secs_f64(),
+                        r.total_energy_j(),
+                        r.efficiency()
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        Command::Sla {
+            targets,
+            max_channel,
+        } => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            let reference = ProMc {
+                partition: tb.partition,
+                ..ProMc::new(tb.reference_concurrency)
+            }
+            .run(&tb.env, &dataset);
+            writeln!(
+                out,
+                "reference: ProMC@{} = {:.0} Mbps, {:.0} J",
+                tb.reference_concurrency,
+                reference.avg_throughput().as_mbps(),
+                reference.total_energy_j()
+            )?;
+            writeln!(
+                out,
+                "{:>7} {:>12} {:>13} {:>11} {:>10}",
+                "target", "target Mbps", "achieved Mbps", "energy J", "saved"
+            )?;
+            for &pct in targets {
+                let level = f64::from(pct) / 100.0;
+                let slaee = Slaee {
+                    partition: tb.partition,
+                    ..Slaee::new(level, reference.avg_throughput(), *max_channel)
+                };
+                let r = slaee.run(&tb.env, &dataset);
+                writeln!(
+                    out,
+                    "{:>6}% {:>12.0} {:>13.0} {:>11.0} {:>9.1}%",
+                    pct,
+                    reference.avg_throughput().as_mbps() * level,
+                    r.avg_throughput().as_mbps(),
+                    r.total_energy_j(),
+                    100.0 * (reference.total_energy_j() - r.total_energy_j())
+                        / reference.total_energy_j()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Dataset => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            let chunks = partition(&dataset, tb.env.link.bdp(), &tb.partition);
+            writeln!(out, "BDP: {}", tb.env.link.bdp())?;
+            writeln!(
+                out,
+                "{:<8} {:>8} {:>12} {:>14} {:>9}",
+                "class", "files", "bytes", "avg file", "weight"
+            )?;
+            for c in &chunks {
+                writeln!(
+                    out,
+                    "{:<8} {:>8} {:>12} {:>14} {:>9.2}",
+                    c.class.label(),
+                    c.file_count(),
+                    c.total_size().to_string(),
+                    c.avg_file_size().to_string(),
+                    c.weight()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Env { export } => {
+            let tb = resolve(cli, out)?;
+            let json = envfile::to_json(&tb);
+            match export {
+                Some(path) => {
+                    std::fs::write(path, &json)?;
+                    writeln!(out, "wrote {path}")
+                }
+                None => writeln!(out, "{json}"),
+            }
+        }
+        Command::NetEnergy {
+            algorithm,
+            max_channel,
+        } => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            let r = run_algorithm(&tb, &dataset, *algorithm, *max_channel, 0.9);
+            let packets = tb.env.packets.total_packets(r.wire_bytes);
+            let d = eadt_netenergy::decompose(
+                r.total_energy_j(),
+                &tb.path,
+                r.wire_bytes,
+                &tb.env.packets,
+            );
+            writeln!(out, "transfer: {} over {}", algorithm.name(), tb.path.name)?;
+            writeln!(
+                out,
+                "end-system: {:.0} J ({:.1}%)   network: {:.1} J ({:.1}%)   {} packets",
+                d.end_system_joules,
+                d.end_system_percent(),
+                d.network_joules,
+                d.network_percent(),
+                packets
+            )?;
+            writeln!(out, "per-device (load-dependent):")?;
+            for (device, joules) in eadt_netenergy::path_breakdown(&tb.path, packets) {
+                writeln!(out, "  {:<28} {:>10.2} J", device.label(), joules)?;
+            }
+            let idle = eadt_netenergy::account::path_energy_with_idle_joules(
+                &tb.path,
+                packets,
+                r.duration.as_secs_f64(),
+            );
+            writeln!(
+                out,
+                "with idle power the path would burn {:.0} J over the {:.0} s transfer",
+                idle,
+                r.duration.as_secs_f64()
+            )?;
+            Ok(())
+        }
+        Command::Calibrate => {
+            let intel = GroundTruth::intel_server();
+            let amd = GroundTruth::amd_server();
+            let outcome = build_models(&intel, 115.0, 4, cli.seed);
+            writeln!(
+                out,
+                "fine-grained: cpu_scale={:.3} c_mem={:.3} c_disk={:.3} c_nic={:.3} (R²={:.4})",
+                outcome.fine_grained.cpu_scale,
+                outcome.fine_grained.c_memory,
+                outcome.fine_grained.c_disk,
+                outcome.fine_grained.c_nic,
+                outcome.fine_r_squared
+            )?;
+            writeln!(
+                out,
+                "cpu-only weight={:.3}, CPU↔power correlation {:.2}%",
+                outcome.cpu_only.cpu_weight,
+                outcome.cpu_power_correlation * 100.0
+            )?;
+            let ext = outcome.cpu_only.extend_to(95.0);
+            writeln!(
+                out,
+                "{:<9} {:>13} {:>10} {:>14}",
+                "tool", "fine-grained", "cpu-only", "tdp-extended"
+            )?;
+            for tool in ToolProfile::paper_tools() {
+                writeln!(
+                    out,
+                    "{:<9} {:>12.2}% {:>9.2}% {:>13.2}%",
+                    tool.name,
+                    evaluate_model(&outcome.fine_grained, &tool, &intel, 4, cli.seed),
+                    evaluate_model(&outcome.cpu_only, &tool, &intel, 4, cli.seed),
+                    evaluate_model(&ext, &tool, &amd, 4, cli.seed),
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn resolve(cli: &Cli, out: Out) -> std::io::Result<Environment> {
+    match envfile::load(&cli.env) {
+        Ok(tb) => Ok(tb),
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
+        }
+    }
+}
+
+fn make_dataset(cli: &Cli, tb: &Environment, out: Out) -> std::io::Result<Dataset> {
+    let dataset = match &cli.dataset_file {
+        Some(path) => envfile::load_dataset(path)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        None => tb.dataset_spec.scaled(cli.scale).generate(cli.seed),
+    };
+    writeln!(
+        out,
+        "[{} | {} files, {} | scale {} seed {}]",
+        tb.name,
+        dataset.file_count(),
+        dataset.total_size(),
+        cli.scale,
+        cli.seed
+    )?;
+    Ok(dataset)
+}
+
+/// Runs one algorithm by kind. SLAEE derives its reference maximum from a
+/// ProMC run at the testbed's reference concurrency.
+pub fn run_algorithm(
+    tb: &Environment,
+    dataset: &Dataset,
+    kind: AlgorithmKind,
+    max_channel: u32,
+    sla_level: f64,
+) -> TransferReport {
+    let partition = tb.partition;
+    match kind {
+        AlgorithmKind::MinE => MinE {
+            partition,
+            ..MinE::new(max_channel)
+        }
+        .run(&tb.env, dataset),
+        AlgorithmKind::Htee => Htee {
+            partition,
+            ..Htee::new(max_channel)
+        }
+        .run(&tb.env, dataset),
+        AlgorithmKind::Slaee => {
+            let reference = ProMc {
+                partition,
+                ..ProMc::new(tb.reference_concurrency)
+            }
+            .run(&tb.env, dataset);
+            Slaee {
+                partition,
+                ..Slaee::new(sla_level, reference.avg_throughput(), max_channel)
+            }
+            .run(&tb.env, dataset)
+        }
+        AlgorithmKind::Guc => GlobusUrlCopy::new().run(&tb.env, dataset),
+        AlgorithmKind::Go => GlobusOnline::new().run(&tb.env, dataset),
+        AlgorithmKind::Sc => SingleChunk {
+            partition,
+            ..SingleChunk::new(max_channel)
+        }
+        .run(&tb.env, dataset),
+        AlgorithmKind::ProMc => ProMc {
+            partition,
+            ..ProMc::new(max_channel)
+        }
+        .run(&tb.env, dataset),
+        AlgorithmKind::Bf => {
+            BruteForce {
+                partition,
+                ..BruteForce::new(max_channel)
+            }
+            .best(&tb.env, dataset)
+            .1
+        }
+        AlgorithmKind::Manual => {
+            // Defaults to the untuned baseline when called through this
+            // path; the CLI's transfer command supplies explicit values.
+            let plan = eadt_transfer::uniform_plan(
+                dataset,
+                eadt_transfer::TransferParams::new(1, 1, max_channel),
+                eadt_endsys::Placement::PackFirst,
+            );
+            eadt_transfer::Engine::new(&tb.env).run(&plan, &mut eadt_transfer::NullController)
+        }
+    }
+}
+
+fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io::Result<()> {
+    if cli.json {
+        let json = serde_json::json!({
+            "algorithm": name,
+            "completed": r.completed,
+            "moved_bytes": r.moved_bytes.as_u64(),
+            "duration_s": r.duration.as_secs_f64(),
+            "throughput_mbps": r.avg_throughput().as_mbps(),
+            "src_energy_j": r.src_energy_j,
+            "dst_energy_j": r.dst_energy_j,
+            "efficiency": r.efficiency(),
+            "wire_bytes": r.wire_bytes.as_u64(),
+            "packets": r.packets,
+            "failures": r.failures,
+            "chunks": r.chunk_stats.iter().map(|c| serde_json::json!({
+                "label": c.label,
+                "bytes": c.bytes.as_u64(),
+                "files": c.files,
+                "completed_at_s": c.completed_at.map(|d| d.as_secs_f64()),
+            })).collect::<Vec<_>>(),
+        });
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serializable")
+        )
+    } else {
+        writeln!(out, "algorithm:   {name}")?;
+        writeln!(out, "completed:   {}", r.completed)?;
+        writeln!(out, "moved:       {}", r.moved_bytes)?;
+        writeln!(out, "duration:    {}", r.duration)?;
+        writeln!(out, "throughput:  {}", r.avg_throughput())?;
+        writeln!(
+            out,
+            "energy:      {:.0} J (src {:.0} + dst {:.0}), mean {:.1} W",
+            r.total_energy_j(),
+            r.src_energy_j,
+            r.dst_energy_j,
+            r.mean_power_w()
+        )?;
+        writeln!(out, "efficiency:  {:.4} Mbps/J", r.efficiency())?;
+        writeln!(out, "wire bytes:  {} ({} packets)", r.wire_bytes, r.packets)?;
+        if r.failures > 0 {
+            writeln!(out, "failures:    {}", r.failures)?;
+        }
+        for c in &r.chunk_stats {
+            writeln!(
+                out,
+                "  chunk {:<7} {:>6} files {:>12}  done at {}",
+                c.label,
+                c.files,
+                c.bytes.to_string(),
+                c.completed_at.map_or("-".into(), |d| d.to_string())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::EnvSource;
+
+    fn run_cli(words: &str) -> String {
+        let argv: Vec<String> = words.split_whitespace().map(str::to_string).collect();
+        let mut buf = Vec::new();
+        crate::run(&argv, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli("help");
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("transfer"));
+    }
+
+    #[test]
+    fn transfer_prints_report() {
+        let out = run_cli("transfer --testbed didclab --algorithm promc --scale 0.01");
+        assert!(out.contains("algorithm:   ProMC"), "{out}");
+        assert!(out.contains("completed:   true"), "{out}");
+        assert!(out.contains("chunk"), "{out}");
+    }
+
+    #[test]
+    fn transfer_json_is_valid() {
+        let out = run_cli("transfer --testbed didclab --algorithm guc --scale 0.01 --json");
+        let start = out.find('{').expect("json in output");
+        let v: serde_json::Value = serde_json::from_str(&out[start..]).unwrap();
+        assert_eq!(v["algorithm"], "GUC");
+        assert_eq!(v["completed"], true);
+        assert!(v["throughput_mbps"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sweep_emits_rows_for_each_cell() {
+        let out = run_cli("sweep --testbed didclab --algorithms sc,mine --levels 1,2 --scale 0.01");
+        let rows: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("SC") || l.starts_with("MinE"))
+            .collect();
+        assert_eq!(rows.len(), 4, "{out}");
+    }
+
+    #[test]
+    fn sla_lists_targets() {
+        let out = run_cli("sla --testbed didclab --targets 90,50 --scale 0.01");
+        assert!(out.contains("90%"), "{out}");
+        assert!(out.contains("50%"), "{out}");
+        assert!(out.contains("reference: ProMC@1"), "{out}");
+    }
+
+    #[test]
+    fn dataset_shows_partition() {
+        let out = run_cli("dataset --testbed xsede --scale 0.01");
+        assert!(out.contains("BDP: 50.00 MB"), "{out}");
+        assert!(out.contains("Small"), "{out}");
+    }
+
+    #[test]
+    fn env_export_round_trips() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fg.json");
+        let path_s = path.to_string_lossy().into_owned();
+        let out = run_cli(&format!("env --testbed futuregrid --export {path_s}"));
+        assert!(out.contains("wrote"), "{out}");
+        // And the exported file powers a transfer.
+        let out = run_cli(&format!(
+            "transfer --env-file {path_s} --algorithm sc --max-channel 2 --scale 0.01"
+        ));
+        assert!(out.contains("completed:   true"), "{out}");
+        assert!(out.contains("FutureGrid"), "{out}");
+    }
+
+    #[test]
+    fn dataset_file_overrides_synthetic_dataset() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.txt");
+        std::fs::write(&path, "100MB\n100MB\n100MB\n").unwrap();
+        let out = run_cli(&format!(
+            "transfer --testbed didclab --algorithm promc --dataset-file {}",
+            path.to_string_lossy()
+        ));
+        assert!(out.contains("3 files, 300.00 MB"), "{out}");
+        assert!(out.contains("completed:   true"), "{out}");
+    }
+
+    #[test]
+    fn manual_transfer_uses_given_parameters() {
+        let out = run_cli(
+            "transfer --testbed xsede --algorithm manual --pipelining 8 --parallelism 2 \
+             --max-channel 4 --scale 0.01",
+        );
+        assert!(out.contains("algorithm:   manual"), "{out}");
+        assert!(out.contains("completed:   true"), "{out}");
+    }
+
+    #[test]
+    fn transfer_csv_writes_series() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        let path_s = path.to_string_lossy().into_owned();
+        let out = run_cli(&format!(
+            "transfer --testbed didclab --algorithm sc --scale 0.01 --csv {path_s}"
+        ));
+        assert!(out.contains("series written"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("time_s,throughput_mbps,power_w,concurrency"));
+        assert!(csv.lines().count() > 2, "{csv}");
+    }
+
+    #[test]
+    fn netenergy_prints_breakdown() {
+        let out = run_cli("netenergy --testbed futuregrid --algorithm promc --scale 0.02");
+        assert!(out.contains("end-system:"), "{out}");
+        assert!(out.contains("Metro IP Router"), "{out}");
+        assert!(out.contains("with idle power"), "{out}");
+    }
+
+    #[test]
+    fn calibrate_prints_tool_errors() {
+        let out = run_cli("calibrate");
+        assert!(out.contains("gridftp"), "{out}");
+        assert!(out.contains("correlation"), "{out}");
+    }
+
+    #[test]
+    fn bad_testbed_is_an_error() {
+        let argv: Vec<String> = "transfer --testbed mars"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let mut buf = Vec::new();
+        assert!(crate::run(&argv, &mut buf).is_err());
+    }
+
+    #[test]
+    fn run_algorithm_covers_every_kind() {
+        let tb = envfile::load(&EnvSource::Testbed("didclab".into())).unwrap();
+        let dataset = tb.dataset_spec.scaled(0.005).generate(1);
+        for kind in [
+            AlgorithmKind::MinE,
+            AlgorithmKind::Htee,
+            AlgorithmKind::Slaee,
+            AlgorithmKind::Guc,
+            AlgorithmKind::Go,
+            AlgorithmKind::Sc,
+            AlgorithmKind::ProMc,
+            AlgorithmKind::Bf,
+        ] {
+            let r = run_algorithm(&tb, &dataset, kind, 4, 0.8);
+            assert!(r.completed, "{kind:?}");
+            assert_eq!(r.moved_bytes, dataset.total_size(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Loading environments: built-in testbeds or JSON files.
+//!
+//! A JSON environment file is simply the serde form of
+//! [`eadt_testbeds::Environment`] — export one with `eadt env --export
+//! my-env.json`, edit the link/server/tuning numbers, and point any command
+//! at it with `--env-file my-env.json`. That is the intended way for a
+//! downstream user to model *their* path without writing Rust.
+
+use crate::args::EnvSource;
+use eadt_dataset::Dataset;
+use eadt_sim::Bytes;
+use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
+
+/// Resolves an environment source to a concrete environment.
+pub fn load(source: &EnvSource) -> Result<Environment, String> {
+    match source {
+        EnvSource::Testbed(name) => match name.to_ascii_lowercase().as_str() {
+            "xsede" => Ok(xsede()),
+            "futuregrid" => Ok(futuregrid()),
+            "didclab" => Ok(didclab()),
+            other => Err(format!(
+                "unknown testbed '{other}' (expected xsede, futuregrid or didclab)"
+            )),
+        },
+        EnvSource::File(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let env: Environment =
+                serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let issues = env.validate();
+            if issues.is_empty() {
+                Ok(env)
+            } else {
+                Err(format!(
+                    "{path} is not a usable environment: {}",
+                    issues.join("; ")
+                ))
+            }
+        }
+    }
+}
+
+/// Loads a dataset from a manifest file: one file size per line
+/// (`3MB`, `2.5 GB`, `1048576`, …), `#` comments and blank lines ignored.
+/// This is how a user replays *their* directory listing through the
+/// simulator (`du -b` output piped through `awk '{print $1}'` works).
+pub fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut sizes = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let size = Bytes::parse(trimmed).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if size.is_zero() {
+            return Err(format!("{path}:{}: zero-byte file", lineno + 1));
+        }
+        sizes.push(size);
+    }
+    if sizes.is_empty() {
+        return Err(format!("{path}: no file sizes found"));
+    }
+    Ok(Dataset::from_sizes(path.to_string(), sizes))
+}
+
+/// Serialises an environment as pretty JSON.
+pub fn to_json(env: &Environment) -> String {
+    serde_json::to_string_pretty(env).expect("environments are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_testbeds_load() {
+        for name in ["xsede", "FutureGrid", "DIDCLAB"] {
+            let env = load(&EnvSource::Testbed(name.into())).unwrap();
+            assert!(!env.name.is_empty());
+        }
+        assert!(load(&EnvSource::Testbed("nowhere".into())).is_err());
+    }
+
+    #[test]
+    fn environment_round_trips_through_json() {
+        let env = xsede();
+        let json = to_json(&env);
+        let dir = std::env::temp_dir().join("eadt-envfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("xsede.json");
+        std::fs::write(&path, &json).unwrap();
+        let loaded = load(&EnvSource::File(path.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(loaded, env);
+    }
+
+    #[test]
+    fn invalid_environment_files_are_rejected() {
+        let mut env = xsede();
+        env.env.tuning.wan_stream_cap = eadt_sim::Rate::ZERO;
+        let dir = std::env::temp_dir().join("eadt-envfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalid.json");
+        std::fs::write(&path, to_json(&env)).unwrap();
+        let err = load(&EnvSource::File(path.to_string_lossy().into_owned())).unwrap_err();
+        assert!(err.contains("not a usable environment"), "{err}");
+    }
+
+    #[test]
+    fn dataset_manifests_load() {
+        let dir = std::env::temp_dir().join("eadt-envfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("files.txt");
+        std::fs::write(&path, "# my dataset\n3MB\n\n2.5 GB\n1000\n").unwrap();
+        let d = load_dataset(&path.to_string_lossy()).unwrap();
+        assert_eq!(d.file_count(), 3);
+        assert_eq!(d.total_size().as_u64(), 3_000_000 + 2_500_000_000 + 1000);
+        // Malformed lines carry positions.
+        std::fs::write(&path, "3MB\nnonsense\n").unwrap();
+        let err = load_dataset(&path.to_string_lossy()).unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+        std::fs::write(&path, "# only comments\n").unwrap();
+        assert!(load_dataset(&path.to_string_lossy()).is_err());
+    }
+
+    #[test]
+    fn missing_and_malformed_files_error() {
+        assert!(load(&EnvSource::File("/definitely/not/here.json".into())).is_err());
+        let dir = std::env::temp_dir().join("eadt-envfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load(&EnvSource::File(path.to_string_lossy().into_owned())).is_err());
+    }
+}

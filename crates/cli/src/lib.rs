@@ -1,0 +1,22 @@
+//! Implementation of the `eadt` command-line tool.
+//!
+//! The binary is a thin `main` over [`run`]; everything else lives here so
+//! argument parsing, environment loading and command execution are unit
+//! testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod envfile;
+
+pub use args::{Cli, Command};
+
+/// Parses `argv` (without the program name) and executes the command,
+/// writing human-readable output to `out`. Returns an error message meant
+/// for stderr on failure.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let cli = Cli::parse(argv)?;
+    commands::execute(&cli, out).map_err(|e| e.to_string())
+}

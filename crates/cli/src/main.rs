@@ -1,0 +1,11 @@
+//! The `eadt` binary: see `eadt help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = eadt_cli::run(&argv, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Algorithm 2 — the High Throughput Energy-Efficient (HTEE) algorithm.
+
+use crate::planner::{chunk_params, weight_allocation, weight_allocation_live};
+use crate::Algorithm;
+use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
+use eadt_endsys::Placement;
+use eadt_sim::{SimDuration, SimTime};
+use eadt_transfer::{
+    ChunkPlan, ControlAction, Controller, Engine, SliceCtx, TransferEnv, TransferPlan,
+    TransferReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// The paper's probe window: each concurrency level is "executed for five
+/// second time intervals" (§2.4).
+pub const PROBE_WINDOW: SimDuration = SimDuration::from_secs(5);
+
+/// High Throughput Energy-Efficient transfer (Algorithm 2).
+///
+/// Same chunking and per-chunk pipelining/parallelism as MinE, but
+/// channels are spread across chunks proportionally to
+/// `log(size) × log(fileCount)` weights, and the concurrency level is found
+/// *online*: the transfer starts at one channel and walks the levels
+/// `1, 3, 5, … ≤ maxChannel` (stride two halves the search space), probing
+/// each for five seconds; the level with the highest measured
+/// throughput/energy ratio carries the rest of the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Htee {
+    /// Upper bound on the concurrency search range.
+    pub max_channel: u32,
+    /// BDP-relative partitioning thresholds.
+    pub partition: PartitionConfig,
+    /// Probe window length (the paper's five seconds by default).
+    pub probe_window: SimDuration,
+    /// Search stride over concurrency levels: 2 in the paper ("halves the
+    /// search space"); 1 sweeps every level (ablation knob).
+    pub search_stride: usize,
+    /// Extension beyond the paper: re-run the probe search every so often
+    /// after committing, so the transfer re-tunes when conditions change
+    /// (background traffic, faults). `None` (the paper's behaviour) commits
+    /// once and never looks back.
+    pub reprobe_interval: Option<SimDuration>,
+}
+
+impl Htee {
+    /// HTEE with the paper's defaults.
+    pub fn new(max_channel: u32) -> Self {
+        Htee {
+            max_channel: max_channel.max(1),
+            partition: PartitionConfig::default(),
+            probe_window: PROBE_WINDOW,
+            search_stride: 2,
+            reprobe_interval: None,
+        }
+    }
+
+    /// The search schedule: 1, 3, 5, … up to `max_channel` (inclusive when
+    /// it falls on the stride).
+    pub fn search_levels(&self) -> Vec<u32> {
+        (1..=self.max_channel)
+            .step_by(self.search_stride.max(1))
+            .collect()
+    }
+
+    fn chunks(&self, env: &TransferEnv, dataset: &Dataset) -> Vec<Chunk> {
+        partition(dataset, env.link.bdp(), &self.partition)
+    }
+}
+
+impl Algorithm for Htee {
+    fn name(&self) -> &'static str {
+        "HTEE"
+    }
+
+    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+        let chunks = self.chunks(env, dataset);
+        let levels = self.search_levels();
+        let first_alloc = weight_allocation(&chunks, levels[0]);
+        let chunk_plans: Vec<ChunkPlan> = chunks
+            .iter()
+            .zip(&first_alloc)
+            .map(|(chunk, &channels)| {
+                let params = chunk_params(&env.link, chunk);
+                ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels)
+            })
+            .collect();
+        let plan = TransferPlan::concurrent(chunk_plans, Placement::PackFirst);
+        let mut controller = HteeController::new(chunks, levels, self.probe_window);
+        controller.reprobe_interval = self.reprobe_interval;
+        Engine::new(env).run(&plan, &mut controller)
+    }
+}
+
+/// Search state of the online probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Probing `levels[idx]`.
+    Searching { idx: usize },
+    /// Committed to the winning level (holds the commit time).
+    Committed { since: SimTime },
+}
+
+/// The controller implementing HTEE's search phase.
+#[derive(Debug, Clone)]
+pub struct HteeController {
+    chunks: Vec<Chunk>,
+    levels: Vec<u32>,
+    window: SimDuration,
+    phase: Phase,
+    window_start: SimTime,
+    window_bytes: f64,
+    window_energy: f64,
+    ratios: Vec<f64>,
+    /// Re-probe period after committing (extension; `None` = paper).
+    pub reprobe_interval: Option<SimDuration>,
+    /// How many full searches have run (1 = the initial one).
+    pub searches: u32,
+    /// The concurrency level the search settled on (for inspection).
+    pub chosen_level: Option<u32>,
+}
+
+impl HteeController {
+    /// Creates the controller; the engine must start at `levels[0]`.
+    pub fn new(chunks: Vec<Chunk>, levels: Vec<u32>, window: SimDuration) -> Self {
+        assert!(!levels.is_empty());
+        HteeController {
+            chunks,
+            levels,
+            window,
+            phase: Phase::Searching { idx: 0 },
+            window_start: SimTime::ZERO,
+            window_bytes: 0.0,
+            window_energy: 0.0,
+            ratios: Vec::new(),
+            reprobe_interval: None,
+            searches: 1,
+            chosen_level: None,
+        }
+    }
+
+    /// Scores a probe window by the *whole-transfer* throughput/energy
+    /// ratio it projects: moving the remaining bytes `D` at throughput
+    /// `thr` with power `P` costs `E = P·D/thr`, so the transfer-level
+    /// ratio `thr/E = thr²/(P·D)` is, for a fixed-length window,
+    /// proportional to `thr² / window_energy`. Scoring windows by the raw
+    /// per-window `thr/energy` would instead reward the *marginal* power
+    /// efficiency, which always favours the lowest concurrency.
+    fn window_ratio(&self, elapsed: f64) -> f64 {
+        if self.window_energy <= 0.0 || elapsed <= 0.0 {
+            return 0.0;
+        }
+        let mbps = self.window_bytes * 8.0 / elapsed / 1e6;
+        mbps * mbps / self.window_energy
+    }
+}
+
+impl Controller for HteeController {
+    fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction {
+        let idx = match self.phase {
+            Phase::Searching { idx } => idx,
+            Phase::Committed { since } => {
+                // Extension: periodically restart the search so the level
+                // tracks changing conditions.
+                if let Some(every) = self.reprobe_interval {
+                    if ctx.now.since(since) >= every {
+                        self.phase = Phase::Searching { idx: 0 };
+                        self.ratios.clear();
+                        self.window_bytes = 0.0;
+                        self.window_energy = 0.0;
+                        self.window_start = ctx.now;
+                        self.searches += 1;
+                        return ControlAction::Reallocate(weight_allocation_live(
+                            &self.chunks,
+                            &ctx.live_chunks(),
+                            self.levels[0],
+                        ));
+                    }
+                }
+                return ControlAction::Continue;
+            }
+        };
+        self.window_bytes += ctx.slice_bytes.as_f64();
+        self.window_energy += ctx.slice_energy_j;
+        let elapsed = ctx.now.since(self.window_start);
+        if elapsed < self.window {
+            return ControlAction::Continue;
+        }
+        // Window done: score this level.
+        self.ratios.push(self.window_ratio(elapsed.as_secs_f64()));
+        self.window_bytes = 0.0;
+        self.window_energy = 0.0;
+        self.window_start = ctx.now;
+        let live = ctx.live_chunks();
+        let next = idx + 1;
+        if next < self.levels.len() {
+            self.phase = Phase::Searching { idx: next };
+            ControlAction::Reallocate(weight_allocation_live(
+                &self.chunks,
+                &live,
+                self.levels[next],
+            ))
+        } else {
+            // Pick the level with the best throughput/energy ratio.
+            let best = self
+                .ratios
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("ratios are finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let level = self.levels[best];
+            self.chosen_level = Some(level);
+            self.phase = Phase::Committed { since: ctx.now };
+            ControlAction::Reallocate(weight_allocation_live(&self.chunks, &live, level))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{mixed_dataset, wan_env};
+
+    #[test]
+    fn search_levels_stride_two() {
+        assert_eq!(Htee::new(12).search_levels(), vec![1, 3, 5, 7, 9, 11]);
+        assert_eq!(Htee::new(1).search_levels(), vec![1]);
+        assert_eq!(Htee::new(4).search_levels(), vec![1, 3]);
+    }
+
+    #[test]
+    fn run_completes_and_adapts_concurrency() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let r = Htee::new(8).run(&env, &dataset);
+        assert!(r.completed);
+        assert_eq!(r.moved_bytes, dataset.total_size());
+        // The concurrency trace must show more than one level (the search).
+        let max = r.concurrency_series.max_value().unwrap();
+        assert!(max > 1.0, "search never raised concurrency: max={max}");
+    }
+
+    #[test]
+    fn htee_beats_single_channel_throughput() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let htee = Htee::new(8).run(&env, &dataset);
+        let single = crate::baselines::GlobusUrlCopy::new().run(&env, &dataset);
+        assert!(
+            htee.avg_throughput().as_mbps() > single.avg_throughput().as_mbps(),
+            "htee={} guc={}",
+            htee.avg_throughput(),
+            single.avg_throughput()
+        );
+    }
+
+    #[test]
+    fn reprobing_reacts_to_background_traffic() {
+        use eadt_transfer::BackgroundTraffic;
+        let mut env = wan_env();
+        // The link loses 70% of its capacity after the initial search is
+        // long done; static HTEE keeps its stale level, re-probing HTEE
+        // searches again.
+        env.background = Some(BackgroundTraffic::square(
+            SimDuration::from_secs(1_000_000),
+            SimDuration::from_secs(1_000_000),
+            0.7,
+        ));
+        let dataset = {
+            // Big enough that several re-probe periods fit.
+            let mut sizes = Vec::new();
+            for _ in 0..64 {
+                sizes.push(eadt_sim::Bytes::from_mb(400));
+            }
+            eadt_dataset::Dataset::from_sizes("big", sizes)
+        };
+        let algo = Htee {
+            reprobe_interval: Some(SimDuration::from_secs(30)),
+            ..Htee::new(8)
+        };
+        let chunks = algo.chunks(&env, &dataset);
+        let levels = algo.search_levels();
+        let first = weight_allocation(&chunks, levels[0]);
+        let plans: Vec<ChunkPlan> = chunks
+            .iter()
+            .zip(&first)
+            .map(|(c, &ch)| {
+                let p = chunk_params(&env.link, c);
+                ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
+            })
+            .collect();
+        let plan = TransferPlan::concurrent(plans, Placement::PackFirst);
+        let mut ctl = HteeController::new(chunks, levels, SimDuration::from_secs(5));
+        ctl.reprobe_interval = Some(SimDuration::from_secs(30));
+        let r = Engine::new(&env).run(&plan, &mut ctl);
+        assert!(r.completed);
+        assert!(
+            ctl.searches >= 2,
+            "expected at least one re-probe, got {}",
+            ctl.searches
+        );
+    }
+
+    #[test]
+    fn controller_scores_every_level() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let algo = Htee::new(6);
+        let chunks = algo.chunks(&env, &dataset);
+        let levels = algo.search_levels();
+        let n_levels = levels.len();
+        let first = weight_allocation(&chunks, levels[0]);
+        let plans: Vec<ChunkPlan> = chunks
+            .iter()
+            .zip(&first)
+            .map(|(c, &ch)| {
+                let p = chunk_params(&env.link, c);
+                ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
+            })
+            .collect();
+        let plan = TransferPlan::concurrent(plans, Placement::PackFirst);
+        let mut ctl = HteeController::new(chunks, levels, SimDuration::from_secs(5));
+        let _ = Engine::new(&env).run(&plan, &mut ctl);
+        assert_eq!(ctl.ratios.len(), n_levels, "ratios={:?}", ctl.ratios);
+        assert!(ctl.chosen_level.is_some());
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's contribution: three energy-aware data transfer algorithms.
+//!
+//! * [`MinE`] — **Minimum Energy** (Algorithm 1): per-chunk closed-form
+//!   parameter selection that floods the Small chunk with pipelined
+//!   channels and pins Large chunks to a single channel, minimising energy
+//!   with no throughput concern.
+//! * [`Htee`] — **High Throughput Energy-Efficient** (Algorithm 2):
+//!   weight-proportional channel allocation plus an online search over
+//!   concurrency levels (5-second probes, stride 2) for the level with the
+//!   best measured throughput/energy ratio.
+//! * [`Slaee`] — **SLA-based Energy-Efficient** (Algorithm 3): delivers a
+//!   caller-specified fraction of the maximum achievable throughput with
+//!   the fewest channels that reach it.
+//!
+//! [`baselines`] holds the five comparison points of §3: `GlobusUrlCopy`
+//! (GUC, untuned), `GlobusOnline` (GO, fixed parameters, channels spread
+//! over all servers), `SingleChunk` (SC, tuned but sequential), `ProMc`
+//! (Pro-active Multi-Chunk) and `BruteForce` (the efficiency oracle).
+//!
+//! Every algorithm implements [`Algorithm`]: it plans against a
+//! [`TransferEnv`] and executes on the `eadt-transfer` engine, returning
+//! the same [`TransferReport`] the figures are built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod htee;
+pub mod mine;
+pub mod planner;
+pub mod slaee;
+
+#[cfg(test)]
+mod proptests;
+#[cfg(test)]
+pub(crate) mod test_support;
+
+use eadt_dataset::Dataset;
+use eadt_transfer::{TransferEnv, TransferReport};
+
+pub use htee::Htee;
+pub use mine::MinE;
+pub use planner::{
+    chunk_params, linear_weight_allocation, mine_allocation, weight_allocation, ChunkParams,
+};
+pub use slaee::Slaee;
+
+/// A data-transfer scheduling algorithm: plans a dataset against an
+/// environment and executes it on the simulated GridFTP engine.
+pub trait Algorithm {
+    /// Display name used in figures and tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the whole transfer and returns its measurements.
+    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport;
+}

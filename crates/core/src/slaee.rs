@@ -1,0 +1,345 @@
+//! Algorithm 3 — the SLA-based Energy-Efficient (SLAEE) algorithm.
+
+use crate::htee::PROBE_WINDOW;
+use crate::planner::{chunk_params, sla_allocation, sla_allocation_live};
+use crate::Algorithm;
+use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
+use eadt_endsys::Placement;
+use eadt_sim::{Rate, SimDuration, SimTime};
+use eadt_transfer::{
+    ChunkPlan, ControlAction, Controller, Engine, SliceCtx, TransferEnv, TransferPlan,
+    TransferReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// SLA-based Energy-Efficient transfer (Algorithm 3).
+///
+/// The caller states a throughput requirement as a fraction of the maximum
+/// achievable throughput in the environment (`targetThroughput =
+/// maxThroughput × SLALevel`). The transfer starts at concurrency 1; if the
+/// measured throughput misses the target, the controller first jumps
+/// proportionally (`concurrency = target/actual`, line 11) and then climbs
+/// one channel per probe window until the target is met or `maxChannel` is
+/// reached — at which point channels are re-arranged so Large chunks
+/// receive more than one channel (line 18). Energy stays minimal because
+/// the concurrency never exceeds what the SLA needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slaee {
+    /// The SLA level as a fraction of the maximum achievable throughput
+    /// (e.g. 0.9 for the paper's "90% target percentage").
+    pub sla_level: f64,
+    /// The reference maximum achievable throughput (the paper uses ProMC's
+    /// best measured throughput in the same environment).
+    pub max_throughput: Rate,
+    /// Upper bound on concurrency.
+    pub max_channel: u32,
+    /// BDP-relative partitioning thresholds.
+    pub partition: PartitionConfig,
+    /// Probe window (five seconds in the paper).
+    pub probe_window: SimDuration,
+    /// Shed a channel when measured throughput exceeds the target by this
+    /// factor (extension; keeps energy minimal once finished chunks donate
+    /// their channels). 1.15 by default.
+    pub overshoot_margin: f64,
+    /// A probe window counts as *degraded* when its throughput falls below
+    /// the previous window times this factor; two consecutive degraded
+    /// windows after raises trigger the revert-to-best guard. 0.97 by
+    /// default.
+    pub degrade_tolerance: f64,
+}
+
+impl Slaee {
+    /// SLAEE with the paper's defaults.
+    pub fn new(sla_level: f64, max_throughput: Rate, max_channel: u32) -> Self {
+        Slaee {
+            sla_level: sla_level.clamp(0.0, 1.0),
+            max_throughput,
+            max_channel: max_channel.max(1),
+            partition: PartitionConfig::default(),
+            probe_window: PROBE_WINDOW,
+            overshoot_margin: 1.15,
+            degrade_tolerance: 0.97,
+        }
+    }
+
+    /// The throughput the SLA promises.
+    pub fn target_throughput(&self) -> Rate {
+        self.max_throughput * self.sla_level
+    }
+}
+
+impl Algorithm for Slaee {
+    fn name(&self) -> &'static str {
+        "SLAEE"
+    }
+
+    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+        let chunks = partition(dataset, env.link.bdp(), &self.partition);
+        let first_alloc = sla_allocation(&chunks, 1, false);
+        let chunk_plans: Vec<ChunkPlan> = chunks
+            .iter()
+            .zip(&first_alloc)
+            .map(|(chunk, &channels)| {
+                let params = chunk_params(&env.link, chunk);
+                ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels)
+            })
+            .collect();
+        let plan = TransferPlan::concurrent(chunk_plans, Placement::PackFirst);
+        let mut controller = SlaeeController::new(
+            chunks,
+            self.target_throughput(),
+            self.max_channel,
+            self.probe_window,
+        );
+        controller.overshoot_margin = self.overshoot_margin.max(1.0);
+        controller.degrade_tolerance = self.degrade_tolerance.clamp(0.0, 1.0);
+        Engine::new(env).run(&plan, &mut controller)
+    }
+}
+
+/// The controller implementing SLAEE's adaptation loop.
+#[derive(Debug, Clone)]
+pub struct SlaeeController {
+    chunks: Vec<Chunk>,
+    target: Rate,
+    max_channel: u32,
+    window: SimDuration,
+    window_start: SimTime,
+    window_bytes: f64,
+    concurrency: u32,
+    rearranged: bool,
+    first_window_done: bool,
+    prev_window_mbps: Option<f64>,
+    raised_last_window: bool,
+    /// See [`Slaee::overshoot_margin`].
+    pub overshoot_margin: f64,
+    /// See [`Slaee::degrade_tolerance`].
+    pub degrade_tolerance: f64,
+    degrade_count: u32,
+    best_seen: Option<(u32, f64)>,
+    frozen: bool,
+    /// Trace of (window end, measured Mbps) pairs for inspection.
+    pub window_throughputs: Vec<(SimTime, f64)>,
+}
+
+impl SlaeeController {
+    /// Creates the controller; the engine must start at concurrency 1.
+    pub fn new(chunks: Vec<Chunk>, target: Rate, max_channel: u32, window: SimDuration) -> Self {
+        SlaeeController {
+            chunks,
+            target,
+            max_channel: max_channel.max(1),
+            window,
+            window_start: SimTime::ZERO,
+            window_bytes: 0.0,
+            concurrency: 1,
+            rearranged: false,
+            first_window_done: false,
+            prev_window_mbps: None,
+            raised_last_window: false,
+            overshoot_margin: 1.15,
+            degrade_tolerance: 0.97,
+            degrade_count: 0,
+            best_seen: None,
+            frozen: false,
+            window_throughputs: Vec::new(),
+        }
+    }
+
+    fn allocation(&self, live: &[bool]) -> Vec<u32> {
+        sla_allocation_live(&self.chunks, live, self.concurrency, self.rearranged)
+    }
+}
+
+impl Controller for SlaeeController {
+    fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction {
+        self.window_bytes += ctx.slice_bytes.as_f64();
+        let elapsed = ctx.now.since(self.window_start);
+        if elapsed < self.window {
+            return ControlAction::Continue;
+        }
+        let actual_mbps = self.window_bytes * 8.0 / elapsed.as_secs_f64() / 1e6;
+        self.window_throughputs.push((ctx.now, actual_mbps));
+        self.window_bytes = 0.0;
+        self.window_start = ctx.now;
+
+        let target_mbps = self.target.as_mbps();
+        // Gradient guard: on paths where extra channels *reduce* throughput
+        // (the DIDCLAB single-disk LAN), chasing an unreachable target by
+        // ramping concurrency only makes things worse. If the last raise
+        // lowered the measured throughput, step back and stop adapting —
+        // "SLAEE does its best" with the level that worked (§3).
+        if self.best_seen.is_none_or(|(_, best)| actual_mbps > best) {
+            self.best_seen = Some((self.concurrency, actual_mbps));
+        }
+        if self.raised_last_window {
+            self.raised_last_window = false;
+            let degraded = self
+                .prev_window_mbps
+                .is_some_and(|prev| actual_mbps < prev * self.degrade_tolerance);
+            if degraded {
+                self.degrade_count += 1;
+            } else {
+                self.degrade_count = 0;
+            }
+            if self.degrade_count >= 2 {
+                // Two raises in a row made things worse: the target is
+                // unreachable on this path. Fall back to the best level
+                // observed and stop adapting.
+                if let Some((best_cc, _)) = self.best_seen {
+                    self.concurrency = best_cc;
+                }
+                self.frozen = true;
+                self.prev_window_mbps = Some(actual_mbps);
+                return ControlAction::Reallocate(self.allocation(&ctx.live_chunks()));
+            }
+        }
+        self.prev_window_mbps = Some(actual_mbps);
+        if self.frozen {
+            return ControlAction::Continue;
+        }
+        if actual_mbps >= target_mbps {
+            // The SLA is met. SLAEE's objective is the *minimal* energy
+            // that satisfies it, so when the transfer overshoots the
+            // target by a clear margin (e.g. after finished chunks donated
+            // their channels to the rest), shed channels until throughput
+            // sits just above the promise.
+            if actual_mbps > target_mbps * self.overshoot_margin && self.concurrency > 1 {
+                self.concurrency -= 1;
+                return ControlAction::Reallocate(self.allocation(&ctx.live_chunks()));
+            }
+            return ControlAction::Continue;
+        }
+        if !self.first_window_done {
+            // Line 11: proportional jump from the first measurement.
+            self.first_window_done = true;
+            let scaled =
+                (f64::from(self.concurrency) * target_mbps / actual_mbps.max(1.0)).ceil() as u32;
+            let new_cc = scaled.clamp(1, self.max_channel);
+            self.raised_last_window = new_cc > self.concurrency;
+            self.concurrency = new_cc;
+        } else if self.concurrency < self.max_channel {
+            // Lines 14–16: incremental increase.
+            self.concurrency += 1;
+            self.raised_last_window = true;
+        } else if !self.rearranged {
+            // Line 18: reArrangeChannels — let Large chunks have more than
+            // one channel.
+            self.rearranged = true;
+        } else {
+            return ControlAction::Continue;
+        }
+        ControlAction::Reallocate(self.allocation(&ctx.live_chunks()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::ProMc;
+    use crate::test_support::{mixed_dataset, wan_env};
+
+    fn max_throughput() -> Rate {
+        let env = wan_env();
+        let r = ProMc::new(12).run(&env, &mixed_dataset());
+        r.avg_throughput()
+    }
+
+    #[test]
+    fn target_math() {
+        let s = Slaee::new(0.9, Rate::from_gbps(7.5), 12);
+        assert!((s.target_throughput().as_mbps() - 6750.0).abs() < 1e-6);
+        let clamped = Slaee::new(1.5, Rate::from_gbps(1.0), 12);
+        assert_eq!(clamped.sla_level, 1.0);
+    }
+
+    #[test]
+    fn low_target_stays_at_low_concurrency() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let max = max_throughput();
+        let r = Slaee::new(0.3, max, 12).run(&env, &dataset);
+        assert!(r.completed);
+        // A 30% target should never need anything close to 12 channels.
+        let peak = r.concurrency_series.max_value().unwrap();
+        assert!(peak < 10.0, "peak concurrency {peak}");
+    }
+
+    #[test]
+    fn high_target_approaches_reference_throughput() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let max = max_throughput();
+        let r = Slaee::new(0.9, max, 12).run(&env, &dataset);
+        assert!(r.completed);
+        let achieved = r.avg_throughput().as_mbps();
+        // Achieved throughput lands within a reasonable deviation of the
+        // 90% target (the paper reports ≤ 7% on XSEDE; the average includes
+        // the slow ramp, so allow more here).
+        assert!(
+            achieved > 0.6 * max.as_mbps(),
+            "achieved {achieved} vs max {}",
+            max.as_mbps()
+        );
+    }
+
+    #[test]
+    fn higher_target_uses_more_channels_and_energy() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let max = max_throughput();
+        let lo = Slaee::new(0.5, max, 12).run(&env, &dataset);
+        let hi = Slaee::new(0.95, max, 12).run(&env, &dataset);
+        let lo_peak = lo.concurrency_series.max_value().unwrap();
+        let hi_peak = hi.concurrency_series.max_value().unwrap();
+        assert!(hi_peak >= lo_peak, "hi_peak={hi_peak} lo_peak={lo_peak}");
+        assert!(
+            hi.avg_throughput().as_mbps() >= lo.avg_throughput().as_mbps(),
+            "hi={} lo={}",
+            hi.avg_throughput(),
+            lo.avg_throughput()
+        );
+    }
+
+    #[test]
+    fn slaee_reacts_to_background_traffic() {
+        // When cross traffic halves the link mid-transfer, throughput drops
+        // below target and SLAEE must raise concurrency to compensate.
+        let mut env = wan_env();
+        env.background = Some(eadt_transfer::BackgroundTraffic::square(
+            eadt_sim::SimDuration::from_secs(1_000_000),
+            eadt_sim::SimDuration::from_secs(1_000_000), // permanently on
+            0.6,
+        ));
+        let dataset = mixed_dataset();
+        let clean_max = max_throughput();
+        let r = Slaee::new(0.5, clean_max, 12).run(&env, &dataset);
+        assert!(r.completed);
+        // It needed more channels than the clean-link 50% case would.
+        let clean = {
+            let env = wan_env();
+            Slaee::new(0.5, clean_max, 12).run(&env, &dataset)
+        };
+        let busy_peak = r.concurrency_series.max_value().unwrap();
+        let clean_peak = clean.concurrency_series.max_value().unwrap();
+        assert!(
+            busy_peak >= clean_peak,
+            "busy peak {busy_peak} should need at least clean peak {clean_peak}"
+        );
+    }
+
+    #[test]
+    fn rearrange_triggers_when_target_unreachable() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        // Absurd reference → target can never be met → controller must walk
+        // to max and then rearrange without panicking or livelocking.
+        let r = Slaee::new(1.0, Rate::from_gbps(50.0), 6).run(&env, &dataset);
+        assert!(r.completed);
+        let peak = r.concurrency_series.max_value().unwrap();
+        assert!(
+            (peak - 6.0).abs() < 1e-9,
+            "should reach maxChannel, peak={peak}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared fixtures for the crate's unit tests (XSEDE-like WAN environment
+//! and a mixed dataset). Kept out of the public API.
+
+use eadt_dataset::Dataset;
+use eadt_endsys::{DiskSubsystem, ServerSpec, Site, UtilizationCoeffs};
+use eadt_net::link::Link;
+use eadt_net::packets::PacketModel;
+use eadt_net::tcp::CongestionModel;
+use eadt_power::FineGrainedModel;
+use eadt_sim::{Bytes, Rate, SimDuration};
+use eadt_transfer::{EngineTuning, TransferEnv};
+
+/// A 10 Gbps, 40 ms XSEDE-like environment with four 4-core servers per
+/// site (small and fast enough for unit tests).
+pub fn wan_env() -> TransferEnv {
+    let server = ServerSpec::new(
+        "dtn",
+        4,
+        115.0,
+        Rate::from_gbps(10.0),
+        DiskSubsystem::Array {
+            per_access: Rate::from_gbps(2.4),
+            aggregate: Rate::from_gbps(7.6),
+        },
+    );
+    TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(10.0),
+            SimDuration::from_millis(40),
+            Bytes::from_mb(32),
+        ),
+        src: Site::new("src", vec![server.clone(); 4]),
+        dst: Site::new("dst", vec![server; 4]),
+        util: UtilizationCoeffs::default(),
+        power: FineGrainedModel::paper_default(),
+        congestion: CongestionModel::default(),
+        packets: PacketModel::default(),
+        tuning: EngineTuning::default(),
+        faults: None,
+        background: None,
+        estimator: None,
+    }
+}
+
+/// A small mixed dataset spanning Small/Medium/Large on a 50 MB BDP:
+/// 40 × 4 MB + 10 × 150 MB + 4 × 2 GB ≈ 9.7 GB.
+pub fn mixed_dataset() -> Dataset {
+    let mut sizes = Vec::new();
+    for _ in 0..40 {
+        sizes.push(Bytes::from_mb(4));
+    }
+    for _ in 0..10 {
+        sizes.push(Bytes::from_mb(150));
+    }
+    for _ in 0..4 {
+        sizes.push(Bytes::from_gb(2));
+    }
+    Dataset::from_sizes("test-mixed", sizes)
+}

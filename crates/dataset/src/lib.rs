@@ -1,0 +1,23 @@
+//! Datasets and BDP-based chunk partitioning.
+//!
+//! Every algorithm in the paper starts the same way: fetch the file list,
+//! compute the bandwidth-delay product, and partition the dataset into
+//! *Small*, *Medium* and *Large* chunks relative to the BDP (`partitionFiles`
+//! in Algorithms 1–3), merging chunks that are too small to be scheduled
+//! separately (`mergeChunks`, §2.3). This crate implements those pieces plus
+//! the dataset generators used to recreate the paper's workloads
+//! (160 GB of 3 MB–20 GB files for 10 Gbps testbeds, 40 GB of 3 MB–5 GB
+//! files for 1 Gbps testbeds).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod file;
+pub mod generator;
+#[cfg(test)]
+mod proptests;
+
+pub use chunk::{partition, partition_globus_online, Chunk, PartitionConfig, SizeClass};
+pub use file::{Dataset, FileSpec};
+pub use generator::{paper_dataset_10g, paper_dataset_1g, DatasetMix, DatasetSpec};

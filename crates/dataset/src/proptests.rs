@@ -1,0 +1,111 @@
+//! Property-based tests of partitioning and generation.
+
+use crate::chunk::{partition, partition_globus_online, Chunk, PartitionConfig};
+use crate::file::Dataset;
+use crate::generator::DatasetSpec;
+use eadt_sim::Bytes;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(1u64..30_000, 0..80)
+        .prop_map(|kbs| Dataset::from_sizes("prop", kbs.into_iter().map(Bytes::from_kb)))
+}
+
+fn config_strategy() -> impl Strategy<Value = PartitionConfig> {
+    (0.05f64..0.9, 1.0f64..20.0, 1usize..6, 0.0f64..0.05).prop_map(
+        |(small, large_mult, min_files, min_frac)| PartitionConfig {
+            small_fraction: small,
+            large_fraction: small + large_mult,
+            min_files,
+            min_bytes_fraction: min_frac,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn partition_conserves_files_and_bytes(
+        d in dataset_strategy(),
+        config in config_strategy(),
+        bdp_mb in 1u64..200,
+    ) {
+        let chunks = partition(&d, Bytes::from_mb(bdp_mb), &config);
+        let files: usize = chunks.iter().map(Chunk::file_count).sum();
+        prop_assert_eq!(files, d.file_count());
+        let bytes: Bytes = chunks.iter().map(|c| c.total_size()).sum();
+        prop_assert_eq!(bytes, d.total_size());
+        // Every file id appears exactly once.
+        let mut ids: Vec<u32> = chunks.iter().flat_map(|c| c.files().iter().map(|f| f.id)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), d.file_count());
+    }
+
+    #[test]
+    fn partition_yields_no_empty_chunks(
+        d in dataset_strategy(),
+        config in config_strategy(),
+        bdp_mb in 1u64..200,
+    ) {
+        for c in partition(&d, Bytes::from_mb(bdp_mb), &config) {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.weight() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_respects_min_files_when_multiple_chunks_survive(
+        d in dataset_strategy(),
+        min_files in 1usize..5,
+        bdp_mb in 1u64..100,
+    ) {
+        let config = PartitionConfig { min_files, min_bytes_fraction: 0.0, ..Default::default() };
+        let chunks = partition(&d, Bytes::from_mb(bdp_mb), &config);
+        if chunks.len() > 1 {
+            for c in &chunks {
+                prop_assert!(c.file_count() >= min_files,
+                    "undersized chunk survived: {} files < {}", c.file_count(), min_files);
+            }
+        }
+    }
+
+    #[test]
+    fn globus_online_partition_conserves(d in dataset_strategy()) {
+        let chunks = partition_globus_online(&d);
+        let files: usize = chunks.iter().map(Chunk::file_count).sum();
+        prop_assert_eq!(files, d.file_count());
+    }
+
+    #[test]
+    fn generated_datasets_respect_spec(
+        seed in 0u64..200, total_mb in 1u64..2_000, lo_mb in 1u64..10, span in 2u64..100
+    ) {
+        let spec = DatasetSpec::new(
+            "p",
+            Bytes::from_mb(total_mb),
+            Bytes::from_mb(lo_mb),
+            Bytes::from_mb(lo_mb * span),
+        );
+        let d = spec.generate(seed);
+        prop_assert!(d.total_size() >= spec.total);
+        prop_assert!(d.total_size().as_u64() < spec.total.as_u64() + spec.max_file.as_u64());
+        for f in d.files() {
+            prop_assert!(f.size >= spec.min_file && f.size <= spec.max_file);
+        }
+    }
+
+    #[test]
+    fn chunk_weight_monotone_in_file_count(n in 2usize..200, mb in 1u64..100) {
+        use crate::chunk::SizeClass;
+        use crate::file::FileSpec;
+        let small = Chunk::new(
+            SizeClass::Small,
+            (0..n as u32).map(|i| FileSpec::new(i, Bytes::from_mb(mb))).collect(),
+        );
+        let bigger = Chunk::new(
+            SizeClass::Small,
+            (0..(2 * n) as u32).map(|i| FileSpec::new(i, Bytes::from_mb(mb))).collect(),
+        );
+        prop_assert!(bigger.weight() >= small.weight());
+    }
+}

@@ -1,0 +1,79 @@
+//! Data-transfer server specification.
+
+use crate::disk::DiskSubsystem;
+use eadt_sim::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one data-transfer node, mirroring the columns of
+/// the paper's Figure 1 (CPU, #cores, TDP, NIC, storage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Hostname-ish label for reports.
+    pub name: String,
+    /// Physical cores available to transfer processes. Drives `C_cpu(n)` in
+    /// Eq. 2 and the over-subscription penalty above it.
+    pub cores: u32,
+    /// CPU Thermal Design Power in Watts — the scaling anchor of the
+    /// CPU-based power model (Eq. 3).
+    pub cpu_tdp_watts: f64,
+    /// NIC line rate.
+    pub nic: Rate,
+    /// Storage subsystem backing the transfers.
+    pub disk: DiskSubsystem,
+}
+
+impl ServerSpec {
+    /// Creates a server spec.
+    pub fn new(
+        name: impl Into<String>,
+        cores: u32,
+        cpu_tdp_watts: f64,
+        nic: Rate,
+        disk: DiskSubsystem,
+    ) -> Self {
+        ServerSpec {
+            name: name.into(),
+            cores: cores.max(1),
+            cpu_tdp_watts,
+            nic,
+            disk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_are_at_least_one() {
+        let s = ServerSpec::new(
+            "s",
+            0,
+            95.0,
+            Rate::from_gbps(10.0),
+            DiskSubsystem::Single {
+                rate: Rate::from_mbps(500.0),
+                contention_penalty: 0.1,
+            },
+        );
+        assert_eq!(s.cores, 1);
+    }
+
+    #[test]
+    fn fields_are_stored() {
+        let s = ServerSpec::new(
+            "stampede-dtn1",
+            4,
+            115.0,
+            Rate::from_gbps(10.0),
+            DiskSubsystem::Array {
+                per_access: Rate::from_mbps(1200.0),
+                aggregate: Rate::from_gbps(9.0),
+            },
+        );
+        assert_eq!(s.name, "stampede-dtn1");
+        assert_eq!(s.cores, 4);
+        assert_eq!(s.cpu_tdp_watts, 115.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Sites and channel placement.
+//!
+//! An endpoint like Stampede is not one machine: XSEDE sites run several
+//! data-transfer nodes behind one endpoint name. *Where* channels land
+//! matters for energy: §3 observes that the custom client "tries to
+//! initiate connections on a single end server even if there are more than
+//! one, while GO and GUC distribute channels to multiple servers", which
+//! "leads to an increase in power consumption due to active CPU utilization
+//! on multiple servers".
+
+use crate::server::ServerSpec;
+use serde::{Deserialize, Serialize};
+
+/// How a client spreads its data channels across a site's servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Pack every channel onto the first server (the paper's custom client;
+    /// used by SC, ProMC, MinE, HTEE, SLAEE).
+    PackFirst,
+    /// Spread channels round-robin over all servers (Globus Online and
+    /// globus-url-copy).
+    RoundRobin,
+}
+
+/// A transfer endpoint: one or more servers plus storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Site label (e.g. "Stampede (TACC)").
+    pub name: String,
+    /// The data-transfer nodes, in placement order.
+    pub servers: Vec<ServerSpec>,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(name: impl Into<String>, servers: Vec<ServerSpec>) -> Self {
+        let site = Site {
+            name: name.into(),
+            servers,
+        };
+        assert!(!site.servers.is_empty(), "a site needs at least one server");
+        site
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Distributes `channels` data channels across the site's servers under
+    /// `placement`, returning the channel count per server (same order as
+    /// [`Site::servers`]).
+    pub fn place_channels(&self, channels: u32, placement: Placement) -> Vec<u32> {
+        let n = self.servers.len();
+        let mut counts = vec![0u32; n];
+        if channels == 0 {
+            return counts;
+        }
+        match placement {
+            Placement::PackFirst => {
+                counts[0] = channels;
+            }
+            Placement::RoundRobin => {
+                let per = channels / n as u32;
+                let extra = (channels % n as u32) as usize;
+                for (i, c) in counts.iter_mut().enumerate() {
+                    *c = per + u32::from(i < extra);
+                }
+            }
+        }
+        counts
+    }
+
+    /// Number of servers that would be active (≥ 1 channel) for a given
+    /// placement.
+    pub fn active_servers(&self, channels: u32, placement: Placement) -> usize {
+        self.place_channels(channels, placement)
+            .iter()
+            .filter(|&&c| c > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSubsystem;
+    use eadt_sim::Rate;
+
+    fn site(n: usize) -> Site {
+        let server = ServerSpec::new(
+            "dtn",
+            4,
+            115.0,
+            Rate::from_gbps(10.0),
+            DiskSubsystem::Array {
+                per_access: Rate::from_mbps(1200.0),
+                aggregate: Rate::from_gbps(8.0),
+            },
+        );
+        Site::new("test-site", vec![server; n])
+    }
+
+    #[test]
+    fn pack_first_uses_one_server() {
+        let s = site(4);
+        assert_eq!(s.place_channels(7, Placement::PackFirst), vec![7, 0, 0, 0]);
+        assert_eq!(s.active_servers(7, Placement::PackFirst), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let s = site(4);
+        assert_eq!(s.place_channels(8, Placement::RoundRobin), vec![2, 2, 2, 2]);
+        assert_eq!(s.place_channels(6, Placement::RoundRobin), vec![2, 2, 1, 1]);
+        assert_eq!(s.active_servers(2, Placement::RoundRobin), 2);
+    }
+
+    #[test]
+    fn round_robin_concurrency_2_wakes_two_servers() {
+        // The Figure 2b effect: GO at concurrency 2 runs two servers.
+        let s = site(4);
+        assert_eq!(s.place_channels(2, Placement::RoundRobin), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn zero_channels_place_nowhere() {
+        let s = site(3);
+        assert_eq!(s.place_channels(0, Placement::RoundRobin), vec![0, 0, 0]);
+        assert_eq!(s.active_servers(0, Placement::PackFirst), 0);
+    }
+
+    #[test]
+    fn single_server_site_is_equivalent_under_both_policies() {
+        let s = site(1);
+        assert_eq!(s.place_channels(5, Placement::PackFirst), vec![5]);
+        assert_eq!(s.place_channels(5, Placement::RoundRobin), vec![5]);
+    }
+
+    #[test]
+    fn placement_conserves_channels() {
+        let s = site(4);
+        for c in 0..40 {
+            for p in [Placement::PackFirst, Placement::RoundRobin] {
+                let total: u32 = s.place_channels(c, p).iter().sum();
+                assert_eq!(total, c);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_site_panics() {
+        Site::new("empty", Vec::new());
+    }
+}

@@ -1,0 +1,162 @@
+//! Max-min fair bandwidth allocation (progressive filling).
+//!
+//! Each data channel presents a demand (its own ceiling — window, process
+//! or disk limited); the bottleneck link grants rates by water-filling:
+//! capacity is split evenly, channels that want less than their share keep
+//! their demand, and the leftover is redistributed among the rest. This is
+//! the standard flow-level abstraction of per-ACK TCP fairness.
+
+use eadt_sim::Rate;
+
+/// Allocates `capacity` among `demands` max-min fairly.
+///
+/// Returns one granted rate per demand, where every grant is ≤ its demand,
+/// the grants sum to ≤ `capacity`, and no channel could receive more without
+/// taking from a channel with a smaller grant.
+///
+/// ```
+/// use eadt_net::fair_share;
+/// use eadt_sim::Rate;
+///
+/// let demands = [Rate::from_mbps(100.0), Rate::from_mbps(800.0), Rate::from_mbps(800.0)];
+/// let grants = fair_share(Rate::from_mbps(1000.0), &demands);
+/// assert_eq!(grants[0], Rate::from_mbps(100.0)); // small demand satisfied
+/// assert!((grants[1].as_mbps() - 450.0).abs() < 1e-9); // rest split evenly
+/// ```
+pub fn fair_share(capacity: Rate, demands: &[Rate]) -> Vec<Rate> {
+    let n = demands.len();
+    let mut grants = vec![Rate::ZERO; n];
+    if n == 0 || capacity.is_zero() {
+        return grants;
+    }
+    let total_demand: Rate = demands.iter().copied().sum();
+    if total_demand.as_bps() <= capacity.as_bps() {
+        grants.copy_from_slice(demands);
+        return grants;
+    }
+    // Progressive filling over the still-unsatisfied set.
+    let mut remaining = capacity.as_bps();
+    let mut unsatisfied: Vec<usize> = (0..n).collect();
+    // Sort by demand ascending so each pass can finalize all demands below
+    // the fair share in one sweep.
+    unsatisfied.sort_by(|&a, &b| {
+        demands[a]
+            .as_bps()
+            .partial_cmp(&demands[b].as_bps())
+            .expect("rates are finite")
+    });
+    let mut idx = 0;
+    while idx < unsatisfied.len() {
+        let active = unsatisfied.len() - idx;
+        let share = remaining / active as f64;
+        let i = unsatisfied[idx];
+        if demands[i].as_bps() <= share {
+            grants[i] = demands[i];
+            remaining -= demands[i].as_bps();
+            idx += 1;
+        } else {
+            // Everyone left wants at least the fair share: split evenly.
+            for &j in &unsatisfied[idx..] {
+                grants[j] = Rate::from_bps(share);
+            }
+            remaining = 0.0;
+            break;
+        }
+    }
+    let _ = remaining;
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(v: f64) -> Rate {
+        Rate::from_mbps(v)
+    }
+
+    fn total(grants: &[Rate]) -> f64 {
+        grants.iter().map(|g| g.as_mbps()).sum()
+    }
+
+    #[test]
+    fn under_subscription_grants_demands() {
+        let g = fair_share(mbps(1000.0), &[mbps(100.0), mbps(200.0)]);
+        assert_eq!(g, vec![mbps(100.0), mbps(200.0)]);
+    }
+
+    #[test]
+    fn equal_demands_split_evenly() {
+        let g = fair_share(mbps(900.0), &[mbps(500.0); 3]);
+        for r in &g {
+            assert!((r.as_mbps() - 300.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_demand_keeps_its_demand() {
+        // cap 1000: demands 100, 800, 800 → 100 + 450 + 450.
+        let g = fair_share(mbps(1000.0), &[mbps(100.0), mbps(800.0), mbps(800.0)]);
+        assert!((g[0].as_mbps() - 100.0).abs() < 1e-9);
+        assert!((g[1].as_mbps() - 450.0).abs() < 1e-9);
+        assert!((g[2].as_mbps() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascading_waterfill() {
+        // cap 1200: demands 100, 300, 500, 900.
+        // pass: share 300 → 100 granted; remaining 1100/3=366.7 → 300
+        // granted; remaining 800/2 = 400 each for 500 & 900.
+        let g = fair_share(
+            mbps(1200.0),
+            &[mbps(100.0), mbps(300.0), mbps(500.0), mbps(900.0)],
+        );
+        assert!((g[0].as_mbps() - 100.0).abs() < 1e-6);
+        assert!((g[1].as_mbps() - 300.0).abs() < 1e-6);
+        assert!((g[2].as_mbps() - 400.0).abs() < 1e-6);
+        assert!((g[3].as_mbps() - 400.0).abs() < 1e-6);
+        assert!((total(&g) - 1200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grants_never_exceed_demand_or_capacity() {
+        let demands = [mbps(10.0), mbps(0.0), mbps(700.0), mbps(350.0), mbps(123.0)];
+        let cap = mbps(400.0);
+        let g = fair_share(cap, &demands);
+        for (grant, demand) in g.iter().zip(&demands) {
+            assert!(grant.as_bps() <= demand.as_bps() + 1e-6);
+        }
+        assert!(total(&g) <= cap.as_mbps() + 1e-6);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert!(fair_share(mbps(100.0), &[]).is_empty());
+        let g = fair_share(Rate::ZERO, &[mbps(5.0)]);
+        assert_eq!(g, vec![Rate::ZERO]);
+    }
+
+    #[test]
+    fn zero_demand_channel_gets_zero() {
+        let g = fair_share(mbps(100.0), &[mbps(0.0), mbps(500.0)]);
+        assert_eq!(g[0], Rate::ZERO);
+        assert!((g[1].as_mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_independence_of_grant_multiset() {
+        let a = fair_share(mbps(1000.0), &[mbps(900.0), mbps(100.0), mbps(300.0)]);
+        let b = fair_share(mbps(1000.0), &[mbps(100.0), mbps(300.0), mbps(900.0)]);
+        let mut am: Vec<i64> = a.iter().map(|r| r.as_bps() as i64).collect();
+        let mut bm: Vec<i64> = b.iter().map(|r| r.as_bps() as i64).collect();
+        am.sort_unstable();
+        bm.sort_unstable();
+        assert_eq!(am, bm);
+    }
+
+    #[test]
+    fn saturated_capacity_is_fully_used() {
+        let g = fair_share(mbps(1000.0), &[mbps(600.0), mbps(600.0), mbps(600.0)]);
+        assert!((total(&g) - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the flow-level network model.
+
+use crate::fair::fair_share;
+use crate::link::Link;
+use crate::packets::PacketModel;
+use crate::tcp::{congestion_efficiency, stream_ceiling, CongestionModel};
+use eadt_sim::{Bytes, Rate, SimDuration};
+use proptest::prelude::*;
+
+fn rate_vec() -> impl Strategy<Value = Vec<Rate>> {
+    prop::collection::vec((0.0f64..5_000.0).prop_map(Rate::from_mbps), 0..24)
+}
+
+proptest! {
+    #[test]
+    fn fair_share_grants_are_feasible(cap_mbps in 0.0f64..20_000.0, demands in rate_vec()) {
+        let cap = Rate::from_mbps(cap_mbps);
+        let grants = fair_share(cap, &demands);
+        prop_assert_eq!(grants.len(), demands.len());
+        let mut total = 0.0;
+        for (g, d) in grants.iter().zip(&demands) {
+            prop_assert!(g.as_bps() <= d.as_bps() + 1e-6, "grant above demand");
+            prop_assert!(g.as_bps() >= 0.0);
+            total += g.as_bps();
+        }
+        prop_assert!(total <= cap.as_bps() + 1e-3, "over capacity: {} > {}", total, cap.as_bps());
+    }
+
+    #[test]
+    fn fair_share_is_work_conserving(cap_mbps in 100.0f64..10_000.0, demands in rate_vec()) {
+        let cap = Rate::from_mbps(cap_mbps);
+        let grants = fair_share(cap, &demands);
+        let demand_total: f64 = demands.iter().map(|d| d.as_bps()).sum();
+        let grant_total: f64 = grants.iter().map(|g| g.as_bps()).sum();
+        // Either everyone is satisfied or the capacity is fully used.
+        let satisfied = grants.iter().zip(&demands).all(|(g, d)| (g.as_bps() - d.as_bps()).abs() < 1.0);
+        prop_assert!(
+            satisfied || (grant_total - cap.as_bps().min(demand_total)).abs() < 1e-3,
+            "neither satisfied nor saturated: grants {} cap {} demand {}",
+            grant_total, cap.as_bps(), demand_total
+        );
+    }
+
+    #[test]
+    fn fair_share_max_min_fairness(cap_mbps in 100.0f64..5_000.0, demands in rate_vec()) {
+        // No channel may receive more than another that wanted at least as
+        // much (the defining max-min property).
+        let cap = Rate::from_mbps(cap_mbps);
+        let grants = fair_share(cap, &demands);
+        for i in 0..demands.len() {
+            for j in 0..demands.len() {
+                if demands[i].as_bps() >= demands[j].as_bps() {
+                    prop_assert!(
+                        grants[i].as_bps() >= grants[j].as_bps() - 1e-3,
+                        "i wants more but got less: d_i={} d_j={} g_i={} g_j={}",
+                        demands[i].as_bps(), demands[j].as_bps(),
+                        grants[i].as_bps(), grants[j].as_bps()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_efficiency_is_bounded_and_monotone(
+        sat in 1u32..64, penalty in 0.0f64..0.2, floor in 0.1f64..0.9, streams in 0u32..256
+    ) {
+        let m = CongestionModel { saturation_streams: sat, overload_penalty: penalty, floor };
+        let e = congestion_efficiency(streams, &m);
+        prop_assert!(e <= 1.0 && e >= floor);
+        let e2 = congestion_efficiency(streams + 1, &m);
+        prop_assert!(e2 <= e + 1e-12);
+    }
+
+    #[test]
+    fn stream_ceiling_never_exceeds_bandwidth(
+        gbps in 0.1f64..100.0, rtt_ms in 0u64..500, buf_mb in 1u64..256
+    ) {
+        let link = Link::new(
+            Rate::from_gbps(gbps),
+            SimDuration::from_millis(rtt_ms),
+            Bytes::from_mb(buf_mb),
+        );
+        let r = stream_ceiling(&link);
+        prop_assert!(r.as_bps() <= link.bandwidth.as_bps() + 1e-6);
+        prop_assert!(r.as_bps() > 0.0);
+    }
+
+    #[test]
+    fn packets_monotone_in_bytes(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let m = PacketModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.total_packets(Bytes(lo)) <= m.total_packets(Bytes(hi)));
+        prop_assert!(m.data_packets(Bytes(hi)) >= hi / 1500);
+    }
+}

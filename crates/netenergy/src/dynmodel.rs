@@ -1,0 +1,189 @@
+//! The three dynamic-power families of Figure 8.
+//!
+//! Vendors do not publish power-vs-utilization curves, so §4 evaluates
+//! device power under three assumptions about how dynamic power scales with
+//! the traffic rate `u ∈ [0, 1]`:
+//!
+//! * **non-linear** — sub-linear (square-root) growth, after Mahadevan et
+//!   al.'s edge-switch measurements: pushing data faster is energy-cheaper
+//!   per byte, so *higher-throughput tuning saves network energy*;
+//! * **linear** — power proportional to rate: total transfer energy is
+//!   rate-independent;
+//! * **state-based** — power steps up at discrete rate thresholds (link
+//!   rate adaptation); its fitted regression line is linear, so it behaves
+//!   like the linear case in aggregate.
+
+use serde::{Deserialize, Serialize};
+
+/// How a device's dynamic power responds to its traffic rate.
+///
+/// ```
+/// use eadt_netenergy::DynamicPowerModel;
+///
+/// // §4's algebra: under the sub-linear model, quadrupling the transfer
+/// // rate halves the dynamic energy; under the linear model it is neutral.
+/// let slow = DynamicPowerModel::NonLinear.dynamic_energy_joules(0.25, 10.0, 100.0);
+/// let fast = DynamicPowerModel::NonLinear.dynamic_energy_joules(1.0, 10.0, 100.0);
+/// assert!((fast / slow - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DynamicPowerModel {
+    /// Sub-linear: `P(u) = √u`.
+    NonLinear,
+    /// Proportional: `P(u) = u`.
+    Linear,
+    /// Discrete steps at 25% / 50% / 75% / 100% of line rate.
+    StateBased,
+}
+
+impl DynamicPowerModel {
+    /// All three families in Figure 8 order.
+    pub const ALL: [DynamicPowerModel; 3] = [
+        DynamicPowerModel::NonLinear,
+        DynamicPowerModel::Linear,
+        DynamicPowerModel::StateBased,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DynamicPowerModel::NonLinear => "non-linear",
+            DynamicPowerModel::Linear => "linear",
+            DynamicPowerModel::StateBased => "state-based",
+        }
+    }
+
+    /// Fraction of the device's maximum *dynamic* power drawn at traffic
+    /// rate `u` (fraction of line rate, clamped to `[0, 1]`).
+    pub fn power_fraction(self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            DynamicPowerModel::NonLinear => u.sqrt(),
+            DynamicPowerModel::Linear => u,
+            DynamicPowerModel::StateBased => {
+                // Four power states; each covers a quarter of the rate range.
+                // The state ceilings lie on the y = u line so the fitted
+                // regression of this staircase is linear (§4).
+                if u <= 0.0 {
+                    0.0
+                } else if u <= 0.25 {
+                    0.25
+                } else if u <= 0.5 {
+                    0.5
+                } else if u <= 0.75 {
+                    0.75
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Dynamic energy (Joules) to move a fixed volume at rate fraction `u`,
+    /// given the device's maximum dynamic power `p_max_watts` and the time
+    /// `t_at_full_rate_secs` the transfer would take at full line rate.
+    ///
+    /// The transfer takes `t_full / u` seconds at rate `u`, drawing
+    /// `p_max × fraction(u)`, i.e. the §4 algebra:
+    /// non-linear → `E ∝ 1/√u` (faster is cheaper); linear → `E` constant.
+    pub fn dynamic_energy_joules(self, u: f64, p_max_watts: f64, t_at_full_rate_secs: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if u <= 0.0 {
+            return 0.0;
+        }
+        let duration = t_at_full_rate_secs / u;
+        p_max_watts * self.power_fraction(u) * duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_shared() {
+        for m in DynamicPowerModel::ALL {
+            assert_eq!(m.power_fraction(0.0), 0.0, "{}", m.label());
+            assert_eq!(m.power_fraction(1.0), 1.0, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn nonlinear_dominates_linear_in_between() {
+        // Figure 8: the non-linear curve sits above the linear one.
+        for i in 1..10 {
+            let u = i as f64 / 10.0;
+            assert!(
+                DynamicPowerModel::NonLinear.power_fraction(u)
+                    >= DynamicPowerModel::Linear.power_fraction(u)
+            );
+        }
+    }
+
+    #[test]
+    fn state_based_is_a_staircase() {
+        let m = DynamicPowerModel::StateBased;
+        assert_eq!(m.power_fraction(0.1), 0.25);
+        assert_eq!(m.power_fraction(0.25), 0.25);
+        assert_eq!(m.power_fraction(0.26), 0.5);
+        assert_eq!(m.power_fraction(0.6), 0.75);
+        assert_eq!(m.power_fraction(0.9), 1.0);
+    }
+
+    #[test]
+    fn all_fractions_are_monotone_and_bounded() {
+        for m in DynamicPowerModel::ALL {
+            let mut prev = 0.0;
+            for i in 0..=100 {
+                let u = i as f64 / 100.0;
+                let f = m.power_fraction(u);
+                assert!((0.0..=1.0).contains(&f));
+                assert!(f >= prev - 1e-12, "{} not monotone at {u}", m.label());
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_outside_unit_interval_clamp() {
+        assert_eq!(DynamicPowerModel::Linear.power_fraction(2.0), 1.0);
+        assert_eq!(DynamicPowerModel::NonLinear.power_fraction(-1.0), 0.0);
+    }
+
+    #[test]
+    fn paper_algebra_nonlinear_quadruple_rate_halves_energy() {
+        // §4: "when the data transfer rate is increased to 4d ... the total
+        // energy consumption becomes ... half of the base case."
+        let m = DynamicPowerModel::NonLinear;
+        let base = m.dynamic_energy_joules(0.25, 10.0, 100.0);
+        let fast = m.dynamic_energy_joules(1.0, 10.0, 100.0);
+        assert!((fast / base - 0.5).abs() < 1e-9, "ratio={}", fast / base);
+    }
+
+    #[test]
+    fn paper_algebra_linear_energy_is_rate_independent() {
+        let m = DynamicPowerModel::Linear;
+        let slow = m.dynamic_energy_joules(0.2, 10.0, 100.0);
+        let fast = m.dynamic_energy_joules(0.8, 10.0, 100.0);
+        assert!((slow - fast).abs() < 1e-9);
+        assert!((slow - 1000.0).abs() < 1e-9); // p_max × t_full
+    }
+
+    #[test]
+    fn state_based_energy_at_state_ceilings_matches_linear() {
+        let sb = DynamicPowerModel::StateBased;
+        let lin = DynamicPowerModel::Linear;
+        for u in [0.25, 0.5, 0.75, 1.0] {
+            let a = sb.dynamic_energy_joules(u, 10.0, 100.0);
+            let b = lin.dynamic_energy_joules(u, 10.0, 100.0);
+            assert!((a - b).abs() < 1e-9, "u={u}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_dynamic_energy() {
+        for m in DynamicPowerModel::ALL {
+            assert_eq!(m.dynamic_energy_joules(0.0, 10.0, 100.0), 0.0);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Network-infrastructure energy accounting (paper §4).
+//!
+//! The proposed algorithms tune end-system parameters, but §4 checks they
+//! do not backfire inside the network. Three pieces are reproduced:
+//!
+//! * [`device`] — the four device classes of **Table 1** with their
+//!   per-packet processing (`P_p`) and store-and-forward (`P_s−f`)
+//!   coefficients from Vishwanath et al., plus representative idle powers;
+//! * [`dynmodel`] — the three families of **Figure 8** relating traffic
+//!   rate to dynamic device power: non-linear (sub-linear), linear, and
+//!   state-based, with the §4 algebra (quadrupling the rate halves energy
+//!   under the square-root model and leaves it unchanged under the linear
+//!   one);
+//! * [`topology`] — the **Figure 9** device paths of the XSEDE, FutureGrid
+//!   and DIDCLAB testbeds;
+//! * [`account`] — **Eq. 4/5** energy accounting over a transfer and the
+//!   end-system vs. network decomposition of **Figure 10**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod device;
+pub mod dynmodel;
+pub mod topology;
+
+pub use account::{
+    decompose, path_breakdown, path_energy_joules, transfer_dynamic_energy, EnergyDecomposition,
+};
+pub use device::DeviceKind;
+pub use dynmodel::DynamicPowerModel;
+pub use topology::{didclab_path, futuregrid_path, xsede_path, NetworkPath};

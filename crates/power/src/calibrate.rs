@@ -1,0 +1,477 @@
+//! The one-time model-building phase (§2.2) and its accuracy experiment.
+//!
+//! The paper derives power-model coefficients by measuring a local server
+//! with a power meter at varying component load levels and regressing. We
+//! do not have a Watts Up Pro, so [`GroundTruth`] plays the role of the
+//! *real machine*: a mildly non-linear, noisy power function that the
+//! linear models can approximate but never match exactly. Calibration then
+//! proceeds exactly as in the paper:
+//!
+//! 1. sweep load levels per component, record (utilization, measured W);
+//! 2. least-squares fit → fine-grained coefficients (Eq. 1);
+//! 3. simple regression of power on CPU utilization alone → the CPU-only
+//!    model (Eq. 3), whose correlation the paper reports as 89.71%;
+//! 4. score both models (and the TDP-extended CPU model on a "different
+//!    vendor" machine) with MAPE over per-tool transfer profiles
+//!    (scp, rsync, ftp, bbcp, gridftp) — reproducing the "below 6%" /
+//!    "below 5–8%" error bands.
+
+use crate::model::{cpu_coefficient, CpuOnlyModel, FineGrainedModel, PowerModel};
+use eadt_endsys::Utilization;
+use eadt_sim::stats::{mape, LinearFit, MultiLinearFit};
+use eadt_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The synthetic "real machine": what a power meter would read.
+///
+/// Linear in each component like Eq. 1, plus a quadratic CPU term, a
+/// mild square-root flattening on disk, and Gaussian measurement noise —
+/// enough structure that a linear model has an irreducible few-percent
+/// error, as the paper observes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Scale on the Eq. 2 CPU curve.
+    pub cpu_scale: f64,
+    /// Quadratic CPU non-linearity strength.
+    pub cpu_quadratic: f64,
+    /// Memory Watts per %.
+    pub c_memory: f64,
+    /// Disk Watts per % (before flattening).
+    pub c_disk: f64,
+    /// NIC Watts per %.
+    pub c_nic: f64,
+    /// Measurement noise standard deviation, Watts.
+    pub noise_watts: f64,
+    /// Whole-machine scale (lets an "AMD" twin differ from the "Intel"
+    /// calibration box by more than the TDP ratio predicts).
+    pub machine_scale: f64,
+}
+
+impl GroundTruth {
+    /// The Intel-like calibration server of the paper's §2.2 experiments.
+    pub fn intel_server() -> Self {
+        GroundTruth {
+            cpu_scale: 1.0,
+            cpu_quadratic: 0.015,
+            c_memory: 0.03,
+            c_disk: 0.06,
+            c_nic: 0.05,
+            noise_watts: 0.25,
+            machine_scale: 1.0,
+        }
+    }
+
+    /// An AMD-like remote server: same shape, different scale — and *not*
+    /// exactly the Intel/AMD TDP ratio, so the TDP-extended model picks up
+    /// the extra 2–3% error the paper reports.
+    pub fn amd_server() -> Self {
+        GroundTruth {
+            machine_scale: 95.0 / 115.0 * 1.035,
+            ..GroundTruth::intel_server()
+        }
+    }
+
+    /// The noise-free expected power for a utilization snapshot.
+    pub fn expected_watts(&self, util: &Utilization) -> f64 {
+        let cpu_lin = self.cpu_scale * cpu_coefficient(util.active_cores) * util.cpu;
+        let cpu_quad = self.cpu_quadratic * (util.cpu / 100.0).powi(2) * util.cpu;
+        let disk = self.c_disk * util.disk * (1.0 - 0.15 * (util.disk / 100.0));
+        let p = cpu_lin + cpu_quad + self.c_memory * util.memory + disk + self.c_nic * util.nic;
+        p * self.machine_scale
+    }
+
+    /// One noisy "meter reading".
+    pub fn measure(&self, util: &Utilization, rng: &mut SimRng) -> f64 {
+        (self.expected_watts(util) + rng.normal(0.0, self.noise_watts)).max(0.0)
+    }
+}
+
+/// A transfer tool's characteristic utilization mix, per unit of load.
+///
+/// §2.2 evaluates the models "while transferring datasets using various
+/// application-layer transfer tools such as scp, rsync, ftp, bbcp and
+/// gridftp"; each stresses the components differently (scp burns CPU on
+/// crypto, bbcp/gridftp push the NIC and disk, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToolProfile {
+    /// Tool name.
+    pub name: &'static str,
+    /// CPU utilization per unit load (0–1 scale; load sweeps 0–100).
+    pub cpu_weight: f64,
+    /// Memory utilization per unit load.
+    pub mem_weight: f64,
+    /// Disk utilization per unit load.
+    pub disk_weight: f64,
+    /// NIC utilization per unit load.
+    pub nic_weight: f64,
+}
+
+impl ToolProfile {
+    /// The five tools of the paper's accuracy experiment.
+    ///
+    /// scp and rsync burn relatively more CPU per unit of I/O (userspace
+    /// crypto/delta work), so their power-per-CPU-point ratio sits slightly
+    /// off the pooled CPU-only fit — the reason the paper's CPU model is a
+    /// couple of points worse on them than on ftp/bbcp/gridftp.
+    pub fn paper_tools() -> [ToolProfile; 5] {
+        [
+            ToolProfile {
+                name: "scp",
+                cpu_weight: 0.95,
+                mem_weight: 0.35,
+                disk_weight: 0.60,
+                nic_weight: 0.78,
+            },
+            ToolProfile {
+                name: "rsync",
+                cpu_weight: 0.90,
+                mem_weight: 0.40,
+                disk_weight: 0.62,
+                nic_weight: 0.70,
+            },
+            ToolProfile {
+                name: "ftp",
+                cpu_weight: 0.60,
+                mem_weight: 0.30,
+                disk_weight: 0.55,
+                nic_weight: 0.46,
+            },
+            ToolProfile {
+                name: "bbcp",
+                cpu_weight: 0.68,
+                mem_weight: 0.40,
+                disk_weight: 0.60,
+                nic_weight: 0.54,
+            },
+            ToolProfile {
+                name: "gridftp",
+                cpu_weight: 0.72,
+                mem_weight: 0.45,
+                disk_weight: 0.65,
+                nic_weight: 0.58,
+            },
+        ]
+    }
+
+    /// Utilization snapshot at `load` (0–100) on a machine with
+    /// `active_cores` busy cores.
+    pub fn utilization_at(&self, load: f64, active_cores: u32) -> Utilization {
+        let l = load.clamp(0.0, 100.0);
+        Utilization {
+            cpu: (self.cpu_weight * l).clamp(0.0, 100.0),
+            memory: (self.mem_weight * l).clamp(0.0, 100.0),
+            disk: (self.disk_weight * l).clamp(0.0, 100.0),
+            nic: (self.nic_weight * l).clamp(0.0, 100.0),
+            active_cores,
+        }
+    }
+
+    /// Like [`ToolProfile::utilization_at`], with independent per-component
+    /// jitter. Real transfers do not move all four components in lockstep —
+    /// disk flushes, ACK bursts and cache pressure each wander on their own
+    /// — and that decorrelation is exactly why the paper's CPU-only
+    /// predictor correlates at 89.71% rather than ~100%.
+    pub fn utilization_at_jittered(
+        &self,
+        load: f64,
+        active_cores: u32,
+        rng: &mut SimRng,
+    ) -> Utilization {
+        let l = load.clamp(0.0, 100.0);
+        // CPU tracks the offered load tightly; the I/O components wander
+        // more (flush bursts, ACK clumping, cache pressure).
+        let mut wander = |w: f64, sigma: f64| (w * l * rng.normal(1.0, sigma)).clamp(0.0, 100.0);
+        let mut util = Utilization {
+            cpu: wander(self.cpu_weight, 0.08),
+            memory: wander(self.mem_weight, 0.25),
+            disk: wander(self.disk_weight, 0.25),
+            nic: wander(self.nic_weight, 0.25),
+            active_cores,
+        };
+        // Occasional I/O bursts (page-cache flushes, ACK clumps): brief,
+        // large excursions that CPU utilization does not track. These are
+        // what pulls the CPU↔power correlation down to the paper's ~90%
+        // while barely moving the mean absolute error.
+        if rng.chance(0.08) {
+            util.disk = (util.disk * 2.5 + 25.0).min(100.0);
+            util.nic = (util.nic * 2.0 + 10.0).min(100.0);
+        }
+        util
+    }
+
+    /// A deterministic load trace for this tool: a ramp up, a sustained
+    /// plateau with jitter, and a ramp down — shaped like a real transfer.
+    pub fn load_trace(&self, steps: usize, rng: &mut SimRng) -> Vec<f64> {
+        let mut out = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let phase = i as f64 / steps.max(1) as f64;
+            let envelope = if phase < 0.1 {
+                phase / 0.1
+            } else if phase > 0.9 {
+                (1.0 - phase) / 0.1
+            } else {
+                1.0
+            };
+            let jitter = rng.normal(0.0, 4.0);
+            out.push((85.0 * envelope + jitter).clamp(0.0, 100.0));
+        }
+        out
+    }
+}
+
+/// Everything the model-building phase produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationOutcome {
+    /// The fitted fine-grained model.
+    pub fine_grained: FineGrainedModel,
+    /// The fitted CPU-only model (local machine).
+    pub cpu_only: CpuOnlyModel,
+    /// R² of the fine-grained fit on the calibration sweep.
+    pub fine_r_squared: f64,
+    /// Pearson correlation between CPU utilization and measured power on
+    /// the calibration sweep (the paper's 89.71% figure).
+    pub cpu_power_correlation: f64,
+}
+
+/// Runs the one-time model-building phase against `truth`.
+///
+/// `tdp` is the local server's CPU TDP (the anchor for later extension) and
+/// `cores` the number of cores kept busy during calibration.
+pub fn build_models(truth: &GroundTruth, tdp: f64, cores: u32, seed: u64) -> CalibrationOutcome {
+    let mut rng = SimRng::new(seed).fork("power-calibration");
+    // Phase 1 — component sweep for the fine-grained model: vary each
+    // component across its range in mixed combinations so the regression
+    // can separate the four coefficients.
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::new();
+    let levels = [0.0, 12.5, 25.0, 37.5, 50.0, 62.5, 75.0, 87.5, 100.0];
+    for (i, &cpu) in levels.iter().enumerate() {
+        for (j, &other) in levels.iter().enumerate() {
+            // Two interleaved lattices decorrelate the components.
+            let mem = levels[(i + j) % levels.len()];
+            let disk = other;
+            let nic = levels[(i * 2 + j) % levels.len()];
+            let util = Utilization {
+                cpu,
+                memory: mem,
+                disk,
+                nic,
+                active_cores: cores,
+            };
+            let watts = truth.measure(&util, &mut rng);
+            rows.push((util.as_vector().to_vec(), watts));
+        }
+    }
+    let fit = MultiLinearFit::fit(&rows, false).expect("calibration sweep is well-conditioned");
+    let c_cpu_at_cal = fit.coefficients[0];
+    let fine_grained = FineGrainedModel {
+        cpu_scale: c_cpu_at_cal / cpu_coefficient(cores),
+        c_memory: fit.coefficients[1].max(0.0),
+        c_disk: fit.coefficients[2].max(0.0),
+        c_nic: fit.coefficients[3].max(0.0),
+    };
+    // Phase 2 — the CPU-only model is fitted on *transfer* observations
+    // (pooled over the tool profiles), the way the paper derives it: during
+    // real transfers disk and NIC activity co-vary with CPU, so the single
+    // CPU predictor absorbs their power. A through-origin fit matches the
+    // intercept-free form of Eq. 3.
+    let mut cpu_xs = Vec::new();
+    let mut cpu_ys = Vec::new();
+    for tool in ToolProfile::paper_tools() {
+        // Transfers spend most of their life on the load plateau, so the
+        // observations cluster there instead of sweeping 0–100; combined
+        // with the per-component wander this is what pushes the CPU↔power
+        // correlation into the ~90% band the paper reports.
+        let trace = tool.load_trace(60, &mut rng);
+        for load in trace {
+            if load < 5.0 {
+                continue;
+            }
+            let util = tool.utilization_at_jittered(load, cores, &mut rng);
+            let watts = truth.measure(&util, &mut rng);
+            cpu_xs.push(util.cpu);
+            cpu_ys.push(watts);
+        }
+    }
+    let sxy: f64 = cpu_xs.iter().zip(&cpu_ys).map(|(x, y)| x * y).sum();
+    let sxx: f64 = cpu_xs.iter().map(|x| x * x).sum();
+    let origin_slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let cpu_only = CpuOnlyModel::local(origin_slope / cpu_coefficient(cores), tdp);
+    let cpu_fit = LinearFit::fit(&cpu_xs, &cpu_ys).expect("cpu sweep spans multiple levels");
+    CalibrationOutcome {
+        fine_grained,
+        cpu_only,
+        fine_r_squared: fit.r_squared,
+        cpu_power_correlation: cpu_fit.r,
+    }
+}
+
+/// Scores `model` against `truth` on a tool's transfer trace; returns the
+/// mean absolute percentage error.
+pub fn evaluate_model(
+    model: &dyn PowerModel,
+    tool: &ToolProfile,
+    truth: &GroundTruth,
+    cores: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = SimRng::new(seed).fork("power-evaluation").fork(tool.name);
+    let trace = tool.load_trace(240, &mut rng);
+    let mut actual = Vec::with_capacity(trace.len());
+    let mut predicted = Vec::with_capacity(trace.len());
+    for load in trace {
+        if load < 5.0 {
+            continue; // idle tails are not part of the transfer
+        }
+        let util = tool.utilization_at_jittered(load, cores, &mut rng);
+        actual.push(truth.measure(&util, &mut rng));
+        predicted.push(model.power_watts(&util));
+    }
+    mape(&actual, &predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORES: u32 = 4;
+    const INTEL_TDP: f64 = 115.0;
+    const AMD_TDP: f64 = 95.0;
+
+    fn calibrated() -> CalibrationOutcome {
+        build_models(&GroundTruth::intel_server(), INTEL_TDP, CORES, 42)
+    }
+
+    #[test]
+    fn calibration_recovers_coefficients_approximately() {
+        let out = calibrated();
+        let truth = GroundTruth::intel_server();
+        assert!(
+            (out.fine_grained.c_memory - truth.c_memory).abs() < 0.015,
+            "c_mem={}",
+            out.fine_grained.c_memory
+        );
+        assert!(
+            (out.fine_grained.c_nic - truth.c_nic).abs() < 0.015,
+            "c_nic={}",
+            out.fine_grained.c_nic
+        );
+        // Disk has the flattening non-linearity: fitted value lands below
+        // the raw coefficient but in its neighbourhood.
+        assert!(
+            out.fine_grained.c_disk > 0.03 && out.fine_grained.c_disk < 0.07,
+            "c_disk={}",
+            out.fine_grained.c_disk
+        );
+        assert!(out.fine_r_squared > 0.97, "r2={}", out.fine_r_squared);
+    }
+
+    #[test]
+    fn cpu_power_correlation_is_high_but_imperfect() {
+        // The paper reports 89.71% on real transfers. Our pooled per-tool
+        // traces scatter around a common slope, so the correlation is high
+        // but not perfect.
+        let out = calibrated();
+        assert!(
+            out.cpu_power_correlation > 0.85,
+            "r={}",
+            out.cpu_power_correlation
+        );
+        assert!(
+            out.cpu_power_correlation < 0.999,
+            "r={}",
+            out.cpu_power_correlation
+        );
+    }
+
+    #[test]
+    fn fine_grained_error_is_below_6_percent() {
+        let out = calibrated();
+        let truth = GroundTruth::intel_server();
+        for tool in ToolProfile::paper_tools() {
+            let e = evaluate_model(&out.fine_grained, &tool, &truth, CORES, 7);
+            assert!(e < 6.0, "{}: fine-grained error {e:.2}% ≥ 6%", tool.name);
+        }
+    }
+
+    #[test]
+    fn cpu_only_is_worse_than_fine_grained_on_average() {
+        let out = calibrated();
+        let truth = GroundTruth::intel_server();
+        let mut fine_total = 0.0;
+        let mut cpu_total = 0.0;
+        for tool in ToolProfile::paper_tools() {
+            fine_total += evaluate_model(&out.fine_grained, &tool, &truth, CORES, 7);
+            cpu_total += evaluate_model(&out.cpu_only, &tool, &truth, CORES, 7);
+        }
+        assert!(
+            cpu_total > fine_total,
+            "cpu-only ({cpu_total:.2}) should trail fine-grained ({fine_total:.2})"
+        );
+    }
+
+    #[test]
+    fn tdp_extension_adds_a_few_percent_error() {
+        let out = calibrated();
+        let amd_truth = GroundTruth::amd_server();
+        let extended = out.cpu_only.extend_to(AMD_TDP);
+        let mut local_total = 0.0;
+        let mut remote_total = 0.0;
+        for tool in ToolProfile::paper_tools() {
+            let local_err =
+                evaluate_model(&out.cpu_only, &tool, &GroundTruth::intel_server(), CORES, 7);
+            let remote_err = evaluate_model(&extended, &tool, &amd_truth, CORES, 7);
+            // Extended model degrades but stays in the paper's band (< ~10%).
+            assert!(
+                remote_err < 12.0,
+                "{}: extended error {remote_err:.2}%",
+                tool.name
+            );
+            local_total += local_err;
+            remote_total += remote_err;
+        }
+        // On average the extension cannot beat the locally-fitted model by a
+        // wide margin — per-tool biases may cancel the vendor mismatch, but
+        // not systematically (paper: extension costs ~2–3 points).
+        assert!(remote_total > local_total - 5.0,
+            "extension should not systematically improve (remote {remote_total:.2} vs local {local_total:.2})");
+    }
+
+    #[test]
+    fn ground_truth_is_deterministic_per_seed() {
+        let truth = GroundTruth::intel_server();
+        let util = ToolProfile::paper_tools()[0].utilization_at(50.0, CORES);
+        let mut r1 = SimRng::new(3);
+        let mut r2 = SimRng::new(3);
+        assert_eq!(truth.measure(&util, &mut r1), truth.measure(&util, &mut r2));
+    }
+
+    #[test]
+    fn load_trace_has_ramp_and_plateau() {
+        let mut rng = SimRng::new(5);
+        let trace = ToolProfile::paper_tools()[4].load_trace(100, &mut rng);
+        assert_eq!(trace.len(), 100);
+        assert!(trace[0] < 30.0, "starts low: {}", trace[0]);
+        let mid: f64 = trace[40..60].iter().sum::<f64>() / 20.0;
+        assert!(mid > 60.0, "plateau is high: {mid}");
+        for v in trace {
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn utilization_at_clamps() {
+        let t = ToolProfile::paper_tools()[0];
+        let u = t.utilization_at(500.0, CORES);
+        assert!(u.cpu <= 100.0);
+        let z = t.utilization_at(-5.0, CORES);
+        assert_eq!(z.cpu, 0.0);
+    }
+
+    #[test]
+    fn amd_truth_differs_from_tdp_ratio() {
+        // The deliberate 3.5% vendor mismatch that the TDP extension
+        // cannot capture.
+        let scale = GroundTruth::amd_server().machine_scale;
+        assert!((scale - AMD_TDP / INTEL_TDP).abs() > 0.01);
+    }
+}

@@ -1,0 +1,147 @@
+//! Energy metering: Watts over simulated time → Joules.
+
+use eadt_sim::{SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates a power time series and integrates it into energy.
+///
+/// The engine records one sample per slice per server; total transfer
+/// energy is the trapezoidal integral, exactly how the paper converts its
+/// per-interval power predictions into the Joule figures of Figures 2–7.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    series: TimeSeries,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        EnergyMeter {
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Records an instantaneous power reading.
+    pub fn record(&mut self, time: SimTime, watts: f64) {
+        self.series.push(time, watts.max(0.0));
+    }
+
+    /// Total energy in Joules over everything recorded.
+    pub fn energy_joules(&self) -> f64 {
+        self.series.integrate()
+    }
+
+    /// Energy in Joules accumulated between two instants.
+    pub fn energy_between(&self, from: SimTime, to: SimTime) -> f64 {
+        self.series.integrate_between(from, to)
+    }
+
+    /// Time-weighted mean power in Watts.
+    pub fn mean_watts(&self) -> f64 {
+        self.series.time_weighted_mean()
+    }
+
+    /// The underlying samples.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Merges another meter's samples summed into a fresh series, assuming
+    /// both meters were sampled at identical instants (the engine guarantees
+    /// this for the per-server meters of one run).
+    ///
+    /// # Panics
+    /// Panics if the two meters have different sample counts or timestamps.
+    pub fn sum_aligned(meters: &[&EnergyMeter]) -> EnergyMeter {
+        let mut out = EnergyMeter::new();
+        let Some(first) = meters.first() else {
+            return out;
+        };
+        let n = first.series.len();
+        for m in meters {
+            assert_eq!(m.series.len(), n, "meters must be sampled in lockstep");
+        }
+        for i in 0..n {
+            let t = first.series.samples()[i].time;
+            let mut total = 0.0;
+            for m in meters {
+                let s = m.series.samples()[i];
+                assert_eq!(s.time, t, "meters must share timestamps");
+                total += s.value;
+            }
+            out.record(t, total);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_sim::SimTime;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn empty_meter_has_zero_energy() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.energy_joules(), 0.0);
+        assert_eq!(m.mean_watts(), 0.0);
+    }
+
+    #[test]
+    fn constant_power_energy() {
+        let mut m = EnergyMeter::new();
+        for i in 0..=100 {
+            m.record(t(i as f64), 150.0);
+        }
+        assert!((m.energy_joules() - 15_000.0).abs() < 1e-6);
+        assert!((m.mean_watts() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_power_is_clamped() {
+        let mut m = EnergyMeter::new();
+        m.record(t(0.0), -50.0);
+        m.record(t(1.0), -50.0);
+        assert_eq!(m.energy_joules(), 0.0);
+    }
+
+    #[test]
+    fn energy_between_window() {
+        let mut m = EnergyMeter::new();
+        for i in 0..=10 {
+            m.record(t(i as f64), 100.0);
+        }
+        assert!((m.energy_between(t(2.0), t(5.0)) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_aligned_adds_sender_and_receiver() {
+        let mut src = EnergyMeter::new();
+        let mut dst = EnergyMeter::new();
+        for i in 0..=10 {
+            src.record(t(i as f64), 60.0);
+            dst.record(t(i as f64), 40.0);
+        }
+        let total = EnergyMeter::sum_aligned(&[&src, &dst]);
+        assert!((total.energy_joules() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep")]
+    fn sum_aligned_rejects_mismatched_lengths() {
+        let mut a = EnergyMeter::new();
+        let b = EnergyMeter::new();
+        a.record(t(0.0), 1.0);
+        EnergyMeter::sum_aligned(&[&a, &b]);
+    }
+
+    #[test]
+    fn sum_of_none_is_empty() {
+        let total = EnergyMeter::sum_aligned(&[]);
+        assert_eq!(total.energy_joules(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal discrete-event queue.
+//!
+//! The transfer engine is primarily time-sliced, but control-plane actions —
+//! probe-window boundaries, scheduled concurrency changes, SLA re-checks —
+//! are naturally discrete events. [`EventQueue`] orders them by simulated
+//! time with a stable FIFO tie-break so that two events scheduled for the
+//! same instant fire in the order they were scheduled (determinism again).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of type `E` scheduled at a simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone sequence number; breaks ties FIFO.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering for earliest-first.
+impl<E: Eq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An earliest-first event queue with FIFO tie-breaking.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Removes and returns the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "early");
+        q.schedule(t(100), "late");
+        assert_eq!(q.pop_due(t(5)), None);
+        assert_eq!(q.pop_due(t(10)).unwrap().event, "early");
+        assert_eq!(q.pop_due(t(50)), None);
+        assert_eq!(q.pop_due(t(100)).unwrap().event, "late");
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(7), 1u32);
+        q.schedule(t(3), 2u32);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1u32);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        q.schedule(t(15), 3);
+        q.schedule(t(5), 4); // in the "past" — still fine, earliest-first
+        assert_eq!(q.pop().unwrap().event, 4);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+}

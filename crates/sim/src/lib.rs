@@ -1,0 +1,42 @@
+//! Simulation kernel for the EADT (Energy-Aware Data Transfer) workspace.
+//!
+//! This crate provides the deterministic foundation every other crate builds
+//! on:
+//!
+//! * [`time`] — fixed-point simulated time ([`SimTime`], [`SimDuration`])
+//!   with microsecond resolution, immune to floating-point drift across long
+//!   transfers.
+//! * [`units`] — strongly typed data-size and rate units ([`Bytes`],
+//!   [`Rate`]) plus bandwidth-delay-product helpers.
+//! * [`rng`] — a seedable, splittable deterministic random source so every
+//!   experiment is exactly reproducible.
+//! * [`event`] — a minimal discrete-event queue used by the transfer engine
+//!   for control-channel bookkeeping.
+//! * [`series`] — append-only time series with trapezoidal integration
+//!   (power → energy) and resampling.
+//! * [`stats`] — summary statistics and ordinary least squares regression
+//!   (simple and multiple), used to fit the paper's power-model
+//!   coefficients during calibration.
+//!
+//! Nothing in this crate knows about networks, servers or transfers; it is a
+//! generic, allocation-conscious kernel in the spirit of the HPC guides
+//! (pre-sized `Vec`s, no hashing in hot paths, no wall-clock access).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+#[cfg(test)]
+mod proptests;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{LinearFit, MultiLinearFit, Summary};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bytes, Rate};

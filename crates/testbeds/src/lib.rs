@@ -1,0 +1,441 @@
+//! The three evaluation testbeds (paper Figures 1 and 9).
+//!
+//! | Testbed    | Path                        | BW      | RTT    | TCP buf |
+//! |------------|-----------------------------|---------|--------|---------|
+//! | XSEDE      | Stampede (TACC) → Gordon (SDSC) | 10 Gbps | 40 ms  | 32 MB |
+//! | FutureGrid | Alamo (TACC) → Hotel (UChicago) | 1 Gbps  | 28 ms  | 32 MB |
+//! | DIDCLAB    | WS9 → WS6 (LAN)             | 1 Gbps  | ~0.2 ms| 32 MB   |
+//!
+//! Each [`Environment`] bundles the link, the site hardware (XSEDE sites
+//! run four 4-core data-transfer nodes behind striped storage; the DIDCLAB
+//! workstations have a single disk whose throughput *degrades* under
+//! concurrent access), the calibrated utilization/power coefficients, the
+//! engine tuning constants, the Figure 9 device path, and the paper's
+//! dataset for that link speed.
+//!
+//! Numeric calibration note: hardware specs follow Figure 1; the
+//! software-tuning constants (per-stream achievable rate, per-file server
+//! overhead) are calibrated so the *shapes* of Figures 2–7 reproduce —
+//! they are documented per testbed below.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eadt_dataset::{paper_dataset_10g, paper_dataset_1g, Dataset, DatasetMix, PartitionConfig};
+use eadt_endsys::{DiskSubsystem, ServerSpec, Site, UtilizationCoeffs};
+use eadt_net::link::Link;
+use eadt_net::packets::PacketModel;
+use eadt_net::tcp::CongestionModel;
+use eadt_netenergy::{didclab_path, futuregrid_path, xsede_path, NetworkPath};
+use eadt_power::FineGrainedModel;
+use eadt_sim::{Bytes, Rate, SimDuration};
+use eadt_transfer::{EngineTuning, TransferEnv};
+use serde::{Deserialize, Serialize};
+
+/// A complete evaluation environment: where the transfer runs and what it
+/// moves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Testbed name as used in the paper's figures.
+    pub name: String,
+    /// The simulated world the engine runs in.
+    pub env: TransferEnv,
+    /// The network-device path of Figure 9 (for §4 energy accounting).
+    pub path: NetworkPath,
+    /// The dataset specification the paper uses on this link speed.
+    pub dataset_spec: DatasetMix,
+    /// The concurrency levels swept in Figures 2–4.
+    pub sweep_levels: Vec<u32>,
+    /// BDP-relative partition thresholds the tuned algorithms use on this
+    /// path. High-BDP paths classify against the BDP directly; on low-BDP
+    /// paths (FutureGrid's 3.5 MB) the operational thresholds sit well
+    /// above the BDP, as in the authors' client.
+    pub partition: PartitionConfig,
+    /// The reference concurrency at which ProMC hits its maximum throughput
+    /// (12 for the WAN testbeds, 1 for the LAN — §3's SLA baseline).
+    pub reference_concurrency: u32,
+}
+
+impl Environment {
+    /// Generates this testbed's dataset, deterministic in `seed`.
+    pub fn dataset(&self, seed: u64) -> Dataset {
+        self.dataset_spec.generate(seed)
+    }
+
+    /// Sanity-checks a (possibly hand-edited) environment, returning one
+    /// message per problem found. An empty result means the environment is
+    /// usable; the CLI runs this on every `--env-file` load so a typo in a
+    /// JSON file fails loudly instead of producing nonsense Joules.
+    pub fn validate(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        if self.env.link.bandwidth.is_zero() {
+            issues.push("link bandwidth is zero".into());
+        }
+        if self.env.link.tcp_buffer.is_zero() {
+            issues.push("TCP buffer is zero".into());
+        }
+        if self.env.link.mtu.is_zero() {
+            issues.push("MTU is zero".into());
+        }
+        for (side, site) in [("source", &self.env.src), ("destination", &self.env.dst)] {
+            for srv in &site.servers {
+                if srv.nic.is_zero() {
+                    issues.push(format!("{side} server '{}' has a zero-rate NIC", srv.name));
+                }
+                if srv.disk.peak_rate().is_zero() {
+                    issues.push(format!("{side} server '{}' has a zero-rate disk", srv.name));
+                }
+                if srv.cpu_tdp_watts <= 0.0 {
+                    issues.push(format!("{side} server '{}' has non-positive TDP", srv.name));
+                }
+            }
+        }
+        if self.env.tuning.wan_stream_cap.is_zero() {
+            issues.push("per-stream achievable rate is zero".into());
+        }
+        if self.env.tuning.slice.is_zero() {
+            issues.push("slice length is zero".into());
+        }
+        if self.env.tuning.max_duration <= self.env.tuning.slice {
+            issues.push("max_duration must exceed the slice length".into());
+        }
+        if self.partition.small_fraction >= self.partition.large_fraction {
+            issues.push("partition small_fraction must be below large_fraction".into());
+        }
+        if self.sweep_levels.is_empty() {
+            issues.push("sweep_levels is empty".into());
+        }
+        if self.reference_concurrency == 0 {
+            issues.push("reference_concurrency is zero".into());
+        }
+        issues
+    }
+}
+
+/// The power model shared by the testbeds: the Eq. 2 CPU curve scaled to a
+/// transfer node, with secondary coefficients from the §2.2 calibration.
+/// CPU-dominated, so total power tracks how hard the transfer works the
+/// end systems rather than only how long it runs.
+fn testbed_power_model() -> FineGrainedModel {
+    FineGrainedModel {
+        cpu_scale: 2.2,
+        c_memory: 0.06,
+        c_disk: 0.12,
+        c_nic: 0.10,
+    }
+}
+
+/// XSEDE: Stampede (TACC) → Gordon (SDSC), 10 Gbps, 40 ms RTT.
+///
+/// Four data-transfer nodes per site (the reason GO's round-robin channel
+/// spreading costs energy), 4 cores each, Lustre-like striped storage.
+/// Calibration: single-stream achievable rate 1.5 Gbps (loss-limited AIMD
+/// on the shared backbone), 100 ms per-file server overhead (the measured
+/// small-file penalty of GridFTP on Lustre-backed DTNs).
+pub fn xsede() -> Environment {
+    let server = ServerSpec::new(
+        "dtn",
+        4,
+        115.0,
+        Rate::from_gbps(10.0),
+        DiskSubsystem::Array {
+            per_access: Rate::from_gbps(2.4),
+            aggregate: Rate::from_gbps(7.6),
+        },
+    );
+    let env = TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(10.0),
+            SimDuration::from_millis(40),
+            Bytes::from_mb(32),
+        ),
+        src: Site::new("Stampede (TACC)", vec![server.clone(); 4]),
+        dst: Site::new("Gordon (SDSC)", vec![server; 4]),
+        util: UtilizationCoeffs::default(),
+        power: testbed_power_model(),
+        congestion: CongestionModel {
+            saturation_streams: 20,
+            overload_penalty: 0.025,
+            floor: 0.6,
+        },
+        packets: PacketModel::default(),
+        tuning: EngineTuning {
+            wan_stream_cap: Rate::from_gbps(1.5),
+            proc_channel_cap: Rate::from_gbps(2.0),
+            per_file_overhead: SimDuration::from_millis(100),
+            slice: SimDuration::from_millis(100),
+            max_duration: SimDuration::from_secs(24 * 3600),
+        },
+        faults: None,
+        background: None,
+        estimator: None,
+    };
+    Environment {
+        name: "XSEDE".into(),
+        env,
+        path: xsede_path(),
+        dataset_spec: paper_dataset_10g(),
+        sweep_levels: vec![1, 2, 4, 6, 8, 10, 12],
+        partition: PartitionConfig::default(),
+        reference_concurrency: 12,
+    }
+}
+
+/// FutureGrid: Alamo (TACC) → Hotel (UChicago), 1 Gbps, 28 ms RTT.
+///
+/// Two data-transfer nodes per site, 4 cores each, modest RAID storage.
+/// Calibration: single-stream achievable rate 300 Mbps, so ~4 channels
+/// saturate the 1 Gbps link — the regime where every multi-channel
+/// algorithm converges in Figure 3a.
+pub fn futuregrid() -> Environment {
+    let server = ServerSpec::new(
+        "dtn",
+        4,
+        95.0,
+        Rate::from_gbps(1.0),
+        DiskSubsystem::Array {
+            per_access: Rate::from_mbps(600.0),
+            aggregate: Rate::from_gbps(2.0),
+        },
+    );
+    let env = TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(1.0),
+            SimDuration::from_millis(28),
+            Bytes::from_mb(32),
+        ),
+        src: Site::new("Alamo (TACC)", vec![server.clone(); 2]),
+        dst: Site::new("Hotel (UChicago)", vec![server; 2]),
+        util: UtilizationCoeffs::default(),
+        power: testbed_power_model(),
+        congestion: CongestionModel {
+            saturation_streams: 16,
+            overload_penalty: 0.015,
+            floor: 0.6,
+        },
+        packets: PacketModel::default(),
+        tuning: EngineTuning {
+            wan_stream_cap: Rate::from_mbps(300.0),
+            proc_channel_cap: Rate::from_gbps(1.0),
+            per_file_overhead: SimDuration::from_millis(100),
+            slice: SimDuration::from_millis(100),
+            max_duration: SimDuration::from_secs(24 * 3600),
+        },
+        faults: None,
+        background: None,
+        estimator: None,
+    };
+    Environment {
+        name: "FutureGrid".into(),
+        env,
+        path: futuregrid_path(),
+        dataset_spec: paper_dataset_1g(),
+        sweep_levels: vec![1, 2, 4, 6, 8, 10, 12],
+        // 3.5 MB BDP: the operational class cuts sit at 10× / 100× BDP
+        // (35 MB / 350 MB) — files below a few BDPs all behave "small".
+        partition: PartitionConfig {
+            small_fraction: 10.0,
+            large_fraction: 100.0,
+            ..PartitionConfig::default()
+        },
+        reference_concurrency: 12,
+    }
+}
+
+/// DIDCLAB: WS9 → WS6 over a departmental LAN, 1 Gbps, sub-millisecond RTT.
+///
+/// Single workstations with one disk each; concurrent accesses *degrade*
+/// aggregate disk throughput (Figure 4's inverted shape). No loss on the
+/// LAN, so a single stream can fill the wire — all tuning gains vanish and
+/// concurrency only hurts.
+pub fn didclab() -> Environment {
+    let ws = ServerSpec::new(
+        "ws",
+        4,
+        84.0,
+        Rate::from_gbps(1.0),
+        DiskSubsystem::Single {
+            rate: Rate::from_mbps(700.0),
+            contention_penalty: 0.18,
+        },
+    );
+    let env = TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(1.0),
+            SimDuration::from_micros(200),
+            Bytes::from_mb(32),
+        ),
+        src: Site::new("WS9", vec![ws.clone()]),
+        dst: Site::new("WS6", vec![ws]),
+        // Workstation utilization is dominated by moving bytes (user-space
+        // copies on slow cores); thread bookkeeping is comparatively cheap.
+        util: UtilizationCoeffs {
+            base_cpu: 0.5,
+            per_channel_cpu: 0.5,
+            per_stream_cpu: 1.5,
+            cpu_per_gbps: 10.0,
+            oversub_penalty: 0.05,
+            mem_base: 0.5,
+            mem_per_gbps: 4.0,
+            mem_per_stream: 0.1,
+        },
+        power: FineGrainedModel {
+            cpu_scale: 1.3,
+            c_memory: 0.02,
+            c_disk: 0.02,
+            c_nic: 0.02,
+        },
+        congestion: CongestionModel {
+            saturation_streams: 16,
+            overload_penalty: 0.01,
+            floor: 0.7,
+        },
+        packets: PacketModel::default(),
+        tuning: EngineTuning {
+            wan_stream_cap: Rate::from_gbps(1.0),
+            proc_channel_cap: Rate::from_gbps(1.0),
+            per_file_overhead: SimDuration::from_millis(30),
+            slice: SimDuration::from_millis(100),
+            max_duration: SimDuration::from_secs(24 * 3600),
+        },
+        faults: None,
+        background: None,
+        estimator: None,
+    };
+    Environment {
+        name: "DIDCLAB".into(),
+        env,
+        path: didclab_path(),
+        dataset_spec: paper_dataset_1g(),
+        sweep_levels: vec![1, 2, 4, 6, 8, 10, 12],
+        // 25 KB BDP: every file is "Large"; tuning has nothing to win.
+        partition: PartitionConfig::default(),
+        reference_concurrency: 1,
+    }
+}
+
+/// All three testbeds in paper order.
+pub fn all() -> Vec<Environment> {
+    vec![xsede(), futuregrid(), didclab()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xsede_matches_figure_1() {
+        let t = xsede();
+        assert_eq!(t.env.link.bandwidth, Rate::from_gbps(10.0));
+        assert_eq!(t.env.link.rtt, SimDuration::from_millis(40));
+        assert_eq!(t.env.link.tcp_buffer, Bytes::from_mb(32));
+        assert_eq!(t.env.link.bdp(), Bytes::from_mb(50));
+        assert_eq!(t.env.src.server_count(), 4);
+        assert_eq!(t.env.src.servers[0].cores, 4);
+    }
+
+    #[test]
+    fn futuregrid_matches_figure_1() {
+        let t = futuregrid();
+        assert_eq!(t.env.link.bandwidth, Rate::from_gbps(1.0));
+        assert_eq!(t.env.link.rtt, SimDuration::from_millis(28));
+        assert_eq!(t.env.link.bdp(), Bytes::from_mb_f64(3.5));
+    }
+
+    #[test]
+    fn didclab_is_a_single_disk_lan() {
+        let t = didclab();
+        assert_eq!(t.env.src.server_count(), 1);
+        assert!(matches!(
+            t.env.src.servers[0].disk,
+            DiskSubsystem::Single { .. }
+        ));
+        assert!(t.env.link.rtt < SimDuration::from_millis(1));
+        assert_eq!(t.reference_concurrency, 1);
+    }
+
+    #[test]
+    fn datasets_have_paper_volumes() {
+        let x = xsede().dataset(1);
+        assert!(
+            (159.0..175.0).contains(&x.total_size().as_gb()),
+            "{}",
+            x.total_size()
+        );
+        let f = futuregrid().dataset(1);
+        assert!(
+            (39.0..48.0).contains(&f.total_size().as_gb()),
+            "{}",
+            f.total_size()
+        );
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(xsede().dataset(9), xsede().dataset(9));
+        assert_ne!(xsede().dataset(9), xsede().dataset(10));
+    }
+
+    #[test]
+    fn all_returns_three_testbeds() {
+        let ts = all();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].name, "XSEDE");
+        assert_eq!(ts[1].name, "FutureGrid");
+        assert_eq!(ts[2].name, "DIDCLAB");
+    }
+
+    #[test]
+    fn builtin_testbeds_validate_cleanly() {
+        for tb in all() {
+            assert!(tb.validate().is_empty(), "{}: {:?}", tb.name, tb.validate());
+        }
+    }
+
+    #[test]
+    fn validate_flags_broken_environments() {
+        let mut tb = xsede();
+        tb.env.tuning.wan_stream_cap = Rate::ZERO;
+        tb.reference_concurrency = 0;
+        let issues = tb.validate();
+        assert!(
+            issues.iter().any(|i| i.contains("per-stream")),
+            "{issues:?}"
+        );
+        assert!(
+            issues.iter().any(|i| i.contains("reference_concurrency")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn environments_serde_round_trip() {
+        for tb in all() {
+            let json = serde_json::to_string(&tb).expect("serializable");
+            let back: Environment = serde_json::from_str(&json).expect("parseable");
+            assert_eq!(back, tb, "{} must round-trip", tb.name);
+        }
+    }
+
+    #[test]
+    fn optional_extensions_default_to_none_in_json() {
+        // Hand-written environment files may omit faults/background/
+        // estimator entirely.
+        let tb = xsede();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&tb).unwrap()).unwrap();
+        let env = v.get_mut("env").unwrap().as_object_mut().unwrap();
+        env.remove("faults");
+        env.remove("background");
+        env.remove("estimator");
+        let back: Environment = serde_json::from_value(v).expect("defaults apply");
+        assert_eq!(back.env.faults, None);
+        assert_eq!(back.env.background, None);
+    }
+
+    #[test]
+    fn paths_match_figure_9() {
+        assert_eq!(xsede().path.hop_count(), 6);
+        assert_eq!(didclab().path.hop_count(), 1);
+    }
+}

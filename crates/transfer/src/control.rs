@@ -1,0 +1,96 @@
+//! Mid-transfer control.
+//!
+//! The paper's custom GridFTP client can change the number of data channels
+//! *while a transfer is running* (§3) — that capability is what HTEE's
+//! search phase and SLAEE's adaptation loop are built on. The engine calls
+//! a [`Controller`] at every slice boundary with fresh measurements; the
+//! controller may re-allocate channels across the current stage's chunks.
+
+use eadt_sim::{Bytes, SimTime};
+
+/// Measurements handed to the controller after every slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceCtx {
+    /// Simulated time at the end of the slice.
+    pub now: SimTime,
+    /// Index of the running stage.
+    pub stage: usize,
+    /// Bytes moved during this slice.
+    pub slice_bytes: Bytes,
+    /// End-system energy (both sites) spent during this slice, Joules.
+    pub slice_energy_j: f64,
+    /// Bytes moved since the transfer began.
+    pub total_bytes: Bytes,
+    /// Bytes still to move in the current stage.
+    pub remaining_bytes: Bytes,
+    /// Current channel allocation per chunk of the running stage.
+    pub channels: Vec<u32>,
+    /// Bytes still to move per chunk of the running stage (same order as
+    /// `channels`); controllers use this to avoid allocating channels to
+    /// finished chunks.
+    pub remaining_per_chunk: Vec<Bytes>,
+}
+
+impl SliceCtx {
+    /// Total channels currently active.
+    pub fn total_channels(&self) -> u32 {
+        self.channels.iter().sum()
+    }
+
+    /// Liveness mask: which chunks still hold bytes.
+    pub fn live_chunks(&self) -> Vec<bool> {
+        self.remaining_per_chunk
+            .iter()
+            .map(|b| !b.is_zero())
+            .collect()
+    }
+}
+
+/// What the controller wants the engine to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Keep the current allocation.
+    Continue,
+    /// Re-allocate: one channel count per chunk of the current stage. The
+    /// vector length must match the stage's chunk count; counts may be zero
+    /// for finished chunks.
+    Reallocate(Vec<u32>),
+}
+
+/// Observes slices and optionally retunes the running stage.
+pub trait Controller {
+    /// Called once per slice, after measurements are updated.
+    fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction;
+}
+
+/// A controller that never intervenes (all static algorithms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn on_slice(&mut self, _ctx: &SliceCtx) -> ControlAction {
+        ControlAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_controller_always_continues() {
+        let ctx = SliceCtx {
+            now: SimTime::ZERO,
+            stage: 0,
+            slice_bytes: Bytes::ZERO,
+            slice_energy_j: 0.0,
+            total_bytes: Bytes::ZERO,
+            remaining_bytes: Bytes::from_mb(1),
+            channels: vec![1, 2, 3],
+            remaining_per_chunk: vec![Bytes::ZERO, Bytes::from_mb(1), Bytes::ZERO],
+        };
+        assert_eq!(NullController.on_slice(&ctx), ControlAction::Continue);
+        assert_eq!(ctx.total_channels(), 6);
+        assert_eq!(ctx.live_chunks(), vec![false, true, false]);
+    }
+}

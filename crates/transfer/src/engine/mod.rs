@@ -1,0 +1,593 @@
+//! The time-sliced transfer engine.
+//!
+//! Each slice (default 100 ms) the engine:
+//!
+//! 1. synchronises every chunk's channel set with its target allocation
+//!    (channels may be added/removed mid-transfer by the [`Controller`]);
+//! 2. computes per-channel demand: `min(parallelism × stream rate, process
+//!    cap, source disk share, destination disk share)`;
+//! 3. grants rates max-min fairly against the path capacity scaled by the
+//!    congestion efficiency of the total stream count;
+//! 4. advances every channel through its file queue, paying the
+//!    `RTT/pipelining` inter-file control-channel gap;
+//! 5. converts per-server load into utilization and power (Eq. 1) and
+//!    accumulates energy on both sites;
+//! 6. reports the slice to the controller, which may re-allocate channels.
+//!
+//! Everything is deterministic: no wall clock, no RNG.
+
+use crate::control::{ControlAction, Controller, SliceCtx};
+use crate::env::TransferEnv;
+use crate::plan::TransferPlan;
+use crate::report::TransferReport;
+use eadt_dataset::FileSpec;
+use eadt_endsys::{ServerLoad, Utilization};
+use eadt_net::fair::fair_share;
+use eadt_power::PowerModel;
+use eadt_sim::{Bytes, Rate, SimDuration, SimTime, TimeSeries};
+use std::collections::VecDeque;
+
+/// A file being moved: its full size (for restart after a channel
+/// failure) and how much is left to push.
+#[derive(Debug, Clone)]
+struct FileProgress {
+    size: Bytes,
+    remaining: Bytes,
+}
+
+impl FileProgress {
+    fn fresh(file: FileSpec) -> Self {
+        FileProgress {
+            size: file.size,
+            remaining: file.size,
+        }
+    }
+
+    /// Resets progress — a broken data channel restarts its file.
+    fn restart(&mut self) {
+        self.remaining = self.size;
+    }
+}
+
+/// One data channel: at most one file in flight plus a control-channel gap.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    current: Option<FileProgress>,
+    gap: SimDuration,
+    /// Remaining time until this channel fails (fault injection only).
+    ttf: Option<SimDuration>,
+}
+
+/// Runtime state of one chunk plan within a stage.
+#[derive(Debug, Clone)]
+struct ChunkState {
+    label: String,
+    pipelining: u32,
+    parallelism: u32,
+    accepts_reallocation: bool,
+    total_bytes: Bytes,
+    file_count: usize,
+    completed_at: Option<SimTime>,
+    /// Mean file size of the chunk — sets the channels' steady-state duty
+    /// cycle (share of time spent moving bytes vs. per-file gaps).
+    avg_file: Bytes,
+    queue: VecDeque<FileProgress>,
+    channels: Vec<ChannelState>,
+    target: u32,
+}
+
+impl ChunkState {
+    fn remaining_bytes(&self) -> Bytes {
+        let queued: Bytes = self.queue.iter().map(|f| f.remaining).sum();
+        let in_flight: Bytes = self
+            .channels
+            .iter()
+            .filter_map(|c| c.current.as_ref().map(|f| f.remaining))
+            .sum();
+        queued + in_flight
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.channels.iter().all(|c| c.current.is_none())
+    }
+
+    fn has_work(&self) -> bool {
+        !self.is_done()
+    }
+
+    /// Grows or shrinks the channel set to match `target`. New channels pay
+    /// a connection-setup gap of one RTT; removed channels return their
+    /// in-flight file (with progress) to the front of the queue.
+    fn sync_channels(&mut self, rtt: SimDuration, mut ttf: impl FnMut() -> Option<SimDuration>) {
+        while (self.channels.len() as u32) < self.target {
+            self.channels.push(ChannelState {
+                current: None,
+                gap: rtt,
+                ttf: ttf(),
+            });
+        }
+        while (self.channels.len() as u32) > self.target {
+            // Prefer dropping idle channels.
+            if let Some(idx) = self.channels.iter().position(|c| c.current.is_none()) {
+                self.channels.swap_remove(idx);
+            } else {
+                let ch = self.channels.pop().expect("len > target ≥ 0");
+                if let Some(fp) = ch.current {
+                    self.queue.push_front(fp);
+                }
+            }
+        }
+    }
+}
+
+/// Executes [`TransferPlan`]s in a [`TransferEnv`].
+#[derive(Debug, Clone)]
+pub struct Engine<'a> {
+    env: &'a TransferEnv,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for the environment.
+    pub fn new(env: &'a TransferEnv) -> Self {
+        Engine { env }
+    }
+
+    /// Runs the plan to completion (or the time guard) with a controller.
+    pub fn run(&self, plan: &TransferPlan, controller: &mut dyn Controller) -> TransferReport {
+        let env = self.env;
+        let slice = env.tuning.slice;
+        let slice_secs = slice.as_secs_f64();
+        let rtt = env.link.rtt;
+
+        let mut now = SimTime::ZERO;
+        let mut completed = true;
+        let mut failures = 0u64;
+        let mut estimated_energy = 0.0f64;
+        let mut fault_rng = env
+            .faults
+            .map(|f| eadt_sim::SimRng::new(f.seed).fork("engine-faults"));
+        let mut chunk_stats: Vec<crate::report::ChunkStat> = Vec::new();
+        let mut src_energy = 0.0f64;
+        let mut dst_energy = 0.0f64;
+        let mut moved_total = Bytes::ZERO;
+        let mut wire_bytes_f = 0.0f64;
+        let mut throughput_series = TimeSeries::new();
+        let mut power_series = TimeSeries::new();
+        let mut concurrency_series = TimeSeries::new();
+        let requested = plan.total_bytes();
+
+        for (stage_idx, stage) in plan.stages.iter().enumerate() {
+            let mut chunks: Vec<ChunkState> = stage
+                .chunks
+                .iter()
+                .map(|cp| ChunkState {
+                    label: cp.label.clone(),
+                    pipelining: cp.pipelining.max(1),
+                    parallelism: cp.parallelism.max(1),
+                    accepts_reallocation: cp.accepts_reallocation,
+                    total_bytes: cp.total_bytes(),
+                    file_count: cp.files.len(),
+                    completed_at: None,
+                    avg_file: if cp.files.is_empty() {
+                        Bytes::ZERO
+                    } else {
+                        Bytes(cp.total_bytes().as_u64() / cp.files.len() as u64)
+                    },
+                    queue: cp.files.iter().copied().map(FileProgress::fresh).collect(),
+                    channels: Vec::new(),
+                    target: cp.channels,
+                })
+                .collect();
+
+            while chunks.iter().any(ChunkState::has_work) {
+                if now.since(SimTime::ZERO) >= env.tuning.max_duration {
+                    completed = false;
+                    break; // stats for this stage are still collected below
+                }
+
+                self.rebalance_targets(&mut chunks, plan.reallocate_on_completion);
+                for c in &mut chunks {
+                    c.sync_channels(rtt, || match (&env.faults, &mut fault_rng) {
+                        (Some(f), Some(rng)) => Some(f.sample_ttf(rng)),
+                        _ => None,
+                    });
+                }
+
+                // Fault injection: channels whose time-to-failure has run
+                // out drop their connection, restart their in-flight file
+                // and pay the reconnect delay.
+                if let (Some(faults), Some(rng)) = (&env.faults, &mut fault_rng) {
+                    for c in &mut chunks {
+                        for ch in &mut c.channels {
+                            let Some(ttf) = ch.ttf else { continue };
+                            if ttf <= slice {
+                                failures += 1;
+                                if let Some(mut fp) = ch.current.take() {
+                                    if !faults.restart_markers {
+                                        fp.restart();
+                                    }
+                                    c.queue.push_front(fp);
+                                }
+                                ch.gap = faults.reconnect_delay;
+                                ch.ttf = Some(faults.sample_ttf(rng));
+                            } else {
+                                ch.ttf = Some(ttf - slice);
+                            }
+                        }
+                    }
+                }
+
+                // Flat view of all channels: (chunk idx, channel idx).
+                let mut refs: Vec<(usize, usize)> = Vec::new();
+                for (ci, c) in chunks.iter().enumerate() {
+                    for chi in 0..c.channels.len() {
+                        refs.push((ci, chi));
+                    }
+                }
+                let total_channels = refs.len() as u32;
+                concurrency_series.push(now, f64::from(total_channels));
+                if total_channels == 0 {
+                    // No channels but work remains (controller zeroed
+                    // everything): force one channel on the fattest chunk.
+                    if let Some(idx) = busiest_chunk(&chunks, false) {
+                        chunks[idx].target = 1;
+                        continue;
+                    }
+                    break;
+                }
+
+                // Placement on both sites.
+                let src_assign =
+                    assign_servers(&env.src.place_channels(total_channels, plan.placement));
+                let dst_assign =
+                    assign_servers(&env.dst.place_channels(total_channels, plan.placement));
+
+                // Per-server working-channel and stream counts.
+                let mut src_chan = vec![0u32; env.src.servers.len()];
+                let mut src_streams = vec![0u32; env.src.servers.len()];
+                let mut dst_chan = vec![0u32; env.dst.servers.len()];
+                let mut dst_streams = vec![0u32; env.dst.servers.len()];
+                let mut working = vec![false; refs.len()];
+                let mut total_streams = 0u32;
+                for (i, &(ci, chi)) in refs.iter().enumerate() {
+                    let chunk = &chunks[ci];
+                    let busy = chunk.channels[chi].current.is_some() || !chunk.queue.is_empty();
+                    working[i] = busy;
+                    if busy {
+                        let p = chunk.parallelism;
+                        src_chan[src_assign[i]] += 1;
+                        src_streams[src_assign[i]] += p;
+                        dst_chan[dst_assign[i]] += 1;
+                        dst_streams[dst_assign[i]] += p;
+                        total_streams += p;
+                    }
+                }
+
+                let eff = env.congestion.efficiency(total_streams);
+                let bg = env.background.map_or(1.0, |b| b.capacity_factor(now));
+                let capacity = env.link.bandwidth * (eff * bg);
+
+                // Demands: per-channel ceiling from the window/process
+                // model scaled by the channel's control-plane duty cycle
+                // (a small-file channel spends most of its time in
+                // per-file gaps and must not reserve bandwidth it cannot
+                // use), then shaped max-min fairly through each server's
+                // disk subsystem on both ends, then through the path.
+                let mut demands = vec![Rate::ZERO; refs.len()];
+                let mut duties = vec![1.0f64; refs.len()];
+                for (i, &(ci, _chi)) in refs.iter().enumerate() {
+                    if !working[i] {
+                        continue;
+                    }
+                    let chunk = &chunks[ci];
+                    let cap = env.channel_cap(chunk.parallelism);
+                    let gap = (rtt / u64::from(chunk.pipelining) + env.tuning.per_file_overhead)
+                        .as_secs_f64();
+                    // Steady-state duty cycle from the chunk's mean file
+                    // size (NOT the in-flight remainder: that would decay
+                    // the demand to zero as a file nears completion).
+                    let t_x = chunk.avg_file.as_f64() * 8.0 / cap.as_bps().max(1.0);
+                    let duty = if t_x + gap <= 0.0 {
+                        1.0
+                    } else {
+                        (t_x / (t_x + gap)).max(0.05)
+                    };
+                    duties[i] = duty;
+                    demands[i] = cap * duty;
+                }
+                apply_disk_fairness(&mut demands, &src_assign, &src_chan, |srv| {
+                    env.src.servers[srv].disk.aggregate_rate(src_chan[srv])
+                });
+                apply_disk_fairness(&mut demands, &dst_assign, &dst_chan, |srv| {
+                    env.dst.servers[srv].disk.aggregate_rate(dst_chan[srv])
+                });
+
+                // Grants are time-averaged rates; while a channel is
+                // actively moving a file it bursts at grant/duty (its gaps
+                // bring the average back down to the grant).
+                let grants: Vec<Rate> = fair_share(capacity, &demands)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, g)| {
+                        let cap = env.channel_cap(chunks[refs[i].0].parallelism);
+                        (g / duties[i]).min(cap)
+                    })
+                    .collect();
+
+                // Advance channels through their queues.
+                let mut slice_bytes = Bytes::ZERO;
+                let mut src_moved = vec![Bytes::ZERO; env.src.servers.len()];
+                let mut dst_moved = vec![Bytes::ZERO; env.dst.servers.len()];
+                for (i, &(ci, chi)) in refs.iter().enumerate() {
+                    let chunk = &mut chunks[ci];
+                    let pp = chunk.pipelining;
+                    let moved = advance_channel(
+                        &mut chunk.channels[chi],
+                        &mut chunk.queue,
+                        grants[i],
+                        slice,
+                        rtt,
+                        pp,
+                        env.tuning.per_file_overhead,
+                    );
+                    slice_bytes += moved;
+                    src_moved[src_assign[i]] += moved;
+                    dst_moved[dst_assign[i]] += moved;
+                }
+                moved_total += slice_bytes;
+                wire_bytes_f += slice_bytes.as_f64() / eff.max(1e-6);
+                for c in &mut chunks {
+                    if c.completed_at.is_none() && c.is_done() {
+                        c.completed_at = Some(now + slice);
+                    }
+                }
+
+                // Utilization → power → energy, per site.
+                let (src_power, src_est) = site_power(
+                    env,
+                    &src_chan,
+                    &src_streams,
+                    &src_moved,
+                    slice_secs,
+                    eff,
+                    true,
+                );
+                let (dst_power, dst_est) = site_power(
+                    env,
+                    &dst_chan,
+                    &dst_streams,
+                    &dst_moved,
+                    slice_secs,
+                    eff,
+                    false,
+                );
+                src_energy += src_power * slice_secs;
+                dst_energy += dst_power * slice_secs;
+                estimated_energy += (src_est + dst_est) * slice_secs;
+                power_series.push(now, src_power + dst_power);
+                throughput_series.push(now, slice_bytes.as_f64() * 8.0 / slice_secs / 1e6);
+
+                now += slice;
+
+                // Controller.
+                let remaining_per_chunk: Vec<Bytes> =
+                    chunks.iter().map(ChunkState::remaining_bytes).collect();
+                let remaining: Bytes = remaining_per_chunk.iter().copied().sum();
+                let ctx = SliceCtx {
+                    now,
+                    stage: stage_idx,
+                    slice_bytes,
+                    slice_energy_j: (src_power + dst_power) * slice_secs,
+                    total_bytes: moved_total,
+                    remaining_bytes: remaining,
+                    channels: chunks.iter().map(|c| c.target).collect(),
+                    remaining_per_chunk,
+                };
+                if let ControlAction::Reallocate(new_targets) = controller.on_slice(&ctx) {
+                    assert_eq!(
+                        new_targets.len(),
+                        chunks.len(),
+                        "reallocation must cover every chunk of the stage"
+                    );
+                    for (c, &t) in chunks.iter_mut().zip(&new_targets) {
+                        c.target = if c.has_work() { t } else { 0 };
+                    }
+                }
+            }
+            for c in &chunks {
+                chunk_stats.push(crate::report::ChunkStat {
+                    label: c.label.clone(),
+                    bytes: c.total_bytes,
+                    files: c.file_count,
+                    completed_at: c.completed_at.map(|t| t.since(SimTime::ZERO)),
+                });
+            }
+            if !completed {
+                break;
+            }
+        }
+
+        let packets = env
+            .packets
+            .total_packets(Bytes(wire_bytes_f.round() as u64));
+        TransferReport {
+            requested_bytes: requested,
+            moved_bytes: moved_total,
+            duration: now.since(SimTime::ZERO),
+            completed: completed && moved_total == requested,
+            src_energy_j: src_energy,
+            dst_energy_j: dst_energy,
+            wire_bytes: Bytes(wire_bytes_f.round() as u64),
+            packets,
+            throughput_series,
+            power_series,
+            concurrency_series,
+            failures,
+            estimated_energy_j: env.estimator.map(|_| estimated_energy),
+            chunk_stats,
+        }
+    }
+
+    /// Moves the channel targets of finished chunks to the busiest live
+    /// chunk (the Multi-Chunk reallocation of the custom client).
+    fn rebalance_targets(&self, chunks: &mut [ChunkState], reallocate: bool) {
+        let mut freed = 0u32;
+        for c in chunks.iter_mut() {
+            if c.is_done() && c.target > 0 {
+                freed += c.target;
+                c.target = 0;
+            }
+        }
+        if !reallocate || freed == 0 {
+            return;
+        }
+        if let Some(idx) = busiest_chunk(chunks, true) {
+            chunks[idx].target += freed;
+        }
+        // If no chunk accepts reallocation, freed channels simply retire —
+        // exactly MinE's behaviour once only pinned Large chunks remain.
+    }
+}
+
+/// Index of the live chunk with the most remaining bytes. With
+/// `respect_pinning`, chunks that refuse reallocation are skipped (used
+/// when handing out freed channels); without it, any live chunk qualifies
+/// (used as a liveness guard).
+fn busiest_chunk(chunks: &[ChunkState], respect_pinning: bool) -> Option<usize> {
+    chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.has_work() && (!respect_pinning || c.accepts_reallocation))
+        .max_by_key(|(_, c)| c.remaining_bytes())
+        .map(|(i, _)| i)
+}
+
+/// Shapes per-channel demands max-min fairly through each server's disk
+/// subsystem: channels on the same server share its aggregate disk rate by
+/// progressive filling, so a 3 Gbps bulk channel coexisting with slow
+/// small-file channels gets the disk headroom they leave behind.
+fn apply_disk_fairness(
+    demands: &mut [Rate],
+    assign: &[usize],
+    chan_counts: &[u32],
+    disk_rate: impl Fn(usize) -> Rate,
+) {
+    for (srv, &count) in chan_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let members: Vec<usize> = (0..demands.len())
+            .filter(|&i| assign[i] == srv && !demands[i].is_zero())
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let local: Vec<Rate> = members.iter().map(|&i| demands[i]).collect();
+        let grants = fair_share(disk_rate(srv), &local);
+        for (k, &i) in members.iter().enumerate() {
+            demands[i] = grants[k];
+        }
+    }
+}
+
+/// Expands per-server channel counts into a per-channel server index.
+fn assign_servers(counts: &[u32]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.iter().map(|&c| c as usize).sum());
+    for (server, &count) in counts.iter().enumerate() {
+        for _ in 0..count {
+            out.push(server);
+        }
+    }
+    out
+}
+
+/// Advances one channel for one slice at its granted rate; returns bytes
+/// moved. Completing a file schedules the `RTT/pipelining` inter-file
+/// control gap plus the un-pipelinable per-file server overhead.
+#[allow(clippy::too_many_arguments)]
+fn advance_channel(
+    ch: &mut ChannelState,
+    queue: &mut VecDeque<FileProgress>,
+    grant: Rate,
+    slice: SimDuration,
+    rtt: SimDuration,
+    pipelining: u32,
+    per_file_overhead: SimDuration,
+) -> Bytes {
+    let mut moved = Bytes::ZERO;
+    let mut budget = slice;
+    loop {
+        if budget.is_zero() {
+            break;
+        }
+        if !ch.gap.is_zero() {
+            let g = ch.gap.min(budget);
+            ch.gap -= g;
+            budget -= g;
+            continue;
+        }
+        if ch.current.is_none() {
+            match queue.pop_front() {
+                Some(fp) => ch.current = Some(fp),
+                None => break,
+            }
+        }
+        if grant.is_zero() {
+            break;
+        }
+        let fp = ch.current.as_mut().expect("set above");
+        let t_need = fp.remaining.time_at(grant);
+        if t_need <= budget {
+            moved += fp.remaining;
+            budget -= t_need;
+            ch.current = None;
+            ch.gap = rtt / u64::from(pipelining.max(1)) + per_file_overhead;
+        } else {
+            let b = grant.bytes_in(budget).min(fp.remaining);
+            moved += b;
+            fp.remaining = fp.remaining.saturating_sub(b);
+            budget = SimDuration::ZERO;
+        }
+    }
+    moved
+}
+
+/// Total power of one site's active servers for the slice: the reference
+/// model's Watts plus (when configured) the secondary estimator's Watts
+/// over the same utilization snapshots.
+#[allow(clippy::too_many_arguments)]
+fn site_power(
+    env: &TransferEnv,
+    channels: &[u32],
+    streams: &[u32],
+    moved: &[Bytes],
+    slice_secs: f64,
+    eff: f64,
+    is_src: bool,
+) -> (f64, f64) {
+    let site = if is_src { &env.src } else { &env.dst };
+    let mut total = 0.0;
+    let mut estimated = 0.0;
+    for (i, spec) in site.servers.iter().enumerate() {
+        if channels[i] == 0 {
+            continue;
+        }
+        let goodput = Rate::from_bps(moved[i].as_f64() * 8.0 / slice_secs);
+        let wire = goodput / eff.max(1e-6);
+        let load = ServerLoad {
+            channels: channels[i],
+            streams: streams[i],
+            goodput,
+            wire_rate: wire,
+        };
+        let util = Utilization::compute(spec, load, &env.util);
+        total += env.power.power_watts(&util);
+        if let Some(est) = &env.estimator {
+            estimated += est.power_watts(&util);
+        }
+    }
+    (total, estimated)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,165 @@
+//! The environment a transfer runs in.
+
+use crate::faults::{BackgroundTraffic, FaultModel};
+use eadt_endsys::{Site, UtilizationCoeffs};
+use eadt_net::link::Link;
+use eadt_net::packets::PacketModel;
+use eadt_net::tcp::CongestionModel;
+use eadt_power::{FineGrainedModel, PowerModelKind};
+use eadt_sim::{Rate, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Engine constants that are properties of the software/path rather than
+/// the hardware specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineTuning {
+    /// Achievable steady rate of a single TCP stream on this path — the
+    /// loss/AIMD-limited rate, usually far below the window ceiling on
+    /// long-RTT paths (the reason parallelism exists).
+    pub wan_stream_cap: Rate,
+    /// Per-channel (per GridFTP process) processing ceiling.
+    pub proc_channel_cap: Rate,
+    /// Server-side per-file cost (open/close, allocation, bookkeeping)
+    /// paid after every completed file *in addition to* the
+    /// `RTT/pipelining` control-channel gap. Pipelining hides round trips,
+    /// not this — it is why many-small-file chunks stay slow per channel
+    /// even when perfectly pipelined.
+    pub per_file_overhead: SimDuration,
+    /// Simulation slice length.
+    pub slice: SimDuration,
+    /// Hard wall on simulated time; a run that exceeds it is reported as
+    /// incomplete rather than looping forever.
+    pub max_duration: SimDuration,
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        EngineTuning {
+            wan_stream_cap: Rate::from_mbps(400.0),
+            proc_channel_cap: Rate::from_gbps(2.0),
+            per_file_overhead: SimDuration::from_millis(30),
+            slice: SimDuration::from_millis(100),
+            max_duration: SimDuration::from_secs(7 * 24 * 3600),
+        }
+    }
+}
+
+/// Everything the engine needs to know about the world: the path, the two
+/// sites, how load maps to utilization, how utilization maps to power, and
+/// the path's congestion/packet behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferEnv {
+    /// The end-to-end path.
+    pub link: Link,
+    /// Sending site.
+    pub src: Site,
+    /// Receiving site.
+    pub dst: Site,
+    /// Load → utilization coefficients (shared by both sites).
+    pub util: UtilizationCoeffs,
+    /// Utilization → Watts model (shared by both sites' servers).
+    pub power: FineGrainedModel,
+    /// Stream-count congestion response of the path.
+    pub congestion: CongestionModel,
+    /// Bytes → packets conversion for §4 accounting.
+    pub packets: PacketModel,
+    /// Software/path tuning constants.
+    pub tuning: EngineTuning,
+    /// Optional deterministic channel-failure injection.
+    #[serde(default)]
+    pub faults: Option<FaultModel>,
+    /// Optional deterministic background traffic on the bottleneck link.
+    #[serde(default)]
+    pub background: Option<BackgroundTraffic>,
+    /// Optional *secondary* power estimator run alongside the reference
+    /// model. The reference `power` model plays the part of the measured
+    /// ground truth; the estimator sees the same utilization stream and its
+    /// prediction lands in `TransferReport::estimated_energy_j` — the
+    /// in-vivo version of the §2.2 accuracy experiment (e.g. a CPU-only
+    /// Eq. 3 model monitoring a server whose disk/NIC counters are not
+    /// accessible).
+    #[serde(default)]
+    pub estimator: Option<PowerModelKind>,
+}
+
+impl TransferEnv {
+    /// Per-stream achievable rate: the window ceiling clamped by the
+    /// loss-limited cap.
+    pub fn stream_rate(&self) -> Rate {
+        eadt_net::tcp::stream_ceiling(&self.link).min(self.tuning.wan_stream_cap)
+    }
+
+    /// Per-channel ceiling for a channel running `parallelism` streams.
+    pub fn channel_cap(&self, parallelism: u32) -> Rate {
+        (self.stream_rate() * f64::from(parallelism.max(1)))
+            .min(self.tuning.proc_channel_cap)
+            .min(self.link.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_endsys::{DiskSubsystem, ServerSpec};
+    use eadt_sim::Bytes;
+
+    fn env() -> TransferEnv {
+        let server = ServerSpec::new(
+            "s",
+            4,
+            115.0,
+            Rate::from_gbps(10.0),
+            DiskSubsystem::Array {
+                per_access: Rate::from_gbps(2.4),
+                aggregate: Rate::from_gbps(7.6),
+            },
+        );
+        TransferEnv {
+            link: Link::new(
+                Rate::from_gbps(10.0),
+                SimDuration::from_millis(40),
+                Bytes::from_mb(32),
+            ),
+            src: Site::new("src", vec![server.clone()]),
+            dst: Site::new("dst", vec![server]),
+            util: UtilizationCoeffs::default(),
+            power: FineGrainedModel::paper_default(),
+            congestion: CongestionModel::default(),
+            packets: PacketModel::default(),
+            tuning: EngineTuning::default(),
+            faults: None,
+            background: None,
+            estimator: None,
+        }
+    }
+
+    #[test]
+    fn stream_rate_is_loss_limited_on_wan() {
+        // Window ceiling 6.4 Gbps ≫ 400 Mbps loss cap → cap wins.
+        assert_eq!(env().stream_rate(), Rate::from_mbps(400.0));
+    }
+
+    #[test]
+    fn channel_cap_scales_with_parallelism_until_proc_limit() {
+        let e = env();
+        assert!((e.channel_cap(1).as_mbps() - 400.0).abs() < 1e-9);
+        assert!((e.channel_cap(2).as_mbps() - 800.0).abs() < 1e-9);
+        assert!((e.channel_cap(10).as_gbps() - 2.0).abs() < 1e-9); // proc cap
+        assert_eq!(e.channel_cap(0), e.channel_cap(1)); // clamped
+    }
+
+    #[test]
+    fn channel_cap_never_exceeds_link() {
+        let mut e = env();
+        e.tuning.proc_channel_cap = Rate::from_gbps(100.0);
+        e.tuning.wan_stream_cap = Rate::from_gbps(100.0);
+        assert_eq!(e.channel_cap(64), e.link.bandwidth);
+    }
+
+    #[test]
+    fn default_tuning_is_sane() {
+        let t = EngineTuning::default();
+        assert!(t.slice.as_secs_f64() > 0.0);
+        assert!(t.max_duration > t.slice);
+    }
+}

@@ -1,0 +1,144 @@
+//! Failure injection and background traffic.
+//!
+//! Real WAN transfers contend with two things the steady-state model
+//! ignores: data channels *fail* (server restarts, TCP resets, GridFTP
+//! process crashes) and the path carries *other people's traffic*. Both
+//! are deterministic here — failures are drawn from a seeded stream, and
+//! background traffic follows a fixed periodic pattern — so experiments
+//! with faults remain exactly reproducible.
+
+use eadt_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic channel-failure model.
+///
+/// Each channel's time-to-failure is exponentially distributed with the
+/// given mean (sampled from a seeded stream at channel creation and after
+/// every failure). A failing channel pays a reconnection delay; whether the
+/// in-flight file's progress survives depends on `restart_markers`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Mean time between failures per channel (simulated seconds).
+    pub mtbf: SimDuration,
+    /// Time to re-establish a failed channel.
+    pub reconnect_delay: SimDuration,
+    /// Whether GridFTP-style restart markers preserve a failed file's
+    /// progress. With markers (the default, as in real GridFTP) a failure
+    /// costs only the reconnect; without them the in-flight file restarts
+    /// from zero — which can livelock a transfer whose per-file time
+    /// approaches the MTBF, exactly why the real protocol has markers.
+    pub restart_markers: bool,
+    /// Seed for the failure stream (independent of dataset seeds).
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// A model with the given MTBF, restart markers on, 2 s reconnect.
+    pub fn new(mtbf: SimDuration, seed: u64) -> Self {
+        FaultModel {
+            mtbf,
+            reconnect_delay: SimDuration::from_secs(2),
+            restart_markers: true,
+            seed,
+        }
+    }
+
+    /// Samples a time-to-failure (exponential with mean `mtbf`).
+    pub fn sample_ttf(&self, rng: &mut SimRng) -> SimDuration {
+        let u = rng.unit().max(1e-12);
+        self.mtbf.mul_f64(-u.ln())
+    }
+}
+
+/// Deterministic periodic background traffic on the bottleneck link.
+///
+/// For `active` out of every `period` seconds, `fraction` of the link
+/// capacity is occupied by cross traffic; the rest of the time the link is
+/// clean. A square wave is crude but captures what adaptation cares about:
+/// the available capacity *changes under the transfer's feet*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundTraffic {
+    /// Pattern period.
+    pub period: SimDuration,
+    /// Leading portion of each period during which cross traffic flows.
+    pub active: SimDuration,
+    /// Fraction of link capacity the cross traffic occupies, 0–1.
+    pub fraction: f64,
+}
+
+impl BackgroundTraffic {
+    /// A pattern occupying `fraction` of the link for the first `active`
+    /// seconds of every `period`.
+    pub fn square(period: SimDuration, active: SimDuration, fraction: f64) -> Self {
+        BackgroundTraffic {
+            period,
+            active: active.min(period),
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Fraction of link capacity occupied by cross traffic at `t`.
+    pub fn occupancy(&self, t: SimTime) -> f64 {
+        let period = self.period.as_micros().max(1);
+        let phase = t.as_micros() % period;
+        if phase < self.active.as_micros() {
+            self.fraction
+        } else {
+            0.0
+        }
+    }
+
+    /// Multiplier on the link capacity at `t` (1 − occupancy).
+    pub fn capacity_factor(&self, t: SimTime) -> f64 {
+        (1.0 - self.occupancy(t)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttf_is_positive_with_mean_near_mtbf() {
+        let fm = FaultModel::new(SimDuration::from_secs(100), 1);
+        let mut rng = SimRng::new(fm.seed);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| fm.sample_ttf(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 100.0).abs() < 6.0, "mean={mean}");
+    }
+
+    #[test]
+    fn ttf_is_deterministic_per_seed() {
+        let fm = FaultModel::new(SimDuration::from_secs(50), 9);
+        let mut a = SimRng::new(fm.seed);
+        let mut b = SimRng::new(fm.seed);
+        for _ in 0..32 {
+            assert_eq!(fm.sample_ttf(&mut a), fm.sample_ttf(&mut b));
+        }
+    }
+
+    #[test]
+    fn square_wave_occupancy() {
+        let bg =
+            BackgroundTraffic::square(SimDuration::from_secs(10), SimDuration::from_secs(4), 0.5);
+        assert_eq!(bg.occupancy(SimTime::from_secs_f64(0.0)), 0.5);
+        assert_eq!(bg.occupancy(SimTime::from_secs_f64(3.9)), 0.5);
+        assert_eq!(bg.occupancy(SimTime::from_secs_f64(4.0)), 0.0);
+        assert_eq!(bg.occupancy(SimTime::from_secs_f64(9.9)), 0.0);
+        // Periodicity.
+        assert_eq!(bg.occupancy(SimTime::from_secs_f64(12.0)), 0.5);
+        assert_eq!(bg.capacity_factor(SimTime::from_secs_f64(12.0)), 0.5);
+    }
+
+    #[test]
+    fn fraction_and_active_are_clamped() {
+        let bg =
+            BackgroundTraffic::square(SimDuration::from_secs(5), SimDuration::from_secs(50), 1.8);
+        assert_eq!(bg.active, SimDuration::from_secs(5));
+        assert_eq!(bg.fraction, 1.0);
+        assert_eq!(bg.capacity_factor(SimTime::from_secs_f64(1.0)), 0.0);
+    }
+}

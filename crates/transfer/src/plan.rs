@@ -1,0 +1,198 @@
+//! Transfer plans: which files move with which parameters, in what order.
+
+use eadt_dataset::{Chunk, FileSpec};
+use eadt_endsys::Placement;
+use eadt_sim::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One chunk scheduled with one parameter combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkPlan {
+    /// Label for reports (usually the chunk's size class).
+    pub label: String,
+    /// The files to move, in order.
+    pub files: Vec<FileSpec>,
+    /// Pipelining depth for this chunk's channels.
+    pub pipelining: u32,
+    /// Streams per channel.
+    pub parallelism: u32,
+    /// Channels initially allocated to this chunk.
+    pub channels: u32,
+    /// Whether the engine may re-assign channels freed by finished chunks
+    /// *to* this chunk. MinE turns this off for Large chunks — its energy
+    /// guard pins them to a single channel for the whole transfer.
+    pub accepts_reallocation: bool,
+}
+
+impl ChunkPlan {
+    /// Builds a plan entry from a partitioned chunk.
+    pub fn from_chunk(chunk: &Chunk, pipelining: u32, parallelism: u32, channels: u32) -> Self {
+        ChunkPlan {
+            label: chunk.class.label().to_string(),
+            files: chunk.files().to_vec(),
+            pipelining: pipelining.max(1),
+            parallelism: parallelism.max(1),
+            channels,
+            accepts_reallocation: true,
+        }
+    }
+
+    /// Total bytes in this chunk plan.
+    pub fn total_bytes(&self) -> Bytes {
+        self.files.iter().map(|f| f.size).sum()
+    }
+}
+
+/// Chunk plans that run **concurrently** (the Multi-Chunk mechanism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// The concurrent chunk plans.
+    pub chunks: Vec<ChunkPlan>,
+}
+
+impl StagePlan {
+    /// A stage running the given chunks concurrently.
+    pub fn new(chunks: Vec<ChunkPlan>) -> Self {
+        StagePlan { chunks }
+    }
+
+    /// Total channels at stage start.
+    pub fn total_channels(&self) -> u32 {
+        self.chunks.iter().map(|c| c.channels).sum()
+    }
+
+    /// Total bytes in the stage.
+    pub fn total_bytes(&self) -> Bytes {
+        self.chunks.iter().map(ChunkPlan::total_bytes).sum()
+    }
+}
+
+/// Builds the plan an *untuned* client produces: the whole dataset as one
+/// chunk moved with a single parameter combination.
+///
+/// ```
+/// use eadt_transfer::{uniform_plan, TransferParams};
+/// use eadt_dataset::Dataset;
+/// use eadt_endsys::Placement;
+/// use eadt_sim::Bytes;
+///
+/// let dataset = Dataset::from_sizes("d", [Bytes::from_mb(10); 4]);
+/// let plan = uniform_plan(&dataset, TransferParams::new(4, 2, 3), Placement::PackFirst);
+/// assert_eq!(plan.stages.len(), 1);
+/// assert_eq!(plan.stages[0].total_channels(), 3);
+/// assert_eq!(plan.total_bytes(), Bytes::from_mb(40));
+/// ```
+pub fn uniform_plan(
+    dataset: &eadt_dataset::Dataset,
+    params: crate::params::TransferParams,
+    placement: Placement,
+) -> TransferPlan {
+    let chunk = ChunkPlan {
+        label: "all".into(),
+        files: dataset.files().to_vec(),
+        pipelining: params.pipelining,
+        parallelism: params.parallelism,
+        channels: params.concurrency,
+        accepts_reallocation: true,
+    };
+    let mut plan = TransferPlan::concurrent(vec![chunk], placement);
+    plan.reallocate_on_completion = false;
+    plan
+}
+
+/// A whole transfer: stages run **sequentially** (the divide-and-transfer
+/// of SC and Globus Online), each stage's chunks concurrently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferPlan {
+    /// Stages in execution order.
+    pub stages: Vec<StagePlan>,
+    /// How channels land on the site's servers (custom client packs,
+    /// GO/GUC spread).
+    pub placement: Placement,
+    /// Whether channels freed by a finished chunk are re-assigned to the
+    /// chunk with the most remaining bytes (the custom client's channel
+    /// reallocation; off for GO/GUC which cannot retune mid-flight).
+    pub reallocate_on_completion: bool,
+}
+
+impl TransferPlan {
+    /// A single-stage concurrent plan (ProMC/MinE/HTEE-style).
+    pub fn concurrent(chunks: Vec<ChunkPlan>, placement: Placement) -> Self {
+        TransferPlan {
+            stages: vec![StagePlan::new(chunks)],
+            placement,
+            reallocate_on_completion: true,
+        }
+    }
+
+    /// A sequential plan: one stage per chunk (SC/GO-style).
+    pub fn sequential(chunks: Vec<ChunkPlan>, placement: Placement) -> Self {
+        TransferPlan {
+            stages: chunks
+                .into_iter()
+                .map(|c| StagePlan::new(vec![c]))
+                .collect(),
+            placement,
+            reallocate_on_completion: false,
+        }
+    }
+
+    /// Total bytes across all stages.
+    pub fn total_bytes(&self) -> Bytes {
+        self.stages.iter().map(StagePlan::total_bytes).sum()
+    }
+
+    /// Total number of files.
+    pub fn file_count(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.chunks)
+            .map(|c| c.files.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_dataset::SizeClass;
+
+    fn chunk() -> Chunk {
+        Chunk::new(
+            SizeClass::Small,
+            (0..4)
+                .map(|i| FileSpec::new(i, Bytes::from_mb(5)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn from_chunk_copies_files_and_clamps_params() {
+        let p = ChunkPlan::from_chunk(&chunk(), 0, 0, 3);
+        assert_eq!(p.files.len(), 4);
+        assert_eq!(p.pipelining, 1);
+        assert_eq!(p.parallelism, 1);
+        assert_eq!(p.channels, 3);
+        assert_eq!(p.label, "Small");
+        assert_eq!(p.total_bytes(), Bytes::from_mb(20));
+    }
+
+    #[test]
+    fn concurrent_plan_is_one_stage() {
+        let c = ChunkPlan::from_chunk(&chunk(), 1, 1, 2);
+        let plan = TransferPlan::concurrent(vec![c.clone(), c], Placement::PackFirst);
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0].total_channels(), 4);
+        assert!(plan.reallocate_on_completion);
+        assert_eq!(plan.total_bytes(), Bytes::from_mb(40));
+        assert_eq!(plan.file_count(), 8);
+    }
+
+    #[test]
+    fn sequential_plan_is_stage_per_chunk() {
+        let c = ChunkPlan::from_chunk(&chunk(), 1, 1, 2);
+        let plan = TransferPlan::sequential(vec![c.clone(), c], Placement::RoundRobin);
+        assert_eq!(plan.stages.len(), 2);
+        assert!(!plan.reallocate_on_completion);
+    }
+}

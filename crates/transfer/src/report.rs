@@ -1,0 +1,182 @@
+//! Transfer outcome: everything Figures 2–7 plot.
+
+use eadt_sim::{Bytes, Rate, SimDuration, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Per-chunk outcome within a transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkStat {
+    /// Chunk label from the plan (usually the size class).
+    pub label: String,
+    /// Bytes the chunk carried.
+    pub bytes: Bytes,
+    /// Number of files in the chunk.
+    pub files: usize,
+    /// When the chunk drained, relative to transfer start (`None` when the
+    /// run hit the time guard first).
+    pub completed_at: Option<SimDuration>,
+}
+
+/// The result of one simulated transfer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Bytes the plan asked to move.
+    pub requested_bytes: Bytes,
+    /// Bytes actually moved (equals `requested_bytes` iff `completed`).
+    pub moved_bytes: Bytes,
+    /// Wall-clock (simulated) duration of the transfer.
+    pub duration: SimDuration,
+    /// True when every file finished before the engine's time guard.
+    pub completed: bool,
+    /// Sender-side end-system energy, Joules.
+    pub src_energy_j: f64,
+    /// Receiver-side end-system energy, Joules.
+    pub dst_energy_j: f64,
+    /// Bytes that crossed the wire, retransmissions included.
+    pub wire_bytes: Bytes,
+    /// Total packets pushed through the path (data + control).
+    pub packets: u64,
+    /// Per-slice aggregate throughput samples, Mbps.
+    pub throughput_series: TimeSeries,
+    /// Per-slice total (both sites) power samples, Watts.
+    pub power_series: TimeSeries,
+    /// Per-slice total channel count (shows HTEE/SLAEE adaptation).
+    pub concurrency_series: TimeSeries,
+    /// Channel failures injected during the run (0 without a fault model).
+    pub failures: u64,
+    /// Energy predicted by the secondary estimator configured in
+    /// `TransferEnv::estimator`, if any (Joules).
+    pub estimated_energy_j: Option<f64>,
+    /// Per-chunk outcomes, in plan order across stages.
+    pub chunk_stats: Vec<ChunkStat>,
+}
+
+impl TransferReport {
+    /// Total end-system energy, Joules (the y-axis of Figures 2b/3b/4b).
+    pub fn total_energy_j(&self) -> f64 {
+        self.src_energy_j + self.dst_energy_j
+    }
+
+    /// Average achieved throughput (the y-axis of Figures 2a/3a/4a).
+    pub fn avg_throughput(&self) -> Rate {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return Rate::ZERO;
+        }
+        Rate::from_bps(self.moved_bytes.as_f64() * 8.0 / secs)
+    }
+
+    /// The paper's energy-efficiency metric: throughput (Mbps) per Joule
+    /// (§2.4, "the ratio of transfer throughput to energy consumption").
+    pub fn efficiency(&self) -> f64 {
+        let e = self.total_energy_j();
+        if e <= 0.0 {
+            return 0.0;
+        }
+        self.avg_throughput().as_mbps() / e
+    }
+
+    /// Mean power across the transfer, Watts.
+    pub fn mean_power_w(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / secs
+        }
+    }
+
+    /// Writes the per-slice time series as CSV
+    /// (`time_s,throughput_mbps,power_w,concurrency`), one row per slice —
+    /// ready for gnuplot/pandas. The three series are sampled in lockstep
+    /// by the engine, so rows align by construction.
+    pub fn write_series_csv(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "time_s,throughput_mbps,power_w,concurrency")?;
+        let thr = self.throughput_series.samples();
+        let pow = self.power_series.samples();
+        let cc = self.concurrency_series.samples();
+        for i in 0..thr.len().min(pow.len()).min(cc.len()) {
+            writeln!(
+                out,
+                "{:.3},{:.3},{:.3},{}",
+                thr[i].time.as_secs_f64(),
+                thr[i].value,
+                pow[i].value,
+                cc[i].value as u64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TransferReport {
+        TransferReport {
+            requested_bytes: Bytes::from_gb(1),
+            moved_bytes: Bytes::from_gb(1),
+            duration: SimDuration::from_secs(10),
+            completed: true,
+            src_energy_j: 300.0,
+            dst_energy_j: 200.0,
+            wire_bytes: Bytes::from_gb(1),
+            packets: 1_000_000,
+            throughput_series: TimeSeries::new(),
+            power_series: TimeSeries::new(),
+            concurrency_series: TimeSeries::new(),
+            failures: 0,
+            estimated_energy_j: None,
+            chunk_stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn totals_and_averages() {
+        let r = report();
+        assert_eq!(r.total_energy_j(), 500.0);
+        assert!((r.avg_throughput().as_mbps() - 800.0).abs() < 1e-9);
+        assert!((r.mean_power_w() - 50.0).abs() < 1e-9);
+        assert!((r.efficiency() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_guards() {
+        let mut r = report();
+        r.duration = SimDuration::ZERO;
+        assert_eq!(r.avg_throughput(), Rate::ZERO);
+        assert_eq!(r.mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        use eadt_sim::SimTime;
+        let mut r = report();
+        for i in 0..3 {
+            let t = SimTime::from_secs_f64(i as f64 * 0.1);
+            r.throughput_series.push(t, 100.0 + i as f64);
+            r.power_series.push(t, 40.0);
+            r.concurrency_series.push(t, 2.0);
+        }
+        let mut buf = Vec::new();
+        r.write_series_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "time_s,throughput_mbps,power_w,concurrency");
+        assert!(
+            lines[1].starts_with("0.000,100.000,40.000,2"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn zero_energy_efficiency_is_zero() {
+        let mut r = report();
+        r.src_energy_j = 0.0;
+        r.dst_energy_j = 0.0;
+        assert_eq!(r.efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Head-to-head comparison of all six schedulers on every testbed — a
+//! miniature of the paper's Figures 2–4 at a single concurrency level.
+//!
+//! ```text
+//! cargo run --release --example compare_algorithms [concurrency]
+//! ```
+
+use eadt::core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt::core::{Algorithm, Htee, MinE};
+use eadt::testbeds;
+
+fn main() {
+    let concurrency: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+
+    for testbed in testbeds::all() {
+        let dataset = testbed.dataset_spec.scaled(0.05).generate(11);
+        println!(
+            "\n=== {} — {} files, {}, concurrency {} ===",
+            testbed.name,
+            dataset.file_count(),
+            dataset.total_size(),
+            concurrency
+        );
+        println!(
+            "{:<8} {:>10} {:>11} {:>12} {:>10}",
+            "algo", "Mbps", "seconds", "energy (J)", "Mbps/J"
+        );
+
+        let algos: Vec<Box<dyn Algorithm>> = vec![
+            Box::new(GlobusUrlCopy::new()),
+            Box::new(GlobusOnline::new()),
+            Box::new(SingleChunk {
+                partition: testbed.partition,
+                ..SingleChunk::new(concurrency)
+            }),
+            Box::new(MinE {
+                partition: testbed.partition,
+                ..MinE::new(concurrency)
+            }),
+            Box::new(ProMc {
+                partition: testbed.partition,
+                ..ProMc::new(concurrency)
+            }),
+            Box::new(Htee {
+                partition: testbed.partition,
+                ..Htee::new(concurrency)
+            }),
+        ];
+        let mut best_eff = 0.0f64;
+        let mut best_name = "";
+        for algo in &algos {
+            let r = algo.run(&testbed.env, &dataset);
+            println!(
+                "{:<8} {:>10.0} {:>11.1} {:>12.0} {:>10.4}",
+                algo.name(),
+                r.avg_throughput().as_mbps(),
+                r.duration.as_secs_f64(),
+                r.total_energy_j(),
+                r.efficiency()
+            );
+            if r.efficiency() > best_eff {
+                best_eff = r.efficiency();
+                best_name = algo.name();
+            }
+        }
+
+        // The oracle: what was the best possible throughput/energy ratio?
+        let bf = BruteForce {
+            partition: testbed.partition,
+            ..BruteForce::new(concurrency)
+        };
+        let (best_cc, best) = bf.best(&testbed.env, &dataset);
+        println!(
+            "BF oracle: cc={best_cc} with ratio {:.4}; best algorithm here: {best_name} \
+             ({:.0}% of oracle)",
+            best.efficiency(),
+            100.0 * best_eff / best.efficiency()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Building your own environment in code: a hypothetical 100 Gbps science
+//! DMZ with eight-core DTNs — a path the paper never measured — and
+//! checking that the paper's parameter rules still behave sensibly on it.
+//!
+//! (The same environment can be produced as JSON with
+//! `eadt env --export`, hand-edited, and replayed via `--env-file`.)
+//!
+//! ```text
+//! cargo run --release --example custom_environment
+//! ```
+
+use eadt::core::baselines::ProMc;
+use eadt::core::{chunk_params, Algorithm, Htee, MinE};
+use eadt::dataset::{partition, DatasetMix, DatasetSpec, PartitionConfig};
+use eadt::endsys::{DiskSubsystem, ServerSpec, Site, UtilizationCoeffs};
+use eadt::net::link::Link;
+use eadt::net::packets::PacketModel;
+use eadt::net::tcp::CongestionModel;
+use eadt::power::FineGrainedModel;
+use eadt::sim::{Bytes, Rate, SimDuration};
+use eadt::transfer::{EngineTuning, TransferEnv};
+
+fn main() {
+    // A 100 Gbps path with 20 ms RTT: BDP = 250 MB — five times XSEDE's.
+    let dtn = ServerSpec::new(
+        "dmz-dtn",
+        8,
+        165.0,
+        Rate::from_gbps(100.0),
+        DiskSubsystem::Array {
+            per_access: Rate::from_gbps(12.0),
+            aggregate: Rate::from_gbps(60.0),
+        },
+    );
+    let env = TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(100.0),
+            SimDuration::from_millis(20),
+            Bytes::from_mb(64),
+        ),
+        src: Site::new("site-a", vec![dtn.clone(); 2]),
+        dst: Site::new("site-b", vec![dtn; 2]),
+        util: UtilizationCoeffs::default(),
+        power: FineGrainedModel {
+            cpu_scale: 2.2,
+            c_memory: 0.06,
+            c_disk: 0.12,
+            c_nic: 0.10,
+        },
+        congestion: CongestionModel {
+            saturation_streams: 48,
+            overload_penalty: 0.01,
+            floor: 0.6,
+        },
+        packets: PacketModel {
+            mtu: Bytes(9000),
+            control_overhead: 0.5,
+        }, // jumbo frames
+        tuning: EngineTuning {
+            wan_stream_cap: Rate::from_gbps(8.0),
+            proc_channel_cap: Rate::from_gbps(16.0),
+            per_file_overhead: SimDuration::from_millis(60),
+            slice: SimDuration::from_millis(100),
+            max_duration: SimDuration::from_secs(24 * 3600),
+        },
+        faults: None,
+        background: None,
+        estimator: None,
+    };
+
+    println!(
+        "BDP: {}  (buffer-limited: {})",
+        env.link.bdp(),
+        env.link.buffer_limited()
+    );
+
+    // A petascale-ish nightly batch, scaled down for the example.
+    let mix = DatasetMix {
+        name: "dmz-batch".into(),
+        components: vec![
+            DatasetSpec::new(
+                "small",
+                Bytes::from_gb(20),
+                Bytes::from_mb(8),
+                Bytes::from_mb(40),
+            ),
+            DatasetSpec::new(
+                "bulk",
+                Bytes::from_gb(80),
+                Bytes::from_gb(1),
+                Bytes::from_gb(50),
+            ),
+        ],
+    };
+    let dataset = mix.generate(5);
+    println!(
+        "dataset: {} files, {}\n",
+        dataset.file_count(),
+        dataset.total_size()
+    );
+
+    // The paper's parameter rules react to the new BDP: deep pipelines for
+    // the small class, four 64 MB-buffered streams to cover 250 MB in
+    // flight for the bulk class.
+    let chunks = partition(&dataset, env.link.bdp(), &PartitionConfig::default());
+    for c in &chunks {
+        let p = chunk_params(&env.link, c);
+        println!(
+            "{:<7} {:>6} files, avg {:>10} → pipelining {:>2}, parallelism {}",
+            c.class.label(),
+            c.file_count(),
+            c.avg_file_size().to_string(),
+            p.pipelining,
+            p.parallelism
+        );
+    }
+
+    println!();
+    let runs = [
+        ("ProMC@16", ProMc::new(16).run(&env, &dataset)),
+        ("MinE@16", MinE::new(16).run(&env, &dataset)),
+        ("HTEE@16", Htee::new(16).run(&env, &dataset)),
+    ];
+    for (name, r) in &runs {
+        println!(
+            "{:<9} {:>8.1} Gbps  {:>7.1} s  {:>8.0} J  {:.4} Mbps/J",
+            name,
+            r.avg_throughput().as_gbps(),
+            r.duration.as_secs_f64(),
+            r.total_energy_j(),
+            r.efficiency()
+        );
+    }
+    // On this bulk-dominated 100G batch MinE's Large-chunk pin costs more
+    // energy than it saves — the transfer is so short that duration, not
+    // power, dominates the integral. The paper's own Figure 4 lesson
+    // generalises: which algorithm wins depends on where the bottleneck is.
+    let best = runs
+        .iter()
+        .min_by(|a, b| a.1.total_energy_j().total_cmp(&b.1.total_energy_j()))
+        .expect("three runs");
+    println!(
+        "\nCheapest on this path: {} — not necessarily MinE; on short,\n\
+         bulk-dominated batches the Large-chunk pin stretches duration enough\n\
+         to cost energy. Which rule wins depends on the bottleneck, which is\n\
+         exactly why HTEE probes instead of assuming.",
+        best.0
+    );
+}

@@ -1,0 +1,86 @@
+//! Robustness features beyond the paper's steady-state evaluation:
+//! deterministic channel-failure injection (with and without GridFTP-style
+//! restart markers) and periodic background traffic, plus the in-vivo
+//! power estimator (a CPU-only Eq. 3 monitor riding along with the
+//! fine-grained reference).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use eadt::core::baselines::ProMc;
+use eadt::core::{Algorithm, Slaee};
+use eadt::power::{CpuOnlyModel, PowerModelKind};
+use eadt::sim::SimDuration;
+use eadt::testbeds::xsede;
+use eadt::transfer::{BackgroundTraffic, FaultModel};
+
+fn main() {
+    let base = xsede();
+    let dataset = base.dataset_spec.scaled(0.1).generate(23);
+    println!(
+        "dataset: {} files, {}\n",
+        dataset.file_count(),
+        dataset.total_size()
+    );
+
+    // Clean reference run.
+    let clean = ProMc::new(8).run(&base.env, &dataset);
+    println!(
+        "clean:                {:>6.0} Mbps  {:>7.0} J  0 failures",
+        clean.avg_throughput().as_mbps(),
+        clean.total_energy_j()
+    );
+
+    // Channel failures every ~30 s per channel, restart markers on/off.
+    for (label, markers) in [
+        ("with restart markers", true),
+        ("full file restarts ", false),
+    ] {
+        let mut tb = base.clone();
+        tb.env.faults = Some(FaultModel {
+            restart_markers: markers,
+            ..FaultModel::new(SimDuration::from_secs(30), 7)
+        });
+        let r = ProMc::new(8).run(&tb.env, &dataset);
+        println!(
+            "faults, {label}: {:>6.0} Mbps  {:>7.0} J  {} failures",
+            r.avg_throughput().as_mbps(),
+            r.total_energy_j(),
+            r.failures
+        );
+    }
+
+    // Background traffic: cross traffic eats 60% of the link for 30 s of
+    // every minute. SLAEE notices the throughput dip and adds channels.
+    let mut tb = base.clone();
+    tb.env.background = Some(BackgroundTraffic::square(
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(30),
+        0.6,
+    ));
+    let slaee = Slaee::new(0.7, clean.avg_throughput(), 12);
+    let r = slaee.run(&tb.env, &dataset);
+    println!(
+        "\nbackground traffic + SLAEE@70%: {:.0} Mbps achieved (target {:.0}), peak concurrency {}",
+        r.avg_throughput().as_mbps(),
+        clean.avg_throughput().as_mbps() * 0.7,
+        r.concurrency_series.max_value().unwrap_or(0.0)
+    );
+
+    // In-vivo estimator: a CPU-only monitor (Eq. 3) predicting the energy
+    // of a transfer whose disk/NIC counters it cannot see. Its weight folds
+    // the unseen components into the CPU predictor, scaled off the
+    // testbed's fine-grained model (the "model building" of §2.2).
+    let mut tb = base.clone();
+    let weight = tb.env.power.cpu_scale * 1.7;
+    tb.env.estimator = Some(PowerModelKind::CpuOnly(CpuOnlyModel::local(weight, 115.0)));
+    let r = ProMc::new(8).run(&tb.env, &dataset);
+    let est = r.estimated_energy_j.unwrap();
+    println!(
+        "\ncpu-only estimator: {:.0} J predicted vs {:.0} J reference ({:+.1}% error)",
+        est,
+        r.total_energy_j(),
+        100.0 * (est - r.total_energy_j()) / r.total_energy_j()
+    );
+}

@@ -1,0 +1,88 @@
+//! The §4 network-infrastructure analysis: how much energy the switches
+//! and routers along each testbed's path burn for a transfer, under the
+//! per-packet model (Eq. 5, Table 1) and the three dynamic-power families
+//! of Figure 8.
+//!
+//! ```text
+//! cargo run --release --example network_energy
+//! ```
+
+use eadt::core::{Algorithm, Htee};
+use eadt::netenergy::account::{decompose, path_energy_with_idle_joules};
+use eadt::netenergy::dynmodel::DynamicPowerModel;
+use eadt::testbeds;
+
+fn main() {
+    println!("-- Figure 8: dynamic power vs. traffic rate --");
+    println!(
+        "{:>6} {:>11} {:>8} {:>12}",
+        "rate", "non-linear", "linear", "state-based"
+    );
+    for i in 0..=5 {
+        let u = i as f64 / 5.0;
+        println!(
+            "{:>5.0}% {:>11.3} {:>8.3} {:>12.3}",
+            u * 100.0,
+            DynamicPowerModel::NonLinear.power_fraction(u),
+            DynamicPowerModel::Linear.power_fraction(u),
+            DynamicPowerModel::StateBased.power_fraction(u),
+        );
+    }
+    // The paper's §4 argument, numerically:
+    let slow = DynamicPowerModel::NonLinear.dynamic_energy_joules(0.25, 10.0, 100.0);
+    let fast = DynamicPowerModel::NonLinear.dynamic_energy_joules(1.0, 10.0, 100.0);
+    println!(
+        "\nnon-linear devices: quadrupling the rate cuts dynamic energy to {:.0}% \
+         (paper: half)",
+        100.0 * fast / slow
+    );
+    let l_slow = DynamicPowerModel::Linear.dynamic_energy_joules(0.25, 10.0, 100.0);
+    let l_fast = DynamicPowerModel::Linear.dynamic_energy_joules(1.0, 10.0, 100.0);
+    println!(
+        "linear devices:     quadrupling the rate changes it by {:+.1}% (paper: none)",
+        100.0 * (l_fast - l_slow) / l_slow
+    );
+
+    println!("\n-- Figure 10: end-system vs. network split for an HTEE transfer --");
+    println!(
+        "{:<11} {:>12} {:>11} {:>7} {:>7} {:>10}",
+        "testbed", "end-system", "network", "end%", "net%", "net J/GB"
+    );
+    for tb in testbeds::all() {
+        let dataset = tb.dataset_spec.scaled(0.1).generate(3);
+        let report = Htee {
+            partition: tb.partition,
+            ..Htee::new(8)
+        }
+        .run(&tb.env, &dataset);
+        let d = decompose(
+            report.total_energy_j(),
+            &tb.path,
+            report.wire_bytes,
+            &tb.env.packets,
+        );
+        println!(
+            "{:<11} {:>10.0} J {:>9.0} J {:>6.1}% {:>6.1}% {:>10.2}",
+            tb.name,
+            d.end_system_joules,
+            d.network_joules,
+            d.end_system_percent(),
+            d.network_percent(),
+            d.network_joules / report.wire_bytes.as_gb().max(1e-9),
+        );
+        // Eq. 4 with the idle term, for perspective: idle dominates, which
+        // is why the comparisons only use the load-dependent part.
+        let packets = tb.env.packets.total_packets(report.wire_bytes);
+        let full = path_energy_with_idle_joules(&tb.path, packets, report.duration.as_secs_f64());
+        println!(
+            "{:<11} …with idle power the same path burns {:.0} J ({}x the dynamic part)",
+            "",
+            full,
+            (full / d.network_joules.max(1e-9)) as u64
+        );
+    }
+    println!(
+        "\nMetro-router-heavy paths (FutureGrid) cost the most per byte — the\n\
+         §4 observation — while end systems dominate the load-dependent total."
+    );
+}

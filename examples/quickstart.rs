@@ -1,0 +1,61 @@
+//! Quickstart: transfer a mixed dataset over the XSEDE testbed with each of
+//! the paper's three energy-aware algorithms and print what they achieved.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eadt::core::baselines::ProMc;
+use eadt::prelude::*;
+
+fn main() {
+    // The simulated Stampede → Gordon path: 10 Gbps, 40 ms RTT, four
+    // 4-core data-transfer nodes per site (paper Figure 1).
+    let testbed = xsede();
+
+    // A scaled-down version of the paper's 160 GB mixed dataset so the
+    // example finishes instantly; drop `.scaled(..)` for the real thing.
+    let dataset = testbed.dataset_spec.scaled(0.05).generate(42);
+    println!(
+        "dataset: {} files, {} total\n",
+        dataset.file_count(),
+        dataset.total_size()
+    );
+
+    let reference = ProMc::new(12).run(&testbed.env, &dataset);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "algorithm", "Mbps", "energy (J)", "Mbps/J"
+    );
+    let line = |name: &str, r: &TransferReport| {
+        println!(
+            "{:<22} {:>10.0} {:>12.0} {:>12.4}",
+            name,
+            r.avg_throughput().as_mbps(),
+            r.total_energy_j(),
+            r.efficiency()
+        );
+    };
+    line("ProMC (throughput)", &reference);
+
+    // Minimum Energy: floods the small chunk with pipelined channels,
+    // pins the large chunk to a single channel.
+    let mine = MinE::new(12).run(&testbed.env, &dataset);
+    line("MinE (Algorithm 1)", &mine);
+
+    // High Throughput Energy-Efficient: probes concurrency levels for five
+    // seconds each, then commits to the best throughput/energy ratio.
+    let htee = Htee::new(12).run(&testbed.env, &dataset);
+    line("HTEE (Algorithm 2)", &htee);
+
+    // SLA-based: deliver 80% of the reference throughput, cheaply.
+    let slaee = Slaee::new(0.8, reference.avg_throughput(), 12).run(&testbed.env, &dataset);
+    line("SLAEE 80% (Alg. 3)", &slaee);
+
+    println!(
+        "\nMinE used {:.1}% less energy than ProMC at {:.1}% lower throughput",
+        100.0 * (reference.total_energy_j() - mine.total_energy_j()) / reference.total_energy_j(),
+        100.0 * (reference.avg_throughput().as_mbps() - mine.avg_throughput().as_mbps())
+            / reference.avg_throughput().as_mbps(),
+    );
+}

@@ -1,0 +1,43 @@
+//! # EADT — Energy-Aware Data Transfer algorithms
+//!
+//! A reproduction of *"Energy-Aware Data Transfer Algorithms"* (Alan,
+//! Arslan, Kosar — SC 2015) as a Rust workspace. This facade crate
+//! re-exports the public API of every member crate so applications can
+//! depend on a single crate:
+//!
+//! ```
+//! use eadt::prelude::*;
+//!
+//! let testbed = eadt::testbeds::didclab();
+//! let dataset = testbed.dataset_spec.scaled(0.01).generate(42);
+//! let report = Htee::new(4).run(&testbed.env, &dataset);
+//! assert!(report.completed);
+//! assert!(report.avg_throughput().as_mbps() > 0.0);
+//! ```
+//!
+//! The three paper algorithms live in [`core`] as [`MinE`](core::MinE),
+//! [`Htee`](core::Htee) and [`Slaee`](core::Slaee); the baselines they are
+//! evaluated against (GUC, GO, SC, ProMC, BF) are in
+//! [`core::baselines`]. The simulated substrate — network paths,
+//! end-systems, power models, the GridFTP-like transfer engine and the
+//! network-device energy accounting — lives in the remaining crates.
+
+pub use eadt_core as core;
+pub use eadt_dataset as dataset;
+pub use eadt_endsys as endsys;
+pub use eadt_net as net;
+pub use eadt_netenergy as netenergy;
+pub use eadt_power as power;
+pub use eadt_sim as sim;
+pub use eadt_testbeds as testbeds;
+pub use eadt_transfer as transfer;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+    pub use eadt_core::{Algorithm, Htee, MinE, Slaee};
+    pub use eadt_dataset::{Dataset, FileSpec};
+    pub use eadt_sim::{Bytes, Rate, SimDuration, SimTime};
+    pub use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
+    pub use eadt_transfer::{TransferParams, TransferReport};
+}

@@ -1,0 +1,69 @@
+//! Property-based invariants of the full stack: whatever the dataset and
+//! parameters, transfers conserve bytes, never create negative energy, and
+//! report internally consistent numbers.
+
+use eadt::core::baselines::{GlobusUrlCopy, ProMc, SingleChunk};
+use eadt::core::{Algorithm, MinE};
+use eadt::sim::Bytes;
+use eadt::testbeds::xsede;
+use eadt_dataset::Dataset;
+use proptest::prelude::*;
+
+fn arbitrary_dataset() -> impl Strategy<Value = Dataset> {
+    // 1–40 files of 1–600 MB each: spans Small/Medium/Large on XSEDE.
+    prop::collection::vec(1u64..600, 1..40)
+        .prop_map(|mbs| Dataset::from_sizes("prop", mbs.into_iter().map(Bytes::from_mb)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transfers_conserve_bytes(dataset in arbitrary_dataset(), cc in 1u32..10) {
+        let tb = xsede();
+        let r = ProMc::new(cc).run(&tb.env, &dataset);
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.moved_bytes, dataset.total_size());
+        prop_assert!(r.wire_bytes >= r.moved_bytes);
+    }
+
+    #[test]
+    fn reports_are_internally_consistent(dataset in arbitrary_dataset(), cc in 1u32..8) {
+        let tb = xsede();
+        let r = MinE::new(cc).run(&tb.env, &dataset);
+        prop_assert!(r.completed);
+        prop_assert!(r.total_energy_j() > 0.0);
+        prop_assert!(r.src_energy_j > 0.0 && r.dst_energy_j > 0.0);
+        prop_assert!(r.duration.as_secs_f64() > 0.0);
+        // avg throughput × duration reproduces the byte count (±1 slice).
+        let implied = r.avg_throughput().as_bps() * r.duration.as_secs_f64() / 8.0;
+        let actual = r.moved_bytes.as_f64();
+        prop_assert!((implied - actual).abs() / actual < 0.01,
+            "implied {} vs actual {}", implied, actual);
+        prop_assert!(r.packets > 0);
+    }
+
+    #[test]
+    fn sequential_never_beats_wall_clock_of_concurrent(dataset in arbitrary_dataset()) {
+        let tb = xsede();
+        let seq = SingleChunk::new(6).run(&tb.env, &dataset);
+        let conc = ProMc::new(6).run(&tb.env, &dataset);
+        prop_assert!(seq.completed && conc.completed);
+        // Multi-chunk overlap can only help (± a couple of slices of
+        // scheduling noise).
+        prop_assert!(conc.duration.as_secs_f64() <= seq.duration.as_secs_f64() + 1.0,
+            "concurrent {} vs sequential {}", conc.duration, seq.duration);
+    }
+
+    #[test]
+    fn single_channel_baseline_is_slowest(dataset in arbitrary_dataset()) {
+        let tb = xsede();
+        let guc = GlobusUrlCopy::new().run(&tb.env, &dataset);
+        let tuned = ProMc::new(8).run(&tb.env, &dataset);
+        prop_assert!(guc.completed && tuned.completed);
+        prop_assert!(
+            tuned.avg_throughput().as_mbps() >= guc.avg_throughput().as_mbps() * 0.99,
+            "tuned {} vs GUC {}", tuned.avg_throughput(), guc.avg_throughput()
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-crate shape assertions: the relations the paper's Figures 2–7
+//! report must hold on scaled-down datasets too (the simulator's shapes
+//! are scale-invariant; only absolute Joules change).
+
+use eadt::core::baselines::{GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::testbeds::{didclab, futuregrid, xsede, Environment};
+use eadt_dataset::Dataset;
+
+const SEED: u64 = 42;
+
+fn dataset(tb: &Environment, scale: f64) -> Dataset {
+    tb.dataset_spec.scaled(scale).generate(SEED)
+}
+
+#[test]
+fn fig2_promc_has_top_throughput_on_xsede() {
+    let tb = xsede();
+    let d = dataset(&tb, 0.03);
+    let promc = ProMc::new(12).run(&tb.env, &d);
+    let sc = SingleChunk::new(12).run(&tb.env, &d);
+    let mine = MinE::new(12).run(&tb.env, &d);
+    let guc = GlobusUrlCopy::new().run(&tb.env, &d);
+    assert!(
+        promc.avg_throughput().as_mbps() >= sc.avg_throughput().as_mbps(),
+        "ProMC {} vs SC {}",
+        promc.avg_throughput(),
+        sc.avg_throughput()
+    );
+    assert!(promc.avg_throughput().as_mbps() >= mine.avg_throughput().as_mbps());
+    assert!(
+        guc.avg_throughput().as_mbps() < 0.5 * promc.avg_throughput().as_mbps(),
+        "GUC must trail badly: {} vs {}",
+        guc.avg_throughput(),
+        promc.avg_throughput()
+    );
+}
+
+#[test]
+fn fig2_mine_energy_is_lowest_at_low_concurrency() {
+    let tb = xsede();
+    let d = dataset(&tb, 0.03);
+    for cc in [2u32, 4] {
+        let mine = MinE::new(cc).run(&tb.env, &d);
+        let sc = SingleChunk::new(cc).run(&tb.env, &d);
+        let guc = GlobusUrlCopy::new().run(&tb.env, &d);
+        assert!(
+            mine.total_energy_j() <= sc.total_energy_j() * 1.02,
+            "cc={cc}: MinE {} vs SC {}",
+            mine.total_energy_j(),
+            sc.total_energy_j()
+        );
+        assert!(mine.total_energy_j() < guc.total_energy_j());
+    }
+}
+
+#[test]
+fn fig2_promc_energy_dips_then_rises_with_concurrency() {
+    // The Figure 2b parabola: energy at concurrency 1 and 12 exceeds the
+    // minimum around 4.
+    let tb = xsede();
+    let d = dataset(&tb, 0.05);
+    let e1 = ProMc::new(1).run(&tb.env, &d).total_energy_j();
+    let e4 = ProMc::new(4).run(&tb.env, &d).total_energy_j();
+    let e12 = ProMc::new(12).run(&tb.env, &d).total_energy_j();
+    assert!(e4 < e1, "E(4)={e4} should be below E(1)={e1}");
+    assert!(e4 < e12, "E(4)={e4} should be below E(12)={e12}");
+}
+
+#[test]
+fn fig2_go_spreading_costs_energy_vs_sc_at_cc2() {
+    let tb = xsede();
+    let d = dataset(&tb, 0.03);
+    let go = GlobusOnline::new().run(&tb.env, &d);
+    let sc = SingleChunk::new(2).run(&tb.env, &d);
+    // Similar throughput, more energy (the Figure 2b observation).
+    let thr_ratio = go.avg_throughput().as_mbps() / sc.avg_throughput().as_mbps();
+    assert!((0.6..1.7).contains(&thr_ratio), "thr ratio {thr_ratio}");
+    assert!(
+        go.total_energy_j() > sc.total_energy_j(),
+        "GO {} vs SC@2 {}",
+        go.total_energy_j(),
+        sc.total_energy_j()
+    );
+}
+
+#[test]
+fn fig3_algorithms_converge_near_link_capacity_on_futuregrid() {
+    let tb = futuregrid();
+    // Large enough that the biggest files stop dominating the tail.
+    let d = dataset(&tb, 0.3);
+    let promc = ProMc {
+        partition: tb.partition,
+        ..ProMc::new(12)
+    }
+    .run(&tb.env, &d);
+    let mine = MinE {
+        partition: tb.partition,
+        ..MinE::new(12)
+    }
+    .run(&tb.env, &d);
+    let thr_p = promc.avg_throughput().as_mbps();
+    let thr_m = mine.avg_throughput().as_mbps();
+    // "ProMC, MinE, and HTEE algorithms yield comparable data transfer
+    // throughput" (§3).
+    assert!(
+        (thr_m - thr_p).abs() / thr_p < 0.35,
+        "MinE {thr_m} vs ProMC {thr_p}"
+    );
+    // And the link is the binding constraint: ≥ 60% of 1 Gbps.
+    assert!(
+        thr_p > 550.0,
+        "ProMC should approach the 1 Gbps link: {thr_p}"
+    );
+}
+
+#[test]
+fn fig4_concurrency_hurts_throughput_on_didclab() {
+    let tb = didclab();
+    let d = dataset(&tb, 0.05);
+    let mut prev = f64::INFINITY;
+    for cc in [1u32, 4, 8, 12] {
+        let r = ProMc::new(cc).run(&tb.env, &d);
+        let thr = r.avg_throughput().as_mbps();
+        assert!(
+            thr <= prev * 1.02,
+            "LAN throughput must not rise with concurrency: cc={cc} thr={thr} prev={prev}"
+        );
+        prev = thr;
+    }
+}
+
+#[test]
+fn fig4_mine_stays_at_one_channel_on_lan() {
+    let tb = didclab();
+    let d = dataset(&tb, 0.05);
+    let r = MinE::new(12).run(&tb.env, &d);
+    assert!(r.completed);
+    let peak = r.concurrency_series.max_value().unwrap();
+    // Everything is a Large chunk on a 25 KB BDP → one channel each; the
+    // dataset collapses to a single chunk → exactly one channel.
+    assert!(
+        peak <= 2.0,
+        "MinE should stay minimal on the LAN: peak={peak}"
+    );
+}
+
+#[test]
+fn fig4_energy_grows_with_concurrency_on_didclab() {
+    let tb = didclab();
+    let d = dataset(&tb, 0.05);
+    let e1 = ProMc::new(1).run(&tb.env, &d).total_energy_j();
+    let e12 = ProMc::new(12).run(&tb.env, &d).total_energy_j();
+    assert!(e12 > 1.3 * e1, "E(12)={e12} must clearly exceed E(1)={e1}");
+}
+
+#[test]
+fn fig5_slaee_meets_reachable_targets_with_bounded_deviation() {
+    let tb = xsede();
+    let d = dataset(&tb, 0.05);
+    let reference = ProMc::new(12).run(&tb.env, &d);
+    let max = reference.avg_throughput();
+    for pct in [70u32, 50] {
+        let level = f64::from(pct) / 100.0;
+        let r = Slaee::new(level, max, 12).run(&tb.env, &d);
+        assert!(r.completed);
+        let achieved = r.avg_throughput().as_mbps();
+        let target = max.as_mbps() * level;
+        let deviation = (target - achieved) / target;
+        assert!(
+            deviation < 0.3,
+            "{pct}%: achieved {achieved} vs target {target} (deviation {deviation})"
+        );
+    }
+}
+
+#[test]
+fn fig5_slaee_lower_targets_do_not_cost_more_energy() {
+    let tb = xsede();
+    let d = dataset(&tb, 0.05);
+    let reference = ProMc::new(12).run(&tb.env, &d);
+    let max = reference.avg_throughput();
+    let hi = Slaee::new(0.95, max, 12).run(&tb.env, &d);
+    let lo = Slaee::new(0.5, max, 12).run(&tb.env, &d);
+    assert!(
+        lo.total_energy_j() <= hi.total_energy_j() * 1.05,
+        "50% target ({}) should not burn more than 95% target ({})",
+        lo.total_energy_j(),
+        hi.total_energy_j()
+    );
+}
+
+#[test]
+fn fig7_slaee_on_lan_settles_at_one_channel() {
+    let tb = didclab();
+    let d = dataset(&tb, 0.05);
+    let reference = ProMc::new(1).run(&tb.env, &d);
+    let r = Slaee::new(0.5, reference.avg_throughput(), 12).run(&tb.env, &d);
+    assert!(r.completed);
+    // Concurrency 1 already overshoots a 50% target; SLAEE must not ramp.
+    let peak = r.concurrency_series.max_value().unwrap();
+    assert!(peak <= 3.0, "peak={peak}");
+    // Energy stays at the single-channel level.
+    let base = ProMc::new(1).run(&tb.env, &d).total_energy_j();
+    assert!(
+        r.total_energy_j() < base * 1.15,
+        "{} vs {}",
+        r.total_energy_j(),
+        base
+    );
+}
+
+#[test]
+fn htee_efficiency_beats_untuned_baselines() {
+    let tb = xsede();
+    // HTEE's 20 s search phase must be small relative to the transfer.
+    let d = dataset(&tb, 0.12);
+    let htee = Htee::new(8).run(&tb.env, &d);
+    let guc = GlobusUrlCopy::new().run(&tb.env, &d);
+    let go = GlobusOnline::new().run(&tb.env, &d);
+    assert!(
+        htee.efficiency() > 1.5 * go.efficiency(),
+        "HTEE {} vs GO {}",
+        htee.efficiency(),
+        go.efficiency()
+    );
+    assert!(
+        htee.efficiency() > 4.0 * guc.efficiency(),
+        "HTEE {} vs GUC {}",
+        htee.efficiency(),
+        guc.efficiency()
+    );
+}

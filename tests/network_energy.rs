@@ -1,0 +1,73 @@
+//! Cross-crate §4 checks: Eq. 5 accounting over real transfer reports and
+//! the Figure 10 decomposition claims.
+
+use eadt::core::{Algorithm, Htee};
+use eadt::netenergy::account::{decompose, path_energy_joules};
+use eadt::netenergy::dynmodel::DynamicPowerModel;
+use eadt::testbeds::{all, didclab, futuregrid, xsede};
+
+#[test]
+fn end_systems_dominate_load_dependent_energy_everywhere() {
+    for tb in all() {
+        let dataset = tb.dataset_spec.scaled(0.03).generate(3);
+        let r = Htee {
+            partition: tb.partition,
+            ..Htee::new(8)
+        }
+        .run(&tb.env, &dataset);
+        assert!(r.completed, "{}", tb.name);
+        let d = decompose(r.total_energy_j(), &tb.path, r.wire_bytes, &tb.env.packets);
+        assert!(
+            d.end_system_percent() > 80.0,
+            "{}: end-system share {}",
+            tb.name,
+            d.end_system_percent()
+        );
+    }
+}
+
+#[test]
+fn metro_router_paths_cost_most_per_byte() {
+    // Figure 10 / §4: more metro routers on the path → more network energy
+    // for the same bytes.
+    let bytes = eadt::sim::Bytes::from_gb(10);
+    let packets = eadt_net::packets::PacketModel::default().total_packets(bytes);
+    let fg = path_energy_joules(&futuregrid().path, packets);
+    let xs = path_energy_joules(&xsede().path, packets);
+    let lab = path_energy_joules(&didclab().path, packets);
+    assert!(fg > xs, "FutureGrid {fg} vs XSEDE {xs}");
+    assert!(xs > 20.0 * lab, "XSEDE {xs} vs DIDCLAB {lab}");
+}
+
+#[test]
+fn network_energy_is_algorithm_rate_dependent_only_through_packets() {
+    // §4's conclusion: under the linear model, total network energy is the
+    // same whatever rate the end systems choose — only retransmissions
+    // (wire bytes) can change it.
+    let tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.02).generate(3);
+    let slow = eadt::core::baselines::ProMc::new(1).run(&tb.env, &dataset);
+    let fast = eadt::core::baselines::ProMc::new(8).run(&tb.env, &dataset);
+    let e_slow = path_energy_joules(&tb.path, tb.env.packets.total_packets(slow.wire_bytes));
+    let e_fast = path_energy_joules(&tb.path, tb.env.packets.total_packets(fast.wire_bytes));
+    let ratio = e_fast / e_slow;
+    assert!(
+        (0.95..1.15).contains(&ratio),
+        "per-packet accounting should be nearly rate-independent: {ratio}"
+    );
+}
+
+#[test]
+fn nonlinear_devices_reward_faster_transfers() {
+    // §4: with sub-linear dynamic power, tuning for throughput also saves
+    // network energy; with linear it is neutral.
+    let m = DynamicPowerModel::NonLinear;
+    let e_quarter = m.dynamic_energy_joules(0.25, 5.0, 60.0);
+    let e_full = m.dynamic_energy_joules(1.0, 5.0, 60.0);
+    assert!(e_full < e_quarter);
+    let l = DynamicPowerModel::Linear;
+    assert!(
+        (l.dynamic_energy_joules(0.25, 5.0, 60.0) - l.dynamic_energy_joules(1.0, 5.0, 60.0)).abs()
+            < 1e-9
+    );
+}
