@@ -10,7 +10,10 @@ use eadt_dataset::{partition, Dataset};
 use eadt_endsys::Placement;
 use eadt_sim::SimDuration;
 use eadt_testbeds::Environment;
-use eadt_transfer::{ChunkPlan, Engine, NullController, TransferPlan, TransferReport};
+use eadt_transfer::{
+    ChunkPlan, Engine, FaultModel, FaultPlan, NullController, OutageModel, SiteSide, TransferPlan,
+    TransferReport,
+};
 use serde::{Deserialize, Serialize};
 
 /// One ablation outcome.
@@ -178,6 +181,105 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
     rows
 }
 
+/// One row of the robustness ablation: energy overhead vs channel MTBF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultAblationRow {
+    /// Channel mean-time-to-failure in seconds; 0 = clean (no faults).
+    pub mtbf_s: u64,
+    /// "static" or "fault-aware".
+    pub variant: String,
+    /// Wall-clock transfer duration, seconds.
+    pub duration_s: f64,
+    /// Average throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Total end-system energy, Joules.
+    pub energy_j: f64,
+    /// Fractional energy overhead vs the clean static run (0.07 = +7 %).
+    pub energy_overhead: f64,
+    /// Total injected failures observed (channel + outage).
+    pub failures: u64,
+    /// Slices retried after backoff.
+    pub retries: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Bytes re-sent because progress was lost.
+    pub retransmitted_bytes: u64,
+    /// Energy re-spent moving those bytes, Joules.
+    pub retransmitted_energy_j: f64,
+}
+
+impl FaultAblationRow {
+    fn new(mtbf_s: u64, variant: &str, r: &TransferReport, clean_energy_j: f64) -> Self {
+        FaultAblationRow {
+            mtbf_s,
+            variant: variant.to_string(),
+            duration_s: r.duration.as_secs_f64(),
+            throughput_mbps: r.avg_throughput().as_mbps(),
+            energy_j: r.total_energy_j(),
+            energy_overhead: r.total_energy_j() / clean_energy_j - 1.0,
+            failures: r.faults.total_failures(),
+            retries: r.faults.retries,
+            breaker_opens: r.faults.breaker_opens,
+            retransmitted_bytes: r.faults.retransmitted_bytes.as_u64(),
+            retransmitted_energy_j: r.retransmitted_energy_j(),
+        }
+    }
+}
+
+/// Sweeps channel MTBF against a fixed destination-server outage and
+/// reports the energy overhead of surviving it.
+///
+/// The clean (no-fault) static run anchors `energy_overhead`; each MTBF
+/// point then runs three recovery policies over the identical fault
+/// schedule: the paper client with restart markers ("markers"), the same
+/// client with markers dropped so every failure re-sends the file from
+/// byte zero ("no markers"), and the marker-protected client wrapped in
+/// the [`eadt_transfer::FaultAware`] decorator. The table answers three
+/// questions at once: what do faults cost, how much of that cost is
+/// retransmission (recoverable by checkpointing), and what adaptive
+/// shedding changes on top.
+pub fn fault_ablation(
+    tb: &Environment,
+    dataset: &Dataset,
+    max_channel: u32,
+    mtbfs_s: &[u64],
+    seed: u64,
+) -> Vec<FaultAblationRow> {
+    let promc = |fault_aware: bool| ProMc {
+        partition: tb.partition,
+        fault_aware,
+        ..ProMc::new(max_channel)
+    };
+    let clean = promc(false).run(&tb.env, dataset);
+    let clean_j = clean.total_energy_j();
+    let mut rows = vec![FaultAblationRow::new(0, "clean", &clean, clean_j)];
+
+    for &mtbf in mtbfs_s {
+        let plan = FaultPlan::from(FaultModel::new(SimDuration::from_secs(mtbf), seed))
+            .with_outage(OutageModel::new(
+                SiteSide::Dst,
+                0,
+                SimDuration::from_secs(6),
+                SimDuration::from_secs(4),
+                seed ^ 0x0fa1,
+            ));
+        let configs = [
+            ("markers", false, false),
+            ("no markers", false, true),
+            ("fault-aware", true, false),
+        ];
+        for (variant, aware, drop_markers) in configs {
+            let mut env = tb.env.clone();
+            let mut p = plan.clone();
+            p.drop_restart_markers = drop_markers;
+            env.faults = Some(p);
+            let r = promc(aware).run(&env, dataset);
+            rows.push(FaultAblationRow::new(mtbf, variant, &r, clean_j));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +329,55 @@ mod tests {
             assert!(r.throughput_mbps > 0.0, "{r:?}");
             assert!(r.energy_j > 0.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn fault_ablation_shows_overhead_growing_as_mtbf_shrinks() {
+        let tb = xsede();
+        let dataset = tb.dataset_spec.scaled(0.03).generate(5);
+        let rows = fault_ablation(&tb, &dataset, 8, &[40, 8], 11);
+        // 1 clean row + 3 variants × 2 MTBF points.
+        assert_eq!(rows.len(), 7);
+        let clean = &rows[0];
+        assert_eq!((clean.mtbf_s, clean.failures), (0, 0));
+        assert!(clean.energy_overhead.abs() < 1e-12);
+        let get = |mtbf: u64, variant: &str| -> &FaultAblationRow {
+            rows.iter()
+                .find(|r| r.mtbf_s == mtbf && r.variant == variant)
+                .unwrap_or_else(|| panic!("missing mtbf={mtbf}/{variant}"))
+        };
+        for r in rows.iter().skip(1) {
+            assert!(r.failures > 0, "{r:?}");
+            assert!(r.retries > 0, "{r:?}");
+            assert!(r.duration_s >= clean.duration_s, "{r:?}");
+        }
+        for mtbf in [40, 8] {
+            // Restart markers make recovery free of retransmission …
+            assert_eq!(get(mtbf, "markers").retransmitted_bytes, 0);
+            assert_eq!(get(mtbf, "fault-aware").retransmitted_bytes, 0);
+            // … dropping them books lost progress as re-sent energy.
+            assert!(get(mtbf, "no markers").retransmitted_bytes > 0);
+            assert!(get(mtbf, "no markers").retransmitted_energy_j > 0.0);
+        }
+        // Shorter MTBF → more failures. (Retransmitted *bytes* are not
+        // monotone in MTBF: rarer failures each lose more accumulated
+        // progress, which is exactly why the table reports both.)
+        assert!(get(8, "markers").failures > get(40, "markers").failures);
+        for mtbf in [40, 8] {
+            // Retransmission is the energy overhead: dropping markers
+            // costs real joules, markers keep the overhead near zero.
+            assert!(get(mtbf, "no markers").energy_overhead > 0.02);
+            assert!(get(mtbf, "no markers").energy_overhead > get(mtbf, "markers").energy_overhead);
+            assert!(get(mtbf, "markers").energy_overhead.abs() < 0.05);
+            // The breaker quarantined the outaged server in every arm.
+            for v in ["markers", "no markers", "fault-aware"] {
+                assert!(get(mtbf, v).breaker_opens >= 1, "{:?}", get(mtbf, v));
+            }
+            // Shedding under quarantine trades duration for energy: the
+            // fault-aware arm is never more expensive than the static one.
+            assert!(get(mtbf, "fault-aware").energy_j <= get(mtbf, "markers").energy_j);
+        }
+        // Deterministic: the same sweep reproduces bit-identically.
+        assert_eq!(rows, fault_ablation(&tb, &dataset, 8, &[40, 8], 11));
     }
 }

@@ -13,7 +13,8 @@
 //!   surface   §2.1 parameter-effect sweeps
 //!   estimator in-vivo CPU-only energy estimation (Eq. 3 live)
 //!   workloads who wins as the dataset composition shifts
-//!   ablations design-choice ablations (DESIGN.md §6)   all    everything
+//!   ablations design-choice ablations (DESIGN.md §6)
+//!   robustness energy overhead vs MTBF under faults    all    everything
 //! ```
 //!
 //! `--scale` shrinks the dataset volumes (1.0 = the paper's 160/40 GB);
@@ -21,7 +22,7 @@
 
 use eadt_bench::table::{f, render};
 use eadt_bench::{
-    ablation_matrix, fig10_decomposition, fig8_series, fig9_paths, model_accuracy,
+    ablation_matrix, fault_ablation, fig10_decomposition, fig8_series, fig9_paths, model_accuracy,
     parameter_surface, sla_figure, sweep_figure, table1_rows, SlaFigure, SweepFigure,
 };
 use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
@@ -91,7 +92,16 @@ fn main() {
         println!(
             "{}",
             render(
-                &["testbed", "bandwidth", "RTT", "BDP", "TCP buf", "DTNs", "TDP", "dataset"],
+                &[
+                    "testbed",
+                    "bandwidth",
+                    "RTT",
+                    "BDP",
+                    "TCP buf",
+                    "DTNs",
+                    "TDP",
+                    "dataset"
+                ],
                 &rows
             )
         );
@@ -380,6 +390,42 @@ fn main() {
         );
         json_out.insert(
             "ablations".into(),
+            serde_json::to_value(&rows).expect("serializable"),
+        );
+    }
+    if want("robustness") {
+        println!("\n== Robustness — energy overhead vs channel MTBF (XSEDE) ==");
+        let tb = xsede();
+        let dataset = tb.dataset_spec.scaled(opts.scale).generate(opts.seed);
+        let rows = fault_ablation(&tb, &dataset, 12, &[60, 30, 10], opts.seed);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    if r.mtbf_s == 0 {
+                        "∞ (clean)".into()
+                    } else {
+                        format!("{}", r.mtbf_s)
+                    },
+                    r.variant.clone(),
+                    f(r.duration_s),
+                    f(r.energy_j),
+                    format!("{:+.1} %", r.energy_overhead * 100.0),
+                    r.failures.to_string(),
+                    r.breaker_opens.to_string(),
+                    f(r.retransmitted_energy_j),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["MTBF s", "recovery", "dur s", "energy J", "overhead", "fail", "brk", "retx J"],
+                &table
+            )
+        );
+        json_out.insert(
+            "robustness".into(),
             serde_json::to_value(&rows).expect("serializable"),
         );
     }

@@ -20,7 +20,7 @@ pub mod sweep;
 pub mod table;
 pub mod workloads;
 
-pub use ablate::{ablation_matrix, AblationRow};
+pub use ablate::{ablation_matrix, fault_ablation, AblationRow, FaultAblationRow};
 pub use accuracy::{model_accuracy, AccuracyRow};
 pub use device::{fig10_decomposition, fig8_series, fig9_paths, table1_rows, DecompositionRow};
 pub use estimator::{estimator_experiment, EstimatorRow};

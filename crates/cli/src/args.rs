@@ -129,6 +129,37 @@ pub enum Command {
     Help,
 }
 
+/// Fault-injection and recovery overrides, applied on top of whatever the
+/// environment (testbed or `--env-file`) already declares.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultArgs {
+    /// `--mtbf SECS`: per-channel mean time to failure.
+    pub mtbf_s: Option<f64>,
+    /// `--outage GAP:DUR[:SERVER]`: recurring outage windows on a server
+    /// of the receiving site (mean gap and duration in seconds; server
+    /// index defaults to 0).
+    pub outage: Option<(f64, f64, usize)>,
+    /// `--retry-budget N`: consecutive failures before a channel is parked
+    /// for the full cooldown.
+    pub retry_budget: Option<u32>,
+    /// `--no-restart-markers`: lose in-flight file progress on failure.
+    pub no_restart_markers: bool,
+    /// `--fault-aware`: wrap the algorithm's controller in the
+    /// fault-aware decorator (shed concurrency under quarantine, re-ramp
+    /// on recovery).
+    pub fault_aware: bool,
+}
+
+impl FaultArgs {
+    /// Whether any fault-related flag was given.
+    pub fn any(&self) -> bool {
+        self.mtbf_s.is_some()
+            || self.outage.is_some()
+            || self.retry_budget.is_some()
+            || self.no_restart_markers
+    }
+}
+
 /// Fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
@@ -145,6 +176,8 @@ pub struct Cli {
     pub seed: u64,
     /// Emit a JSON report instead of tables.
     pub json: bool,
+    /// Fault-injection overrides.
+    pub faults: FaultArgs,
 }
 
 /// The usage string printed by `eadt help`.
@@ -181,6 +214,15 @@ OPTIONS:
   --pipelining N     (transfer --algorithm manual) command queue depth
   --parallelism N    (transfer --algorithm manual) streams per channel
   --json             machine-readable output
+
+FAULT INJECTION (composes with whatever the environment declares):
+  --mtbf SECS          per-channel mean time to failure
+  --outage G:D[:S]     outage windows on dst server S (default 0): mean gap
+                       G seconds, duration D seconds
+  --retry-budget N     consecutive failures before the full cooldown
+  --no-restart-markers lose in-flight file progress on failure
+  --fault-aware        shed concurrency while servers are quarantined,
+                       re-ramp on recovery
 ";
 
 impl Cli {
@@ -210,6 +252,7 @@ impl Cli {
         let mut pipelining = 1u32;
         let mut parallelism = 1u32;
         let mut dataset_file: Option<String> = None;
+        let mut faults = FaultArgs::default();
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -241,6 +284,14 @@ impl Cli {
                 "--parallelism" => {
                     parallelism = parse_num(value("--parallelism")?, "--parallelism")?
                 }
+                "--mtbf" => faults.mtbf_s = Some(parse_num(value("--mtbf")?, "--mtbf")?),
+                "--outage" => faults.outage = Some(parse_outage(value("--outage")?)?),
+                "--retry-budget" => {
+                    faults.retry_budget =
+                        Some(parse_num(value("--retry-budget")?, "--retry-budget")?)
+                }
+                "--no-restart-markers" => faults.no_restart_markers = true,
+                "--fault-aware" => faults.fault_aware = true,
                 other => return Err(format!("unknown option '{other}' (try `eadt help`)")),
             }
         }
@@ -254,6 +305,11 @@ impl Cli {
         };
         if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("--scale must be positive".into());
+        }
+        if let Some(m) = faults.mtbf_s {
+            if m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err("--mtbf must be positive".into());
+            }
         }
 
         let command = match cmd_word {
@@ -298,12 +354,31 @@ impl Cli {
             seed,
             json,
             dataset_file,
+            faults,
         })
     }
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: cannot parse '{s}'"))
+}
+
+/// Parses `GAP:DUR[:SERVER]` (seconds, seconds, dst-server index).
+fn parse_outage(s: &str) -> Result<(f64, f64, usize), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!("--outage: expected GAP:DUR[:SERVER], got '{s}'"));
+    }
+    let gap: f64 = parse_num(parts[0], "--outage gap")?;
+    let dur: f64 = parse_num(parts[1], "--outage duration")?;
+    if gap <= 0.0 || dur <= 0.0 {
+        return Err("--outage: gap and duration must be positive".into());
+    }
+    let server: usize = match parts.get(2) {
+        Some(p) => parse_num(p, "--outage server")?,
+        None => 0,
+    };
+    Ok((gap, dur, server))
 }
 
 fn parse_list(s: &str, flag: &str) -> Result<Vec<u32>, String> {
@@ -436,6 +511,39 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_flags_round_trip() {
+        let cli = Cli::parse(&argv(
+            "transfer --mtbf 30 --outage 40:10:1 --retry-budget 4 --no-restart-markers --fault-aware",
+        ))
+        .unwrap();
+        assert_eq!(cli.faults.mtbf_s, Some(30.0));
+        assert_eq!(cli.faults.outage, Some((40.0, 10.0, 1)));
+        assert_eq!(cli.faults.retry_budget, Some(4));
+        assert!(cli.faults.no_restart_markers);
+        assert!(cli.faults.fault_aware);
+        assert!(cli.faults.any());
+        // Server index defaults to 0 when omitted.
+        let cli = Cli::parse(&argv("transfer --outage 20:5")).unwrap();
+        assert_eq!(cli.faults.outage, Some((20.0, 5.0, 0)));
+        // No flags → no overrides.
+        let cli = Cli::parse(&argv("transfer")).unwrap();
+        assert_eq!(cli.faults, FaultArgs::default());
+        assert!(!cli.faults.any());
+    }
+
+    #[test]
+    fn bad_fault_flags_are_rejected() {
+        assert!(Cli::parse(&argv("transfer --mtbf 0")).is_err());
+        assert!(Cli::parse(&argv("transfer --mtbf -3")).is_err());
+        assert!(Cli::parse(&argv("transfer --mtbf")).is_err());
+        assert!(Cli::parse(&argv("transfer --outage 10")).is_err());
+        assert!(Cli::parse(&argv("transfer --outage 10:0")).is_err());
+        assert!(Cli::parse(&argv("transfer --outage a:b")).is_err());
+        assert!(Cli::parse(&argv("transfer --outage 1:2:3:4")).is_err());
+        assert!(Cli::parse(&argv("transfer --retry-budget x")).is_err());
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! Command execution: resolve the environment, build the dataset, run the
 //! requested experiment, render tables (or JSON).
 
-use crate::args::{AlgorithmKind, Cli, Command};
+use crate::args::{AlgorithmKind, Cli, Command, FaultArgs};
 use crate::envfile;
 use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
 use eadt_core::{Algorithm, Htee, MinE, Slaee};
 use eadt_dataset::{partition, Dataset};
 use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
+use eadt_sim::SimDuration;
 use eadt_testbeds::Environment;
-use eadt_transfer::TransferReport;
+use eadt_transfer::{FaultModel, OutageModel, SiteSide, TransferEnv, TransferReport};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -35,9 +36,16 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
                     params,
                     eadt_endsys::Placement::PackFirst,
                 );
-                eadt_transfer::Engine::new(&tb.env).run(&plan, &mut eadt_transfer::NullController)
+                run_manual(&tb.env, &plan, cli.faults.fault_aware)
             } else {
-                run_algorithm(&tb, &dataset, *algorithm, *max_channel, *sla_level)
+                run_algorithm(
+                    &tb,
+                    &dataset,
+                    *algorithm,
+                    *max_channel,
+                    *sla_level,
+                    cli.faults.fault_aware,
+                )
             };
             if let Some(path) = csv {
                 let mut file = std::fs::File::create(path)?;
@@ -56,7 +64,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             )?;
             for &cc in levels {
                 for &a in algorithms {
-                    let r = run_algorithm(&tb, &dataset, a, cc, 0.9);
+                    let r = run_algorithm(&tb, &dataset, a, cc, 0.9, cli.faults.fault_aware);
                     writeln!(
                         out,
                         "{:<8} {:>5} {:>10.0} {:>10.1} {:>12.0} {:>10.4}",
@@ -98,6 +106,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
                 let level = f64::from(pct) / 100.0;
                 let slaee = Slaee {
                     partition: tb.partition,
+                    fault_aware: cli.faults.fault_aware,
                     ..Slaee::new(level, reference.avg_throughput(), *max_channel)
                 };
                 let r = slaee.run(&tb.env, &dataset);
@@ -154,7 +163,14 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
         } => {
             let tb = resolve(cli, out)?;
             let dataset = make_dataset(cli, &tb, out)?;
-            let r = run_algorithm(&tb, &dataset, *algorithm, *max_channel, 0.9);
+            let r = run_algorithm(
+                &tb,
+                &dataset,
+                *algorithm,
+                *max_channel,
+                0.9,
+                cli.faults.fault_aware,
+            );
             let packets = tb.env.packets.total_packets(r.wire_bytes);
             let d = eadt_netenergy::decompose(
                 r.total_energy_j(),
@@ -231,12 +247,45 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
 
 fn resolve(cli: &Cli, out: Out) -> std::io::Result<Environment> {
     match envfile::load(&cli.env) {
-        Ok(tb) => Ok(tb),
+        Ok(mut tb) => {
+            apply_fault_args(&cli.faults, cli.seed, &mut tb.env);
+            Ok(tb)
+        }
         Err(e) => {
             writeln!(out, "error: {e}")?;
             Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
         }
     }
+}
+
+/// Folds the CLI fault flags into the environment's fault plan. Flags
+/// compose with (and override pieces of) whatever plan the environment
+/// already declares; the dataset seed keeps CLI-injected faults exactly
+/// reproducible.
+fn apply_fault_args(args: &FaultArgs, seed: u64, env: &mut TransferEnv) {
+    if !args.any() {
+        return;
+    }
+    let mut plan = env.faults.take().unwrap_or_default();
+    if let Some(mtbf) = args.mtbf_s {
+        plan.channel = Some(FaultModel::new(SimDuration::from_secs_f64(mtbf), seed));
+    }
+    if let Some((gap, dur, server)) = args.outage {
+        plan.outages.push(OutageModel::new(
+            SiteSide::Dst,
+            server,
+            SimDuration::from_secs_f64(gap),
+            SimDuration::from_secs_f64(dur),
+            seed ^ 0x0074_a63e,
+        ));
+    }
+    if let Some(budget) = args.retry_budget {
+        plan.retry.retry_budget = budget.max(1);
+    }
+    if args.no_restart_markers {
+        plan.drop_restart_markers = true;
+    }
+    env.faults = Some(plan);
 }
 
 fn make_dataset(cli: &Cli, tb: &Environment, out: Out) -> std::io::Result<Dataset> {
@@ -258,13 +307,16 @@ fn make_dataset(cli: &Cli, tb: &Environment, out: Out) -> std::io::Result<Datase
 }
 
 /// Runs one algorithm by kind. SLAEE derives its reference maximum from a
-/// ProMC run at the testbed's reference concurrency.
+/// ProMC run at the testbed's reference concurrency. `fault_aware` wraps
+/// the controller of the algorithms that support it (HTEE, SLAEE, ProMC,
+/// manual); the energy-agnostic baselines run as the paper describes them.
 pub fn run_algorithm(
     tb: &Environment,
     dataset: &Dataset,
     kind: AlgorithmKind,
     max_channel: u32,
     sla_level: f64,
+    fault_aware: bool,
 ) -> TransferReport {
     let partition = tb.partition;
     match kind {
@@ -275,6 +327,7 @@ pub fn run_algorithm(
         .run(&tb.env, dataset),
         AlgorithmKind::Htee => Htee {
             partition,
+            fault_aware,
             ..Htee::new(max_channel)
         }
         .run(&tb.env, dataset),
@@ -286,6 +339,7 @@ pub fn run_algorithm(
             .run(&tb.env, dataset);
             Slaee {
                 partition,
+                fault_aware,
                 ..Slaee::new(sla_level, reference.avg_throughput(), max_channel)
             }
             .run(&tb.env, dataset)
@@ -299,6 +353,7 @@ pub fn run_algorithm(
         .run(&tb.env, dataset),
         AlgorithmKind::ProMc => ProMc {
             partition,
+            fault_aware,
             ..ProMc::new(max_channel)
         }
         .run(&tb.env, dataset),
@@ -318,13 +373,39 @@ pub fn run_algorithm(
                 eadt_transfer::TransferParams::new(1, 1, max_channel),
                 eadt_endsys::Placement::PackFirst,
             );
-            eadt_transfer::Engine::new(&tb.env).run(&plan, &mut eadt_transfer::NullController)
+            run_manual(&tb.env, &plan, fault_aware)
         }
+    }
+}
+
+fn run_manual(
+    env: &TransferEnv,
+    plan: &eadt_transfer::TransferPlan,
+    fault_aware: bool,
+) -> TransferReport {
+    if fault_aware {
+        eadt_transfer::Engine::new(env).run(
+            plan,
+            &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
+        )
+    } else {
+        eadt_transfer::Engine::new(env).run(plan, &mut eadt_transfer::NullController)
     }
 }
 
 fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io::Result<()> {
     if cli.json {
+        let faults = serde_json::json!({
+            "channel_failures": r.faults.channel_failures,
+            "outage_failures": r.faults.outage_failures,
+            "outage_episodes": r.faults.outage_episodes,
+            "retries": r.faults.retries,
+            "breaker_opens": r.faults.breaker_opens,
+            "budget_exhaustions": r.faults.budget_exhaustions,
+            "backoff_s": r.faults.backoff_time.as_secs_f64(),
+            "retransmitted_bytes": r.faults.retransmitted_bytes.as_u64(),
+            "retransmitted_energy_j": r.retransmitted_energy_j(),
+        });
         let json = serde_json::json!({
             "algorithm": name,
             "completed": r.completed,
@@ -337,6 +418,7 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
             "wire_bytes": r.wire_bytes.as_u64(),
             "packets": r.packets,
             "failures": r.failures,
+            "faults": faults,
             "chunks": r.chunk_stats.iter().map(|c| serde_json::json!({
                 "label": c.label,
                 "bytes": c.bytes.as_u64(),
@@ -366,7 +448,28 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
         writeln!(out, "efficiency:  {:.4} Mbps/J", r.efficiency())?;
         writeln!(out, "wire bytes:  {} ({} packets)", r.wire_bytes, r.packets)?;
         if r.failures > 0 {
-            writeln!(out, "failures:    {}", r.failures)?;
+            let f = &r.faults;
+            writeln!(
+                out,
+                "failures:    {} ({} channel, {} outage over {} windows)",
+                f.total_failures(),
+                f.channel_failures,
+                f.outage_failures,
+                f.outage_episodes
+            )?;
+            writeln!(
+                out,
+                "recovery:    {} retries, {} in backoff, {} breaker opens, {} budget exhaustions",
+                f.retries, f.backoff_time, f.breaker_opens, f.budget_exhaustions
+            )?;
+            if !f.retransmitted_bytes.is_zero() {
+                writeln!(
+                    out,
+                    "retransmit:  {} ({:.0} J of energy re-spent)",
+                    f.retransmitted_bytes,
+                    r.retransmitted_energy_j()
+                )?;
+            }
         }
         for c in &r.chunk_stats {
             writeln!(
@@ -417,6 +520,44 @@ mod tests {
         assert_eq!(v["algorithm"], "GUC");
         assert_eq!(v["completed"], true);
         assert!(v["throughput_mbps"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fault_flags_inject_and_report_breakdown() {
+        let out = run_cli(
+            "transfer --testbed didclab --algorithm promc --scale 0.02 --mtbf 8 --retry-budget 3 --fault-aware --json",
+        );
+        let start = out.find('{').expect("json in output");
+        let v: serde_json::Value = serde_json::from_str(&out[start..]).unwrap();
+        assert_eq!(v["completed"], true);
+        let f = &v["faults"];
+        assert!(f["channel_failures"].as_u64().unwrap() > 0, "{out}");
+        assert_eq!(
+            v["failures"].as_u64().unwrap(),
+            f["channel_failures"].as_u64().unwrap() + f["outage_failures"].as_u64().unwrap()
+        );
+        assert!(f["retries"].as_u64().unwrap() > 0);
+        assert!(f["backoff_s"].as_f64().unwrap() > 0.0);
+        // Restart markers stay on unless --no-restart-markers is given.
+        assert_eq!(f["retransmitted_bytes"].as_u64().unwrap(), 0);
+
+        // Text mode prints the same breakdown.
+        let out = run_cli("transfer --testbed didclab --algorithm promc --scale 0.02 --mtbf 8");
+        assert!(out.contains("failures:"), "{out}");
+        assert!(out.contains("recovery:"), "{out}");
+
+        // Without markers the lost progress is priced in joules.
+        let out = run_cli(
+            "transfer --testbed didclab --algorithm promc --scale 0.02 --mtbf 8 --no-restart-markers --json",
+        );
+        let start = out.find('{').expect("json in output");
+        let v: serde_json::Value = serde_json::from_str(&out[start..]).unwrap();
+        assert_eq!(v["completed"], true);
+        assert!(
+            v["faults"]["retransmitted_bytes"].as_u64().unwrap() > 0,
+            "{out}"
+        );
+        assert!(v["faults"]["retransmitted_energy_j"].as_f64().unwrap() > 0.0);
     }
 
     #[test]
@@ -538,7 +679,7 @@ mod tests {
             AlgorithmKind::ProMc,
             AlgorithmKind::Bf,
         ] {
-            let r = run_algorithm(&tb, &dataset, kind, 4, 0.8);
+            let r = run_algorithm(&tb, &dataset, kind, 4, 0.8, false);
             assert!(r.completed, "{kind:?}");
             assert_eq!(r.moved_bytes, dataset.total_size(), "{kind:?}");
         }

@@ -21,7 +21,9 @@ use crate::planner::{chunk_params, weight_allocation};
 use crate::Algorithm;
 use eadt_dataset::{partition, partition_globus_online, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
-use eadt_transfer::{ChunkPlan, Engine, NullController, TransferEnv, TransferPlan, TransferReport};
+use eadt_transfer::{
+    ChunkPlan, Engine, FaultAware, NullController, TransferEnv, TransferPlan, TransferReport,
+};
 use serde::{Deserialize, Serialize};
 
 /// globus-url-copy with no parameter tuning (the paper's base case: "a
@@ -143,6 +145,11 @@ pub struct ProMc {
     pub concurrency: u32,
     /// BDP-relative partitioning thresholds.
     pub partition: PartitionConfig,
+    /// Run under a [`FaultAware`] wrapper: shed concurrency while servers
+    /// are quarantined, re-ramp on recovery (the static plan is otherwise
+    /// kept as-is).
+    #[serde(default)]
+    pub fault_aware: bool,
 }
 
 impl ProMc {
@@ -151,6 +158,7 @@ impl ProMc {
         ProMc {
             concurrency: concurrency.max(1),
             partition: PartitionConfig::default(),
+            fault_aware: false,
         }
     }
 
@@ -177,7 +185,11 @@ impl Algorithm for ProMc {
 
     fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
         let plan = self.plan(env, dataset);
-        Engine::new(env).run(&plan, &mut NullController)
+        if self.fault_aware {
+            Engine::new(env).run(&plan, &mut FaultAware::new(NullController))
+        } else {
+            Engine::new(env).run(&plan, &mut NullController)
+        }
     }
 }
 
@@ -211,6 +223,7 @@ impl BruteForce {
                 let promc = ProMc {
                     concurrency: cc,
                     partition: self.partition,
+                    fault_aware: false,
                 };
                 (cc, promc.run(env, dataset))
             })

@@ -6,7 +6,7 @@ use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{SimDuration, SimTime};
 use eadt_transfer::{
-    ChunkPlan, ControlAction, Controller, Engine, SliceCtx, TransferEnv, TransferPlan,
+    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
     TransferReport,
 };
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,10 @@ pub struct Htee {
     /// (background traffic, faults). `None` (the paper's behaviour) commits
     /// once and never looks back.
     pub reprobe_interval: Option<SimDuration>,
+    /// Wrap the search controller in [`FaultAware`]: shed concurrency while
+    /// servers are quarantined, re-ramp on recovery.
+    #[serde(default)]
+    pub fault_aware: bool,
 }
 
 impl Htee {
@@ -51,6 +55,7 @@ impl Htee {
             probe_window: PROBE_WINDOW,
             search_stride: 2,
             reprobe_interval: None,
+            fault_aware: false,
         }
     }
 
@@ -87,7 +92,11 @@ impl Algorithm for Htee {
         let plan = TransferPlan::concurrent(chunk_plans, Placement::PackFirst);
         let mut controller = HteeController::new(chunks, levels, self.probe_window);
         controller.reprobe_interval = self.reprobe_interval;
-        Engine::new(env).run(&plan, &mut controller)
+        if self.fault_aware {
+            Engine::new(env).run(&plan, &mut FaultAware::new(controller))
+        } else {
+            Engine::new(env).run(&plan, &mut controller)
+        }
     }
 }
 

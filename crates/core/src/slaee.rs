@@ -7,7 +7,7 @@ use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{Rate, SimDuration, SimTime};
 use eadt_transfer::{
-    ChunkPlan, ControlAction, Controller, Engine, SliceCtx, TransferEnv, TransferPlan,
+    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
     TransferReport,
 };
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,10 @@ pub struct Slaee {
     /// windows after raises trigger the revert-to-best guard. 0.97 by
     /// default.
     pub degrade_tolerance: f64,
+    /// Wrap the adaptation loop in [`FaultAware`]: shed concurrency while
+    /// servers are quarantined, re-ramp on recovery.
+    #[serde(default)]
+    pub fault_aware: bool,
 }
 
 impl Slaee {
@@ -59,6 +63,7 @@ impl Slaee {
             probe_window: PROBE_WINDOW,
             overshoot_margin: 1.15,
             degrade_tolerance: 0.97,
+            fault_aware: false,
         }
     }
 
@@ -93,7 +98,11 @@ impl Algorithm for Slaee {
         );
         controller.overshoot_margin = self.overshoot_margin.max(1.0);
         controller.degrade_tolerance = self.degrade_tolerance.clamp(0.0, 1.0);
-        Engine::new(env).run(&plan, &mut controller)
+        if self.fault_aware {
+            Engine::new(env).run(&plan, &mut FaultAware::new(controller))
+        } else {
+            Engine::new(env).run(&plan, &mut controller)
+        }
     }
 }
 

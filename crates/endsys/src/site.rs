@@ -71,6 +71,44 @@ impl Site {
         counts
     }
 
+    /// Like [`Site::place_channels`], but restricted to the servers marked
+    /// available in `avail` (same order as [`Site::servers`]) — used to
+    /// route channels around quarantined servers. PackFirst packs onto the
+    /// first available server; RoundRobin spreads over the available ones.
+    /// When *no* server is available (or the mask length mismatches) the
+    /// mask is ignored: a client with nowhere good to go still has to try
+    /// somewhere.
+    pub fn place_channels_masked(
+        &self,
+        channels: u32,
+        placement: Placement,
+        avail: &[bool],
+    ) -> Vec<u32> {
+        let n = self.servers.len();
+        let usable: Vec<usize> = (0..n).filter(|&i| *avail.get(i).unwrap_or(&true)).collect();
+        if usable.len() == n || usable.is_empty() {
+            return self.place_channels(channels, placement);
+        }
+        let mut counts = vec![0u32; n];
+        if channels == 0 {
+            return counts;
+        }
+        match placement {
+            Placement::PackFirst => {
+                counts[usable[0]] = channels;
+            }
+            Placement::RoundRobin => {
+                let m = usable.len() as u32;
+                let per = channels / m;
+                let extra = (channels % m) as usize;
+                for (k, &srv) in usable.iter().enumerate() {
+                    counts[srv] = per + u32::from(k < extra);
+                }
+            }
+        }
+        counts
+    }
+
     /// Number of servers that would be active (≥ 1 channel) for a given
     /// placement.
     pub fn active_servers(&self, channels: u32, placement: Placement) -> usize {
@@ -152,5 +190,53 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_site_panics() {
         Site::new("empty", Vec::new());
+    }
+
+    #[test]
+    fn masked_placement_routes_around_unavailable_servers() {
+        let s = site(4);
+        let avail = [true, false, true, false];
+        assert_eq!(
+            s.place_channels_masked(7, Placement::PackFirst, &avail),
+            vec![7, 0, 0, 0]
+        );
+        assert_eq!(
+            s.place_channels_masked(5, Placement::RoundRobin, &avail),
+            vec![3, 0, 2, 0]
+        );
+        // First server down: PackFirst packs onto the next available one.
+        let avail = [false, true, true, true];
+        assert_eq!(
+            s.place_channels_masked(4, Placement::PackFirst, &avail),
+            vec![0, 4, 0, 0]
+        );
+    }
+
+    #[test]
+    fn masked_placement_conserves_channels() {
+        let s = site(4);
+        for mask in 0u32..16 {
+            let avail: Vec<bool> = (0..4).map(|b| mask & (1 << b) != 0).collect();
+            for c in 0..20 {
+                for p in [Placement::PackFirst, Placement::RoundRobin] {
+                    let total: u32 = s.place_channels_masked(c, p, &avail).iter().sum();
+                    assert_eq!(total, c, "mask {mask:04b} c {c} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_masked_site_falls_back_to_unmasked_placement() {
+        let s = site(3);
+        assert_eq!(
+            s.place_channels_masked(6, Placement::RoundRobin, &[false, false, false]),
+            s.place_channels(6, Placement::RoundRobin)
+        );
+        // Untouched mask (all true) is the plain placement too.
+        assert_eq!(
+            s.place_channels_masked(6, Placement::PackFirst, &[true, true, true]),
+            s.place_channels(6, Placement::PackFirst)
+        );
     }
 }

@@ -8,6 +8,45 @@
 
 use eadt_sim::{Bytes, SimTime};
 
+/// The engine's fault picture as exposed to controllers: *learned* state
+/// only (circuit breakers, backoff counts), never the injection oracle —
+/// a controller knows what a real client could know.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultView {
+    /// Fraction of servers not quarantined (min over both sites); 1.0 on
+    /// a healthy path.
+    pub capacity_fraction: f64,
+    /// Per-server quarantine mask for the sending site (true = breaker
+    /// open).
+    pub quarantined_src: Vec<bool>,
+    /// Per-server quarantine mask for the receiving site.
+    pub quarantined_dst: Vec<bool>,
+    /// Cumulative channel failures (all causes) so far.
+    pub failures: u64,
+    /// Channels currently waiting out a backoff/cooldown.
+    pub in_backoff: u32,
+}
+
+impl Default for FaultView {
+    /// The healthy-path view (full capacity, nothing quarantined).
+    fn default() -> Self {
+        FaultView {
+            capacity_fraction: 1.0,
+            quarantined_src: Vec::new(),
+            quarantined_dst: Vec::new(),
+            failures: 0,
+            in_backoff: 0,
+        }
+    }
+}
+
+impl FaultView {
+    /// Whether any degradation is currently visible.
+    pub fn degraded(&self) -> bool {
+        self.capacity_fraction < 1.0
+    }
+}
+
 /// Measurements handed to the controller after every slice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SliceCtx {
@@ -29,6 +68,9 @@ pub struct SliceCtx {
     /// `channels`); controllers use this to avoid allocating channels to
     /// finished chunks.
     pub remaining_per_chunk: Vec<Bytes>,
+    /// The engine's learned fault state (default/healthy when the run has
+    /// no fault plan).
+    pub fault: FaultView,
 }
 
 impl SliceCtx {
@@ -73,24 +115,231 @@ impl Controller for NullController {
     }
 }
 
+/// Fault-aware decorator: wraps any [`Controller`] and overlays recovery
+/// behaviour on its allocations.
+///
+/// While the [`FaultView`] reports degraded capacity (servers
+/// quarantined), the inner controller's targets are scaled down by the
+/// capacity fraction — fewer channels pounding the surviving servers
+/// means less disk-head contention *and* less CPU power, which on
+/// single-disk servers is strictly faster and cheaper than piling the
+/// full allocation onto them. When the path recovers, concurrency is
+/// re-ramped gradually (`ramp_step` channels per slice) instead of
+/// snapping back, mirroring how the paper's client walks concurrency
+/// levels rather than jumping.
+#[derive(Debug, Clone)]
+pub struct FaultAware<C> {
+    /// The wrapped controller (it sees every slice regardless).
+    pub inner: C,
+    /// Floor on any live chunk's channels while degraded.
+    pub min_channels: u32,
+    /// Total channels restored per slice during recovery.
+    pub ramp_step: u32,
+    desired: Vec<u32>,
+    degraded: bool,
+}
+
+impl<C> FaultAware<C> {
+    /// Wraps a controller with the default floor (1) and ramp (1/slice).
+    pub fn new(inner: C) -> Self {
+        FaultAware {
+            inner,
+            min_channels: 1,
+            ramp_step: 1,
+            desired: Vec::new(),
+            degraded: false,
+        }
+    }
+
+    /// Scales the desired allocation by the capacity fraction, keeping at
+    /// least `min_channels` on every chunk the inner controller wants
+    /// served.
+    fn scaled(&self, frac: f64) -> Vec<u32> {
+        self.desired
+            .iter()
+            .map(|&want| {
+                if want == 0 {
+                    0
+                } else {
+                    ((f64::from(want) * frac).round() as u32).max(self.min_channels.max(1))
+                }
+            })
+            .collect()
+    }
+
+    /// Moves `current` toward `desired` by at most `ramp_step` total
+    /// channel additions (removals apply immediately).
+    fn ramped(&self, current: &[u32]) -> Vec<u32> {
+        let mut budget = self.ramp_step.max(1);
+        current
+            .iter()
+            .zip(&self.desired)
+            .map(|(&cur, &want)| {
+                if cur >= want {
+                    want
+                } else {
+                    let add = (want - cur).min(budget);
+                    budget -= add;
+                    cur + add
+                }
+            })
+            .collect()
+    }
+}
+
+impl<C: Controller> Controller for FaultAware<C> {
+    fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction {
+        // The wrapped controller always sees the slice, so its own probe
+        // windows and measurements keep running during an incident.
+        let inner_action = self.inner.on_slice(ctx);
+        match &inner_action {
+            ControlAction::Reallocate(targets) => self.desired = targets.clone(),
+            ControlAction::Continue => {
+                // While healthy, mirror the engine's live targets so the
+                // restore goal tracks its rebalancing; during an incident
+                // the pre-incident allocation is the goal and must hold.
+                if !self.degraded || self.desired.len() != ctx.channels.len() {
+                    self.desired = ctx.channels.clone();
+                }
+            }
+        }
+        // A finished chunk never needs its channels restored.
+        for (want, rem) in self.desired.iter_mut().zip(&ctx.remaining_per_chunk) {
+            if rem.is_zero() {
+                *want = 0;
+            }
+        }
+        if ctx.fault.degraded() {
+            self.degraded = true;
+            let goal = self.scaled(ctx.fault.capacity_fraction);
+            if goal != ctx.channels {
+                return ControlAction::Reallocate(goal);
+            }
+            return ControlAction::Continue;
+        }
+        if self.degraded {
+            let ramped = self.ramped(&ctx.channels);
+            if ramped == self.desired {
+                self.degraded = false;
+            }
+            if ramped != ctx.channels {
+                return ControlAction::Reallocate(ramped);
+            }
+            return ControlAction::Continue;
+        }
+        // Healthy and never shed: pure pass-through — the engine owns
+        // chunk-completion rebalancing, so second-guessing it here only
+        // churns allocations.
+        inner_action
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn null_controller_always_continues() {
-        let ctx = SliceCtx {
+    fn ctx(channels: Vec<u32>, fault: FaultView) -> SliceCtx {
+        let per_chunk = vec![Bytes::from_mb(1); channels.len()];
+        SliceCtx {
             now: SimTime::ZERO,
             stage: 0,
             slice_bytes: Bytes::ZERO,
             slice_energy_j: 0.0,
             total_bytes: Bytes::ZERO,
             remaining_bytes: Bytes::from_mb(1),
-            channels: vec![1, 2, 3],
-            remaining_per_chunk: vec![Bytes::ZERO, Bytes::from_mb(1), Bytes::ZERO],
+            channels,
+            remaining_per_chunk: per_chunk,
+            fault,
+        }
+    }
+
+    #[test]
+    fn null_controller_always_continues() {
+        let mut c = ctx(vec![1, 2, 3], FaultView::default());
+        c.remaining_per_chunk = vec![Bytes::ZERO, Bytes::from_mb(1), Bytes::ZERO];
+        assert_eq!(NullController.on_slice(&c), ControlAction::Continue);
+        assert_eq!(c.total_channels(), 6);
+        assert_eq!(c.live_chunks(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn default_fault_view_is_healthy() {
+        let v = FaultView::default();
+        assert!(!v.degraded());
+        assert_eq!(v.capacity_fraction, 1.0);
+        assert_eq!(v.in_backoff, 0);
+    }
+
+    #[test]
+    fn fault_aware_passes_through_on_healthy_path() {
+        let mut fa = FaultAware::new(NullController);
+        let c = ctx(vec![4, 4], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Continue);
+    }
+
+    #[test]
+    fn fault_aware_scales_down_under_degradation_and_reramps() {
+        let mut fa = FaultAware::new(NullController);
+        let degraded = FaultView {
+            capacity_fraction: 0.5,
+            quarantined_dst: vec![false, true],
+            ..FaultView::default()
         };
-        assert_eq!(NullController.on_slice(&ctx), ControlAction::Continue);
-        assert_eq!(ctx.total_channels(), 6);
-        assert_eq!(ctx.live_chunks(), vec![false, true, false]);
+        let c = ctx(vec![8], degraded.clone());
+        assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![4]));
+        // Still degraded, engine applied the 4: stay there.
+        let c = ctx(vec![4], degraded);
+        assert_eq!(fa.on_slice(&c), ControlAction::Continue);
+        // Recovery: climb back one channel per slice, not in one jump.
+        let c = ctx(vec![4], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![5]));
+        let c = ctx(vec![5], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![6]));
+        let c = ctx(vec![7], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![8]));
+        // Ramp complete: back to pass-through.
+        let c = ctx(vec![8], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Continue);
+    }
+
+    #[test]
+    fn fault_aware_keeps_a_channel_floor_on_live_chunks() {
+        let mut fa = FaultAware::new(NullController);
+        let degraded = FaultView {
+            capacity_fraction: 0.25,
+            ..FaultView::default()
+        };
+        // Chunk with 1 channel stays at the floor; empty chunk stays empty.
+        let c = ctx(vec![1, 0, 8], degraded);
+        assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![1, 0, 2]));
+    }
+
+    /// A controller that reallocates to a fixed target every slice, to
+    /// verify the decorator keeps feeding the inner controller.
+    struct Fixed(Vec<u32>, u32);
+
+    impl Controller for Fixed {
+        fn on_slice(&mut self, _ctx: &SliceCtx) -> ControlAction {
+            self.1 += 1;
+            ControlAction::Reallocate(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn fault_aware_inner_controller_sees_every_slice() {
+        let mut fa = FaultAware::new(Fixed(vec![6], 0));
+        let degraded = FaultView {
+            capacity_fraction: 0.5,
+            ..FaultView::default()
+        };
+        assert_eq!(
+            fa.on_slice(&ctx(vec![6], degraded.clone())),
+            ControlAction::Reallocate(vec![3])
+        );
+        assert_eq!(
+            fa.on_slice(&ctx(vec![3], degraded)),
+            ControlAction::Continue
+        );
+        assert_eq!(fa.inner.1, 2);
     }
 }

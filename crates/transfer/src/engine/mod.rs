@@ -14,12 +14,24 @@
 //!    accumulates energy on both sites;
 //! 6. reports the slice to the controller, which may re-allocate channels.
 //!
-//! Everything is deterministic: no wall clock, no RNG.
+//! With a [`crate::faults::FaultPlan`] configured, the slice additionally
+//! advances the fault runtime (episode windows, breaker cooldowns),
+//! routes placement around quarantined servers, kills channels whose TTF
+//! expired or that connected into an outage window, and schedules their
+//! reconnects through the retry policy's jittered exponential backoff.
+//! Channels waiting out a backoff longer than the slice are *blocked*:
+//! they hold no demand, draw no power, and do not count against their
+//! server's disk contention.
+//!
+//! Everything is deterministic: no wall clock, and the only RNGs are the
+//! fault plan's seeded streams.
 
-use crate::control::{ControlAction, Controller, SliceCtx};
+use crate::control::{ControlAction, Controller, FaultView, SliceCtx};
 use crate::env::TransferEnv;
+use crate::faults::{FaultCause, SiteSide};
 use crate::plan::TransferPlan;
 use crate::report::TransferReport;
+use crate::retry::FaultRuntime;
 use eadt_dataset::FileSpec;
 use eadt_endsys::{ServerLoad, Utilization};
 use eadt_net::fair::fair_share;
@@ -56,6 +68,10 @@ struct ChannelState {
     gap: SimDuration,
     /// Remaining time until this channel fails (fault injection only).
     ttf: Option<SimDuration>,
+    /// Consecutive failures without intervening progress (drives backoff).
+    consecutive: u32,
+    /// Whether the current gap is a failure backoff (for time accounting).
+    in_backoff: bool,
 }
 
 /// Runtime state of one chunk plan within a stage.
@@ -104,6 +120,8 @@ impl ChunkState {
                 current: None,
                 gap: rtt,
                 ttf: ttf(),
+                consecutive: 0,
+                in_backoff: false,
             });
         }
         while (self.channels.len() as u32) > self.target {
@@ -141,11 +159,13 @@ impl<'a> Engine<'a> {
 
         let mut now = SimTime::ZERO;
         let mut completed = true;
-        let mut failures = 0u64;
         let mut estimated_energy = 0.0f64;
-        let mut fault_rng = env
+        let mut runtime = env
             .faults
-            .map(|f| eadt_sim::SimRng::new(f.seed).fork("engine-faults"));
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| FaultRuntime::new(p, env.src.servers.len(), env.dst.servers.len()));
+        let mut retransmitted = Bytes::ZERO;
         let mut chunk_stats: Vec<crate::report::ChunkStat> = Vec::new();
         let mut src_energy = 0.0f64;
         let mut dst_energy = 0.0f64;
@@ -186,35 +206,11 @@ impl<'a> Engine<'a> {
                 }
 
                 self.rebalance_targets(&mut chunks, plan.reallocate_on_completion);
-                for c in &mut chunks {
-                    c.sync_channels(rtt, || match (&env.faults, &mut fault_rng) {
-                        (Some(f), Some(rng)) => Some(f.sample_ttf(rng)),
-                        _ => None,
-                    });
+                if let Some(rt) = &mut runtime {
+                    rt.begin_slice(now);
                 }
-
-                // Fault injection: channels whose time-to-failure has run
-                // out drop their connection, restart their in-flight file
-                // and pay the reconnect delay.
-                if let (Some(faults), Some(rng)) = (&env.faults, &mut fault_rng) {
-                    for c in &mut chunks {
-                        for ch in &mut c.channels {
-                            let Some(ttf) = ch.ttf else { continue };
-                            if ttf <= slice {
-                                failures += 1;
-                                if let Some(mut fp) = ch.current.take() {
-                                    if !faults.restart_markers {
-                                        fp.restart();
-                                    }
-                                    c.queue.push_front(fp);
-                                }
-                                ch.gap = faults.reconnect_delay;
-                                ch.ttf = Some(faults.sample_ttf(rng));
-                            } else {
-                                ch.ttf = Some(ttf - slice);
-                            }
-                        }
-                    }
+                for c in &mut chunks {
+                    c.sync_channels(rtt, || runtime.as_mut().and_then(FaultRuntime::sample_ttf));
                 }
 
                 // Flat view of all channels: (chunk idx, channel idx).
@@ -236,24 +232,109 @@ impl<'a> Engine<'a> {
                     break;
                 }
 
-                // Placement on both sites.
-                let src_assign =
-                    assign_servers(&env.src.place_channels(total_channels, plan.placement));
-                let dst_assign =
-                    assign_servers(&env.dst.place_channels(total_channels, plan.placement));
+                // Placement on both sites, routed around servers whose
+                // circuit breaker is open. Only *learned* state masks —
+                // an outage the client has not collided with yet does
+                // not; it is discovered by failing against it below.
+                let (src_assign, dst_assign) = match &runtime {
+                    Some(rt) => {
+                        let (src_avail, dst_avail) = rt.avail_masks();
+                        (
+                            assign_servers(&env.src.place_channels_masked(
+                                total_channels,
+                                plan.placement,
+                                &src_avail,
+                            )),
+                            assign_servers(&env.dst.place_channels_masked(
+                                total_channels,
+                                plan.placement,
+                                &dst_avail,
+                            )),
+                        )
+                    }
+                    None => (
+                        assign_servers(&env.src.place_channels(total_channels, plan.placement)),
+                        assign_servers(&env.dst.place_channels(total_channels, plan.placement)),
+                    ),
+                };
 
-                // Per-server working-channel and stream counts.
+                // Fault injection, now that channels have servers: a
+                // channel dies when its TTF runs out or when it would
+                // connect to a server inside an outage window. The kill
+                // returns the in-flight file (restarting it without
+                // markers — the lost progress leaves `moved_total` and is
+                // booked as retransmission) and schedules the reconnect
+                // through the retry policy.
+                if let Some(rt) = &mut runtime {
+                    for (i, &(ci, chi)) in refs.iter().enumerate() {
+                        let c = &mut chunks[ci];
+                        let ch = &mut c.channels[chi];
+                        let connects = ch.gap < slice;
+                        let busy = ch.current.is_some() || !c.queue.is_empty();
+                        let mut cause = None;
+                        if let Some(ttf) = ch.ttf {
+                            if ttf <= slice {
+                                cause = Some(FaultCause::Channel);
+                            } else {
+                                ch.ttf = Some(ttf - slice);
+                            }
+                        }
+                        if cause.is_none()
+                            && connects
+                            && busy
+                            && (rt.outage_active(SiteSide::Src, src_assign[i])
+                                || rt.outage_active(SiteSide::Dst, dst_assign[i]))
+                        {
+                            cause = Some(FaultCause::Outage);
+                        }
+                        let Some(cause) = cause else { continue };
+                        if let Some(mut fp) = ch.current.take() {
+                            if !rt.restart_markers() {
+                                let lost = fp.size.saturating_sub(fp.remaining);
+                                moved_total = moved_total.saturating_sub(lost);
+                                retransmitted += lost;
+                                rt.book_retransmit(lost);
+                                fp.restart();
+                            }
+                            c.queue.push_front(fp);
+                        }
+                        let (delay, exhausted) = rt.next_delay(ch.consecutive);
+                        ch.gap = delay;
+                        ch.in_backoff = true;
+                        ch.consecutive = if exhausted { 0 } else { ch.consecutive + 1 };
+                        rt.record_failure(cause, src_assign[i], dst_assign[i], now);
+                        if cause == FaultCause::Channel {
+                            ch.ttf = rt.sample_ttf();
+                        }
+                    }
+                }
+
+                // Per-server working-channel and stream counts. A channel
+                // whose gap outlasts the slice is *blocked* — it moves
+                // nothing, holds no demand, and its server neither counts
+                // it for disk contention nor burns power on it.
                 let mut src_chan = vec![0u32; env.src.servers.len()];
                 let mut src_streams = vec![0u32; env.src.servers.len()];
                 let mut dst_chan = vec![0u32; env.dst.servers.len()];
                 let mut dst_streams = vec![0u32; env.dst.servers.len()];
                 let mut working = vec![false; refs.len()];
                 let mut total_streams = 0u32;
+                let mut in_backoff = 0u32;
                 for (i, &(ci, chi)) in refs.iter().enumerate() {
-                    let chunk = &chunks[ci];
-                    let busy = chunk.channels[chi].current.is_some() || !chunk.queue.is_empty();
-                    working[i] = busy;
-                    if busy {
+                    let chunk = &mut chunks[ci];
+                    let ch = &mut chunk.channels[chi];
+                    let busy = ch.current.is_some() || !chunk.queue.is_empty();
+                    if ch.in_backoff {
+                        if let Some(rt) = &mut runtime {
+                            rt.book_backoff(ch.gap.min(slice));
+                        }
+                        if ch.gap <= slice {
+                            ch.in_backoff = false;
+                        }
+                        in_backoff += 1;
+                    }
+                    working[i] = busy && ch.gap < slice;
+                    if working[i] {
                         let p = chunk.parallelism;
                         src_chan[src_assign[i]] += 1;
                         src_streams[src_assign[i]] += p;
@@ -273,6 +354,7 @@ impl<'a> Engine<'a> {
                 // per-file gaps and must not reserve bandwidth it cannot
                 // use), then shaped max-min fairly through each server's
                 // disk subsystem on both ends, then through the path.
+                let stall_mult = runtime.as_ref().map_or(1.0, FaultRuntime::gap_multiplier);
                 let mut demands = vec![Rate::ZERO; refs.len()];
                 let mut duties = vec![1.0f64; refs.len()];
                 for (i, &(ci, _chi)) in refs.iter().enumerate() {
@@ -281,7 +363,8 @@ impl<'a> Engine<'a> {
                     }
                     let chunk = &chunks[ci];
                     let cap = env.channel_cap(chunk.parallelism);
-                    let gap = (rtt / u64::from(chunk.pipelining) + env.tuning.per_file_overhead)
+                    let gap = ((rtt / u64::from(chunk.pipelining)).mul_f64(stall_mult)
+                        + env.tuning.per_file_overhead)
                         .as_secs_f64();
                     // Steady-state duty cycle from the chunk's mean file
                     // size (NOT the in-flight remainder: that would decay
@@ -296,10 +379,16 @@ impl<'a> Engine<'a> {
                     demands[i] = cap * duty;
                 }
                 apply_disk_fairness(&mut demands, &src_assign, &src_chan, |srv| {
-                    env.src.servers[srv].disk.aggregate_rate(src_chan[srv])
+                    let factor = runtime
+                        .as_ref()
+                        .map_or(1.0, |rt| rt.disk_factor(SiteSide::Src, srv));
+                    env.src.servers[srv].disk.aggregate_rate(src_chan[srv]) * factor
                 });
                 apply_disk_fairness(&mut demands, &dst_assign, &dst_chan, |srv| {
-                    env.dst.servers[srv].disk.aggregate_rate(dst_chan[srv])
+                    let factor = runtime
+                        .as_ref()
+                        .map_or(1.0, |rt| rt.disk_factor(SiteSide::Dst, srv));
+                    env.dst.servers[srv].disk.aggregate_rate(dst_chan[srv]) * factor
                 });
 
                 // Grants are time-averaged rates; while a channel is
@@ -320,19 +409,37 @@ impl<'a> Engine<'a> {
                 let mut dst_moved = vec![Bytes::ZERO; env.dst.servers.len()];
                 for (i, &(ci, chi)) in refs.iter().enumerate() {
                     let chunk = &mut chunks[ci];
-                    let pp = chunk.pipelining;
+                    // Inter-file control gap, inflated while the control
+                    // channel is stalled.
+                    let inter_file_gap = (rtt / u64::from(chunk.pipelining)).mul_f64(stall_mult)
+                        + env.tuning.per_file_overhead;
                     let moved = advance_channel(
                         &mut chunk.channels[chi],
                         &mut chunk.queue,
                         grants[i],
                         slice,
-                        rtt,
-                        pp,
-                        env.tuning.per_file_overhead,
+                        inter_file_gap,
                     );
+                    if !moved.is_zero() {
+                        chunk.channels[chi].consecutive = 0;
+                    }
                     slice_bytes += moved;
                     src_moved[src_assign[i]] += moved;
                     dst_moved[dst_assign[i]] += moved;
+                }
+                if let Some(rt) = &mut runtime {
+                    // Bytes through a server close its half-open breaker
+                    // and clear its failure run.
+                    for (srv, moved) in src_moved.iter().enumerate() {
+                        if !moved.is_zero() {
+                            rt.record_success(SiteSide::Src, srv);
+                        }
+                    }
+                    for (srv, moved) in dst_moved.iter().enumerate() {
+                        if !moved.is_zero() {
+                            rt.record_success(SiteSide::Dst, srv);
+                        }
+                    }
                 }
                 moved_total += slice_bytes;
                 wire_bytes_f += slice_bytes.as_f64() / eff.max(1e-6);
@@ -373,6 +480,15 @@ impl<'a> Engine<'a> {
                 let remaining_per_chunk: Vec<Bytes> =
                     chunks.iter().map(ChunkState::remaining_bytes).collect();
                 let remaining: Bytes = remaining_per_chunk.iter().copied().sum();
+                let fault = runtime
+                    .as_ref()
+                    .map_or_else(FaultView::default, |rt| FaultView {
+                        capacity_fraction: rt.capacity_fraction(),
+                        quarantined_src: rt.quarantined(SiteSide::Src),
+                        quarantined_dst: rt.quarantined(SiteSide::Dst),
+                        failures: rt.stats.total_failures(),
+                        in_backoff,
+                    });
                 let ctx = SliceCtx {
                     now,
                     stage: stage_idx,
@@ -382,6 +498,7 @@ impl<'a> Engine<'a> {
                     remaining_bytes: remaining,
                     channels: chunks.iter().map(|c| c.target).collect(),
                     remaining_per_chunk,
+                    fault,
                 };
                 if let ControlAction::Reallocate(new_targets) = controller.on_slice(&ctx) {
                     assert_eq!(
@@ -410,6 +527,8 @@ impl<'a> Engine<'a> {
         let packets = env
             .packets
             .total_packets(Bytes(wire_bytes_f.round() as u64));
+        let fault_stats = runtime.map(|rt| rt.stats).unwrap_or_default();
+        debug_assert_eq!(retransmitted, fault_stats.retransmitted_bytes);
         TransferReport {
             requested_bytes: requested,
             moved_bytes: moved_total,
@@ -422,7 +541,8 @@ impl<'a> Engine<'a> {
             throughput_series,
             power_series,
             concurrency_series,
-            failures,
+            failures: fault_stats.total_failures(),
+            faults: fault_stats,
             estimated_energy_j: env.estimator.map(|_| estimated_energy),
             chunk_stats,
         }
@@ -502,17 +622,15 @@ fn assign_servers(counts: &[u32]) -> Vec<usize> {
 }
 
 /// Advances one channel for one slice at its granted rate; returns bytes
-/// moved. Completing a file schedules the `RTT/pipelining` inter-file
-/// control gap plus the un-pipelinable per-file server overhead.
-#[allow(clippy::too_many_arguments)]
+/// moved. Completing a file schedules `inter_file_gap` — the
+/// `RTT/pipelining` control gap (stall-inflated when applicable) plus the
+/// un-pipelinable per-file server overhead.
 fn advance_channel(
     ch: &mut ChannelState,
     queue: &mut VecDeque<FileProgress>,
     grant: Rate,
     slice: SimDuration,
-    rtt: SimDuration,
-    pipelining: u32,
-    per_file_overhead: SimDuration,
+    inter_file_gap: SimDuration,
 ) -> Bytes {
     let mut moved = Bytes::ZERO;
     let mut budget = slice;
@@ -541,7 +659,7 @@ fn advance_channel(
             moved += fp.remaining;
             budget -= t_need;
             ch.current = None;
-            ch.gap = rtt / u64::from(pipelining.max(1)) + per_file_overhead;
+            ch.gap = inter_file_gap;
         } else {
             let b = grant.bytes_in(budget).min(fp.remaining);
             moved += b;

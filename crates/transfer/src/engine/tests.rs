@@ -321,6 +321,8 @@ fn advance_channel_respects_gap_and_grant() {
         current: None,
         gap: SimDuration::from_millis(50),
         ttf: None,
+        consecutive: 0,
+        in_backoff: false,
     };
     let mut q: VecDeque<FileProgress> =
         vec![FileProgress::fresh(FileSpec::new(0, Bytes::from_mb(100)))].into();
@@ -331,8 +333,6 @@ fn advance_channel_respects_gap_and_grant() {
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
         SimDuration::from_millis(40),
-        1,
-        SimDuration::ZERO,
     );
     assert_eq!(moved, Bytes::from_mb(5));
     assert!(ch.gap.is_zero());
@@ -345,6 +345,8 @@ fn advance_channel_chains_small_files_with_gaps() {
         current: None,
         gap: SimDuration::ZERO,
         ttf: None,
+        consecutive: 0,
+        in_backoff: false,
     };
     let mut q: VecDeque<FileProgress> = (0..100)
         .map(|i| FileProgress::fresh(FileSpec::new(i, Bytes::from_kb(100))))
@@ -356,8 +358,6 @@ fn advance_channel_chains_small_files_with_gaps() {
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
         SimDuration::from_millis(40),
-        1,
-        SimDuration::ZERO,
     );
     // ~2.4 files fit in 100 ms (1 + 40 ms each): 2 complete + partial.
     assert!(
@@ -369,6 +369,8 @@ fn advance_channel_chains_small_files_with_gaps() {
         current: None,
         gap: SimDuration::ZERO,
         ttf: None,
+        consecutive: 0,
+        in_backoff: false,
     };
     let mut q2: VecDeque<FileProgress> = (0..100)
         .map(|i| FileProgress::fresh(FileSpec::new(i, Bytes::from_kb(100))))
@@ -378,9 +380,7 @@ fn advance_channel_chains_small_files_with_gaps() {
         &mut q2,
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
-        SimDuration::from_millis(40),
-        40,
-        SimDuration::ZERO,
+        SimDuration::from_millis(1),
     );
     assert!(moved2.as_u64() > moved.as_u64() * 10, "{moved2} vs {moved}");
 }
@@ -405,6 +405,8 @@ fn sync_channels_preserves_in_flight_progress() {
                 }),
                 gap: SimDuration::ZERO,
                 ttf: None,
+                consecutive: 0,
+                in_backoff: false,
             },
             ChannelState {
                 current: Some(FileProgress {
@@ -413,6 +415,8 @@ fn sync_channels_preserves_in_flight_progress() {
                 }),
                 gap: SimDuration::ZERO,
                 ttf: None,
+                consecutive: 0,
+                in_backoff: false,
             },
         ],
         target: 1,
@@ -426,10 +430,7 @@ fn sync_channels_preserves_in_flight_progress() {
 #[test]
 fn fault_injection_slows_but_conserves_bytes() {
     let mut env = wan_env();
-    env.faults = Some(crate::faults::FaultModel::new(
-        SimDuration::from_secs(10),
-        7,
-    ));
+    env.faults = Some(crate::faults::FaultModel::new(SimDuration::from_secs(10), 7).into());
     let plan = simple_plan(8, 1_000, 1, 2, 4);
     let faulty = Engine::new(&env).run(&plan, &mut NullController);
     env.faults = None;
@@ -448,10 +449,7 @@ fn fault_injection_slows_but_conserves_bytes() {
 #[test]
 fn fault_injection_is_deterministic() {
     let mut env = wan_env();
-    env.faults = Some(crate::faults::FaultModel::new(
-        SimDuration::from_secs(15),
-        3,
-    ));
+    env.faults = Some(crate::faults::FaultModel::new(SimDuration::from_secs(15), 3).into());
     let plan = simple_plan(6, 800, 1, 2, 3);
     let a = Engine::new(&env).run(&plan, &mut NullController);
     let b = Engine::new(&env).run(&plan, &mut NullController);
@@ -635,7 +633,11 @@ fn busiest_chunk_respects_pinning() {
         file_count: 1,
         completed_at: None,
         avg_file: Bytes::from_mb(bytes_mb),
-        queue: vec![FileProgress::fresh(FileSpec::new(0, Bytes::from_mb(bytes_mb)))].into(),
+        queue: vec![FileProgress::fresh(FileSpec::new(
+            0,
+            Bytes::from_mb(bytes_mb),
+        ))]
+        .into(),
         channels: Vec::new(),
         target: 1,
     };
@@ -654,9 +656,10 @@ fn more_channels_never_hurt_across_seeds() {
     use eadt_endsys::Placement;
     let env = wan_env();
     for seed in [1u64, 2, 3] {
-        let dataset = eadt_dataset::paper_dataset_10g().scaled(0.05).generate(seed);
-        let chunks =
-            eadt_dataset::partition(&dataset, env.link.bdp(), &Default::default());
+        let dataset = eadt_dataset::paper_dataset_10g()
+            .scaled(0.05)
+            .generate(seed);
+        let chunks = eadt_dataset::partition(&dataset, env.link.bdp(), &Default::default());
         // A ProMC-like 8-channel plan vs a 2-channel one.
         let plan_of = |per_chunk: u32| {
             let plans: Vec<ChunkPlan> = chunks

@@ -1,6 +1,6 @@
 //! The environment a transfer runs in.
 
-use crate::faults::{BackgroundTraffic, FaultModel};
+use crate::faults::{BackgroundTraffic, FaultPlan};
 use eadt_endsys::{Site, UtilizationCoeffs};
 use eadt_net::link::Link;
 use eadt_net::packets::PacketModel;
@@ -65,9 +65,12 @@ pub struct TransferEnv {
     pub packets: PacketModel,
     /// Software/path tuning constants.
     pub tuning: EngineTuning,
-    /// Optional deterministic channel-failure injection.
+    /// Optional deterministic fault injection: any composition of
+    /// per-channel failures, server outages, control-channel stalls and
+    /// disk degradation, plus the recovery policy (see
+    /// [`crate::faults::FaultPlan`]).
     #[serde(default)]
-    pub faults: Option<FaultModel>,
+    pub faults: Option<FaultPlan>,
     /// Optional deterministic background traffic on the bottleneck link.
     #[serde(default)]
     pub background: Option<BackgroundTraffic>,

@@ -17,6 +17,14 @@
 //! — and measures exactly what the paper measures: achieved throughput,
 //! per-endpoint energy (via `eadt-power` models over `eadt-endsys`
 //! utilization), and moved packet counts for the §4 network analysis.
+//!
+//! Robustness lives in two companion modules: [`faults`] describes *what
+//! breaks* (per-channel failures, server outages, control-channel stalls,
+//! disk degradation — composed through a [`FaultPlan`]) and [`retry`]
+//! describes *how the client recovers* (jittered exponential backoff,
+//! retry budgets, per-server circuit breakers). Any controller can be
+//! wrapped in [`FaultAware`] to shed concurrency while servers are
+//! quarantined and re-ramp on recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,14 +37,22 @@ pub mod faults;
 pub mod params;
 pub mod plan;
 pub mod report;
+pub mod retry;
 
-pub use control::{ControlAction, Controller, NullController, SliceCtx};
+#[cfg(test)]
+mod proptests;
+
+pub use control::{ControlAction, Controller, FaultAware, FaultView, NullController, SliceCtx};
 pub use control_channel::{
     closed_form_goodput, exact_goodput, simulate_channel, ControlChannelRun,
 };
 pub use engine::Engine;
 pub use env::{EngineTuning, TransferEnv};
-pub use faults::{BackgroundTraffic, FaultModel};
+pub use faults::{
+    BackgroundTraffic, DiskDegradationModel, EpisodeStream, FaultCause, FaultModel, FaultPlan,
+    OutageModel, SiteSide, StallModel,
+};
 pub use params::TransferParams;
 pub use plan::{uniform_plan, ChunkPlan, StagePlan, TransferPlan};
-pub use report::{ChunkStat, TransferReport};
+pub use report::{ChunkStat, FaultStats, TransferReport};
+pub use retry::{FaultRuntime, RetryPolicy};

@@ -17,6 +17,54 @@ pub struct ChunkStat {
     pub completed_at: Option<SimDuration>,
 }
 
+/// Fault accounting for one run, broken down by cause.
+///
+/// `moved_bytes` in the report is *goodput* — progress lost to marker-less
+/// restarts is subtracted there and accounted here as
+/// `retransmitted_bytes`, so the two always satisfy
+/// `goodput + retransmitted = bytes that crossed the wire as payload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Independent per-channel failures (TTF expiries).
+    #[serde(default)]
+    pub channel_failures: u64,
+    /// Channel kills caused by server-outage windows.
+    #[serde(default)]
+    pub outage_failures: u64,
+    /// Outage windows that opened during the run.
+    #[serde(default)]
+    pub outage_episodes: u64,
+    /// Control-channel stall episodes that opened during the run.
+    #[serde(default)]
+    pub stall_episodes: u64,
+    /// Disk-degradation episodes that opened during the run.
+    #[serde(default)]
+    pub disk_episodes: u64,
+    /// Reconnection attempts scheduled (one per failure).
+    #[serde(default)]
+    pub retries: u64,
+    /// Channels that exhausted their retry budget and sat out a cooldown.
+    #[serde(default)]
+    pub budget_exhaustions: u64,
+    /// Circuit-breaker open transitions across both sites.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Total channel-time spent waiting in backoff/cooldown.
+    #[serde(default)]
+    pub backoff_time: SimDuration,
+    /// Progress lost to marker-less restarts and moved again.
+    #[serde(default)]
+    pub retransmitted_bytes: Bytes,
+}
+
+impl FaultStats {
+    /// Channel kills from all causes (mirrors
+    /// [`TransferReport::failures`]).
+    pub fn total_failures(&self) -> u64 {
+        self.channel_failures + self.outage_failures
+    }
+}
+
 /// The result of one simulated transfer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TransferReport {
@@ -42,8 +90,13 @@ pub struct TransferReport {
     pub power_series: TimeSeries,
     /// Per-slice total channel count (shows HTEE/SLAEE adaptation).
     pub concurrency_series: TimeSeries,
-    /// Channel failures injected during the run (0 without a fault model).
+    /// Channel failures injected during the run, all causes (0 without a
+    /// fault model). Always equals `faults.total_failures()`.
     pub failures: u64,
+    /// Fault accounting by cause, plus retry/backoff/retransmission
+    /// breakdowns.
+    #[serde(default)]
+    pub faults: FaultStats,
     /// Energy predicted by the secondary estimator configured in
     /// `TransferEnv::estimator`, if any (Joules).
     pub estimated_energy_j: Option<f64>,
@@ -74,6 +127,19 @@ impl TransferReport {
             return 0.0;
         }
         self.avg_throughput().as_mbps() / e
+    }
+
+    /// Joules attributable to retransmitted bytes: total end-system energy
+    /// prorated by the share of payload bytes that were lost progress
+    /// moved twice. Zero for a clean run — this is the energy the fault
+    /// scenario burned for nothing.
+    pub fn retransmitted_energy_j(&self) -> f64 {
+        let retrans = self.faults.retransmitted_bytes.as_f64();
+        let payload = self.moved_bytes.as_f64() + retrans;
+        if payload <= 0.0 {
+            return 0.0;
+        }
+        self.total_energy_j() * retrans / payload
     }
 
     /// Mean power across the transfer, Watts.
@@ -127,6 +193,7 @@ mod tests {
             power_series: TimeSeries::new(),
             concurrency_series: TimeSeries::new(),
             failures: 0,
+            faults: FaultStats::default(),
             estimated_energy_j: None,
             chunk_stats: Vec::new(),
         }
@@ -178,5 +245,31 @@ mod tests {
         r.src_energy_j = 0.0;
         r.dst_energy_j = 0.0;
         assert_eq!(r.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn retransmitted_energy_is_prorated_by_wasted_payload() {
+        let mut r = report();
+        assert_eq!(r.retransmitted_energy_j(), 0.0);
+        // 1 GB goodput + 250 MB retransmitted: a fifth of payload bytes
+        // were waste, so a fifth of the 500 J is attributed to them.
+        r.faults.retransmitted_bytes = Bytes::from_mb(250);
+        let expect = 500.0 * 0.2;
+        assert!(
+            (r.retransmitted_energy_j() - expect).abs() < 1.0,
+            "{}",
+            r.retransmitted_energy_j()
+        );
+    }
+
+    #[test]
+    fn fault_stats_total_matches_cause_breakdown() {
+        let s = FaultStats {
+            channel_failures: 3,
+            outage_failures: 4,
+            ..FaultStats::default()
+        };
+        assert_eq!(s.total_failures(), 7);
+        assert_eq!(FaultStats::default().total_failures(), 0);
     }
 }

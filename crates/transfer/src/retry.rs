@@ -1,0 +1,566 @@
+//! Recovery policy: backoff, retry budgets and circuit breakers.
+//!
+//! The fault taxonomy in [`crate::faults`] says *what breaks*; this module
+//! says *what the client does about it*. Three mechanisms, all
+//! deterministic:
+//!
+//! * **Exponential backoff with seeded jitter** — a failed channel waits
+//!   `base · multiplier^attempt` (capped) before reconnecting, jittered by
+//!   a seeded stream so concurrent failures do not reconnect in lockstep.
+//! * **Per-channel retry budget** — after `retry_budget` consecutive
+//!   failures a channel stops hammering and sits out a full `cooldown`
+//!   before probing again.
+//! * **Per-server circuit breakers** — correlated failures against one
+//!   server open a breaker after `breaker_threshold` consecutive hits;
+//!   placement then routes channels away from the server until the
+//!   cooldown expires, at which point a half-open probe decides between
+//!   closing the breaker and re-opening it.
+//!
+//! [`FaultRuntime`] owns the live state (episode streams, breakers, the
+//! jitter stream, accumulated [`FaultStats`]) for one engine run.
+
+use crate::faults::{EpisodeStream, FaultCause, FaultPlan, SiteSide};
+use crate::report::FaultStats;
+use eadt_sim::{Bytes, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Backoff / budget / breaker parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First-retry delay (doubles as the legacy reconnect delay).
+    #[serde(default = "default_base_delay")]
+    pub base_delay: SimDuration,
+    /// Ceiling on the exponential backoff.
+    #[serde(default = "default_max_delay")]
+    pub max_delay: SimDuration,
+    /// Backoff growth factor per consecutive failure.
+    #[serde(default = "default_multiplier")]
+    pub multiplier: f64,
+    /// Jitter amplitude: each delay is scaled by a seeded factor drawn
+    /// uniformly from `[1 − jitter, 1 + jitter)`.
+    #[serde(default = "default_jitter")]
+    pub jitter: f64,
+    /// Consecutive failures a channel may burn through exponential backoff
+    /// before it is parked for a full `cooldown`.
+    #[serde(default = "default_retry_budget")]
+    pub retry_budget: u32,
+    /// Consecutive failures attributed to one server before its breaker
+    /// opens and placement routes around it.
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_threshold: u32,
+    /// How long an open breaker (or an exhausted channel) waits before the
+    /// next probe.
+    #[serde(default = "default_cooldown")]
+    pub cooldown: SimDuration,
+}
+
+fn default_base_delay() -> SimDuration {
+    SimDuration::from_secs(2)
+}
+fn default_max_delay() -> SimDuration {
+    SimDuration::from_secs(30)
+}
+fn default_multiplier() -> f64 {
+    2.0
+}
+fn default_jitter() -> f64 {
+    0.25
+}
+fn default_retry_budget() -> u32 {
+    6
+}
+fn default_breaker_threshold() -> u32 {
+    3
+}
+fn default_cooldown() -> SimDuration {
+    SimDuration::from_secs(20)
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay: default_base_delay(),
+            max_delay: default_max_delay(),
+            multiplier: default_multiplier(),
+            jitter: default_jitter(),
+            retry_budget: default_retry_budget(),
+            breaker_threshold: default_breaker_threshold(),
+            cooldown: default_cooldown(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Raw (un-jittered) backoff for the given 0-based consecutive-failure
+    /// count: `base · multiplier^attempt`, capped at `max_delay`.
+    pub fn raw_backoff(&self, attempt: u32) -> SimDuration {
+        let factor = self.multiplier.max(1.0).powi(attempt.min(63) as i32);
+        self.base_delay.mul_f64(factor).min(self.max_delay)
+    }
+}
+
+/// Circuit-breaker state for one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Healthy; failures are counted.
+    Closed,
+    /// Quarantined until the given time; placement avoids the server.
+    Open { until: SimTime },
+    /// Cooldown expired; the next slice probes the server.
+    HalfOpen,
+}
+
+/// Per-server failure tracker.
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+        }
+    }
+
+    fn begin_slice(&mut self, now: SimTime) {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Records a failure; returns true when the breaker newly opens.
+    fn record_failure(&mut self, now: SimTime, policy: &RetryPolicy) -> bool {
+        self.consecutive += 1;
+        let should_open = match self.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive >= policy.breaker_threshold.max(1),
+            BreakerState::Open { .. } => false,
+        };
+        if should_open {
+            self.state = BreakerState::Open {
+                until: now + policy.cooldown,
+            };
+        }
+        should_open
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive = 0;
+        if matches!(self.state, BreakerState::HalfOpen) {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Open means *avoid*; half-open deliberately reads as available so
+    /// the probe can happen.
+    fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+}
+
+/// Live fault state for one engine run: episode streams advanced once per
+/// slice, per-server breakers, the jitter stream, and accumulated
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct FaultRuntime {
+    plan: FaultPlan,
+    jitter_rng: SimRng,
+    ttf_rng: Option<SimRng>,
+    outages: Vec<(SiteSide, usize, EpisodeStream)>,
+    stall: Option<(f64, EpisodeStream)>,
+    disk: Vec<(SiteSide, usize, f64, EpisodeStream)>,
+    src_breakers: Vec<Breaker>,
+    dst_breakers: Vec<Breaker>,
+    // Per-slice snapshot, refreshed by `begin_slice`.
+    src_outage: Vec<bool>,
+    dst_outage: Vec<bool>,
+    stall_multiplier: f64,
+    src_disk_factor: Vec<f64>,
+    dst_disk_factor: Vec<f64>,
+    /// Accumulated fault accounting, copied into the report at the end.
+    pub stats: FaultStats,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime for a plan over sites with the given server
+    /// counts. Out-of-range server indices in the plan are ignored.
+    pub fn new(plan: &FaultPlan, src_servers: usize, dst_servers: usize) -> Self {
+        let in_range = |side: SiteSide, server: usize| match side {
+            SiteSide::Src => server < src_servers,
+            SiteSide::Dst => server < dst_servers,
+        };
+        let outages = plan
+            .outages
+            .iter()
+            .filter(|o| in_range(o.side, o.server))
+            .map(|o| {
+                (
+                    o.side,
+                    o.server,
+                    EpisodeStream::new(o.mean_gap, o.duration, o.seed),
+                )
+            })
+            .collect();
+        let stall = plan.stall.map(|s| {
+            (
+                s.gap_multiplier.max(1.0),
+                EpisodeStream::new(s.mean_gap, s.duration, s.seed),
+            )
+        });
+        let disk = plan
+            .disk
+            .iter()
+            .filter(|d| in_range(d.side, d.server))
+            .map(|d| {
+                (
+                    d.side,
+                    d.server,
+                    d.rate_factor.clamp(0.0, 1.0),
+                    EpisodeStream::new(d.mean_gap, d.duration, d.seed),
+                )
+            })
+            .collect();
+        FaultRuntime {
+            jitter_rng: SimRng::new(plan.base_seed()).fork("retry-jitter"),
+            ttf_rng: plan
+                .channel
+                .map(|c| SimRng::new(c.seed).fork("engine-faults")),
+            outages,
+            stall,
+            disk,
+            src_breakers: (0..src_servers).map(|_| Breaker::new()).collect(),
+            dst_breakers: (0..dst_servers).map(|_| Breaker::new()).collect(),
+            src_outage: vec![false; src_servers],
+            dst_outage: vec![false; dst_servers],
+            stall_multiplier: 1.0,
+            src_disk_factor: vec![1.0; src_servers],
+            dst_disk_factor: vec![1.0; dst_servers],
+            stats: FaultStats::default(),
+            plan: plan.clone(),
+        }
+    }
+
+    /// Advances episode streams and breaker cooldowns to the start of a
+    /// slice and refreshes the per-slice snapshot.
+    pub fn begin_slice(&mut self, now: SimTime) {
+        for b in self.src_breakers.iter_mut().chain(&mut self.dst_breakers) {
+            b.begin_slice(now);
+        }
+        self.src_outage.iter_mut().for_each(|o| *o = false);
+        self.dst_outage.iter_mut().for_each(|o| *o = false);
+        let mut outage_windows = 0;
+        for (side, server, stream) in &mut self.outages {
+            let active = stream.active(now);
+            outage_windows += stream.started();
+            if active {
+                match side {
+                    SiteSide::Src => self.src_outage[*server] = true,
+                    SiteSide::Dst => self.dst_outage[*server] = true,
+                }
+            }
+        }
+        self.stats.outage_episodes = outage_windows;
+        self.stall_multiplier = match &mut self.stall {
+            Some((mult, stream)) => {
+                let active = stream.active(now);
+                self.stats.stall_episodes = stream.started();
+                if active {
+                    *mult
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        self.src_disk_factor.iter_mut().for_each(|f| *f = 1.0);
+        self.dst_disk_factor.iter_mut().for_each(|f| *f = 1.0);
+        let mut disk_windows = 0;
+        for (side, server, factor, stream) in &mut self.disk {
+            let active = stream.active(now);
+            disk_windows += stream.started();
+            if active {
+                let slot = match side {
+                    SiteSide::Src => &mut self.src_disk_factor[*server],
+                    SiteSide::Dst => &mut self.dst_disk_factor[*server],
+                };
+                *slot = slot.min(*factor);
+            }
+        }
+        self.stats.disk_episodes = disk_windows;
+    }
+
+    /// Samples a fresh time-to-failure when the plan has a channel model.
+    pub fn sample_ttf(&mut self) -> Option<SimDuration> {
+        let model = self.plan.channel?;
+        let rng = self.ttf_rng.as_mut()?;
+        Some(model.sample_ttf(rng))
+    }
+
+    /// Whether an outage window currently covers the given server.
+    pub fn outage_active(&self, side: SiteSide, server: usize) -> bool {
+        match side {
+            SiteSide::Src => self.src_outage.get(server).copied().unwrap_or(false),
+            SiteSide::Dst => self.dst_outage.get(server).copied().unwrap_or(false),
+        }
+    }
+
+    /// Current inter-file control-gap multiplier (1.0 when not stalled).
+    pub fn gap_multiplier(&self) -> f64 {
+        self.stall_multiplier
+    }
+
+    /// Current disk-rate factor for a server (1.0 when healthy).
+    pub fn disk_factor(&self, side: SiteSide, server: usize) -> f64 {
+        match side {
+            SiteSide::Src => self.src_disk_factor.get(server).copied().unwrap_or(1.0),
+            SiteSide::Dst => self.dst_disk_factor.get(server).copied().unwrap_or(1.0),
+        }
+    }
+
+    /// Placement masks from *learned* state only: a server reads as
+    /// unavailable while its breaker is open. Active outages the client
+    /// has not collided with yet do not mask — the client is not an
+    /// oracle; it discovers outages by failing against them.
+    pub fn avail_masks(&self) -> (Vec<bool>, Vec<bool>) {
+        (
+            self.src_breakers.iter().map(|b| !b.is_open()).collect(),
+            self.dst_breakers.iter().map(|b| !b.is_open()).collect(),
+        )
+    }
+
+    /// Fraction of servers not quarantined, taken as the min over both
+    /// sites — the controller-facing degradation signal.
+    pub fn capacity_fraction(&self) -> f64 {
+        let frac = |brs: &[Breaker]| {
+            if brs.is_empty() {
+                1.0
+            } else {
+                brs.iter().filter(|b| !b.is_open()).count() as f64 / brs.len() as f64
+            }
+        };
+        frac(&self.src_breakers).min(frac(&self.dst_breakers))
+    }
+
+    /// Books a failure: bumps the per-cause counter and, for outage kills,
+    /// charges the breaker of every server whose outage the channel hit.
+    pub fn record_failure(
+        &mut self,
+        cause: FaultCause,
+        src_srv: usize,
+        dst_srv: usize,
+        now: SimTime,
+    ) {
+        match cause {
+            FaultCause::Channel => self.stats.channel_failures += 1,
+            FaultCause::Outage => {
+                self.stats.outage_failures += 1;
+                if self.src_outage.get(src_srv).copied().unwrap_or(false)
+                    && self.src_breakers[src_srv].record_failure(now, &self.plan.retry)
+                {
+                    self.stats.breaker_opens += 1;
+                }
+                if self.dst_outage.get(dst_srv).copied().unwrap_or(false)
+                    && self.dst_breakers[dst_srv].record_failure(now, &self.plan.retry)
+                {
+                    self.stats.breaker_opens += 1;
+                }
+            }
+        }
+    }
+
+    /// Books bytes successfully moved through a server: resets its
+    /// breaker's failure run and closes a half-open probe.
+    pub fn record_success(&mut self, side: SiteSide, server: usize) {
+        let breaker = match side {
+            SiteSide::Src => self.src_breakers.get_mut(server),
+            SiteSide::Dst => self.dst_breakers.get_mut(server),
+        };
+        if let Some(b) = breaker {
+            b.record_success();
+        }
+    }
+
+    /// The reconnect delay for a channel's next attempt, given its
+    /// 0-based consecutive-failure count: jittered exponential backoff
+    /// while within budget, a full cooldown once the budget is exhausted.
+    /// Returns `(delay, budget_exhausted)` and books the retry.
+    pub fn next_delay(&mut self, consecutive: u32) -> (SimDuration, bool) {
+        self.stats.retries += 1;
+        let policy = self.plan.retry;
+        if consecutive >= policy.retry_budget.max(1) {
+            self.stats.budget_exhaustions += 1;
+            return (policy.cooldown, true);
+        }
+        let raw = policy.raw_backoff(consecutive);
+        let amp = policy.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - amp + 2.0 * amp * self.jitter_rng.unit();
+        (raw.mul_f64(factor).max(SimDuration::from_micros(1)), false)
+    }
+
+    /// Adds backoff wait time to the accounting.
+    pub fn book_backoff(&mut self, waited: SimDuration) {
+        self.stats.backoff_time += waited;
+    }
+
+    /// Adds retransmitted (lost-progress) bytes to the accounting.
+    pub fn book_retransmit(&mut self, lost: Bytes) {
+        self.stats.retransmitted_bytes += lost;
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Effective restart-marker setting for the plan.
+    pub fn restart_markers(&self) -> bool {
+        self.plan.restart_markers()
+    }
+
+    /// Breaker quarantine mask for one site (true = quarantined).
+    pub fn quarantined(&self, side: SiteSide) -> Vec<bool> {
+        match side {
+            SiteSide::Src => self.src_breakers.iter().map(Breaker::is_open).collect(),
+            SiteSide::Dst => self.dst_breakers.iter().map(Breaker::is_open).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultModel, OutageModel};
+
+    fn plan_with_outage() -> FaultPlan {
+        FaultPlan::default().with_outage(OutageModel::new(
+            SiteSide::Dst,
+            1,
+            SimDuration::from_secs(40),
+            SimDuration::from_secs(10),
+            21,
+        ))
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.raw_backoff(0), SimDuration::from_secs(2));
+        assert_eq!(p.raw_backoff(1), SimDuration::from_secs(4));
+        assert_eq!(p.raw_backoff(3), SimDuration::from_secs(16));
+        assert_eq!(p.raw_backoff(10), p.max_delay);
+        assert_eq!(p.raw_backoff(63), p.max_delay);
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_and_bounded() {
+        let plan = FaultPlan::from(FaultModel::new(SimDuration::from_secs(60), 4));
+        let mut a = FaultRuntime::new(&plan, 1, 1);
+        let mut b = FaultRuntime::new(&plan, 1, 1);
+        for attempt in 0..6 {
+            let (da, _) = a.next_delay(attempt);
+            let (db, _) = b.next_delay(attempt);
+            assert_eq!(da, db);
+            let raw = plan.retry.raw_backoff(attempt).as_secs_f64();
+            let d = da.as_secs_f64();
+            assert!(
+                d >= raw * 0.749 && d < raw * 1.251,
+                "attempt {attempt}: {d} vs {raw}"
+            );
+        }
+        assert_eq!(a.stats.retries, 6);
+    }
+
+    #[test]
+    fn exhausted_budget_parks_the_channel_for_the_cooldown() {
+        let plan = FaultPlan::default();
+        let mut rt = FaultRuntime::new(&plan, 1, 1);
+        let budget = plan.retry.retry_budget;
+        let (delay, exhausted) = rt.next_delay(budget);
+        assert!(exhausted);
+        assert_eq!(delay, plan.retry.cooldown);
+        assert_eq!(rt.stats.budget_exhaustions, 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let plan = plan_with_outage();
+        let mut rt = FaultRuntime::new(&plan, 1, 2);
+        // Walk time to an active outage window on dst server 1.
+        let mut t = SimTime::ZERO;
+        let slice = SimDuration::from_millis(100);
+        while !rt.outage_active(SiteSide::Dst, 1) {
+            t += slice;
+            rt.begin_slice(t);
+            assert!(
+                t.since(SimTime::ZERO) < SimDuration::from_secs(600),
+                "no outage window in 10 min"
+            );
+        }
+        for _ in 0..plan.retry.breaker_threshold {
+            rt.record_failure(FaultCause::Outage, 0, 1, t);
+        }
+        assert_eq!(rt.stats.breaker_opens, 1);
+        assert_eq!(rt.quarantined(SiteSide::Dst), vec![false, true]);
+        let (_, dst_avail) = rt.avail_masks();
+        assert_eq!(dst_avail, vec![true, false]);
+        assert!((rt.capacity_fraction() - 0.5).abs() < 1e-12);
+        // After the cooldown the breaker half-opens: available for a probe.
+        let mut t = t + plan.retry.cooldown + slice;
+        rt.begin_slice(t);
+        let (_, dst_avail) = rt.avail_masks();
+        assert_eq!(dst_avail, vec![true, true]);
+        // A probe that collides with the *next* outage window re-opens the
+        // breaker instantly (outage kills only charge breakers while the
+        // outage is actually up); a successful probe closes it.
+        while !rt.outage_active(SiteSide::Dst, 1) {
+            t += slice;
+            rt.begin_slice(t);
+            assert!(
+                t.since(SimTime::ZERO) < SimDuration::from_secs(1200),
+                "no second outage window in 20 min"
+            );
+        }
+        rt.record_failure(FaultCause::Outage, 0, 1, t);
+        assert!(rt.quarantined(SiteSide::Dst)[1]);
+        assert_eq!(rt.stats.breaker_opens, 2);
+        let after = t + plan.retry.cooldown + slice;
+        rt.begin_slice(after);
+        rt.record_success(SiteSide::Dst, 1);
+        assert!(!rt.quarantined(SiteSide::Dst)[1]);
+        assert!((rt.capacity_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_failures_do_not_charge_breakers() {
+        let plan = FaultPlan::from(FaultModel::new(SimDuration::from_secs(30), 2));
+        let mut rt = FaultRuntime::new(&plan, 1, 1);
+        rt.begin_slice(SimTime::ZERO);
+        for _ in 0..10 {
+            rt.record_failure(FaultCause::Channel, 0, 0, SimTime::ZERO);
+        }
+        assert_eq!(rt.stats.channel_failures, 10);
+        assert_eq!(rt.stats.breaker_opens, 0);
+        assert!((rt.capacity_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_servers_in_the_plan_are_ignored() {
+        let plan = FaultPlan::default().with_outage(OutageModel::new(
+            SiteSide::Dst,
+            7,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(5),
+            1,
+        ));
+        let mut rt = FaultRuntime::new(&plan, 1, 2);
+        rt.begin_slice(SimTime::from_secs_f64(100.0));
+        assert!(!rt.outage_active(SiteSide::Dst, 0));
+        assert!(!rt.outage_active(SiteSide::Dst, 1));
+    }
+}

@@ -38,10 +38,13 @@ fn main() {
         ("full file restarts ", false),
     ] {
         let mut tb = base.clone();
-        tb.env.faults = Some(FaultModel {
-            restart_markers: markers,
-            ..FaultModel::new(SimDuration::from_secs(30), 7)
-        });
+        tb.env.faults = Some(
+            FaultModel {
+                restart_markers: markers,
+                ..FaultModel::new(SimDuration::from_secs(30), 7)
+            }
+            .into(),
+        );
         let r = ProMc::new(8).run(&tb.env, &dataset);
         println!(
             "faults, {label}: {:>6.0} Mbps  {:>7.0} J  {} failures",

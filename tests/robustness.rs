@@ -2,18 +2,25 @@
 //! in-vivo estimator on the real testbeds.
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Htee};
-use eadt::power::{CpuOnlyModel, PowerModelKind};
-use eadt::sim::SimDuration;
+use eadt::core::{Algorithm, Htee, Slaee};
+use eadt::endsys::{DiskSubsystem, Placement, ServerSpec, Site, UtilizationCoeffs};
+use eadt::net::link::Link;
+use eadt::net::packets::PacketModel;
+use eadt::net::tcp::CongestionModel;
+use eadt::power::{CpuOnlyModel, FineGrainedModel, PowerModelKind};
+use eadt::sim::{Bytes, Rate, SimDuration};
 use eadt::testbeds::{futuregrid, xsede};
-use eadt::transfer::{BackgroundTraffic, FaultModel};
+use eadt::transfer::{
+    BackgroundTraffic, ChunkPlan, Engine, EngineTuning, FaultAware, FaultModel, FaultPlan,
+    NullController, OutageModel, SiteSide, TransferEnv, TransferPlan,
+};
 
 #[test]
 fn faults_cost_time_never_bytes_on_xsede() {
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.03).generate(11);
     let clean = ProMc::new(8).run(&tb.env, &dataset);
-    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(20), 3));
+    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(20), 3).into());
     let faulty = ProMc::new(8).run(&tb.env, &dataset);
     assert!(faulty.completed);
     assert_eq!(faulty.moved_bytes, clean.moved_bytes);
@@ -28,16 +35,19 @@ fn restart_markers_beat_full_restarts() {
     // exactly why GridFTP has markers; see the engine's fault tests).
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.05).generate(5);
-    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(30), 9));
+    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(30), 9).into());
     let with_markers = ProMc {
         partition: tb.partition,
         ..ProMc::new(4)
     }
     .run(&tb.env, &dataset);
-    tb.env.faults = Some(FaultModel {
-        restart_markers: false,
-        ..FaultModel::new(SimDuration::from_secs(30), 9)
-    });
+    tb.env.faults = Some(
+        FaultModel {
+            restart_markers: false,
+            ..FaultModel::new(SimDuration::from_secs(30), 9)
+        }
+        .into(),
+    );
     let without = ProMc {
         partition: tb.partition,
         ..ProMc::new(4)
@@ -93,6 +103,157 @@ fn reprobing_htee_is_no_worse_under_changing_conditions() {
         adaptive.efficiency(),
         static_htee.efficiency()
     );
+}
+
+#[test]
+fn slaee_conserves_bytes_under_composed_faults() {
+    // SLAEE's adaptation loop keeps running while channel failures and a
+    // recurring outage on its (PackFirst) primary dst server interleave;
+    // the report's cause breakdown must reconcile with the legacy counter.
+    let mut tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.03).generate(17);
+    let clean = ProMc::new(8).run(&tb.env, &dataset);
+    tb.env.faults = Some(
+        FaultPlan::from(FaultModel::new(SimDuration::from_secs(25), 5)).with_outage(
+            OutageModel::new(
+                SiteSide::Dst,
+                0,
+                SimDuration::from_secs(20),
+                SimDuration::from_secs(15),
+                33,
+            ),
+        ),
+    );
+    let r = Slaee::new(0.6, clean.avg_throughput(), 12).run(&tb.env, &dataset);
+    assert!(r.completed);
+    assert_eq!(r.moved_bytes, clean.moved_bytes);
+    assert!(r.failures > 0);
+    assert_eq!(r.failures, r.faults.total_failures());
+    assert_eq!(
+        r.faults.total_failures(),
+        r.faults.channel_failures + r.faults.outage_failures
+    );
+    assert_eq!(r.faults.retransmitted_bytes, Bytes::ZERO);
+}
+
+#[test]
+fn htee_conserves_bytes_under_faults() {
+    // HTEE's probe phase must survive fault-injected measurements without
+    // losing bytes or diverging from its clean-run dataset coverage.
+    let mut tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.03).generate(19);
+    let clean = Htee::new(8).run(&tb.env, &dataset);
+    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(25), 13).into());
+    let r = Htee::new(8).run(&tb.env, &dataset);
+    assert!(r.completed);
+    assert_eq!(r.moved_bytes, clean.moved_bytes);
+    assert!(r.failures > 0);
+    assert_eq!(r.failures, r.faults.total_failures());
+    assert!(r.duration >= clean.duration);
+}
+
+/// Two-server receiving site with slow single-disk storage: the setting
+/// where shedding concurrency during an outage pays on *both* axes,
+/// because extra channels piling onto the surviving disk cost throughput
+/// (contention) and Watts (active CPUs) at once.
+fn outage_demo_env() -> TransferEnv {
+    let fast_src = ServerSpec::new(
+        "src-dtn",
+        4,
+        115.0,
+        Rate::from_gbps(10.0),
+        DiskSubsystem::Array {
+            per_access: Rate::from_gbps(2.4),
+            aggregate: Rate::from_gbps(7.6),
+        },
+    );
+    let slow_dst = ServerSpec::new(
+        "dst-ws",
+        4,
+        115.0,
+        Rate::from_gbps(10.0),
+        DiskSubsystem::Single {
+            rate: Rate::from_mbps(800.0),
+            contention_penalty: 0.18,
+        },
+    );
+    TransferEnv {
+        link: Link::new(
+            Rate::from_gbps(10.0),
+            SimDuration::from_millis(40),
+            Bytes::from_mb(32),
+        ),
+        src: Site::new("src", vec![fast_src]),
+        dst: Site::new("dst", vec![slow_dst; 2]),
+        util: UtilizationCoeffs::default(),
+        power: FineGrainedModel::paper_default(),
+        congestion: CongestionModel::default(),
+        packets: PacketModel::default(),
+        tuning: EngineTuning::default(),
+        faults: Some(FaultPlan::default().with_outage(OutageModel::new(
+            SiteSide::Dst,
+            1,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(60),
+            42,
+        ))),
+        background: None,
+        estimator: None,
+    }
+}
+
+fn outage_demo_plan() -> TransferPlan {
+    let cp = ChunkPlan {
+        label: "bulk".into(),
+        files: (0..16)
+            .map(|i| eadt::dataset::FileSpec::new(i, Bytes::from_mb(500)))
+            .collect(),
+        pipelining: 4,
+        parallelism: 2,
+        channels: 8,
+        accepts_reallocation: true,
+    };
+    TransferPlan::concurrent(vec![cp], Placement::RoundRobin)
+}
+
+#[test]
+fn fault_aware_control_beats_static_on_time_and_energy_under_outage() {
+    let env = outage_demo_env();
+    let plan = outage_demo_plan();
+    let run_static = || Engine::new(&env).run(&plan, &mut NullController);
+    let run_adaptive = || Engine::new(&env).run(&plan, &mut FaultAware::new(NullController));
+    let stat = run_static();
+    let adapt = run_adaptive();
+    assert!(stat.completed && adapt.completed);
+    assert_eq!(stat.moved_bytes, adapt.moved_bytes);
+    // Both arms collide with the outage and learn about it the hard way.
+    assert!(stat.faults.outage_failures > 0);
+    assert!(adapt.faults.outage_failures > 0);
+    assert!(adapt.faults.breaker_opens >= 1);
+    // Restart markers are on: nothing is retransmitted, only time is lost.
+    assert_eq!(adapt.faults.retransmitted_bytes, Bytes::ZERO);
+    // The adaptive run wins on BOTH completion time and total joules.
+    assert!(
+        adapt.duration < stat.duration,
+        "adaptive {} vs static {}",
+        adapt.duration,
+        stat.duration
+    );
+    assert!(
+        adapt.total_energy_j() < stat.total_energy_j(),
+        "adaptive {} J vs static {} J",
+        adapt.total_energy_j(),
+        stat.total_energy_j()
+    );
+    // And the whole demo is exactly reproducible.
+    let stat2 = run_static();
+    let adapt2 = run_adaptive();
+    assert_eq!(stat.duration, stat2.duration);
+    assert_eq!(stat.total_energy_j(), stat2.total_energy_j());
+    assert_eq!(stat.faults, stat2.faults);
+    assert_eq!(adapt.duration, adapt2.duration);
+    assert_eq!(adapt.total_energy_j(), adapt2.total_energy_j());
+    assert_eq!(adapt.faults, adapt2.faults);
 }
 
 #[test]

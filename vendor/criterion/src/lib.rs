@@ -1,0 +1,106 @@
+//! Offline subset of the `criterion` API.
+//!
+//! Provides just enough surface for the workspace's benches to compile and
+//! run: each `bench_function` executes its body a few times and prints a
+//! rough mean wall-clock duration. No statistics, warm-up, or HTML
+//! reports — this is a smoke-run harness, not a measurement tool.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const RUNS: u32 = 3;
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(body());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        total_nanos: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.total_nanos / u128::from(b.iters)
+    } else {
+        0
+    };
+    println!("bench {name}: ~{} ns/iter ({} iters)", mean, b.iters);
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Configuration accepted for compatibility; sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,240 @@
+//! Offline subset of the `proptest` API.
+//!
+//! Implements the pieces this workspace uses — the [`Strategy`] trait,
+//! range/tuple/`Just`/`prop_oneof!`/`prop::collection::vec` strategies,
+//! `.prop_map`, and the `proptest!` / `prop_assert*` macros — as a plain
+//! sampling loop over a seeded RNG. Failing inputs are reported via panic
+//! message but **not shrunk**; each test function runs
+//! `ProptestConfig::cases` random cases deterministically (fixed seed per
+//! test body, so failures reproduce).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for signature compatibility; unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies during sampling.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`; `lo` when the range is empty.
+    #[inline]
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+}
+
+/// Derives a per-test seed from the test function's name, so adding a test
+/// never perturbs the cases another test sees.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub use strategy::{Just, Map, OneOf, Strategy, VecStrategy};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+    // `prop::collection::vec(...)` etc. resolve through this alias.
+    pub use crate as prop;
+}
+
+/// Runs `cases` sampled inputs through a test body. Used by the
+/// `proptest!` macro expansion; not public API in the real crate, but
+/// harmless to expose here.
+pub fn run_cases<T>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &dyn Fn(&mut TestRng) -> T,
+    body: &dyn Fn(T) -> Result<(), String>,
+) {
+    let mut rng = TestRng::from_seed(seed_for(test_name));
+    for case in 0..config.cases {
+        let input = strategy(&mut rng);
+        if let Err(msg) = body(input) {
+            panic!("proptest case {}/{} failed: {msg}", case + 1, config.cases);
+        }
+    }
+}
+
+/// Property-test entry point. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 12, ..Default::default() })]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &|__rng| ( $( $crate::Strategy::sample(&($strat), __rng) ),+ , ),
+                    &|( $($arg),+ , )| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}, {}:{})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}, {}:{}): {}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?}, {}:{})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Weighted-choice strategy combinator; weights (`w => strat`) are
+/// accepted and treated as uniform alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}

@@ -1,0 +1,220 @@
+//! Strategy combinators: how test inputs are sampled.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree: `sample` draws a single
+/// concrete value, and failing cases are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.below(self.start as u64, self.end as u64) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.below(*self.start() as u64, (*self.end() as u64).saturating_add(1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Shift into unsigned space to keep the draw uniform.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let off = rng.below(0, span.max(1));
+                (self.start as i64).wrapping_add(off as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit()
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit() as f32
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(0, self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// `prop::collection::vec(element, len_range)`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let y = (-3i32..4).sample(&mut rng);
+            assert!((-3..4).contains(&y));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = (1u32..5, 0.0f64..1.0).prop_map(|(n, f)| n as f64 + f);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_in_range() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = vec(0u64..10, 2..6);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The sandbox this workspace builds in has no crate registry access, so the
+//! handful of `rand` items the workspace actually uses are reimplemented here
+//! **bit-exactly**: `SmallRng` is xoshiro256++ seeded through the
+//! `rand_core` 0.6 PCG32 `seed_from_u64` path, `Rng::gen::<f64>` uses the
+//! 53-bit `Standard` mapping, and `gen_range` for integers uses the same
+//! widening-multiply rejection scheme as `UniformInt::sample_single`.
+//! Swapping the real crates back in therefore reproduces identical seeded
+//! experiment streams.
+
+use std::fmt;
+
+/// Error type matching `rand::Error`'s public shape.
+///
+/// The generators in this subset are infallible, so this is only ever
+/// constructed by downstream code that needs the type to exist.
+#[derive(Debug)]
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl Error {
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync>>,
+    {
+        Error { inner: err.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32 — byte-for-byte the
+    /// default implementation in `rand_core` 0.6.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform_int {
+    use super::RngCore;
+
+    /// `UniformInt::<u64>::sample_single` from rand 0.8: widening-multiply
+    /// with the conservative power-of-two zone.
+    #[inline]
+    pub fn sample_single_u64<R: RngCore + ?Sized>(low: u64, high: u64, rng: &mut R) -> u64 {
+        debug_assert!(low < high, "gen_range: empty range");
+        let range = high.wrapping_sub(low);
+        if range == 0 {
+            // Full u64 range.
+            return rng.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let m = (v as u128).wrapping_mul(range as u128);
+            let hi = (m >> 64) as u64;
+            let lo = m as u64;
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+}
+
+/// High-level convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples from the `Standard` distribution. Implemented for the types
+    /// the workspace draws: `f64`, `f32`, `u32`, `u64`, `bool`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a half-open integer range, matching
+    /// `UniformSampler::sample_single`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range.start, range.end, self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // Matches rand 0.8's Bernoulli: p scaled into 64 bits.
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u64 << 63) as f64 * 2.0) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Marker for `Standard`-distribution sampling (stand-in for
+/// `Distribution<T> for Standard`).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit mantissa mapping used by rand 0.8's `Standard` for f64.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for u64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        uniform_int::sample_single_u64(low, high, rng)
+    }
+}
+
+impl SampleUniform for u32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        uniform_int::sample_single_u64(low as u64, high as u64, rng) as u32
+    }
+}
+
+impl SampleUniform for usize {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        uniform_int::sample_single_u64(low as u64, high as u64, rng) as usize
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        low + (high - low) * f64::sample_standard(rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the `SmallRng` backend on 64-bit targets in rand 0.8.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                // Xoshiro forbids the all-zero state; rand falls back to
+                // seeding from the integer 0.
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // Upper bits: the low bits of ++ scramblers have weak lanes.
+            (self.step() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            // `fill_bytes_via_next` from rand_core: whole LE words, then a
+            // partial word for the tail.
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+            }
+            let tail = chunks.into_remainder();
+            if !tail.is_empty() {
+                let word = self.next_u64().to_le_bytes();
+                tail.copy_from_slice(&word[..tail.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        // Official xoshiro256++ outputs for state [1, 2, 3, 4].
+        let mut seed = [0u8; 32];
+        for (i, w) in [1u64, 2, 3, 4].iter().enumerate() {
+            seed[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        let mut rng = SmallRng::from_seed(seed);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_nontrivial() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_u64_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline subset of the `rayon` API that executes **sequentially**.
+//!
+//! The workspace only uses `par_iter`/`into_par_iter` as drop-in parallel
+//! maps; mapping them to the standard sequential iterators preserves
+//! results and ordering exactly (rayon's `collect` is order-preserving),
+//! trading parallel speed-up for zero dependencies. Swapping the real
+//! rayon back in changes nothing observable.
+
+pub mod prelude {
+    /// `par_iter()` on slice-like containers → sequential `iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` → sequential `into_iter()`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+        type Item = u32;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::RangeInclusive<u32> {
+        type Iter = std::ops::RangeInclusive<u32>;
+        type Item = u32;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+        type Iter = std::ops::RangeInclusive<usize>;
+        type Item = usize;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squares: Vec<u32> = (1..=4u32).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![1, 4, 9, 16]);
+    }
+}

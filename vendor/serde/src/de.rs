@@ -1,0 +1,200 @@
+//! Deserialization: a type rebuilds itself from a [`Value`].
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error produced while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+
+    /// Type mismatch against what the input actually held.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {expected}, found {}", got.kind()))
+    }
+
+    /// Prefixes the error with the field it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        Error::custom(format!("{field}: {}", self.message))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be rebuilt from a JSON value.
+///
+/// Mirror of [`crate::Serialize`]; the method is named `deser_value` to
+/// stay out of the way of inherent methods.
+pub trait Deserialize: Sized {
+    fn deser_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::unexpected("unsigned integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::unexpected("integer", v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::unexpected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        f64::deser_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::unexpected("boolean", v))
+    }
+}
+
+impl Deserialize for String {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::unexpected("string", v))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde borrows from the input here; this Value-tree subset has
+    /// no input to borrow from, so the string is leaked. Only derived
+    /// structs with `&'static str` fields hit this, and only when actually
+    /// deserialized (round-trip tests), so the leak is bounded and
+    /// process-lifetime — observationally the same as a true borrow.
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::unexpected("string", v))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Deserialize for char {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::unexpected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deser_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::unexpected("array", v))?;
+        items.iter().map(T::deser_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        T::deser_value(v).map(Box::new)
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| Error::unexpected("object", v))?;
+        map.iter()
+            .map(|(k, val)| Ok((k.clone(), V::deser_value(val).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_object()
+            .ok_or_else(|| Error::unexpected("object", v))?;
+        map.iter()
+            .map(|(k, val)| Ok((k.clone(), V::deser_value(val).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::unexpected("array", v))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deser_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+de_tuple!((2, A.0, B.1), (3, A.0, B.1, C.2), (4, A.0, B.1, C.2, D.3));
+
+impl Deserialize for Value {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Resolves a field absent from the input, serde-style: probe with null so
+/// `Option<T>` fields fall out as `None`, and everything else reports a
+/// missing-field error.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, Error> {
+    T::deser_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{name}`")))
+}

@@ -1,0 +1,26 @@
+//! Offline, dependency-free subset of the `serde` API.
+//!
+//! The build sandbox has no crate registry access, so serialization is
+//! reimplemented around a JSON-like [`value::Value`] tree: `Serialize`
+//! renders a type into a `Value`, `Deserialize` rebuilds the type from one.
+//! `serde_json` (also vendored) adds the text layer on top. The derive
+//! macros live in the vendored `serde_derive` crate and are re-exported
+//! here under the `derive` feature, mirroring the real crate layout.
+//!
+//! Only what this workspace uses is implemented: derived impls on structs
+//! and enums, `#[serde(default)]` on named fields, and the primitive /
+//! container impls below. The encoding conventions (externally tagged
+//! enums, newtype structs as their inner value) match real serde, so the
+//! JSON files this produces stay loadable if the real crates return.
+
+pub mod value;
+
+pub mod ser;
+
+pub mod de;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

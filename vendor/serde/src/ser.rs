@@ -1,0 +1,154 @@
+//! Serialization: a type renders itself into a [`Value`].
+
+use crate::value::{Map, Number, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can be rendered as a JSON value.
+///
+/// The method is named `ser_value` (not `serialize`) to avoid colliding
+/// with inherent methods on workspace types; derived impls and
+/// `serde_json` are the only intended callers.
+pub trait Serialize {
+    fn ser_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn ser_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn ser_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn ser_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn ser_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_value(&self) -> Value {
+        match self {
+            Some(v) => v.ser_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_value(&self) -> Value {
+        self.as_slice().ser_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser_value(&self) -> Value {
+        self.as_slice().ser_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.ser_value()))
+                .collect::<Map>(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn ser_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.ser_value()))
+                .collect::<Map>(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.ser_value()),+])
+            }
+        }
+    )+};
+}
+
+ser_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl Serialize for Value {
+    fn ser_value(&self) -> Value {
+        self.clone()
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline subset of `serde_derive`, written directly against
+//! `proc_macro` (the sandbox has no `syn`/`quote`).
+//!
+//! Supports what this workspace derives: non-generic structs (named,
+//! tuple/newtype, unit) and enums (unit, tuple, struct variants), plus the
+//! `#[serde(default)]` field attribute. Encoding conventions match real
+//! serde: structs as objects, newtype structs as their inner value,
+//! externally tagged enums, missing `Option` fields as `None` (via
+//! null-probing `missing_field`), unknown fields ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with N fields (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits attribute tokens off the front of a token list, reporting any
+/// `#[serde(default)]` / `#[serde(default = "path")]` among them.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<Option<String>>) {
+    let mut has_default = None;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    let text = g.stream().to_string().replace(' ', "");
+                    if text.starts_with("serde(") && text.contains("default") {
+                        has_default = Some(match text.split_once("default=\"") {
+                            Some((_, rest)) => {
+                                rest.split_once('"').map(|(path, _)| path.to_string())
+                            }
+                            None => None,
+                        });
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past one type, stopping at a top-level comma. Angle brackets
+/// arrive as individual `Punct`s, so nesting is tracked by depth.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, has_default) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        i = skip_type(&toks, i);
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            default: has_default,
+        });
+    }
+    fields
+}
+
+/// Counts the types in a tuple-struct/-variant body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _) = skip_attrs(&toks, i);
+        i = ni;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+fn named_fields_ser(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("let mut __map = ::serde::value::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__map.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::ser::Serialize::ser_value({p}{n}));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::value::Value::Object(__map)");
+    out
+}
+
+/// Builds the `field: ...` initializers for rebuilding named fields from
+/// the object bound to `__map`.
+fn named_fields_de(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            // The default-fn path resolves in the deriving module's scope,
+            // same as real serde.
+            Some(Some(path)) => format!("{path}()"),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            None => format!("::serde::de::missing_field(\"{}\")?", f.name),
+        };
+        out.push_str(&format!(
+            "{n}: match __map.get(\"{n}\") {{\n\
+             ::std::option::Option::Some(__v) => \
+             ::serde::de::Deserialize::deser_value(__v)\
+             .map_err(|__e| __e.in_field(\"{n}\"))?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            n = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => named_fields_ser(fields, "&self."),
+        Shape::TupleStruct(1) => "::serde::ser::Serialize::ser_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::Serialize::ser_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut __outer = ::serde::value::Map::new();\n\
+                         __outer.insert(::std::string::String::from(\"{vn}\"), \
+                         ::serde::ser::Serialize::ser_value(__f0));\n\
+                         ::serde::value::Value::Object(__outer)\n}},\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::ser::Serialize::ser_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __outer = ::serde::value::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::value::Value::Array(::std::vec![{items}]));\n\
+                             ::serde::value::Value::Object(__outer)\n}},\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_ser(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let __inner = {{ {inner} }};\n\
+                             let mut __outer = ::serde::value::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), __inner);\n\
+                             ::serde::value::Value::Object(__outer)\n}},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn ser_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = named_fields_de(fields);
+            format!(
+                "let __map = __value.as_object().ok_or_else(|| \
+                 ::serde::de::Error::unexpected(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::de::Deserialize::deser_value(__value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::Deserialize::deser_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::de::Error::unexpected(\"array\", __value))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"wrong tuple length\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::de::Deserialize::deser_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::de::Deserialize::deser_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::de::Error::unexpected(\"array\", __inner))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(\"wrong tuple length\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = named_fields_de(fields);
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __map = __inner.as_object().ok_or_else(|| \
+                             ::serde::de::Error::unexpected(\"object\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}`\", __other))),\n}};\n}}\n\
+                 let __map = __value.as_object().ok_or_else(|| \
+                 ::serde::de::Error::unexpected(\"string or object\", __value))?;\n\
+                 if __map.len() != 1 {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected an object with exactly one variant key\"));\n}}\n\
+                 let (__key, __inner) = __map.iter().next().unwrap();\n\
+                 match __key.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}`\", __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+         fn deser_value(__value: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().unwrap()
+}

@@ -1,0 +1,171 @@
+//! Offline subset of the `serde_json` API over the vendored `serde`
+//! [`Value`] tree: `to_string`/`to_string_pretty`, `from_str`,
+//! `to_value`/`from_value`, and the `json!` macro.
+
+use std::fmt;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Unified error for parsing and value conversion.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::value::ParseError> for Error {
+    fn from(e: serde::value::ParseError) -> Self {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders a serializable type as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.ser_value().to_string())
+}
+
+/// Renders a serializable type as pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::value::write_value_pretty(&value.ser_value(), &mut out)
+        .expect("formatting into a String cannot fail");
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = serde::value::parse(text)?;
+    Ok(T::deser_value(&v)?)
+}
+
+/// Converts a serializable type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.ser_value())
+}
+
+/// Rebuilds a deserializable type from a [`Value`].
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deser_value(&value)?)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Interpolated expressions go
+/// through [`to_value`], like the real macro.
+#[macro_export]
+macro_rules! json {
+    ($($tokens:tt)+) => { $crate::json_internal!($($tokens)+) };
+}
+
+/// Value dispatch for [`json!`]: JSON keywords and composite literals get
+/// structural treatment, everything else is an interpolated expression.
+#[doc(hidden)]
+/// Implementation detail of the `json!` macro: pushing through a free
+/// function keeps expansion sites clear of `vec_init_then_push` lints.
+#[doc(hidden)]
+pub fn json_push(items: &mut Vec<Value>, value: Value) {
+    items.push(value);
+}
+
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tokens:tt)+ ]) => {{
+        let mut items = ::std::vec::Vec::new();
+        $crate::json_seq!(@arr items () $($tokens)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tokens:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_seq!(@key map $($tokens)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+/// Token muncher for [`json!`] sequences: accumulates value tokens until a
+/// top-level comma, so interpolated values may be arbitrary expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_seq {
+    // Object: `"key": value-tokens , ...`
+    (@key $map:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_seq!(@objval $map $key () $($rest)+)
+    };
+    (@objval $map:ident $key:literal ($($acc:tt)+) , $($rest:tt)+) => {
+        $map.insert(::std::string::String::from($key), $crate::json_internal!($($acc)+));
+        $crate::json_seq!(@key $map $($rest)+);
+    };
+    // Trailing comma or end of input.
+    (@objval $map:ident $key:literal ($($acc:tt)+) $(,)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json_internal!($($acc)+));
+    };
+    (@objval $map:ident $key:literal ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_seq!(@objval $map $key ($($acc)* $next) $($rest)*)
+    };
+    // Array: `value-tokens , ...`
+    (@arr $items:ident ($($acc:tt)+) , $($rest:tt)+) => {
+        $crate::json_push(&mut $items, $crate::json_internal!($($acc)+));
+        $crate::json_seq!(@arr $items () $($rest)+);
+    };
+    (@arr $items:ident ($($acc:tt)+) $(,)?) => {
+        $crate::json_push(&mut $items, $crate::json_internal!($($acc)+));
+    };
+    (@arr $items:ident ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_seq!(@arr $items ($($acc)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let xs: Vec<Value> = (0..3).map(|i| json!({ "i": i })).collect();
+        let v = json!({
+            "name": "demo",
+            "ok": true,
+            "count": 3u64,
+            "items": xs,
+            "nothing": null,
+        });
+        assert_eq!(v["name"], "demo");
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["items"][1]["i"].as_u64(), Some(1));
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = json!({ "a": [1, 2], "b": { "c": 0.5 } });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
