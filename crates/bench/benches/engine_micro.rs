@@ -7,7 +7,8 @@ use eadt_core::baselines::ProMc;
 use eadt_core::{mine_allocation, weight_allocation, Algorithm};
 use eadt_dataset::{partition, PartitionConfig};
 use eadt_net::fair::fair_share;
-use eadt_sim::Rate;
+use eadt_sim::{Rate, SimDuration};
+use eadt_telemetry::Telemetry;
 use eadt_testbeds::xsede;
 use std::hint::black_box;
 
@@ -19,6 +20,21 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("promc_transfer_1.6GB", |b| {
         b.iter(|| black_box(ProMc::new(8).run(&tb.env, &dataset)))
+    });
+    // The telemetry overhead guard: the disabled-telemetry path must sit
+    // within noise of plain `run` (compare these two groups after a run),
+    // and full journaling shows its real cost next to them.
+    g.bench_function("promc_transfer_telemetry_off", |b| {
+        b.iter(|| {
+            black_box(ProMc::new(8).run_instrumented(&tb.env, &dataset, &mut Telemetry::disabled()))
+        })
+    });
+    g.bench_function("promc_transfer_telemetry_on", |b| {
+        b.iter(|| {
+            let mut tel = Telemetry::enabled(SimDuration::from_secs(1));
+            black_box(ProMc::new(8).run_instrumented(&tb.env, &dataset, &mut tel));
+            black_box(tel.into_journal().map(|j| j.len()))
+        })
     });
     g.finish();
 

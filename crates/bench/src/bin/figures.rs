@@ -14,7 +14,9 @@
 //!   estimator in-vivo CPU-only energy estimation (Eq. 3 live)
 //!   workloads who wins as the dataset composition shifts
 //!   ablations design-choice ablations (DESIGN.md §6)
-//!   robustness energy overhead vs MTBF under faults    all    everything
+//!   robustness energy overhead vs MTBF under faults
+//!   trace     throughput/power vs time for the adaptive algorithms
+//!   all       everything
 //! ```
 //!
 //! `--scale` shrinks the dataset volumes (1.0 = the paper's 160/40 GB);
@@ -428,6 +430,55 @@ fn main() {
             "robustness".into(),
             serde_json::to_value(&rows).expect("serializable"),
         );
+    }
+    if want("trace") {
+        println!("\n== Trace — throughput/power vs time (XSEDE) ==");
+        use eadt_core::{Algorithm, Htee, MinE};
+        let tb = xsede();
+        let dataset = tb.dataset_spec.scaled(opts.scale).generate(opts.seed);
+        for (label, report) in [
+            (
+                "htee",
+                Htee {
+                    partition: tb.partition,
+                    ..Htee::new(12)
+                }
+                .run(&tb.env, &dataset),
+            ),
+            (
+                "mine",
+                MinE {
+                    partition: tb.partition,
+                    ..MinE::new(12)
+                }
+                .run(&tb.env, &dataset),
+            ),
+        ] {
+            println!(
+                "{label}: {:.1} s, {:.0} Mbps avg, {:.0} J, peak concurrency {:.0}",
+                report.duration.as_secs_f64(),
+                report.avg_throughput().as_mbps(),
+                report.total_energy_j(),
+                report.concurrency_series.max_value().unwrap_or(0.0)
+            );
+            if let Some(dir) = &opts.plot_dir {
+                let gp = eadt_bench::write_trace_plot(
+                    &report,
+                    std::path::Path::new(dir),
+                    &format!("trace_{label}"),
+                )
+                .expect("writable --plot dir");
+                println!("[gnuplot script: {}]", gp.display());
+            }
+            json_out.insert(
+                format!("trace_{label}"),
+                serde_json::json!({
+                    "duration_s": report.duration.as_secs_f64(),
+                    "avg_mbps": report.avg_throughput().as_mbps(),
+                    "energy_j": report.total_energy_j(),
+                }),
+            );
+        }
     }
     if want("headline") {
         headline(&opts);

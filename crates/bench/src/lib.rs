@@ -24,7 +24,7 @@ pub use ablate::{ablation_matrix, fault_ablation, AblationRow, FaultAblationRow}
 pub use accuracy::{model_accuracy, AccuracyRow};
 pub use device::{fig10_decomposition, fig8_series, fig9_paths, table1_rows, DecompositionRow};
 pub use estimator::{estimator_experiment, EstimatorRow};
-pub use plot::{write_sla_plot, write_sweep_plot};
+pub use plot::{write_sla_plot, write_sweep_plot, write_trace_plot};
 pub use repeat::{replicated_sweep, AggregatePoint, ReplicatedSweep};
 pub use sla::{sla_figure, SlaFigure, SlaRow};
 pub use surface::{parameter_surface, sweep_knob, Knob, ParameterSweep, SurfacePoint};

@@ -91,6 +91,65 @@ pub fn write_sweep_plot(
     Ok(gp_path)
 }
 
+/// Writes `<name>.dat`/`<name>.gp` for one transfer's trace: panel (a)
+/// throughput vs time with the concurrency staircase on the second axis,
+/// panel (b) instantaneous power vs time — the paper's trace-style view
+/// of how an adaptive algorithm walks the search space.
+pub fn write_trace_plot(
+    report: &eadt_transfer::TransferReport,
+    dir: &Path,
+    name: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut dat = Vec::new();
+    report.write_series_csv(&mut dat)?;
+    // gnuplot reads the CSV directly (`set datafile separator ','`), so
+    // the .dat is byte-identical to what `eadt transfer --csv` writes.
+    let dat_path = dir.join(format!("{name}.dat"));
+    std::fs::write(&dat_path, dat)?;
+
+    let mut gp = String::new();
+    writeln!(
+        gp,
+        "# Trace panels: {:.1}s transfer, {:.0} J total.",
+        report.duration.as_secs_f64(),
+        report.total_energy_j()
+    )
+    .unwrap();
+    writeln!(gp, "set terminal pngcairo size 1200,700").unwrap();
+    writeln!(gp, "set output '{name}.png'").unwrap();
+    writeln!(gp, "set datafile separator ','").unwrap();
+    writeln!(gp, "set multiplot layout 2,1").unwrap();
+    writeln!(gp, "set xlabel 'Time (s)'").unwrap();
+    writeln!(gp, "set title '(a) Throughput and concurrency'").unwrap();
+    writeln!(gp, "set ylabel 'Throughput (Mbps)'").unwrap();
+    writeln!(gp, "set y2label 'Channels'").unwrap();
+    writeln!(gp, "set y2tics").unwrap();
+    writeln!(
+        gp,
+        "plot '{name}.dat' every ::1 using 1:2 with lines title 'throughput', \\"
+    )
+    .unwrap();
+    writeln!(
+        gp,
+        "     '{name}.dat' every ::1 using 1:4 with steps axes x1y2 title 'channels'"
+    )
+    .unwrap();
+    writeln!(gp, "unset y2tics").unwrap();
+    writeln!(gp, "unset y2label").unwrap();
+    writeln!(gp, "set title '(b) Instantaneous power'").unwrap();
+    writeln!(gp, "set ylabel 'Power (W)'").unwrap();
+    writeln!(
+        gp,
+        "plot '{name}.dat' every ::1 using 1:3 with lines title 'power'"
+    )
+    .unwrap();
+    writeln!(gp, "unset multiplot").unwrap();
+    let gp_path = dir.join(format!("{name}.gp"));
+    std::fs::write(&gp_path, gp)?;
+    Ok(gp_path)
+}
+
 /// Writes `<name>.dat`/`<name>.gp` for an SLA figure (targets on x).
 pub fn write_sla_plot(
     fig: &SlaFigure,
@@ -175,6 +234,29 @@ mod tests {
         // 6 algorithm blocks + BF block.
         assert_eq!(dat.matches('#').count(), 7, "{dat}");
         assert!(dat.contains("# MinE:"));
+    }
+
+    #[test]
+    fn trace_plot_has_both_panels() {
+        use eadt_core::{Algorithm, Htee};
+        let tb = didclab();
+        let dataset = tb.dataset_spec.scaled(0.01).generate(1);
+        let report = Htee {
+            partition: tb.partition,
+            ..Htee::new(4)
+        }
+        .run(&tb.env, &dataset);
+        let gp = write_trace_plot(&report, &tmpdir(), "test_trace").unwrap();
+        let script = std::fs::read_to_string(&gp).unwrap();
+        assert!(
+            script.contains("(a) Throughput and concurrency"),
+            "{script}"
+        );
+        assert!(script.contains("(b) Instantaneous power"), "{script}");
+        assert!(script.contains("with steps axes x1y2"), "{script}");
+        let dat = std::fs::read_to_string(tmpdir().join("test_trace.dat")).unwrap();
+        assert!(dat.starts_with("time_s,throughput_mbps,power_w,concurrency"));
+        assert!(dat.lines().count() > 2, "{dat}");
     }
 
     #[test]

@@ -118,6 +118,30 @@ pub enum Command {
     },
     /// Run the §2.2 power-model calibration and print accuracies.
     Calibrate,
+    /// Run one transfer with full telemetry and write the event journal.
+    Trace {
+        /// Algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Channel budget (`maxChannel`).
+        max_channel: u32,
+        /// SLA level for `slaee`.
+        sla_level: f64,
+        /// Pipelining for `--algorithm manual`.
+        pipelining: u32,
+        /// Parallelism for `--algorithm manual`.
+        parallelism: u32,
+        /// Journal output path (JSON Lines).
+        out: String,
+        /// Gauge sampling cadence, simulated seconds.
+        cadence_s: f64,
+    },
+    /// Render a recorded journal: summary, timelines, decision log.
+    Inspect {
+        /// Journal input path.
+        journal: String,
+        /// Optional Chrome `trace_event` output (open in Perfetto).
+        chrome: Option<String>,
+    },
     /// The §4 network-energy analysis for one transfer.
     NetEnergy {
         /// Algorithm whose transfer is analysed.
@@ -195,6 +219,10 @@ COMMANDS:
   env        show the environment        (--export FILE writes JSON)
   calibrate  run the power-model calibration of paper §2.2
   netenergy  §4 analysis: end-system vs network split, per-device breakdown
+  trace      run one transfer with telemetry on, write the event journal
+             (--algorithm, --out FILE, --cadence SECS)
+  inspect    render a journal: summary, per-chunk timeline, decision log
+             (--journal FILE [--chrome FILE] for Perfetto)
   help       this text
 
 OPTIONS:
@@ -213,6 +241,10 @@ OPTIONS:
   --csv FILE         (transfer) write per-slice series as CSV
   --pipelining N     (transfer --algorithm manual) command queue depth
   --parallelism N    (transfer --algorithm manual) streams per channel
+  --out FILE         (trace) journal output path       [default: trace.jsonl]
+  --cadence SECS     (trace) gauge sampling cadence    [default: 1]
+  --journal FILE     (inspect) journal to render
+  --chrome FILE      (inspect) also export Chrome trace_event JSON
   --json             machine-readable output
 
 FAULT INJECTION (composes with whatever the environment declares):
@@ -253,6 +285,10 @@ impl Cli {
         let mut parallelism = 1u32;
         let mut dataset_file: Option<String> = None;
         let mut faults = FaultArgs::default();
+        let mut trace_out = String::from("trace.jsonl");
+        let mut cadence_s = 1.0f64;
+        let mut journal: Option<String> = None;
+        let mut chrome: Option<String> = None;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -292,6 +328,10 @@ impl Cli {
                 }
                 "--no-restart-markers" => faults.no_restart_markers = true,
                 "--fault-aware" => faults.fault_aware = true,
+                "--out" => trace_out = value("--out")?.clone(),
+                "--cadence" => cadence_s = parse_num(value("--cadence")?, "--cadence")?,
+                "--journal" => journal = Some(value("--journal")?.clone()),
+                "--chrome" => chrome = Some(value("--chrome")?.clone()),
                 other => return Err(format!("unknown option '{other}' (try `eadt help`)")),
             }
         }
@@ -339,6 +379,24 @@ impl Cli {
             "dataset" => Command::Dataset,
             "env" => Command::Env { export },
             "calibrate" => Command::Calibrate,
+            "trace" => {
+                if cadence_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("--cadence must be positive".into());
+                }
+                Command::Trace {
+                    algorithm,
+                    max_channel,
+                    sla_level,
+                    pipelining,
+                    parallelism,
+                    out: trace_out,
+                    cadence_s,
+                }
+            }
+            "inspect" => Command::Inspect {
+                journal: journal.ok_or_else(|| "inspect requires --journal FILE".to_string())?,
+                chrome,
+            },
             "netenergy" | "net-energy" => Command::NetEnergy {
                 algorithm,
                 max_channel,
@@ -544,6 +602,48 @@ mod tests {
         assert!(Cli::parse(&argv("transfer --outage a:b")).is_err());
         assert!(Cli::parse(&argv("transfer --outage 1:2:3:4")).is_err());
         assert!(Cli::parse(&argv("transfer --retry-budget x")).is_err());
+    }
+
+    #[test]
+    fn trace_and_inspect_parse() {
+        let cli = Cli::parse(&argv(
+            "trace --testbed didclab --algorithm htee --out /tmp/j.jsonl --cadence 0.5",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Trace {
+                algorithm,
+                out,
+                cadence_s,
+                ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::Htee);
+                assert_eq!(out, "/tmp/j.jsonl");
+                assert_eq!(cadence_s, 0.5);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Default journal path, default cadence.
+        let cli = Cli::parse(&argv("trace")).unwrap();
+        match cli.command {
+            Command::Trace { out, cadence_s, .. } => {
+                assert_eq!(out, "trace.jsonl");
+                assert_eq!(cadence_s, 1.0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv("inspect --journal j.jsonl --chrome t.json")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Inspect {
+                journal: "j.jsonl".into(),
+                chrome: Some("t.json".into())
+            }
+        );
+        // inspect needs an input; trace needs a positive cadence.
+        assert!(Cli::parse(&argv("inspect")).is_err());
+        assert!(Cli::parse(&argv("trace --cadence 0")).is_err());
+        assert!(Cli::parse(&argv("trace --cadence -2")).is_err());
     }
 
     #[test]

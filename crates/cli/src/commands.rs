@@ -7,7 +7,8 @@ use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, Singl
 use eadt_core::{Algorithm, Htee, MinE, Slaee};
 use eadt_dataset::{partition, Dataset};
 use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
-use eadt_sim::SimDuration;
+use eadt_sim::{SimDuration, SimTime};
+use eadt_telemetry::{chrome, timeline, Event, Journal, Telemetry, SCHEMA_VERSION};
 use eadt_testbeds::Environment;
 use eadt_transfer::{FaultModel, OutageModel, SiteSide, TransferEnv, TransferReport};
 use std::io::Write;
@@ -205,6 +206,72 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             )?;
             Ok(())
         }
+        Command::Trace {
+            algorithm,
+            max_channel,
+            sla_level,
+            pipelining,
+            parallelism,
+            out: journal_path,
+            cadence_s,
+        } => {
+            let tb = resolve(cli, out)?;
+            let dataset = make_dataset(cli, &tb, out)?;
+            let mut tel = Telemetry::enabled(SimDuration::from_secs_f64(*cadence_s));
+            tel.record(
+                SimTime::ZERO,
+                Event::RunStart {
+                    schema: SCHEMA_VERSION,
+                    algorithm: algorithm.name().to_string(),
+                    environment: tb.name.clone(),
+                    seed: cli.seed,
+                    requested_bytes: dataset.total_size().as_u64(),
+                },
+            );
+            let report = if *algorithm == AlgorithmKind::Manual {
+                let params =
+                    eadt_transfer::TransferParams::new(*pipelining, *parallelism, *max_channel);
+                let plan = eadt_transfer::uniform_plan(
+                    &dataset,
+                    params,
+                    eadt_endsys::Placement::PackFirst,
+                );
+                run_manual_instrumented(&tb.env, &plan, cli.faults.fault_aware, &mut tel)
+            } else {
+                run_algorithm_instrumented(
+                    &tb,
+                    &dataset,
+                    *algorithm,
+                    *max_channel,
+                    *sla_level,
+                    cli.faults.fault_aware,
+                    &mut tel,
+                )
+            };
+            let journal = tel.into_journal().expect("trace telemetry has a journal");
+            std::fs::write(journal_path, journal.to_jsonl())?;
+            writeln!(out, "[journal: {} events -> {journal_path}]", journal.len())?;
+            print_report(cli, out, algorithm.name(), &report)
+        }
+        Command::Inspect {
+            journal,
+            chrome: chrome_path,
+        } => {
+            let text = std::fs::read_to_string(journal)?;
+            let j = Journal::from_jsonl(&text).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{journal}: {e}"))
+            })?;
+            out.write_all(timeline::render_summary(&j).as_bytes())?;
+            writeln!(out)?;
+            out.write_all(timeline::render_timeline(&j, 72).as_bytes())?;
+            writeln!(out)?;
+            out.write_all(timeline::render_decisions(&j).as_bytes())?;
+            if let Some(path) = chrome_path {
+                std::fs::write(path, chrome::to_chrome_trace(&j))?;
+                writeln!(out, "[chrome trace -> {path}] (open in Perfetto)")?;
+            }
+            Ok(())
+        }
         Command::Calibrate => {
             let intel = GroundTruth::intel_server();
             let amd = GroundTruth::amd_server();
@@ -318,19 +385,42 @@ pub fn run_algorithm(
     sla_level: f64,
     fault_aware: bool,
 ) -> TransferReport {
+    run_algorithm_instrumented(
+        tb,
+        dataset,
+        kind,
+        max_channel,
+        sla_level,
+        fault_aware,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// [`run_algorithm`] with telemetry: journal events and metric samples
+/// land in `tel` (pass [`Telemetry::disabled`] for a plain run). SLAEE's
+/// uninstrumented reference run stays out of the journal.
+pub fn run_algorithm_instrumented(
+    tb: &Environment,
+    dataset: &Dataset,
+    kind: AlgorithmKind,
+    max_channel: u32,
+    sla_level: f64,
+    fault_aware: bool,
+    tel: &mut Telemetry,
+) -> TransferReport {
     let partition = tb.partition;
     match kind {
         AlgorithmKind::MinE => MinE {
             partition,
             ..MinE::new(max_channel)
         }
-        .run(&tb.env, dataset),
+        .run_instrumented(&tb.env, dataset, tel),
         AlgorithmKind::Htee => Htee {
             partition,
             fault_aware,
             ..Htee::new(max_channel)
         }
-        .run(&tb.env, dataset),
+        .run_instrumented(&tb.env, dataset, tel),
         AlgorithmKind::Slaee => {
             let reference = ProMc {
                 partition,
@@ -342,29 +432,26 @@ pub fn run_algorithm(
                 fault_aware,
                 ..Slaee::new(sla_level, reference.avg_throughput(), max_channel)
             }
-            .run(&tb.env, dataset)
+            .run_instrumented(&tb.env, dataset, tel)
         }
-        AlgorithmKind::Guc => GlobusUrlCopy::new().run(&tb.env, dataset),
-        AlgorithmKind::Go => GlobusOnline::new().run(&tb.env, dataset),
+        AlgorithmKind::Guc => GlobusUrlCopy::new().run_instrumented(&tb.env, dataset, tel),
+        AlgorithmKind::Go => GlobusOnline::new().run_instrumented(&tb.env, dataset, tel),
         AlgorithmKind::Sc => SingleChunk {
             partition,
             ..SingleChunk::new(max_channel)
         }
-        .run(&tb.env, dataset),
+        .run_instrumented(&tb.env, dataset, tel),
         AlgorithmKind::ProMc => ProMc {
             partition,
             fault_aware,
             ..ProMc::new(max_channel)
         }
-        .run(&tb.env, dataset),
-        AlgorithmKind::Bf => {
-            BruteForce {
-                partition,
-                ..BruteForce::new(max_channel)
-            }
-            .best(&tb.env, dataset)
-            .1
+        .run_instrumented(&tb.env, dataset, tel),
+        AlgorithmKind::Bf => BruteForce {
+            partition,
+            ..BruteForce::new(max_channel)
         }
+        .run_instrumented(&tb.env, dataset, tel),
         AlgorithmKind::Manual => {
             // Defaults to the untuned baseline when called through this
             // path; the CLI's transfer command supplies explicit values.
@@ -373,7 +460,7 @@ pub fn run_algorithm(
                 eadt_transfer::TransferParams::new(1, 1, max_channel),
                 eadt_endsys::Placement::PackFirst,
             );
-            run_manual(&tb.env, &plan, fault_aware)
+            run_manual_instrumented(&tb.env, &plan, fault_aware, tel)
         }
     }
 }
@@ -383,13 +470,27 @@ fn run_manual(
     plan: &eadt_transfer::TransferPlan,
     fault_aware: bool,
 ) -> TransferReport {
+    run_manual_instrumented(env, plan, fault_aware, &mut Telemetry::disabled())
+}
+
+fn run_manual_instrumented(
+    env: &TransferEnv,
+    plan: &eadt_transfer::TransferPlan,
+    fault_aware: bool,
+    tel: &mut Telemetry,
+) -> TransferReport {
     if fault_aware {
-        eadt_transfer::Engine::new(env).run(
+        eadt_transfer::Engine::new(env).run_instrumented(
             plan,
             &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
+            tel,
         )
     } else {
-        eadt_transfer::Engine::new(env).run(plan, &mut eadt_transfer::NullController)
+        eadt_transfer::Engine::new(env).run_instrumented(
+            plan,
+            &mut eadt_transfer::NullController,
+            tel,
+        )
     }
 }
 
@@ -407,6 +508,7 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
             "retransmitted_energy_j": r.retransmitted_energy_j(),
         });
         let json = serde_json::json!({
+            "schema": eadt_transfer::REPORT_SCHEMA_VERSION,
             "algorithm": name,
             "completed": r.completed,
             "moved_bytes": r.moved_bytes.as_u64(),
@@ -459,7 +561,7 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
             )?;
             writeln!(
                 out,
-                "recovery:    {} retries, {} in backoff, {} breaker opens, {} budget exhaustions",
+                "recovery:    {} retries, {} channel-time in backoff, {} breaker opens, {} budget exhaustions",
                 f.retries, f.backoff_time, f.breaker_opens, f.budget_exhaustions
             )?;
             if !f.retransmitted_bytes.is_zero() {
@@ -638,6 +740,67 @@ mod tests {
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.starts_with("time_s,throughput_mbps,power_w,concurrency"));
         assert!(csv.lines().count() > 2, "{csv}");
+    }
+
+    #[test]
+    fn trace_writes_journal_and_inspect_renders_it() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("htee.jsonl");
+        let jp = jpath.to_string_lossy().into_owned();
+        // max-channel 3 keeps the search to two 5 s probe windows so the
+        // commit lands well before this small transfer drains.
+        let out = run_cli(&format!(
+            "trace --testbed didclab --algorithm htee --scale 0.05 --max-channel 3 --out {jp}"
+        ));
+        assert!(out.contains("journal:"), "{out}");
+        assert!(out.contains("completed:   true"), "{out}");
+        let text = std::fs::read_to_string(&jpath).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"ev\":\"run_start\""), "{first}");
+        assert!(first.contains("\"algorithm\":\"HTEE\""), "{first}");
+        for tag in [
+            "\"ev\":\"chunk_start\"",
+            "\"ev\":\"channel_open\"",
+            "\"ev\":\"probe_window\"",
+            "\"ev\":\"commit\"",
+            "\"ev\":\"sample\"",
+            "\"ev\":\"run_end\"",
+        ] {
+            assert!(text.contains(tag), "missing {tag} in journal");
+        }
+
+        let cpath = dir.join("htee-trace.json");
+        let cp = cpath.to_string_lossy().into_owned();
+        let out = run_cli(&format!("inspect --journal {jp} --chrome {cp}"));
+        assert!(out.contains("run: HTEE"), "{out}");
+        assert!(out.contains("timeline:"), "{out}");
+        assert!(out.contains("probe"), "{out}");
+        assert!(out.contains("commit"), "{out}");
+        let chrome_text = std::fs::read_to_string(&cpath).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&chrome_text).unwrap();
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_same_seed_is_byte_identical() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("det-a.jsonl");
+        let b = dir.join("det-b.jsonl");
+        let cmd = |p: &std::path::Path| {
+            format!(
+                "trace --testbed didclab --algorithm promc --scale 0.02 --seed 11 \
+                 --mtbf 8 --fault-aware --out {}",
+                p.to_string_lossy()
+            )
+        };
+        run_cli(&cmd(&a));
+        run_cli(&cmd(&b));
+        let ja = std::fs::read(&a).unwrap();
+        let jb = std::fs::read(&b).unwrap();
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "same seed must produce byte-identical journals");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::planner::{chunk_params, weight_allocation};
 use crate::Algorithm;
 use eadt_dataset::{partition, partition_globus_online, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
+use eadt_telemetry::Telemetry;
 use eadt_transfer::{
     ChunkPlan, Engine, FaultAware, NullController, TransferEnv, TransferPlan, TransferReport,
 };
@@ -43,13 +44,18 @@ impl Algorithm for GlobusUrlCopy {
         "GUC"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let plan = eadt_transfer::uniform_plan(
             dataset,
             eadt_transfer::TransferParams::BASELINE,
             Placement::RoundRobin,
         );
-        Engine::new(env).run(&plan, &mut NullController)
+        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
     }
 }
 
@@ -79,7 +85,12 @@ impl Algorithm for GlobusOnline {
         "GO"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let chunks = partition_globus_online(dataset);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
@@ -91,7 +102,7 @@ impl Algorithm for GlobusOnline {
         // GO transfers partitions one by one and spreads its channels over
         // all of the site's servers.
         let plan = TransferPlan::sequential(chunk_plans, Placement::RoundRobin);
-        Engine::new(env).run(&plan, &mut NullController)
+        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
     }
 }
 
@@ -119,7 +130,12 @@ impl Algorithm for SingleChunk {
         "SC"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
@@ -134,7 +150,7 @@ impl Algorithm for SingleChunk {
             })
             .collect();
         let plan = TransferPlan::sequential(chunk_plans, Placement::PackFirst);
-        Engine::new(env).run(&plan, &mut NullController)
+        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
     }
 }
 
@@ -183,12 +199,17 @@ impl Algorithm for ProMc {
         "ProMC"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let plan = self.plan(env, dataset);
         if self.fault_aware {
-            Engine::new(env).run(&plan, &mut FaultAware::new(NullController))
+            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(NullController), tel)
         } else {
-            Engine::new(env).run(&plan, &mut NullController)
+            Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
         }
     }
 }
@@ -248,8 +269,21 @@ impl Algorithm for BruteForce {
         "BF"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
-        self.best(env, dataset).1
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
+        // The sweep itself runs uninstrumented; only the winning level is
+        // re-run with telemetry so the journal shows one coherent transfer.
+        let (level, _) = self.best(env, dataset);
+        let promc = ProMc {
+            concurrency: level,
+            partition: self.partition,
+            fault_aware: false,
+        };
+        promc.run_instrumented(env, dataset, tel)
     }
 }
 

@@ -5,6 +5,7 @@ use crate::Algorithm;
 use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{SimDuration, SimTime};
+use eadt_telemetry::{Event, Telemetry};
 use eadt_transfer::{
     ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
     TransferReport,
@@ -77,7 +78,12 @@ impl Algorithm for Htee {
         "HTEE"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let chunks = self.chunks(env, dataset);
         let levels = self.search_levels();
         let first_alloc = weight_allocation(&chunks, levels[0]);
@@ -93,9 +99,9 @@ impl Algorithm for Htee {
         let mut controller = HteeController::new(chunks, levels, self.probe_window);
         controller.reprobe_interval = self.reprobe_interval;
         if self.fault_aware {
-            Engine::new(env).run(&plan, &mut FaultAware::new(controller))
+            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(controller), tel)
         } else {
-            Engine::new(env).run(&plan, &mut controller)
+            Engine::new(env).run_instrumented(&plan, &mut controller, tel)
         }
     }
 }
@@ -126,6 +132,8 @@ pub struct HteeController {
     pub searches: u32,
     /// The concurrency level the search settled on (for inspection).
     pub chosen_level: Option<u32>,
+    capture: bool,
+    events: Vec<Event>,
 }
 
 impl HteeController {
@@ -144,6 +152,8 @@ impl HteeController {
             reprobe_interval: None,
             searches: 1,
             chosen_level: None,
+            capture: false,
+            events: Vec::new(),
         }
     }
 
@@ -178,11 +188,21 @@ impl Controller for HteeController {
                         self.window_energy = 0.0;
                         self.window_start = ctx.now;
                         self.searches += 1;
-                        return ControlAction::Reallocate(weight_allocation_live(
+                        let targets = weight_allocation_live(
                             &self.chunks,
                             &ctx.live_chunks(),
                             self.levels[0],
-                        ));
+                        );
+                        if self.capture {
+                            self.events.push(Event::Decision {
+                                reason: format!(
+                                    "re-probe: search {} restarts at level {}",
+                                    self.searches, self.levels[0]
+                                ),
+                                targets: targets.clone(),
+                            });
+                        }
+                        return ControlAction::Reallocate(targets);
                     }
                 }
                 return ControlAction::Continue;
@@ -195,7 +215,18 @@ impl Controller for HteeController {
             return ControlAction::Continue;
         }
         // Window done: score this level.
-        self.ratios.push(self.window_ratio(elapsed.as_secs_f64()));
+        let ratio = self.window_ratio(elapsed.as_secs_f64());
+        if self.capture {
+            let secs = elapsed.as_secs_f64();
+            self.events.push(Event::ProbeWindow {
+                level: self.levels[idx],
+                window_s: secs,
+                mbps: self.window_bytes * 8.0 / secs / 1e6,
+                energy_j: self.window_energy,
+                ratio,
+            });
+        }
+        self.ratios.push(ratio);
         self.window_bytes = 0.0;
         self.window_energy = 0.0;
         self.window_start = ctx.now;
@@ -220,8 +251,26 @@ impl Controller for HteeController {
             let level = self.levels[best];
             self.chosen_level = Some(level);
             self.phase = Phase::Committed { since: ctx.now };
+            if self.capture {
+                self.events.push(Event::Commit {
+                    level,
+                    reason: format!(
+                        "best thr\u{b2}/energy ratio {:.3} across {} probed levels",
+                        self.ratios[best],
+                        self.ratios.len()
+                    ),
+                });
+            }
             ControlAction::Reallocate(weight_allocation_live(&self.chunks, &live, level))
         }
+    }
+
+    fn enable_event_capture(&mut self) {
+        self.capture = true;
+    }
+
+    fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -308,6 +357,55 @@ mod tests {
             "expected at least one re-probe, got {}",
             ctl.searches
         );
+    }
+
+    #[test]
+    fn probe_windows_land_in_journal_with_energy_attribution() {
+        let env = wan_env();
+        let dataset = mixed_dataset();
+        let algo = Htee::new(6);
+        let levels = algo.search_levels();
+        let mut tel = Telemetry::with_journal();
+        let r = algo.run_instrumented(&env, &dataset, &mut tel);
+        assert!(r.completed);
+        let journal = tel.into_journal().unwrap();
+        let mut probes = Vec::new();
+        let mut commit = None;
+        for rec in journal.records() {
+            match &rec.event {
+                Event::ProbeWindow {
+                    level,
+                    window_s,
+                    mbps,
+                    energy_j,
+                    ratio,
+                } => probes.push((*level, *window_s, *mbps, *energy_j, *ratio)),
+                Event::Commit { level, .. } => commit = Some(*level),
+                _ => {}
+            }
+        }
+        // One five-second probe per search level, in search order.
+        let probed: Vec<u32> = probes.iter().map(|p| p.0).collect();
+        assert_eq!(probed, levels);
+        for &(level, window_s, mbps, energy_j, ratio) in &probes {
+            assert!(
+                (window_s - PROBE_WINDOW.as_secs_f64()).abs() < 0.11,
+                "probe for level {level} ran {window_s}s"
+            );
+            assert!(mbps > 0.0, "level {level} measured no throughput");
+            assert!(energy_j > 0.0, "level {level} has no energy attributed");
+            let expect = mbps * mbps / energy_j;
+            assert!(
+                (ratio - expect).abs() <= 1e-9 * expect,
+                "level {level}: ratio {ratio} vs thr\u{b2}/E {expect}"
+            );
+        }
+        // The committed level is the one with the best measured ratio.
+        let best = probes
+            .iter()
+            .max_by(|a, b| a.4.partial_cmp(&b.4).unwrap())
+            .unwrap();
+        assert_eq!(commit, Some(best.0), "commit must match best ratio");
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod proptests;
 pub(crate) mod test_support;
 
 use eadt_dataset::Dataset;
+use eadt_telemetry::Telemetry;
 use eadt_transfer::{TransferEnv, TransferReport};
 
 pub use htee::Htee;
@@ -51,6 +52,21 @@ pub trait Algorithm {
     /// Display name used in figures and tables.
     fn name(&self) -> &'static str;
 
+    /// Runs the whole transfer with telemetry: planning decisions, probe
+    /// windows, engine events and metrics land in `tel` (a no-op when
+    /// `tel` is [`Telemetry::disabled`], which is exactly what [`run`]
+    /// passes — implementations pay nothing on the plain path).
+    ///
+    /// [`run`]: Algorithm::run
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport;
+
     /// Runs the whole transfer and returns its measurements.
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport;
+    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+        self.run_instrumented(env, dataset, &mut Telemetry::disabled())
+    }
 }

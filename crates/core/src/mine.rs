@@ -4,6 +4,8 @@ use crate::planner::{chunk_params, mine_allocation};
 use crate::Algorithm;
 use eadt_dataset::{partition, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
+use eadt_sim::SimTime;
+use eadt_telemetry::{Event, Telemetry};
 use eadt_transfer::{ChunkPlan, Engine, NullController, TransferEnv, TransferPlan, TransferReport};
 use serde::{Deserialize, Serialize};
 
@@ -60,9 +62,21 @@ impl Algorithm for MinE {
         "MinE"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let plan = self.plan(env, dataset);
-        Engine::new(env).run(&plan, &mut NullController)
+        tel.record_with(SimTime::ZERO, || {
+            let targets: Vec<u32> = plan.stages[0].chunks.iter().map(|c| c.channels).collect();
+            Event::Decision {
+                reason: "closed-form plan: Large chunks pinned to one channel".to_string(),
+                targets,
+            }
+        });
+        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
     }
 }
 

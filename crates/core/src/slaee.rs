@@ -6,6 +6,7 @@ use crate::Algorithm;
 use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{Rate, SimDuration, SimTime};
+use eadt_telemetry::{Event, Telemetry};
 use eadt_transfer::{
     ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
     TransferReport,
@@ -78,7 +79,12 @@ impl Algorithm for Slaee {
         "SLAEE"
     }
 
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+    fn run_instrumented(
+        &self,
+        env: &TransferEnv,
+        dataset: &Dataset,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let first_alloc = sla_allocation(&chunks, 1, false);
         let chunk_plans: Vec<ChunkPlan> = chunks
@@ -99,9 +105,9 @@ impl Algorithm for Slaee {
         controller.overshoot_margin = self.overshoot_margin.max(1.0);
         controller.degrade_tolerance = self.degrade_tolerance.clamp(0.0, 1.0);
         if self.fault_aware {
-            Engine::new(env).run(&plan, &mut FaultAware::new(controller))
+            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(controller), tel)
         } else {
-            Engine::new(env).run(&plan, &mut controller)
+            Engine::new(env).run_instrumented(&plan, &mut controller, tel)
         }
     }
 }
@@ -129,6 +135,8 @@ pub struct SlaeeController {
     frozen: bool,
     /// Trace of (window end, measured Mbps) pairs for inspection.
     pub window_throughputs: Vec<(SimTime, f64)>,
+    capture: bool,
+    events: Vec<Event>,
 }
 
 impl SlaeeController {
@@ -152,11 +160,26 @@ impl SlaeeController {
             best_seen: None,
             frozen: false,
             window_throughputs: Vec::new(),
+            capture: false,
+            events: Vec::new(),
         }
     }
 
     fn allocation(&self, live: &[bool]) -> Vec<u32> {
         sla_allocation_live(&self.chunks, live, self.concurrency, self.rearranged)
+    }
+
+    /// Emits the allocation for the current state, logging `reason` when
+    /// event capture is on.
+    fn decide(&mut self, reason: String, live: &[bool]) -> ControlAction {
+        let targets = self.allocation(live);
+        if self.capture {
+            self.events.push(Event::Decision {
+                reason,
+                targets: targets.clone(),
+            });
+        }
+        ControlAction::Reallocate(targets)
     }
 }
 
@@ -200,7 +223,11 @@ impl Controller for SlaeeController {
                 }
                 self.frozen = true;
                 self.prev_window_mbps = Some(actual_mbps);
-                return ControlAction::Reallocate(self.allocation(&ctx.live_chunks()));
+                let reason = format!(
+                    "freeze at {} channels: raises degrade throughput, target unreachable",
+                    self.concurrency
+                );
+                return self.decide(reason, &ctx.live_chunks());
             }
         }
         self.prev_window_mbps = Some(actual_mbps);
@@ -215,10 +242,16 @@ impl Controller for SlaeeController {
             // sits just above the promise.
             if actual_mbps > target_mbps * self.overshoot_margin && self.concurrency > 1 {
                 self.concurrency -= 1;
-                return ControlAction::Reallocate(self.allocation(&ctx.live_chunks()));
+                let reason = format!(
+                    "shed to {} channels: {actual_mbps:.0} Mbps overshoots the \
+                     {target_mbps:.0} Mbps target",
+                    self.concurrency
+                );
+                return self.decide(reason, &ctx.live_chunks());
             }
             return ControlAction::Continue;
         }
+        let reason;
         if !self.first_window_done {
             // Line 11: proportional jump from the first measurement.
             self.first_window_done = true;
@@ -227,18 +260,35 @@ impl Controller for SlaeeController {
             let new_cc = scaled.clamp(1, self.max_channel);
             self.raised_last_window = new_cc > self.concurrency;
             self.concurrency = new_cc;
+            reason = format!(
+                "proportional jump to {new_cc} channels: measured {actual_mbps:.0} of \
+                 {target_mbps:.0} Mbps target"
+            );
         } else if self.concurrency < self.max_channel {
             // Lines 14–16: incremental increase.
             self.concurrency += 1;
             self.raised_last_window = true;
+            reason = format!(
+                "climb to {} channels: {actual_mbps:.0} Mbps below {target_mbps:.0} Mbps target",
+                self.concurrency
+            );
         } else if !self.rearranged {
             // Line 18: reArrangeChannels — let Large chunks have more than
             // one channel.
             self.rearranged = true;
+            reason = "rearrange: Large chunks may take multiple channels".to_string();
         } else {
             return ControlAction::Continue;
         }
-        ControlAction::Reallocate(self.allocation(&ctx.live_chunks()))
+        self.decide(reason, &ctx.live_chunks())
+    }
+
+    fn enable_event_capture(&mut self) {
+        self.capture = true;
+    }
+
+    fn drain_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
     }
 }
 

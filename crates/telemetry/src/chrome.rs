@@ -1,0 +1,240 @@
+//! Chrome `trace_event` export: renders a journal as the JSON object
+//! format understood by chrome://tracing and Perfetto.
+//!
+//! Mapping:
+//! * chunks become complete slices (`ph:"X"`) on one thread row each;
+//! * channel failures, retries, decisions, probe windows, commits,
+//!   breaker transitions and fault-episode edges become instant events
+//!   (`ph:"i"`) with their payload under `args`;
+//! * periodic `sample` records become counter tracks (`ph:"C"`) for
+//!   throughput, power, concurrency and backoff occupancy.
+//!
+//! Timestamps are simulated microseconds, which is exactly the unit
+//! `trace_event` expects in `ts`/`dur`.
+
+use crate::event::{write_json_f64, write_json_str, Event, Journal};
+use std::fmt::Write as _;
+
+/// Thread row that carries instant (non-chunk) events.
+const CONTROL_TID: u32 = 1000;
+
+fn push_common(s: &mut String, name: &str, ph: char, ts: u64, tid: u32) {
+    s.push_str("{\"name\":");
+    write_json_str(s, name);
+    let _ = write!(s, ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}");
+}
+
+/// Renders the journal as a `trace_event` JSON object
+/// (`{"traceEvents":[...]}`). Output is byte-deterministic for identical
+/// journals.
+pub fn to_chrome_trace(journal: &Journal) -> String {
+    let mut s = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |s: &mut String| {
+        if !std::mem::take(&mut first) {
+            s.push(',');
+        }
+    };
+
+    // Open chunk slices are tracked so ChunkDrain can close them; chunks
+    // never draining are closed at the journal end.
+    let end_us = journal.records().last().map(|r| r.t_us).unwrap_or(0);
+    let mut open: Vec<(u32, String, u64)> = Vec::new();
+
+    for r in journal.records() {
+        let ts = r.t_us;
+        match &r.event {
+            Event::ChunkStart { chunk, label, .. } => {
+                open.push((*chunk, label.clone(), ts));
+            }
+            Event::ChunkDrain { chunk, .. } => {
+                if let Some(i) = open.iter().position(|(c, _, _)| c == chunk) {
+                    let (c, label, start) = open.swap_remove(i);
+                    sep(&mut s);
+                    push_common(&mut s, &label, 'X', start, c);
+                    let _ = write!(s, ",\"dur\":{}}}", ts - start);
+                }
+            }
+            Event::ChannelFail {
+                chunk,
+                channel,
+                cause,
+                ..
+            } => {
+                sep(&mut s);
+                push_common(&mut s, "channel_fail", 'i', ts, *chunk);
+                s.push_str(",\"s\":\"t\",\"args\":{\"channel\":");
+                let _ = write!(s, "{channel},\"cause\":");
+                write_json_str(&mut s, cause);
+                s.push_str("}}");
+            }
+            Event::ChannelRetry {
+                chunk,
+                channel,
+                delay_us,
+                exhausted,
+                ..
+            } => {
+                sep(&mut s);
+                push_common(&mut s, "channel_retry", 'i', ts, *chunk);
+                let _ = write!(
+                    s,
+                    ",\"s\":\"t\",\"args\":{{\"channel\":{channel},\"delay_us\":{delay_us},\
+                     \"exhausted\":{exhausted}}}}}"
+                );
+            }
+            Event::Decision { reason, .. } => {
+                sep(&mut s);
+                push_common(&mut s, "decision", 'i', ts, CONTROL_TID);
+                s.push_str(",\"s\":\"p\",\"args\":{\"reason\":");
+                write_json_str(&mut s, reason);
+                s.push_str("}}");
+            }
+            Event::ProbeWindow {
+                level, mbps, ratio, ..
+            } => {
+                sep(&mut s);
+                push_common(&mut s, "probe_window", 'i', ts, CONTROL_TID);
+                let _ = write!(s, ",\"s\":\"p\",\"args\":{{\"level\":{level},\"mbps\":");
+                write_json_f64(&mut s, *mbps);
+                s.push_str(",\"ratio\":");
+                write_json_f64(&mut s, *ratio);
+                s.push_str("}}");
+            }
+            Event::Commit { level, reason } => {
+                sep(&mut s);
+                push_common(&mut s, "commit", 'i', ts, CONTROL_TID);
+                let _ = write!(s, ",\"s\":\"p\",\"args\":{{\"level\":{level},\"reason\":");
+                write_json_str(&mut s, reason);
+                s.push_str("}}");
+            }
+            Event::Breaker {
+                side,
+                server,
+                state,
+            } => {
+                sep(&mut s);
+                push_common(&mut s, "breaker", 'i', ts, CONTROL_TID);
+                let _ = write!(
+                    s,
+                    ",\"s\":\"p\",\"args\":{{\"server\":\"{}[{server}]\",\"state\":\"{}\"}}}}",
+                    side.as_str(),
+                    state.as_str()
+                );
+            }
+            Event::FaultEpisode { kind, active, .. } => {
+                sep(&mut s);
+                push_common(&mut s, "fault_episode", 'i', ts, CONTROL_TID);
+                let _ = write!(
+                    s,
+                    ",\"s\":\"p\",\"args\":{{\"kind\":\"{}\",\"active\":{active}}}}}",
+                    kind.as_str()
+                );
+            }
+            Event::Sample {
+                throughput_mbps,
+                power_w,
+                concurrency,
+                in_backoff,
+                ..
+            } => {
+                sep(&mut s);
+                push_common(&mut s, "throughput_mbps", 'C', ts, 0);
+                s.push_str(",\"args\":{\"value\":");
+                write_json_f64(&mut s, *throughput_mbps);
+                s.push_str("}}");
+                sep(&mut s);
+                push_common(&mut s, "power_w", 'C', ts, 0);
+                s.push_str(",\"args\":{\"value\":");
+                write_json_f64(&mut s, *power_w);
+                s.push_str("}}");
+                sep(&mut s);
+                push_common(&mut s, "channels", 'C', ts, 0);
+                let _ = write!(
+                    s,
+                    ",\"args\":{{\"active\":{concurrency},\"in_backoff\":{in_backoff}}}}}"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Close any chunk that never drained (incomplete run).
+    open.sort_by_key(|&(c, _, _)| c);
+    for (c, label, start) in open {
+        sep(&mut s);
+        push_common(&mut s, &label, 'X', start, c);
+        let _ = write!(s, ",\"dur\":{}}}", end_us.saturating_sub(start));
+    }
+
+    s.push_str("],\"displayTimeUnit\":\"ms\"}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_sim::SimTime;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_slices_and_counters() {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            Event::ChunkStart {
+                chunk: 0,
+                label: "Huge".into(),
+                bytes: 1,
+                files: 1,
+            },
+        );
+        j.record(
+            t(1.0),
+            Event::Sample {
+                throughput_mbps: 100.0,
+                power_w: 200.0,
+                concurrency: 2,
+                in_backoff: 0,
+                queue_depth: 3,
+            },
+        );
+        j.record(
+            t(2.0),
+            Event::ChunkDrain {
+                chunk: 0,
+                label: "Huge".into(),
+            },
+        );
+        let text = to_chrome_trace(&j);
+        let v = serde::value::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4, "{text}");
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("complete slice present");
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(2_000_000));
+        assert!(text.contains("\"throughput_mbps\""), "{text}");
+    }
+
+    #[test]
+    fn unclosed_chunks_are_flushed_at_journal_end() {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            Event::ChunkStart {
+                chunk: 3,
+                label: "Open".into(),
+                bytes: 1,
+                files: 1,
+            },
+        );
+        j.record(t(5.0), Event::StageStart { stage: 1 });
+        let text = to_chrome_trace(&j);
+        assert!(text.contains("\"dur\":5000000"), "{text}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Structured telemetry for EADT transfers.
+//!
+//! Three pieces, all driven by simulated time and fully deterministic:
+//!
+//! * [`Journal`] — a typed, timestamped event log ([`Event`]) serialized
+//!   as JSON Lines with a stable schema ([`event::SCHEMA_VERSION`]).
+//!   Identical seeds produce byte-identical journals.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms;
+//!   gauges are sampled on a sim-time cadence into `TimeSeries`.
+//! * Trace tooling — [`timeline`] renders per-chunk ASCII timelines and
+//!   controller-decision logs; [`chrome`] exports Chrome `trace_event`
+//!   JSON for chrome://tracing / Perfetto.
+//!
+//! The [`Telemetry`] façade is what instrumented code holds. A disabled
+//! façade ([`Telemetry::disabled`]) is a pair of `None`s: every hook
+//! reduces to one branch and the event closure is never run, so the
+//! engine's hot loop pays nothing (the `telemetry_overhead` criterion
+//! bench guards this).
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod timeline;
+
+pub use event::{BreakerState, EpisodeKind, Event, Journal, Record, Side, SCHEMA_VERSION};
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
+
+use eadt_sim::{SimDuration, SimTime};
+
+/// Default gauge-sampling cadence: once per simulated second.
+pub const DEFAULT_CADENCE: SimDuration = SimDuration::from_secs(1);
+
+/// The telemetry façade instrumented code records into.
+///
+/// Both members are optional; [`Telemetry::disabled`] costs one `None`
+/// check per hook and never evaluates event-constructing closures.
+#[derive(Default)]
+pub struct Telemetry {
+    journal: Option<Journal>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl Telemetry {
+    /// A no-op sink: nothing is recorded, hooks cost one branch.
+    pub fn disabled() -> Self {
+        Telemetry {
+            journal: None,
+            metrics: None,
+        }
+    }
+
+    /// Full telemetry: event journal plus metrics sampled every
+    /// `cadence`.
+    pub fn enabled(cadence: SimDuration) -> Self {
+        Telemetry {
+            journal: Some(Journal::new()),
+            metrics: Some(MetricsRegistry::new(cadence)),
+        }
+    }
+
+    /// Journal only (no metrics sampling).
+    pub fn with_journal() -> Self {
+        Telemetry {
+            journal: Some(Journal::new()),
+            metrics: None,
+        }
+    }
+
+    /// True when any sink is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.journal.is_some() || self.metrics.is_some()
+    }
+
+    /// True when events are being journaled.
+    #[inline]
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Records an already-built event (use [`Telemetry::record_with`]
+    /// when building the event allocates).
+    #[inline]
+    pub fn record(&mut self, t: SimTime, event: Event) {
+        if let Some(j) = &mut self.journal {
+            j.record(t, event);
+        }
+    }
+
+    /// Records the event produced by `make` — which is never called when
+    /// journaling is off, so allocation-heavy events (labels, reasons)
+    /// are free in the disabled configuration.
+    #[inline]
+    pub fn record_with(&mut self, t: SimTime, make: impl FnOnce() -> Event) {
+        if let Some(j) = &mut self.journal {
+            j.record(t, make());
+        }
+    }
+
+    /// The metrics registry, when sampling is on.
+    #[inline]
+    pub fn metrics(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut()
+    }
+
+    /// Read-only view of the metrics registry.
+    pub fn metrics_ref(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Read-only view of the journal.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Consumes the façade, yielding the journal.
+    pub fn into_journal(self) -> Option<Journal> {
+        self.journal
+    }
+
+    /// Consumes the façade, yielding both sinks.
+    pub fn into_parts(self) -> (Option<Journal>, Option<MetricsRegistry>) {
+        (self.journal, self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_never_builds_events() {
+        let mut tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.record_with(SimTime::ZERO, || {
+            panic!("event closure must not run when disabled")
+        });
+        assert!(tel.journal().is_none());
+        assert!(tel.metrics().is_none());
+    }
+
+    #[test]
+    fn enabled_telemetry_journals_and_samples() {
+        let mut tel = Telemetry::enabled(DEFAULT_CADENCE);
+        assert!(tel.is_enabled());
+        tel.record(SimTime::ZERO, Event::StageStart { stage: 0 });
+        let m = tel.metrics().unwrap();
+        let g = m.gauge("thr");
+        m.set(g, 1.5);
+        assert!(m.tick(SimTime::ZERO));
+        let (journal, metrics) = tel.into_parts();
+        assert_eq!(journal.unwrap().len(), 1);
+        assert_eq!(metrics.unwrap().gauge_series(g).len(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms,
+//! with gauges sampled on a configurable sim-time cadence into
+//! [`TimeSeries`].
+//!
+//! Handles ([`CounterId`], [`GaugeId`], [`HistogramId`]) are resolved
+//! once at registration; hot-path updates are plain indexed stores with
+//! no hashing, matching the engine's no-allocation slice loop.
+
+use eadt_sim::{SimDuration, SimTime, TimeSeries};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: counts of observations falling at or below
+/// each upper bound, plus an overflow bucket, running count and sum.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds (inclusive).
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(mut bounds: Vec<f64>) -> Self {
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite histogram bounds"));
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket holding the q-quantile (0 ≤ q ≤ 1), or
+    /// `None` when empty. Overflow observations report infinity.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+struct Counter {
+    name: String,
+    value: u64,
+}
+
+struct Gauge {
+    name: String,
+    value: f64,
+    series: TimeSeries,
+}
+
+struct NamedHistogram {
+    name: String,
+    hist: Histogram,
+}
+
+/// The registry. Gauges carry a current value set by instrumented code;
+/// [`MetricsRegistry::tick`] snapshots every gauge into its
+/// [`TimeSeries`] whenever the sampling cadence elapses.
+pub struct MetricsRegistry {
+    cadence: SimDuration,
+    next_sample: SimTime,
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    histograms: Vec<NamedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry sampling gauges every `cadence` of sim time.
+    /// The first sample fires on the first `tick` at or after t=0.
+    pub fn new(cadence: SimDuration) -> Self {
+        assert!(!cadence.is_zero(), "sampling cadence must be positive");
+        MetricsRegistry {
+            cadence,
+            next_sample: SimTime::ZERO,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Sampling cadence.
+    pub fn cadence(&self) -> SimDuration {
+        self.cadence
+    }
+
+    /// Registers (or finds) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+            return CounterId(i);
+        }
+        self.counters.push(Counter {
+            name: name.to_string(),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|g| g.name == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push(Gauge {
+            name: name.to_string(),
+            value: 0.0,
+            series: TimeSeries::new(),
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram by name with the given ascending
+    /// bucket upper bounds. Bounds are fixed at first registration.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(NamedHistogram {
+            name: name.to_string(),
+            hist: Histogram::new(bounds.to_vec()),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Sets a gauge's current value (snapshotted on the next sample).
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].hist.observe(value);
+    }
+
+    /// Advances the sampler to `now`. When the cadence has elapsed,
+    /// snapshots every gauge into its series and returns `true` (at most
+    /// once per call — a long gap records one sample at `now`, not
+    /// backfill, since gauge history between ticks is unknown).
+    pub fn tick(&mut self, now: SimTime) -> bool {
+        if now < self.next_sample {
+            return false;
+        }
+        for g in &mut self.gauges {
+            g.series.push(now, g.value);
+        }
+        // Next deadline on the cadence grid strictly after `now`.
+        let mut next = self.next_sample;
+        while next <= now {
+            next += self.cadence;
+        }
+        self.next_sample = next;
+        true
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Sampled series of a gauge.
+    pub fn gauge_series(&self, id: GaugeId) -> &TimeSeries {
+        &self.gauges[id.0].series
+    }
+
+    /// Looks a gauge's series up by name.
+    pub fn series_by_name(&self, name: &str) -> Option<&TimeSeries> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| &g.series)
+    }
+
+    /// Histogram contents.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].hist
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
+    }
+
+    /// All counters as `(name, value)` in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|c| (c.name.as_str(), c.value))
+    }
+
+    /// All gauges as `(name, series)` in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.gauges.iter().map(|g| (g.name.as_str(), &g.series))
+    }
+
+    /// All histograms as `(name, histogram)` in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|h| (h.name.as_str(), &h.hist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn counters_and_gauges_register_once_per_name() {
+        let mut m = MetricsRegistry::new(SimDuration::from_secs(1));
+        let a = m.counter("retries");
+        let b = m.counter("retries");
+        assert_eq!(a, b);
+        m.inc(a, 2);
+        m.inc(b, 3);
+        assert_eq!(m.counter_value(a), 5);
+
+        let g = m.gauge("watts");
+        assert_eq!(m.gauge("watts"), g);
+    }
+
+    #[test]
+    fn tick_samples_on_the_cadence_grid() {
+        let mut m = MetricsRegistry::new(SimDuration::from_secs(1));
+        let g = m.gauge("thr");
+
+        m.set(g, 10.0);
+        assert!(m.tick(t(0.0)), "first tick samples at t=0");
+        assert!(!m.tick(t(0.1)));
+        assert!(!m.tick(t(0.9)));
+        m.set(g, 20.0);
+        assert!(m.tick(t(1.0)));
+        assert!(!m.tick(t(1.5)));
+
+        let s = m.gauge_series(g).samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].value, 10.0);
+        assert_eq!(s[1].value, 20.0);
+        assert_eq!(s[1].time, t(1.0));
+    }
+
+    #[test]
+    fn tick_does_not_backfill_after_a_gap() {
+        let mut m = MetricsRegistry::new(SimDuration::from_secs(1));
+        let g = m.gauge("thr");
+        assert!(m.tick(t(0.0)));
+        // Jump far ahead: one sample at `now`, and the grid realigns.
+        m.set(g, 5.0);
+        assert!(m.tick(t(10.25)));
+        assert!(!m.tick(t(10.9)));
+        assert!(m.tick(t(11.0)));
+        assert_eq!(m.gauge_series(g).len(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(vec![1.0, 5.0, 10.0]);
+        for v in [0.5, 0.9, 3.0, 7.0, 12.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert!((h.mean() - 23.4 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_boundary_values_fall_in_the_lower_bucket() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        assert_eq!(h.counts(), &[1, 1, 0]);
+    }
+}

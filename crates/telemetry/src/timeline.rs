@@ -1,0 +1,296 @@
+//! ASCII rendering of a journal: per-chunk channel-count timelines and a
+//! controller-decision log. This is what `eadt inspect` prints.
+
+use crate::event::{Event, Journal};
+
+/// Per-chunk state reconstructed from the journal.
+struct ChunkTrack {
+    label: String,
+    start_us: Option<u64>,
+    drain_us: Option<u64>,
+    /// `(t_us, channel count)` transitions, in time order.
+    counts: Vec<(u64, u32)>,
+    /// Times at which a channel on this chunk was killed.
+    fails: Vec<u64>,
+}
+
+impl ChunkTrack {
+    fn new() -> Self {
+        ChunkTrack {
+            label: String::new(),
+            start_us: None,
+            drain_us: None,
+            counts: Vec::new(),
+            fails: Vec::new(),
+        }
+    }
+
+    /// Channel count in effect at `t_us` (last transition at or before).
+    fn count_at(&self, t_us: u64) -> u32 {
+        match self.counts.partition_point(|&(t, _)| t <= t_us) {
+            0 => 0,
+            i => self.counts[i - 1].1,
+        }
+    }
+}
+
+fn at(tracks: &mut Vec<ChunkTrack>, idx: u32) -> &mut ChunkTrack {
+    let idx = idx as usize;
+    while tracks.len() <= idx {
+        tracks.push(ChunkTrack::new());
+    }
+    &mut tracks[idx]
+}
+
+fn tracks(journal: &Journal) -> Vec<ChunkTrack> {
+    let mut tracks: Vec<ChunkTrack> = Vec::new();
+    for r in journal.records() {
+        match &r.event {
+            Event::ChunkStart { chunk, label, .. } => {
+                let tr = at(&mut tracks, *chunk);
+                tr.label = label.clone();
+                tr.start_us = Some(r.t_us);
+            }
+            Event::ChunkDrain { chunk, .. } => at(&mut tracks, *chunk).drain_us = Some(r.t_us),
+            Event::ChannelOpen { chunk, count, .. } | Event::ChannelClose { chunk, count, .. } => {
+                at(&mut tracks, *chunk).counts.push((r.t_us, *count));
+            }
+            Event::ChannelFail { chunk, .. } => at(&mut tracks, *chunk).fails.push(r.t_us),
+            _ => {}
+        }
+    }
+    tracks
+}
+
+/// Renders per-chunk timelines, `width` columns across the run.
+///
+/// Each cell shows the channel count in effect at the end of its time
+/// bin (`0`-`9`, `+` for more), `!` when a channel died inside the bin,
+/// `·` before the chunk starts and blank after it drains.
+pub fn render_timeline(journal: &Journal, width: usize) -> String {
+    let width = width.max(10);
+    let end_us = journal.records().last().map(|r| r.t_us).unwrap_or(0);
+    let mut out = String::new();
+    if end_us == 0 {
+        out.push_str("(empty journal)\n");
+        return out;
+    }
+    let tracks = tracks(journal);
+    let bin = (end_us as f64 / width as f64).max(1.0);
+
+    out.push_str(&format!(
+        "timeline: {:.1}s across {} columns ({:.2}s per cell)\n",
+        end_us as f64 / 1e6,
+        width,
+        bin / 1e6
+    ));
+    out.push_str("legend: digit = channels, + = >9, ! = channel death, · = not started\n\n");
+
+    for (i, tr) in tracks.iter().enumerate() {
+        let label = if tr.label.is_empty() {
+            format!("chunk {i}")
+        } else {
+            format!("chunk {i} ({})", tr.label)
+        };
+        out.push_str(&format!("{label:<22} |"));
+        for c in 0..width {
+            let lo = (c as f64 * bin) as u64;
+            let hi = ((c + 1) as f64 * bin) as u64;
+            let started = tr.start_us.map(|t| t < hi).unwrap_or(false);
+            let drained = tr.drain_us.map(|t| t <= lo).unwrap_or(false);
+            let failed = tr.fails.iter().any(|&t| t >= lo && t < hi);
+            let glyph = if failed {
+                '!'
+            } else if !started {
+                '·'
+            } else if drained {
+                ' '
+            } else {
+                match tr.count_at(hi.saturating_sub(1)) {
+                    n @ 0..=9 => char::from_digit(n, 10).unwrap(),
+                    _ => '+',
+                }
+            };
+            out.push(glyph);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders the controller-decision log: every decision, probe window,
+/// commit, reallocation, breaker transition and fault-episode edge, one
+/// per line with its simulated timestamp.
+pub fn render_decisions(journal: &Journal) -> String {
+    let mut out = String::new();
+    for r in journal.records() {
+        let t = r.t_us as f64 / 1e6;
+        let line = match &r.event {
+            Event::Decision { reason, targets } => {
+                if targets.is_empty() {
+                    format!("decision     {reason}")
+                } else {
+                    format!("decision     {reason} -> targets {targets:?}")
+                }
+            }
+            Event::ProbeWindow {
+                level,
+                window_s,
+                mbps,
+                energy_j,
+                ratio,
+            } => format!(
+                "probe        level {level}: {mbps:.1} Mbps, {energy_j:.1} J over {window_s:.1}s (ratio {ratio:.2})"
+            ),
+            Event::Commit { level, reason } => format!("commit       level {level} ({reason})"),
+            Event::Reallocate { targets } => format!("reallocate   targets {targets:?}"),
+            Event::Breaker {
+                side,
+                server,
+                state,
+            } => format!("breaker      {side}[{server}] -> {state}"),
+            Event::FaultEpisode {
+                kind,
+                side,
+                server,
+                active,
+            } => {
+                let edge = if *active { "begins" } else { "ends" };
+                match (side, server) {
+                    (Some(sd), Some(sv)) => format!("fault        {kind} on {sd}[{sv}] {edge}"),
+                    _ => format!("fault        {kind} {edge}"),
+                }
+            }
+            _ => continue,
+        };
+        out.push_str(&format!("{t:>9.2}s  {line}\n"));
+    }
+    if out.is_empty() {
+        out.push_str("(no controller decisions recorded)\n");
+    }
+    out
+}
+
+/// One-paragraph run summary from the `run_start` / `run_end` records.
+pub fn render_summary(journal: &Journal) -> String {
+    let mut out = String::new();
+    for r in journal.records() {
+        match &r.event {
+            Event::RunStart {
+                algorithm,
+                environment,
+                seed,
+                requested_bytes,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "run: {algorithm} on {environment}, seed {seed}, {:.2} GB requested\n",
+                    *requested_bytes as f64 / 1e9
+                ));
+            }
+            Event::RunEnd {
+                moved_bytes,
+                duration_s,
+                energy_j,
+                completed,
+            } => {
+                out.push_str(&format!(
+                    "end: {:.2} GB in {duration_s:.1}s, {energy_j:.0} J{}\n",
+                    *moved_bytes as f64 / 1e9,
+                    if *completed { "" } else { " (INCOMPLETE)" }
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_sim::SimTime;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        j.record(
+            t(0.0),
+            Event::ChunkStart {
+                chunk: 0,
+                label: "Small".into(),
+                bytes: 100,
+                files: 2,
+            },
+        );
+        j.record(
+            t(0.0),
+            Event::ChannelOpen {
+                chunk: 0,
+                opened: 2,
+                count: 2,
+            },
+        );
+        j.record(
+            t(5.0),
+            Event::ChannelFail {
+                chunk: 0,
+                channel: 1,
+                cause: "channel".into(),
+                src_server: 0,
+                dst_server: 0,
+            },
+        );
+        j.record(
+            t(6.0),
+            Event::Decision {
+                reason: "climb to 3".into(),
+                targets: vec![3],
+            },
+        );
+        j.record(t(6.0), Event::Reallocate { targets: vec![3] });
+        j.record(
+            t(6.1),
+            Event::ChannelOpen {
+                chunk: 0,
+                opened: 2,
+                count: 3,
+            },
+        );
+        j.record(
+            t(10.0),
+            Event::ChunkDrain {
+                chunk: 0,
+                label: "Small".into(),
+            },
+        );
+        j
+    }
+
+    #[test]
+    fn timeline_shows_counts_and_failures() {
+        let text = render_timeline(&sample_journal(), 20);
+        assert!(text.contains("chunk 0 (Small)"), "{text}");
+        assert!(text.contains('!'), "failure glyph missing: {text}");
+        assert!(text.contains('2'), "count glyph missing: {text}");
+    }
+
+    #[test]
+    fn decision_log_lists_decisions_in_order() {
+        let text = render_decisions(&sample_journal());
+        let d = text.find("decision").unwrap();
+        let r = text.find("reallocate").unwrap();
+        assert!(d < r, "{text}");
+        assert!(text.contains("climb to 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_journal_renders_placeholder() {
+        let j = Journal::new();
+        assert!(render_timeline(&j, 40).contains("empty"));
+        assert!(render_decisions(&j).contains("no controller decisions"));
+    }
+}

@@ -7,6 +7,7 @@
 //! controller may re-allocate channels across the current stage's chunks.
 
 use eadt_sim::{Bytes, SimTime};
+use eadt_telemetry::Event;
 
 /// The engine's fault picture as exposed to controllers: *learned* state
 /// only (circuit breakers, backoff counts), never the injection oracle —
@@ -103,6 +104,19 @@ pub enum ControlAction {
 pub trait Controller {
     /// Called once per slice, after measurements are updated.
     fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction;
+
+    /// Switches on controller-authored telemetry: after this call the
+    /// controller buffers typed events (decisions with reasons, probe
+    /// windows, commits) for the engine to drain each slice. Off by
+    /// default, so un-instrumented runs never buffer. No-op for
+    /// controllers that emit nothing.
+    fn enable_event_capture(&mut self) {}
+
+    /// Returns (and clears) the events buffered since the last drain.
+    /// The engine timestamps them with the current slice's sim time.
+    fn drain_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
 }
 
 /// A controller that never intervenes (all static algorithms).
@@ -137,6 +151,8 @@ pub struct FaultAware<C> {
     pub ramp_step: u32,
     desired: Vec<u32>,
     degraded: bool,
+    capture: bool,
+    events: Vec<Event>,
 }
 
 impl<C> FaultAware<C> {
@@ -148,6 +164,8 @@ impl<C> FaultAware<C> {
             ramp_step: 1,
             desired: Vec::new(),
             degraded: false,
+            capture: false,
+            events: Vec::new(),
         }
     }
 
@@ -213,6 +231,21 @@ impl<C: Controller> Controller for FaultAware<C> {
             self.degraded = true;
             let goal = self.scaled(ctx.fault.capacity_fraction);
             if goal != ctx.channels {
+                if self.capture {
+                    self.events.push(Event::Decision {
+                        reason: format!(
+                            "shed to {:.0}% capacity ({} quarantined)",
+                            ctx.fault.capacity_fraction * 100.0,
+                            ctx.fault
+                                .quarantined_src
+                                .iter()
+                                .chain(&ctx.fault.quarantined_dst)
+                                .filter(|&&q| q)
+                                .count()
+                        ),
+                        targets: goal.clone(),
+                    });
+                }
                 return ControlAction::Reallocate(goal);
             }
             return ControlAction::Continue;
@@ -223,6 +256,12 @@ impl<C: Controller> Controller for FaultAware<C> {
                 self.degraded = false;
             }
             if ramped != ctx.channels {
+                if self.capture {
+                    self.events.push(Event::Decision {
+                        reason: "ramp after recovery".to_string(),
+                        targets: ramped.clone(),
+                    });
+                }
                 return ControlAction::Reallocate(ramped);
             }
             return ControlAction::Continue;
@@ -231,6 +270,17 @@ impl<C: Controller> Controller for FaultAware<C> {
         // chunk-completion rebalancing, so second-guessing it here only
         // churns allocations.
         inner_action
+    }
+
+    fn enable_event_capture(&mut self) {
+        self.capture = true;
+        self.inner.enable_event_capture();
+    }
+
+    fn drain_events(&mut self) -> Vec<Event> {
+        let mut events = self.inner.drain_events();
+        events.append(&mut self.events);
+        events
     }
 }
 

@@ -37,6 +37,7 @@ use eadt_endsys::{ServerLoad, Utilization};
 use eadt_net::fair::fair_share;
 use eadt_power::PowerModel;
 use eadt_sim::{Bytes, Rate, SimDuration, SimTime, TimeSeries};
+use eadt_telemetry::{Event, GaugeId, HistogramId, MetricsRegistry, Side, Telemetry};
 use std::collections::VecDeque;
 
 /// A file being moved: its full size (for restart after a channel
@@ -152,6 +153,24 @@ impl<'a> Engine<'a> {
 
     /// Runs the plan to completion (or the time guard) with a controller.
     pub fn run(&self, plan: &TransferPlan, controller: &mut dyn Controller) -> TransferReport {
+        self.run_instrumented(plan, controller, &mut Telemetry::disabled())
+    }
+
+    /// Runs the plan with telemetry: every channel open/close/fail/retry,
+    /// chunk start/drain, controller decision, breaker transition,
+    /// fault-episode edge and power-state change is journaled, and the
+    /// metrics registry (when attached) samples throughput/power/
+    /// concurrency/backoff/queue gauges on its cadence.
+    ///
+    /// With [`Telemetry::disabled`] every hook is one branch and the
+    /// behaviour is bit-identical to [`Engine::run`] — the simulation
+    /// itself never reads telemetry state.
+    pub fn run_instrumented(
+        &self,
+        plan: &TransferPlan,
+        controller: &mut dyn Controller,
+        tel: &mut Telemetry,
+    ) -> TransferReport {
         let env = self.env;
         let slice = env.tuning.slice;
         let slice_secs = slice.as_secs_f64();
@@ -176,6 +195,19 @@ impl<'a> Engine<'a> {
         let mut concurrency_series = TimeSeries::new();
         let requested = plan.total_bytes();
 
+        // Telemetry wiring. `journaling` is the single branch every event
+        // hook reduces to when telemetry is off.
+        let journaling = tel.journaling();
+        let gauges = tel.metrics().map(EngineGauges::register);
+        if journaling {
+            controller.enable_event_capture();
+            if let Some(rt) = &mut runtime {
+                rt.capture_events(true);
+            }
+        }
+        let mut prev_src_active = vec![false; env.src.servers.len()];
+        let mut prev_dst_active = vec![false; env.dst.servers.len()];
+
         for (stage_idx, stage) in plan.stages.iter().enumerate() {
             let mut chunks: Vec<ChunkState> = stage
                 .chunks
@@ -199,6 +231,23 @@ impl<'a> Engine<'a> {
                 })
                 .collect();
 
+            if journaling {
+                tel.record(
+                    now,
+                    Event::StageStart {
+                        stage: stage_idx as u32,
+                    },
+                );
+                for (ci, c) in chunks.iter().enumerate() {
+                    tel.record_with(now, || Event::ChunkStart {
+                        chunk: ci as u32,
+                        label: c.label.clone(),
+                        bytes: c.total_bytes.as_u64(),
+                        files: c.file_count as u64,
+                    });
+                }
+            }
+
             while chunks.iter().any(ChunkState::has_work) {
                 if now.since(SimTime::ZERO) >= env.tuning.max_duration {
                     completed = false;
@@ -209,8 +258,31 @@ impl<'a> Engine<'a> {
                 if let Some(rt) = &mut runtime {
                     rt.begin_slice(now);
                 }
-                for c in &mut chunks {
+                for (ci, c) in chunks.iter_mut().enumerate() {
+                    let before = c.channels.len() as u32;
                     c.sync_channels(rtt, || runtime.as_mut().and_then(FaultRuntime::sample_ttf));
+                    if journaling {
+                        let after = c.channels.len() as u32;
+                        if after > before {
+                            tel.record(
+                                now,
+                                Event::ChannelOpen {
+                                    chunk: ci as u32,
+                                    opened: after - before,
+                                    count: after,
+                                },
+                            );
+                        } else if before > after {
+                            tel.record(
+                                now,
+                                Event::ChannelClose {
+                                    chunk: ci as u32,
+                                    closed: before - after,
+                                    count: after,
+                                },
+                            );
+                        }
+                    }
                 }
 
                 // Flat view of all channels: (chunk idx, channel idx).
@@ -298,13 +370,36 @@ impl<'a> Engine<'a> {
                             }
                             c.queue.push_front(fp);
                         }
-                        let (delay, exhausted) = rt.next_delay(ch.consecutive);
+                        let attempt = ch.consecutive;
+                        let (delay, exhausted) = rt.next_delay(attempt);
                         ch.gap = delay;
                         ch.in_backoff = true;
                         ch.consecutive = if exhausted { 0 } else { ch.consecutive + 1 };
                         rt.record_failure(cause, src_assign[i], dst_assign[i], now);
                         if cause == FaultCause::Channel {
                             ch.ttf = rt.sample_ttf();
+                        }
+                        if journaling {
+                            tel.record_with(now, || Event::ChannelFail {
+                                chunk: ci as u32,
+                                channel: chi as u32,
+                                cause: match cause {
+                                    FaultCause::Channel => "channel".to_string(),
+                                    FaultCause::Outage => "outage".to_string(),
+                                },
+                                src_server: src_assign[i] as u32,
+                                dst_server: dst_assign[i] as u32,
+                            });
+                            tel.record(
+                                now,
+                                Event::ChannelRetry {
+                                    chunk: ci as u32,
+                                    channel: chi as u32,
+                                    attempt,
+                                    delay_us: delay.as_micros(),
+                                    exhausted,
+                                },
+                            );
                         }
                     }
                 }
@@ -341,6 +436,44 @@ impl<'a> Engine<'a> {
                         dst_chan[dst_assign[i]] += 1;
                         dst_streams[dst_assign[i]] += p;
                         total_streams += p;
+                    }
+                }
+
+                // Power-state edges: a server transitions between idle
+                // and active when it gains/loses its first working
+                // channel (its power draw follows).
+                if journaling {
+                    for (srv, (&cnt, prev)) in
+                        src_chan.iter().zip(prev_src_active.iter_mut()).enumerate()
+                    {
+                        let active = cnt > 0;
+                        if active != *prev {
+                            *prev = active;
+                            tel.record(
+                                now,
+                                Event::PowerState {
+                                    side: Side::Src,
+                                    server: srv as u32,
+                                    active,
+                                },
+                            );
+                        }
+                    }
+                    for (srv, (&cnt, prev)) in
+                        dst_chan.iter().zip(prev_dst_active.iter_mut()).enumerate()
+                    {
+                        let active = cnt > 0;
+                        if active != *prev {
+                            *prev = active;
+                            tel.record(
+                                now,
+                                Event::PowerState {
+                                    side: Side::Dst,
+                                    server: srv as u32,
+                                    active,
+                                },
+                            );
+                        }
                     }
                 }
 
@@ -426,6 +559,12 @@ impl<'a> Engine<'a> {
                     slice_bytes += moved;
                     src_moved[src_assign[i]] += moved;
                     dst_moved[dst_assign[i]] += moved;
+                    if let Some(g) = &gauges {
+                        if working[i] {
+                            let m = tel.metrics().expect("gauges imply metrics");
+                            m.observe(g.channel_mbps, moved.as_f64() * 8.0 / slice_secs / 1e6);
+                        }
+                    }
                 }
                 if let Some(rt) = &mut runtime {
                     // Bytes through a server close its half-open breaker
@@ -438,6 +577,11 @@ impl<'a> Engine<'a> {
                     for (srv, moved) in dst_moved.iter().enumerate() {
                         if !moved.is_zero() {
                             rt.record_success(SiteSide::Dst, srv);
+                        }
+                    }
+                    if journaling {
+                        for ev in rt.take_events() {
+                            tel.record(now, ev);
                         }
                     }
                 }
@@ -474,6 +618,50 @@ impl<'a> Engine<'a> {
                 power_series.push(now, src_power + dst_power);
                 throughput_series.push(now, slice_bytes.as_f64() * 8.0 / slice_secs / 1e6);
 
+                // Metrics: refresh gauges, observe slice-level histograms,
+                // and let the sampler decide whether this slice lands on
+                // the cadence grid (which also journals a `sample` event).
+                if let Some(g) = &gauges {
+                    let power = src_power + dst_power;
+                    let thr_mbps = slice_bytes.as_f64() * 8.0 / slice_secs / 1e6;
+                    let queue_depth: u64 = chunks.iter().map(|c| c.queue.len() as u64).sum();
+                    let m = tel.metrics().expect("gauges imply metrics");
+                    m.set(g.throughput, thr_mbps);
+                    m.set(g.power, power);
+                    m.set(g.concurrency, f64::from(total_channels));
+                    m.set(g.in_backoff, f64::from(in_backoff));
+                    m.set(g.queue_depth, queue_depth as f64);
+                    m.observe(g.watts, power);
+                    m.observe(g.backoff_occ, f64::from(in_backoff));
+                    m.observe(g.queue_hist, queue_depth as f64);
+                    let due = m.tick(now);
+                    if due && journaling {
+                        tel.record(
+                            now,
+                            Event::Sample {
+                                throughput_mbps: thr_mbps,
+                                power_w: power,
+                                concurrency: total_channels,
+                                in_backoff,
+                                queue_depth,
+                            },
+                        );
+                    }
+                }
+
+                // Chunks that moved their last byte this slice drained at
+                // the slice boundary.
+                if journaling {
+                    for (ci, c) in chunks.iter().enumerate() {
+                        if c.completed_at == Some(now + slice) {
+                            tel.record_with(now + slice, || Event::ChunkDrain {
+                                chunk: ci as u32,
+                                label: c.label.clone(),
+                            });
+                        }
+                    }
+                }
+
                 now += slice;
 
                 // Controller.
@@ -500,12 +688,23 @@ impl<'a> Engine<'a> {
                     remaining_per_chunk,
                     fault,
                 };
-                if let ControlAction::Reallocate(new_targets) = controller.on_slice(&ctx) {
+                let action = controller.on_slice(&ctx);
+                if journaling {
+                    for ev in controller.drain_events() {
+                        tel.record(now, ev);
+                    }
+                }
+                if let ControlAction::Reallocate(new_targets) = action {
                     assert_eq!(
                         new_targets.len(),
                         chunks.len(),
                         "reallocation must cover every chunk of the stage"
                     );
+                    if journaling {
+                        tel.record_with(now, || Event::Reallocate {
+                            targets: new_targets.clone(),
+                        });
+                    }
                     for (c, &t) in chunks.iter_mut().zip(&new_targets) {
                         c.target = if c.has_work() { t } else { 0 };
                     }
@@ -524,12 +723,25 @@ impl<'a> Engine<'a> {
             }
         }
 
+        if journaling {
+            tel.record(
+                now,
+                Event::RunEnd {
+                    moved_bytes: moved_total.as_u64(),
+                    duration_s: now.since(SimTime::ZERO).as_secs_f64(),
+                    energy_j: src_energy + dst_energy,
+                    completed: completed && moved_total == requested,
+                },
+            );
+        }
+
         let packets = env
             .packets
             .total_packets(Bytes(wire_bytes_f.round() as u64));
         let fault_stats = runtime.map(|rt| rt.stats).unwrap_or_default();
         debug_assert_eq!(retransmitted, fault_stats.retransmitted_bytes);
         TransferReport {
+            schema: crate::report::REPORT_SCHEMA_VERSION,
             requested_bytes: requested,
             moved_bytes: moved_total,
             duration: now.since(SimTime::ZERO),
@@ -566,6 +778,42 @@ impl<'a> Engine<'a> {
         }
         // If no chunk accepts reallocation, freed channels simply retire —
         // exactly MinE's behaviour once only pinned Large chunks remain.
+    }
+}
+
+/// Handles for the engine's registered metrics, resolved once per run so
+/// the per-slice updates are plain indexed stores (no hashing).
+struct EngineGauges {
+    throughput: GaugeId,
+    power: GaugeId,
+    concurrency: GaugeId,
+    in_backoff: GaugeId,
+    queue_depth: GaugeId,
+    channel_mbps: HistogramId,
+    watts: HistogramId,
+    backoff_occ: HistogramId,
+    queue_hist: HistogramId,
+}
+
+impl EngineGauges {
+    fn register(m: &mut MetricsRegistry) -> Self {
+        EngineGauges {
+            throughput: m.gauge("throughput_mbps"),
+            power: m.gauge("power_w"),
+            concurrency: m.gauge("concurrency"),
+            in_backoff: m.gauge("in_backoff"),
+            queue_depth: m.gauge("queue_depth"),
+            channel_mbps: m.histogram(
+                "channel_throughput_mbps",
+                &[50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0],
+            ),
+            watts: m.histogram(
+                "site_power_w",
+                &[100.0, 200.0, 300.0, 450.0, 600.0, 800.0, 1200.0],
+            ),
+            backoff_occ: m.histogram("backoff_occupancy", &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0]),
+            queue_hist: m.histogram("queue_depth_files", &[0.0, 10.0, 100.0, 1000.0, 10000.0]),
+        }
     }
 }
 

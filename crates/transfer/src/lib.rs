@@ -54,5 +54,5 @@ pub use faults::{
 };
 pub use params::TransferParams;
 pub use plan::{uniform_plan, ChunkPlan, StagePlan, TransferPlan};
-pub use report::{ChunkStat, FaultStats, TransferReport};
+pub use report::{ChunkStat, FaultStats, TransferReport, REPORT_SCHEMA_VERSION};
 pub use retry::{FaultRuntime, RetryPolicy};

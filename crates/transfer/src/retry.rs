@@ -22,7 +22,17 @@
 use crate::faults::{EpisodeStream, FaultCause, FaultPlan, SiteSide};
 use crate::report::FaultStats;
 use eadt_sim::{Bytes, SimDuration, SimRng, SimTime};
+use eadt_telemetry::{
+    BreakerState as EvBreakerState, EpisodeKind as EvEpisodeKind, Event, Side as EvSide,
+};
 use serde::{Deserialize, Serialize};
+
+fn ev_side(side: SiteSide) -> EvSide {
+    match side {
+        SiteSide::Src => EvSide::Src,
+        SiteSide::Dst => EvSide::Dst,
+    }
+}
 
 /// Backoff / budget / breaker parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -125,12 +135,16 @@ impl Breaker {
         }
     }
 
-    fn begin_slice(&mut self, now: SimTime) {
+    /// Advances the cooldown; returns true when the breaker transitioned
+    /// from open to half-open this slice.
+    fn begin_slice(&mut self, now: SimTime) -> bool {
         if let BreakerState::Open { until } = self.state {
             if now >= until {
                 self.state = BreakerState::HalfOpen;
+                return true;
             }
         }
+        false
     }
 
     /// Records a failure; returns true when the breaker newly opens.
@@ -150,11 +164,15 @@ impl Breaker {
         should_open
     }
 
-    fn record_success(&mut self) {
+    /// Clears the failure run; returns true when a half-open probe just
+    /// closed the breaker.
+    fn record_success(&mut self) -> bool {
         self.consecutive = 0;
         if matches!(self.state, BreakerState::HalfOpen) {
             self.state = BreakerState::Closed;
+            return true;
         }
+        false
     }
 
     /// Open means *avoid*; half-open deliberately reads as available so
@@ -183,6 +201,16 @@ pub struct FaultRuntime {
     stall_multiplier: f64,
     src_disk_factor: Vec<f64>,
     dst_disk_factor: Vec<f64>,
+    // Telemetry event capture (off by default, zero-cost when off). The
+    // `ev_*` vectors remember the last *reported* episode states so only
+    // transitions are emitted.
+    capture: bool,
+    events: Vec<Event>,
+    ev_src_outage: Vec<bool>,
+    ev_dst_outage: Vec<bool>,
+    ev_stall: bool,
+    ev_src_disk: Vec<bool>,
+    ev_dst_disk: Vec<bool>,
     /// Accumulated fault accounting, copied into the report at the end.
     pub stats: FaultStats,
 }
@@ -241,16 +269,49 @@ impl FaultRuntime {
             stall_multiplier: 1.0,
             src_disk_factor: vec![1.0; src_servers],
             dst_disk_factor: vec![1.0; dst_servers],
+            capture: false,
+            events: Vec::new(),
+            ev_src_outage: vec![false; src_servers],
+            ev_dst_outage: vec![false; dst_servers],
+            ev_stall: false,
+            ev_src_disk: vec![false; src_servers],
+            ev_dst_disk: vec![false; dst_servers],
             stats: FaultStats::default(),
             plan: plan.clone(),
         }
     }
 
+    /// Switches on telemetry event capture: breaker transitions and
+    /// fault-episode edges are buffered for [`FaultRuntime::take_events`].
+    pub fn capture_events(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    /// Returns (and clears) the buffered telemetry events.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Advances episode streams and breaker cooldowns to the start of a
     /// slice and refreshes the per-slice snapshot.
     pub fn begin_slice(&mut self, now: SimTime) {
-        for b in self.src_breakers.iter_mut().chain(&mut self.dst_breakers) {
-            b.begin_slice(now);
+        for (srv, b) in self.src_breakers.iter_mut().enumerate() {
+            if b.begin_slice(now) && self.capture {
+                self.events.push(Event::Breaker {
+                    side: EvSide::Src,
+                    server: srv as u32,
+                    state: EvBreakerState::HalfOpen,
+                });
+            }
+        }
+        for (srv, b) in self.dst_breakers.iter_mut().enumerate() {
+            if b.begin_slice(now) && self.capture {
+                self.events.push(Event::Breaker {
+                    side: EvSide::Dst,
+                    server: srv as u32,
+                    state: EvBreakerState::HalfOpen,
+                });
+            }
         }
         self.src_outage.iter_mut().for_each(|o| *o = false);
         self.dst_outage.iter_mut().for_each(|o| *o = false);
@@ -293,6 +354,57 @@ impl FaultRuntime {
             }
         }
         self.stats.disk_episodes = disk_windows;
+        if self.capture {
+            self.emit_episode_edges();
+        }
+    }
+
+    /// Diffs the per-slice episode snapshot against the last reported one
+    /// and buffers a `fault_episode` event per transition.
+    fn emit_episode_edges(&mut self) {
+        for (side, active, reported) in [
+            (EvSide::Src, &self.src_outage, &mut self.ev_src_outage),
+            (EvSide::Dst, &self.dst_outage, &mut self.ev_dst_outage),
+        ] {
+            for (srv, (&now_active, was)) in active.iter().zip(reported.iter_mut()).enumerate() {
+                if now_active != *was {
+                    *was = now_active;
+                    self.events.push(Event::FaultEpisode {
+                        kind: EvEpisodeKind::Outage,
+                        side: Some(side),
+                        server: Some(srv as u32),
+                        active: now_active,
+                    });
+                }
+            }
+        }
+        let stalled = self.stall_multiplier > 1.0;
+        if stalled != self.ev_stall {
+            self.ev_stall = stalled;
+            self.events.push(Event::FaultEpisode {
+                kind: EvEpisodeKind::Stall,
+                side: None,
+                server: None,
+                active: stalled,
+            });
+        }
+        for (side, factors, reported) in [
+            (EvSide::Src, &self.src_disk_factor, &mut self.ev_src_disk),
+            (EvSide::Dst, &self.dst_disk_factor, &mut self.ev_dst_disk),
+        ] {
+            for (srv, (&f, was)) in factors.iter().zip(reported.iter_mut()).enumerate() {
+                let now_active = f < 1.0;
+                if now_active != *was {
+                    *was = now_active;
+                    self.events.push(Event::FaultEpisode {
+                        kind: EvEpisodeKind::Disk,
+                        side: Some(side),
+                        server: Some(srv as u32),
+                        active: now_active,
+                    });
+                }
+            }
+        }
     }
 
     /// Samples a fresh time-to-failure when the plan has a channel model.
@@ -364,11 +476,25 @@ impl FaultRuntime {
                     && self.src_breakers[src_srv].record_failure(now, &self.plan.retry)
                 {
                     self.stats.breaker_opens += 1;
+                    if self.capture {
+                        self.events.push(Event::Breaker {
+                            side: EvSide::Src,
+                            server: src_srv as u32,
+                            state: EvBreakerState::Open,
+                        });
+                    }
                 }
                 if self.dst_outage.get(dst_srv).copied().unwrap_or(false)
                     && self.dst_breakers[dst_srv].record_failure(now, &self.plan.retry)
                 {
                     self.stats.breaker_opens += 1;
+                    if self.capture {
+                        self.events.push(Event::Breaker {
+                            side: EvSide::Dst,
+                            server: dst_srv as u32,
+                            state: EvBreakerState::Open,
+                        });
+                    }
                 }
             }
         }
@@ -382,7 +508,13 @@ impl FaultRuntime {
             SiteSide::Dst => self.dst_breakers.get_mut(server),
         };
         if let Some(b) = breaker {
-            b.record_success();
+            if b.record_success() && self.capture {
+                self.events.push(Event::Breaker {
+                    side: ev_side(side),
+                    server: server as u32,
+                    state: EvBreakerState::Closed,
+                });
+            }
         }
     }
 
