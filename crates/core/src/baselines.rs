@@ -239,7 +239,7 @@ impl BruteForce {
     /// `(level, report)` pairs in level order — the data behind the BF
     /// series of Figures 2c/3c/4c.
     pub fn sweep(&self, env: &TransferEnv, dataset: &Dataset) -> Vec<(u32, TransferReport)> {
-        (1..=self.max_channel)
+        (1..=self.max_channel.max(1))
             .map(|cc| {
                 let promc = ProMc {
                     concurrency: cc,
@@ -255,12 +255,8 @@ impl BruteForce {
     pub fn best(&self, env: &TransferEnv, dataset: &Dataset) -> (u32, TransferReport) {
         self.sweep(env, dataset)
             .into_iter()
-            .max_by(|a, b| {
-                a.1.efficiency()
-                    .partial_cmp(&b.1.efficiency())
-                    .expect("finite")
-            })
-            .expect("max_channel ≥ 1 yields at least one run")
+            .max_by(|a, b| a.1.efficiency().total_cmp(&b.1.efficiency()))
+            .expect("sweep over 1..=max_channel.max(1) yields at least one run")
     }
 }
 

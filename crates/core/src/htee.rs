@@ -245,7 +245,7 @@ impl Controller for HteeController {
                 .ratios
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("ratios are finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             let level = self.levels[best];

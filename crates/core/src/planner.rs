@@ -99,6 +99,20 @@ pub fn mine_allocation(link: &Link, chunks: &[Chunk], max_channel: u32) -> Vec<u
             k += 1;
         }
     }
+    // Auditor (Algorithm 1): the total never exceeds maxChannel except
+    // through the every-live-chunk-gets-one floor, and Large chunks stay
+    // pinned to a single channel.
+    if cfg!(feature = "debug-invariants") {
+        let total: u32 = out.iter().sum();
+        assert!(
+            total <= max_channel.max(1).max(n as u32),
+            "invariant: MinE allocated {total} channels with maxChannel={max_channel}, n={n}"
+        );
+        assert!(
+            out.iter().all(|&c| c >= 1),
+            "invariant: MinE starved a chunk: {out:?}"
+        );
+    }
     out
 }
 
@@ -157,6 +171,22 @@ pub fn linear_weight_allocation(chunks: &[Chunk], max_channel: u32) -> Vec<u32> 
 }
 
 fn allocation_by_weights(weights: &[f64], max_channel: u32) -> Vec<u32> {
+    let out = allocation_by_weights_impl(weights, max_channel);
+    // Auditor (Algorithms 2–3): the weight split spends the channel
+    // budget exactly — never more than maxChannel, never leaving
+    // channels idle while chunks wait.
+    if cfg!(feature = "debug-invariants") && !out.is_empty() {
+        let total: u32 = out.iter().sum();
+        assert_eq!(
+            total,
+            max_channel.max(1),
+            "invariant: weight allocation {out:?} does not spend maxChannel={max_channel}"
+        );
+    }
+    out
+}
+
+fn allocation_by_weights_impl(weights: &[f64], max_channel: u32) -> Vec<u32> {
     let n = weights.len();
     if n == 0 {
         return Vec::new();
@@ -174,7 +204,7 @@ fn allocation_by_weights(weights: &[f64], max_channel: u32) -> Vec<u32> {
     if (max_channel as usize) <= n {
         // Not enough channels for everyone: heaviest chunks first.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
         let mut out = vec![0u32; n];
         for &i in order.iter().take(max_channel as usize) {
             out[i] = 1;
@@ -192,7 +222,7 @@ fn allocation_by_weights(weights: &[f64], max_channel: u32) -> Vec<u32> {
         fractions.push((exact - floor as f64, i));
     }
     // Distribute (or claw back) the difference by fractional part / weight.
-    fractions.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
+    fractions.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut k = 0usize;
     while assigned < max_channel {
         out[fractions[k % n].1] += 1;
@@ -236,6 +266,11 @@ pub fn sla_allocation_live(
     rearranged: bool,
 ) -> Vec<u32> {
     let mut alloc = weight_allocation_live(chunks, live, max_channel);
+    let budget_spent: u32 = if cfg!(feature = "debug-invariants") {
+        alloc.iter().sum()
+    } else {
+        0
+    };
     if rearranged {
         return alloc;
     }
@@ -266,17 +301,26 @@ pub fn sla_allocation_live(
     let mut order: Vec<usize> = (0..chunks.len())
         .filter(|&i| live[i] && !is_large[i])
         .collect();
-    order.sort_by(|&a, &b| {
-        chunks[b]
-            .weight()
-            .partial_cmp(&chunks[a].weight())
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| chunks[b].weight().total_cmp(&chunks[a].weight()));
     let mut k = 0usize;
     while excess > 0 {
         alloc[order[k % order.len()]] += 1;
         excess -= 1;
         k += 1;
+    }
+    // Auditor (Algorithm 3): rearranging the Large-chunk cap moves
+    // channels, it never mints or burns them; and with the cap in force
+    // every Large chunk sits at one channel or less (dead chunks at 0).
+    if cfg!(feature = "debug-invariants") {
+        let total: u32 = alloc.iter().sum();
+        assert_eq!(
+            total, budget_spent,
+            "invariant: SLAEE rearrangement changed the channel total"
+        );
+        assert!(
+            is_large.iter().zip(&alloc).all(|(&lg, &a)| !lg || a <= 1),
+            "invariant: SLAEE left a Large chunk above one channel: {alloc:?}"
+        );
     }
     alloc
 }

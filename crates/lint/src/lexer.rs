@@ -1,0 +1,322 @@
+//! A minimal Rust tokenizer for lint rules.
+//!
+//! The rules only need identifiers, punctuation and (occasionally) string
+//! literal *positions* — never their contents — so the lexer collapses
+//! comments, string/char/byte literals and numbers into opaque tokens.
+//! That is what makes the rules sound against `// HashMap` in prose or
+//! `"unwrap()"` inside a message string: neither survives tokenization as
+//! an identifier.
+//!
+//! Handled explicitly:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments, including doc
+//!   comments;
+//! * string, raw string (`r"…"`, `r#"…"#`, any guard depth), byte string
+//!   and char literals, with escape sequences;
+//! * lifetimes vs. char literals (`'a` is a lifetime, `'a'` a char);
+//! * identifiers (including raw `r#ident`) and numeric literals.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `{`, …).
+    Punct(char),
+    /// A string literal; the payload is the *decoded* text (escapes kept
+    /// raw — rules never need them).
+    Str(String),
+    /// A char or byte literal (contents dropped).
+    CharLit,
+    /// A numeric literal (contents dropped).
+    Num,
+    /// A lifetime such as `'a` (name dropped).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Spanned {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+
+    /// True when the token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Tokenizes Rust source. Unterminated literals simply end the stream —
+/// lint rules prefer degrading gracefully over erroring on exotic input.
+pub fn tokenize(src: &str) -> Vec<Spanned> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start = line;
+                let (text, ni, nl) = scan_string(&b, i + 1, line);
+                out.push(Spanned {
+                    tok: Tok::Str(text),
+                    line: start,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = line;
+                let (text, ni, nl) = scan_raw_or_byte(&b, i, line);
+                out.push(Spanned {
+                    tok: Tok::Str(text),
+                    line: start,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime if followed by ident-start NOT closed by a quote
+                // right after one char (i.e. `'a` vs `'a'`).
+                let is_lifetime = b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    i += 2;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Spanned {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    let start = line;
+                    i += 1;
+                    while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\\' {
+                            i += 1;
+                        }
+                        if i < b.len() && b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.push(Spanned {
+                        tok: Tok::CharLit,
+                        line: start,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                    // `1..=9` range: stop before a second consecutive dot.
+                    if b[i] == '.' && b.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c => {
+                out.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans the body of a `"…"` string starting just past the opening quote.
+/// Returns `(text, next index, line after)`.
+fn scan_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut text = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, line)
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `br"`, `br#` — a raw or
+/// byte string rather than an identifier beginning with `r`/`b`.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && b.get(j) == Some(&'"')
+}
+
+/// Scans a raw/byte string starting at its `r`/`b` prefix.
+fn scan_raw_or_byte(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    if b[i] == 'b' {
+        i += 1;
+    }
+    let mut guards = 0usize;
+    let raw = b.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+        while b.get(i) == Some(&'#') {
+            guards += 1;
+            i += 1;
+        }
+    }
+    i += 1; // opening quote
+    let mut text = String::new();
+    while i < b.len() {
+        if !raw && b[i] == '\\' {
+            i += 2;
+            continue;
+        }
+        if b[i] == '"' {
+            // Raw strings close only on `"` followed by `guards` hashes.
+            let closes = !raw || guards == 0 || (1..=guards).all(|k| b.get(i + k) == Some(&'#'));
+            if closes {
+                i += 1 + guards;
+                break;
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        text.push(b[i]);
+        i += 1;
+    }
+    (text, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let x = "HashMap in a string";
+            let y = r#"raw HashMap"#;
+            let z = 'H';
+        "##;
+        assert!(!idents(src).iter().any(|s| s == "HashMap"));
+    }
+
+    #[test]
+    fn identifiers_and_lines_are_tracked() {
+        let toks = tokenize("fn main() {\n    foo.unwrap()\n}\n");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = tokenize(src);
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+        assert!(toks.iter().any(|t| t.tok == Tok::CharLit));
+        assert_eq!(
+            toks.iter().filter(|t| t.tok == Tok::Lifetime).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn string_payload_is_kept_for_schema_parsing() {
+        let toks = tokenize(r#"Event::RunStart { .. } => "run_start","#);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "run_start")));
+    }
+
+    #[test]
+    fn numeric_range_does_not_swallow_dots() {
+        let toks = tokenize("for i in 0..=9 { }");
+        assert!(toks.iter().filter(|t| t.is_punct('.')).count() >= 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! `eadt-lint` — the workspace conformance analyzer.
+//!
+//! A dependency-free, token-level static-analysis pass that walks every
+//! workspace crate (excluding `vendor/`) and enforces the repo's
+//! machine-checkable invariants (DESIGN.md §10):
+//!
+//! * **determinism** — no `HashMap`/`HashSet`, no `Instant::now` /
+//!   `SystemTime`, no `thread_rng` / `rand::random` anywhere;
+//! * **robustness** — no `unwrap()` / `expect()` / `panic!` in the
+//!   non-test library code of `core`, `transfer` and `telemetry`;
+//! * **schema** — every telemetry `Event` variant documented,
+//!   field-for-field, in the DESIGN.md §9 JSONL schema table.
+//!
+//! Known violations burn down explicitly through `lint-allow.toml`.
+//! Run it as `cargo run -p eadt-lint -- --deny-warnings` (the CI
+//! `lint-conformance` job does exactly that).
+
+#![deny(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use allow::Allowlist;
+use rules::Violation;
+use std::path::Path;
+
+/// Location of the telemetry event definitions, relative to the repo root.
+pub const EVENT_RS: &str = "crates/telemetry/src/event.rs";
+/// Location of the schema documentation, relative to the repo root.
+pub const DESIGN_MD: &str = "DESIGN.md";
+/// Location of the allowlist, relative to the repo root.
+pub const ALLOW_TOML: &str = "lint-allow.toml";
+
+/// Outcome of a full analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by `lint-allow.toml`.
+    pub allowed: Vec<Violation>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Fails with a message (not a panic) when the workspace cannot be read
+/// or the allowlist cannot be parsed.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let allowlist = match std::fs::read_to_string(root.join(ALLOW_TOML)) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(format!("{ALLOW_TOML}: {e}")),
+    };
+    let sources = walk::collect_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut raw: Vec<Violation> = Vec::new();
+
+    for file in &sources {
+        let toks = lexer::tokenize(&file.text);
+        raw.extend(rules::determinism::check(&file.rel_path, &toks));
+        if rules::robustness::CHECKED_CRATES.contains(&file.crate_name()) && !file.is_test_code() {
+            raw.extend(rules::robustness::check(&file.rel_path, &toks));
+        }
+    }
+
+    let design =
+        std::fs::read_to_string(root.join(DESIGN_MD)).map_err(|e| format!("{DESIGN_MD}: {e}"))?;
+    match sources.iter().find(|f| f.rel_path == EVENT_RS) {
+        Some(event_file) => {
+            raw.extend(rules::schema::check(
+                &event_file.text,
+                EVENT_RS,
+                &design,
+                DESIGN_MD,
+            ));
+        }
+        None => raw.push(Violation {
+            rule: "schema",
+            path: EVENT_RS.to_string(),
+            line: 0,
+            message: "telemetry event definitions not found — schema lint cannot run".into(),
+        }),
+    }
+
+    // Apply the allowlist: an entry covers a violation when rule and path
+    // match and the source line contains the entry's context.
+    let mut report = Report {
+        files: sources.len(),
+        ..Report::default()
+    };
+    for v in raw {
+        let line_text = if v.path == DESIGN_MD {
+            line_of(&design, v.line)
+        } else {
+            sources
+                .iter()
+                .find(|f| f.rel_path == v.path)
+                .map(|f| line_of(&f.text, v.line))
+                .unwrap_or_default()
+        };
+        if allowlist.covers(v.rule, &v.path, &line_text) {
+            report.allowed.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// The 1-based `line` of `text`, or empty when out of range.
+fn line_of(text: &str, line: u32) -> String {
+    if line == 0 {
+        return String::new();
+    }
+    text.lines()
+        .nth(line as usize - 1)
+        .unwrap_or_default()
+        .to_string()
+}

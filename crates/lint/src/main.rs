@@ -1,0 +1,101 @@
+//! CLI entry point: `cargo run -p eadt-lint -- [--deny-warnings] [--root DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+eadt-lint — workspace conformance analyzer
+
+USAGE:
+    cargo run -p eadt-lint -- [OPTIONS]
+
+OPTIONS:
+    --deny-warnings    Exit non-zero when any violation is found (CI mode)
+    --root DIR         Workspace root to analyze (default: ancestor of this
+                       crate containing Cargo.lock, else the working dir)
+    --list-allow       Print the active allowlist entries and exit
+    --help             Show this help
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_allow = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--list-allow" => list_allow = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    if list_allow {
+        let text = std::fs::read_to_string(root.join(eadt_lint::ALLOW_TOML)).unwrap_or_default();
+        match eadt_lint::allow::Allowlist::parse(&text) {
+            Ok(list) => {
+                for e in &list.entries {
+                    println!("[{}] {} ({}): {}", e.rule, e.path, e.context, e.reason);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match eadt_lint::run(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            println!(
+                "eadt-lint: {} files, {} violation(s), {} allowlisted",
+                report.files,
+                report.violations.len(),
+                report.allowed.len()
+            );
+            if deny && !report.violations.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The repo root: nearest ancestor of this crate's manifest dir holding a
+/// `Cargo.lock` (so `cargo run -p eadt-lint` works from anywhere in the
+/// workspace), falling back to the current directory.
+fn default_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

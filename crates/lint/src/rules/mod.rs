@@ -1,0 +1,195 @@
+//! Lint rules and their shared plumbing.
+//!
+//! Three rule families, mirroring the repo's invariants:
+//!
+//! * [`determinism`] — no ambient time, no ambient randomness, no
+//!   iteration-order-unstable collections anywhere in workspace code;
+//! * [`robustness`] — no `unwrap()` / `expect()` / `panic!` in the
+//!   non-test library code of the crates on the transfer hot path;
+//! * [`schema`] — every telemetry `Event` variant stays documented in the
+//!   DESIGN.md §9 JSONL schema table, field-for-field.
+
+pub mod determinism;
+pub mod robustness;
+pub mod schema;
+
+use crate::lexer::{Spanned, Tok};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule family id (`determinism`, `robustness`, `schema`).
+    pub rule: &'static str,
+    /// Repo-relative path the finding is in.
+    pub path: String,
+    /// 1-based line, or 0 when the finding is file-level.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warning[{}]: {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Computes a per-token mask of code gated behind tests: the item that
+/// follows a `#[test]` / `#[cfg(test)]` / `#[cfg(all(test, …))]`
+/// attribute, through its balanced `{ … }` body (or its terminating `;`
+/// for declarations such as `mod proptests;`).
+///
+/// `#[cfg(not(test))]` and other `not`-containing gates are treated as
+/// non-test code.
+pub fn test_code_mask(toks: &[Spanned]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, gated) = scan_attribute(toks, i + 1);
+            if gated {
+                // Mark everything from the attribute through the item body.
+                let body_end = item_end(toks, attr_end);
+                for m in mask.iter_mut().take(body_end).skip(i) {
+                    *m = true;
+                }
+                i = body_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans a `[ … ]` attribute starting at its opening bracket. Returns the
+/// index just past the closing bracket and whether the attribute gates the
+/// following item behind tests.
+fn scan_attribute(toks: &[Spanned], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            Tok::Ident(s) if s == "test" => has_test = true,
+            Tok::Ident(s) if s == "not" => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+/// Given the index just past a test-gating attribute, returns the index
+/// just past the gated item: past the matching `}` of its first brace
+/// block, or past a `;` that arrives before any brace (declarations).
+/// Further attributes between the gate and the item are skipped.
+fn item_end(toks: &[Spanned], mut i: usize) -> usize {
+    // Skip stacked attributes (e.g. `#[test] #[ignore]`).
+    while i < toks.len()
+        && toks[i].is_punct('#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attribute(toks, i + 1);
+        i = end;
+    }
+    let mut j = i;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct(';') => return j + 1,
+            Tok::Punct('{') => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return j + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return j;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let toks = tokenize(src);
+        let mask = test_code_mask(&toks);
+        toks.iter()
+            .zip(&mask)
+            .filter_map(|(t, &m)| match &t.tok {
+                Tok::Ident(s) => Some((s.clone(), m)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = r#"
+            fn live() { work(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { gadget(); }
+            }
+            fn also_live() { more(); }
+        "#;
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(s, _)| s == name).unwrap().1;
+        assert!(!get("work"));
+        assert!(get("gadget"));
+        assert!(!get("more"));
+    }
+
+    #[test]
+    fn test_fn_and_mod_declaration_are_masked() {
+        let src = "#[cfg(test)]\nmod proptests;\n#[test]\nfn t() { probe(); }\nfn f() { live(); }";
+        let ids = masked_idents(src);
+        let get = |name: &str| ids.iter().find(|(s, _)| s == name).unwrap().1;
+        assert!(get("proptests"));
+        assert!(get("probe"));
+        assert!(!get("live"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn f() { live(); }";
+        let ids = masked_idents(src);
+        assert!(!ids.iter().find(|(s, _)| s == "live").unwrap().1);
+    }
+
+    #[test]
+    fn cfg_all_test_feature_is_masked() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod heavy { fn x() { inner(); } }";
+        let ids = masked_idents(src);
+        assert!(ids.iter().find(|(s, _)| s == "inner").unwrap().1);
+    }
+}

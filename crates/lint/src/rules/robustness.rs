@@ -1,0 +1,116 @@
+//! Robustness lints.
+//!
+//! The crates on the transfer hot path (`core`, `transfer`, `telemetry`)
+//! must not abort: a panic mid-slice tears down an entire experiment
+//! sweep and, in the ROADMAP's production framing, an entire service
+//! shard. Library code there returns typed errors or picks a documented
+//! fallback; `unwrap()` / `expect()` / `panic!` are reserved for test
+//! code. Known stragglers burn down through `lint-allow.toml`, each with
+//! a reason.
+
+use super::{test_code_mask, Violation};
+use crate::lexer::{Spanned, Tok};
+
+/// Crates whose non-test library code the rule applies to.
+pub const CHECKED_CRATES: &[&str] = &["core", "transfer", "telemetry"];
+
+/// Runs the robustness lints over one file's token stream. Token spans
+/// gated behind `#[cfg(test)]` / `#[test]` are skipped.
+pub fn check(path: &str, toks: &[Spanned]) -> Vec<Violation> {
+    let mask = test_code_mask(toks);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let method_call = i > 0 && toks[i - 1].is_punct('.');
+        let finding = match name.as_str() {
+            "unwrap" if method_call && is_call(toks, i) => Some(
+                "`.unwrap()` in library code: return a typed error or pick a documented fallback",
+            ),
+            "expect" if method_call && is_call(toks, i) => Some(
+                "`.expect()` in library code: return a typed error or pick a documented fallback",
+            ),
+            "panic" if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) => {
+                Some("`panic!` in library code: return a typed error instead of aborting")
+            }
+            _ => None,
+        };
+        if let Some(message) = finding {
+            out.push(Violation {
+                rule: "robustness",
+                path: path.to_string(),
+                line: t.line,
+                message: message.into(),
+            });
+        }
+    }
+    out
+}
+
+/// True when the identifier at `i` opens a call (`name(`), which keeps
+/// field accesses and paths like `policy.unwrap_config` unflagged (those
+/// are different identifiers anyway) and skips bare mentions in attrs.
+fn is_call(toks: &[Spanned], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check("crates/core/src/x.rs", &tokenize(src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_in_library_code() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a + b == 0 { panic!("impossible"); }
+                a
+            }
+        "#;
+        let v = run(src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[2].line, 5);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+            fn lib() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert_eq!(super::lib(), Some(1).unwrap()); }
+            }
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn fallbacks_and_lookalikes_pass() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap_or(0);
+                let b = x.unwrap_or_else(|| 1);
+                let s = "call .unwrap() they said"; // strings and comments are fine
+                a + b
+            }
+        "#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn asserts_are_not_flagged() {
+        // assert!/debug_assert! state contracts; the rule targets aborts
+        // used as error handling.
+        assert!(run("fn f(n: u32) { assert!(n > 0); debug_assert_eq!(n, n); }").is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Telemetry schema-exhaustiveness lint.
+//!
+//! The JSONL journal schema is a public contract: external readers parse
+//! it, and the DESIGN.md §9 table is its only specification. This rule
+//! cross-checks the `Event` enum in `crates/telemetry/src/event.rs`
+//! against that table so a new event variant (or a renamed field) cannot
+//! ship undocumented:
+//!
+//! * every `ev` tag produced by `Event::tag()` must have a table row;
+//! * every table row must correspond to a live tag (no stale docs);
+//! * the backticked field names of each row must match the variant's
+//!   field names exactly (a `?` suffix marks optional fields and is
+//!   ignored for the comparison).
+
+use super::Violation;
+use crate::lexer::{tokenize, Spanned, Tok};
+use std::collections::BTreeMap;
+
+/// An `Event` variant as parsed from source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant identifier (`RunStart`).
+    pub name: String,
+    /// Field names in declaration order.
+    pub fields: Vec<String>,
+    /// 1-based line of the variant in `event.rs`.
+    pub line: u32,
+}
+
+/// One row of the DESIGN.md schema table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocRow {
+    /// Tags the row documents (a row may cover several related tags).
+    pub tags: Vec<String>,
+    /// Documented field names, `?` suffixes stripped.
+    pub fields: Vec<String>,
+    /// 1-based line of the row in DESIGN.md.
+    pub line: u32,
+}
+
+/// Runs the schema lint: `event_src` is `crates/telemetry/src/event.rs`,
+/// `design_src` is DESIGN.md; the paths label the violations.
+pub fn check(
+    event_src: &str,
+    event_path: &str,
+    design_src: &str,
+    design_path: &str,
+) -> Vec<Violation> {
+    let toks = tokenize(event_src);
+    let mut out = Vec::new();
+    let variants = parse_event_variants(&toks);
+    let tags = parse_tag_map(&toks);
+    if variants.is_empty() || tags.is_empty() {
+        out.push(Violation {
+            rule: "schema",
+            path: event_path.to_string(),
+            line: 0,
+            message: "could not locate `enum Event` and its `fn tag` — schema lint cannot run"
+                .into(),
+        });
+        return out;
+    }
+    let rows = parse_doc_rows(design_src);
+    if rows.is_empty() {
+        out.push(Violation {
+            rule: "schema",
+            path: design_path.to_string(),
+            line: 0,
+            message: "could not locate the §9 event-schema table in DESIGN.md".into(),
+        });
+        return out;
+    }
+
+    let mut doc_by_tag: BTreeMap<&str, &DocRow> = BTreeMap::new();
+    for row in &rows {
+        for tag in &row.tags {
+            doc_by_tag.insert(tag, row);
+        }
+    }
+    let variant_by_name: BTreeMap<&str, &Variant> =
+        variants.iter().map(|v| (v.name.as_str(), v)).collect();
+
+    // Every code tag must be documented, with matching fields.
+    for (variant, tag) in &tags {
+        let Some(v) = variant_by_name.get(variant.as_str()) else {
+            continue; // unreachable if event.rs compiles
+        };
+        match doc_by_tag.get(tag.as_str()) {
+            None => out.push(Violation {
+                rule: "schema",
+                path: event_path.to_string(),
+                line: v.line,
+                message: format!(
+                    "event `{tag}` (variant `{variant}`) has no row in the DESIGN.md §9 schema table"
+                ),
+            }),
+            Some(row) => {
+                let mut code: Vec<&str> = v.fields.iter().map(String::as_str).collect();
+                let mut doc: Vec<&str> = row.fields.iter().map(String::as_str).collect();
+                code.sort_unstable();
+                doc.sort_unstable();
+                if code != doc {
+                    let missing: Vec<&&str> = code.iter().filter(|f| !doc.contains(f)).collect();
+                    let stale: Vec<&&str> = doc.iter().filter(|f| !code.contains(f)).collect();
+                    out.push(Violation {
+                        rule: "schema",
+                        path: design_path.to_string(),
+                        line: row.line,
+                        message: format!(
+                            "schema row for `{tag}` is out of sync with variant `{variant}`: \
+                             undocumented fields {missing:?}, stale doc fields {stale:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Every doc row must refer to a live tag.
+    let live_tags: Vec<&str> = tags.iter().map(|(_, t)| t.as_str()).collect();
+    for row in &rows {
+        for tag in &row.tags {
+            if !live_tags.contains(&tag.as_str()) {
+                out.push(Violation {
+                    rule: "schema",
+                    path: design_path.to_string(),
+                    line: row.line,
+                    message: format!(
+                        "schema table documents `{tag}`, which no `Event` variant produces"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Parses `enum Event`'s variants and their field names.
+pub fn parse_event_variants(toks: &[Spanned]) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // Find `enum Event {`.
+    while i < toks.len() {
+        if toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident("Event")) {
+            break;
+        }
+        i += 1;
+    }
+    while i < toks.len() && !toks[i].is_punct('{') {
+        i += 1;
+    }
+    if i >= toks.len() {
+        return out;
+    }
+    i += 1; // into the enum body
+    while i < toks.len() && !toks[i].is_punct('}') {
+        // Skip variant attributes such as `#[serde(default)]`.
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0i32;
+            i += 1;
+            while i < toks.len() {
+                match &toks[i].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        let mut v = Variant {
+            name: name.clone(),
+            fields: Vec::new(),
+            line: toks[i].line,
+        };
+        i += 1;
+        if i < toks.len() && toks[i].is_punct('{') {
+            let mut depth = 0i32;
+            let mut expect_field = true;
+            while i < toks.len() {
+                match &toks[i].tok {
+                    Tok::Punct('{') | Tok::Punct('<') | Tok::Punct('(') => depth += 1,
+                    Tok::Punct('}') | Tok::Punct('>') | Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Tok::Punct(',') if depth == 1 => expect_field = true,
+                    Tok::Ident(f)
+                        if depth == 1
+                            && expect_field
+                            && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) =>
+                    {
+                        v.fields.push(f.clone());
+                        expect_field = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        out.push(v);
+        // Skip the trailing comma, if any.
+        if i < toks.len() && toks[i].is_punct(',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses the `fn tag` match arms into `(variant, tag)` pairs.
+pub fn parse_tag_map(toks: &[Spanned]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("tag")) {
+            break;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return out;
+    }
+    // Within the function body: `Event :: Name { .. } => "tag"`.
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s)
+                if s == "Event"
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':')) =>
+            {
+                if let Some(Tok::Ident(variant)) = toks.get(i + 3).map(|t| &t.tok) {
+                    // The tag literal is the next string token.
+                    let mut j = i + 4;
+                    while j < toks.len() {
+                        if let Tok::Str(tag) = &toks[j].tok {
+                            out.push((variant.clone(), tag.clone()));
+                            break;
+                        }
+                        if toks[j].is_ident("Event") {
+                            break; // next arm started without a string
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the §9 schema table rows out of DESIGN.md.
+pub fn parse_doc_rows(design: &str) -> Vec<DocRow> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (ln, line) in design.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_section = rest.trim_start().starts_with("9.") || rest.trim_start() == "9";
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let tags = backticked(cells[0]);
+        if tags.is_empty() || cells[0].contains("---") || tags[0] == "tag" {
+            continue; // separator or header row
+        }
+        let fields = backticked(cells[2])
+            .into_iter()
+            .map(|f| f.trim_end_matches('?').to_string())
+            .collect();
+        out.push(DocRow {
+            tags,
+            fields,
+            line: (ln + 1) as u32,
+        });
+    }
+    out
+}
+
+/// Extracts backtick-quoted spans from a markdown cell.
+fn backticked(cell: &str) -> Vec<String> {
+    cell.split('`')
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, s)| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVENT_SRC: &str = r#"
+        pub enum Event {
+            RunStart { schema: u32, seed: u64 },
+            StageStart { stage: u32 },
+            FaultEpisode { side: Option<Side>, active: bool },
+        }
+        impl Event {
+            pub fn tag(&self) -> &'static str {
+                match self {
+                    Event::RunStart { .. } => "run_start",
+                    Event::StageStart { .. } => "stage_start",
+                    Event::FaultEpisode { .. } => "fault_episode",
+                }
+            }
+        }
+    "#;
+
+    const GOOD_DOC: &str = "\
+## 9. Telemetry
+
+| tag | emitted by | fields |
+|---|---|---|
+| `run_start` | tracer | `schema`, `seed` |
+| `stage_start` | engine | `stage` |
+| `fault_episode` | runtime | `side?`, `active` |
+
+## 10. Next
+";
+
+    #[test]
+    fn in_sync_schema_passes() {
+        let v = check(EVENT_SRC, "event.rs", GOOD_DOC, "DESIGN.md");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn deleting_a_doc_row_is_flagged() {
+        let doc = GOOD_DOC.replace("| `stage_start` | engine | `stage` |\n", "");
+        let v = check(EVENT_SRC, "event.rs", &doc, "DESIGN.md");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stage_start"));
+        assert_eq!(v[0].path, "event.rs");
+    }
+
+    #[test]
+    fn stale_doc_rows_and_field_drift_are_flagged() {
+        let doc = GOOD_DOC
+            .replace("`schema`, `seed`", "`schema`, `seeds`")
+            .replace("## 10. Next", "| `ghost` | nobody | `x` |\n\n## 10. Next");
+        let v = check(EVENT_SRC, "event.rs", &doc, "DESIGN.md");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("out of sync")));
+        assert!(v.iter().any(|v| v.message.contains("ghost")));
+    }
+
+    #[test]
+    fn optional_marker_and_generics_are_handled() {
+        let toks = tokenize(EVENT_SRC);
+        let vars = parse_event_variants(&toks);
+        assert_eq!(vars.len(), 3);
+        assert_eq!(vars[2].fields, vec!["side", "active"]);
+        let rows = parse_doc_rows(GOOD_DOC);
+        assert_eq!(rows[2].fields, vec!["side", "active"]);
+    }
+}

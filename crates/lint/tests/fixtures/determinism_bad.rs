@@ -1,0 +1,22 @@
+// Fixture: every determinism violation the rule must catch.
+// NOT compiled — consumed as text by tests/rules.rs.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+    rand::random()
+}
+
+fn cache() -> HashMap<u32, HashSet<u32>> {
+    HashMap::new()
+}

@@ -1,0 +1,17 @@
+// Fixture: determinism-clean code, including the traps the lexer must
+// not fall into (forbidden names in comments, strings and doc text).
+// NOT compiled — consumed as text by tests/rules.rs.
+
+//! No `HashMap` iteration order, no `Instant::now` — prose only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Explains why we avoid HashMap and thread_rng (mentioning them is fine).
+fn seeded(seed: u64) -> u64 {
+    let note = "rand::random and SystemTime are banned";
+    let map: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let _ = (note, map);
+    // A type named Instant may pass through signatures; only the clock
+    // read is forbidden.
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,11 @@
+// Fixture: every robustness violation the rule must catch in library
+// code. NOT compiled — consumed as text by tests/rules.rs.
+
+fn lib_code(x: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("should be fine");
+    if a + b == 0 {
+        panic!("cannot happen");
+    }
+    a + b
+}

@@ -1,0 +1,23 @@
+// Fixture: robustness-clean library code plus the exemptions: test
+// modules, #[test] fns, lookalike methods, strings and contracts.
+// NOT compiled — consumed as text by tests/rules.rs.
+
+fn lib_code(x: Option<u32>) -> u32 {
+    assert!(x.is_none() || x >= Some(1), "contract, not error handling");
+    let hint = ".unwrap() and panic! in a string are fine";
+    let _ = hint;
+    x.unwrap_or_default().max(x.unwrap_or(1))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), 1);
+        v.first().expect("non-empty");
+        if v.is_empty() {
+            panic!("empty");
+        }
+    }
+}

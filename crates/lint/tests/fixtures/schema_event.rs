@@ -1,0 +1,39 @@
+// Fixture: a miniature telemetry event module in the same shape as
+// crates/telemetry/src/event.rs. NOT compiled — consumed as text by
+// tests/rules.rs against the schema_design_*.md fixtures.
+
+/// One typed simulation event.
+pub enum Event {
+    /// Run began.
+    RunStart {
+        /// Schema version.
+        schema: u32,
+        /// Dataset seed.
+        seed: u64,
+    },
+    /// A probe window finished.
+    ProbeWindow {
+        /// Concurrency level probed.
+        level: u32,
+        /// Mean throughput, Mbps.
+        mbps: f64,
+    },
+    /// A fault-episode window opened or closed.
+    FaultEpisode {
+        /// Site of the affected server (absent for path-wide stalls).
+        side: Option<u32>,
+        /// True when the window opened.
+        active: bool,
+    },
+}
+
+impl Event {
+    /// Stable journal tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::ProbeWindow { .. } => "probe_window",
+            Event::FaultEpisode { .. } => "fault_episode",
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Fixture-driven tests: one positive and one negative source per lint
+//! rule. The fixtures under `tests/fixtures/` are plain text to the lint
+//! pass (never compiled) and plain text to cargo (subdirectories of
+//! `tests/` are not test targets).
+
+use eadt_lint::lexer::tokenize;
+use eadt_lint::rules::{determinism, robustness, schema};
+
+const DET_BAD: &str = include_str!("fixtures/determinism_bad.rs");
+const DET_OK: &str = include_str!("fixtures/determinism_ok.rs");
+const ROB_BAD: &str = include_str!("fixtures/robustness_bad.rs");
+const ROB_OK: &str = include_str!("fixtures/robustness_ok.rs");
+const SCHEMA_EVENT: &str = include_str!("fixtures/schema_event.rs");
+const SCHEMA_OK: &str = include_str!("fixtures/schema_design_ok.md");
+const SCHEMA_BAD: &str = include_str!("fixtures/schema_design_bad.md");
+
+#[test]
+fn determinism_fixture_catches_every_forbidden_construct() {
+    let v = determinism::check("fixture.rs", &tokenize(DET_BAD));
+    let messages: Vec<&str> = v.iter().map(|v| v.message.as_str()).collect();
+    for needle in [
+        "`HashMap`",
+        "`HashSet`",
+        "`Instant::now`",
+        "`SystemTime`",
+        "`thread_rng`",
+        "`rand::random`",
+    ] {
+        assert!(
+            messages.iter().any(|m| m.contains(needle)),
+            "missing {needle} in {messages:#?}"
+        );
+    }
+    // 3 HashMap + 2 HashSet + 1 Instant::now + 2 SystemTime + 1
+    // thread_rng + 1 rand::random.
+    assert_eq!(v.len(), 10, "{v:#?}");
+}
+
+#[test]
+fn determinism_fixture_negative_is_clean() {
+    let v = determinism::check("fixture.rs", &tokenize(DET_OK));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn robustness_fixture_catches_unwrap_expect_panic() {
+    let v = robustness::check("crates/core/src/fixture.rs", &tokenize(ROB_BAD));
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(v[0].message.contains("unwrap"));
+    assert!(v[1].message.contains("expect"));
+    assert!(v[2].message.contains("panic"));
+}
+
+#[test]
+fn robustness_fixture_negative_is_clean() {
+    let v = robustness::check("crates/core/src/fixture.rs", &tokenize(ROB_OK));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn schema_fixture_in_sync_is_clean() {
+    let v = schema::check(SCHEMA_EVENT, "event.rs", SCHEMA_OK, "DESIGN.md");
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn schema_fixture_detects_missing_row_field_drift_and_ghost() {
+    let v = schema::check(SCHEMA_EVENT, "event.rs", SCHEMA_BAD, "DESIGN.md");
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(v
+        .iter()
+        .any(|v| v.path == "event.rs" && v.message.contains("probe_window")));
+    assert!(v
+        .iter()
+        .any(|v| v.message.contains("run_start") && v.message.contains("seed_value")));
+    assert!(v.iter().any(|v| v.message.contains("ghost_event")));
+}

@@ -1,0 +1,60 @@
+//! The live workspace must pass its own conformance pass: this is the
+//! in-tree twin of CI's `lint-conformance` job, so a violation fails
+//! `cargo test` before it ever reaches CI.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // repo root
+    dir
+}
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let report = eadt_lint::run(&workspace_root()).expect("lint pass runs");
+    assert!(
+        report.files > 50,
+        "walker found only {} files — wrong root?",
+        report.files
+    );
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_still_cover_something() {
+    // A stale allowlist entry (its violation was fixed) should be removed;
+    // surfacing that keeps the burn-down honest. The rng.rs determinism
+    // grant is charter-style (it sanctions the file as the RNG home even
+    // while no primitive is used), so it is exempt from the staleness
+    // check.
+    let report = eadt_lint::run(&workspace_root()).expect("lint pass runs");
+    let text = std::fs::read_to_string(workspace_root().join(eadt_lint::ALLOW_TOML))
+        .expect("allowlist exists");
+    let list = eadt_lint::allow::Allowlist::parse(&text).expect("allowlist parses");
+    for entry in list
+        .entries
+        .iter()
+        .filter(|e| e.path != "crates/sim/src/rng.rs")
+    {
+        assert!(
+            report
+                .allowed
+                .iter()
+                .any(|v| v.rule == entry.rule && v.path == entry.path),
+            "stale allowlist entry: [{}] {} — the violation it covered is gone, remove it",
+            entry.rule,
+            entry.path
+        );
+    }
+}

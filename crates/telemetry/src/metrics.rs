@@ -34,7 +34,7 @@ pub struct Histogram {
 
 impl Histogram {
     fn new(mut bounds: Vec<f64>) -> Self {
-        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite histogram bounds"));
+        bounds.sort_by(f64::total_cmp);
         let n = bounds.len();
         Histogram {
             bounds,

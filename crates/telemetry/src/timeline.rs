@@ -107,7 +107,7 @@ pub fn render_timeline(journal: &Journal, width: usize) -> String {
                 ' '
             } else {
                 match tr.count_at(hi.saturating_sub(1)) {
-                    n @ 0..=9 => char::from_digit(n, 10).unwrap(),
+                    n @ 0..=9 => char::from_digit(n, 10).unwrap_or('+'),
                     _ => '+',
                 }
             };

@@ -129,11 +129,12 @@ impl ChunkState {
             // Prefer dropping idle channels.
             if let Some(idx) = self.channels.iter().position(|c| c.current.is_none()) {
                 self.channels.swap_remove(idx);
-            } else {
-                let ch = self.channels.pop().expect("len > target ≥ 0");
+            } else if let Some(ch) = self.channels.pop() {
                 if let Some(fp) = ch.current {
                     self.queue.push_front(fp);
                 }
+            } else {
+                break; // len > target ≥ 0 makes this unreachable
             }
         }
     }
@@ -195,6 +196,12 @@ impl<'a> Engine<'a> {
         let mut concurrency_series = TimeSeries::new();
         let requested = plan.total_bytes();
 
+        // Invariant-auditor state (DESIGN.md §10). The `cfg!` guards make
+        // every update and assertion compile away without the
+        // `debug-invariants` feature, keeping the hot loop untouched.
+        let mut audit_gross = Bytes::ZERO;
+        let mut audit_stage_requested = Bytes::ZERO;
+
         // Telemetry wiring. `journaling` is the single branch every event
         // hook reduces to when telemetry is off.
         let journaling = tel.journaling();
@@ -230,6 +237,10 @@ impl<'a> Engine<'a> {
                     target: cp.channels,
                 })
                 .collect();
+
+            if cfg!(feature = "debug-invariants") {
+                audit_stage_requested += chunks.iter().map(|c| c.total_bytes).sum();
+            }
 
             if journaling {
                 tel.record(
@@ -561,8 +572,9 @@ impl<'a> Engine<'a> {
                     dst_moved[dst_assign[i]] += moved;
                     if let Some(g) = &gauges {
                         if working[i] {
-                            let m = tel.metrics().expect("gauges imply metrics");
-                            m.observe(g.channel_mbps, moved.as_f64() * 8.0 / slice_secs / 1e6);
+                            if let Some(m) = tel.metrics() {
+                                m.observe(g.channel_mbps, moved.as_f64() * 8.0 / slice_secs / 1e6);
+                            }
                         }
                     }
                 }
@@ -586,6 +598,9 @@ impl<'a> Engine<'a> {
                     }
                 }
                 moved_total += slice_bytes;
+                if cfg!(feature = "debug-invariants") {
+                    audit_gross += slice_bytes;
+                }
                 wire_bytes_f += slice_bytes.as_f64() / eff.max(1e-6);
                 for c in &mut chunks {
                     if c.completed_at.is_none() && c.is_done() {
@@ -621,11 +636,10 @@ impl<'a> Engine<'a> {
                 // Metrics: refresh gauges, observe slice-level histograms,
                 // and let the sampler decide whether this slice lands on
                 // the cadence grid (which also journals a `sample` event).
-                if let Some(g) = &gauges {
+                if let (Some(g), Some(m)) = (&gauges, tel.metrics()) {
                     let power = src_power + dst_power;
                     let thr_mbps = slice_bytes.as_f64() * 8.0 / slice_secs / 1e6;
                     let queue_depth: u64 = chunks.iter().map(|c| c.queue.len() as u64).sum();
-                    let m = tel.metrics().expect("gauges imply metrics");
                     m.set(g.throughput, thr_mbps);
                     m.set(g.power, power);
                     m.set(g.concurrency, f64::from(total_channels));
@@ -668,6 +682,38 @@ impl<'a> Engine<'a> {
                 let remaining_per_chunk: Vec<Bytes> =
                     chunks.iter().map(ChunkState::remaining_bytes).collect();
                 let remaining: Bytes = remaining_per_chunk.iter().copied().sum();
+
+                // Conservation and monotonicity audits, per slice:
+                // bytes that entered the stage equal goodput plus what is
+                // still queued/in flight (channel kills restore every
+                // lost byte to one side of the ledger); gross bytes moved
+                // equal goodput plus booked retransmissions; power — and
+                // with it accumulated energy — stays finite and
+                // non-negative, so energy is monotone in sim-time.
+                if cfg!(feature = "debug-invariants") {
+                    assert!(
+                        src_power >= 0.0
+                            && dst_power >= 0.0
+                            && src_power.is_finite()
+                            && dst_power.is_finite(),
+                        "invariant: site power finite and non-negative, got src={src_power} dst={dst_power}"
+                    );
+                    assert!(
+                        src_energy >= 0.0 && dst_energy >= 0.0 && (src_energy + dst_energy).is_finite(),
+                        "invariant: accumulated energy finite and non-negative, got src={src_energy} dst={dst_energy}"
+                    );
+                    assert_eq!(
+                        audit_stage_requested,
+                        moved_total + remaining,
+                        "invariant: bytes entered != bytes moved + bytes remaining at t={now:?}"
+                    );
+                    assert_eq!(
+                        audit_gross,
+                        moved_total + retransmitted,
+                        "invariant: gross bytes != goodput + retransmitted at t={now:?}"
+                    );
+                }
+
                 let fault = runtime
                     .as_ref()
                     .map_or_else(FaultView::default, |rt| FaultView {
@@ -901,7 +947,9 @@ fn advance_channel(
         if grant.is_zero() {
             break;
         }
-        let fp = ch.current.as_mut().expect("set above");
+        let Some(fp) = ch.current.as_mut() else {
+            break; // set above; defensive against queue/current desync
+        };
         let t_need = fp.remaining.time_at(grant);
         if t_need <= budget {
             moved += fp.remaining;

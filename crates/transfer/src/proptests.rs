@@ -123,6 +123,41 @@ proptest! {
         }
     }
 
+    /// Drives the engine through a hostile mix — channel kills, an
+    /// outage window, markers off — purely to arm the `debug-invariants`
+    /// auditor: every slice re-proves bytes-in = moved + remaining,
+    /// gross = goodput + retransmitted, and power/energy ≥ 0. Without
+    /// the feature this still pins the end-of-run conservation laws.
+    #[test]
+    fn audited_engine_survives_hostile_fault_mix(
+        mtbf_s in 3u64..15,
+        seed in 0u64..1_000,
+        files in 2u32..6,
+        mb in 40u64..250,
+        channels in 1u32..5,
+        markers_bit in 0u64..2,
+    ) {
+        let mut e = env(2);
+        let model = FaultModel {
+            restart_markers: markers_bit == 1,
+            ..FaultModel::new(SimDuration::from_secs(mtbf_s), seed)
+        };
+        e.faults = Some(FaultPlan::from(model).with_outage(OutageModel::new(
+            SiteSide::Src,
+            1,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+            seed ^ 0x5eed,
+        )));
+        let p = plan(files, mb, channels);
+        let r = Engine::new(&e).run(&p, &mut NullController);
+        prop_assert!(r.completed, "run must finish despite faults");
+        prop_assert_eq!(r.moved_bytes, r.requested_bytes);
+        prop_assert!(r.wire_bytes >= r.moved_bytes + r.faults.retransmitted_bytes);
+        prop_assert!(r.src_energy_j >= 0.0 && r.src_energy_j.is_finite());
+        prop_assert!(r.dst_energy_j >= 0.0 && r.dst_energy_j.is_finite());
+    }
+
     #[test]
     fn fault_runs_are_deterministic_per_seed(
         mtbf_s in 4u64..20,

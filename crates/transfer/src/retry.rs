@@ -532,7 +532,21 @@ impl FaultRuntime {
         let raw = policy.raw_backoff(consecutive);
         let amp = policy.jitter.clamp(0.0, 1.0);
         let factor = 1.0 - amp + 2.0 * amp * self.jitter_rng.unit();
-        (raw.mul_f64(factor).max(SimDuration::from_micros(1)), false)
+        let delay = raw.mul_f64(factor).max(SimDuration::from_micros(1));
+        // Auditor: jitter widens the backoff by at most (1 + amp), so a
+        // delay past that envelope means the schedule lost its cap.
+        if cfg!(feature = "debug-invariants") {
+            assert!(
+                delay
+                    <= policy
+                        .max_delay
+                        .mul_f64(1.0 + amp)
+                        .max(SimDuration::from_micros(1)),
+                "invariant: jittered backoff {delay:?} exceeds cap {:?} (amp {amp})",
+                policy.max_delay
+            );
+        }
+        (delay, false)
     }
 
     /// Adds backoff wait time to the accounting.

@@ -1,0 +1,75 @@
+//! Invariant-auditor smoke runs (DESIGN.md §10).
+//!
+//! Compiled only with `--features debug-invariants`: each scenario drives
+//! a full algorithm on a real testbed with the conservation assertions
+//! armed inside the engine, fault runtime and planners, so a violated
+//! invariant panics here before it can skew a paper figure. CI runs the
+//! tier-1 suite once with the feature on (the `lint-conformance` +
+//! audited-test jobs in `.github/workflows/ci.yml`).
+#![cfg(feature = "debug-invariants")]
+
+use eadt::core::baselines::ProMc;
+use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::sim::{Rate, SimDuration};
+use eadt::testbeds::{didclab, futuregrid, xsede};
+use eadt::transfer::{FaultModel, OutageModel, SiteSide};
+
+#[test]
+fn audited_paper_algorithms_hold_on_xsede() {
+    let tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.02).generate(17);
+    for cc in [1, 4, 10] {
+        assert!(MinE::new(cc).run(&tb.env, &dataset).completed);
+        assert!(Htee::new(cc).run(&tb.env, &dataset).completed);
+        assert!(
+            Slaee::new(0.7, Rate::from_gbps(7.0), cc)
+                .run(&tb.env, &dataset)
+                .completed
+        );
+    }
+}
+
+#[test]
+fn audited_algorithms_hold_under_faults_on_futuregrid() {
+    let mut tb = futuregrid();
+    let dataset = tb.dataset_spec.scaled(0.05).generate(23);
+    tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(25), 41).into());
+    assert!(MinE::new(6).run(&tb.env, &dataset).completed);
+    assert!(Htee::new(6).run(&tb.env, &dataset).completed);
+    assert!(ProMc::new(6).run(&tb.env, &dataset).completed);
+}
+
+#[test]
+fn audited_run_holds_without_restart_markers_and_with_outages() {
+    // The harshest accounting path: kills drop in-flight progress (the
+    // retransmit ledger must absorb it) while an outage window starves
+    // one destination server.
+    let mut tb = didclab();
+    let dataset = tb.dataset_spec.scaled(0.5).generate(29);
+    tb.env.faults = Some(
+        FaultModel {
+            restart_markers: false,
+            ..FaultModel::new(SimDuration::from_secs(15), 7)
+        }
+        .into(),
+    );
+    let r = ProMc::new(4).run(&tb.env, &dataset);
+    assert!(r.completed);
+    assert_eq!(r.moved_bytes, dataset.total_size());
+
+    let mut tb = xsede();
+    let dataset = tb.dataset_spec.scaled(0.02).generate(31);
+    tb.env.faults = Some(
+        eadt::transfer::FaultPlan::from(FaultModel::new(SimDuration::from_secs(30), 13))
+            .with_outage(OutageModel::new(
+                SiteSide::Dst,
+                0,
+                SimDuration::from_secs(40),
+                SimDuration::from_secs(10),
+                99,
+            )),
+    );
+    let r = Slaee::new(0.7, Rate::from_gbps(7.0), 8).run(&tb.env, &dataset);
+    assert!(r.completed);
+    assert_eq!(r.moved_bytes, dataset.total_size());
+}

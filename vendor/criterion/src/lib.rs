@@ -5,6 +5,9 @@
 //! rough mean wall-clock duration. No statistics, warm-up, or HTML
 //! reports — this is a smoke-run harness, not a measurement tool.
 
+// Exempt from the workspace determinism policy (vendored bench harness: wall-clock timing is its whole job).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 pub use std::hint::black_box;
