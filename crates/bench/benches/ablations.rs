@@ -11,7 +11,7 @@
 //! variants to show the search-overhead differences are real.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eadt_core::{Algorithm, Htee, MinE};
+use eadt_core::{Algorithm, Htee, MinE, RunCtx};
 use eadt_endsys::Placement;
 use eadt_sim::SimDuration;
 use eadt_testbeds::xsede;
@@ -25,24 +25,24 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("htee_stride2", |b| {
-        b.iter(|| black_box(Htee::new(8).run(&tb.env, &dataset)))
+        b.iter(|| black_box(Htee::new(8).run(&mut RunCtx::new(&tb.env, &dataset))))
     });
     g.bench_function("htee_probe_1s", |b| {
         let algo = Htee {
             probe_window: SimDuration::from_secs(1),
             ..Htee::new(8)
         };
-        b.iter(|| black_box(algo.run(&tb.env, &dataset)))
+        b.iter(|| black_box(algo.run(&mut RunCtx::new(&tb.env, &dataset))))
     });
     g.bench_function("htee_probe_10s", |b| {
         let algo = Htee {
             probe_window: SimDuration::from_secs(10),
             ..Htee::new(8)
         };
-        b.iter(|| black_box(algo.run(&tb.env, &dataset)))
+        b.iter(|| black_box(algo.run(&mut RunCtx::new(&tb.env, &dataset))))
     });
     g.bench_function("mine_large_pinned", |b| {
-        b.iter(|| black_box(MinE::new(8).run(&tb.env, &dataset)))
+        b.iter(|| black_box(MinE::new(8).run(&mut RunCtx::new(&tb.env, &dataset))))
     });
     g.bench_function("mine_large_unpinned", |b| {
         let algo = MinE::new(8);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eadt_core::baselines::ProMc;
-use eadt_core::{mine_allocation, weight_allocation, Algorithm};
+use eadt_core::{Algorithm, Planner, RunCtx};
 use eadt_dataset::{partition, PartitionConfig};
 use eadt_net::fair::fair_share;
 use eadt_sim::{Rate, SimDuration};
@@ -19,20 +19,21 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(20);
     g.bench_function("promc_transfer_1.6GB", |b| {
-        b.iter(|| black_box(ProMc::new(8).run(&tb.env, &dataset)))
+        b.iter(|| black_box(ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset))))
     });
     // The telemetry overhead guard: the disabled-telemetry path must sit
     // within noise of plain `run` (compare these two groups after a run),
     // and full journaling shows its real cost next to them.
     g.bench_function("promc_transfer_telemetry_off", |b| {
         b.iter(|| {
-            black_box(ProMc::new(8).run_instrumented(&tb.env, &dataset, &mut Telemetry::disabled()))
+            let mut tel = Telemetry::disabled();
+            black_box(ProMc::new(8).run(&mut RunCtx::with_telemetry(&tb.env, &dataset, &mut tel)))
         })
     });
     g.bench_function("promc_transfer_telemetry_on", |b| {
         b.iter(|| {
             let mut tel = Telemetry::enabled(SimDuration::from_secs(1));
-            black_box(ProMc::new(8).run_instrumented(&tb.env, &dataset, &mut tel));
+            black_box(ProMc::new(8).run(&mut RunCtx::with_telemetry(&tb.env, &dataset, &mut tel)));
             black_box(tel.into_journal().map(|j| j.len()))
         })
     });
@@ -49,11 +50,12 @@ fn bench(c: &mut Criterion) {
     });
 
     let chunks = partition(&dataset, tb.env.link.bdp(), &PartitionConfig::default());
+    let planner = Planner::new(&tb.env.link);
     c.bench_function("weight_allocation_12", |b| {
-        b.iter(|| black_box(weight_allocation(black_box(&chunks), 12)))
+        b.iter(|| black_box(planner.weight_allocation(black_box(&chunks), 12)))
     });
     c.bench_function("mine_allocation_12", |b| {
-        b.iter(|| black_box(mine_allocation(&tb.env.link, black_box(&chunks), 12)))
+        b.iter(|| black_box(planner.mine_allocation(black_box(&chunks), 12)))
     });
 
     let demands: Vec<Rate> = (0..16)

@@ -5,7 +5,7 @@
 //! benefit of each design choice is a number, not a claim.
 
 use eadt_core::baselines::ProMc;
-use eadt_core::{chunk_params, linear_weight_allocation, Algorithm, Htee, MinE, Slaee};
+use eadt_core::{Algorithm, Htee, MinE, Planner, RunCtx, Slaee};
 use eadt_dataset::{partition, Dataset};
 use eadt_endsys::Placement;
 use eadt_sim::SimDuration;
@@ -54,15 +54,16 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             partition: tb.partition,
             ..ProMc::new(max_channel)
         }
-        .run(env, dataset);
+        .run(&mut RunCtx::new(env, dataset));
         rows.push(AblationRow::new("chunk-weights", "log-log (paper)", &paper));
         let chunks = partition(dataset, env.link.bdp(), &tb.partition);
-        let alloc = linear_weight_allocation(&chunks, max_channel);
+        let planner = Planner::new(&env.link);
+        let alloc = planner.linear_weight_allocation(&chunks, max_channel);
         let plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&alloc)
             .map(|(c, &ch)| {
-                let p = chunk_params(&env.link, c);
+                let p = planner.chunk_params(c);
                 ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
             })
             .collect();
@@ -77,7 +78,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             partition: tb.partition,
             ..Htee::new(max_channel)
         }
-        .run(env, dataset);
+        .run(&mut RunCtx::new(env, dataset));
         rows.push(AblationRow::new(
             "htee-stride",
             "stride 2 (paper)",
@@ -88,7 +89,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             search_stride: 1,
             ..Htee::new(max_channel)
         }
-        .run(env, dataset);
+        .run(&mut RunCtx::new(env, dataset));
         rows.push(AblationRow::new(
             "htee-stride",
             "stride 1 (full sweep)",
@@ -106,7 +107,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
         rows.push(AblationRow::new(
             "probe-window",
             label,
-            &algo.run(env, dataset),
+            &algo.run(&mut RunCtx::new(env, dataset)),
         ));
     }
 
@@ -116,7 +117,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             partition: tb.partition,
             ..MinE::new(max_channel)
         };
-        let pinned = mine.run(env, dataset);
+        let pinned = mine.run(&mut RunCtx::new(env, dataset));
         rows.push(AblationRow::new(
             "mine-large-pin",
             "pinned (paper)",
@@ -140,7 +141,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             partition: tb.partition,
             ..ProMc::new(cc)
         };
-        let packed = promc.run(env, dataset);
+        let packed = promc.run(&mut RunCtx::new(env, dataset));
         rows.push(AblationRow::new(
             "placement",
             &format!("pack-first cc={cc} (paper)"),
@@ -163,7 +164,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             partition: tb.partition,
             ..ProMc::new(max_channel)
         }
-        .run(env, dataset);
+        .run(&mut RunCtx::new(env, dataset));
         for (label, margin) in [("shed at +15% (default)", 1.15), ("never shed", 1e9)] {
             let algo = Slaee {
                 partition: tb.partition,
@@ -173,7 +174,7 @@ pub fn ablation_matrix(tb: &Environment, dataset: &Dataset, max_channel: u32) ->
             rows.push(AblationRow::new(
                 "slaee-shedding",
                 label,
-                &algo.run(env, dataset),
+                &algo.run(&mut RunCtx::new(env, dataset)),
             ));
         }
     }
@@ -250,7 +251,7 @@ pub fn fault_ablation(
         fault_aware,
         ..ProMc::new(max_channel)
     };
-    let clean = promc(false).run(&tb.env, dataset);
+    let clean = promc(false).run(&mut RunCtx::new(&tb.env, dataset));
     let clean_j = clean.total_energy_j();
     let mut rows = vec![FaultAblationRow::new(0, "clean", &clean, clean_j)];
 
@@ -273,7 +274,7 @@ pub fn fault_ablation(
             let mut p = plan.clone();
             p.drop_restart_markers = drop_markers;
             env.faults = Some(p);
-            let r = promc(aware).run(&env, dataset);
+            let r = promc(aware).run(&mut RunCtx::new(&env, dataset));
             rows.push(FaultAblationRow::new(mtbf, variant, &r, clean_j));
         }
     }

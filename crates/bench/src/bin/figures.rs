@@ -433,7 +433,7 @@ fn main() {
     }
     if want("trace") {
         println!("\n== Trace — throughput/power vs time (XSEDE) ==");
-        use eadt_core::{Algorithm, Htee, MinE};
+        use eadt_core::{Algorithm, Htee, MinE, RunCtx};
         let tb = xsede();
         let dataset = tb.dataset_spec.scaled(opts.scale).generate(opts.seed);
         for (label, report) in [
@@ -443,7 +443,7 @@ fn main() {
                     partition: tb.partition,
                     ..Htee::new(12)
                 }
-                .run(&tb.env, &dataset),
+                .run(&mut RunCtx::new(&tb.env, &dataset)),
             ),
             (
                 "mine",
@@ -451,7 +451,7 @@ fn main() {
                     partition: tb.partition,
                     ..MinE::new(12)
                 }
-                .run(&tb.env, &dataset),
+                .run(&mut RunCtx::new(&tb.env, &dataset)),
             ),
         ] {
             println!(

@@ -83,7 +83,7 @@ pub fn fig10_decomposition(
                 partition: tb.partition,
                 ..Htee::new(tb.reference_concurrency.max(8))
             }
-            .run(&tb.env, &dataset);
+            .run(&mut eadt_core::RunCtx::new(&tb.env, &dataset));
             let d = decompose(r.total_energy_j(), &tb.path, r.wire_bytes, &tb.env.packets);
             let gb = r.wire_bytes.as_gb().max(1e-9);
             DecompositionRow {

@@ -7,7 +7,7 @@
 //! predictions?
 
 use eadt_core::baselines::ProMc;
-use eadt_core::Algorithm;
+use eadt_core::{Algorithm, RunCtx};
 use eadt_power::{CpuOnlyModel, PowerModelKind};
 use eadt_testbeds::Environment;
 use serde::{Deserialize, Serialize};
@@ -39,7 +39,7 @@ pub fn estimator_experiment(tb: &Environment, scale: f64, seed: u64) -> Vec<Esti
         partition: tb.partition,
         ..ProMc::new(8)
     }
-    .run(&env, &calib_set);
+    .run(&mut RunCtx::new(&env, &calib_set));
     let fitted = raw * calib.total_energy_j() / calib.estimated_energy_j.expect("configured");
 
     // Evaluation transfers with the fitted monitor.
@@ -82,7 +82,7 @@ pub fn estimator_experiment(tb: &Environment, scale: f64, seed: u64) -> Vec<Esti
     algos
         .into_iter()
         .map(|(name, algo)| {
-            let r = algo.run(&env, &eval_set);
+            let r = algo.run(&mut RunCtx::new(&env, &eval_set));
             let est = r.estimated_energy_j.expect("estimator configured");
             EstimatorRow {
                 algorithm: name.to_string(),

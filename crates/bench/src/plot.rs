@@ -238,14 +238,14 @@ mod tests {
 
     #[test]
     fn trace_plot_has_both_panels() {
-        use eadt_core::{Algorithm, Htee};
+        use eadt_core::{Algorithm, Htee, RunCtx};
         let tb = didclab();
         let dataset = tb.dataset_spec.scaled(0.01).generate(1);
         let report = Htee {
             partition: tb.partition,
             ..Htee::new(4)
         }
-        .run(&tb.env, &dataset);
+        .run(&mut RunCtx::new(&tb.env, &dataset));
         let gp = write_trace_plot(&report, &tmpdir(), "test_trace").unwrap();
         let script = std::fs::read_to_string(&gp).unwrap();
         assert!(

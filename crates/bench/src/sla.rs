@@ -1,7 +1,7 @@
 //! Figures 5, 6 and 7: SLAEE at different target percentages.
 
 use eadt_core::baselines::ProMc;
-use eadt_core::{Algorithm, Slaee};
+use eadt_core::{Algorithm, RunCtx, Slaee};
 use eadt_dataset::Dataset;
 use eadt_sim::SimTime;
 use eadt_testbeds::Environment;
@@ -72,7 +72,7 @@ pub fn sla_figure(tb: &Environment, dataset: &Dataset, targets: &[u32]) -> SlaFi
         partition: tb.partition,
         ..ProMc::new(tb.reference_concurrency)
     }
-    .run(env, dataset);
+    .run(&mut RunCtx::new(env, dataset));
     let max_mbps = promc.avg_throughput().as_mbps();
     let max_rate = promc.avg_throughput();
 
@@ -84,7 +84,7 @@ pub fn sla_figure(tb: &Environment, dataset: &Dataset, targets: &[u32]) -> SlaFi
                 partition: tb.partition,
                 ..Slaee::new(level, max_rate, 12)
             };
-            let r = slaee.run(env, dataset);
+            let r = slaee.run(&mut RunCtx::new(env, dataset));
             // Skip three probe windows: first measurement + proportional
             // jump + one settling window.
             let skip = 3.0 * slaee.probe_window.as_secs_f64();
@@ -138,7 +138,7 @@ mod tests {
     fn steady_throughput_of_empty_report_is_zero() {
         let tb = didclab();
         let dataset = tb.dataset_spec.scaled(0.01).generate(3);
-        let r = ProMc::new(1).run(&tb.env, &dataset);
+        let r = ProMc::new(1).run(&mut RunCtx::new(&tb.env, &dataset));
         // Skip longer than the transfer → falls back to the overall mean.
         let all = r.throughput_series.time_weighted_mean();
         let s = steady_throughput_mbps(&r, 1e9);

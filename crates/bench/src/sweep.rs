@@ -1,11 +1,9 @@
 //! Figures 2, 3 and 4: throughput / energy / efficiency vs. concurrency.
 
-use eadt_core::baselines::{GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-use eadt_core::{Algorithm, Htee, MinE};
+use eadt_core::AlgorithmKind;
 use eadt_dataset::Dataset;
+use eadt_fleet::{JobOutcome, JobSpec, Session};
 use eadt_testbeds::Environment;
-use eadt_transfer::TransferReport;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One measured point of a sweep figure.
@@ -28,14 +26,14 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    fn from_report(algorithm: &str, concurrency: u32, r: &TransferReport) -> Self {
+    fn from_outcome(algorithm: &str, concurrency: u32, o: &JobOutcome) -> Self {
         SweepPoint {
             algorithm: algorithm.to_string(),
             concurrency,
-            throughput_mbps: r.avg_throughput().as_mbps(),
-            energy_j: r.total_energy_j(),
-            efficiency: r.efficiency(),
-            duration_s: r.duration.as_secs_f64(),
+            throughput_mbps: o.throughput_mbps,
+            energy_j: o.energy_j,
+            efficiency: o.efficiency,
+            duration_s: o.duration_s,
         }
     }
 }
@@ -90,67 +88,58 @@ impl SweepFigure {
 /// Runs the full sweep of Figures 2/3/4 on a testbed.
 ///
 /// `bf_max` is the BF oracle's search bound (20 in the paper). The runs
-/// are embarrassingly parallel and spread over the Rayon pool.
+/// are embarrassingly parallel; a fleet [`Session`] spreads them over the
+/// host cores with merge-ordered results, so the figure is byte-identical
+/// however many workers execute it. The externally supplied `dataset` is
+/// pinned into every job: each cell measures the same file listing.
 pub fn sweep_figure(tb: &Environment, dataset: &Dataset, bf_max: u32) -> SweepFigure {
-    let env = &tb.env;
-    let levels = &tb.sweep_levels;
+    let job = |kind: AlgorithmKind, cc: u32| {
+        JobSpec::new(kind, tb.clone())
+            .with_dataset(dataset.clone())
+            .with_max_channel(cc)
+    };
 
-    // Concurrency-independent baselines, run once and replicated.
-    let guc = GlobusUrlCopy::new().run(env, dataset);
-    let go = GlobusOnline::new().run(env, dataset);
-
-    let mut jobs: Vec<(String, u32)> = Vec::new();
-    for &cc in levels {
-        jobs.push(("SC".into(), cc));
-        jobs.push(("MinE".into(), cc));
-        jobs.push(("ProMC".into(), cc));
-        jobs.push(("HTEE".into(), cc));
+    // The job list is mirrored by a (series name, concurrency) key list so
+    // the merge-ordered outcomes map back to figure cells by index.
+    let mut jobs = Vec::new();
+    let mut keys: Vec<(&str, u32)> = Vec::new();
+    // Concurrency-independent baselines, run once and replicated below.
+    jobs.push(job(AlgorithmKind::Guc, 1));
+    keys.push(("GUC", 1));
+    jobs.push(job(AlgorithmKind::Go, 1));
+    keys.push(("GO", 1));
+    for &cc in &tb.sweep_levels {
+        for (name, kind) in [
+            ("SC", AlgorithmKind::Sc),
+            ("MinE", AlgorithmKind::MinE),
+            ("ProMC", AlgorithmKind::ProMc),
+            ("HTEE", AlgorithmKind::Htee),
+        ] {
+            jobs.push(job(kind, cc));
+            keys.push((name, cc));
+        }
     }
-    let mut points: Vec<SweepPoint> = jobs
-        .par_iter()
-        .map(|(name, cc)| {
-            let r = match name.as_str() {
-                "SC" => SingleChunk {
-                    partition: tb.partition,
-                    ..SingleChunk::new(*cc)
-                }
-                .run(env, dataset),
-                "MinE" => MinE {
-                    partition: tb.partition,
-                    ..MinE::new(*cc)
-                }
-                .run(env, dataset),
-                "ProMC" => ProMc {
-                    partition: tb.partition,
-                    ..ProMc::new(*cc)
-                }
-                .run(env, dataset),
-                "HTEE" => Htee {
-                    partition: tb.partition,
-                    ..Htee::new(*cc)
-                }
-                .run(env, dataset),
-                _ => unreachable!("job names are fixed above"),
-            };
-            SweepPoint::from_report(name, *cc, &r)
-        })
-        .collect();
-    for &cc in levels {
-        points.push(SweepPoint::from_report("GUC", cc, &guc));
-        points.push(SweepPoint::from_report("GO", cc, &go));
+    for cc in 1..=bf_max {
+        jobs.push(job(AlgorithmKind::ProMc, cc));
+        keys.push(("BF", cc));
     }
 
-    let brute_force: Vec<SweepPoint> = (1..=bf_max)
-        .into_par_iter()
-        .map(|cc| {
-            let r = ProMc {
-                partition: tb.partition,
-                ..ProMc::new(cc)
-            }
-            .run(env, dataset);
-            SweepPoint::from_report("BF", cc, &r)
-        })
-        .collect();
+    let report = Session::builder().root_seed(0).build().run(&jobs);
+
+    let mut points = Vec::new();
+    let mut brute_force = Vec::new();
+    for &cc in &tb.sweep_levels {
+        points.push(SweepPoint::from_outcome("GUC", cc, &report.jobs[0]));
+        points.push(SweepPoint::from_outcome("GO", cc, &report.jobs[1]));
+    }
+    for ((name, cc), outcome) in keys.iter().zip(&report.jobs).skip(2) {
+        let p = SweepPoint::from_outcome(name, *cc, outcome);
+        if *name == "BF" {
+            brute_force.push(p);
+        } else {
+            points.push(p);
+        }
+    }
 
     SweepFigure {
         testbed: tb.name.clone(),

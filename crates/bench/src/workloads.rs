@@ -9,7 +9,7 @@
 //! Large-chunk pin only pays where small files dominate the timeline.
 
 use eadt_core::baselines::{ProMc, SingleChunk};
-use eadt_core::{Algorithm, MinE};
+use eadt_core::{Algorithm, MinE, RunCtx};
 use eadt_dataset::{Dataset, DatasetMix, DatasetSpec};
 use eadt_sim::Bytes;
 use eadt_testbeds::Environment;
@@ -95,7 +95,7 @@ pub fn workload_study(
             let outcomes: Vec<(String, f64, f64, f64)> = contenders
                 .into_iter()
                 .map(|(name, algo)| {
-                    let r = algo.run(&tb.env, &dataset);
+                    let r = algo.run(&mut RunCtx::new(&tb.env, &dataset));
                     (
                         name.to_string(),
                         r.avg_throughput().as_mbps(),

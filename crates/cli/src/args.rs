@@ -1,72 +1,13 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy keeps
 //! external crates to the approved numeric/concurrency set, so no clap).
+//!
+//! Algorithm selection ([`AlgorithmKind`]) is shared workspace-wide from
+//! `eadt-core`; parse failures are typed [`EadtError`]s so callers (and
+//! batch runners) classify them without string matching.
 
-use std::fmt;
+use eadt_sim::EadtError;
 
-/// Which algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlgorithmKind {
-    /// Algorithm 1 — Minimum Energy.
-    MinE,
-    /// Algorithm 2 — High Throughput Energy-Efficient.
-    Htee,
-    /// Algorithm 3 — SLA-based Energy-Efficient.
-    Slaee,
-    /// globus-url-copy baseline (untuned).
-    Guc,
-    /// Globus Online baseline (fixed parameters).
-    Go,
-    /// Single-Chunk baseline.
-    Sc,
-    /// Pro-active Multi-Chunk baseline.
-    ProMc,
-    /// Brute-force oracle.
-    Bf,
-    /// Manual tuning: the whole dataset with explicit pipelining /
-    /// parallelism / concurrency (like a hand-tuned globus-url-copy).
-    Manual,
-}
-
-impl AlgorithmKind {
-    /// Parses a (case-insensitive) algorithm name.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s.to_ascii_lowercase().as_str() {
-            "mine" | "min-e" => Ok(AlgorithmKind::MinE),
-            "htee" => Ok(AlgorithmKind::Htee),
-            "slaee" | "sla" => Ok(AlgorithmKind::Slaee),
-            "guc" | "globus-url-copy" => Ok(AlgorithmKind::Guc),
-            "go" | "globus-online" => Ok(AlgorithmKind::Go),
-            "sc" | "single-chunk" => Ok(AlgorithmKind::Sc),
-            "promc" | "pro-mc" | "pro-multi-chunk" => Ok(AlgorithmKind::ProMc),
-            "bf" | "brute-force" => Ok(AlgorithmKind::Bf),
-            "manual" => Ok(AlgorithmKind::Manual),
-            other => Err(format!(
-                "unknown algorithm '{other}' (expected one of: mine, htee, slaee, guc, go, sc, promc, bf, manual)"
-            )),
-        }
-    }
-
-    /// Canonical display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            AlgorithmKind::MinE => "MinE",
-            AlgorithmKind::Htee => "HTEE",
-            AlgorithmKind::Slaee => "SLAEE",
-            AlgorithmKind::Guc => "GUC",
-            AlgorithmKind::Go => "GO",
-            AlgorithmKind::Sc => "SC",
-            AlgorithmKind::ProMc => "ProMC",
-            AlgorithmKind::Bf => "BF",
-            AlgorithmKind::Manual => "manual",
-        }
-    }
-}
-
-impl fmt::Display for AlgorithmKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use eadt_core::AlgorithmKind;
 
 /// Where the transfer runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +42,20 @@ pub enum Command {
         algorithms: Vec<AlgorithmKind>,
         /// Concurrency levels.
         levels: Vec<u32>,
+    },
+    /// Run a batch of transfers on worker threads via the fleet session.
+    Fleet {
+        /// Algorithms to include (ignored with `--figures`).
+        algorithms: Vec<AlgorithmKind>,
+        /// Concurrency levels (ignored with `--figures`).
+        levels: Vec<u32>,
+        /// Worker threads (0 = ask the OS for its parallelism).
+        workers: usize,
+        /// Run the full three-testbed figures matrix instead of the
+        /// environment × algorithms × levels batch.
+        figures: bool,
+        /// Write the merged fleet report JSON here.
+        out: Option<String>,
     },
     /// Run the SLAEE experiment over target percentages.
     Sla {
@@ -196,7 +151,7 @@ pub struct Cli {
     /// Path to a dataset manifest (one file size per line); overrides the
     /// testbed's synthetic dataset.
     pub dataset_file: Option<String>,
-    /// Dataset seed.
+    /// Dataset seed (and the fleet's root seed).
     pub seed: u64,
     /// Emit a JSON report instead of tables.
     pub json: bool,
@@ -214,6 +169,8 @@ USAGE:
 COMMANDS:
   transfer   run one transfer            (--algorithm, --max-channel, --sla-level)
   sweep      algorithms × concurrency    (--algorithms a,b,c --levels 1,2,4)
+  fleet      batch runner on worker threads (--workers N [--figures] [--out F])
+             deterministic: same --seed → byte-identical report, any N
   sla        SLAEE target sweep          (--targets 95,90,50 --max-channel N)
   dataset    show the dataset and its BDP partitioning
   env        show the environment        (--export FILE writes JSON)
@@ -231,17 +188,20 @@ OPTIONS:
   --dataset-file F   one file size per line (3MB, 2.5GB, …) instead of the
                      synthetic paper dataset
   --scale F          dataset volume scale                [default: 0.1]
-  --seed N           dataset seed                        [default: 42]
+  --seed N           dataset seed / fleet root seed      [default: 42]
   --algorithm NAME   mine|htee|slaee|guc|go|sc|promc|bf  [default: htee]
-  --algorithms A,B   for `sweep`                         [default: sc,mine,promc,htee]
-  --levels L1,L2     for `sweep`                         [default: 1,2,4,8]
+  --algorithms A,B   for `sweep`/`fleet`                 [default: sc,mine,promc,htee]
+  --levels L1,L2     for `sweep`/`fleet`                 [default: 1,2,4,8]
   --targets T1,T2    for `sla`                           [default: 95,90,80,70,50]
   --max-channel N    channel budget                      [default: 8]
   --sla-level F      SLAEE target fraction               [default: 0.9]
   --csv FILE         (transfer) write per-slice series as CSV
   --pipelining N     (transfer --algorithm manual) command queue depth
   --parallelism N    (transfer --algorithm manual) streams per channel
-  --out FILE         (trace) journal output path       [default: trace.jsonl]
+  --workers N        (fleet) worker threads            [default: all cores]
+  --figures          (fleet) run the full 3-testbed figures matrix
+  --out FILE         (trace) journal path [default: trace.jsonl]
+                     (fleet) write the merged report JSON here
   --cadence SECS     (trace) gauge sampling cadence    [default: 1]
   --journal FILE     (inspect) journal to render
   --chrome FILE      (inspect) also export Chrome trace_event JSON
@@ -259,7 +219,7 @@ FAULT INJECTION (composes with whatever the environment declares):
 
 impl Cli {
     /// Parses `argv` (program name excluded).
-    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+    pub fn parse(argv: &[String]) -> Result<Cli, EadtError> {
         let mut it = argv.iter().peekable();
         let cmd_word = it.next().map(String::as_str).unwrap_or("help");
 
@@ -285,14 +245,17 @@ impl Cli {
         let mut parallelism = 1u32;
         let mut dataset_file: Option<String> = None;
         let mut faults = FaultArgs::default();
-        let mut trace_out = String::from("trace.jsonl");
+        let mut out_file: Option<String> = None;
         let mut cadence_s = 1.0f64;
         let mut journal: Option<String> = None;
         let mut chrome: Option<String> = None;
+        let mut workers = 0usize;
+        let mut figures = false;
 
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| -> Result<&String, String> {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
+            let mut value = |name: &str| -> Result<&String, EadtError> {
+                it.next()
+                    .ok_or_else(|| EadtError::invalid_argument(name, "requires a value"))
             };
             match flag.as_str() {
                 "--testbed" => testbed = Some(value("--testbed")?.clone()),
@@ -328,27 +291,37 @@ impl Cli {
                 }
                 "--no-restart-markers" => faults.no_restart_markers = true,
                 "--fault-aware" => faults.fault_aware = true,
-                "--out" => trace_out = value("--out")?.clone(),
+                "--out" => out_file = Some(value("--out")?.clone()),
                 "--cadence" => cadence_s = parse_num(value("--cadence")?, "--cadence")?,
                 "--journal" => journal = Some(value("--journal")?.clone()),
                 "--chrome" => chrome = Some(value("--chrome")?.clone()),
-                other => return Err(format!("unknown option '{other}' (try `eadt help`)")),
+                "--workers" => workers = parse_num(value("--workers")?, "--workers")?,
+                "--figures" => figures = true,
+                other => {
+                    return Err(EadtError::invalid_argument(
+                        other,
+                        "unknown option (try `eadt help`)",
+                    ))
+                }
             }
         }
 
         if testbed.is_some() && env_file.is_some() {
-            return Err("--testbed and --env-file are mutually exclusive".into());
+            return Err(EadtError::invalid_argument(
+                "--env-file",
+                "--testbed and --env-file are mutually exclusive",
+            ));
         }
         let env = match env_file {
             Some(f) => EnvSource::File(f),
             None => EnvSource::Testbed(testbed.unwrap_or_else(|| "xsede".into())),
         };
         if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err("--scale must be positive".into());
+            return Err(EadtError::invalid_argument("--scale", "must be positive"));
         }
         if let Some(m) = faults.mtbf_s {
             if m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                return Err("--mtbf must be positive".into());
+                return Err(EadtError::invalid_argument("--mtbf", "must be positive"));
             }
         }
 
@@ -363,13 +336,34 @@ impl Cli {
             },
             "sweep" => {
                 if algorithms.is_empty() || levels.is_empty() {
-                    return Err("sweep needs at least one algorithm and one level".into());
+                    return Err(EadtError::invalid_argument(
+                        "sweep",
+                        "needs at least one algorithm and one level",
+                    ));
                 }
                 Command::Sweep { algorithms, levels }
             }
+            "fleet" => {
+                if !figures && (algorithms.is_empty() || levels.is_empty()) {
+                    return Err(EadtError::invalid_argument(
+                        "fleet",
+                        "needs at least one algorithm and one level (or --figures)",
+                    ));
+                }
+                Command::Fleet {
+                    algorithms,
+                    levels,
+                    workers,
+                    figures,
+                    out: out_file,
+                }
+            }
             "sla" => {
                 if targets.is_empty() {
-                    return Err("sla needs at least one target".into());
+                    return Err(EadtError::invalid_argument(
+                        "sla",
+                        "needs at least one target",
+                    ));
                 }
                 Command::Sla {
                     targets,
@@ -381,7 +375,7 @@ impl Cli {
             "calibrate" => Command::Calibrate,
             "trace" => {
                 if cadence_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                    return Err("--cadence must be positive".into());
+                    return Err(EadtError::invalid_argument("--cadence", "must be positive"));
                 }
                 Command::Trace {
                     algorithm,
@@ -389,12 +383,14 @@ impl Cli {
                     sla_level,
                     pipelining,
                     parallelism,
-                    out: trace_out,
+                    out: out_file.unwrap_or_else(|| String::from("trace.jsonl")),
                     cadence_s,
                 }
             }
             "inspect" => Command::Inspect {
-                journal: journal.ok_or_else(|| "inspect requires --journal FILE".to_string())?,
+                journal: journal.ok_or_else(|| {
+                    EadtError::invalid_argument("inspect", "requires --journal FILE")
+                })?,
                 chrome,
             },
             "netenergy" | "net-energy" => Command::NetEnergy {
@@ -402,7 +398,12 @@ impl Cli {
                 max_channel,
             },
             "help" | "--help" | "-h" => Command::Help,
-            other => return Err(format!("unknown command '{other}' (try `eadt help`)")),
+            other => {
+                return Err(EadtError::invalid_argument(
+                    other,
+                    "unknown command (try `eadt help`)",
+                ))
+            }
         };
 
         Ok(Cli {
@@ -417,20 +418,27 @@ impl Cli {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("{flag}: cannot parse '{s}'"))
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, EadtError> {
+    s.parse()
+        .map_err(|_| EadtError::invalid_argument(flag, format!("cannot parse '{s}'")))
 }
 
 /// Parses `GAP:DUR[:SERVER]` (seconds, seconds, dst-server index).
-fn parse_outage(s: &str) -> Result<(f64, f64, usize), String> {
+fn parse_outage(s: &str) -> Result<(f64, f64, usize), EadtError> {
     let parts: Vec<&str> = s.split(':').collect();
     if parts.len() < 2 || parts.len() > 3 {
-        return Err(format!("--outage: expected GAP:DUR[:SERVER], got '{s}'"));
+        return Err(EadtError::invalid_argument(
+            "--outage",
+            format!("expected GAP:DUR[:SERVER], got '{s}'"),
+        ));
     }
     let gap: f64 = parse_num(parts[0], "--outage gap")?;
     let dur: f64 = parse_num(parts[1], "--outage duration")?;
     if gap <= 0.0 || dur <= 0.0 {
-        return Err("--outage: gap and duration must be positive".into());
+        return Err(EadtError::invalid_argument(
+            "--outage",
+            "gap and duration must be positive",
+        ));
     }
     let server: usize = match parts.get(2) {
         Some(p) => parse_num(p, "--outage server")?,
@@ -439,13 +447,14 @@ fn parse_outage(s: &str) -> Result<(f64, f64, usize), String> {
     Ok((gap, dur, server))
 }
 
-fn parse_list(s: &str, flag: &str) -> Result<Vec<u32>, String> {
+fn parse_list(s: &str, flag: &str) -> Result<Vec<u32>, EadtError> {
     s.split(',').map(|p| parse_num(p.trim(), flag)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eadt_sim::ErrorKind;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
@@ -499,6 +508,40 @@ mod tests {
     }
 
     #[test]
+    fn fleet_parses_workers_and_figures() {
+        let cli = Cli::parse(&argv(
+            "fleet --algorithms sc,promc --levels 1,4 --workers 4 --out /tmp/fleet.json",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Fleet {
+                algorithms,
+                levels,
+                workers,
+                figures,
+                out,
+            } => {
+                assert_eq!(algorithms, vec![AlgorithmKind::Sc, AlgorithmKind::ProMc]);
+                assert_eq!(levels, vec![1, 4]);
+                assert_eq!(workers, 4);
+                assert!(!figures);
+                assert_eq!(out.as_deref(), Some("/tmp/fleet.json"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv("fleet --figures --workers 2")).unwrap();
+        match cli.command {
+            Command::Fleet {
+                figures, workers, ..
+            } => {
+                assert!(figures);
+                assert_eq!(workers, 2);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
     fn sla_targets() {
         let cli = Cli::parse(&argv("sla --targets 90,50 --max-channel 6")).unwrap();
         assert_eq!(
@@ -536,6 +579,16 @@ mod tests {
         assert!(Cli::parse(&argv("transfer --scale")).is_err());
         assert!(Cli::parse(&argv("transfer --testbed a --env-file b")).is_err());
         assert!(Cli::parse(&argv("sweep --levels x")).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let err = Cli::parse(&argv("transfer --scale -1")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidArgument);
+        let err = Cli::parse(&argv("transfer --algorithm nope")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidArgument);
+        let err = Cli::parse(&argv("frobnicate")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidArgument);
     }
 
     #[test]

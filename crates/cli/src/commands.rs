@@ -4,10 +4,11 @@
 use crate::args::{AlgorithmKind, Cli, Command, FaultArgs};
 use crate::envfile;
 use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-use eadt_core::{Algorithm, Htee, MinE, Slaee};
+use eadt_core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt_dataset::{partition, Dataset};
+use eadt_fleet::{figures_matrix, JobSpec, Session};
 use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
-use eadt_sim::{SimDuration, SimTime};
+use eadt_sim::{EadtError, SimDuration, SimTime};
 use eadt_telemetry::{chrome, timeline, Event, Journal, Telemetry, SCHEMA_VERSION};
 use eadt_testbeds::Environment;
 use eadt_transfer::{FaultModel, OutageModel, SiteSide, TransferEnv, TransferReport};
@@ -16,9 +17,12 @@ use std::io::Write;
 type Out<'a> = &'a mut dyn Write;
 
 /// Executes a parsed invocation.
-pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
+pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
     match &cli.command {
-        Command::Help => writeln!(out, "{}", crate::args::USAGE),
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(())
+        }
         Command::Transfer {
             algorithm,
             max_channel,
@@ -27,7 +31,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             pipelining,
             parallelism,
         } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
             let report = if *algorithm == AlgorithmKind::Manual {
                 let params =
@@ -56,7 +60,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             print_report(cli, out, algorithm.name(), &report)
         }
         Command::Sweep { algorithms, levels } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
             writeln!(
                 out,
@@ -80,17 +84,88 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             }
             Ok(())
         }
+        Command::Fleet {
+            algorithms,
+            levels,
+            workers,
+            figures,
+            out: report_path,
+        } => {
+            let mut builder = Session::builder().root_seed(cli.seed);
+            if *workers > 0 {
+                builder = builder.workers(*workers);
+            }
+            let session = builder.build();
+            let jobs = if *figures {
+                figures_matrix(cli.scale)
+            } else {
+                let tb = resolve(cli)?;
+                let mut jobs = Vec::with_capacity(levels.len() * algorithms.len());
+                for &cc in levels {
+                    for &a in algorithms {
+                        jobs.push(
+                            JobSpec::new(a, tb.clone())
+                                .with_scale(cli.scale)
+                                .with_max_channel(cc)
+                                .with_fault_aware(cli.faults.fault_aware),
+                        );
+                    }
+                }
+                jobs
+            };
+            let report = session.run(&jobs);
+            if cli.json {
+                write!(out, "{}", report.to_json())?;
+            } else {
+                writeln!(
+                    out,
+                    "fleet: {} jobs on {} workers (root seed {})",
+                    report.jobs.len(),
+                    session.workers(),
+                    report.root_seed
+                )?;
+                writeln!(
+                    out,
+                    "{:<24} {:>10} {:>10} {:>12} {:>10}",
+                    "job", "Mbps", "seconds", "energy (J)", "Mbps/J"
+                )?;
+                for j in &report.jobs {
+                    writeln!(
+                        out,
+                        "{:<24} {:>10.0} {:>10.1} {:>12.0} {:>10.4}",
+                        j.label, j.throughput_mbps, j.duration_s, j.energy_j, j.efficiency
+                    )?;
+                    if let Some(err) = &j.error {
+                        writeln!(out, "  error: {err}")?;
+                    }
+                }
+                writeln!(
+                    out,
+                    "completed {}/{} ({} errors)",
+                    report.completed_count(),
+                    report.jobs.len(),
+                    report.error_count()
+                )?;
+            }
+            if let Some(path) = report_path {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                writeln!(out, "[fleet report -> {path}]")?;
+            }
+            Ok(())
+        }
         Command::Sla {
             targets,
             max_channel,
         } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
+            let mut ctx = RunCtx::new(&tb.env, &dataset);
             let reference = ProMc {
                 partition: tb.partition,
                 ..ProMc::new(tb.reference_concurrency)
             }
-            .run(&tb.env, &dataset);
+            .run(&mut ctx);
             writeln!(
                 out,
                 "reference: ProMC@{} = {:.0} Mbps, {:.0} J",
@@ -110,7 +185,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
                     fault_aware: cli.faults.fault_aware,
                     ..Slaee::new(level, reference.avg_throughput(), *max_channel)
                 };
-                let r = slaee.run(&tb.env, &dataset);
+                let r = slaee.run(&mut ctx);
                 writeln!(
                     out,
                     "{:>6}% {:>12.0} {:>13.0} {:>11.0} {:>9.1}%",
@@ -125,7 +200,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             Ok(())
         }
         Command::Dataset => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
             let chunks = partition(&dataset, tb.env.link.bdp(), &tb.partition);
             writeln!(out, "BDP: {}", tb.env.link.bdp())?;
@@ -148,21 +223,23 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             Ok(())
         }
         Command::Env { export } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let json = envfile::to_json(&tb);
             match export {
                 Some(path) => {
-                    std::fs::write(path, &json)?;
-                    writeln!(out, "wrote {path}")
+                    std::fs::write(path, &json)
+                        .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                    writeln!(out, "wrote {path}")?;
                 }
-                None => writeln!(out, "{json}"),
+                None => writeln!(out, "{json}")?,
             }
+            Ok(())
         }
         Command::NetEnergy {
             algorithm,
             max_channel,
         } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
             let r = run_algorithm(
                 &tb,
@@ -215,7 +292,7 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             out: journal_path,
             cadence_s,
         } => {
-            let tb = resolve(cli, out)?;
+            let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
             let mut tel = Telemetry::enabled(SimDuration::from_secs_f64(*cadence_s));
             tel.record(
@@ -249,7 +326,8 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
                 )
             };
             let journal = tel.into_journal().expect("trace telemetry has a journal");
-            std::fs::write(journal_path, journal.to_jsonl())?;
+            std::fs::write(journal_path, journal.to_jsonl())
+                .map_err(|e| EadtError::io(journal_path.clone(), e.to_string()))?;
             writeln!(out, "[journal: {} events -> {journal_path}]", journal.len())?;
             print_report(cli, out, algorithm.name(), &report)
         }
@@ -257,17 +335,18 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
             journal,
             chrome: chrome_path,
         } => {
-            let text = std::fs::read_to_string(journal)?;
-            let j = Journal::from_jsonl(&text).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{journal}: {e}"))
-            })?;
+            let text = std::fs::read_to_string(journal)
+                .map_err(|e| EadtError::io(journal.clone(), e.to_string()))?;
+            let j = Journal::from_jsonl(&text)
+                .map_err(|e| EadtError::io(journal.clone(), format!("cannot parse: {e}")))?;
             out.write_all(timeline::render_summary(&j).as_bytes())?;
             writeln!(out)?;
             out.write_all(timeline::render_timeline(&j, 72).as_bytes())?;
             writeln!(out)?;
             out.write_all(timeline::render_decisions(&j).as_bytes())?;
             if let Some(path) = chrome_path {
-                std::fs::write(path, chrome::to_chrome_trace(&j))?;
+                std::fs::write(path, chrome::to_chrome_trace(&j))
+                    .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
                 writeln!(out, "[chrome trace -> {path}] (open in Perfetto)")?;
             }
             Ok(())
@@ -312,17 +391,10 @@ pub fn execute(cli: &Cli, out: Out) -> std::io::Result<()> {
     }
 }
 
-fn resolve(cli: &Cli, out: Out) -> std::io::Result<Environment> {
-    match envfile::load(&cli.env) {
-        Ok(mut tb) => {
-            apply_fault_args(&cli.faults, cli.seed, &mut tb.env);
-            Ok(tb)
-        }
-        Err(e) => {
-            writeln!(out, "error: {e}")?;
-            Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e))
-        }
-    }
+fn resolve(cli: &Cli) -> Result<Environment, EadtError> {
+    let mut tb = envfile::load(&cli.env)?;
+    apply_fault_args(&cli.faults, cli.seed, &mut tb.env);
+    Ok(tb)
 }
 
 /// Folds the CLI fault flags into the environment's fault plan. Flags
@@ -355,10 +427,9 @@ fn apply_fault_args(args: &FaultArgs, seed: u64, env: &mut TransferEnv) {
     env.faults = Some(plan);
 }
 
-fn make_dataset(cli: &Cli, tb: &Environment, out: Out) -> std::io::Result<Dataset> {
+fn make_dataset(cli: &Cli, tb: &Environment, out: Out) -> Result<Dataset, EadtError> {
     let dataset = match &cli.dataset_file {
-        Some(path) => envfile::load_dataset(path)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        Some(path) => envfile::load_dataset(path)?,
         None => tb.dataset_spec.scaled(cli.scale).generate(cli.seed),
     };
     writeln!(
@@ -409,49 +480,50 @@ pub fn run_algorithm_instrumented(
     tel: &mut Telemetry,
 ) -> TransferReport {
     let partition = tb.partition;
+    let mut ctx = RunCtx::with_telemetry(&tb.env, dataset, tel);
     match kind {
         AlgorithmKind::MinE => MinE {
             partition,
             ..MinE::new(max_channel)
         }
-        .run_instrumented(&tb.env, dataset, tel),
+        .run(&mut ctx),
         AlgorithmKind::Htee => Htee {
             partition,
             fault_aware,
             ..Htee::new(max_channel)
         }
-        .run_instrumented(&tb.env, dataset, tel),
+        .run(&mut ctx),
         AlgorithmKind::Slaee => {
             let reference = ProMc {
                 partition,
                 ..ProMc::new(tb.reference_concurrency)
             }
-            .run(&tb.env, dataset);
+            .run(&mut RunCtx::new(&tb.env, dataset));
             Slaee {
                 partition,
                 fault_aware,
                 ..Slaee::new(sla_level, reference.avg_throughput(), max_channel)
             }
-            .run_instrumented(&tb.env, dataset, tel)
+            .run(&mut ctx)
         }
-        AlgorithmKind::Guc => GlobusUrlCopy::new().run_instrumented(&tb.env, dataset, tel),
-        AlgorithmKind::Go => GlobusOnline::new().run_instrumented(&tb.env, dataset, tel),
+        AlgorithmKind::Guc => GlobusUrlCopy::new().run(&mut ctx),
+        AlgorithmKind::Go => GlobusOnline::new().run(&mut ctx),
         AlgorithmKind::Sc => SingleChunk {
             partition,
             ..SingleChunk::new(max_channel)
         }
-        .run_instrumented(&tb.env, dataset, tel),
+        .run(&mut ctx),
         AlgorithmKind::ProMc => ProMc {
             partition,
             fault_aware,
             ..ProMc::new(max_channel)
         }
-        .run_instrumented(&tb.env, dataset, tel),
+        .run(&mut ctx),
         AlgorithmKind::Bf => BruteForce {
             partition,
             ..BruteForce::new(max_channel)
         }
-        .run_instrumented(&tb.env, dataset, tel),
+        .run(&mut ctx),
         AlgorithmKind::Manual => {
             // Defaults to the untuned baseline when called through this
             // path; the CLI's transfer command supplies explicit values.
@@ -460,7 +532,7 @@ pub fn run_algorithm_instrumented(
                 eadt_transfer::TransferParams::new(1, 1, max_channel),
                 eadt_endsys::Placement::PackFirst,
             );
-            run_manual_instrumented(&tb.env, &plan, fault_aware, tel)
+            run_manual_instrumented(&tb.env, &plan, fault_aware, ctx.telemetry())
         }
     }
 }
@@ -494,7 +566,7 @@ fn run_manual_instrumented(
     }
 }
 
-fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io::Result<()> {
+fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> Result<(), EadtError> {
     if cli.json {
         let faults = serde_json::json!({
             "channel_failures": r.faults.channel_failures,
@@ -532,7 +604,7 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
             out,
             "{}",
             serde_json::to_string_pretty(&json).expect("serializable")
-        )
+        )?;
     } else {
         writeln!(out, "algorithm:   {name}")?;
         writeln!(out, "completed:   {}", r.completed)?;
@@ -583,8 +655,8 @@ fn print_report(cli: &Cli, out: Out, name: &str, r: &TransferReport) -> std::io:
                 c.completed_at.map_or("-".into(), |d| d.to_string())
             )?;
         }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -604,6 +676,7 @@ mod tests {
         let out = run_cli("help");
         assert!(out.contains("USAGE"));
         assert!(out.contains("transfer"));
+        assert!(out.contains("fleet"));
     }
 
     #[test]
@@ -670,6 +743,50 @@ mod tests {
             .filter(|l| l.starts_with("SC") || l.starts_with("MinE"))
             .collect();
         assert_eq!(rows.len(), 4, "{out}");
+    }
+
+    #[test]
+    fn fleet_runs_batch_and_prints_summary() {
+        let out = run_cli(
+            "fleet --testbed didclab --algorithms sc,promc --levels 1,2 --scale 0.01 --workers 2",
+        );
+        assert!(out.contains("fleet: 4 jobs"), "{out}");
+        assert!(out.contains("DIDCLAB/SC@1"), "{out}");
+        assert!(out.contains("completed 4/4 (0 errors)"), "{out}");
+    }
+
+    #[test]
+    fn fleet_json_is_worker_count_invariant() {
+        let run_json = |workers: u32| {
+            let out = run_cli(&format!(
+                "fleet --testbed didclab --algorithms sc,mine --levels 1,2 --scale 0.01 \
+                 --seed 9 --workers {workers} --json"
+            ));
+            let start = out.find('{').expect("json in output");
+            out[start..].to_string()
+        };
+        let serial = run_json(1);
+        let parallel = run_json(4);
+        assert_eq!(serial, parallel, "fleet JSON must not depend on workers");
+        let v: serde_json::Value = serde_json::from_str(&serial).unwrap();
+        assert_eq!(v["root_seed"].as_u64().unwrap(), 9);
+        assert_eq!(v["jobs"].as_array().unwrap().len(), 4);
+        assert!(serial.find("workers").is_none(), "no worker count in JSON");
+    }
+
+    #[test]
+    fn fleet_writes_report_file() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        let path_s = path.to_string_lossy().into_owned();
+        let out = run_cli(&format!(
+            "fleet --testbed didclab --algorithms sc --levels 1 --scale 0.01 --out {path_s}"
+        ));
+        assert!(out.contains("fleet report ->"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["jobs"].as_array().unwrap().len(), 1);
     }
 
     #[test]
@@ -819,13 +936,14 @@ mod tests {
     }
 
     #[test]
-    fn bad_testbed_is_an_error() {
+    fn bad_testbed_is_a_typed_error() {
         let argv: Vec<String> = "transfer --testbed mars"
             .split_whitespace()
             .map(str::to_string)
             .collect();
         let mut buf = Vec::new();
-        assert!(crate::run(&argv, &mut buf).is_err());
+        let err = crate::run(&argv, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), eadt_sim::ErrorKind::InvalidArgument);
     }
 
     #[test]

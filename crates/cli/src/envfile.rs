@@ -8,32 +8,27 @@
 
 use crate::args::EnvSource;
 use eadt_dataset::Dataset;
-use eadt_sim::Bytes;
-use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
+use eadt_sim::{Bytes, EadtError};
+use eadt_testbeds::Environment;
 
-/// Resolves an environment source to a concrete environment.
-pub fn load(source: &EnvSource) -> Result<Environment, String> {
+/// Resolves an environment source to a concrete environment. Testbed
+/// lookup delegates to [`eadt_testbeds::by_name`]; file loads report typed
+/// [`EadtError::Io`] / [`EadtError::Environment`] failures.
+pub fn load(source: &EnvSource) -> Result<Environment, EadtError> {
     match source {
-        EnvSource::Testbed(name) => match name.to_ascii_lowercase().as_str() {
-            "xsede" => Ok(xsede()),
-            "futuregrid" => Ok(futuregrid()),
-            "didclab" => Ok(didclab()),
-            other => Err(format!(
-                "unknown testbed '{other}' (expected xsede, futuregrid or didclab)"
-            )),
-        },
+        EnvSource::Testbed(name) => eadt_testbeds::by_name(name),
         EnvSource::File(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let env: Environment =
-                serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| EadtError::io(path.clone(), format!("cannot read: {e}")))?;
+            let env: Environment = serde_json::from_str(&text)
+                .map_err(|e| EadtError::environment(path.clone(), format!("cannot parse: {e}")))?;
             let issues = env.validate();
             if issues.is_empty() {
                 Ok(env)
             } else {
-                Err(format!(
-                    "{path} is not a usable environment: {}",
-                    issues.join("; ")
+                Err(EadtError::environment(
+                    path.clone(),
+                    format!("not a usable environment: {}", issues.join("; ")),
                 ))
             }
         }
@@ -44,22 +39,27 @@ pub fn load(source: &EnvSource) -> Result<Environment, String> {
 /// (`3MB`, `2.5 GB`, `1048576`, …), `#` comments and blank lines ignored.
 /// This is how a user replays *their* directory listing through the
 /// simulator (`du -b` output piped through `awk '{print $1}'` works).
-pub fn load_dataset(path: &str) -> Result<Dataset, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+pub fn load_dataset(path: &str) -> Result<Dataset, EadtError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| EadtError::io(path, format!("cannot read: {e}")))?;
     let mut sizes = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let size = Bytes::parse(trimmed).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let size = Bytes::parse(trimmed)
+            .map_err(|e| EadtError::dataset(path, format!("line {}: {e}", lineno + 1)))?;
         if size.is_zero() {
-            return Err(format!("{path}:{}: zero-byte file", lineno + 1));
+            return Err(EadtError::dataset(
+                path,
+                format!("line {}: zero-byte file", lineno + 1),
+            ));
         }
         sizes.push(size);
     }
     if sizes.is_empty() {
-        return Err(format!("{path}: no file sizes found"));
+        return Err(EadtError::dataset(path, "no file sizes found"));
     }
     Ok(Dataset::from_sizes(path.to_string(), sizes))
 }
@@ -72,6 +72,8 @@ pub fn to_json(env: &Environment) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eadt_sim::ErrorKind;
+    use eadt_testbeds::xsede;
 
     #[test]
     fn builtin_testbeds_load() {
@@ -79,7 +81,8 @@ mod tests {
             let env = load(&EnvSource::Testbed(name.into())).unwrap();
             assert!(!env.name.is_empty());
         }
-        assert!(load(&EnvSource::Testbed("nowhere".into())).is_err());
+        let err = load(&EnvSource::Testbed("nowhere".into())).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidArgument);
     }
 
     #[test]
@@ -103,7 +106,11 @@ mod tests {
         let path = dir.join("invalid.json");
         std::fs::write(&path, to_json(&env)).unwrap();
         let err = load(&EnvSource::File(path.to_string_lossy().into_owned())).unwrap_err();
-        assert!(err.contains("not a usable environment"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Environment);
+        assert!(
+            err.to_string().contains("not a usable environment"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -115,21 +122,24 @@ mod tests {
         let d = load_dataset(&path.to_string_lossy()).unwrap();
         assert_eq!(d.file_count(), 3);
         assert_eq!(d.total_size().as_u64(), 3_000_000 + 2_500_000_000 + 1000);
-        // Malformed lines carry positions.
+        // Malformed lines carry positions and a typed kind.
         std::fs::write(&path, "3MB\nnonsense\n").unwrap();
         let err = load_dataset(&path.to_string_lossy()).unwrap_err();
-        assert!(err.contains(":2:"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Dataset);
+        assert!(err.to_string().contains("line 2"), "{err}");
         std::fs::write(&path, "# only comments\n").unwrap();
         assert!(load_dataset(&path.to_string_lossy()).is_err());
     }
 
     #[test]
     fn missing_and_malformed_files_error() {
-        assert!(load(&EnvSource::File("/definitely/not/here.json".into())).is_err());
+        let err = load(&EnvSource::File("/definitely/not/here.json".into())).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
         let dir = std::env::temp_dir().join("eadt-envfile-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("broken.json");
         std::fs::write(&path, "{not json").unwrap();
-        assert!(load(&EnvSource::File(path.to_string_lossy().into_owned())).is_err());
+        let err = load(&EnvSource::File(path.to_string_lossy().into_owned())).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Environment);
     }
 }

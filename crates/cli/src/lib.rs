@@ -12,11 +12,12 @@ pub mod commands;
 pub mod envfile;
 
 pub use args::{Cli, Command};
+pub use eadt_sim::{EadtError, ErrorKind};
 
 /// Parses `argv` (without the program name) and executes the command,
-/// writing human-readable output to `out`. Returns an error message meant
-/// for stderr on failure.
-pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+/// writing human-readable output to `out`. Failures are typed
+/// [`EadtError`]s; `main` renders them for stderr via `Display`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), EadtError> {
     let cli = Cli::parse(argv)?;
-    commands::execute(&cli, out).map_err(|e| e.to_string())
+    commands::execute(&cli, out)
 }

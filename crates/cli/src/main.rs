@@ -5,6 +5,11 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if let Err(e) = eadt_cli::run(&argv, &mut out) {
+        // A closed stdout (`eadt ... | head`) is how pagers end us, not a
+        // user error: follow Unix convention and leave quietly.
+        if e.kind() == eadt_cli::ErrorKind::Io && e.to_string().contains("Broken pipe") {
+            return;
+        }
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -17,11 +17,11 @@
 //!   concurrency level and reports the best throughput/energy ratio,
 //!   the 100% mark of Figures 2c/3c/4c.
 
-use crate::planner::{chunk_params, weight_allocation};
-use crate::Algorithm;
+use crate::planner::Planner;
+use crate::{Algorithm, RunCtx};
 use eadt_dataset::{partition, partition_globus_online, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
-use eadt_telemetry::Telemetry;
+
 use eadt_transfer::{
     ChunkPlan, Engine, FaultAware, NullController, TransferEnv, TransferPlan, TransferReport,
 };
@@ -44,12 +44,8 @@ impl Algorithm for GlobusUrlCopy {
         "GUC"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let plan = eadt_transfer::uniform_plan(
             dataset,
             eadt_transfer::TransferParams::BASELINE,
@@ -85,12 +81,8 @@ impl Algorithm for GlobusOnline {
         "GO"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let chunks = partition_globus_online(dataset);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
@@ -130,17 +122,13 @@ impl Algorithm for SingleChunk {
         "SC"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
             .map(|chunk| {
-                let params = chunk_params(&env.link, chunk);
+                let params = Planner::new(&env.link).chunk_params(chunk);
                 ChunkPlan::from_chunk(
                     chunk,
                     params.pipelining,
@@ -181,12 +169,12 @@ impl ProMc {
     /// Builds ProMC's static plan (shared with BruteForce).
     pub fn plan(&self, env: &TransferEnv, dataset: &Dataset) -> TransferPlan {
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
-        let alloc = weight_allocation(&chunks, self.concurrency);
+        let alloc = Planner::new(&env.link).weight_allocation(&chunks, self.concurrency);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&alloc)
             .map(|(chunk, &channels)| {
-                let params = chunk_params(&env.link, chunk);
+                let params = Planner::new(&env.link).chunk_params(chunk);
                 ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels)
             })
             .collect();
@@ -199,12 +187,8 @@ impl Algorithm for ProMc {
         "ProMC"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let plan = self.plan(env, dataset);
         if self.fault_aware {
             Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(NullController), tel)
@@ -246,7 +230,7 @@ impl BruteForce {
                     partition: self.partition,
                     fault_aware: false,
                 };
-                (cc, promc.run(env, dataset))
+                (cc, promc.run(&mut RunCtx::new(env, dataset)))
             })
             .collect()
     }
@@ -265,21 +249,17 @@ impl Algorithm for BruteForce {
         "BF"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
         // The sweep itself runs uninstrumented; only the winning level is
-        // re-run with telemetry so the journal shows one coherent transfer.
-        let (level, _) = self.best(env, dataset);
+        // re-run through the caller's context so the journal shows one
+        // coherent transfer.
+        let (level, _) = self.best(ctx.env(), ctx.dataset());
         let promc = ProMc {
             concurrency: level,
             partition: self.partition,
             fault_aware: false,
         };
-        promc.run_instrumented(env, dataset, tel)
+        promc.run(ctx)
     }
 }
 
@@ -292,7 +272,7 @@ mod tests {
     fn guc_moves_everything_on_one_channel() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let r = GlobusUrlCopy::new().run(&env, &dataset);
+        let r = GlobusUrlCopy::new().run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         assert_eq!(r.moved_bytes, dataset.total_size());
         assert_eq!(r.concurrency_series.max_value().unwrap(), 1.0);
@@ -302,7 +282,7 @@ mod tests {
     fn go_uses_two_channels_flat() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let r = GlobusOnline::new().run(&env, &dataset);
+        let r = GlobusOnline::new().run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         assert!(r.concurrency_series.max_value().unwrap() <= 2.0);
     }
@@ -311,7 +291,7 @@ mod tests {
     fn sc_runs_chunks_sequentially() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let r = SingleChunk::new(6).run(&env, &dataset);
+        let r = SingleChunk::new(6).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         // Sequential: never more than one chunk's channels at a time.
         assert!(r.concurrency_series.max_value().unwrap() <= 6.0);
@@ -321,9 +301,9 @@ mod tests {
     fn promc_outperforms_guc_and_sc() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let promc = ProMc::new(12).run(&env, &dataset);
-        let guc = GlobusUrlCopy::new().run(&env, &dataset);
-        let sc = SingleChunk::new(12).run(&env, &dataset);
+        let promc = ProMc::new(12).run(&mut RunCtx::new(&env, &dataset));
+        let guc = GlobusUrlCopy::new().run(&mut RunCtx::new(&env, &dataset));
+        let sc = SingleChunk::new(12).run(&mut RunCtx::new(&env, &dataset));
         assert!(
             promc.avg_throughput().as_mbps() > sc.avg_throughput().as_mbps(),
             "promc={} sc={}",
@@ -337,8 +317,8 @@ mod tests {
     fn promc_throughput_rises_with_concurrency() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let lo = ProMc::new(2).run(&env, &dataset);
-        let hi = ProMc::new(12).run(&env, &dataset);
+        let lo = ProMc::new(2).run(&mut RunCtx::new(&env, &dataset));
+        let hi = ProMc::new(12).run(&mut RunCtx::new(&env, &dataset));
         assert!(
             hi.avg_throughput().as_mbps() > 1.5 * lo.avg_throughput().as_mbps(),
             "hi={} lo={}",
@@ -376,7 +356,7 @@ mod tests {
             Box::new(ProMc::new(4)),
         ];
         for a in &algos {
-            let r = a.run(&env, &dataset);
+            let r = a.run(&mut RunCtx::new(&env, &dataset));
             assert!(r.completed, "{} did not complete", a.name());
             assert_eq!(r.moved_bytes, dataset.total_size(), "{}", a.name());
         }

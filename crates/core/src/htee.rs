@@ -1,11 +1,11 @@
 //! Algorithm 2 — the High Throughput Energy-Efficient (HTEE) algorithm.
 
-use crate::planner::{chunk_params, weight_allocation, weight_allocation_live};
-use crate::Algorithm;
+use crate::planner::{weight_allocation_live, Planner};
+use crate::{Algorithm, RunCtx};
 use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{SimDuration, SimTime};
-use eadt_telemetry::{Event, Telemetry};
+use eadt_telemetry::Event;
 use eadt_transfer::{
     ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
     TransferReport,
@@ -78,20 +78,16 @@ impl Algorithm for Htee {
         "HTEE"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let chunks = self.chunks(env, dataset);
         let levels = self.search_levels();
-        let first_alloc = weight_allocation(&chunks, levels[0]);
+        let first_alloc = Planner::new(&env.link).weight_allocation(&chunks, levels[0]);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&first_alloc)
             .map(|(chunk, &channels)| {
-                let params = chunk_params(&env.link, chunk);
+                let params = Planner::new(&env.link).chunk_params(chunk);
                 ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels)
             })
             .collect();
@@ -278,6 +274,7 @@ impl Controller for HteeController {
 mod tests {
     use super::*;
     use crate::test_support::{mixed_dataset, wan_env};
+    use eadt_telemetry::Telemetry;
 
     #[test]
     fn search_levels_stride_two() {
@@ -290,7 +287,7 @@ mod tests {
     fn run_completes_and_adapts_concurrency() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let r = Htee::new(8).run(&env, &dataset);
+        let r = Htee::new(8).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         assert_eq!(r.moved_bytes, dataset.total_size());
         // The concurrency trace must show more than one level (the search).
@@ -302,8 +299,8 @@ mod tests {
     fn htee_beats_single_channel_throughput() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let htee = Htee::new(8).run(&env, &dataset);
-        let single = crate::baselines::GlobusUrlCopy::new().run(&env, &dataset);
+        let htee = Htee::new(8).run(&mut RunCtx::new(&env, &dataset));
+        let single = crate::baselines::GlobusUrlCopy::new().run(&mut RunCtx::new(&env, &dataset));
         assert!(
             htee.avg_throughput().as_mbps() > single.avg_throughput().as_mbps(),
             "htee={} guc={}",
@@ -338,12 +335,12 @@ mod tests {
         };
         let chunks = algo.chunks(&env, &dataset);
         let levels = algo.search_levels();
-        let first = weight_allocation(&chunks, levels[0]);
+        let first = Planner::new(&env.link).weight_allocation(&chunks, levels[0]);
         let plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&first)
             .map(|(c, &ch)| {
-                let p = chunk_params(&env.link, c);
+                let p = Planner::new(&env.link).chunk_params(c);
                 ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
             })
             .collect();
@@ -366,7 +363,7 @@ mod tests {
         let algo = Htee::new(6);
         let levels = algo.search_levels();
         let mut tel = Telemetry::with_journal();
-        let r = algo.run_instrumented(&env, &dataset, &mut tel);
+        let r = algo.run(&mut RunCtx::with_telemetry(&env, &dataset, &mut tel));
         assert!(r.completed);
         let journal = tel.into_journal().unwrap();
         let mut probes = Vec::new();
@@ -416,12 +413,12 @@ mod tests {
         let chunks = algo.chunks(&env, &dataset);
         let levels = algo.search_levels();
         let n_levels = levels.len();
-        let first = weight_allocation(&chunks, levels[0]);
+        let first = Planner::new(&env.link).weight_allocation(&chunks, levels[0]);
         let plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&first)
             .map(|(c, &ch)| {
-                let p = chunk_params(&env.link, c);
+                let p = Planner::new(&env.link).chunk_params(c);
                 ChunkPlan::from_chunk(c, p.pipelining, p.parallelism, ch)
             })
             .collect();

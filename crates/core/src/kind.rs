@@ -1,0 +1,110 @@
+//! Algorithm selection by name.
+//!
+//! [`AlgorithmKind`] names every algorithm and baseline in the workspace;
+//! it used to live in the CLI's argument parser but is now shared by the
+//! CLI, the fleet batch runner, and the bench sweeps (a job spec carries a
+//! kind, not a boxed trait object, so specs stay `Clone + Send` and
+//! serialize cleanly).
+
+use eadt_sim::EadtError;
+use std::fmt;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — Minimum Energy.
+    MinE,
+    /// Algorithm 2 — High Throughput Energy-Efficient.
+    Htee,
+    /// Algorithm 3 — SLA-based Energy-Efficient.
+    Slaee,
+    /// globus-url-copy baseline (untuned).
+    Guc,
+    /// Globus Online baseline (fixed parameters).
+    Go,
+    /// Single-Chunk baseline.
+    Sc,
+    /// Pro-active Multi-Chunk baseline.
+    ProMc,
+    /// Brute-force oracle.
+    Bf,
+    /// Manual tuning: the whole dataset with explicit pipelining /
+    /// parallelism / concurrency (like a hand-tuned globus-url-copy).
+    Manual,
+}
+
+impl AlgorithmKind {
+    /// Every kind, in canonical order (the figures' legend order).
+    pub const ALL: [AlgorithmKind; 9] = [
+        AlgorithmKind::MinE,
+        AlgorithmKind::Htee,
+        AlgorithmKind::Slaee,
+        AlgorithmKind::Guc,
+        AlgorithmKind::Go,
+        AlgorithmKind::Sc,
+        AlgorithmKind::ProMc,
+        AlgorithmKind::Bf,
+        AlgorithmKind::Manual,
+    ];
+
+    /// Parses a (case-insensitive) algorithm name.
+    pub fn parse(s: &str) -> Result<Self, EadtError> {
+        match s.to_ascii_lowercase().as_str() {
+            "mine" | "min-e" => Ok(AlgorithmKind::MinE),
+            "htee" => Ok(AlgorithmKind::Htee),
+            "slaee" | "sla" => Ok(AlgorithmKind::Slaee),
+            "guc" | "globus-url-copy" => Ok(AlgorithmKind::Guc),
+            "go" | "globus-online" => Ok(AlgorithmKind::Go),
+            "sc" | "single-chunk" => Ok(AlgorithmKind::Sc),
+            "promc" | "pro-mc" | "pro-multi-chunk" => Ok(AlgorithmKind::ProMc),
+            "bf" | "brute-force" => Ok(AlgorithmKind::Bf),
+            "manual" => Ok(AlgorithmKind::Manual),
+            other => Err(EadtError::invalid_argument(
+                "--algorithm",
+                format!(
+                    "unknown algorithm '{other}' (expected one of: mine, htee, slaee, guc, go, sc, promc, bf, manual)"
+                ),
+            )),
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::MinE => "MinE",
+            AlgorithmKind::Htee => "HTEE",
+            AlgorithmKind::Slaee => "SLAEE",
+            AlgorithmKind::Guc => "GUC",
+            AlgorithmKind::Go => "GO",
+            AlgorithmKind::Sc => "SC",
+            AlgorithmKind::ProMc => "ProMC",
+            AlgorithmKind::Bf => "BF",
+            AlgorithmKind::Manual => "manual",
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in AlgorithmKind::ALL {
+            let reparsed = AlgorithmKind::parse(&kind.name().to_ascii_lowercase()).unwrap();
+            assert_eq!(reparsed, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_typed_invalid_argument() {
+        let err = AlgorithmKind::parse("nope").unwrap_err();
+        assert_eq!(err.kind(), eadt_sim::ErrorKind::InvalidArgument);
+    }
+}

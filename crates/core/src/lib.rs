@@ -25,7 +25,9 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod ctx;
 pub mod htee;
+pub mod kind;
 pub mod mine;
 pub mod planner;
 pub mod slaee;
@@ -39,12 +41,26 @@ use eadt_dataset::Dataset;
 use eadt_telemetry::Telemetry;
 use eadt_transfer::{TransferEnv, TransferReport};
 
+pub use ctx::RunCtx;
 pub use htee::Htee;
+pub use kind::AlgorithmKind;
 pub use mine::MinE;
+pub use planner::Planner;
+#[allow(deprecated)]
 pub use planner::{
     chunk_params, linear_weight_allocation, mine_allocation, weight_allocation, ChunkParams,
 };
 pub use slaee::Slaee;
+
+/// The one-stop import for experiment code: the trait, the run context,
+/// every algorithm and baseline, the planner, and the kind selector.
+pub mod prelude {
+    pub use crate::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+    pub use crate::ctx::RunCtx;
+    pub use crate::kind::AlgorithmKind;
+    pub use crate::planner::{ChunkParams, Planner};
+    pub use crate::{Algorithm, Htee, MinE, Slaee};
+}
 
 /// A data-transfer scheduling algorithm: plans a dataset against an
 /// environment and executes it on the simulated GridFTP engine.
@@ -52,21 +68,26 @@ pub trait Algorithm {
     /// Display name used in figures and tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the whole transfer with telemetry: planning decisions, probe
-    /// windows, engine events and metrics land in `tel` (a no-op when
-    /// `tel` is [`Telemetry::disabled`], which is exactly what [`run`]
-    /// passes — implementations pay nothing on the plain path).
-    ///
-    /// [`run`]: Algorithm::run
+    /// Runs the whole transfer described by `ctx` — environment, dataset,
+    /// telemetry sink, fault plan — and returns its measurements.
+    /// Telemetry is a no-op handle when the context was built with
+    /// [`RunCtx::new`], so implementations pay nothing on the plain path.
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport;
+
+    /// Shim for the pre-`RunCtx` two-argument entry point.
+    #[deprecated(since = "0.2.0", note = "build a `RunCtx` and call `run`")]
+    fn run_plain(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
+        self.run(&mut RunCtx::new(env, dataset))
+    }
+
+    /// Shim for the pre-`RunCtx` instrumented entry point.
+    #[deprecated(since = "0.2.0", note = "use `RunCtx::with_telemetry` and call `run`")]
     fn run_instrumented(
         &self,
         env: &TransferEnv,
         dataset: &Dataset,
         tel: &mut Telemetry,
-    ) -> TransferReport;
-
-    /// Runs the whole transfer and returns its measurements.
-    fn run(&self, env: &TransferEnv, dataset: &Dataset) -> TransferReport {
-        self.run_instrumented(env, dataset, &mut Telemetry::disabled())
+    ) -> TransferReport {
+        self.run(&mut RunCtx::with_telemetry(env, dataset, tel))
     }
 }

@@ -1,11 +1,11 @@
 //! Algorithm 1 — the Minimum Energy (MinE) transfer algorithm.
 
-use crate::planner::{chunk_params, mine_allocation};
-use crate::Algorithm;
+use crate::planner::Planner;
+use crate::{Algorithm, RunCtx};
 use eadt_dataset::{partition, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
 use eadt_sim::SimTime;
-use eadt_telemetry::{Event, Telemetry};
+use eadt_telemetry::Event;
 use eadt_transfer::{ChunkPlan, Engine, NullController, TransferEnv, TransferPlan, TransferReport};
 use serde::{Deserialize, Serialize};
 
@@ -39,12 +39,12 @@ impl MinE {
     /// Builds the static transfer plan (exposed for inspection and tests).
     pub fn plan(&self, env: &TransferEnv, dataset: &Dataset) -> TransferPlan {
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
-        let alloc = mine_allocation(&env.link, &chunks, self.max_channel);
+        let alloc = Planner::new(&env.link).mine_allocation(&chunks, self.max_channel);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&alloc)
             .map(|(chunk, &channels)| {
-                let params = chunk_params(&env.link, chunk);
+                let params = Planner::new(&env.link).chunk_params(chunk);
                 let mut plan =
                     ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels);
                 // The energy guard: Large chunks keep one channel for the
@@ -62,12 +62,8 @@ impl Algorithm for MinE {
         "MinE"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let plan = self.plan(env, dataset);
         tel.record_with(SimTime::ZERO, || {
             let targets: Vec<u32> = plan.stages[0].chunks.iter().map(|c| c.channels).collect();
@@ -119,7 +115,7 @@ mod tests {
     fn run_completes_and_reports() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let report = MinE::new(8).run(&env, &dataset);
+        let report = MinE::new(8).run(&mut RunCtx::new(&env, &dataset));
         assert!(report.completed);
         assert_eq!(report.moved_bytes, dataset.total_size());
         assert!(report.total_energy_j() > 0.0);
@@ -129,8 +125,8 @@ mod tests {
     fn more_channels_do_not_hurt_throughput() {
         let env = wan_env();
         let dataset = mixed_dataset();
-        let lo = MinE::new(2).run(&env, &dataset);
-        let hi = MinE::new(12).run(&env, &dataset);
+        let lo = MinE::new(2).run(&mut RunCtx::new(&env, &dataset));
+        let hi = MinE::new(12).run(&mut RunCtx::new(&env, &dataset));
         assert!(
             hi.avg_throughput().as_mbps() >= lo.avg_throughput().as_mbps() * 0.95,
             "hi={} lo={}",

@@ -25,17 +25,98 @@ pub struct ChunkParams {
     pub parallelism: u32,
 }
 
-/// Algorithm 1 lines 8–9:
+/// The planner: all parameter rules and channel-allocation policies of
+/// Algorithms 1–3, bound to the path they plan against.
 ///
-/// ```text
-/// pipelining  = ⌈ BDP / avgFileSize ⌉
-/// parallelism = max(min(⌈BDP/bufSize⌉, ⌈avgFileSize/bufSize⌉), 1)
-/// ```
-///
-/// Small chunks get deep pipelines and one stream; Large chunks get
-/// shallow pipelines and enough streams to cover the BDP with the
-/// available buffer.
+/// This replaces the old loose free functions (`chunk_params`,
+/// `weight_allocation`, `mine_allocation`, `linear_weight_allocation`) with
+/// one type: construct it once per environment with [`Planner::new`] and
+/// call policies as methods. The live-set variants used by mid-transfer
+/// controllers ([`weight_allocation_live`], [`sla_allocation_live`]) remain
+/// free functions because controllers re-plan without a link in hand.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'a> {
+    link: &'a Link,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner for the given end-to-end path.
+    pub fn new(link: &'a Link) -> Self {
+        Planner { link }
+    }
+
+    /// The path this planner plans against.
+    pub fn link(&self) -> &'a Link {
+        self.link
+    }
+
+    /// Algorithm 1 lines 8–9:
+    ///
+    /// ```text
+    /// pipelining  = ⌈ BDP / avgFileSize ⌉
+    /// parallelism = max(min(⌈BDP/bufSize⌉, ⌈avgFileSize/bufSize⌉), 1)
+    /// ```
+    ///
+    /// Small chunks get deep pipelines and one stream; Large chunks get
+    /// shallow pipelines and enough streams to cover the BDP with the
+    /// available buffer.
+    pub fn chunk_params(&self, chunk: &Chunk) -> ChunkParams {
+        chunk_params_policy(self.link, chunk)
+    }
+
+    /// Algorithm 1 lines 10–11: MinE's channel allocation (Large chunks
+    /// pinned to one channel, the rest shared weight-proportionally).
+    pub fn mine_allocation(&self, chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
+        mine_allocation_policy(chunks, max_channel)
+    }
+
+    /// Algorithm 2 lines 6–13: HTEE's weight-proportional allocation.
+    pub fn weight_allocation(&self, chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
+        weight_allocation_policy(chunks, max_channel)
+    }
+
+    /// [`Planner::weight_allocation`] restricted to chunks still holding
+    /// bytes (see [`weight_allocation_live`]).
+    pub fn weight_allocation_live(
+        &self,
+        chunks: &[Chunk],
+        live: &[bool],
+        max_channel: u32,
+    ) -> Vec<u32> {
+        weight_allocation_live(chunks, live, max_channel)
+    }
+
+    /// Ablation variant of [`Planner::weight_allocation`] with weights
+    /// proportional to raw chunk byte counts.
+    pub fn linear_weight_allocation(&self, chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
+        linear_weight_allocation_policy(chunks, max_channel)
+    }
+
+    /// SLAEE's allocation (Algorithm 3): the weight allocation with Large
+    /// chunks capped at one channel until `rearranged`.
+    pub fn sla_allocation(&self, chunks: &[Chunk], max_channel: u32, rearranged: bool) -> Vec<u32> {
+        sla_allocation(chunks, max_channel, rearranged)
+    }
+
+    /// [`Planner::sla_allocation`] over live chunks only.
+    pub fn sla_allocation_live(
+        &self,
+        chunks: &[Chunk],
+        live: &[bool],
+        max_channel: u32,
+        rearranged: bool,
+    ) -> Vec<u32> {
+        sla_allocation_live(chunks, live, max_channel, rearranged)
+    }
+}
+
+/// Deprecated free-function form of [`Planner::chunk_params`].
+#[deprecated(since = "0.2.0", note = "use `Planner::new(link).chunk_params(chunk)`")]
 pub fn chunk_params(link: &Link, chunk: &Chunk) -> ChunkParams {
+    chunk_params_policy(link, chunk)
+}
+
+fn chunk_params_policy(link: &Link, chunk: &Chunk) -> ChunkParams {
     let bdp = link.bdp().as_f64().max(1.0);
     let avg = chunk.avg_file_size().as_f64().max(1.0);
     let buf = link.tcp_buffer.as_f64().max(1.0);
@@ -63,8 +144,18 @@ pub fn chunk_params(link: &Link, chunk: &Chunk) -> ChunkParams {
 /// * Large-class chunks get exactly one channel each (the energy guard);
 /// * the remaining budget is shared by the non-Large chunks,
 ///   weight-proportionally, each getting at least one.
+///
+/// Deprecated free-function form of [`Planner::mine_allocation`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Planner::new(link).mine_allocation(chunks, max_channel)`"
+)]
 pub fn mine_allocation(link: &Link, chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
     let _ = link; // classification already encodes the BDP comparison
+    mine_allocation_policy(chunks, max_channel)
+}
+
+fn mine_allocation_policy(chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
     let n = chunks.len();
     if n == 0 {
         return Vec::new();
@@ -88,7 +179,7 @@ pub fn mine_allocation(link: &Link, chunks: &[Chunk], max_channel: u32) -> Vec<u
         .max(1)
         .saturating_sub(large_count)
         .max(rest.len() as u32);
-    let rest_alloc = weight_allocation(&rest, budget);
+    let rest_alloc = weight_allocation_policy(&rest, budget);
     let mut out = Vec::with_capacity(n);
     let mut k = 0usize;
     for &l in &is_large {
@@ -123,7 +214,17 @@ pub fn mine_allocation(link: &Link, chunks: &[Chunk], max_channel: u32) -> Vec<u
 /// listing, every live chunk is guaranteed one channel and leftover
 /// channels (from flooring) go to the heaviest chunks, so exactly
 /// `max_channel` channels are allocated whenever `max_channel ≥ #chunks`.
+///
+/// Deprecated free-function form of [`Planner::weight_allocation`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Planner::new(link).weight_allocation(chunks, max_channel)`"
+)]
 pub fn weight_allocation(chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
+    weight_allocation_policy(chunks, max_channel)
+}
+
+fn weight_allocation_policy(chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
     allocation_by_weights(
         &chunks.iter().map(Chunk::weight).collect::<Vec<_>>(),
         max_channel,
@@ -160,7 +261,17 @@ pub fn weight_allocation_live(chunks: &[Chunk], live: &[bool], max_channel: u32)
 /// chunk byte counts instead of the paper's `log(size)·log(count)`. Linear
 /// weights starve many-small-file chunks of channels — the ablation bench
 /// quantifies what the paper's logarithmic damping buys.
+///
+/// Deprecated free-function form of [`Planner::linear_weight_allocation`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Planner::new(link).linear_weight_allocation(chunks, max_channel)`"
+)]
 pub fn linear_weight_allocation(chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
+    linear_weight_allocation_policy(chunks, max_channel)
+}
+
+fn linear_weight_allocation_policy(chunks: &[Chunk], max_channel: u32) -> Vec<u32> {
     allocation_by_weights(
         &chunks
             .iter()
@@ -356,7 +467,7 @@ mod tests {
     #[test]
     fn params_small_chunk_gets_deep_pipeline_one_stream() {
         // BDP 50 MB, avg 5 MB → pp = 10; parallelism min(2, 1) = 1.
-        let p = chunk_params(&xsede_link(), &chunk_of(SizeClass::Small, 10, 5));
+        let p = Planner::new(&xsede_link()).chunk_params(&chunk_of(SizeClass::Small, 10, 5));
         assert_eq!(p.pipelining, 10);
         assert_eq!(p.parallelism, 1);
     }
@@ -364,7 +475,7 @@ mod tests {
     #[test]
     fn params_large_chunk_gets_streams_no_pipeline() {
         // avg 3 GB → pp = ⌈50/3000⌉ = 1; parallelism min(⌈50/32⌉=2, 94) = 2.
-        let p = chunk_params(&xsede_link(), &chunk_of(SizeClass::Large, 4, 3000));
+        let p = Planner::new(&xsede_link()).chunk_params(&chunk_of(SizeClass::Large, 4, 3000));
         assert_eq!(p.pipelining, 1);
         assert_eq!(p.parallelism, 2);
     }
@@ -377,7 +488,7 @@ mod tests {
             SimDuration::from_micros(200),
             Bytes::from_mb(32),
         );
-        let p = chunk_params(&lan, &chunk_of(SizeClass::Large, 4, 500));
+        let p = Planner::new(&lan).chunk_params(&chunk_of(SizeClass::Large, 4, 500));
         assert_eq!(p.pipelining, 1);
         assert_eq!(p.parallelism, 1);
     }
@@ -391,7 +502,10 @@ mod tests {
                 .map(|i| FileSpec::new(i, Bytes::from_kb(100)))
                 .collect(),
         );
-        assert_eq!(chunk_params(&xsede_link(), &c).pipelining, MAX_PIPELINING);
+        assert_eq!(
+            Planner::new(&xsede_link()).chunk_params(&c).pipelining,
+            MAX_PIPELINING
+        );
     }
 
     #[test]
@@ -402,7 +516,7 @@ mod tests {
             chunk_of(SizeClass::Medium, 40, 150),
             chunk_of(SizeClass::Large, 4, 3000),
         ];
-        let alloc = mine_allocation(&link, &chunks, 12);
+        let alloc = Planner::new(&link).mine_allocation(&chunks, 12);
         assert_eq!(alloc[2], 1, "Large pinned to one channel: {alloc:?}");
         assert_eq!(alloc.iter().sum::<u32>(), 12);
         assert!(alloc[0] >= alloc[1], "small chunk favoured: {alloc:?}");
@@ -415,7 +529,7 @@ mod tests {
             chunk_of(SizeClass::Large, 4, 3000),
             chunk_of(SizeClass::Large, 6, 8000),
         ];
-        assert_eq!(mine_allocation(&link, &chunks, 12), vec![1, 1]);
+        assert_eq!(Planner::new(&link).mine_allocation(&chunks, 12), vec![1, 1]);
     }
 
     #[test]
@@ -426,7 +540,7 @@ mod tests {
             chunk_of(SizeClass::Medium, 8, 30),
             chunk_of(SizeClass::Large, 4, 3000),
         ];
-        let alloc = mine_allocation(&link, &chunks, 1);
+        let alloc = Planner::new(&link).mine_allocation(&chunks, 1);
         assert!(alloc.iter().all(|&c| c >= 1), "{alloc:?}");
     }
 
@@ -439,7 +553,7 @@ mod tests {
             chunk_of(SizeClass::Large, 4, 3000),
         ];
         for max in 3..=20u32 {
-            let alloc = mine_allocation(&link, &chunks, max);
+            let alloc = Planner::new(&link).mine_allocation(&chunks, max);
             let total: u32 = alloc.iter().sum();
             // Every chunk gets a channel even on a tiny budget, so the total
             // may overrun `max` by at most the chunk count; with a sane
@@ -462,7 +576,7 @@ mod tests {
             chunk_of(SizeClass::Large, 10, 3000),
         ];
         for max in 3..=24u32 {
-            let alloc = weight_allocation(&chunks, max);
+            let alloc = Planner::new(&xsede_link()).weight_allocation(&chunks, max);
             assert_eq!(alloc.iter().sum::<u32>(), max, "max={max} alloc={alloc:?}");
             assert!(alloc.iter().all(|&c| c >= 1), "{alloc:?}");
         }
@@ -474,7 +588,7 @@ mod tests {
             chunk_of(SizeClass::Small, 500, 5), // many files, big log·log weight
             chunk_of(SizeClass::Large, 2, 3000),
         ];
-        let alloc = weight_allocation(&chunks, 10);
+        let alloc = Planner::new(&xsede_link()).weight_allocation(&chunks, 10);
         assert!(alloc[0] > alloc[1], "{alloc:?}");
     }
 
@@ -485,16 +599,21 @@ mod tests {
             chunk_of(SizeClass::Medium, 40, 150),
             chunk_of(SizeClass::Large, 10, 3000),
         ];
-        let alloc = weight_allocation(&chunks, 2);
+        let alloc = Planner::new(&xsede_link()).weight_allocation(&chunks, 2);
         assert_eq!(alloc.iter().sum::<u32>(), 2);
         assert_eq!(alloc.iter().filter(|&&c| c > 0).count(), 2);
     }
 
     #[test]
     fn weight_allocation_empty_and_single() {
-        assert!(weight_allocation(&[], 5).is_empty());
+        assert!(Planner::new(&xsede_link())
+            .weight_allocation(&[], 5)
+            .is_empty());
         let one = vec![chunk_of(SizeClass::Large, 3, 1000)];
-        assert_eq!(weight_allocation(&one, 7), vec![7]);
+        assert_eq!(
+            Planner::new(&xsede_link()).weight_allocation(&one, 7),
+            vec![7]
+        );
     }
 
     #[test]
@@ -504,13 +623,16 @@ mod tests {
             chunk_of(SizeClass::Medium, 40, 150),
             chunk_of(SizeClass::Large, 10, 3000),
         ];
-        let alloc = sla_allocation(&chunks, 12, false);
+        let alloc = Planner::new(&xsede_link()).sla_allocation(&chunks, 12, false);
         assert_eq!(alloc[2], 1, "{alloc:?}");
         assert_eq!(alloc.iter().sum::<u32>(), 12);
         // After reArrangeChannels the cap lifts.
-        let re = sla_allocation(&chunks, 12, true);
+        let re = Planner::new(&xsede_link()).sla_allocation(&chunks, 12, true);
         assert!(re[2] >= 1);
-        assert_eq!(re, weight_allocation(&chunks, 12));
+        assert_eq!(
+            re,
+            Planner::new(&xsede_link()).weight_allocation(&chunks, 12)
+        );
     }
 
     #[test]
@@ -519,7 +641,10 @@ mod tests {
             chunk_of(SizeClass::Large, 4, 2000),
             chunk_of(SizeClass::Large, 6, 5000),
         ];
-        let alloc = sla_allocation(&chunks, 8, false);
-        assert_eq!(alloc, weight_allocation(&chunks, 8));
+        let alloc = Planner::new(&xsede_link()).sla_allocation(&chunks, 8, false);
+        assert_eq!(
+            alloc,
+            Planner::new(&xsede_link()).weight_allocation(&chunks, 8)
+        );
     }
 }

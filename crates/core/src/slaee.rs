@@ -1,14 +1,14 @@
 //! Algorithm 3 — the SLA-based Energy-Efficient (SLAEE) algorithm.
 
 use crate::htee::PROBE_WINDOW;
-use crate::planner::{chunk_params, sla_allocation, sla_allocation_live};
-use crate::Algorithm;
-use eadt_dataset::{partition, Chunk, Dataset, PartitionConfig};
+use crate::planner::{sla_allocation_live, Planner};
+use crate::{Algorithm, RunCtx};
+use eadt_dataset::{partition, Chunk, PartitionConfig};
 use eadt_endsys::Placement;
 use eadt_sim::{Rate, SimDuration, SimTime};
-use eadt_telemetry::{Event, Telemetry};
+use eadt_telemetry::Event;
 use eadt_transfer::{
-    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
+    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferPlan,
     TransferReport,
 };
 use serde::{Deserialize, Serialize};
@@ -79,19 +79,15 @@ impl Algorithm for Slaee {
         "SLAEE"
     }
 
-    fn run_instrumented(
-        &self,
-        env: &TransferEnv,
-        dataset: &Dataset,
-        tel: &mut Telemetry,
-    ) -> TransferReport {
+    fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        let (env, dataset, tel) = ctx.parts();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
-        let first_alloc = sla_allocation(&chunks, 1, false);
+        let first_alloc = Planner::new(&env.link).sla_allocation(&chunks, 1, false);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
             .zip(&first_alloc)
             .map(|(chunk, &channels)| {
-                let params = chunk_params(&env.link, chunk);
+                let params = Planner::new(&env.link).chunk_params(chunk);
                 ChunkPlan::from_chunk(chunk, params.pipelining, params.parallelism, channels)
             })
             .collect();
@@ -300,7 +296,8 @@ mod tests {
 
     fn max_throughput() -> Rate {
         let env = wan_env();
-        let r = ProMc::new(12).run(&env, &mixed_dataset());
+        let dataset = mixed_dataset();
+        let r = ProMc::new(12).run(&mut RunCtx::new(&env, &dataset));
         r.avg_throughput()
     }
 
@@ -317,7 +314,7 @@ mod tests {
         let env = wan_env();
         let dataset = mixed_dataset();
         let max = max_throughput();
-        let r = Slaee::new(0.3, max, 12).run(&env, &dataset);
+        let r = Slaee::new(0.3, max, 12).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         // A 30% target should never need anything close to 12 channels.
         let peak = r.concurrency_series.max_value().unwrap();
@@ -329,7 +326,7 @@ mod tests {
         let env = wan_env();
         let dataset = mixed_dataset();
         let max = max_throughput();
-        let r = Slaee::new(0.9, max, 12).run(&env, &dataset);
+        let r = Slaee::new(0.9, max, 12).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         let achieved = r.avg_throughput().as_mbps();
         // Achieved throughput lands within a reasonable deviation of the
@@ -347,8 +344,8 @@ mod tests {
         let env = wan_env();
         let dataset = mixed_dataset();
         let max = max_throughput();
-        let lo = Slaee::new(0.5, max, 12).run(&env, &dataset);
-        let hi = Slaee::new(0.95, max, 12).run(&env, &dataset);
+        let lo = Slaee::new(0.5, max, 12).run(&mut RunCtx::new(&env, &dataset));
+        let hi = Slaee::new(0.95, max, 12).run(&mut RunCtx::new(&env, &dataset));
         let lo_peak = lo.concurrency_series.max_value().unwrap();
         let hi_peak = hi.concurrency_series.max_value().unwrap();
         assert!(hi_peak >= lo_peak, "hi_peak={hi_peak} lo_peak={lo_peak}");
@@ -372,12 +369,12 @@ mod tests {
         ));
         let dataset = mixed_dataset();
         let clean_max = max_throughput();
-        let r = Slaee::new(0.5, clean_max, 12).run(&env, &dataset);
+        let r = Slaee::new(0.5, clean_max, 12).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         // It needed more channels than the clean-link 50% case would.
         let clean = {
             let env = wan_env();
-            Slaee::new(0.5, clean_max, 12).run(&env, &dataset)
+            Slaee::new(0.5, clean_max, 12).run(&mut RunCtx::new(&env, &dataset))
         };
         let busy_peak = r.concurrency_series.max_value().unwrap();
         let clean_peak = clean.concurrency_series.max_value().unwrap();
@@ -393,7 +390,7 @@ mod tests {
         let dataset = mixed_dataset();
         // Absurd reference → target can never be met → controller must walk
         // to max and then rearrange without panicking or livelocking.
-        let r = Slaee::new(1.0, Rate::from_gbps(50.0), 6).run(&env, &dataset);
+        let r = Slaee::new(1.0, Rate::from_gbps(50.0), 6).run(&mut RunCtx::new(&env, &dataset));
         assert!(r.completed);
         let peak = r.concurrency_series.max_value().unwrap();
         assert!(

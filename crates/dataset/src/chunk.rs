@@ -47,7 +47,11 @@ impl SizeClass {
 }
 
 /// Thresholds controlling [`partition`].
+///
+/// Non-exhaustive: build one with [`PartitionConfig::default`] and the
+/// `with_*` setters so new thresholds can land without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PartitionConfig {
     /// Files with `size < small_fraction × BDP` are Small.
     pub small_fraction: f64,
@@ -69,6 +73,32 @@ impl Default for PartitionConfig {
             min_files: 2,
             min_bytes_fraction: 0.0,
         }
+    }
+}
+
+impl PartitionConfig {
+    /// Sets the Small-class threshold (fraction of BDP).
+    pub fn with_small_fraction(mut self, small_fraction: f64) -> Self {
+        self.small_fraction = small_fraction;
+        self
+    }
+
+    /// Sets the Medium/Large boundary (fraction of BDP).
+    pub fn with_large_fraction(mut self, large_fraction: f64) -> Self {
+        self.large_fraction = large_fraction;
+        self
+    }
+
+    /// Sets the `mergeChunks` minimum file count.
+    pub fn with_min_files(mut self, min_files: usize) -> Self {
+        self.min_files = min_files;
+        self
+    }
+
+    /// Sets the `mergeChunks` minimum byte fraction.
+    pub fn with_min_bytes_fraction(mut self, min_bytes_fraction: f64) -> Self {
+        self.min_bytes_fraction = min_bytes_fraction;
+        self
     }
 }
 

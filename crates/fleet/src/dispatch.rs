@@ -1,0 +1,128 @@
+//! Executing one job spec: dataset generation, fault handling, algorithm
+//! dispatch through the [`RunCtx`] entry point.
+
+use crate::spec::{FaultOverride, JobSpec};
+use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, RunCtx, Slaee};
+use eadt_transfer::TransferReport;
+
+/// Runs one job at the given seed and returns the engine's report.
+///
+/// The seed drives dataset generation; fault streams keep the seeds baked
+/// into the (possibly overridden) fault plan so a replayed job is
+/// bit-identical. SLAEE derives its reference maximum from a ProMC run at
+/// the testbed's reference concurrency, exactly as the CLI does.
+pub fn run_job(spec: &JobSpec, seed: u64) -> TransferReport {
+    let tb = &spec.env;
+    let dataset = match &spec.dataset {
+        Some(d) => d.clone(),
+        None => tb.dataset_spec.scaled(spec.scale).generate(seed),
+    };
+    let partition = tb.partition;
+    let mut ctx = RunCtx::new(&tb.env, &dataset);
+    match &spec.faults {
+        FaultOverride::Inherit => {}
+        FaultOverride::Disable => {
+            ctx.override_faults(None);
+        }
+        FaultOverride::Replace(plan) => {
+            ctx.override_faults(Some(plan.clone()));
+        }
+    }
+    match spec.kind {
+        AlgorithmKind::MinE => MinE {
+            partition,
+            ..MinE::new(spec.max_channel)
+        }
+        .run(&mut ctx),
+        AlgorithmKind::Htee => Htee {
+            partition,
+            fault_aware: spec.fault_aware,
+            ..Htee::new(spec.max_channel)
+        }
+        .run(&mut ctx),
+        AlgorithmKind::Slaee => {
+            let reference = ProMc {
+                partition,
+                ..ProMc::new(tb.reference_concurrency)
+            }
+            .run(&mut ctx);
+            Slaee {
+                partition,
+                fault_aware: spec.fault_aware,
+                ..Slaee::new(spec.sla_level, reference.avg_throughput(), spec.max_channel)
+            }
+            .run(&mut ctx)
+        }
+        AlgorithmKind::Guc => GlobusUrlCopy::new().run(&mut ctx),
+        AlgorithmKind::Go => GlobusOnline::new().run(&mut ctx),
+        AlgorithmKind::Sc => SingleChunk {
+            partition,
+            ..SingleChunk::new(spec.max_channel)
+        }
+        .run(&mut ctx),
+        AlgorithmKind::ProMc => ProMc {
+            partition,
+            fault_aware: spec.fault_aware,
+            ..ProMc::new(spec.max_channel)
+        }
+        .run(&mut ctx),
+        AlgorithmKind::Bf => BruteForce {
+            partition,
+            ..BruteForce::new(spec.max_channel)
+        }
+        .run(&mut ctx),
+        AlgorithmKind::Manual => {
+            let plan = eadt_transfer::uniform_plan(
+                &dataset,
+                eadt_transfer::TransferParams::new(
+                    spec.pipelining,
+                    spec.parallelism,
+                    spec.max_channel,
+                ),
+                eadt_endsys::Placement::PackFirst,
+            );
+            let engine = eadt_transfer::Engine::new(ctx.env());
+            if spec.fault_aware {
+                engine.run(
+                    &plan,
+                    &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
+                )
+            } else {
+                engine.run(&plan, &mut eadt_transfer::NullController)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    #[test]
+    fn every_kind_dispatches_and_completes() {
+        let tb = eadt_testbeds::didclab();
+        for kind in AlgorithmKind::ALL {
+            let spec = JobSpec::new(kind, tb.clone())
+                .with_scale(0.005)
+                .with_max_channel(4)
+                .with_sla_level(0.8);
+            let r = run_job(&spec, 1);
+            assert!(r.completed, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fault_override_disable_strips_injection() {
+        let mut tb = eadt_testbeds::didclab();
+        tb.env.faults = Some(eadt_transfer::FaultPlan::channel_only(
+            eadt_transfer::FaultModel::new(eadt_sim::SimDuration::from_secs(5), 3),
+        ));
+        let spec = JobSpec::new(AlgorithmKind::ProMc, tb)
+            .with_scale(0.02)
+            .without_faults();
+        let r = run_job(&spec, 1);
+        assert_eq!(r.failures, 0, "disabled faults must not fire");
+    }
+}

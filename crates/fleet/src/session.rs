@@ -1,0 +1,373 @@
+//! The batch session: scoped worker threads over an atomic job cursor,
+//! merge-ordered results.
+
+use crate::dispatch::run_job;
+use crate::seed::derive_job_seed;
+use crate::spec::JobSpec;
+use eadt_sim::{EadtError, ErrorKind};
+use eadt_transfer::TransferReport;
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Version stamped into [`FleetReport`] JSON.
+pub const FLEET_SCHEMA_VERSION: u32 = 1;
+
+/// Builder for [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    root_seed: u64,
+    workers: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Sets the root seed every job seed is derived from.
+    pub fn root_seed(mut self, seed: u64) -> Self {
+        self.root_seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count. `1` runs the batch serially on the
+    /// calling thread; the default asks the OS for its parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Session {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        Session {
+            root_seed: self.root_seed,
+            workers,
+        }
+    }
+}
+
+/// A batch-execution session: the single entry point the CLI, the bench
+/// sweeps, the examples and the tests share.
+///
+/// The session owns nothing but its configuration — `run` may be called
+/// any number of times, and two sessions with the same root seed produce
+/// byte-identical [`FleetReport`] JSON regardless of their worker counts.
+#[derive(Debug, Clone)]
+pub struct Session {
+    root_seed: u64,
+    workers: usize,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The root seed job seeds derive from.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The worker-thread count `run` will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one job (job index 0 of a single-job batch) on the calling
+    /// thread — the convenience path for single-transfer callers.
+    pub fn run_one(&self, job: &JobSpec) -> JobOutcome {
+        execute_job(self.root_seed, 0, job)
+    }
+
+    /// Runs the batch and returns results merged in job order.
+    ///
+    /// Workers claim jobs from an atomic cursor (work stealing over the
+    /// job queue): a slow job never stalls the others, and because each
+    /// job's seed depends only on `(root_seed, index)`, claiming order
+    /// cannot leak into results. A worker that panics inside a job books
+    /// an [`EadtError::JobFailed`] outcome for that job and moves on.
+    pub fn run(&self, jobs: &[JobSpec]) -> FleetReport {
+        let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(jobs.len()).max(1);
+        if workers == 1 {
+            for (index, job) in jobs.iter().enumerate() {
+                store(&slots[index], execute_job(self.root_seed, index, job));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        store(&slots[index], execute_job(self.root_seed, index, job));
+                    });
+                }
+            });
+        }
+        let jobs: Vec<JobOutcome> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // Unreachable: every index below jobs.len() is
+                        // claimed exactly once. Book it as a failure
+                        // rather than panicking the aggregator.
+                        JobOutcome::lost(index)
+                    })
+            })
+            .collect();
+        FleetReport {
+            schema: FLEET_SCHEMA_VERSION,
+            root_seed: self.root_seed,
+            jobs,
+        }
+    }
+}
+
+fn store(slot: &Mutex<Option<JobOutcome>>, outcome: JobOutcome) {
+    *slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+}
+
+fn execute_job(root_seed: u64, index: usize, job: &JobSpec) -> JobOutcome {
+    let seed = job
+        .seed
+        .unwrap_or_else(|| derive_job_seed(root_seed, index as u64));
+    match catch_unwind(AssertUnwindSafe(|| run_job(job, seed))) {
+        Ok(report) => JobOutcome::from_report(index, job, seed, report),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            JobOutcome::failed(
+                index,
+                job,
+                seed,
+                EadtError::job_failed(job.display_label(), message),
+            )
+        }
+    }
+}
+
+/// The merged outcome of one job.
+///
+/// Serialization deliberately covers only simulation-determined fields —
+/// no worker id, no wall-clock timing — so the aggregate JSON is
+/// byte-identical between serial and parallel runs at the same root seed.
+/// The full [`TransferReport`] stays available in memory (`report`) for
+/// consumers that need the time series.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobOutcome {
+    /// The job's index in the batch (also its seed-derivation index).
+    pub job: usize,
+    /// Display label from the spec.
+    pub label: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Testbed name.
+    pub environment: String,
+    /// The seed the job ran at.
+    pub seed: u64,
+    /// Whether the transfer moved every requested byte in time.
+    pub completed: bool,
+    /// Bytes delivered.
+    pub moved_bytes: u64,
+    /// Bytes requested.
+    pub requested_bytes: u64,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Average throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Total end-system energy, Joules.
+    pub energy_j: f64,
+    /// Throughput per Joule (the paper's efficiency metric).
+    pub efficiency: f64,
+    /// Injected channel failures over the run.
+    pub failures: u64,
+    /// Coarse error class (`None` for a clean run).
+    pub error_kind: Option<String>,
+    /// Human-readable error (`None` for a clean run).
+    pub error: Option<String>,
+    /// The full engine report (absent when the worker panicked; skipped
+    /// in JSON to keep aggregates compact).
+    #[serde(skip)]
+    pub report: Option<TransferReport>,
+}
+
+impl JobOutcome {
+    fn from_report(index: usize, job: &JobSpec, seed: u64, report: TransferReport) -> Self {
+        let failure = report.failure();
+        JobOutcome {
+            job: index,
+            label: job.display_label(),
+            algorithm: job.kind.name().to_string(),
+            environment: job.env.name.clone(),
+            seed,
+            completed: report.completed,
+            moved_bytes: report.moved_bytes.as_u64(),
+            requested_bytes: report.requested_bytes.as_u64(),
+            duration_s: report.duration.as_secs_f64(),
+            throughput_mbps: report.avg_throughput().as_mbps(),
+            energy_j: report.total_energy_j(),
+            efficiency: report.efficiency(),
+            failures: report.failures,
+            error_kind: failure.as_ref().map(|e| e.kind().as_str().to_string()),
+            error: failure.as_ref().map(EadtError::to_string),
+            report: Some(report),
+        }
+    }
+
+    fn failed(index: usize, job: &JobSpec, seed: u64, error: EadtError) -> Self {
+        JobOutcome {
+            job: index,
+            label: job.display_label(),
+            algorithm: job.kind.name().to_string(),
+            environment: job.env.name.clone(),
+            seed,
+            completed: false,
+            moved_bytes: 0,
+            requested_bytes: 0,
+            duration_s: 0.0,
+            throughput_mbps: 0.0,
+            energy_j: 0.0,
+            efficiency: 0.0,
+            failures: 0,
+            error_kind: Some(error.kind().as_str().to_string()),
+            error: Some(error.to_string()),
+            report: None,
+        }
+    }
+
+    fn lost(index: usize) -> Self {
+        JobOutcome {
+            job: index,
+            label: format!("job-{index}"),
+            algorithm: String::new(),
+            environment: String::new(),
+            seed: 0,
+            completed: false,
+            moved_bytes: 0,
+            requested_bytes: 0,
+            duration_s: 0.0,
+            throughput_mbps: 0.0,
+            energy_j: 0.0,
+            efficiency: 0.0,
+            failures: 0,
+            error_kind: Some(ErrorKind::JobFailed.as_str().to_string()),
+            error: Some("job result slot was never filled".to_string()),
+            report: None,
+        }
+    }
+}
+
+/// The merged result of a batch, in job order.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Report schema version ([`FLEET_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// The root seed the batch ran at.
+    pub root_seed: u64,
+    /// Per-job outcomes, index-ordered (independent of execution order).
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl FleetReport {
+    /// Jobs that completed their transfer.
+    pub fn completed_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.completed).count()
+    }
+
+    /// Jobs that ended in a typed error.
+    pub fn error_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.error.is_some()).count()
+    }
+
+    /// The canonical aggregate form: pretty JSON with index-ordered jobs
+    /// and no execution metadata. Byte-identical for a given root seed
+    /// and job list, whatever the worker count.
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string());
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eadt_core::AlgorithmKind;
+
+    fn small_jobs() -> Vec<JobSpec> {
+        let tb = eadt_testbeds::didclab();
+        [AlgorithmKind::Sc, AlgorithmKind::ProMc, AlgorithmKind::Guc]
+            .into_iter()
+            .map(|kind| {
+                JobSpec::new(kind, tb.clone())
+                    .with_scale(0.005)
+                    .with_max_channel(2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_merge_ordered_and_labelled() {
+        let report = Session::builder()
+            .root_seed(9)
+            .workers(2)
+            .build()
+            .run(&small_jobs());
+        assert_eq!(report.jobs.len(), 3);
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.job, i);
+            assert!(j.completed, "{}", j.label);
+            assert!(j.error.is_none());
+        }
+        assert_eq!(report.jobs[0].algorithm, "SC");
+        assert_eq!(report.completed_count(), 3);
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_json_match() {
+        let jobs = small_jobs();
+        let serial = Session::builder()
+            .root_seed(5)
+            .workers(1)
+            .build()
+            .run(&jobs);
+        let parallel = Session::builder()
+            .root_seed(5)
+            .workers(3)
+            .build()
+            .run(&jobs);
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn explicit_seed_overrides_derivation() {
+        let tb = eadt_testbeds::didclab();
+        let job = JobSpec::new(AlgorithmKind::Sc, tb)
+            .with_scale(0.005)
+            .with_seed(77);
+        let report = Session::builder()
+            .root_seed(1)
+            .build()
+            .run(std::slice::from_ref(&job));
+        assert_eq!(report.jobs[0].seed, 77);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let report = Session::builder().root_seed(3).workers(4).build().run(&[]);
+        assert_eq!(report.jobs.len(), 0);
+        assert_eq!(report.schema, FLEET_SCHEMA_VERSION);
+    }
+}

@@ -69,6 +69,18 @@ pub fn check(path: &str, toks: &[Spanned]) -> Vec<Violation> {
                         .into(),
             });
         }
+        // Ad-hoc threading: `thread::spawn` / `thread::scope`. Worker
+        // pools threaten merge-order determinism unless results are
+        // reassembled by job index; that discipline lives in
+        // `eadt_fleet::Session`, whose spawn sites are allowlisted.
+        if name == "thread" && (path_call(toks, i, "spawn") || path_call(toks, i, "scope")) {
+            out.push(Violation {
+                rule: "determinism",
+                path: path.to_string(),
+                line: t.line,
+                message: "`thread::spawn`/`thread::scope`: ad-hoc threading risks order-dependent results; run batches through eadt_fleet::Session".into(),
+            });
+        }
         // Argless `rand::random`.
         if name == "rand" && path_call(toks, i, "random") {
             out.push(Violation {
@@ -111,6 +123,14 @@ mod tests {
     fn flags_ambient_randomness() {
         let v = run("let x: u64 = rand::random();\nlet mut r = rand::thread_rng();");
         assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn flags_ad_hoc_threading() {
+        let v = run("std::thread::spawn(|| work());\nstd::thread::scope(|s| {});");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("eadt_fleet::Session"));
+        assert_eq!(v[1].line, 2);
     }
 
     #[test]

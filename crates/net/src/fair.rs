@@ -24,19 +24,46 @@ use eadt_sim::Rate;
 /// assert!((grants[1].as_mbps() - 450.0).abs() < 1e-9); // rest split evenly
 /// ```
 pub fn fair_share(capacity: Rate, demands: &[Rate]) -> Vec<Rate> {
+    let mut grants = Vec::new();
+    let mut scratch = FairScratch::default();
+    fair_share_into(capacity, demands, &mut grants, &mut scratch);
+    grants
+}
+
+/// Reusable index scratch for [`fair_share_into`]; hoist one instance out
+/// of a per-slice loop to make repeated allocations allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FairScratch {
+    unsatisfied: Vec<usize>,
+}
+
+/// In-place variant of [`fair_share`] for hot paths.
+///
+/// Writes one granted rate per demand into `grants` (cleared and refilled;
+/// capacity is reused across calls) using `scratch` for the progressive
+/// filling order. Semantics are identical to [`fair_share`].
+pub fn fair_share_into(
+    capacity: Rate,
+    demands: &[Rate],
+    grants: &mut Vec<Rate>,
+    scratch: &mut FairScratch,
+) {
     let n = demands.len();
-    let mut grants = vec![Rate::ZERO; n];
+    grants.clear();
+    grants.resize(n, Rate::ZERO);
     if n == 0 || capacity.is_zero() {
-        return grants;
+        return;
     }
     let total_demand: Rate = demands.iter().copied().sum();
     if total_demand.as_bps() <= capacity.as_bps() {
         grants.copy_from_slice(demands);
-        return grants;
+        return;
     }
     // Progressive filling over the still-unsatisfied set.
     let mut remaining = capacity.as_bps();
-    let mut unsatisfied: Vec<usize> = (0..n).collect();
+    let unsatisfied = &mut scratch.unsatisfied;
+    unsatisfied.clear();
+    unsatisfied.extend(0..n);
     // Sort by demand ascending so each pass can finalize all demands below
     // the fair share in one sweep.
     unsatisfied.sort_by(|&a, &b| {
@@ -64,7 +91,6 @@ pub fn fair_share(capacity: Rate, demands: &[Rate]) -> Vec<Rate> {
         }
     }
     let _ = remaining;
-    grants
 }
 
 #[cfg(test)]
@@ -158,5 +184,25 @@ mod tests {
     fn saturated_capacity_is_fully_used() {
         let g = fair_share(mbps(1000.0), &[mbps(600.0), mbps(600.0), mbps(600.0)]);
         assert!((total(&g) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffers() {
+        let mut grants = Vec::new();
+        let mut scratch = FairScratch::default();
+        let cases: Vec<(f64, Vec<Rate>)> = vec![
+            (1000.0, vec![mbps(100.0), mbps(800.0), mbps(800.0)]),
+            (
+                1200.0,
+                vec![mbps(100.0), mbps(300.0), mbps(500.0), mbps(900.0)],
+            ),
+            (400.0, vec![mbps(10.0), mbps(0.0), mbps(700.0)]),
+            (100.0, vec![]),
+            (0.0, vec![mbps(5.0)]),
+        ];
+        for (cap, demands) in cases {
+            fair_share_into(mbps(cap), &demands, &mut grants, &mut scratch);
+            assert_eq!(grants, fair_share(mbps(cap), &demands));
+        }
     }
 }

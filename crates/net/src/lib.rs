@@ -25,6 +25,6 @@ pub mod packets;
 mod proptests;
 pub mod tcp;
 
-pub use fair::fair_share;
+pub use fair::{fair_share, fair_share_into, FairScratch};
 pub use link::Link;
 pub use tcp::{congestion_efficiency, stream_ceiling, CongestionModel};

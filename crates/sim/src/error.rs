@@ -1,0 +1,280 @@
+//! The workspace-wide error type.
+//!
+//! Every layer above the kernel used to report failures as bare `String`s
+//! (CLI argument parsing, environment/dataset loading, retry exhaustion),
+//! which forced callers to match on message text. [`EadtError`] replaces
+//! those paths with one typed enum so batch runners can *classify* job
+//! failures — retry budget exhausted vs. simulation-time guard vs. a bad
+//! spec — without string inspection. [`ErrorKind`] is the coarse,
+//! `Copy` classification used for aggregate counts.
+
+use std::fmt;
+
+/// A typed failure from any layer of the EADT workspace.
+///
+/// The enum is `#[non_exhaustive]`: new failure classes may be added
+/// without a breaking release, so downstream matches need a `_` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EadtError {
+    /// A malformed command-line flag, builder field, or job-spec value.
+    InvalidArgument {
+        /// The flag or field at fault (e.g. `--max-channel`).
+        what: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// An environment (named testbed or `--env-file`) failed to load or
+    /// validate.
+    Environment {
+        /// The testbed name or file path the environment came from.
+        source: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A dataset manifest failed to load, parse, or validate.
+    Dataset {
+        /// The manifest path or generator spec at fault.
+        source: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A filesystem or serialization failure.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error, stringified.
+        message: String,
+    },
+    /// The transfer hit the simulated-time guard before moving every byte,
+    /// without exhausting any retry budget: the plan was simply too slow.
+    Incomplete {
+        /// Bytes actually delivered.
+        moved_bytes: u64,
+        /// Bytes requested.
+        requested_bytes: u64,
+    },
+    /// The transfer kept faulting until a retry budget ran dry.
+    RetryExhausted {
+        /// How many chunks/channels ran out of retry budget.
+        exhaustions: u64,
+        /// Total fault count observed before giving up.
+        failures: u64,
+    },
+    /// A fleet job failed outside the simulation proper (e.g. a worker
+    /// caught a panic while executing it).
+    JobFailed {
+        /// The job label.
+        job: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Coarse classification of an [`EadtError`], suitable for aggregate
+/// counting in batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Bad flag, field, or spec value.
+    InvalidArgument,
+    /// Environment failed to load or validate.
+    Environment,
+    /// Dataset failed to load or validate.
+    Dataset,
+    /// Filesystem or serialization failure.
+    Io,
+    /// Simulated-time guard hit before completion.
+    Incomplete,
+    /// Retry budget exhausted.
+    RetryExhausted,
+    /// Job-level failure (e.g. worker panic).
+    JobFailed,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name used in JSON aggregates and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidArgument => "invalid-argument",
+            ErrorKind::Environment => "environment",
+            ErrorKind::Dataset => "dataset",
+            ErrorKind::Io => "io",
+            ErrorKind::Incomplete => "incomplete",
+            ErrorKind::RetryExhausted => "retry-exhausted",
+            ErrorKind::JobFailed => "job-failed",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl EadtError {
+    /// Builds an [`EadtError::InvalidArgument`].
+    pub fn invalid_argument(what: impl Into<String>, message: impl Into<String>) -> Self {
+        EadtError::InvalidArgument {
+            what: what.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds an [`EadtError::Environment`].
+    pub fn environment(source: impl Into<String>, message: impl Into<String>) -> Self {
+        EadtError::Environment {
+            source: source.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds an [`EadtError::Dataset`].
+    pub fn dataset(source: impl Into<String>, message: impl Into<String>) -> Self {
+        EadtError::Dataset {
+            source: source.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds an [`EadtError::Io`].
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EadtError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds an [`EadtError::JobFailed`].
+    pub fn job_failed(job: impl Into<String>, message: impl Into<String>) -> Self {
+        EadtError::JobFailed {
+            job: job.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The coarse classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            EadtError::InvalidArgument { .. } => ErrorKind::InvalidArgument,
+            EadtError::Environment { .. } => ErrorKind::Environment,
+            EadtError::Dataset { .. } => ErrorKind::Dataset,
+            EadtError::Io { .. } => ErrorKind::Io,
+            EadtError::Incomplete { .. } => ErrorKind::Incomplete,
+            EadtError::RetryExhausted { .. } => ErrorKind::RetryExhausted,
+            EadtError::JobFailed { .. } => ErrorKind::JobFailed,
+        }
+    }
+
+    /// Whether re-running the same job (e.g. with a larger budget or a
+    /// longer time guard) could plausibly succeed. Spec-level errors are
+    /// permanent; simulation-outcome errors are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.kind(),
+            ErrorKind::Incomplete | ErrorKind::RetryExhausted | ErrorKind::JobFailed
+        )
+    }
+}
+
+impl fmt::Display for EadtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EadtError::InvalidArgument { what, message } => {
+                write!(f, "invalid argument {what}: {message}")
+            }
+            EadtError::Environment { source, message } => {
+                write!(f, "environment {source}: {message}")
+            }
+            EadtError::Dataset { source, message } => write!(f, "dataset {source}: {message}"),
+            EadtError::Io { path, message } => write!(f, "io {path}: {message}"),
+            EadtError::Incomplete {
+                moved_bytes,
+                requested_bytes,
+            } => write!(
+                f,
+                "transfer incomplete: moved {moved_bytes} of {requested_bytes} bytes \
+                 before the simulated-time guard"
+            ),
+            EadtError::RetryExhausted {
+                exhaustions,
+                failures,
+            } => write!(
+                f,
+                "retry budget exhausted {exhaustions} time(s) after {failures} fault(s)"
+            ),
+            EadtError::JobFailed { job, message } => write!(f, "job {job} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EadtError {}
+
+impl From<EadtError> for std::io::Error {
+    fn from(err: EadtError) -> Self {
+        std::io::Error::other(err.to_string())
+    }
+}
+
+impl From<std::io::Error> for EadtError {
+    fn from(err: std::io::Error) -> Self {
+        EadtError::Io {
+            path: "<stream>".into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification_is_stable() {
+        let cases: Vec<(EadtError, ErrorKind)> = vec![
+            (
+                EadtError::invalid_argument("--n", "x"),
+                ErrorKind::InvalidArgument,
+            ),
+            (EadtError::environment("xsede", "x"), ErrorKind::Environment),
+            (EadtError::dataset("d.json", "x"), ErrorKind::Dataset),
+            (EadtError::io("out.json", "x"), ErrorKind::Io),
+            (
+                EadtError::Incomplete {
+                    moved_bytes: 1,
+                    requested_bytes: 2,
+                },
+                ErrorKind::Incomplete,
+            ),
+            (
+                EadtError::RetryExhausted {
+                    exhaustions: 1,
+                    failures: 3,
+                },
+                ErrorKind::RetryExhausted,
+            ),
+            (EadtError::job_failed("j", "x"), ErrorKind::JobFailed),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+            assert!(!err.to_string().is_empty());
+            assert!(!kind.as_str().is_empty());
+        }
+    }
+
+    #[test]
+    fn retryability_tracks_outcome_vs_spec() {
+        assert!(!EadtError::invalid_argument("--x", "bad").is_retryable());
+        assert!(EadtError::RetryExhausted {
+            exhaustions: 1,
+            failures: 1
+        }
+        .is_retryable());
+        assert!(EadtError::Incomplete {
+            moved_bytes: 0,
+            requested_bytes: 1
+        }
+        .is_retryable());
+    }
+}

@@ -1,10 +1,17 @@
-//! A minimal discrete-event queue.
+//! A minimal discrete-event queue backed by a payload slab.
 //!
 //! The transfer engine is primarily time-sliced, but control-plane actions —
 //! probe-window boundaries, scheduled concurrency changes, SLA re-checks —
 //! are naturally discrete events. [`EventQueue`] orders them by simulated
 //! time with a stable FIFO tie-break so that two events scheduled for the
 //! same instant fire in the order they were scheduled (determinism again).
+//!
+//! Internally the queue separates *ordering* from *storage*: the binary
+//! heap holds small `Copy` keys `(at, seq, slot)` while payloads live in a
+//! slab of reusable slots. Popped slots go on a free list and are handed
+//! back out by the next `schedule`, so a steady-state simulation (schedule
+//! one, pop one, millions of times) allocates nothing after warm-up, and
+//! heap sift operations move 20-byte keys instead of arbitrary payloads.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -21,8 +28,16 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+/// Heap key: ordering data plus the slab slot holding the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
 // BinaryHeap is a max-heap; invert the ordering for earliest-first.
-impl<E: Eq> Ord for ScheduledEvent<E> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -31,24 +46,48 @@ impl<E: Eq> Ord for ScheduledEvent<E> {
     }
 }
 
-impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// An earliest-first event queue with FIFO tie-breaking.
-#[derive(Debug, Clone, Default)]
-pub struct EventQueue<E: Eq> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+/// An earliest-first event queue with FIFO tie-breaking and slab-backed
+/// payload storage (slots are recycled across schedule/pop cycles).
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapKey>,
+    /// Payload slab; `None` marks a slot on the free list.
+    slots: Vec<Option<E>>,
+    /// Indices of vacant `slots` entries, ready for reuse.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
-impl<E: Eq> EventQueue<E> {
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before any allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
@@ -57,23 +96,44 @@ impl<E: Eq> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).unwrap_or(u32::MAX);
+                assert!(slot < u32::MAX, "event slab exceeded u32 slots");
+                self.slots.push(Some(event));
+                slot
+            }
+        };
+        self.heap.push(HeapKey { at, seq, slot });
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.peek().map(|k| k.at)
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop()
+        let key = self.heap.pop()?;
+        let event = self.slots[key.slot as usize]
+            .take()
+            .unwrap_or_else(|| unreachable!("heap key points at a vacant slot"));
+        self.free.push(key.slot);
+        Some(ScheduledEvent {
+            at: key.at,
+            seq: key.seq,
+            event,
+        })
     }
 
     /// Removes and returns the earliest event if it fires at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Option<ScheduledEvent<E>> {
         if self.peek_time().is_some_and(|t| t <= now) {
-            self.heap.pop()
+            self.pop()
         } else {
             None
         }
@@ -89,9 +149,20 @@ impl<E: Eq> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events; slab capacity is retained for reuse.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            *slot = None;
+            self.free.push(i as u32);
+        }
+    }
+
+    /// Number of payload slots currently allocated (occupied + recyclable).
+    /// A steady-state schedule/pop workload holds this constant.
+    pub fn slab_slots(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -161,5 +232,55 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, 4);
         assert_eq!(q.pop().unwrap().event, 3);
         assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn steady_state_recycles_slots() {
+        let mut q = EventQueue::new();
+        // Prime with a working set of 4 pending events.
+        for i in 0..4u64 {
+            q.schedule(t(i), i);
+        }
+        let primed = q.slab_slots();
+        // A long schedule-one/pop-one steady state must not grow the slab.
+        for i in 4..10_000u64 {
+            let popped = q.pop().unwrap();
+            assert_eq!(popped.event, i - 4);
+            q.schedule(t(i), i);
+            assert_eq!(q.slab_slots(), primed);
+        }
+        // Drain; payloads still come out in order.
+        for i in 10_000 - 4..10_000u64 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.slab_slots(), primed);
+    }
+
+    #[test]
+    fn clear_retains_and_recycles_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..8u64 {
+            q.schedule(t(i), i);
+        }
+        let primed = q.slab_slots();
+        q.clear();
+        assert!(q.is_empty());
+        for i in 0..8u64 {
+            q.schedule(t(i), 100 + i);
+        }
+        assert_eq!(q.slab_slots(), primed);
+        assert_eq!(q.pop().unwrap().event, 100);
+    }
+
+    #[test]
+    fn payloads_need_not_be_eq() {
+        // The slab design only orders keys, so payloads without Eq/Ord
+        // (e.g. closures' captures, floats) are fine.
+        let mut q = EventQueue::new();
+        q.schedule(t(2), 2.5f64);
+        q.schedule(t(1), 1.5f64);
+        assert_eq!(q.pop().unwrap().event, 1.5);
+        assert_eq!(q.pop().unwrap().event, 2.5);
     }
 }

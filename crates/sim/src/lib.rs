@@ -11,7 +11,11 @@
 //! * [`rng`] — a seedable, splittable deterministic random source so every
 //!   experiment is exactly reproducible.
 //! * [`event`] — a minimal discrete-event queue used by the transfer engine
-//!   for control-channel bookkeeping.
+//!   for control-channel bookkeeping, with slab-backed payload storage so
+//!   steady-state scheduling allocates nothing.
+//! * [`error`] — the workspace-wide typed error ([`EadtError`]) and its
+//!   coarse classification ([`ErrorKind`]), shared by the CLI, the transfer
+//!   runtime, and the fleet batch runner.
 //! * [`series`] — append-only time series with trapezoidal integration
 //!   (power → energy) and resampling.
 //! * [`stats`] — summary statistics and ordinary least squares regression
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 #[cfg(test)]
 mod proptests;
@@ -34,6 +39,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use error::{EadtError, ErrorKind};
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use series::TimeSeries;

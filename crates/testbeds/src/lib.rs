@@ -159,13 +159,12 @@ pub fn xsede() -> Environment {
             floor: 0.6,
         },
         packets: PacketModel::default(),
-        tuning: EngineTuning {
-            wan_stream_cap: Rate::from_gbps(1.5),
-            proc_channel_cap: Rate::from_gbps(2.0),
-            per_file_overhead: SimDuration::from_millis(100),
-            slice: SimDuration::from_millis(100),
-            max_duration: SimDuration::from_secs(24 * 3600),
-        },
+        tuning: EngineTuning::default()
+            .with_wan_stream_cap(Rate::from_gbps(1.5))
+            .with_proc_channel_cap(Rate::from_gbps(2.0))
+            .with_per_file_overhead(SimDuration::from_millis(100))
+            .with_slice(SimDuration::from_millis(100))
+            .with_max_duration(SimDuration::from_secs(24 * 3600)),
         faults: None,
         background: None,
         estimator: None,
@@ -214,13 +213,12 @@ pub fn futuregrid() -> Environment {
             floor: 0.6,
         },
         packets: PacketModel::default(),
-        tuning: EngineTuning {
-            wan_stream_cap: Rate::from_mbps(300.0),
-            proc_channel_cap: Rate::from_gbps(1.0),
-            per_file_overhead: SimDuration::from_millis(100),
-            slice: SimDuration::from_millis(100),
-            max_duration: SimDuration::from_secs(24 * 3600),
-        },
+        tuning: EngineTuning::default()
+            .with_wan_stream_cap(Rate::from_mbps(300.0))
+            .with_proc_channel_cap(Rate::from_gbps(1.0))
+            .with_per_file_overhead(SimDuration::from_millis(100))
+            .with_slice(SimDuration::from_millis(100))
+            .with_max_duration(SimDuration::from_secs(24 * 3600)),
         faults: None,
         background: None,
         estimator: None,
@@ -233,11 +231,9 @@ pub fn futuregrid() -> Environment {
         sweep_levels: vec![1, 2, 4, 6, 8, 10, 12],
         // 3.5 MB BDP: the operational class cuts sit at 10× / 100× BDP
         // (35 MB / 350 MB) — files below a few BDPs all behave "small".
-        partition: PartitionConfig {
-            small_fraction: 10.0,
-            large_fraction: 100.0,
-            ..PartitionConfig::default()
-        },
+        partition: PartitionConfig::default()
+            .with_small_fraction(10.0)
+            .with_large_fraction(100.0),
         reference_concurrency: 12,
     }
 }
@@ -291,13 +287,12 @@ pub fn didclab() -> Environment {
             floor: 0.7,
         },
         packets: PacketModel::default(),
-        tuning: EngineTuning {
-            wan_stream_cap: Rate::from_gbps(1.0),
-            proc_channel_cap: Rate::from_gbps(1.0),
-            per_file_overhead: SimDuration::from_millis(30),
-            slice: SimDuration::from_millis(100),
-            max_duration: SimDuration::from_secs(24 * 3600),
-        },
+        tuning: EngineTuning::default()
+            .with_wan_stream_cap(Rate::from_gbps(1.0))
+            .with_proc_channel_cap(Rate::from_gbps(1.0))
+            .with_per_file_overhead(SimDuration::from_millis(30))
+            .with_slice(SimDuration::from_millis(100))
+            .with_max_duration(SimDuration::from_secs(24 * 3600)),
         faults: None,
         background: None,
         estimator: None,
@@ -317,6 +312,20 @@ pub fn didclab() -> Environment {
 /// All three testbeds in paper order.
 pub fn all() -> Vec<Environment> {
     vec![xsede(), futuregrid(), didclab()]
+}
+
+/// Resolves a (case-insensitive) testbed name to its environment — the
+/// shared lookup behind the CLI's `--testbed` flag and fleet job specs.
+pub fn by_name(name: &str) -> Result<Environment, eadt_sim::EadtError> {
+    match name.to_ascii_lowercase().as_str() {
+        "xsede" => Ok(xsede()),
+        "futuregrid" => Ok(futuregrid()),
+        "didclab" => Ok(didclab()),
+        other => Err(eadt_sim::EadtError::invalid_argument(
+            "--testbed",
+            format!("unknown testbed '{other}' (expected xsede, futuregrid or didclab)"),
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use crate::report::TransferReport;
 use crate::retry::FaultRuntime;
 use eadt_dataset::FileSpec;
 use eadt_endsys::{ServerLoad, Utilization};
-use eadt_net::fair::fair_share;
+use eadt_net::fair::{fair_share_into, FairScratch};
 use eadt_power::PowerModel;
 use eadt_sim::{Bytes, Rate, SimDuration, SimTime, TimeSeries};
 use eadt_telemetry::{Event, GaugeId, HistogramId, MetricsRegistry, Side, Telemetry};
@@ -215,6 +215,11 @@ impl<'a> Engine<'a> {
         let mut prev_src_active = vec![false; env.src.servers.len()];
         let mut prev_dst_active = vec![false; env.dst.servers.len()];
 
+        // Recycled per-slice buffers. Every vector the hot loop needs is
+        // hoisted here, so the steady state allocates nothing per slice
+        // (buffers grow to the run's high-water mark and stay there).
+        let mut scratch = SliceScratch::default();
+
         for (stage_idx, stage) in plan.stages.iter().enumerate() {
             let mut chunks: Vec<ChunkState> = stage
                 .chunks
@@ -296,8 +301,28 @@ impl<'a> Engine<'a> {
                     }
                 }
 
+                // Split the scratch into per-field borrows so the loop
+                // below can hold several buffers at once.
+                let SliceScratch {
+                    refs,
+                    src_assign,
+                    dst_assign,
+                    src_chan,
+                    src_streams,
+                    dst_chan,
+                    dst_streams,
+                    working,
+                    demands,
+                    duties,
+                    grants,
+                    src_moved,
+                    dst_moved,
+                    fair,
+                    disk,
+                } = &mut scratch;
+
                 // Flat view of all channels: (chunk idx, channel idx).
-                let mut refs: Vec<(usize, usize)> = Vec::new();
+                refs.clear();
                 for (ci, c) in chunks.iter().enumerate() {
                     for chi in 0..c.channels.len() {
                         refs.push((ci, chi));
@@ -319,27 +344,37 @@ impl<'a> Engine<'a> {
                 // circuit breaker is open. Only *learned* state masks —
                 // an outage the client has not collided with yet does
                 // not; it is discovered by failing against it below.
-                let (src_assign, dst_assign) = match &runtime {
+                match &runtime {
                     Some(rt) => {
                         let (src_avail, dst_avail) = rt.avail_masks();
-                        (
-                            assign_servers(&env.src.place_channels_masked(
+                        assign_servers_into(
+                            &env.src.place_channels_masked(
                                 total_channels,
                                 plan.placement,
                                 &src_avail,
-                            )),
-                            assign_servers(&env.dst.place_channels_masked(
+                            ),
+                            src_assign,
+                        );
+                        assign_servers_into(
+                            &env.dst.place_channels_masked(
                                 total_channels,
                                 plan.placement,
                                 &dst_avail,
-                            )),
-                        )
+                            ),
+                            dst_assign,
+                        );
                     }
-                    None => (
-                        assign_servers(&env.src.place_channels(total_channels, plan.placement)),
-                        assign_servers(&env.dst.place_channels(total_channels, plan.placement)),
-                    ),
-                };
+                    None => {
+                        assign_servers_into(
+                            &env.src.place_channels(total_channels, plan.placement),
+                            src_assign,
+                        );
+                        assign_servers_into(
+                            &env.dst.place_channels(total_channels, plan.placement),
+                            dst_assign,
+                        );
+                    }
+                }
 
                 // Fault injection, now that channels have servers: a
                 // channel dies when its TTF runs out or when it would
@@ -419,11 +454,11 @@ impl<'a> Engine<'a> {
                 // whose gap outlasts the slice is *blocked* — it moves
                 // nothing, holds no demand, and its server neither counts
                 // it for disk contention nor burns power on it.
-                let mut src_chan = vec![0u32; env.src.servers.len()];
-                let mut src_streams = vec![0u32; env.src.servers.len()];
-                let mut dst_chan = vec![0u32; env.dst.servers.len()];
-                let mut dst_streams = vec![0u32; env.dst.servers.len()];
-                let mut working = vec![false; refs.len()];
+                reset(src_chan, env.src.servers.len(), 0);
+                reset(src_streams, env.src.servers.len(), 0);
+                reset(dst_chan, env.dst.servers.len(), 0);
+                reset(dst_streams, env.dst.servers.len(), 0);
+                reset(working, refs.len(), false);
                 let mut total_streams = 0u32;
                 let mut in_backoff = 0u32;
                 for (i, &(ci, chi)) in refs.iter().enumerate() {
@@ -499,8 +534,8 @@ impl<'a> Engine<'a> {
                 // use), then shaped max-min fairly through each server's
                 // disk subsystem on both ends, then through the path.
                 let stall_mult = runtime.as_ref().map_or(1.0, FaultRuntime::gap_multiplier);
-                let mut demands = vec![Rate::ZERO; refs.len()];
-                let mut duties = vec![1.0f64; refs.len()];
+                reset(demands, refs.len(), Rate::ZERO);
+                reset(duties, refs.len(), 1.0f64);
                 for (i, &(ci, _chi)) in refs.iter().enumerate() {
                     if !working[i] {
                         continue;
@@ -522,13 +557,13 @@ impl<'a> Engine<'a> {
                     duties[i] = duty;
                     demands[i] = cap * duty;
                 }
-                apply_disk_fairness(&mut demands, &src_assign, &src_chan, |srv| {
+                apply_disk_fairness(demands, src_assign, src_chan, disk, |srv| {
                     let factor = runtime
                         .as_ref()
                         .map_or(1.0, |rt| rt.disk_factor(SiteSide::Src, srv));
                     env.src.servers[srv].disk.aggregate_rate(src_chan[srv]) * factor
                 });
-                apply_disk_fairness(&mut demands, &dst_assign, &dst_chan, |srv| {
+                apply_disk_fairness(demands, dst_assign, dst_chan, disk, |srv| {
                     let factor = runtime
                         .as_ref()
                         .map_or(1.0, |rt| rt.disk_factor(SiteSide::Dst, srv));
@@ -538,19 +573,16 @@ impl<'a> Engine<'a> {
                 // Grants are time-averaged rates; while a channel is
                 // actively moving a file it bursts at grant/duty (its gaps
                 // bring the average back down to the grant).
-                let grants: Vec<Rate> = fair_share(capacity, &demands)
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, g)| {
-                        let cap = env.channel_cap(chunks[refs[i].0].parallelism);
-                        (g / duties[i]).min(cap)
-                    })
-                    .collect();
+                fair_share_into(capacity, demands, grants, fair);
+                for (i, g) in grants.iter_mut().enumerate() {
+                    let cap = env.channel_cap(chunks[refs[i].0].parallelism);
+                    *g = (*g / duties[i]).min(cap);
+                }
 
                 // Advance channels through their queues.
                 let mut slice_bytes = Bytes::ZERO;
-                let mut src_moved = vec![Bytes::ZERO; env.src.servers.len()];
-                let mut dst_moved = vec![Bytes::ZERO; env.dst.servers.len()];
+                reset(src_moved, env.src.servers.len(), Bytes::ZERO);
+                reset(dst_moved, env.dst.servers.len(), Bytes::ZERO);
                 for (i, &(ci, chi)) in refs.iter().enumerate() {
                     let chunk = &mut chunks[ci];
                     // Inter-file control gap, inflated while the control
@@ -609,20 +641,13 @@ impl<'a> Engine<'a> {
                 }
 
                 // Utilization → power → energy, per site.
-                let (src_power, src_est) = site_power(
-                    env,
-                    &src_chan,
-                    &src_streams,
-                    &src_moved,
-                    slice_secs,
-                    eff,
-                    true,
-                );
+                let (src_power, src_est) =
+                    site_power(env, src_chan, src_streams, src_moved, slice_secs, eff, true);
                 let (dst_power, dst_est) = site_power(
                     env,
-                    &dst_chan,
-                    &dst_streams,
-                    &dst_moved,
+                    dst_chan,
+                    dst_streams,
+                    dst_moved,
                     slice_secs,
                     eff,
                     false,
@@ -827,6 +852,53 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Recycled buffers for the engine's per-slice hot loop. One instance
+/// lives for the whole run; every slice clears and refills these in place
+/// instead of allocating fresh vectors (which used to dominate the
+/// allocator profile at hundreds of slices per simulated transfer).
+#[derive(Debug, Default, Clone)]
+struct SliceScratch {
+    /// Flat (chunk idx, channel idx) view of all channels.
+    refs: Vec<(usize, usize)>,
+    /// Per-channel source / destination server assignment.
+    src_assign: Vec<usize>,
+    dst_assign: Vec<usize>,
+    /// Per-server working-channel and stream counts.
+    src_chan: Vec<u32>,
+    src_streams: Vec<u32>,
+    dst_chan: Vec<u32>,
+    dst_streams: Vec<u32>,
+    /// Whether each channel moves bytes this slice.
+    working: Vec<bool>,
+    /// Per-channel demand, duty cycle and granted rate.
+    demands: Vec<Rate>,
+    duties: Vec<f64>,
+    grants: Vec<Rate>,
+    /// Per-server bytes moved this slice.
+    src_moved: Vec<Bytes>,
+    dst_moved: Vec<Bytes>,
+    /// Scratch for the path-level max-min fill.
+    fair: FairScratch,
+    /// Scratch for the per-server disk shaping.
+    disk: DiskScratch,
+}
+
+/// Reusable buffers for [`apply_disk_fairness`].
+#[derive(Debug, Default, Clone)]
+struct DiskScratch {
+    members: Vec<usize>,
+    local: Vec<Rate>,
+    grants: Vec<Rate>,
+    fair: FairScratch,
+}
+
+/// Clears and refills a scratch vector to `len` copies of `value`
+/// without giving up its capacity.
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
 /// Handles for the engine's registered metrics, resolved once per run so
 /// the per-slice updates are plain indexed stores (no hashing).
 struct EngineGauges {
@@ -884,34 +956,53 @@ fn apply_disk_fairness(
     demands: &mut [Rate],
     assign: &[usize],
     chan_counts: &[u32],
+    scratch: &mut DiskScratch,
     disk_rate: impl Fn(usize) -> Rate,
 ) {
     for (srv, &count) in chan_counts.iter().enumerate() {
         if count == 0 {
             continue;
         }
-        let members: Vec<usize> = (0..demands.len())
-            .filter(|&i| assign[i] == srv && !demands[i].is_zero())
-            .collect();
-        if members.is_empty() {
+        scratch.members.clear();
+        scratch
+            .members
+            .extend((0..demands.len()).filter(|&i| assign[i] == srv && !demands[i].is_zero()));
+        if scratch.members.is_empty() {
             continue;
         }
-        let local: Vec<Rate> = members.iter().map(|&i| demands[i]).collect();
-        let grants = fair_share(disk_rate(srv), &local);
-        for (k, &i) in members.iter().enumerate() {
-            demands[i] = grants[k];
+        scratch.local.clear();
+        scratch
+            .local
+            .extend(scratch.members.iter().map(|&i| demands[i]));
+        fair_share_into(
+            disk_rate(srv),
+            &scratch.local,
+            &mut scratch.grants,
+            &mut scratch.fair,
+        );
+        for (k, &i) in scratch.members.iter().enumerate() {
+            demands[i] = scratch.grants[k];
         }
     }
 }
 
-/// Expands per-server channel counts into a per-channel server index.
-fn assign_servers(counts: &[u32]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(counts.iter().map(|&c| c as usize).sum());
+/// Expands per-server channel counts into a per-channel server index,
+/// reusing the output buffer.
+fn assign_servers_into(counts: &[u32], out: &mut Vec<usize>) {
+    out.clear();
+    out.reserve(counts.iter().map(|&c| c as usize).sum());
     for (server, &count) in counts.iter().enumerate() {
         for _ in 0..count {
             out.push(server);
         }
     }
+}
+
+/// Expands per-server channel counts into a per-channel server index.
+#[cfg(test)]
+fn assign_servers(counts: &[u32]) -> Vec<usize> {
+    let mut out = Vec::new();
+    assign_servers_into(counts, &mut out);
     out
 }
 

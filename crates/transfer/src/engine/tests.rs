@@ -610,13 +610,19 @@ fn apply_disk_fairness_shapes_within_each_server_only() {
     ];
     let assign = vec![0usize, 0, 1];
     let counts = vec![2u32, 1];
-    apply_disk_fairness(&mut demands, &assign, &counts, |srv| {
-        if srv == 0 {
-            Rate::from_mbps(800.0)
-        } else {
-            Rate::from_gbps(10.0)
-        }
-    });
+    apply_disk_fairness(
+        &mut demands,
+        &assign,
+        &counts,
+        &mut DiskScratch::default(),
+        |srv| {
+            if srv == 0 {
+                Rate::from_mbps(800.0)
+            } else {
+                Rate::from_gbps(10.0)
+            }
+        },
+    );
     assert!((demands[0].as_mbps() - 400.0).abs() < 1e-6, "{:?}", demands);
     assert!((demands[1].as_mbps() - 400.0).abs() < 1e-6);
     assert!((demands[2].as_mbps() - 600.0).abs() < 1e-6);

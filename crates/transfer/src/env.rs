@@ -11,7 +11,12 @@ use serde::{Deserialize, Serialize};
 
 /// Engine constants that are properties of the software/path rather than
 /// the hardware specs.
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`EngineTuning::default`] plus the `with_*` setters (fields stay `pub`
+/// for reading and in-place mutation) so new tuning knobs can be added
+/// without breaking downstream literals.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct EngineTuning {
     /// Achievable steady rate of a single TCP stream on this path — the
     /// loss/AIMD-limited rate, usually far below the window ceiling on
@@ -41,6 +46,38 @@ impl Default for EngineTuning {
             slice: SimDuration::from_millis(100),
             max_duration: SimDuration::from_secs(7 * 24 * 3600),
         }
+    }
+}
+
+impl EngineTuning {
+    /// Sets the single-stream loss-limited rate cap.
+    pub fn with_wan_stream_cap(mut self, cap: Rate) -> Self {
+        self.wan_stream_cap = cap;
+        self
+    }
+
+    /// Sets the per-channel processing ceiling.
+    pub fn with_proc_channel_cap(mut self, cap: Rate) -> Self {
+        self.proc_channel_cap = cap;
+        self
+    }
+
+    /// Sets the server-side per-file completion cost.
+    pub fn with_per_file_overhead(mut self, overhead: SimDuration) -> Self {
+        self.per_file_overhead = overhead;
+        self
+    }
+
+    /// Sets the simulation slice length.
+    pub fn with_slice(mut self, slice: SimDuration) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// Sets the hard wall on simulated time.
+    pub fn with_max_duration(mut self, max_duration: SimDuration) -> Self {
+        self.max_duration = max_duration;
+        self
     }
 }
 

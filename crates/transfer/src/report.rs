@@ -1,6 +1,6 @@
 //! Transfer outcome: everything Figures 2–7 plot.
 
-use eadt_sim::{Bytes, Rate, SimDuration, TimeSeries};
+use eadt_sim::{Bytes, EadtError, Rate, SimDuration, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 /// Per-chunk outcome within a transfer.
@@ -153,6 +153,28 @@ impl TransferReport {
             return 0.0;
         }
         self.total_energy_j() * retrans / payload
+    }
+
+    /// Classifies an incomplete run as a typed error: `None` when the
+    /// transfer completed, [`EadtError::RetryExhausted`] when channels
+    /// burned through their retry budgets (the run died fighting faults),
+    /// [`EadtError::Incomplete`] when it merely hit the engine's time
+    /// guard. Fleet workers use this to turn reports into job outcomes.
+    pub fn failure(&self) -> Option<EadtError> {
+        if self.completed {
+            return None;
+        }
+        if self.faults.budget_exhaustions > 0 {
+            Some(EadtError::RetryExhausted {
+                exhaustions: self.faults.budget_exhaustions,
+                failures: self.failures,
+            })
+        } else {
+            Some(EadtError::Incomplete {
+                moved_bytes: self.moved_bytes.as_u64(),
+                requested_bytes: self.requested_bytes.as_u64(),
+            })
+        }
     }
 
     /// Mean power across the transfer, Watts.
@@ -320,6 +342,26 @@ mod tests {
         let run = SimDuration::from_secs(90);
         assert_eq!(s.backoff_time, SimDuration::from_secs(180));
         assert!(s.backoff_time > run);
+    }
+
+    #[test]
+    fn failure_classifies_incomplete_runs() {
+        use eadt_sim::ErrorKind;
+        let r = report();
+        assert!(r.failure().is_none());
+        let mut slow = report();
+        slow.completed = false;
+        slow.moved_bytes = Bytes::from_mb(600);
+        assert_eq!(
+            slow.failure().map(|e| e.kind()),
+            Some(ErrorKind::Incomplete)
+        );
+        let mut faulted = slow.clone();
+        faulted.faults.budget_exhaustions = 2;
+        faulted.failures = 9;
+        let err = faulted.failure().unwrap();
+        assert_eq!(err.kind(), ErrorKind::RetryExhausted);
+        assert!(err.is_retryable());
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn ev_side(side: SiteSide) -> EvSide {
 }
 
 /// Backoff / budget / breaker parameters.
+///
+/// Non-exhaustive: build one with [`RetryPolicy::default`] and the
+/// `with_*` setters so new knobs can land without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct RetryPolicy {
     /// First-retry delay (doubles as the legacy reconnect delay).
     #[serde(default = "default_base_delay")]
@@ -101,6 +105,48 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Sets the first-retry delay.
+    pub fn with_base_delay(mut self, base_delay: SimDuration) -> Self {
+        self.base_delay = base_delay;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    pub fn with_max_delay(mut self, max_delay: SimDuration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the backoff growth factor.
+    pub fn with_multiplier(mut self, multiplier: f64) -> Self {
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Sets the jitter amplitude.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the per-channel retry budget.
+    pub fn with_retry_budget(mut self, retry_budget: u32) -> Self {
+        self.retry_budget = retry_budget;
+        self
+    }
+
+    /// Sets the breaker-open threshold.
+    pub fn with_breaker_threshold(mut self, breaker_threshold: u32) -> Self {
+        self.breaker_threshold = breaker_threshold;
+        self
+    }
+
+    /// Sets the breaker / exhausted-budget cooldown.
+    pub fn with_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
     /// Raw (un-jittered) backoff for the given 0-based consecutive-failure
     /// count: `base · multiplier^attempt`, capped at `max_delay`.
     pub fn raw_backoff(&self, attempt: u32) -> SimDuration {

@@ -6,7 +6,7 @@
 //! ```
 
 use eadt::core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-use eadt::core::{Algorithm, Htee, MinE};
+use eadt::core::{Algorithm, Htee, MinE, RunCtx};
 use eadt::testbeds;
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
         let mut best_eff = 0.0f64;
         let mut best_name = "";
         for algo in &algos {
-            let r = algo.run(&testbed.env, &dataset);
+            let r = algo.run(&mut RunCtx::new(&testbed.env, &dataset));
             println!(
                 "{:<8} {:>10.0} {:>11.1} {:>12.0} {:>10.4}",
                 algo.name(),

@@ -10,7 +10,7 @@
 //! ```
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{chunk_params, Algorithm, Htee, MinE};
+use eadt::core::{Algorithm, Htee, MinE, Planner, RunCtx};
 use eadt::dataset::{partition, DatasetMix, DatasetSpec, PartitionConfig};
 use eadt::endsys::{DiskSubsystem, ServerSpec, Site, UtilizationCoeffs};
 use eadt::net::link::Link;
@@ -56,13 +56,12 @@ fn main() {
             mtu: Bytes(9000),
             control_overhead: 0.5,
         }, // jumbo frames
-        tuning: EngineTuning {
-            wan_stream_cap: Rate::from_gbps(8.0),
-            proc_channel_cap: Rate::from_gbps(16.0),
-            per_file_overhead: SimDuration::from_millis(60),
-            slice: SimDuration::from_millis(100),
-            max_duration: SimDuration::from_secs(24 * 3600),
-        },
+        tuning: EngineTuning::default()
+            .with_wan_stream_cap(Rate::from_gbps(8.0))
+            .with_proc_channel_cap(Rate::from_gbps(16.0))
+            .with_per_file_overhead(SimDuration::from_millis(60))
+            .with_slice(SimDuration::from_millis(100))
+            .with_max_duration(SimDuration::from_secs(24 * 3600)),
         faults: None,
         background: None,
         estimator: None,
@@ -103,8 +102,9 @@ fn main() {
     // the small class, four 64 MB-buffered streams to cover 250 MB in
     // flight for the bulk class.
     let chunks = partition(&dataset, env.link.bdp(), &PartitionConfig::default());
+    let planner = Planner::new(&env.link);
     for c in &chunks {
-        let p = chunk_params(&env.link, c);
+        let p = planner.chunk_params(c);
         println!(
             "{:<7} {:>6} files, avg {:>10} → pipelining {:>2}, parallelism {}",
             c.class.label(),
@@ -117,9 +117,18 @@ fn main() {
 
     println!();
     let runs = [
-        ("ProMC@16", ProMc::new(16).run(&env, &dataset)),
-        ("MinE@16", MinE::new(16).run(&env, &dataset)),
-        ("HTEE@16", Htee::new(16).run(&env, &dataset)),
+        (
+            "ProMC@16",
+            ProMc::new(16).run(&mut RunCtx::new(&env, &dataset)),
+        ),
+        (
+            "MinE@16",
+            MinE::new(16).run(&mut RunCtx::new(&env, &dataset)),
+        ),
+        (
+            "HTEE@16",
+            Htee::new(16).run(&mut RunCtx::new(&env, &dataset)),
+        ),
     ];
     for (name, r) in &runs {
         println!(

@@ -9,7 +9,7 @@
 //! ```
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Slaee};
+use eadt::core::{Algorithm, RunCtx, Slaee};
 use eadt::power::{CpuOnlyModel, PowerModelKind};
 use eadt::sim::SimDuration;
 use eadt::testbeds::xsede;
@@ -25,7 +25,7 @@ fn main() {
     );
 
     // Clean reference run.
-    let clean = ProMc::new(8).run(&base.env, &dataset);
+    let clean = ProMc::new(8).run(&mut RunCtx::new(&base.env, &dataset));
     println!(
         "clean:                {:>6.0} Mbps  {:>7.0} J  0 failures",
         clean.avg_throughput().as_mbps(),
@@ -45,7 +45,7 @@ fn main() {
             }
             .into(),
         );
-        let r = ProMc::new(8).run(&tb.env, &dataset);
+        let r = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
         println!(
             "faults, {label}: {:>6.0} Mbps  {:>7.0} J  {} failures",
             r.avg_throughput().as_mbps(),
@@ -63,7 +63,7 @@ fn main() {
         0.6,
     ));
     let slaee = Slaee::new(0.7, clean.avg_throughput(), 12);
-    let r = slaee.run(&tb.env, &dataset);
+    let r = slaee.run(&mut RunCtx::new(&tb.env, &dataset));
     println!(
         "\nbackground traffic + SLAEE@70%: {:.0} Mbps achieved (target {:.0}), peak concurrency {}",
         r.avg_throughput().as_mbps(),
@@ -78,7 +78,7 @@ fn main() {
     let mut tb = base.clone();
     let weight = tb.env.power.cpu_scale * 1.7;
     tb.env.estimator = Some(PowerModelKind::CpuOnly(CpuOnlyModel::local(weight, 115.0)));
-    let r = ProMc::new(8).run(&tb.env, &dataset);
+    let r = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     let est = r.estimated_energy_j.unwrap();
     println!(
         "\ncpu-only estimator: {:.0} J predicted vs {:.0} J reference ({:+.1}% error)",

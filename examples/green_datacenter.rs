@@ -10,7 +10,7 @@
 //! ```
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Slaee};
+use eadt::core::{Algorithm, RunCtx, Slaee};
 use eadt::testbeds::xsede;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     );
 
     // The throughput-greedy reference: fastest, most expensive.
-    let reference = ProMc::new(12).run(&tb.env, &dataset);
+    let reference = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &dataset));
     println!(
         "{:<10} {:>9} {:>10} {:>11} {:>13} {:>8}",
         "policy", "Mbps", "seconds", "energy (J)", "saved vs max", "fits?"
@@ -54,7 +54,8 @@ fn main() {
     let mut best: Option<(u32, eadt::transfer::TransferReport)> = None;
     for pct in [90u32, 80, 70, 60, 50, 40] {
         let level = f64::from(pct) / 100.0;
-        let r = Slaee::new(level, reference.avg_throughput(), 12).run(&tb.env, &dataset);
+        let r = Slaee::new(level, reference.avg_throughput(), 12)
+            .run(&mut RunCtx::new(&tb.env, &dataset));
         row(&format!("SLAEE {pct}%"), &r);
         if r.duration.as_secs_f64() <= window_secs {
             let better = best

@@ -7,7 +7,7 @@
 //! cargo run --release --example network_energy
 //! ```
 
-use eadt::core::{Algorithm, Htee};
+use eadt::core::{Algorithm, Htee, RunCtx};
 use eadt::netenergy::account::{decompose, path_energy_with_idle_joules};
 use eadt::netenergy::dynmodel::DynamicPowerModel;
 use eadt::testbeds;
@@ -54,7 +54,7 @@ fn main() {
             partition: tb.partition,
             ..Htee::new(8)
         }
-        .run(&tb.env, &dataset);
+        .run(&mut RunCtx::new(&tb.env, &dataset));
         let d = decompose(
             report.total_energy_j(),
             &tb.path,

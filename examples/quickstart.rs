@@ -22,7 +22,7 @@ fn main() {
         dataset.total_size()
     );
 
-    let reference = ProMc::new(12).run(&testbed.env, &dataset);
+    let reference = ProMc::new(12).run(&mut RunCtx::new(&testbed.env, &dataset));
     println!(
         "{:<22} {:>10} {:>12} {:>12}",
         "algorithm", "Mbps", "energy (J)", "Mbps/J"
@@ -40,16 +40,17 @@ fn main() {
 
     // Minimum Energy: floods the small chunk with pipelined channels,
     // pins the large chunk to a single channel.
-    let mine = MinE::new(12).run(&testbed.env, &dataset);
+    let mine = MinE::new(12).run(&mut RunCtx::new(&testbed.env, &dataset));
     line("MinE (Algorithm 1)", &mine);
 
     // High Throughput Energy-Efficient: probes concurrency levels for five
     // seconds each, then commits to the best throughput/energy ratio.
-    let htee = Htee::new(12).run(&testbed.env, &dataset);
+    let htee = Htee::new(12).run(&mut RunCtx::new(&testbed.env, &dataset));
     line("HTEE (Algorithm 2)", &htee);
 
     // SLA-based: deliver 80% of the reference throughput, cheaply.
-    let slaee = Slaee::new(0.8, reference.avg_throughput(), 12).run(&testbed.env, &dataset);
+    let slaee = Slaee::new(0.8, reference.avg_throughput(), 12)
+        .run(&mut RunCtx::new(&testbed.env, &dataset));
     line("SLAEE 80% (Alg. 3)", &slaee);
 
     println!(

@@ -21,11 +21,12 @@ fn main() {
 
     // The SLA reference point: the best throughput the energy-oblivious
     // scheduler reaches on this path.
+    let mut ctx = RunCtx::new(&testbed.env, &dataset);
     let promc = ProMc {
         partition: testbed.partition,
         ..ProMc::new(12)
     }
-    .run(&testbed.env, &dataset);
+    .run(&mut ctx);
     let max = promc.avg_throughput();
     println!(
         "reference: ProMC@12 achieves {:.0} Mbps using {:.0} J\n",
@@ -43,7 +44,7 @@ fn main() {
             partition: testbed.partition,
             ..Slaee::new(level, max, 12)
         };
-        let report = slaee.run(&testbed.env, &dataset);
+        let report = slaee.run(&mut ctx);
         let achieved = report.avg_throughput().as_mbps();
         let target = max.as_mbps() * level;
         println!(

@@ -10,9 +10,21 @@
 //!
 //! let testbed = eadt::testbeds::didclab();
 //! let dataset = testbed.dataset_spec.scaled(0.01).generate(42);
-//! let report = Htee::new(4).run(&testbed.env, &dataset);
+//! let report = Htee::new(4).run(&mut RunCtx::new(&testbed.env, &dataset));
 //! assert!(report.completed);
 //! assert!(report.avg_throughput().as_mbps() > 0.0);
+//! ```
+//!
+//! Batches of transfers — sweeps, repeated trials, whole figure matrices —
+//! go through the [`fleet`] session instead of hand-rolled loops:
+//!
+//! ```
+//! use eadt::prelude::*;
+//!
+//! let jobs = vec![JobSpec::new(AlgorithmKind::ProMc, eadt::testbeds::didclab())
+//!     .with_scale(0.01)];
+//! let report = Session::builder().root_seed(42).workers(1).build().run(&jobs);
+//! assert!(report.jobs[0].completed);
 //! ```
 //!
 //! The three paper algorithms live in [`core`] as [`MinE`](core::MinE),
@@ -25,6 +37,7 @@
 pub use eadt_core as core;
 pub use eadt_dataset as dataset;
 pub use eadt_endsys as endsys;
+pub use eadt_fleet as fleet;
 pub use eadt_net as net;
 pub use eadt_netenergy as netenergy;
 pub use eadt_power as power;
@@ -35,9 +48,10 @@ pub use eadt_transfer as transfer;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-    pub use eadt_core::{Algorithm, Htee, MinE, Slaee};
+    pub use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, Planner, RunCtx, Slaee};
     pub use eadt_dataset::{Dataset, FileSpec};
-    pub use eadt_sim::{Bytes, Rate, SimDuration, SimTime};
+    pub use eadt_fleet::{FleetReport, JobSpec, Session};
+    pub use eadt_sim::{Bytes, EadtError, Rate, SimDuration, SimTime};
     pub use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
     pub use eadt_transfer::{TransferParams, TransferReport};
 }

@@ -3,7 +3,7 @@
 //! report internally consistent numbers.
 
 use eadt::core::baselines::{GlobusUrlCopy, ProMc, SingleChunk};
-use eadt::core::{Algorithm, MinE};
+use eadt::core::{Algorithm, MinE, RunCtx};
 use eadt::sim::Bytes;
 use eadt::testbeds::xsede;
 use eadt_dataset::Dataset;
@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn transfers_conserve_bytes(dataset in arbitrary_dataset(), cc in 1u32..10) {
         let tb = xsede();
-        let r = ProMc::new(cc).run(&tb.env, &dataset);
+        let r = ProMc::new(cc).run(&mut RunCtx::new(&tb.env, &dataset));
         prop_assert!(r.completed);
         prop_assert_eq!(r.moved_bytes, dataset.total_size());
         prop_assert!(r.wire_bytes >= r.moved_bytes);
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn reports_are_internally_consistent(dataset in arbitrary_dataset(), cc in 1u32..8) {
         let tb = xsede();
-        let r = MinE::new(cc).run(&tb.env, &dataset);
+        let r = MinE::new(cc).run(&mut RunCtx::new(&tb.env, &dataset));
         prop_assert!(r.completed);
         prop_assert!(r.total_energy_j() > 0.0);
         prop_assert!(r.src_energy_j > 0.0 && r.dst_energy_j > 0.0);
@@ -46,8 +46,8 @@ proptest! {
     #[test]
     fn sequential_never_beats_wall_clock_of_concurrent(dataset in arbitrary_dataset()) {
         let tb = xsede();
-        let seq = SingleChunk::new(6).run(&tb.env, &dataset);
-        let conc = ProMc::new(6).run(&tb.env, &dataset);
+        let seq = SingleChunk::new(6).run(&mut RunCtx::new(&tb.env, &dataset));
+        let conc = ProMc::new(6).run(&mut RunCtx::new(&tb.env, &dataset));
         prop_assert!(seq.completed && conc.completed);
         // Multi-chunk overlap can only help (± a couple of slices of
         // scheduling noise).
@@ -58,8 +58,8 @@ proptest! {
     #[test]
     fn single_channel_baseline_is_slowest(dataset in arbitrary_dataset()) {
         let tb = xsede();
-        let guc = GlobusUrlCopy::new().run(&tb.env, &dataset);
-        let tuned = ProMc::new(8).run(&tb.env, &dataset);
+        let guc = GlobusUrlCopy::new().run(&mut RunCtx::new(&tb.env, &dataset));
+        let tuned = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
         prop_assert!(guc.completed && tuned.completed);
         prop_assert!(
             tuned.avg_throughput().as_mbps() >= guc.avg_throughput().as_mbps() * 0.99,

@@ -2,7 +2,7 @@
 //! from its seed — the property the whole benchmark harness rests on.
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt::testbeds::{didclab, xsede};
 
 #[test]
@@ -12,8 +12,8 @@ fn identical_seeds_produce_identical_reports() {
     let d2 = tb.dataset_spec.scaled(0.02).generate(9);
     assert_eq!(d1, d2);
     for run in 0..2 {
-        let a = MinE::new(6).run(&tb.env, &d1);
-        let b = MinE::new(6).run(&tb.env, &d2);
+        let a = MinE::new(6).run(&mut RunCtx::new(&tb.env, &d1));
+        let b = MinE::new(6).run(&mut RunCtx::new(&tb.env, &d2));
         assert_eq!(a.duration, b.duration, "run {run}");
         assert_eq!(a.moved_bytes, b.moved_bytes);
         assert!((a.total_energy_j() - b.total_energy_j()).abs() < 1e-9);
@@ -27,8 +27,8 @@ fn different_seeds_produce_different_datasets_but_similar_shapes() {
     let d1 = tb.dataset_spec.scaled(0.03).generate(1);
     let d2 = tb.dataset_spec.scaled(0.03).generate(2);
     assert_ne!(d1, d2);
-    let r1 = ProMc::new(8).run(&tb.env, &d1);
-    let r2 = ProMc::new(8).run(&tb.env, &d2);
+    let r1 = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &d1));
+    let r2 = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &d2));
     let t1 = r1.avg_throughput().as_mbps();
     let t2 = r2.avg_throughput().as_mbps();
     // Same spec, different draw: results agree within a generous band.
@@ -42,17 +42,17 @@ fn different_seeds_produce_different_datasets_but_similar_shapes() {
 fn adaptive_algorithms_are_deterministic_too() {
     let tb = didclab();
     let d = tb.dataset_spec.scaled(0.03).generate(5);
-    let h1 = Htee::new(8).run(&tb.env, &d);
-    let h2 = Htee::new(8).run(&tb.env, &d);
+    let h1 = Htee::new(8).run(&mut RunCtx::new(&tb.env, &d));
+    let h2 = Htee::new(8).run(&mut RunCtx::new(&tb.env, &d));
     assert_eq!(h1.duration, h2.duration);
     assert_eq!(
         h1.concurrency_series.samples(),
         h2.concurrency_series.samples()
     );
 
-    let reference = ProMc::new(1).run(&tb.env, &d);
-    let s1 = Slaee::new(0.8, reference.avg_throughput(), 8).run(&tb.env, &d);
-    let s2 = Slaee::new(0.8, reference.avg_throughput(), 8).run(&tb.env, &d);
+    let reference = ProMc::new(1).run(&mut RunCtx::new(&tb.env, &d));
+    let s1 = Slaee::new(0.8, reference.avg_throughput(), 8).run(&mut RunCtx::new(&tb.env, &d));
+    let s2 = Slaee::new(0.8, reference.avg_throughput(), 8).run(&mut RunCtx::new(&tb.env, &d));
     assert_eq!(s1.duration, s2.duration);
     assert!((s1.total_energy_j() - s2.total_energy_j()).abs() < 1e-9);
 }

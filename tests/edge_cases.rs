@@ -2,7 +2,7 @@
 //! single-file datasets, zero-byte files, extreme parameters.
 
 use eadt::core::baselines::{GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt::dataset::Dataset;
 use eadt::sim::{Bytes, Rate};
 use eadt::testbeds::xsede;
@@ -25,7 +25,7 @@ fn every_algorithm_survives_an_empty_dataset() {
         Box::new(Slaee::new(0.8, Rate::from_gbps(5.0), 4)),
     ];
     for a in &algos {
-        let r = a.run(&tb.env, &d);
+        let r = a.run(&mut RunCtx::new(&tb.env, &d));
         assert!(r.completed, "{} on empty dataset", a.name());
         assert_eq!(r.moved_bytes, Bytes::ZERO, "{}", a.name());
         assert_eq!(r.total_energy_j(), 0.0, "{}", a.name());
@@ -37,7 +37,7 @@ fn every_algorithm_survives_an_empty_dataset() {
 fn single_tiny_file_transfers() {
     let tb = xsede();
     let d = Dataset::from_sizes("one", [Bytes::from_kb(1)]);
-    let r = ProMc::new(12).run(&tb.env, &d);
+    let r = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, Bytes::from_kb(1));
     assert!(r.duration.as_secs_f64() > 0.0);
@@ -49,7 +49,7 @@ fn single_huge_file_uses_one_channel_effectively() {
     let tb = xsede();
     let d = Dataset::from_sizes("huge", [Bytes::from_gb(20)]);
     // Twelve channels cannot parallelise one file beyond its own streams.
-    let r = ProMc::new(12).run(&tb.env, &d);
+    let r = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     // One channel at p=2 → ≤ 2 Gbps proc cap on XSEDE.
     let thr = r.avg_throughput().as_gbps();
@@ -65,7 +65,7 @@ fn zero_byte_files_are_pure_overhead() {
     let mut sizes = vec![Bytes::from_mb(100); 3];
     sizes.extend([Bytes(0); 5]);
     let d = Dataset::from_sizes("zeros", sizes);
-    let r = ProMc::new(4).run(&tb.env, &d);
+    let r = ProMc::new(4).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, Bytes::from_mb(300));
 }
@@ -75,7 +75,7 @@ fn extreme_concurrency_still_conserves() {
     let tb = xsede();
     let d = Dataset::from_sizes("few", vec![Bytes::from_mb(50); 6]);
     // Far more channels than files: the surplus idles harmlessly.
-    let r = ProMc::new(64).run(&tb.env, &d);
+    let r = ProMc::new(64).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, d.total_size());
 }
@@ -85,7 +85,7 @@ fn slaee_with_zero_reference_throughput_terminates() {
     let tb = xsede();
     let d = Dataset::from_sizes("d", vec![Bytes::from_mb(200); 4]);
     // A zero reference makes the target zero: always satisfied.
-    let r = Slaee::new(0.9, Rate::ZERO, 8).run(&tb.env, &d);
+    let r = Slaee::new(0.9, Rate::ZERO, 8).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, d.total_size());
 }
@@ -97,7 +97,7 @@ fn prelude_exposes_the_advertised_api() {
     let tb = didclab();
     let _ = (xsede(), futuregrid());
     let dataset = tb.dataset_spec.scaled(0.005).generate(1);
-    let report: TransferReport = MinE::new(2).run(&tb.env, &dataset);
+    let report: TransferReport = MinE::new(2).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(report.completed);
     let params = TransferParams::new(2, 2, 2);
     assert_eq!(params.total_streams(), 4);

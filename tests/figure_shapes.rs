@@ -3,7 +3,7 @@
 //! are scale-invariant; only absolute Joules change).
 
 use eadt::core::baselines::{GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
-use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt::testbeds::{didclab, futuregrid, xsede, Environment};
 use eadt_dataset::Dataset;
 
@@ -17,10 +17,10 @@ fn dataset(tb: &Environment, scale: f64) -> Dataset {
 fn fig2_promc_has_top_throughput_on_xsede() {
     let tb = xsede();
     let d = dataset(&tb, 0.03);
-    let promc = ProMc::new(12).run(&tb.env, &d);
-    let sc = SingleChunk::new(12).run(&tb.env, &d);
-    let mine = MinE::new(12).run(&tb.env, &d);
-    let guc = GlobusUrlCopy::new().run(&tb.env, &d);
+    let promc = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &d));
+    let sc = SingleChunk::new(12).run(&mut RunCtx::new(&tb.env, &d));
+    let mine = MinE::new(12).run(&mut RunCtx::new(&tb.env, &d));
+    let guc = GlobusUrlCopy::new().run(&mut RunCtx::new(&tb.env, &d));
     assert!(
         promc.avg_throughput().as_mbps() >= sc.avg_throughput().as_mbps(),
         "ProMC {} vs SC {}",
@@ -41,9 +41,9 @@ fn fig2_mine_energy_is_lowest_at_low_concurrency() {
     let tb = xsede();
     let d = dataset(&tb, 0.03);
     for cc in [2u32, 4] {
-        let mine = MinE::new(cc).run(&tb.env, &d);
-        let sc = SingleChunk::new(cc).run(&tb.env, &d);
-        let guc = GlobusUrlCopy::new().run(&tb.env, &d);
+        let mine = MinE::new(cc).run(&mut RunCtx::new(&tb.env, &d));
+        let sc = SingleChunk::new(cc).run(&mut RunCtx::new(&tb.env, &d));
+        let guc = GlobusUrlCopy::new().run(&mut RunCtx::new(&tb.env, &d));
         assert!(
             mine.total_energy_j() <= sc.total_energy_j() * 1.02,
             "cc={cc}: MinE {} vs SC {}",
@@ -60,9 +60,15 @@ fn fig2_promc_energy_dips_then_rises_with_concurrency() {
     // minimum around 4.
     let tb = xsede();
     let d = dataset(&tb, 0.05);
-    let e1 = ProMc::new(1).run(&tb.env, &d).total_energy_j();
-    let e4 = ProMc::new(4).run(&tb.env, &d).total_energy_j();
-    let e12 = ProMc::new(12).run(&tb.env, &d).total_energy_j();
+    let e1 = ProMc::new(1)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
+    let e4 = ProMc::new(4)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
+    let e12 = ProMc::new(12)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
     assert!(e4 < e1, "E(4)={e4} should be below E(1)={e1}");
     assert!(e4 < e12, "E(4)={e4} should be below E(12)={e12}");
 }
@@ -71,8 +77,8 @@ fn fig2_promc_energy_dips_then_rises_with_concurrency() {
 fn fig2_go_spreading_costs_energy_vs_sc_at_cc2() {
     let tb = xsede();
     let d = dataset(&tb, 0.03);
-    let go = GlobusOnline::new().run(&tb.env, &d);
-    let sc = SingleChunk::new(2).run(&tb.env, &d);
+    let go = GlobusOnline::new().run(&mut RunCtx::new(&tb.env, &d));
+    let sc = SingleChunk::new(2).run(&mut RunCtx::new(&tb.env, &d));
     // Similar throughput, more energy (the Figure 2b observation).
     let thr_ratio = go.avg_throughput().as_mbps() / sc.avg_throughput().as_mbps();
     assert!((0.6..1.7).contains(&thr_ratio), "thr ratio {thr_ratio}");
@@ -93,12 +99,12 @@ fn fig3_algorithms_converge_near_link_capacity_on_futuregrid() {
         partition: tb.partition,
         ..ProMc::new(12)
     }
-    .run(&tb.env, &d);
+    .run(&mut RunCtx::new(&tb.env, &d));
     let mine = MinE {
         partition: tb.partition,
         ..MinE::new(12)
     }
-    .run(&tb.env, &d);
+    .run(&mut RunCtx::new(&tb.env, &d));
     let thr_p = promc.avg_throughput().as_mbps();
     let thr_m = mine.avg_throughput().as_mbps();
     // "ProMC, MinE, and HTEE algorithms yield comparable data transfer
@@ -120,7 +126,7 @@ fn fig4_concurrency_hurts_throughput_on_didclab() {
     let d = dataset(&tb, 0.05);
     let mut prev = f64::INFINITY;
     for cc in [1u32, 4, 8, 12] {
-        let r = ProMc::new(cc).run(&tb.env, &d);
+        let r = ProMc::new(cc).run(&mut RunCtx::new(&tb.env, &d));
         let thr = r.avg_throughput().as_mbps();
         assert!(
             thr <= prev * 1.02,
@@ -134,7 +140,7 @@ fn fig4_concurrency_hurts_throughput_on_didclab() {
 fn fig4_mine_stays_at_one_channel_on_lan() {
     let tb = didclab();
     let d = dataset(&tb, 0.05);
-    let r = MinE::new(12).run(&tb.env, &d);
+    let r = MinE::new(12).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     let peak = r.concurrency_series.max_value().unwrap();
     // Everything is a Large chunk on a 25 KB BDP → one channel each; the
@@ -149,8 +155,12 @@ fn fig4_mine_stays_at_one_channel_on_lan() {
 fn fig4_energy_grows_with_concurrency_on_didclab() {
     let tb = didclab();
     let d = dataset(&tb, 0.05);
-    let e1 = ProMc::new(1).run(&tb.env, &d).total_energy_j();
-    let e12 = ProMc::new(12).run(&tb.env, &d).total_energy_j();
+    let e1 = ProMc::new(1)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
+    let e12 = ProMc::new(12)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
     assert!(e12 > 1.3 * e1, "E(12)={e12} must clearly exceed E(1)={e1}");
 }
 
@@ -158,11 +168,11 @@ fn fig4_energy_grows_with_concurrency_on_didclab() {
 fn fig5_slaee_meets_reachable_targets_with_bounded_deviation() {
     let tb = xsede();
     let d = dataset(&tb, 0.05);
-    let reference = ProMc::new(12).run(&tb.env, &d);
+    let reference = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &d));
     let max = reference.avg_throughput();
     for pct in [70u32, 50] {
         let level = f64::from(pct) / 100.0;
-        let r = Slaee::new(level, max, 12).run(&tb.env, &d);
+        let r = Slaee::new(level, max, 12).run(&mut RunCtx::new(&tb.env, &d));
         assert!(r.completed);
         let achieved = r.avg_throughput().as_mbps();
         let target = max.as_mbps() * level;
@@ -178,10 +188,10 @@ fn fig5_slaee_meets_reachable_targets_with_bounded_deviation() {
 fn fig5_slaee_lower_targets_do_not_cost_more_energy() {
     let tb = xsede();
     let d = dataset(&tb, 0.05);
-    let reference = ProMc::new(12).run(&tb.env, &d);
+    let reference = ProMc::new(12).run(&mut RunCtx::new(&tb.env, &d));
     let max = reference.avg_throughput();
-    let hi = Slaee::new(0.95, max, 12).run(&tb.env, &d);
-    let lo = Slaee::new(0.5, max, 12).run(&tb.env, &d);
+    let hi = Slaee::new(0.95, max, 12).run(&mut RunCtx::new(&tb.env, &d));
+    let lo = Slaee::new(0.5, max, 12).run(&mut RunCtx::new(&tb.env, &d));
     assert!(
         lo.total_energy_j() <= hi.total_energy_j() * 1.05,
         "50% target ({}) should not burn more than 95% target ({})",
@@ -194,14 +204,16 @@ fn fig5_slaee_lower_targets_do_not_cost_more_energy() {
 fn fig7_slaee_on_lan_settles_at_one_channel() {
     let tb = didclab();
     let d = dataset(&tb, 0.05);
-    let reference = ProMc::new(1).run(&tb.env, &d);
-    let r = Slaee::new(0.5, reference.avg_throughput(), 12).run(&tb.env, &d);
+    let reference = ProMc::new(1).run(&mut RunCtx::new(&tb.env, &d));
+    let r = Slaee::new(0.5, reference.avg_throughput(), 12).run(&mut RunCtx::new(&tb.env, &d));
     assert!(r.completed);
     // Concurrency 1 already overshoots a 50% target; SLAEE must not ramp.
     let peak = r.concurrency_series.max_value().unwrap();
     assert!(peak <= 3.0, "peak={peak}");
     // Energy stays at the single-channel level.
-    let base = ProMc::new(1).run(&tb.env, &d).total_energy_j();
+    let base = ProMc::new(1)
+        .run(&mut RunCtx::new(&tb.env, &d))
+        .total_energy_j();
     assert!(
         r.total_energy_j() < base * 1.15,
         "{} vs {}",
@@ -215,9 +227,9 @@ fn htee_efficiency_beats_untuned_baselines() {
     let tb = xsede();
     // HTEE's 20 s search phase must be small relative to the transfer.
     let d = dataset(&tb, 0.12);
-    let htee = Htee::new(8).run(&tb.env, &d);
-    let guc = GlobusUrlCopy::new().run(&tb.env, &d);
-    let go = GlobusOnline::new().run(&tb.env, &d);
+    let htee = Htee::new(8).run(&mut RunCtx::new(&tb.env, &d));
+    let guc = GlobusUrlCopy::new().run(&mut RunCtx::new(&tb.env, &d));
+    let go = GlobusOnline::new().run(&mut RunCtx::new(&tb.env, &d));
     assert!(
         htee.efficiency() > 1.5 * go.efficiency(),
         "HTEE {} vs GO {}",

@@ -1,0 +1,67 @@
+//! Fleet scaling check (ignored by default): the full figures matrix must
+//! run at least 3× faster on 8 workers than on 1, and the measurement is
+//! recorded in `BENCH_fleet.json` next to the Criterion numbers.
+//!
+//! Run with: `cargo test --release --test fleet_perf -- --ignored`
+//! The speedup assertion only fires on hosts with ≥4 cores — a 1-core CI
+//! runner still executes both passes and records its numbers, it just
+//! cannot meaningfully parallelise.
+
+use criterion::measurement::WallTime;
+use eadt::fleet::{figures_matrix, Session};
+
+fn merge_into_bench_json(key: &str, value: serde_json::Value) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fleet.json");
+    let mut root: serde_json::Value = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({ "schema": 1 }));
+    if let Some(map) = root.as_object_mut() {
+        map.insert(key.to_string(), value);
+    }
+    let mut text = serde_json::to_string_pretty(&root).expect("serializable");
+    text.push('\n');
+    std::fs::write(path, text).expect("workspace root is writable");
+}
+
+#[test]
+#[ignore = "perf measurement: run explicitly with --ignored on a multi-core host"]
+fn figures_matrix_scales_on_eight_workers() {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let jobs = figures_matrix(0.02);
+
+    let serial = Session::builder().root_seed(42).workers(1).build();
+    let eight = Session::builder().root_seed(42).workers(8).build();
+    let (serial_report, serial_s) = WallTime::time(|| serial.run(&jobs));
+    let (eight_report, eight_s) = WallTime::time(|| eight.run(&jobs));
+    assert_eq!(
+        serial_report.to_json(),
+        eight_report.to_json(),
+        "8-worker aggregate diverged from serial"
+    );
+
+    let speedup = serial_s / eight_s.max(1e-9);
+    merge_into_bench_json(
+        "perf_test",
+        serde_json::json!({
+            "jobs": jobs.len(),
+            "scale": 0.02,
+            "root_seed": 42,
+            "host_parallelism": host_parallelism,
+            "serial_s": serial_s,
+            "eight_worker_s": eight_s,
+            "speedup": speedup,
+        }),
+    );
+    println!(
+        "figures matrix: {} jobs, serial {serial_s:.2}s, 8-worker {eight_s:.2}s ({speedup:.2}x, {host_parallelism} cores)",
+        jobs.len()
+    );
+
+    if host_parallelism >= 4 {
+        assert!(
+            speedup >= 3.0,
+            "expected ≥3x on {host_parallelism} cores, measured {speedup:.2}x"
+        );
+    }
+}

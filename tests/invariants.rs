@@ -9,7 +9,7 @@
 #![cfg(feature = "debug-invariants")]
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Htee, MinE, Slaee};
+use eadt::core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt::sim::{Rate, SimDuration};
 use eadt::testbeds::{didclab, futuregrid, xsede};
 use eadt::transfer::{FaultModel, OutageModel, SiteSide};
@@ -19,11 +19,19 @@ fn audited_paper_algorithms_hold_on_xsede() {
     let tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.02).generate(17);
     for cc in [1, 4, 10] {
-        assert!(MinE::new(cc).run(&tb.env, &dataset).completed);
-        assert!(Htee::new(cc).run(&tb.env, &dataset).completed);
+        assert!(
+            MinE::new(cc)
+                .run(&mut RunCtx::new(&tb.env, &dataset))
+                .completed
+        );
+        assert!(
+            Htee::new(cc)
+                .run(&mut RunCtx::new(&tb.env, &dataset))
+                .completed
+        );
         assert!(
             Slaee::new(0.7, Rate::from_gbps(7.0), cc)
-                .run(&tb.env, &dataset)
+                .run(&mut RunCtx::new(&tb.env, &dataset))
                 .completed
         );
     }
@@ -34,9 +42,21 @@ fn audited_algorithms_hold_under_faults_on_futuregrid() {
     let mut tb = futuregrid();
     let dataset = tb.dataset_spec.scaled(0.05).generate(23);
     tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(25), 41).into());
-    assert!(MinE::new(6).run(&tb.env, &dataset).completed);
-    assert!(Htee::new(6).run(&tb.env, &dataset).completed);
-    assert!(ProMc::new(6).run(&tb.env, &dataset).completed);
+    assert!(
+        MinE::new(6)
+            .run(&mut RunCtx::new(&tb.env, &dataset))
+            .completed
+    );
+    assert!(
+        Htee::new(6)
+            .run(&mut RunCtx::new(&tb.env, &dataset))
+            .completed
+    );
+    assert!(
+        ProMc::new(6)
+            .run(&mut RunCtx::new(&tb.env, &dataset))
+            .completed
+    );
 }
 
 #[test]
@@ -53,7 +73,7 @@ fn audited_run_holds_without_restart_markers_and_with_outages() {
         }
         .into(),
     );
-    let r = ProMc::new(4).run(&tb.env, &dataset);
+    let r = ProMc::new(4).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, dataset.total_size());
 
@@ -69,7 +89,7 @@ fn audited_run_holds_without_restart_markers_and_with_outages() {
                 99,
             )),
     );
-    let r = Slaee::new(0.7, Rate::from_gbps(7.0), 8).run(&tb.env, &dataset);
+    let r = Slaee::new(0.7, Rate::from_gbps(7.0), 8).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, dataset.total_size());
 }

@@ -1,7 +1,7 @@
 //! Cross-crate §4 checks: Eq. 5 accounting over real transfer reports and
 //! the Figure 10 decomposition claims.
 
-use eadt::core::{Algorithm, Htee};
+use eadt::core::{Algorithm, Htee, RunCtx};
 use eadt::netenergy::account::{decompose, path_energy_joules};
 use eadt::netenergy::dynmodel::DynamicPowerModel;
 use eadt::testbeds::{all, didclab, futuregrid, xsede};
@@ -14,7 +14,7 @@ fn end_systems_dominate_load_dependent_energy_everywhere() {
             partition: tb.partition,
             ..Htee::new(8)
         }
-        .run(&tb.env, &dataset);
+        .run(&mut RunCtx::new(&tb.env, &dataset));
         assert!(r.completed, "{}", tb.name);
         let d = decompose(r.total_energy_j(), &tb.path, r.wire_bytes, &tb.env.packets);
         assert!(
@@ -46,8 +46,8 @@ fn network_energy_is_algorithm_rate_dependent_only_through_packets() {
     // (wire bytes) can change it.
     let tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.02).generate(3);
-    let slow = eadt::core::baselines::ProMc::new(1).run(&tb.env, &dataset);
-    let fast = eadt::core::baselines::ProMc::new(8).run(&tb.env, &dataset);
+    let slow = eadt::core::baselines::ProMc::new(1).run(&mut RunCtx::new(&tb.env, &dataset));
+    let fast = eadt::core::baselines::ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     let e_slow = path_energy_joules(&tb.path, tb.env.packets.total_packets(slow.wire_bytes));
     let e_fast = path_energy_joules(&tb.path, tb.env.packets.total_packets(fast.wire_bytes));
     let ratio = e_fast / e_slow;

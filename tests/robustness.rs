@@ -2,7 +2,7 @@
 //! in-vivo estimator on the real testbeds.
 
 use eadt::core::baselines::ProMc;
-use eadt::core::{Algorithm, Htee, Slaee};
+use eadt::core::{Algorithm, Htee, RunCtx, Slaee};
 use eadt::endsys::{DiskSubsystem, Placement, ServerSpec, Site, UtilizationCoeffs};
 use eadt::net::link::Link;
 use eadt::net::packets::PacketModel;
@@ -19,9 +19,9 @@ use eadt::transfer::{
 fn faults_cost_time_never_bytes_on_xsede() {
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.03).generate(11);
-    let clean = ProMc::new(8).run(&tb.env, &dataset);
+    let clean = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(20), 3).into());
-    let faulty = ProMc::new(8).run(&tb.env, &dataset);
+    let faulty = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(faulty.completed);
     assert_eq!(faulty.moved_bytes, clean.moved_bytes);
     assert!(faulty.failures > 0);
@@ -40,7 +40,7 @@ fn restart_markers_beat_full_restarts() {
         partition: tb.partition,
         ..ProMc::new(4)
     }
-    .run(&tb.env, &dataset);
+    .run(&mut RunCtx::new(&tb.env, &dataset));
     tb.env.faults = Some(
         FaultModel {
             restart_markers: false,
@@ -52,7 +52,7 @@ fn restart_markers_beat_full_restarts() {
         partition: tb.partition,
         ..ProMc::new(4)
     }
-    .run(&tb.env, &dataset);
+    .run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(with_markers.completed && without.completed);
     assert!(
         with_markers.duration <= without.duration,
@@ -66,13 +66,13 @@ fn restart_markers_beat_full_restarts() {
 fn background_traffic_costs_throughput_and_energy_efficiency() {
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.03).generate(7);
-    let clean = ProMc::new(8).run(&tb.env, &dataset);
+    let clean = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     tb.env.background = Some(BackgroundTraffic::square(
         SimDuration::from_secs(20),
         SimDuration::from_secs(10),
         0.7,
     ));
-    let busy = ProMc::new(8).run(&tb.env, &dataset);
+    let busy = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(busy.completed);
     assert!(busy.avg_throughput().as_mbps() < clean.avg_throughput().as_mbps());
     assert!(busy.efficiency() < clean.efficiency());
@@ -88,12 +88,12 @@ fn reprobing_htee_is_no_worse_under_changing_conditions() {
         0.5,
     ));
     let dataset = tb.dataset_spec.scaled(0.1).generate(13);
-    let static_htee = Htee::new(8).run(&tb.env, &dataset);
+    let static_htee = Htee::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     let adaptive = Htee {
         reprobe_interval: Some(SimDuration::from_secs(60)),
         ..Htee::new(8)
     }
-    .run(&tb.env, &dataset);
+    .run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(static_htee.completed && adaptive.completed);
     // Re-probing costs a little search time but must stay in the same
     // efficiency ballpark (and often wins); it must never collapse.
@@ -112,7 +112,7 @@ fn slaee_conserves_bytes_under_composed_faults() {
     // the report's cause breakdown must reconcile with the legacy counter.
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.03).generate(17);
-    let clean = ProMc::new(8).run(&tb.env, &dataset);
+    let clean = ProMc::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     tb.env.faults = Some(
         FaultPlan::from(FaultModel::new(SimDuration::from_secs(25), 5)).with_outage(
             OutageModel::new(
@@ -124,7 +124,7 @@ fn slaee_conserves_bytes_under_composed_faults() {
             ),
         ),
     );
-    let r = Slaee::new(0.6, clean.avg_throughput(), 12).run(&tb.env, &dataset);
+    let r = Slaee::new(0.6, clean.avg_throughput(), 12).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, clean.moved_bytes);
     assert!(r.failures > 0);
@@ -142,9 +142,9 @@ fn htee_conserves_bytes_under_faults() {
     // losing bytes or diverging from its clean-run dataset coverage.
     let mut tb = xsede();
     let dataset = tb.dataset_spec.scaled(0.03).generate(19);
-    let clean = Htee::new(8).run(&tb.env, &dataset);
+    let clean = Htee::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     tb.env.faults = Some(FaultModel::new(SimDuration::from_secs(25), 13).into());
-    let r = Htee::new(8).run(&tb.env, &dataset);
+    let r = Htee::new(8).run(&mut RunCtx::new(&tb.env, &dataset));
     assert!(r.completed);
     assert_eq!(r.moved_bytes, clean.moved_bytes);
     assert!(r.failures > 0);
@@ -274,7 +274,7 @@ fn fitted_cpu_only_estimator_is_accurate_in_vivo() {
             partition: tb.partition,
             ..ProMc::new(8)
         }
-        .run(&tb.env, &calib_set);
+        .run(&mut RunCtx::new(&tb.env, &calib_set));
         let est0 = calib.estimated_energy_j.expect("estimator configured");
         let fitted = raw_weight * calib.total_energy_j() / est0;
 
@@ -284,7 +284,7 @@ fn fitted_cpu_only_estimator_is_accurate_in_vivo() {
             partition: tb.partition,
             ..ProMc::new(8)
         }
-        .run(&tb.env, &eval_set);
+        .run(&mut RunCtx::new(&tb.env, &eval_set));
         let est = r.estimated_energy_j.expect("estimator configured");
         let err = (est - r.total_energy_j()).abs() / r.total_energy_j();
         assert!(

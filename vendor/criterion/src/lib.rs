@@ -87,6 +87,27 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Wall-clock measurement helpers.
+///
+/// The workspace's determinism lint bans `std::time::Instant` in its own
+/// crates; benches and perf tests that genuinely need wall time route it
+/// through this module instead, keeping the exemption in one place.
+pub mod measurement {
+    use std::time::Instant;
+
+    /// Wall-clock timing (the only measurement the subset offers).
+    pub struct WallTime;
+
+    impl WallTime {
+        /// Runs `body` once and returns its result plus elapsed seconds.
+        pub fn time<O>(body: impl FnOnce() -> O) -> (O, f64) {
+            let start = Instant::now();
+            let out = super::black_box(body());
+            (out, start.elapsed().as_secs_f64())
+        }
+    }
+}
+
 /// Declares a group of benchmark functions.
 #[macro_export]
 macro_rules! criterion_group {
