@@ -1,0 +1,186 @@
+//! Event-horizon macro-stepping benchmark: the engine's slice loop versus
+//! the macro-stepped fast path on a long steady transfer and on a
+//! fault-heavy turbulent one, with the measurements (speedup and
+//! slices-skipped ratio) recorded in `BENCH_engine.json` at the workspace
+//! root for the bench-smoke CI job to upload.
+//!
+//! The two scenarios bracket the optimisation: steady state is where the
+//! horizon opens up (the ≥10× target), turbulence is where it must cost
+//! nothing (every slice hosts a fault/backoff/completion event, so the
+//! horizon stays closed and only the horizon computation itself is paid).
+
+use criterion::measurement::WallTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use eadt_dataset::Dataset;
+use eadt_endsys::Placement;
+use eadt_sim::{Bytes, SimDuration};
+use eadt_testbeds::xsede;
+use eadt_transfer::{
+    uniform_plan, BackgroundTraffic, ControlAction, Controller, DiskDegradationModel, Engine,
+    FaultModel, FaultPlan, OutageModel, SiteSide, SliceCtx, StallModel, TransferEnv,
+    TransferParams, TransferPlan,
+};
+use std::hint::black_box;
+
+/// Timed passes per configuration; the minimum is recorded so scheduler
+/// noise on small CI hosts cannot fake a regression.
+const PASSES: usize = 5;
+
+/// `NullController` with an odometer: counts how many slices the engine
+/// actually executed (macro-stepped replays never reach the controller),
+/// so `1 - executed_fast / executed_slow` is the slices-skipped ratio.
+#[derive(Default)]
+struct CountingController {
+    slices: u64,
+}
+
+impl Controller for CountingController {
+    fn on_slice(&mut self, _ctx: &SliceCtx) -> ControlAction {
+        self.slices += 1;
+        ControlAction::Continue
+    }
+
+    fn next_decision_in(&self, _ctx: &SliceCtx, _slice: SimDuration) -> u64 {
+        u64::MAX
+    }
+}
+
+fn merge_into_bench_json(key: &str, value: serde_json::Value) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let mut root: serde_json::Value = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({ "schema": 1 }));
+    if let Some(map) = root.as_object_mut() {
+        map.insert(key.to_string(), value);
+    }
+    let mut text = serde_json::to_string_pretty(&root).expect("serializable");
+    text.push('\n');
+    std::fs::write(path, text).expect("workspace root is writable");
+}
+
+/// Long steady transfer: a handful of very large files, no faults — after
+/// the ramp-in every slice is a steady mover slice.
+fn steady_scenario() -> (TransferEnv, TransferPlan) {
+    let env = xsede().env;
+    let dataset = Dataset::from_sizes("steady", [Bytes::from_gb(60); 16]);
+    let plan = uniform_plan(&dataset, TransferParams::new(4, 4, 4), Placement::PackFirst);
+    (env, plan)
+}
+
+/// Fault-heavy turbulent transfer: short MTBF kills, an outage window, a
+/// stall regime, disk degradation and square-wave cross traffic keep the
+/// horizon pinned near zero.
+fn turbulent_scenario() -> (TransferEnv, TransferPlan) {
+    let mut env = xsede().env;
+    env.faults = Some(
+        FaultPlan::channel_only(FaultModel::new(SimDuration::from_secs(5), 7))
+            .with_outage(OutageModel::new(
+                SiteSide::Src,
+                0,
+                SimDuration::from_secs(15),
+                SimDuration::from_secs(3),
+                13,
+            ))
+            .with_stall(StallModel::new(
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(2),
+                4.0,
+                17,
+            ))
+            .with_disk(DiskDegradationModel::new(
+                SiteSide::Dst,
+                0,
+                SimDuration::from_secs(20),
+                SimDuration::from_secs(4),
+                0.4,
+                19,
+            )),
+    );
+    env.background = Some(BackgroundTraffic::square(
+        SimDuration::from_secs(7),
+        SimDuration::from_secs(3),
+        0.5,
+    ));
+    let dataset = Dataset::from_sizes("turbulent", [Bytes::from_gb(2); 4]);
+    let plan = uniform_plan(&dataset, TransferParams::new(4, 4, 4), Placement::PackFirst);
+    (env, plan)
+}
+
+/// Runs one configuration `PASSES` times; returns (min wall seconds,
+/// executed slice count) and asserts the report is identical every pass.
+fn measure(env: &TransferEnv, plan: &TransferPlan, macro_step: bool) -> (f64, u64) {
+    let mut env = env.clone();
+    env.tuning.macro_step = macro_step;
+    let mut best = f64::INFINITY;
+    let mut slices = 0;
+    for _ in 0..PASSES {
+        let mut ctrl = CountingController::default();
+        let (report, s) = WallTime::time(|| Engine::new(&env).run(plan, &mut ctrl));
+        black_box(&report);
+        assert!(report.completed, "bench transfer must finish");
+        best = best.min(s);
+        slices = ctrl.slices;
+    }
+    (best, slices)
+}
+
+fn record(key: &str, env: &TransferEnv, plan: &TransferPlan) -> (f64, f64) {
+    let (slow_s, slow_slices) = measure(env, plan, false);
+    let (fast_s, fast_slices) = measure(env, plan, true);
+    let speedup = slow_s / fast_s.max(1e-9);
+    let skipped_ratio = 1.0 - fast_slices as f64 / slow_slices.max(1) as f64;
+    merge_into_bench_json(
+        key,
+        serde_json::json!({
+            "passes": PASSES,
+            "sim_slices": slow_slices,
+            "executed_slices_macro": fast_slices,
+            "skipped_ratio": skipped_ratio,
+            "slice_loop_s": slow_s,
+            "macro_step_s": fast_s,
+            "speedup": speedup,
+        }),
+    );
+    println!(
+        "engine {key}: {slow_slices} slices, {fast_slices} executed under macro-stepping \
+         ({:.1}% skipped), {slow_s:.4}s -> {fast_s:.4}s ({speedup:.1}x)",
+        skipped_ratio * 100.0
+    );
+    (speedup, skipped_ratio)
+}
+
+fn bench(c: &mut Criterion) {
+    let (steady_env, steady_plan) = steady_scenario();
+    let (turb_env, turb_plan) = turbulent_scenario();
+
+    let mut g = c.benchmark_group("engine_macro");
+    g.sample_size(10);
+    for (name, env, plan) in [
+        ("steady_slice_loop", &steady_env, &steady_plan),
+        ("turbulent_slice_loop", &turb_env, &turb_plan),
+    ] {
+        let mut env = env.clone();
+        env.tuning.macro_step = false;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Engine::new(&env).run(plan, &mut CountingController::default())))
+        });
+    }
+    for (name, env, plan) in [
+        ("steady_macro_step", &steady_env, &steady_plan),
+        ("turbulent_macro_step", &turb_env, &turb_plan),
+    ] {
+        let mut env = env.clone();
+        env.tuning.macro_step = true;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Engine::new(&env).run(plan, &mut CountingController::default())))
+        });
+    }
+    g.finish();
+
+    record("steady", &steady_env, &steady_plan);
+    record("turbulent", &turb_env, &turb_plan);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

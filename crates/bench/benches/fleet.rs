@@ -60,19 +60,31 @@ fn bench(c: &mut Criterion) {
         parallel_report.to_json(),
         "aggregate report must not depend on worker count"
     );
-    merge_into_bench_json(
-        "figures_matrix",
-        serde_json::json!({
-            "jobs": jobs.len(),
-            "scale": SCALE,
-            "root_seed": 42,
-            "completed": serial_report.completed_count(),
-            "serial_s": serial_s,
-            "parallel_s": parallel_s,
-            "workers": workers,
-            "speedup": serial_s / parallel_s.max(1e-9),
-        }),
-    );
+    let mut entry = serde_json::json!({
+        "jobs": jobs.len(),
+        "scale": SCALE,
+        "root_seed": 42,
+        "completed": serial_report.completed_count(),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "workers": workers,
+    });
+    let map = entry.as_object_mut().expect("entry is an object");
+    if workers == 1 {
+        // On a single core the two passes race the same CPU; publishing
+        // their ratio as a "speedup" is noise, not a measurement.
+        map.insert("skipped".to_string(), serde_json::json!(true));
+        map.insert(
+            "skip_reason".to_string(),
+            serde_json::json!("single-core host: wall-clock ratio is not a parallel speedup"),
+        );
+    } else {
+        map.insert(
+            "speedup".to_string(),
+            serde_json::json!(serial_s / parallel_s.max(1e-9)),
+        );
+    }
+    merge_into_bench_json("figures_matrix", entry);
     println!(
         "fleet figures_matrix: {} jobs, serial {serial_s:.2}s, {workers}-worker {parallel_s:.2}s",
         jobs.len()

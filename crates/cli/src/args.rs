@@ -157,6 +157,11 @@ pub struct Cli {
     pub json: bool,
     /// Fault-injection overrides.
     pub faults: FaultArgs,
+    /// `--no-macro-step`: force the engine through every 100 ms slice
+    /// instead of skipping provably-steady stretches. Output is
+    /// bit-identical either way; this is the escape hatch for debugging
+    /// the horizon computation (and for timing the plain slice loop).
+    pub no_macro_step: bool,
 }
 
 /// The usage string printed by `eadt help`.
@@ -206,6 +211,9 @@ OPTIONS:
   --journal FILE     (inspect) journal to render
   --chrome FILE      (inspect) also export Chrome trace_event JSON
   --json             machine-readable output
+  --no-macro-step    execute every 100 ms slice instead of macro-stepping
+                     steady stretches (same output, slower; for debugging
+                     and timing the plain slice loop)
 
 FAULT INJECTION (composes with whatever the environment declares):
   --mtbf SECS          per-channel mean time to failure
@@ -251,6 +259,7 @@ impl Cli {
         let mut chrome: Option<String> = None;
         let mut workers = 0usize;
         let mut figures = false;
+        let mut no_macro_step = false;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, EadtError> {
@@ -297,6 +306,7 @@ impl Cli {
                 "--chrome" => chrome = Some(value("--chrome")?.clone()),
                 "--workers" => workers = parse_num(value("--workers")?, "--workers")?,
                 "--figures" => figures = true,
+                "--no-macro-step" => no_macro_step = true,
                 other => {
                     return Err(EadtError::invalid_argument(
                         other,
@@ -414,6 +424,7 @@ impl Cli {
             json,
             dataset_file,
             faults,
+            no_macro_step,
         })
     }
 }
@@ -697,6 +708,16 @@ mod tests {
         assert!(Cli::parse(&argv("inspect")).is_err());
         assert!(Cli::parse(&argv("trace --cadence 0")).is_err());
         assert!(Cli::parse(&argv("trace --cadence -2")).is_err());
+    }
+
+    #[test]
+    fn no_macro_step_flag_parses() {
+        let cli = Cli::parse(&argv("transfer --no-macro-step")).unwrap();
+        assert!(cli.no_macro_step);
+        let cli = Cli::parse(&argv("trace --no-macro-step --out /tmp/j.jsonl")).unwrap();
+        assert!(cli.no_macro_step);
+        let cli = Cli::parse(&argv("transfer")).unwrap();
+        assert!(!cli.no_macro_step);
     }
 
     #[test]

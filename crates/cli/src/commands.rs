@@ -394,6 +394,9 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
 fn resolve(cli: &Cli) -> Result<Environment, EadtError> {
     let mut tb = envfile::load(&cli.env)?;
     apply_fault_args(&cli.faults, cli.seed, &mut tb.env);
+    if cli.no_macro_step {
+        tb.env.tuning.macro_step = false;
+    }
     Ok(tb)
 }
 

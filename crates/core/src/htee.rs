@@ -268,6 +268,23 @@ impl Controller for HteeController {
     fn drain_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
     }
+
+    /// While searching, every slice feeds the probe-window accumulators,
+    /// so no slice may be skipped. Once committed the controller is inert
+    /// until the re-probe deadline (or forever, without one).
+    ///
+    /// Covered by the macro-equivalence suite (`tests/macro_equivalence.rs`).
+    fn next_decision_in(&self, ctx: &SliceCtx, slice: SimDuration) -> u64 {
+        match self.phase {
+            Phase::Searching { .. } => 0,
+            Phase::Committed { since } => match self.reprobe_interval {
+                None => u64::MAX,
+                // Calls at `now + i·slice` stay `Continue` while they land
+                // strictly before the re-probe deadline `since + every`.
+                Some(every) => (since + every).since(ctx.now).slices_before(slice),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use crate::planner::{sla_allocation_live, Planner};
 use crate::{Algorithm, RunCtx};
 use eadt_dataset::{partition, Chunk, PartitionConfig};
 use eadt_endsys::Placement;
-use eadt_sim::{Rate, SimDuration, SimTime};
+use eadt_sim::{Bytes, Rate, SimDuration, SimTime};
 use eadt_telemetry::Event;
 use eadt_transfer::{
     ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferPlan,
@@ -116,7 +116,12 @@ pub struct SlaeeController {
     max_channel: u32,
     window: SimDuration,
     window_start: SimTime,
-    window_bytes: f64,
+    /// `ctx.total_bytes` at the start of the current probe window. The
+    /// window's byte count is derived as a delta at window close (exact:
+    /// byte totals stay far below 2^53) instead of accumulating
+    /// `slice_bytes` every slice — that is what lets the controller
+    /// promise skippable slices to the engine's macro-stepper.
+    window_start_total: Bytes,
     concurrency: u32,
     rearranged: bool,
     first_window_done: bool,
@@ -144,7 +149,7 @@ impl SlaeeController {
             max_channel: max_channel.max(1),
             window,
             window_start: SimTime::ZERO,
-            window_bytes: 0.0,
+            window_start_total: Bytes::ZERO,
             concurrency: 1,
             rearranged: false,
             first_window_done: false,
@@ -181,14 +186,17 @@ impl SlaeeController {
 
 impl Controller for SlaeeController {
     fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction {
-        self.window_bytes += ctx.slice_bytes.as_f64();
         let elapsed = ctx.now.since(self.window_start);
         if elapsed < self.window {
             return ControlAction::Continue;
         }
-        let actual_mbps = self.window_bytes * 8.0 / elapsed.as_secs_f64() / 1e6;
+        // Goodput moved during the window, as a delta of the running
+        // total (f64 subtraction: with restart markers off a mid-window
+        // channel kill can pull the total below the window's start).
+        let window_bytes = ctx.total_bytes.as_f64() - self.window_start_total.as_f64();
+        let actual_mbps = window_bytes * 8.0 / elapsed.as_secs_f64() / 1e6;
         self.window_throughputs.push((ctx.now, actual_mbps));
-        self.window_bytes = 0.0;
+        self.window_start_total = ctx.total_bytes;
         self.window_start = ctx.now;
 
         let target_mbps = self.target.as_mbps();
@@ -285,6 +293,19 @@ impl Controller for SlaeeController {
 
     fn drain_events(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Between probe-window closes the controller is pure bookkeeping-free
+    /// `Continue` (the window byte count is a delta, not a per-slice
+    /// accumulator), so every slice strictly before the next window
+    /// boundary may be skipped — in every state, including frozen runs,
+    /// whose `window_throughputs` trace still grows at each close.
+    ///
+    /// Covered by the macro-equivalence suite (`tests/macro_equivalence.rs`).
+    fn next_decision_in(&self, ctx: &SliceCtx, slice: SimDuration) -> u64 {
+        (self.window_start + self.window)
+            .since(ctx.now)
+            .slices_before(slice)
     }
 }
 

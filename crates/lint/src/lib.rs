@@ -9,7 +9,11 @@
 //! * **robustness** — no `unwrap()` / `expect()` / `panic!` in the
 //!   non-test library code of `core`, `transfer` and `telemetry`;
 //! * **schema** — every telemetry `Event` variant documented,
-//!   field-for-field, in the DESIGN.md §9 JSONL schema table.
+//!   field-for-field, in the DESIGN.md §9 JSONL schema table;
+//! * **horizon** — every `Controller` overriding `next_decision_in()`
+//!   exercised by the macro-stepping equivalence suite
+//!   (`tests/macro_equivalence.rs`), so a new controller cannot silently
+//!   break the bit-for-bit macro-stepping invariant (DESIGN.md §12).
 //!
 //! Known violations burn down explicitly through `lint-allow.toml`.
 //! Run it as `cargo run -p eadt-lint -- --deny-warnings` (the CI
@@ -57,11 +61,26 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let sources = walk::collect_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
     let mut raw: Vec<Violation> = Vec::new();
 
+    let suite_src = std::fs::read_to_string(root.join(rules::horizon::SUITE_PATH)).ok();
+    if suite_src.is_none() {
+        raw.push(Violation {
+            rule: "horizon",
+            path: rules::horizon::SUITE_PATH.to_string(),
+            line: 0,
+            message: "macro-stepping equivalence suite not found — horizon lint cannot run".into(),
+        });
+    }
+
     for file in &sources {
         let toks = lexer::tokenize(&file.text);
         raw.extend(rules::determinism::check(&file.rel_path, &toks));
         if rules::robustness::CHECKED_CRATES.contains(&file.crate_name()) && !file.is_test_code() {
             raw.extend(rules::robustness::check(&file.rel_path, &toks));
+        }
+        if let Some(suite) = &suite_src {
+            if !file.is_test_code() {
+                raw.extend(rules::horizon::check(&file.rel_path, &toks, suite));
+            }
         }
     }
 

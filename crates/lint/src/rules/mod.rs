@@ -1,15 +1,18 @@
 //! Lint rules and their shared plumbing.
 //!
-//! Three rule families, mirroring the repo's invariants:
+//! Four rule families, mirroring the repo's invariants:
 //!
 //! * [`determinism`] — no ambient time, no ambient randomness, no
 //!   iteration-order-unstable collections anywhere in workspace code;
 //! * [`robustness`] — no `unwrap()` / `expect()` / `panic!` in the
 //!   non-test library code of the crates on the transfer hot path;
 //! * [`schema`] — every telemetry `Event` variant stays documented in the
-//!   DESIGN.md §9 JSONL schema table, field-for-field.
+//!   DESIGN.md §9 JSONL schema table, field-for-field;
+//! * [`horizon`] — every `Controller` that overrides `next_decision_in`
+//!   is exercised by the macro-stepping equivalence suite.
 
 pub mod determinism;
+pub mod horizon;
 pub mod robustness;
 pub mod schema;
 
@@ -18,7 +21,7 @@ use crate::lexer::{Spanned, Tok};
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule family id (`determinism`, `robustness`, `schema`).
+    /// Rule family id (`determinism`, `robustness`, `schema`, `horizon`).
     pub rule: &'static str,
     /// Repo-relative path the finding is in.
     pub path: String,

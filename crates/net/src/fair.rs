@@ -32,9 +32,18 @@ pub fn fair_share(capacity: Rate, demands: &[Rate]) -> Vec<Rate> {
 
 /// Reusable index scratch for [`fair_share_into`]; hoist one instance out
 /// of a per-slice loop to make repeated allocations allocation-free.
+///
+/// Besides the index buffer, the scratch caches the last demand vector it
+/// sorted: transfer engines call the allocator every slice with demands
+/// that are usually unchanged during steady state, and the sorted filling
+/// order only depends on the demands (not on capacity), so an exact match
+/// lets the next call skip the sort entirely. The comparison is bitwise
+/// (`Rate` equality), never approximate — a cache hit is only taken when
+/// it provably reproduces the freshly-sorted order.
 #[derive(Debug, Clone, Default)]
 pub struct FairScratch {
     unsatisfied: Vec<usize>,
+    cached_demands: Vec<Rate>,
 }
 
 /// In-place variant of [`fair_share`] for hot paths.
@@ -61,17 +70,26 @@ pub fn fair_share_into(
     }
     // Progressive filling over the still-unsatisfied set.
     let mut remaining = capacity.as_bps();
-    let unsatisfied = &mut scratch.unsatisfied;
-    unsatisfied.clear();
-    unsatisfied.extend(0..n);
-    // Sort by demand ascending so each pass can finalize all demands below
-    // the fair share in one sweep.
-    unsatisfied.sort_by(|&a, &b| {
-        demands[a]
-            .as_bps()
-            .partial_cmp(&demands[b].as_bps())
-            .expect("rates are finite")
-    });
+    let FairScratch {
+        unsatisfied,
+        cached_demands,
+    } = scratch;
+    if cached_demands.as_slice() != demands {
+        unsatisfied.clear();
+        unsatisfied.extend(0..n);
+        // Sort by demand ascending so each pass can finalize all demands
+        // below the fair share in one sweep. The filling loop below only
+        // reads the order, so it stays valid for the next call as long as
+        // the demand vector is bitwise identical.
+        unsatisfied.sort_by(|&a, &b| {
+            demands[a]
+                .as_bps()
+                .partial_cmp(&demands[b].as_bps())
+                .expect("rates are finite")
+        });
+        cached_demands.clear();
+        cached_demands.extend_from_slice(demands);
+    }
     let mut idx = 0;
     while idx < unsatisfied.len() {
         let active = unsatisfied.len() - idx;
@@ -204,5 +222,42 @@ mod tests {
             fair_share_into(mbps(cap), &demands, &mut grants, &mut scratch);
             assert_eq!(grants, fair_share(mbps(cap), &demands));
         }
+    }
+
+    #[test]
+    fn repeated_demands_hit_the_sort_cache() {
+        let mut grants = Vec::new();
+        let mut scratch = FairScratch::default();
+        let demands = [mbps(900.0), mbps(100.0), mbps(300.0)];
+        fair_share_into(mbps(1000.0), &demands, &mut grants, &mut scratch);
+        let first = grants.clone();
+        let order = scratch.unsatisfied.clone();
+        // Same demands again (different capacity): order is reused verbatim
+        // and the grants still match the from-scratch reference.
+        fair_share_into(mbps(600.0), &demands, &mut grants, &mut scratch);
+        assert_eq!(scratch.unsatisfied, order);
+        assert_eq!(grants, fair_share(mbps(600.0), &demands));
+        fair_share_into(mbps(1000.0), &demands, &mut grants, &mut scratch);
+        assert_eq!(grants, first);
+    }
+
+    #[test]
+    fn changed_demands_invalidate_the_sort_cache() {
+        let mut grants = Vec::new();
+        let mut scratch = FairScratch::default();
+        fair_share_into(
+            mbps(500.0),
+            &[mbps(900.0), mbps(100.0), mbps(300.0)],
+            &mut grants,
+            &mut scratch,
+        );
+        // A changed vector (different order, then different length) must
+        // re-sort; grants always match the from-scratch reference.
+        let swapped = [mbps(100.0), mbps(900.0), mbps(300.0)];
+        fair_share_into(mbps(500.0), &swapped, &mut grants, &mut scratch);
+        assert_eq!(grants, fair_share(mbps(500.0), &swapped));
+        let shorter = [mbps(400.0), mbps(700.0)];
+        fair_share_into(mbps(500.0), &shorter, &mut grants, &mut scratch);
+        assert_eq!(grants, fair_share(mbps(500.0), &shorter));
     }
 }

@@ -169,6 +169,27 @@ impl SimDuration {
             micros: secs_to_micros(self.as_secs_f64() * factor),
         }
     }
+
+    /// Number of whole `slice` periods contained in this duration
+    /// (floor division in integer microseconds). A zero `slice` is
+    /// clamped to one microsecond.
+    #[inline]
+    pub fn slices_within(self, slice: SimDuration) -> u64 {
+        self.micros / slice.micros.max(1)
+    }
+
+    /// Number of whole `slice` periods that fit *strictly inside* this
+    /// duration: the largest `k` with `k × slice < self`. Zero when this
+    /// duration is zero. The engine's macro-stepper uses this to count
+    /// slices that provably end before a state-change boundary.
+    #[inline]
+    pub fn slices_before(self, slice: SimDuration) -> u64 {
+        if self.micros == 0 {
+            0
+        } else {
+            (self.micros - 1) / slice.micros.max(1)
+        }
+    }
 }
 
 #[inline]
@@ -382,6 +403,25 @@ mod tests {
     fn display_formats_seconds() {
         assert_eq!(SimTime::from_secs_f64(1.25).to_string(), "1.250s");
         assert_eq!(SimDuration::from_millis(40).to_string(), "0.040s");
+    }
+
+    #[test]
+    fn slice_division_helpers() {
+        let s = SimDuration::from_millis(100);
+        // slices_within: plain floor division.
+        assert_eq!(SimDuration::from_millis(350).slices_within(s), 3);
+        assert_eq!(SimDuration::from_millis(300).slices_within(s), 3);
+        assert_eq!(SimDuration::ZERO.slices_within(s), 0);
+        // slices_before: strict — k slices must end before the boundary.
+        assert_eq!(SimDuration::from_millis(350).slices_before(s), 3);
+        assert_eq!(SimDuration::from_millis(300).slices_before(s), 2);
+        assert_eq!(SimDuration::from_millis(100).slices_before(s), 0);
+        assert_eq!(SimDuration::ZERO.slices_before(s), 0);
+        // Zero slice is clamped, not a panic.
+        assert_eq!(
+            SimDuration::from_secs(1).slices_within(SimDuration::ZERO),
+            1_000_000
+        );
     }
 
     #[test]

@@ -221,6 +221,14 @@ impl MetricsRegistry {
         true
     }
 
+    /// The next instant at which [`MetricsRegistry::tick`] will sample —
+    /// i.e. the earliest `now` for which `tick(now)` returns `true`. The
+    /// engine's macro-stepper uses this to bound the number of slices it
+    /// may skip without missing a gauge sample.
+    pub fn next_tick(&self) -> SimTime {
+        self.next_sample
+    }
+
     /// Current counter value.
     pub fn counter_value(&self, id: CounterId) -> u64 {
         self.counters[id.0].value

@@ -6,7 +6,7 @@
 //! a [`Controller`] at every slice boundary with fresh measurements; the
 //! controller may re-allocate channels across the current stage's chunks.
 
-use eadt_sim::{Bytes, SimTime};
+use eadt_sim::{Bytes, SimDuration, SimTime};
 use eadt_telemetry::Event;
 
 /// The engine's fault picture as exposed to controllers: *learned* state
@@ -105,6 +105,26 @@ pub trait Controller {
     /// Called once per slice, after measurements are updated.
     fn on_slice(&mut self, ctx: &SliceCtx) -> ControlAction;
 
+    /// Decision-cadence promise for the engine's macro-stepper: the number
+    /// of upcoming `on_slice` calls — *assuming steady state holds* (every
+    /// ctx field except `now`, `slice_bytes`, `slice_energy_j`,
+    /// `total_bytes` and `remaining_bytes` unchanged; the latter advancing
+    /// by a constant per-slice amount) — that are guaranteed to return
+    /// [`ControlAction::Continue`], buffer no events, and leave the
+    /// controller in a state indistinguishable from having observed those
+    /// slices. The engine may then skip calling `on_slice` for that many
+    /// slices.
+    ///
+    /// The conservative default promises nothing, which is always correct:
+    /// a controller that accumulates per-slice measurements (window bytes,
+    /// probe energy) MUST NOT promise slices it would have accumulated
+    /// over, unless it can reconstruct the accumulation from the next ctx
+    /// it sees. Any controller overriding this must be covered by the
+    /// macro-equivalence suite (enforced by `eadt-lint`'s `horizon` rule).
+    fn next_decision_in(&self, _ctx: &SliceCtx, _slice: SimDuration) -> u64 {
+        0
+    }
+
     /// Switches on controller-authored telemetry: after this call the
     /// controller buffers typed events (decisions with reasons, probe
     /// windows, commits) for the engine to drain each slice. Off by
@@ -126,6 +146,12 @@ pub struct NullController;
 impl Controller for NullController {
     fn on_slice(&mut self, _ctx: &SliceCtx) -> ControlAction {
         ControlAction::Continue
+    }
+
+    /// Stateless and always `Continue`: any number of slices may be
+    /// skipped.
+    fn next_decision_in(&self, _ctx: &SliceCtx, _slice: SimDuration) -> u64 {
+        u64::MAX
     }
 }
 
@@ -281,6 +307,19 @@ impl<C: Controller> Controller for FaultAware<C> {
         let mut events = self.inner.drain_events();
         events.append(&mut self.events);
         events
+    }
+
+    /// Healthy pass-through defers to the inner controller's promise (the
+    /// decorator's own bookkeeping — mirroring `ctx.channels`, zeroing
+    /// finished chunks — is idempotent while the ctx is steady). During an
+    /// incident or the recovery ramp the decorator acts every slice, so it
+    /// promises nothing.
+    fn next_decision_in(&self, ctx: &SliceCtx, slice: SimDuration) -> u64 {
+        if self.degraded || ctx.fault.degraded() {
+            0
+        } else {
+            self.inner.next_decision_in(ctx, slice)
+        }
     }
 }
 

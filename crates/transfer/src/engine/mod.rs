@@ -317,6 +317,7 @@ impl<'a> Engine<'a> {
                     grants,
                     src_moved,
                     dst_moved,
+                    ch_moved,
                     fair,
                     disk,
                 } = &mut scratch;
@@ -583,6 +584,7 @@ impl<'a> Engine<'a> {
                 let mut slice_bytes = Bytes::ZERO;
                 reset(src_moved, env.src.servers.len(), Bytes::ZERO);
                 reset(dst_moved, env.dst.servers.len(), Bytes::ZERO);
+                reset(ch_moved, refs.len(), Bytes::ZERO);
                 for (i, &(ci, chi)) in refs.iter().enumerate() {
                     let chunk = &mut chunks[ci];
                     // Inter-file control gap, inflated while the control
@@ -602,6 +604,7 @@ impl<'a> Engine<'a> {
                     slice_bytes += moved;
                     src_moved[src_assign[i]] += moved;
                     dst_moved[dst_assign[i]] += moved;
+                    ch_moved[i] = moved;
                     if let Some(g) = &gauges {
                         if working[i] {
                             if let Some(m) = tel.metrics() {
@@ -701,6 +704,7 @@ impl<'a> Engine<'a> {
                     }
                 }
 
+                let slice_start = now;
                 now += slice;
 
                 // Controller.
@@ -765,20 +769,183 @@ impl<'a> Engine<'a> {
                         tel.record(now, ev);
                     }
                 }
-                if let ControlAction::Reallocate(new_targets) = action {
-                    assert_eq!(
-                        new_targets.len(),
-                        chunks.len(),
-                        "reallocation must cover every chunk of the stage"
-                    );
-                    if journaling {
-                        tel.record_with(now, || Event::Reallocate {
-                            targets: new_targets.clone(),
-                        });
+                match action {
+                    ControlAction::Reallocate(new_targets) => {
+                        assert_eq!(
+                            new_targets.len(),
+                            chunks.len(),
+                            "reallocation must cover every chunk of the stage"
+                        );
+                        if journaling {
+                            tel.record_with(now, || Event::Reallocate {
+                                targets: new_targets.clone(),
+                            });
+                        }
+                        for (c, &t) in chunks.iter_mut().zip(&new_targets) {
+                            c.target = if c.has_work() { t } else { 0 };
+                        }
                     }
-                    for (c, &t) in chunks.iter_mut().zip(&new_targets) {
-                        c.target = if c.has_work() { t } else { 0 };
+                    ControlAction::Continue if env.tuning.macro_step => {
+                        // Event-horizon macro-stepping (DESIGN.md §12):
+                        // count how many upcoming slices are provably in
+                        // steady state and replay them arithmetically.
+                        // Every bound is conservative — when in doubt the
+                        // horizon is 0 and the engine falls back to the
+                        // plain slice loop above.
+                        let mut k = controller.next_decision_in(&ctx, slice);
+
+                        // A state boundary at time `b` caps the window:
+                        // every skipped slice must start strictly before it.
+                        let bound_at = move |b: SimTime| -> u64 {
+                            if b <= now {
+                                0
+                            } else {
+                                b.since(now).slices_before(slice).saturating_add(1)
+                            }
+                        };
+                        k = k.min(bound_at(SimTime::ZERO + env.tuning.max_duration));
+                        if let Some(m) = tel.metrics_ref() {
+                            k = k.min(bound_at(m.next_tick()));
+                        }
+                        if let Some(b) = env.background {
+                            k = k.min(bound_at(b.next_change(slice_start)));
+                        }
+                        if let Some(rt) = &runtime {
+                            k = k.min(bound_at(rt.next_change(slice_start)));
+                        }
+
+                        if k > 0 {
+                            for (i, &(ci, chi)) in refs.iter().enumerate() {
+                                let c = &chunks[ci];
+                                let ch = &c.channels[chi];
+                                if let Some(ttf) = ch.ttf {
+                                    k = k.min(ttf.slices_before(slice));
+                                }
+                                let busy = ch.current.is_some() || !c.queue.is_empty();
+                                let next_working = busy && ch.gap < slice;
+                                if next_working
+                                    && runtime.as_ref().is_some_and(|rt| {
+                                        rt.outage_active(SiteSide::Src, src_assign[i])
+                                            || rt.outage_active(SiteSide::Dst, dst_assign[i])
+                                    })
+                                {
+                                    // The next slice's kill check fires for
+                                    // busy connecting channels inside an
+                                    // active outage window — a channel can
+                                    // reach that state mid-slice (e.g. it
+                                    // inherited a killed channel's file
+                                    // after its own kill check passed), so
+                                    // post-slice state must be re-checked.
+                                    k = 0;
+                                } else if next_working != working[i] {
+                                    // The channel would enter or leave the
+                                    // working set next slice.
+                                    k = 0;
+                                } else if working[i] {
+                                    // Steady mover: mid-file, no pending
+                                    // gap, and the executed slice moved
+                                    // exactly the per-slice quantum.
+                                    let quantum = grants[i].bytes_in(slice);
+                                    match &ch.current {
+                                        Some(fp) if ch.gap.is_zero() && ch_moved[i] == quantum => {
+                                            k = k.min(steady_move_bound(
+                                                fp.remaining,
+                                                quantum,
+                                                grants[i],
+                                                slice,
+                                            ));
+                                        }
+                                        _ => k = 0,
+                                    }
+                                } else if busy || ch.in_backoff {
+                                    // Blocked channel: its gap must outlast
+                                    // every skipped slice (an idle channel's
+                                    // draining gap is inert and replayed).
+                                    k = k.min(ch.gap.slices_within(slice));
+                                }
+                                if k == 0 {
+                                    break;
+                                }
+                            }
+                        }
+
+                        if k > 0 {
+                            // Replay `k` slices. Every accumulator receives
+                            // exactly the addends — same values, same order —
+                            // that `k` executed slices would have produced,
+                            // so reports and journals stay bit-identical.
+                            let wire_add = slice_bytes.as_f64() / eff.max(1e-6);
+                            let src_add = src_power * slice_secs;
+                            let dst_add = dst_power * slice_secs;
+                            let est_add = (src_est + dst_est) * slice_secs;
+                            let power_sum = src_power + dst_power;
+                            let thr_mbps = slice_bytes.as_f64() * 8.0 / slice_secs / 1e6;
+                            let queue_depth: u64 =
+                                chunks.iter().map(|c| c.queue.len() as u64).sum();
+                            let mut audit_remaining = remaining;
+                            for _ in 0..k {
+                                concurrency_series.push(now, f64::from(total_channels));
+                                for (i, &(ci, chi)) in refs.iter().enumerate() {
+                                    let c = &mut chunks[ci];
+                                    let ch = &mut c.channels[chi];
+                                    if let Some(ttf) = ch.ttf {
+                                        ch.ttf = Some(ttf - slice);
+                                    }
+                                    if ch.in_backoff {
+                                        if let Some(rt) = &mut runtime {
+                                            rt.book_backoff(ch.gap.min(slice));
+                                        }
+                                        if ch.gap <= slice {
+                                            ch.in_backoff = false;
+                                        }
+                                    }
+                                    if working[i] {
+                                        if let Some(fp) = ch.current.as_mut() {
+                                            fp.remaining = fp.remaining.saturating_sub(ch_moved[i]);
+                                        }
+                                        if let (Some(g), Some(m)) = (&gauges, tel.metrics()) {
+                                            m.observe(
+                                                g.channel_mbps,
+                                                ch_moved[i].as_f64() * 8.0 / slice_secs / 1e6,
+                                            );
+                                        }
+                                    } else {
+                                        ch.gap = ch.gap.saturating_sub(slice);
+                                    }
+                                }
+                                moved_total += slice_bytes;
+                                if cfg!(feature = "debug-invariants") {
+                                    audit_gross += slice_bytes;
+                                }
+                                wire_bytes_f += wire_add;
+                                src_energy += src_add;
+                                dst_energy += dst_add;
+                                estimated_energy += est_add;
+                                power_series.push(now, power_sum);
+                                throughput_series.push(now, thr_mbps);
+                                if let (Some(g), Some(m)) = (&gauges, tel.metrics()) {
+                                    m.observe(g.watts, power_sum);
+                                    m.observe(g.backoff_occ, f64::from(in_backoff));
+                                    m.observe(g.queue_hist, queue_depth as f64);
+                                }
+                                now += slice;
+                                if cfg!(feature = "debug-invariants") {
+                                    audit_remaining = audit_remaining.saturating_sub(slice_bytes);
+                                    assert_eq!(
+                                        audit_stage_requested,
+                                        moved_total + audit_remaining,
+                                        "invariant: bytes entered != bytes moved + bytes remaining at t={now:?} (macro)"
+                                    );
+                                    assert_eq!(
+                                        audit_gross,
+                                        moved_total + retransmitted,
+                                        "invariant: gross bytes != goodput + retransmitted at t={now:?} (macro)"
+                                    );
+                                }
+                            }
+                        }
                     }
+                    ControlAction::Continue => {}
                 }
             }
             for c in &chunks {
@@ -877,6 +1044,8 @@ struct SliceScratch {
     /// Per-server bytes moved this slice.
     src_moved: Vec<Bytes>,
     dst_moved: Vec<Bytes>,
+    /// Per-channel bytes moved this slice (macro-step steadiness check).
+    ch_moved: Vec<Bytes>,
     /// Scratch for the path-level max-min fill.
     fair: FairScratch,
     /// Scratch for the per-server disk shaping.
@@ -1004,6 +1173,47 @@ fn assign_servers(counts: &[u32]) -> Vec<usize> {
     let mut out = Vec::new();
     assign_servers_into(counts, &mut out);
     out
+}
+
+/// Largest number of consecutive slices a mid-file channel can replay as
+/// "move exactly `per_slice` bytes". The slice that completes the file
+/// (`time_at(remaining) <= slice`) — or that would move fewer than
+/// `per_slice` bytes because the remainder ran short — must execute
+/// normally, so it is excluded. A `per_slice` of zero (zero or sub-byte
+/// grant) never completes and never changes state: unbounded, the global
+/// bounds cap the window.
+fn steady_move_bound(remaining: Bytes, per_slice: Bytes, grant: Rate, slice: SimDuration) -> u64 {
+    // True iff replayed slice `j` (1-based) is still a steady partial move.
+    // `time_at` rounds to the micro while `bytes_in` floors, so both the
+    // byte-count and the time-need condition are checked explicitly.
+    let pred = |j: u64| -> bool {
+        let Some(consumed) = per_slice.as_u64().checked_mul(j - 1) else {
+            return false;
+        };
+        if consumed >= remaining.as_u64() {
+            return false;
+        }
+        let r = Bytes(remaining.as_u64() - consumed);
+        per_slice.as_u64() <= r.as_u64() && r.time_at(grant) > slice
+    };
+    if !pred(1) {
+        return 0;
+    }
+    if per_slice.is_zero() {
+        return u64::MAX;
+    }
+    // `pred` is monotone in `j`: binary search the last true value.
+    let mut lo = 1u64;
+    let mut hi = remaining.as_u64() / per_slice.as_u64() + 1; // pred(hi) is false
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// Advances one channel for one slice at its granted rate; returns bytes

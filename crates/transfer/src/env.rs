@@ -35,6 +35,18 @@ pub struct EngineTuning {
     /// Hard wall on simulated time; a run that exceeds it is reported as
     /// incomplete rather than looping forever.
     pub max_duration: SimDuration,
+    /// Event-horizon macro-stepping: when the engine can prove the next
+    /// `k` slices are steady state (no file completion, gap drain, fault
+    /// boundary, controller decision or telemetry tick), it advances all
+    /// `k` in one arithmetic batch. Output is bit-for-bit identical to
+    /// slice-by-slice execution; disable (`--no-macro-step`) only to
+    /// cross-check that invariant or to profile the plain slice loop.
+    #[serde(default = "default_macro_step")]
+    pub macro_step: bool,
+}
+
+fn default_macro_step() -> bool {
+    true
 }
 
 impl Default for EngineTuning {
@@ -45,6 +57,7 @@ impl Default for EngineTuning {
             per_file_overhead: SimDuration::from_millis(30),
             slice: SimDuration::from_millis(100),
             max_duration: SimDuration::from_secs(7 * 24 * 3600),
+            macro_step: true,
         }
     }
 }
@@ -77,6 +90,12 @@ impl EngineTuning {
     /// Sets the hard wall on simulated time.
     pub fn with_max_duration(mut self, max_duration: SimDuration) -> Self {
         self.max_duration = max_duration;
+        self
+    }
+
+    /// Enables or disables event-horizon macro-stepping (on by default).
+    pub fn with_macro_step(mut self, macro_step: bool) -> Self {
+        self.macro_step = macro_step;
         self
     }
 }

@@ -256,6 +256,20 @@ impl EpisodeStream {
     pub fn started(&self) -> u64 {
         self.started
     }
+
+    /// The next instant at which this stream's active/inactive state can
+    /// change, given the last `now` passed to [`EpisodeStream::active`]:
+    /// the next window's opening edge while idle, the current window's
+    /// closing edge while active. Must be called *after* `active(now)`
+    /// advanced the stream to `now` (the engine polls once per slice), so
+    /// `next_end > now` always holds and no RNG draw is needed.
+    pub fn next_boundary(&self, now: SimTime) -> SimTime {
+        if now < self.next_start {
+            self.next_start
+        } else {
+            self.next_end
+        }
+    }
 }
 
 /// The composed fault scenario for a run: any subset of the taxonomy plus
@@ -393,6 +407,28 @@ impl BackgroundTraffic {
     /// Multiplier on the link capacity at `t` (1 − occupancy).
     pub fn capacity_factor(&self, t: SimTime) -> f64 {
         (1.0 - self.occupancy(t)).max(0.0)
+    }
+
+    /// The next instant strictly after `t` at which [`occupancy`] can
+    /// change: the falling edge of the current active window, or the
+    /// rising edge of the next period. Returns the far future when the
+    /// pattern is constant (zero fraction, or an active span that is
+    /// empty or covers the whole period).
+    ///
+    /// [`occupancy`]: BackgroundTraffic::occupancy
+    pub fn next_change(&self, t: SimTime) -> SimTime {
+        let period = self.period.as_micros().max(1);
+        let active = self.active.as_micros();
+        if self.fraction == 0.0 || active == 0 || active >= period {
+            return SimTime::from_micros(u64::MAX);
+        }
+        let phase = t.as_micros() % period;
+        let period_start = t.as_micros() - phase;
+        if phase < active {
+            SimTime::from_micros(period_start + active)
+        } else {
+            SimTime::from_micros(period_start.saturating_add(period))
+        }
     }
 }
 
@@ -538,6 +574,50 @@ mod tests {
         // A sparse document fills everything else from Default.
         let sparse: FaultPlan = serde_json::from_str("{}").unwrap();
         assert_eq!(sparse, FaultPlan::default());
+    }
+
+    #[test]
+    fn episode_next_boundary_tracks_edges() {
+        let mut s = EpisodeStream::new(SimDuration::from_secs(30), SimDuration::from_secs(5), 11);
+        let mut t = SimTime::ZERO;
+        let slice = SimDuration::from_millis(100);
+        // Walk to the first window, checking the boundary promise at every
+        // poll: the state must not change before the reported instant.
+        for _ in 0..20_000 {
+            let active = s.active(t);
+            let boundary = s.next_boundary(t);
+            assert!(boundary > t, "boundary must be in the future");
+            // Probe a clone just before the boundary: same state.
+            let mut probe = s.clone();
+            let just_before = SimTime::from_micros(boundary.as_micros() - 1);
+            if just_before > t {
+                assert_eq!(probe.active(just_before), active);
+            }
+            t += slice;
+        }
+        assert!(s.started() > 0);
+    }
+
+    #[test]
+    fn background_next_change_matches_occupancy_edges() {
+        let bg =
+            BackgroundTraffic::square(SimDuration::from_secs(10), SimDuration::from_secs(4), 0.5);
+        // Inside the active span: change at the falling edge (t=4s).
+        let t = SimTime::from_secs_f64(1.0);
+        assert_eq!(bg.next_change(t), SimTime::from_secs_f64(4.0));
+        // Inside the quiet span: change at the next period start (t=10s).
+        let t = SimTime::from_secs_f64(7.0);
+        assert_eq!(bg.next_change(t), SimTime::from_secs_f64(10.0));
+        // Second period.
+        let t = SimTime::from_secs_f64(12.0);
+        assert_eq!(bg.next_change(t), SimTime::from_secs_f64(14.0));
+        // Constant patterns never change.
+        let quiet =
+            BackgroundTraffic::square(SimDuration::from_secs(10), SimDuration::from_secs(4), 0.0);
+        assert_eq!(quiet.next_change(t), SimTime::from_micros(u64::MAX));
+        let full =
+            BackgroundTraffic::square(SimDuration::from_secs(10), SimDuration::from_secs(10), 0.5);
+        assert_eq!(full.next_change(t), SimTime::from_micros(u64::MAX));
     }
 
     #[test]

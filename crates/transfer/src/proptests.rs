@@ -158,6 +158,53 @@ proptest! {
         prop_assert!(r.dst_energy_j >= 0.0 && r.dst_energy_j.is_finite());
     }
 
+    /// Event-horizon macro-stepping must be invisible in the output: the
+    /// serialized report and the telemetry journal are compared byte for
+    /// byte against the plain slice loop across randomized fault draws
+    /// (channel kills, optional outage windows, markers on/off).
+    #[test]
+    fn macro_stepping_is_bit_identical_to_slice_loop(
+        mtbf_s in 4u64..30,
+        seed in 0u64..1_000,
+        files in 2u32..6,
+        mb in 50u64..300,
+        channels in 1u32..4,
+        markers_bit in 0u64..2,
+        outage_bit in 0u64..2,
+    ) {
+        let mut e = env(2);
+        let model = FaultModel {
+            restart_markers: markers_bit == 1,
+            ..FaultModel::new(SimDuration::from_secs(mtbf_s), seed)
+        };
+        let mut fp = FaultPlan::from(model);
+        if outage_bit == 1 {
+            fp = fp.with_outage(OutageModel::new(
+                SiteSide::Src,
+                0,
+                SimDuration::from_secs(20),
+                SimDuration::from_secs(5),
+                seed ^ 0x5eed,
+            ));
+        }
+        e.faults = Some(fp);
+        let p = plan(files, mb, channels);
+        let run = |macro_step: bool| {
+            let mut e = e.clone();
+            e.tuning.macro_step = macro_step;
+            let mut tel =
+                eadt_telemetry::Telemetry::enabled(eadt_telemetry::DEFAULT_CADENCE);
+            let r = Engine::new(&e).run_instrumented(&p, &mut NullController, &mut tel);
+            let json = serde_json::to_string(&r).expect("report serializes");
+            let journal = tel.into_journal().expect("journal attached").to_jsonl();
+            (json, journal)
+        };
+        let (fast_report, fast_journal) = run(true);
+        let (slow_report, slow_journal) = run(false);
+        prop_assert_eq!(fast_report, slow_report);
+        prop_assert_eq!(fast_journal, slow_journal);
+    }
+
     #[test]
     fn fault_runs_are_deterministic_per_seed(
         mtbf_s in 4u64..20,

@@ -615,6 +615,38 @@ impl FaultRuntime {
         self.plan.restart_markers()
     }
 
+    /// The earliest future instant (relative to `now`, the start of the
+    /// slice most recently passed to [`FaultRuntime::begin_slice`]) at
+    /// which any fault-runtime state can change on its own: an episode
+    /// window opening or closing, or an open breaker's cooldown expiring.
+    ///
+    /// Returns `now` itself while any breaker is half-open — a half-open
+    /// probe resolves through `record_success`/`record_failure` on the
+    /// very next slice, so the macro-stepper must not skip it.
+    ///
+    /// Channel-TTF expiry and in-flight backoffs are *not* covered here;
+    /// the engine tracks those per channel.
+    pub fn next_change(&self, now: SimTime) -> SimTime {
+        let mut earliest = SimTime::from_micros(u64::MAX);
+        for (_, _, stream) in &self.outages {
+            earliest = earliest.min(stream.next_boundary(now));
+        }
+        if let Some((_, stream)) = &self.stall {
+            earliest = earliest.min(stream.next_boundary(now));
+        }
+        for (_, _, _, stream) in &self.disk {
+            earliest = earliest.min(stream.next_boundary(now));
+        }
+        for b in self.src_breakers.iter().chain(&self.dst_breakers) {
+            match b.state {
+                BreakerState::Closed => {}
+                BreakerState::Open { until } => earliest = earliest.min(until),
+                BreakerState::HalfOpen => earliest = earliest.min(now),
+            }
+        }
+        earliest
+    }
+
     /// Breaker quarantine mask for one site (true = quarantined).
     pub fn quarantined(&self, side: SiteSide) -> Vec<bool> {
         match side {
@@ -739,6 +771,54 @@ mod tests {
         assert_eq!(rt.stats.channel_failures, 10);
         assert_eq!(rt.stats.breaker_opens, 0);
         assert!((rt.capacity_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_change_bounds_episode_and_breaker_state() {
+        // No fault sources at all: nothing ever changes.
+        let calm = FaultRuntime::new(&FaultPlan::default(), 1, 1);
+        assert_eq!(
+            calm.next_change(SimTime::ZERO),
+            SimTime::from_micros(u64::MAX)
+        );
+
+        let plan = plan_with_outage();
+        let mut rt = FaultRuntime::new(&plan, 1, 2);
+        let slice = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        // At every poll the promised boundary is in the future, and the
+        // outage snapshot cannot differ anywhere strictly before it.
+        for _ in 0..6000 {
+            rt.begin_slice(t);
+            let boundary = rt.next_change(t);
+            assert!(boundary > t);
+            let probe_t = SimTime::from_micros(boundary.as_micros() - 1);
+            if probe_t > t {
+                let mut probe = rt.clone();
+                let before = probe.outage_active(SiteSide::Dst, 1);
+                probe.begin_slice(probe_t);
+                assert_eq!(probe.outage_active(SiteSide::Dst, 1), before);
+            }
+            t += slice;
+        }
+
+        // An open breaker bounds the horizon by its cooldown expiry; a
+        // half-open breaker pins it to `now`.
+        let mut rt = FaultRuntime::new(&plan, 1, 2);
+        let mut t = SimTime::ZERO;
+        while !rt.outage_active(SiteSide::Dst, 1) {
+            t += slice;
+            rt.begin_slice(t);
+        }
+        for _ in 0..plan.retry.breaker_threshold {
+            rt.record_failure(FaultCause::Outage, 0, 1, t);
+        }
+        assert!(rt.quarantined(SiteSide::Dst)[1]);
+        assert!(rt.next_change(t) <= t + plan.retry.cooldown);
+        let probe_time = t + plan.retry.cooldown + slice;
+        rt.begin_slice(probe_time);
+        // Breaker is now half-open: the horizon collapses to `now`.
+        assert_eq!(rt.next_change(probe_time), probe_time);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use eadt_net as net;
 pub use eadt_netenergy as netenergy;
 pub use eadt_power as power;
 pub use eadt_sim as sim;
+pub use eadt_telemetry as telemetry;
 pub use eadt_testbeds as testbeds;
 pub use eadt_transfer as transfer;
 

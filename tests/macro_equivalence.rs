@@ -1,0 +1,197 @@
+//! Macro-stepping equivalence: the event-horizon fast path must not change
+//! a single byte of output.
+//!
+//! Every algorithm runs twice on every testbed — once with event-horizon
+//! macro-stepping (the default) and once with `macro_step = false` (the
+//! CLI's `--no-macro-step`) — and the *serialized* `TransferReport` plus
+//! the telemetry journal JSONL are compared for byte identity. The same
+//! matrix repeats under fault plans (MTBF channel failures, correlated
+//! outages + stalls + disk degradation, markers-off restarts) and
+//! background cross traffic, because those are exactly the state sources
+//! the horizon computation must respect.
+//!
+//! Controller coverage (checked by the `eadt-lint` `horizon` rule): every
+//! production `Controller` that overrides `next_decision_in` is exercised
+//! here — `NullController` (Manual, and inside every planner-driven run),
+//! `FaultAware` (fault-aware Manual/HTEE/SLAEE/ProMC), `HteeController`
+//! (HTEE) and `SlaeeController` (SLAEE).
+
+use eadt::core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
+use eadt::core::{Algorithm, AlgorithmKind, Htee, MinE, RunCtx, Slaee};
+use eadt::sim::SimDuration;
+use eadt::telemetry::{Telemetry, DEFAULT_CADENCE};
+use eadt::testbeds::{didclab, futuregrid, xsede, Environment};
+use eadt::transfer::{
+    BackgroundTraffic, DiskDegradationModel, FaultModel, FaultPlan, OutageModel, SiteSide,
+    StallModel,
+};
+
+const SEED: u64 = 11;
+const SCALE: f64 = 0.01;
+
+/// Runs one algorithm with journal + metrics telemetry and returns the
+/// serialized report and journal — the two artifacts that must be
+/// bit-identical with and without macro-stepping.
+fn run_once(tb: &Environment, kind: AlgorithmKind, fault_aware: bool) -> (String, String) {
+    let dataset = tb.dataset_spec.scaled(SCALE).generate(SEED);
+    let partition = tb.partition;
+    let mut tel = Telemetry::enabled(DEFAULT_CADENCE);
+    let report = {
+        let mut ctx = RunCtx::with_telemetry(&tb.env, &dataset, &mut tel);
+        match kind {
+            AlgorithmKind::MinE => MinE {
+                partition,
+                ..MinE::new(6)
+            }
+            .run(&mut ctx),
+            AlgorithmKind::Htee => Htee {
+                partition,
+                fault_aware,
+                ..Htee::new(6)
+            }
+            .run(&mut ctx),
+            AlgorithmKind::Slaee => {
+                let reference = ProMc {
+                    partition,
+                    ..ProMc::new(tb.reference_concurrency)
+                }
+                .run(&mut RunCtx::new(&tb.env, &dataset));
+                Slaee {
+                    partition,
+                    fault_aware,
+                    ..Slaee::new(0.8, reference.avg_throughput(), 6)
+                }
+                .run(&mut ctx)
+            }
+            AlgorithmKind::Guc => GlobusUrlCopy::new().run(&mut ctx),
+            AlgorithmKind::Go => GlobusOnline::new().run(&mut ctx),
+            AlgorithmKind::Sc => SingleChunk {
+                partition,
+                ..SingleChunk::new(6)
+            }
+            .run(&mut ctx),
+            AlgorithmKind::ProMc => ProMc {
+                partition,
+                fault_aware,
+                ..ProMc::new(6)
+            }
+            .run(&mut ctx),
+            AlgorithmKind::Bf => BruteForce {
+                partition,
+                ..BruteForce::new(6)
+            }
+            .run(&mut ctx),
+            AlgorithmKind::Manual => {
+                let plan = eadt::transfer::uniform_plan(
+                    &dataset,
+                    eadt::transfer::TransferParams::new(4, 4, 4),
+                    eadt::endsys::Placement::PackFirst,
+                );
+                let engine = eadt::transfer::Engine::new(&tb.env);
+                if fault_aware {
+                    engine.run_instrumented(
+                        &plan,
+                        &mut eadt::transfer::FaultAware::new(eadt::transfer::NullController),
+                        &mut tel,
+                    )
+                } else {
+                    engine.run_instrumented(&plan, &mut eadt::transfer::NullController, &mut tel)
+                }
+            }
+        }
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let journal = tel.into_journal().expect("journal attached").to_jsonl();
+    (json, journal)
+}
+
+/// Asserts byte identity of report + journal across the macro-step toggle
+/// for one (testbed, fault-plan) cell, over every algorithm.
+fn assert_matrix(mut tb: Environment, label: &str, fault_aware: bool) {
+    for kind in AlgorithmKind::ALL {
+        tb.env.tuning.macro_step = true;
+        let (fast_report, fast_journal) = run_once(&tb, kind, fault_aware);
+        tb.env.tuning.macro_step = false;
+        let (slow_report, slow_journal) = run_once(&tb, kind, fault_aware);
+        assert_eq!(
+            fast_report, slow_report,
+            "{label}/{kind}: macro-stepped report differs from slice-by-slice"
+        );
+        assert_eq!(
+            fast_journal, slow_journal,
+            "{label}/{kind}: macro-stepped journal differs from slice-by-slice"
+        );
+    }
+}
+
+fn testbeds() -> [(Environment, &'static str); 3] {
+    [
+        (xsede(), "xsede"),
+        (futuregrid(), "futuregrid"),
+        (didclab(), "didclab"),
+    ]
+}
+
+#[test]
+fn every_algorithm_is_bit_identical_without_faults() {
+    for (tb, name) in testbeds() {
+        assert_matrix(tb, name, false);
+    }
+}
+
+#[test]
+fn every_algorithm_is_bit_identical_under_mtbf_faults() {
+    for (mut tb, name) in testbeds() {
+        tb.env.faults = Some(FaultPlan::channel_only(FaultModel::new(
+            SimDuration::from_secs(30),
+            7,
+        )));
+        assert_matrix(tb, &format!("{name}+mtbf"), true);
+    }
+}
+
+#[test]
+fn every_algorithm_is_bit_identical_under_correlated_faults() {
+    for (mut tb, name) in testbeds() {
+        tb.env.faults = Some(
+            FaultPlan::channel_only(FaultModel::new(SimDuration::from_secs(45), 11))
+                .with_outage(OutageModel::new(
+                    SiteSide::Src,
+                    0,
+                    SimDuration::from_secs(20),
+                    SimDuration::from_secs(3),
+                    13,
+                ))
+                .with_stall(StallModel::new(
+                    SimDuration::from_secs(15),
+                    SimDuration::from_secs(2),
+                    4.0,
+                    17,
+                ))
+                .with_disk(DiskDegradationModel::new(
+                    SiteSide::Dst,
+                    0,
+                    SimDuration::from_secs(25),
+                    SimDuration::from_secs(4),
+                    0.4,
+                    19,
+                )),
+        );
+        tb.env.background = Some(BackgroundTraffic::square(
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(4),
+            0.5,
+        ));
+        assert_matrix(tb, &format!("{name}+correlated"), true);
+    }
+}
+
+#[test]
+fn every_algorithm_is_bit_identical_with_markers_off() {
+    for (mut tb, name) in testbeds() {
+        let mut plan = FaultPlan::channel_only(FaultModel::new(SimDuration::from_secs(12), 23));
+        plan.drop_restart_markers = true;
+        tb.env.faults = Some(plan);
+        assert_matrix(tb, &format!("{name}+markers-off"), false);
+    }
+}
