@@ -1,0 +1,34 @@
+//! Crash-safe checkpoint/restore for simulated transfers (DESIGN.md §13).
+//!
+//! The engine serializes its full in-flight state at slice boundaries
+//! ([`eadt_transfer::EngineCheckpoint`]); this crate owns everything
+//! around that snapshot:
+//!
+//! * [`store`] — the on-disk checkpoint directory: atomic writes, the
+//!   per-job file layout fleet sessions use, and the [`JobCheckpoint`]
+//!   wrapper binding a snapshot to the job that produced it;
+//! * [`recover`] — journal-verified resume: repair a torn journal,
+//!   replay from the checkpoint, cross-check the replayed events against
+//!   the tail the crashed run had written, stitch the canonical journal;
+//! * [`chaos`] — the kill-point chaos harness: deterministic crash
+//!   drills at uniform and adversarial slice boundaries (mid-outage,
+//!   mid-backoff, intra-horizon, probe→commit gaps) asserting resumed
+//!   runs are byte-identical to uninterrupted ones;
+//! * [`error`] — typed failures ([`CkptError`]) so services can report a
+//!   damaged checkpoint directory instead of dying on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod error;
+pub mod recover;
+pub mod store;
+
+pub use chaos::{
+    adversarial_kill_points, assert_kill_equivalence, every_nth, report_to_json, AdversarialPoints,
+    Baseline, ChaosDriver, CrashWrite,
+};
+pub use error::CkptError;
+pub use recover::{resume_verified, VerifiedResume};
+pub use store::{CheckpointStore, JobCheckpoint, JOB_CHECKPOINT_SCHEMA_VERSION};

@@ -56,6 +56,9 @@ pub enum Command {
         figures: bool,
         /// Write the merged fleet report JSON here.
         out: Option<String>,
+        /// Complete an interrupted batch from `--checkpoint-dir` instead
+        /// of starting over.
+        resume: bool,
     },
     /// Run the SLAEE experiment over target percentages.
     Sla {
@@ -162,6 +165,13 @@ pub struct Cli {
     /// bit-identical either way; this is the escape hatch for debugging
     /// the horizon computation (and for timing the plain slice loop).
     pub no_macro_step: bool,
+    /// `--checkpoint-dir DIR`: crash-safe checkpointing (DESIGN.md §13)
+    /// for `transfer` and `fleet` — engine state is persisted under DIR
+    /// on the `--checkpoint-every` cadence, and an interrupted invocation
+    /// rerun with the same flags resumes from the latest snapshot.
+    pub checkpoint_dir: Option<String>,
+    /// `--checkpoint-every N`: checkpoint cadence in 100 ms engine slices.
+    pub checkpoint_every: u64,
 }
 
 /// The usage string printed by `eadt help`.
@@ -215,6 +225,16 @@ OPTIONS:
                      steady stretches (same output, slower; for debugging
                      and timing the plain slice loop)
 
+CRASH SAFETY (transfer and fleet):
+  --checkpoint-dir D   persist engine checkpoints under D; a rerun with the
+                       same flags resumes from the latest snapshot, and the
+                       result is byte-identical to an uninterrupted run
+  --checkpoint-every N checkpoint cadence, 100 ms slices   [default: 600]
+  --resume             (fleet) complete an interrupted batch from
+                       --checkpoint-dir: finished jobs are re-admitted from
+                       their saved outcomes, half-done jobs resume from
+                       their checkpoints, the rest run fresh
+
 FAULT INJECTION (composes with whatever the environment declares):
   --mtbf SECS          per-channel mean time to failure
   --outage G:D[:S]     outage windows on dst server S (default 0): mean gap
@@ -260,6 +280,9 @@ impl Cli {
         let mut workers = 0usize;
         let mut figures = false;
         let mut no_macro_step = false;
+        let mut checkpoint_dir: Option<String> = None;
+        let mut checkpoint_every = 600u64;
+        let mut resume = false;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, EadtError> {
@@ -307,6 +330,12 @@ impl Cli {
                 "--workers" => workers = parse_num(value("--workers")?, "--workers")?,
                 "--figures" => figures = true,
                 "--no-macro-step" => no_macro_step = true,
+                "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
+                "--checkpoint-every" => {
+                    checkpoint_every =
+                        parse_num(value("--checkpoint-every")?, "--checkpoint-every")?
+                }
+                "--resume" => resume = true,
                 other => {
                     return Err(EadtError::invalid_argument(
                         other,
@@ -333,6 +362,18 @@ impl Cli {
             if m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(EadtError::invalid_argument("--mtbf", "must be positive"));
             }
+        }
+        if checkpoint_every == 0 {
+            return Err(EadtError::invalid_argument(
+                "--checkpoint-every",
+                "must be at least 1 slice",
+            ));
+        }
+        if resume && checkpoint_dir.is_none() {
+            return Err(EadtError::invalid_argument(
+                "--resume",
+                "requires --checkpoint-dir",
+            ));
         }
 
         let command = match cmd_word {
@@ -366,6 +407,7 @@ impl Cli {
                     workers,
                     figures,
                     out: out_file,
+                    resume,
                 }
             }
             "sla" => {
@@ -425,6 +467,8 @@ impl Cli {
             dataset_file,
             faults,
             no_macro_step,
+            checkpoint_dir,
+            checkpoint_every,
         })
     }
 }
@@ -531,11 +575,13 @@ mod tests {
                 workers,
                 figures,
                 out,
+                resume,
             } => {
                 assert_eq!(algorithms, vec![AlgorithmKind::Sc, AlgorithmKind::ProMc]);
                 assert_eq!(levels, vec![1, 4]);
                 assert_eq!(workers, 4);
                 assert!(!figures);
+                assert!(!resume);
                 assert_eq!(out.as_deref(), Some("/tmp/fleet.json"));
             }
             other => panic!("wrong command: {other:?}"),
@@ -708,6 +754,29 @@ mod tests {
         assert!(Cli::parse(&argv("inspect")).is_err());
         assert!(Cli::parse(&argv("trace --cadence 0")).is_err());
         assert!(Cli::parse(&argv("trace --cadence -2")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let cli = Cli::parse(&argv(
+            "transfer --checkpoint-dir /tmp/ck --checkpoint-every 50",
+        ))
+        .unwrap();
+        assert_eq!(cli.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(cli.checkpoint_every, 50);
+        // Defaults: no directory, 600-slice cadence.
+        let cli = Cli::parse(&argv("transfer")).unwrap();
+        assert_eq!(cli.checkpoint_dir, None);
+        assert_eq!(cli.checkpoint_every, 600);
+        // Fleet resume round-trips and requires the directory.
+        let cli = Cli::parse(&argv("fleet --checkpoint-dir /tmp/ck --resume")).unwrap();
+        match cli.command {
+            Command::Fleet { resume, .. } => assert!(resume),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(&argv("fleet --resume")).is_err());
+        assert!(Cli::parse(&argv("transfer --checkpoint-every 0")).is_err());
+        assert!(Cli::parse(&argv("transfer --checkpoint-dir")).is_err());
     }
 
     #[test]

@@ -33,7 +33,20 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
         } => {
             let tb = resolve(cli)?;
             let dataset = make_dataset(cli, &tb, out)?;
-            let report = if *algorithm == AlgorithmKind::Manual {
+            let report = if let Some(dir) = &cli.checkpoint_dir {
+                run_transfer_checkpointed(
+                    cli,
+                    &tb,
+                    &dataset,
+                    *algorithm,
+                    *max_channel,
+                    *sla_level,
+                    *pipelining,
+                    *parallelism,
+                    dir,
+                    out,
+                )?
+            } else if *algorithm == AlgorithmKind::Manual {
                 let params =
                     eadt_transfer::TransferParams::new(*pipelining, *parallelism, *max_channel);
                 let plan = eadt_transfer::uniform_plan(
@@ -90,10 +103,14 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
             workers,
             figures,
             out: report_path,
+            resume,
         } => {
             let mut builder = Session::builder().root_seed(cli.seed);
             if *workers > 0 {
                 builder = builder.workers(*workers);
+            }
+            if let Some(dir) = &cli.checkpoint_dir {
+                builder = builder.checkpoints(dir, cli.checkpoint_every);
             }
             let session = builder.build();
             let jobs = if *figures {
@@ -113,7 +130,11 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
                 }
                 jobs
             };
-            let report = session.run(&jobs);
+            let report = if *resume {
+                session.resume(&jobs)
+            } else {
+                session.run(&jobs)
+            };
             if cli.json {
                 write!(out, "{}", report.to_json())?;
             } else {
@@ -540,6 +561,55 @@ pub fn run_algorithm_instrumented(
     }
 }
 
+/// Runs one transfer under the crash-safe checkpoint cadence (DESIGN.md
+/// §13): the job executes through the fleet session's checkpointed
+/// runner, so an interrupted invocation rerun with the same flags resumes
+/// from the snapshot under `dir` — and determinism makes the final report
+/// byte-identical to an uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+fn run_transfer_checkpointed(
+    cli: &Cli,
+    tb: &Environment,
+    dataset: &Dataset,
+    kind: AlgorithmKind,
+    max_channel: u32,
+    sla_level: f64,
+    pipelining: u32,
+    parallelism: u32,
+    dir: &str,
+    out: Out,
+) -> Result<TransferReport, EadtError> {
+    let mut job = JobSpec::new(kind, tb.clone())
+        .with_scale(cli.scale)
+        .with_dataset(dataset.clone())
+        .with_max_channel(max_channel)
+        .with_sla_level(sla_level)
+        .with_fault_aware(cli.faults.fault_aware)
+        .with_seed(cli.seed);
+    if kind == AlgorithmKind::Manual {
+        job = job.with_manual_params(pipelining, parallelism);
+    }
+    let outcome = Session::builder()
+        .root_seed(cli.seed)
+        .checkpoints(dir, cli.checkpoint_every)
+        .build()
+        .run_one(&job);
+    writeln!(
+        out,
+        "[checkpoints every {} slices -> {dir}]",
+        cli.checkpoint_every
+    )?;
+    match outcome.report {
+        Some(r) => Ok(r),
+        None => Err(EadtError::job_failed(
+            job.display_label(),
+            outcome
+                .error
+                .unwrap_or_else(|| "job failed without an error message".to_string()),
+        )),
+    }
+}
+
 fn run_manual(
     env: &TransferEnv,
     plan: &eadt_transfer::TransferPlan,
@@ -790,6 +860,63 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(v["jobs"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checkpointed_transfer_matches_plain_run() {
+        let dir = std::env::temp_dir().join(format!("eadt-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = dir.to_string_lossy().into_owned();
+        let plain =
+            run_cli("transfer --testbed didclab --algorithm mine --scale 0.01 --seed 4 --json");
+        let checkpointed = run_cli(&format!(
+            "transfer --testbed didclab --algorithm mine --scale 0.01 --seed 4 --json \
+             --checkpoint-dir {ds} --checkpoint-every 8"
+        ));
+        let json_of = |s: &str| s[s.find('{').expect("json in output")..].to_string();
+        assert_eq!(json_of(&plain), json_of(&checkpointed));
+        assert!(
+            checkpointed.contains("checkpoints every 8 slices"),
+            "{checkpointed}"
+        );
+        // The finished job retired its checkpoint and left its outcome.
+        assert!(dir.join("job-0.outcome.json").exists());
+        assert!(!dir.join("job-0.ckpt.json").exists());
+
+        // A rerun over the same directory re-drives the job (outcome file
+        // present, but `transfer` always executes) and stays identical.
+        let again = run_cli(&format!(
+            "transfer --testbed didclab --algorithm mine --scale 0.01 --seed 4 --json \
+             --checkpoint-dir {ds} --checkpoint-every 8"
+        ));
+        assert_eq!(json_of(&plain), json_of(&again));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_resume_reproduces_straight_run() {
+        let dir = std::env::temp_dir().join(format!("eadt-cli-fleet-ck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = dir.to_string_lossy().into_owned();
+        let straight = run_cli(
+            "fleet --testbed didclab --algorithms sc,promc --levels 1,2 --scale 0.01 \
+             --seed 6 --workers 2 --json",
+        );
+        let checkpointed = run_cli(&format!(
+            "fleet --testbed didclab --algorithms sc,promc --levels 1,2 --scale 0.01 \
+             --seed 6 --workers 2 --json --checkpoint-dir {ds} --checkpoint-every 8"
+        ));
+        // Simulate a crash that lost one finished job's outcome: the
+        // resume re-runs exactly that job and re-admits the rest.
+        std::fs::remove_file(dir.join("job-2.outcome.json")).unwrap();
+        let resumed = run_cli(&format!(
+            "fleet --testbed didclab --algorithms sc,promc --levels 1,2 --scale 0.01 \
+             --seed 6 --workers 2 --json --checkpoint-dir {ds} --resume"
+        ));
+        let json_of = |s: &str| s[s.find('{').expect("json in output")..].to_string();
+        assert_eq!(json_of(&straight), json_of(&checkpointed));
+        assert_eq!(json_of(&straight), json_of(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

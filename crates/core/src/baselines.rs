@@ -23,7 +23,8 @@ use eadt_dataset::{partition, partition_globus_online, Dataset, PartitionConfig,
 use eadt_endsys::Placement;
 
 use eadt_transfer::{
-    ChunkPlan, Engine, FaultAware, NullController, TransferEnv, TransferPlan, TransferReport,
+    ChunkPlan, Engine, FaultAware, NullController, RunControl, RunOutcome, TransferEnv,
+    TransferPlan, TransferReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -45,13 +46,19 @@ impl Algorithm for GlobusUrlCopy {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let plan = eadt_transfer::uniform_plan(
             dataset,
             eadt_transfer::TransferParams::BASELINE,
             Placement::RoundRobin,
         );
-        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
+        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
     }
 }
 
@@ -82,6 +89,12 @@ impl Algorithm for GlobusOnline {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let chunks = partition_globus_online(dataset);
         let chunk_plans: Vec<ChunkPlan> = chunks
@@ -94,7 +107,7 @@ impl Algorithm for GlobusOnline {
         // GO transfers partitions one by one and spreads its channels over
         // all of the site's servers.
         let plan = TransferPlan::sequential(chunk_plans, Placement::RoundRobin);
-        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
+        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
     }
 }
 
@@ -123,6 +136,12 @@ impl Algorithm for SingleChunk {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let chunk_plans: Vec<ChunkPlan> = chunks
@@ -138,7 +157,7 @@ impl Algorithm for SingleChunk {
             })
             .collect();
         let plan = TransferPlan::sequential(chunk_plans, Placement::PackFirst);
-        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
+        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
     }
 }
 
@@ -188,12 +207,18 @@ impl Algorithm for ProMc {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let plan = self.plan(env, dataset);
         if self.fault_aware {
-            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(NullController), tel)
+            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(NullController), tel, ctl)
         } else {
-            Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
+            Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
         }
     }
 }
@@ -250,16 +275,23 @@ impl Algorithm for BruteForce {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         // The sweep itself runs uninstrumented; only the winning level is
         // re-run through the caller's context so the journal shows one
-        // coherent transfer.
+        // coherent transfer. On resume the sweep replays deterministically
+        // before the final run rejoins the checkpoint.
         let (level, _) = self.best(ctx.env(), ctx.dataset());
         let promc = ProMc {
             concurrency: level,
             partition: self.partition,
             fault_aware: false,
         };
-        promc.run(ctx)
+        promc.run_controlled(ctx, ctl)
     }
 }
 

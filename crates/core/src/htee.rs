@@ -7,8 +7,8 @@ use eadt_endsys::Placement;
 use eadt_sim::{SimDuration, SimTime};
 use eadt_telemetry::Event;
 use eadt_transfer::{
-    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferEnv, TransferPlan,
-    TransferReport,
+    ChunkPlan, ControlAction, Controller, ControllerSnapshot, Engine, FaultAware, RunControl,
+    RunOutcome, SliceCtx, TransferEnv, TransferPlan, TransferReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,12 @@ impl Algorithm for Htee {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let chunks = self.chunks(env, dataset);
         let levels = self.search_levels();
@@ -95,20 +101,38 @@ impl Algorithm for Htee {
         let mut controller = HteeController::new(chunks, levels, self.probe_window);
         controller.reprobe_interval = self.reprobe_interval;
         if self.fault_aware {
-            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(controller), tel)
+            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(controller), tel, ctl)
         } else {
-            Engine::new(env).run_instrumented(&plan, &mut controller, tel)
+            Engine::new(env).run_controlled(&plan, &mut controller, tel, ctl)
         }
     }
 }
 
 /// Search state of the online probe.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum Phase {
     /// Probing `levels[idx]`.
     Searching { idx: usize },
     /// Committed to the winning level (holds the commit time).
     Committed { since: SimTime },
+}
+
+/// Snapshot kind tag for [`HteeController`].
+pub const HTEE_KIND: &str = "htee";
+
+/// Mutable state of [`HteeController`] as stored in a checkpoint.
+/// Configuration (chunks, levels, window) is reconstructed from the
+/// algorithm definition on resume and therefore not serialized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct HteeState {
+    phase: Phase,
+    window_start: SimTime,
+    window_bytes: f64,
+    window_energy: f64,
+    ratios: Vec<f64>,
+    reprobe_interval: Option<SimDuration>,
+    searches: u32,
+    chosen_level: Option<u32>,
 }
 
 /// The controller implementing HTEE's search phase.
@@ -284,6 +308,47 @@ impl Controller for HteeController {
                 Some(every) => (since + every).since(ctx.now).slices_before(slice),
             },
         }
+    }
+
+    fn snapshot(&self) -> ControllerSnapshot {
+        debug_assert!(
+            self.events.is_empty(),
+            "snapshot must follow an event drain"
+        );
+        ControllerSnapshot::of(
+            HTEE_KIND,
+            &HteeState {
+                phase: self.phase,
+                window_start: self.window_start,
+                window_bytes: self.window_bytes,
+                window_energy: self.window_energy,
+                ratios: self.ratios.clone(),
+                reprobe_interval: self.reprobe_interval,
+                searches: self.searches,
+                chosen_level: self.chosen_level,
+            },
+        )
+    }
+
+    fn restore(&mut self, snap: &ControllerSnapshot) -> Result<(), String> {
+        let state: HteeState = snap.payload(HTEE_KIND)?;
+        if let Phase::Searching { idx } = state.phase {
+            if idx >= self.levels.len() {
+                return Err(format!(
+                    "htee snapshot probes level index {idx}, controller has {} levels",
+                    self.levels.len()
+                ));
+            }
+        }
+        self.phase = state.phase;
+        self.window_start = state.window_start;
+        self.window_bytes = state.window_bytes;
+        self.window_energy = state.window_energy;
+        self.ratios = state.ratios;
+        self.reprobe_interval = state.reprobe_interval;
+        self.searches = state.searches;
+        self.chosen_level = state.chosen_level;
+        Ok(())
     }
 }
 

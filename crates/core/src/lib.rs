@@ -39,7 +39,7 @@ pub(crate) mod test_support;
 
 use eadt_dataset::Dataset;
 use eadt_telemetry::Telemetry;
-use eadt_transfer::{TransferEnv, TransferReport};
+use eadt_transfer::{RunControl, RunOutcome, TransferEnv, TransferReport};
 
 pub use ctx::RunCtx;
 pub use htee::Htee;
@@ -73,6 +73,30 @@ pub trait Algorithm {
     /// Telemetry is a no-op handle when the context was built with
     /// [`RunCtx::new`], so implementations pay nothing on the plain path.
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport;
+
+    /// Runs with checkpoint control: resuming from an
+    /// [`eadt_transfer::EngineCheckpoint`] and/or halting at a slice
+    /// boundary to produce one (DESIGN.md §13).
+    ///
+    /// Planning is deterministic, so a resuming implementation rebuilds
+    /// its plan and controller from `ctx` exactly as the original run did,
+    /// suppresses any planning-time telemetry (those events are already in
+    /// the journal prefix the checkpoint was cut from), and hands the
+    /// checkpoint to [`eadt_transfer::Engine::run_controlled`], which
+    /// fast-forwards the controller through
+    /// [`Controller::restore`](eadt_transfer::Controller::restore).
+    ///
+    /// The default rejects any control — algorithms must opt in, because
+    /// silently ignoring a halt boundary would break the caller's
+    /// checkpoint cadence.
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
+        assert!(
+            ctl.resume.is_none() && ctl.halt_after.is_none(),
+            "{} does not support checkpoint control",
+            self.name()
+        );
+        RunOutcome::Done(self.run(ctx))
+    }
 
     /// Shim for the pre-`RunCtx` two-argument entry point.
     #[deprecated(since = "0.2.0", note = "build a `RunCtx` and call `run`")]

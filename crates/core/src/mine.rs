@@ -6,7 +6,10 @@ use eadt_dataset::{partition, Dataset, PartitionConfig, SizeClass};
 use eadt_endsys::Placement;
 use eadt_sim::SimTime;
 use eadt_telemetry::Event;
-use eadt_transfer::{ChunkPlan, Engine, NullController, TransferEnv, TransferPlan, TransferReport};
+use eadt_transfer::{
+    ChunkPlan, Engine, NullController, RunControl, RunOutcome, TransferEnv, TransferPlan,
+    TransferReport,
+};
 use serde::{Deserialize, Serialize};
 
 /// Minimum Energy transfer (Algorithm 1).
@@ -63,16 +66,26 @@ impl Algorithm for MinE {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let plan = self.plan(env, dataset);
-        tel.record_with(SimTime::ZERO, || {
-            let targets: Vec<u32> = plan.stages[0].chunks.iter().map(|c| c.channels).collect();
-            Event::Decision {
-                reason: "closed-form plan: Large chunks pinned to one channel".to_string(),
-                targets,
-            }
-        });
-        Engine::new(env).run_instrumented(&plan, &mut NullController, tel)
+        // A resumed run replays the deterministic planning but not its
+        // telemetry: the decision event is already in the journal prefix.
+        if ctl.resume.is_none() {
+            tel.record_with(SimTime::ZERO, || {
+                let targets: Vec<u32> = plan.stages[0].chunks.iter().map(|c| c.channels).collect();
+                Event::Decision {
+                    reason: "closed-form plan: Large chunks pinned to one channel".to_string(),
+                    targets,
+                }
+            });
+        }
+        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
     }
 }
 

@@ -8,8 +8,8 @@ use eadt_endsys::Placement;
 use eadt_sim::{Bytes, Rate, SimDuration, SimTime};
 use eadt_telemetry::Event;
 use eadt_transfer::{
-    ChunkPlan, ControlAction, Controller, Engine, FaultAware, SliceCtx, TransferPlan,
-    TransferReport,
+    ChunkPlan, ControlAction, Controller, ControllerSnapshot, Engine, FaultAware, RunControl,
+    RunOutcome, SliceCtx, TransferPlan, TransferReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +80,12 @@ impl Algorithm for Slaee {
     }
 
     fn run(&self, ctx: &mut RunCtx<'_>) -> TransferReport {
+        self.run_controlled(ctx, RunControl::default())
+            .into_report()
+            .expect("no halt boundary configured")
+    }
+
+    fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
         let (env, dataset, tel) = ctx.parts();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let first_alloc = Planner::new(&env.link).sla_allocation(&chunks, 1, false);
@@ -101,11 +107,34 @@ impl Algorithm for Slaee {
         controller.overshoot_margin = self.overshoot_margin.max(1.0);
         controller.degrade_tolerance = self.degrade_tolerance.clamp(0.0, 1.0);
         if self.fault_aware {
-            Engine::new(env).run_instrumented(&plan, &mut FaultAware::new(controller), tel)
+            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(controller), tel, ctl)
         } else {
-            Engine::new(env).run_instrumented(&plan, &mut controller, tel)
+            Engine::new(env).run_controlled(&plan, &mut controller, tel, ctl)
         }
     }
+}
+
+/// Snapshot kind tag for [`SlaeeController`].
+pub const SLAEE_KIND: &str = "slaee";
+
+/// Mutable state of [`SlaeeController`] as stored in a checkpoint.
+/// Configuration (chunks, target, max_channel, window) is reconstructed
+/// from the algorithm definition on resume and therefore not serialized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SlaeeState {
+    window_start: SimTime,
+    window_start_total: Bytes,
+    concurrency: u32,
+    rearranged: bool,
+    first_window_done: bool,
+    prev_window_mbps: Option<f64>,
+    raised_last_window: bool,
+    overshoot_margin: f64,
+    degrade_tolerance: f64,
+    degrade_count: u32,
+    best_seen: Option<(u32, f64)>,
+    frozen: bool,
+    window_throughputs: Vec<(SimTime, f64)>,
 }
 
 /// The controller implementing SLAEE's adaptation loop.
@@ -306,6 +335,49 @@ impl Controller for SlaeeController {
         (self.window_start + self.window)
             .since(ctx.now)
             .slices_before(slice)
+    }
+
+    fn snapshot(&self) -> ControllerSnapshot {
+        debug_assert!(
+            self.events.is_empty(),
+            "snapshot must follow an event drain"
+        );
+        ControllerSnapshot::of(
+            SLAEE_KIND,
+            &SlaeeState {
+                window_start: self.window_start,
+                window_start_total: self.window_start_total,
+                concurrency: self.concurrency,
+                rearranged: self.rearranged,
+                first_window_done: self.first_window_done,
+                prev_window_mbps: self.prev_window_mbps,
+                raised_last_window: self.raised_last_window,
+                overshoot_margin: self.overshoot_margin,
+                degrade_tolerance: self.degrade_tolerance,
+                degrade_count: self.degrade_count,
+                best_seen: self.best_seen,
+                frozen: self.frozen,
+                window_throughputs: self.window_throughputs.clone(),
+            },
+        )
+    }
+
+    fn restore(&mut self, snap: &ControllerSnapshot) -> Result<(), String> {
+        let state: SlaeeState = snap.payload(SLAEE_KIND)?;
+        self.window_start = state.window_start;
+        self.window_start_total = state.window_start_total;
+        self.concurrency = state.concurrency.clamp(1, self.max_channel);
+        self.rearranged = state.rearranged;
+        self.first_window_done = state.first_window_done;
+        self.prev_window_mbps = state.prev_window_mbps;
+        self.raised_last_window = state.raised_last_window;
+        self.overshoot_margin = state.overshoot_margin;
+        self.degrade_tolerance = state.degrade_tolerance;
+        self.degrade_count = state.degrade_count;
+        self.best_seen = state.best_seen;
+        self.frozen = state.frozen;
+        self.window_throughputs = state.window_throughputs;
+        Ok(())
     }
 }
 

@@ -4,7 +4,9 @@
 use crate::spec::{FaultOverride, JobSpec};
 use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
 use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, RunCtx, Slaee};
-use eadt_transfer::TransferReport;
+use eadt_dataset::Dataset;
+use eadt_sim::Rate;
+use eadt_transfer::{RunControl, RunOutcome, TransferReport};
 
 /// Runs one job at the given seed and returns the engine's report.
 ///
@@ -13,83 +15,133 @@ use eadt_transfer::TransferReport;
 /// bit-identical. SLAEE derives its reference maximum from a ProMC run at
 /// the testbed's reference concurrency, exactly as the CLI does.
 pub fn run_job(spec: &JobSpec, seed: u64) -> TransferReport {
-    let tb = &spec.env;
-    let dataset = match &spec.dataset {
-        Some(d) => d.clone(),
-        None => tb.dataset_spec.scaled(spec.scale).generate(seed),
-    };
-    let partition = tb.partition;
-    let mut ctx = RunCtx::new(&tb.env, &dataset);
-    match &spec.faults {
-        FaultOverride::Inherit => {}
-        FaultOverride::Disable => {
-            ctx.override_faults(None);
-        }
-        FaultOverride::Replace(plan) => {
-            ctx.override_faults(Some(plan.clone()));
-        }
-    }
-    match spec.kind {
-        AlgorithmKind::MinE => MinE {
-            partition,
-            ..MinE::new(spec.max_channel)
-        }
-        .run(&mut ctx),
-        AlgorithmKind::Htee => Htee {
-            partition,
-            fault_aware: spec.fault_aware,
-            ..Htee::new(spec.max_channel)
-        }
-        .run(&mut ctx),
-        AlgorithmKind::Slaee => {
-            let reference = ProMc {
-                partition,
+    JobRunner::prepare(spec, seed)
+        .run_controlled(RunControl::default())
+        .into_report()
+        .expect("no halt boundary configured")
+}
+
+/// A job prepared for controlled (checkpointable) execution.
+///
+/// Preparation does everything *before* the engine run once — dataset
+/// generation and, for SLAEE, the ProMC reference measurement — so a
+/// checkpoint/resume cycle repeats only the deterministic plan build and
+/// the engine itself. Both preparation and execution are bit-reproducible
+/// from `(spec, seed)`, which is what lets a resumed job re-join its
+/// checkpoint exactly.
+pub struct JobRunner<'a> {
+    spec: &'a JobSpec,
+    dataset: Dataset,
+    reference: Option<Rate>,
+}
+
+impl<'a> JobRunner<'a> {
+    /// Generates the dataset (and SLAEE's reference throughput) for a job.
+    pub fn prepare(spec: &'a JobSpec, seed: u64) -> Self {
+        let tb = &spec.env;
+        let dataset = match &spec.dataset {
+            Some(d) => d.clone(),
+            None => tb.dataset_spec.scaled(spec.scale).generate(seed),
+        };
+        let reference = (spec.kind == AlgorithmKind::Slaee).then(|| {
+            let mut ctx = Self::ctx(spec, &dataset);
+            ProMc {
+                partition: tb.partition,
                 ..ProMc::new(tb.reference_concurrency)
             }
-            .run(&mut ctx);
-            Slaee {
+            .run(&mut ctx)
+            .avg_throughput()
+        });
+        JobRunner {
+            spec,
+            dataset,
+            reference,
+        }
+    }
+
+    fn ctx<'b>(spec: &'b JobSpec, dataset: &'b Dataset) -> RunCtx<'b> {
+        let mut ctx = RunCtx::new(&spec.env.env, dataset);
+        match &spec.faults {
+            FaultOverride::Inherit => {}
+            FaultOverride::Disable => {
+                ctx.override_faults(None);
+            }
+            FaultOverride::Replace(plan) => {
+                ctx.override_faults(Some(plan.clone()));
+            }
+        }
+        ctx
+    }
+
+    /// Runs the job under checkpoint control (fresh, halting, or resuming
+    /// per `ctl`). Calling this repeatedly with the default control always
+    /// reproduces the same report.
+    pub fn run_controlled(&self, ctl: RunControl) -> RunOutcome {
+        let spec = self.spec;
+        let partition = spec.env.partition;
+        let mut ctx = Self::ctx(spec, &self.dataset);
+        match spec.kind {
+            AlgorithmKind::MinE => MinE {
+                partition,
+                ..MinE::new(spec.max_channel)
+            }
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Htee => Htee {
                 partition,
                 fault_aware: spec.fault_aware,
-                ..Slaee::new(spec.sla_level, reference.avg_throughput(), spec.max_channel)
+                ..Htee::new(spec.max_channel)
             }
-            .run(&mut ctx)
-        }
-        AlgorithmKind::Guc => GlobusUrlCopy::new().run(&mut ctx),
-        AlgorithmKind::Go => GlobusOnline::new().run(&mut ctx),
-        AlgorithmKind::Sc => SingleChunk {
-            partition,
-            ..SingleChunk::new(spec.max_channel)
-        }
-        .run(&mut ctx),
-        AlgorithmKind::ProMc => ProMc {
-            partition,
-            fault_aware: spec.fault_aware,
-            ..ProMc::new(spec.max_channel)
-        }
-        .run(&mut ctx),
-        AlgorithmKind::Bf => BruteForce {
-            partition,
-            ..BruteForce::new(spec.max_channel)
-        }
-        .run(&mut ctx),
-        AlgorithmKind::Manual => {
-            let plan = eadt_transfer::uniform_plan(
-                &dataset,
-                eadt_transfer::TransferParams::new(
-                    spec.pipelining,
-                    spec.parallelism,
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Slaee => Slaee {
+                partition,
+                fault_aware: spec.fault_aware,
+                ..Slaee::new(
+                    spec.sla_level,
+                    self.reference.expect("prepare measures the reference"),
                     spec.max_channel,
-                ),
-                eadt_endsys::Placement::PackFirst,
-            );
-            let engine = eadt_transfer::Engine::new(ctx.env());
-            if spec.fault_aware {
-                engine.run(
-                    &plan,
-                    &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
                 )
-            } else {
-                engine.run(&plan, &mut eadt_transfer::NullController)
+            }
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Guc => GlobusUrlCopy::new().run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Go => GlobusOnline::new().run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Sc => SingleChunk {
+                partition,
+                ..SingleChunk::new(spec.max_channel)
+            }
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::ProMc => ProMc {
+                partition,
+                fault_aware: spec.fault_aware,
+                ..ProMc::new(spec.max_channel)
+            }
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Bf => BruteForce {
+                partition,
+                ..BruteForce::new(spec.max_channel)
+            }
+            .run_controlled(&mut ctx, ctl),
+            AlgorithmKind::Manual => {
+                let plan = eadt_transfer::uniform_plan(
+                    &self.dataset,
+                    eadt_transfer::TransferParams::new(
+                        spec.pipelining,
+                        spec.parallelism,
+                        spec.max_channel,
+                    ),
+                    eadt_endsys::Placement::PackFirst,
+                );
+                let (env, _, tel) = ctx.parts();
+                let engine = eadt_transfer::Engine::new(env);
+                if spec.fault_aware {
+                    engine.run_controlled(
+                        &plan,
+                        &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
+                        tel,
+                        ctl,
+                    )
+                } else {
+                    engine.run_controlled(&plan, &mut eadt_transfer::NullController, tel, ctl)
+                }
             }
         }
     }

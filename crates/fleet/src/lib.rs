@@ -49,7 +49,7 @@ mod seed;
 mod session;
 mod spec;
 
-pub use dispatch::run_job;
+pub use dispatch::{run_job, JobRunner};
 pub use matrix::{figures_matrix, sweep_matrix};
 pub use seed::derive_job_seed;
 pub use session::{FleetReport, JobOutcome, Session, SessionBuilder, FLEET_SCHEMA_VERSION};

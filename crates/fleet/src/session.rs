@@ -1,13 +1,15 @@
 //! The batch session: scoped worker threads over an atomic job cursor,
-//! merge-ordered results.
+//! merge-ordered results, optional crash-safe checkpointing.
 
-use crate::dispatch::run_job;
+use crate::dispatch::{run_job, JobRunner};
 use crate::seed::derive_job_seed;
 use crate::spec::JobSpec;
+use eadt_ckpt::{CheckpointStore, JobCheckpoint, JOB_CHECKPOINT_SCHEMA_VERSION};
 use eadt_sim::{EadtError, ErrorKind};
-use eadt_transfer::TransferReport;
-use serde::Serialize;
+use eadt_transfer::{RunControl, RunOutcome, TransferReport};
+use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -19,6 +21,7 @@ pub const FLEET_SCHEMA_VERSION: u32 = 1;
 pub struct SessionBuilder {
     root_seed: u64,
     workers: Option<usize>,
+    checkpoint: Option<(PathBuf, u64)>,
 }
 
 impl SessionBuilder {
@@ -35,6 +38,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables crash-safe checkpointing (DESIGN.md §13): each job halts
+    /// every `every_slices` engine slices and atomically writes its
+    /// [`JobCheckpoint`] under `dir`; finished jobs leave a
+    /// `job-<i>.outcome.json` instead. A batch interrupted at any point
+    /// can then be completed with [`Session::resume`].
+    pub fn checkpoints(mut self, dir: impl Into<PathBuf>, every_slices: u64) -> Self {
+        self.checkpoint = Some((dir.into(), every_slices.max(1)));
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
         let workers = self.workers.unwrap_or_else(|| {
@@ -43,7 +56,26 @@ impl SessionBuilder {
         Session {
             root_seed: self.root_seed,
             workers,
+            checkpoint: self
+                .checkpoint
+                .map(|(dir, every)| Checkpointing { dir, every }),
         }
+    }
+}
+
+/// Checkpoint cadence configuration (see [`SessionBuilder::checkpoints`]).
+#[derive(Debug, Clone)]
+struct Checkpointing {
+    dir: PathBuf,
+    every: u64,
+}
+
+impl Checkpointing {
+    /// Opens the store, panicking on I/O failure — callers sit inside the
+    /// per-job `catch_unwind`, so the failure is booked as that job's
+    /// outcome instead of killing the batch.
+    fn open(&self) -> CheckpointStore {
+        CheckpointStore::create(&self.dir).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -57,6 +89,7 @@ impl SessionBuilder {
 pub struct Session {
     root_seed: u64,
     workers: usize,
+    checkpoint: Option<Checkpointing>,
 }
 
 impl Session {
@@ -78,7 +111,14 @@ impl Session {
     /// Runs one job (job index 0 of a single-job batch) on the calling
     /// thread — the convenience path for single-transfer callers.
     pub fn run_one(&self, job: &JobSpec) -> JobOutcome {
-        execute_job(self.root_seed, 0, job)
+        execute_job(
+            self.checkpoint.as_ref(),
+            false,
+            self.root_seed,
+            0,
+            job,
+            &self.default_runner(),
+        )
     }
 
     /// Runs the batch and returns results merged in job order.
@@ -89,11 +129,54 @@ impl Session {
     /// cannot leak into results. A worker that panics inside a job books
     /// an [`EadtError::JobFailed`] outcome for that job and moves on.
     pub fn run(&self, jobs: &[JobSpec]) -> FleetReport {
+        self.run_inner(jobs, false, &self.default_runner())
+    }
+
+    /// Completes an interrupted batch from its checkpoint directory.
+    ///
+    /// For each job in order: a persisted `job-<i>.outcome.json` is
+    /// re-admitted as-is (the job finished before the interrupt); a
+    /// persisted checkpoint is validated against the job's index, label
+    /// and seed and the engine resumes from it; a job with neither runs
+    /// from scratch. Determinism makes the merged [`FleetReport`]
+    /// byte-identical to an uninterrupted [`Session::run`].
+    ///
+    /// # Panics
+    /// If the session was built without [`SessionBuilder::checkpoints`].
+    pub fn resume(&self, jobs: &[JobSpec]) -> FleetReport {
+        assert!(
+            self.checkpoint.is_some(),
+            "Session::resume requires a checkpoint directory (SessionBuilder::checkpoints)"
+        );
+        self.run_inner(jobs, true, &self.default_runner())
+    }
+
+    /// The production job executor: checkpointed when the session has a
+    /// cadence configured, straight-through otherwise.
+    fn default_runner(&self) -> impl Fn(usize, &JobSpec, u64) -> TransferReport + Sync + '_ {
+        move |index, job, seed| match &self.checkpoint {
+            None => run_job(job, seed),
+            Some(cfg) => run_job_checkpointed(cfg, index, job, seed),
+        }
+    }
+
+    /// Shared worker-pool core; `run` is injectable so tests can drive
+    /// the panic path deterministically.
+    fn run_inner(
+        &self,
+        jobs: &[JobSpec],
+        resume: bool,
+        run: &(dyn Fn(usize, &JobSpec, u64) -> TransferReport + Sync),
+    ) -> FleetReport {
+        let checkpoint = self.checkpoint.as_ref();
         let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(jobs.len()).max(1);
         if workers == 1 {
             for (index, job) in jobs.iter().enumerate() {
-                store(&slots[index], execute_job(self.root_seed, index, job));
+                store(
+                    &slots[index],
+                    execute_job(checkpoint, resume, self.root_seed, index, job, run),
+                );
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -102,7 +185,10 @@ impl Session {
                     scope.spawn(|| loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
-                        store(&slots[index], execute_job(self.root_seed, index, job));
+                        store(
+                            &slots[index],
+                            execute_job(checkpoint, resume, self.root_seed, index, job, run),
+                        );
                     });
                 }
             });
@@ -135,12 +221,34 @@ fn store(slot: &Mutex<Option<JobOutcome>>, outcome: JobOutcome) {
         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
 }
 
-fn execute_job(root_seed: u64, index: usize, job: &JobSpec) -> JobOutcome {
+fn execute_job(
+    checkpoint: Option<&Checkpointing>,
+    resume: bool,
+    root_seed: u64,
+    index: usize,
+    job: &JobSpec,
+    run: &(dyn Fn(usize, &JobSpec, u64) -> TransferReport + Sync),
+) -> JobOutcome {
     let seed = job
         .seed
         .unwrap_or_else(|| derive_job_seed(root_seed, index as u64));
-    match catch_unwind(AssertUnwindSafe(|| run_job(job, seed))) {
-        Ok(report) => JobOutcome::from_report(index, job, seed, report),
+    if resume {
+        if let Some(cfg) = checkpoint {
+            if let Some(outcome) = load_finished_outcome(cfg, index, job, seed) {
+                return outcome;
+            }
+        }
+    }
+    let executed = catch_unwind(AssertUnwindSafe(|| {
+        let report = run(index, job, seed);
+        let outcome = JobOutcome::from_report(index, job, seed, report);
+        if let Some(cfg) = checkpoint {
+            persist_outcome(cfg, &outcome);
+        }
+        outcome
+    }));
+    match executed {
+        Ok(outcome) => outcome,
         Err(payload) => {
             let message = payload
                 .downcast_ref::<&str>()
@@ -151,10 +259,93 @@ fn execute_job(root_seed: u64, index: usize, job: &JobSpec) -> JobOutcome {
                 index,
                 job,
                 seed,
-                EadtError::job_failed(job.display_label(), message),
+                EadtError::job_failed(
+                    job.display_label(),
+                    format!("worker panicked in job {index}: {message}"),
+                ),
             )
         }
     }
+}
+
+/// Runs one job under the checkpoint cadence: halt every `every` slices,
+/// atomically persist the [`JobCheckpoint`], resume — so at any instant
+/// the directory holds a snapshot at most `every` slices stale. Store
+/// failures panic (booked as the job's outcome by the caller).
+fn run_job_checkpointed(
+    cfg: &Checkpointing,
+    index: usize,
+    job: &JobSpec,
+    seed: u64,
+) -> TransferReport {
+    let store = cfg.open();
+    let every = cfg.every.max(1);
+    let label = job.display_label();
+    let runner = JobRunner::prepare(job, seed);
+    let mut ctl = match store
+        .load_job_checkpoint(index)
+        .unwrap_or_else(|e| panic!("{e}"))
+    {
+        Some(ck) => {
+            ck.validate(index, &label, seed)
+                .unwrap_or_else(|e| panic!("{e}"));
+            // `halt_after` is an absolute slice count, so the next
+            // boundary is measured from the checkpoint, not from zero.
+            let halt = ck.engine.slices_done + every;
+            RunControl::resume_from(ck.engine).with_halt(halt)
+        }
+        None => RunControl::halt_at(every),
+    };
+    loop {
+        match runner.run_controlled(ctl) {
+            RunOutcome::Done(report) => return report,
+            RunOutcome::Halted(engine) => {
+                let halt = engine.slices_done + every;
+                let ck = JobCheckpoint {
+                    schema: JOB_CHECKPOINT_SCHEMA_VERSION,
+                    job: index,
+                    label: label.clone(),
+                    algorithm: job.kind.name().to_string(),
+                    seed,
+                    engine: *engine,
+                };
+                store
+                    .save_job_checkpoint(&ck)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                ctl = RunControl::resume_from(ck.engine).with_halt(halt);
+            }
+        }
+    }
+}
+
+/// Writes the final outcome and retires the job's checkpoint.
+fn persist_outcome(cfg: &Checkpointing, outcome: &JobOutcome) {
+    let store = cfg.open();
+    let mut text = serde_json::to_string_pretty(outcome).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    store
+        .write(&CheckpointStore::outcome_name(outcome.job), &text)
+        .unwrap_or_else(|e| panic!("{e}"));
+    store
+        .remove(&CheckpointStore::checkpoint_name(outcome.job))
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Loads a finished job's persisted outcome, if it exists and matches the
+/// job it is being re-admitted for. Any mismatch or read problem falls
+/// back to `None` — re-running the job reproduces the identical outcome,
+/// so recomputing is always a safe answer.
+fn load_finished_outcome(
+    cfg: &Checkpointing,
+    index: usize,
+    job: &JobSpec,
+    seed: u64,
+) -> Option<JobOutcome> {
+    let store = CheckpointStore::create(&cfg.dir).ok()?;
+    let text = store.read(&CheckpointStore::outcome_name(index)).ok()??;
+    let outcome: JobOutcome = serde_json::from_str(&text).ok()?;
+    (outcome.job == index && outcome.label == job.display_label() && outcome.seed == seed)
+        .then_some(outcome)
 }
 
 /// The merged outcome of one job.
@@ -163,8 +354,9 @@ fn execute_job(root_seed: u64, index: usize, job: &JobSpec) -> JobOutcome {
 /// no worker id, no wall-clock timing — so the aggregate JSON is
 /// byte-identical between serial and parallel runs at the same root seed.
 /// The full [`TransferReport`] stays available in memory (`report`) for
-/// consumers that need the time series.
-#[derive(Debug, Clone, Serialize)]
+/// consumers that need the time series; a [`JobOutcome`] loaded back from
+/// a checkpoint directory has `report: None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobOutcome {
     /// The job's index in the batch (also its seed-derivation index).
     pub job: usize,
@@ -304,6 +496,7 @@ impl FleetReport {
 mod tests {
     use super::*;
     use eadt_core::AlgorithmKind;
+    use std::fs;
 
     fn small_jobs() -> Vec<JobSpec> {
         let tb = eadt_testbeds::didclab();
@@ -315,6 +508,13 @@ mod tests {
                     .with_max_channel(2)
             })
             .collect()
+    }
+
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eadt-fleet-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -369,5 +569,133 @@ mod tests {
         let report = Session::builder().root_seed(3).workers(4).build().run(&[]);
         assert_eq!(report.jobs.len(), 0);
         assert_eq!(report.schema, FLEET_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_payload_and_job_id() {
+        let jobs = small_jobs();
+        let session = Session::builder().root_seed(9).workers(2).build();
+        let report = session.run_inner(&jobs, false, &|index, job, seed| {
+            if index == 1 {
+                panic!("injected chaos payload");
+            }
+            run_job(job, seed)
+        });
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.completed_count(), 2);
+        let failed = &report.jobs[1];
+        assert!(!failed.completed);
+        assert_eq!(failed.error_kind.as_deref(), Some("job-failed"));
+        let err = failed.error.as_deref().unwrap();
+        assert!(err.contains("injected chaos payload"), "{err}");
+        assert!(err.contains("job 1"), "{err}");
+        assert!(report.jobs[0].error.is_none());
+        assert!(report.jobs[2].error.is_none());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_retires_checkpoints() {
+        let jobs = small_jobs();
+        let plain = Session::builder()
+            .root_seed(5)
+            .workers(1)
+            .build()
+            .run(&jobs);
+        let dir = ckpt_dir("cadence");
+        let checkpointed = Session::builder()
+            .root_seed(5)
+            .workers(2)
+            .checkpoints(&dir, 4)
+            .build()
+            .run(&jobs);
+        assert_eq!(plain.to_json(), checkpointed.to_json());
+        for i in 0..jobs.len() {
+            assert!(
+                dir.join(CheckpointStore::outcome_name(i)).exists(),
+                "job {i} outcome missing"
+            );
+            assert!(
+                !dir.join(CheckpointStore::checkpoint_name(i)).exists(),
+                "job {i} checkpoint not retired"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_of_half_killed_fleet_is_byte_identical() {
+        let jobs = small_jobs();
+        let baseline = Session::builder()
+            .root_seed(7)
+            .workers(1)
+            .build()
+            .run(&jobs);
+
+        // Fabricate the crash site: job 0 finished (outcome persisted),
+        // job 1 died mid-flight (checkpoint on disk), job 2 never started.
+        let dir = ckpt_dir("resume");
+        Session::builder()
+            .root_seed(7)
+            .workers(1)
+            .checkpoints(&dir, 4)
+            .build()
+            .run(&jobs[..1]);
+        let store = CheckpointStore::create(&dir).unwrap();
+        let seed1 = derive_job_seed(7, 1);
+        let halted = JobRunner::prepare(&jobs[1], seed1).run_controlled(RunControl::halt_at(1));
+        let RunOutcome::Halted(engine) = halted else {
+            panic!("job too short to interrupt")
+        };
+        store
+            .save_job_checkpoint(&JobCheckpoint {
+                schema: JOB_CHECKPOINT_SCHEMA_VERSION,
+                job: 1,
+                label: jobs[1].display_label(),
+                algorithm: jobs[1].kind.name().to_string(),
+                seed: seed1,
+                engine: *engine,
+            })
+            .unwrap();
+
+        let resumed = Session::builder()
+            .root_seed(7)
+            .workers(2)
+            .checkpoints(&dir, 4)
+            .build()
+            .resume(&jobs);
+        assert_eq!(resumed.to_json(), baseline.to_json());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_mismatched_checkpoint_books_a_failure() {
+        let jobs = small_jobs();
+        let dir = ckpt_dir("mismatch");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let seed0 = derive_job_seed(2, 0);
+        let halted = JobRunner::prepare(&jobs[0], seed0).run_controlled(RunControl::halt_at(1));
+        let RunOutcome::Halted(engine) = halted else {
+            panic!("job too short to interrupt")
+        };
+        store
+            .save_job_checkpoint(&JobCheckpoint {
+                schema: JOB_CHECKPOINT_SCHEMA_VERSION,
+                job: 0,
+                label: jobs[0].display_label(),
+                algorithm: jobs[0].kind.name().to_string(),
+                seed: seed0.wrapping_add(1), // wrong seed: foreign run
+                engine: *engine,
+            })
+            .unwrap();
+        let resumed = Session::builder()
+            .root_seed(2)
+            .workers(1)
+            .checkpoints(&dir, 4)
+            .build()
+            .resume(&jobs);
+        let err = resumed.jobs[0].error.as_deref().unwrap();
+        assert!(err.contains("seed"), "{err}");
+        assert!(resumed.jobs[1].error.is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

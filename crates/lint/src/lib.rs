@@ -13,7 +13,10 @@
 //! * **horizon** — every `Controller` overriding `next_decision_in()`
 //!   exercised by the macro-stepping equivalence suite
 //!   (`tests/macro_equivalence.rs`), so a new controller cannot silently
-//!   break the bit-for-bit macro-stepping invariant (DESIGN.md §12).
+//!   break the bit-for-bit macro-stepping invariant (DESIGN.md §12);
+//! * **checkpoint** — every `EngineCheckpoint` field and controller
+//!   snapshot kind covered by the DESIGN.md §13 checkpoint schema, so
+//!   state added to the snapshot surface cannot drift undocumented.
 //!
 //! Known violations burn down explicitly through `lint-allow.toml`.
 //! Run it as `cargo run -p eadt-lint -- --deny-warnings` (the CI
@@ -32,6 +35,8 @@ use std::path::Path;
 
 /// Location of the telemetry event definitions, relative to the repo root.
 pub const EVENT_RS: &str = "crates/telemetry/src/event.rs";
+/// Location of the engine checkpoint definitions, relative to the repo root.
+pub const CHECKPOINT_RS: &str = rules::checkpoint::CHECKPOINT_RS;
 /// Location of the schema documentation, relative to the repo root.
 pub const DESIGN_MD: &str = "DESIGN.md";
 /// Location of the allowlist, relative to the repo root.
@@ -100,6 +105,35 @@ pub fn run(root: &Path) -> Result<Report, String> {
             path: EVENT_RS.to_string(),
             line: 0,
             message: "telemetry event definitions not found — schema lint cannot run".into(),
+        }),
+    }
+
+    match sources.iter().find(|f| f.rel_path == CHECKPOINT_RS) {
+        Some(ckpt_file) => {
+            let mut kinds = Vec::new();
+            for file in &sources {
+                if file.is_test_code() {
+                    continue;
+                }
+                let toks = lexer::tokenize(&file.text);
+                kinds.extend(rules::checkpoint::collect_kind_consts(
+                    &file.rel_path,
+                    &toks,
+                ));
+            }
+            raw.extend(rules::checkpoint::check(
+                &ckpt_file.text,
+                CHECKPOINT_RS,
+                &design,
+                DESIGN_MD,
+                &kinds,
+            ));
+        }
+        None => raw.push(Violation {
+            rule: "checkpoint",
+            path: CHECKPOINT_RS.to_string(),
+            line: 0,
+            message: "engine checkpoint definitions not found — checkpoint lint cannot run".into(),
         }),
     }
 

@@ -46,7 +46,17 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(default_root);
 
     if list_allow {
-        let text = std::fs::read_to_string(root.join(eadt_lint::ALLOW_TOML)).unwrap_or_default();
+        // A missing allowlist is an empty allowlist; an unreadable or
+        // non-UTF-8 one is a hard error — silently printing nothing would
+        // hide exactly the entries the flag exists to audit.
+        let text = match std::fs::read_to_string(root.join(eadt_lint::ALLOW_TOML)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                eprintln!("error: {}: cannot read: {e}", eadt_lint::ALLOW_TOML);
+                return ExitCode::from(2);
+            }
+        };
         match eadt_lint::allow::Allowlist::parse(&text) {
             Ok(list) => {
                 for e in &list.entries {

@@ -1,0 +1,340 @@
+//! Checkpoint schema-coverage lint.
+//!
+//! A checkpoint is only crash-safe if it captures *all* in-flight engine
+//! state; a field added to `EngineCheckpoint` without a schema-table
+//! entry (or a controller snapshot kind nobody documented) is exactly the
+//! kind of silent drift that turns a resume into a divergent replay. This
+//! rule cross-checks the snapshot surface against the DESIGN.md §13
+//! checkpoint schema:
+//!
+//! * every field of `EngineCheckpoint` in
+//!   `crates/transfer/src/engine/checkpoint.rs` must have a row in the
+//!   §13 field table;
+//! * every table row must name a live field (no stale docs);
+//! * every controller snapshot kind (a `…_KIND: &str` constant anywhere
+//!   in non-test workspace code) must be mentioned, backticked, in §13 —
+//!   a controller whose state can be snapshotted but is absent from the
+//!   compatibility policy is undocumented surface.
+
+use super::Violation;
+use crate::lexer::{tokenize, Spanned, Tok};
+
+/// Location of the engine checkpoint definition, repo-relative.
+pub const CHECKPOINT_RS: &str = "crates/transfer/src/engine/checkpoint.rs";
+
+/// A `…_KIND: &str = "…"` constant found in workspace code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindConst {
+    /// Constant identifier (`HTEE_KIND`).
+    pub name: String,
+    /// The kind string it carries (`"htee"`).
+    pub value: String,
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the constant.
+    pub line: u32,
+}
+
+/// Collects the snapshot-kind constants declared in one file.
+pub fn collect_kind_consts(rel_path: &str, toks: &[Spanned]) -> Vec<KindConst> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("const") {
+            if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                if name.ends_with("_KIND") {
+                    // The value is the first string literal before the
+                    // terminating semicolon.
+                    let mut j = i + 2;
+                    while j < toks.len() && !toks[j].is_punct(';') {
+                        if let Tok::Str(value) = &toks[j].tok {
+                            out.push(KindConst {
+                                name: name.clone(),
+                                value: value.clone(),
+                                path: rel_path.to_string(),
+                                line: toks[i + 1].line,
+                            });
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the checkpoint lint: `ckpt_src` is
+/// `crates/transfer/src/engine/checkpoint.rs`, `design_src` is DESIGN.md,
+/// `kinds` the snapshot-kind constants collected across the workspace.
+pub fn check(
+    ckpt_src: &str,
+    ckpt_path: &str,
+    design_src: &str,
+    design_path: &str,
+    kinds: &[KindConst],
+) -> Vec<Violation> {
+    let toks = tokenize(ckpt_src);
+    let mut out = Vec::new();
+    let fields = parse_struct_fields(&toks, "EngineCheckpoint");
+    if fields.is_empty() {
+        out.push(Violation {
+            rule: "checkpoint",
+            path: ckpt_path.to_string(),
+            line: 0,
+            message: "could not locate `struct EngineCheckpoint` — checkpoint lint cannot run"
+                .into(),
+        });
+        return out;
+    }
+    let section = section_13(design_src);
+    let rows = parse_doc_fields(design_src);
+    if rows.is_empty() {
+        out.push(Violation {
+            rule: "checkpoint",
+            path: design_path.to_string(),
+            line: 0,
+            message: "could not locate the §13 checkpoint field table in DESIGN.md".into(),
+        });
+        return out;
+    }
+
+    for (field, line) in &fields {
+        if !rows.iter().any(|(name, _)| name == field) {
+            out.push(Violation {
+                rule: "checkpoint",
+                path: ckpt_path.to_string(),
+                line: *line,
+                message: format!(
+                    "`EngineCheckpoint::{field}` has no row in the DESIGN.md §13 checkpoint \
+                     schema table — undocumented state cannot be trusted across a resume"
+                ),
+            });
+        }
+    }
+    for (name, line) in &rows {
+        if !fields.iter().any(|(field, _)| field == name) {
+            out.push(Violation {
+                rule: "checkpoint",
+                path: design_path.to_string(),
+                line: *line,
+                message: format!(
+                    "§13 checkpoint table documents `{name}`, which `EngineCheckpoint` \
+                     does not carry"
+                ),
+            });
+        }
+    }
+    for kind in kinds {
+        if !section.contains(&format!("`{}`", kind.value)) {
+            out.push(Violation {
+                rule: "checkpoint",
+                path: kind.path.clone(),
+                line: kind.line,
+                message: format!(
+                    "snapshot kind \"{}\" ({}) is not documented in DESIGN.md §13 — every \
+                     controller state covered by the snapshot schema must appear in the \
+                     compatibility policy",
+                    kind.value, kind.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Parses the named struct's field names (and lines) from tokens.
+pub fn parse_struct_fields(toks: &[Spanned], struct_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.is_ident(struct_name)) {
+            break;
+        }
+        i += 1;
+    }
+    while i < toks.len() && !toks[i].is_punct('{') {
+        i += 1;
+    }
+    if i >= toks.len() {
+        return out;
+    }
+    let mut depth = 0i32;
+    let mut expect_field = true;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') | Tok::Punct('<') | Tok::Punct('(') => depth += 1,
+            Tok::Punct('}') | Tok::Punct('>') | Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Punct(',') if depth == 1 => expect_field = true,
+            Tok::Ident(f)
+                if depth == 1
+                    && expect_field
+                    && f != "pub"
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) =>
+            {
+                out.push((f.clone(), toks[i].line));
+                expect_field = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the §13 field-table rows out of DESIGN.md: the first backticked
+/// span of each row is the field name.
+pub fn parse_doc_fields(design: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (ln, line) in design.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_section = rest.trim_start().starts_with("13.") || rest.trim_start() == "13";
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.len() < 2 || cells[0].contains("---") {
+            continue;
+        }
+        let names = backticked(cells[0]);
+        let Some(name) = names.first() else { continue };
+        if name == "field" {
+            continue; // header row
+        }
+        out.push((name.clone(), (ln + 1) as u32));
+    }
+    out
+}
+
+/// The raw text of DESIGN.md §13 (used for kind-string mentions).
+fn section_13(design: &str) -> String {
+    let mut out = String::new();
+    let mut in_section = false;
+    for line in design.lines() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            in_section = rest.trim_start().starts_with("13.") || rest.trim_start() == "13";
+            continue;
+        }
+        if in_section {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Extracts backtick-quoted spans from a markdown cell.
+fn backticked(cell: &str) -> Vec<String> {
+    cell.split('`')
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, s)| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CKPT_SRC: &str = r#"
+        pub struct EngineCheckpoint {
+            pub version: u32,
+            pub now: SimTime,
+            pub chunks: Vec<ChunkSnapshot>,
+            pub controller: ControllerSnapshot,
+        }
+    "#;
+
+    const GOOD_DOC: &str = "\
+## 13. Checkpointing
+
+Controller kinds: `stateless`, `htee`.
+
+| field | captures |
+|---|---|
+| `version` | schema version |
+| `now` | sim clock |
+| `chunks` | chunk queues |
+| `controller` | controller state |
+
+## 14. Next
+";
+
+    fn kinds() -> Vec<KindConst> {
+        collect_kind_consts(
+            "crates/transfer/src/control.rs",
+            &tokenize(
+                r#"
+                pub const STATELESS_KIND: &str = "stateless";
+                pub const HTEE_KIND: &str = "htee";
+                "#,
+            ),
+        )
+    }
+
+    #[test]
+    fn kind_consts_are_collected() {
+        let k = kinds();
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0].name, "STATELESS_KIND");
+        assert_eq!(k[0].value, "stateless");
+        assert_eq!(k[1].value, "htee");
+    }
+
+    #[test]
+    fn in_sync_checkpoint_schema_passes() {
+        let v = check(CKPT_SRC, "ckpt.rs", GOOD_DOC, "DESIGN.md", &kinds());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn undocumented_field_is_flagged() {
+        let doc = GOOD_DOC.replace("| `chunks` | chunk queues |\n", "");
+        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("chunks"));
+        assert_eq!(v[0].path, "ckpt.rs");
+    }
+
+    #[test]
+    fn stale_doc_row_is_flagged() {
+        let doc = GOOD_DOC.replace(
+            "| `now` | sim clock |",
+            "| `now` | sim clock |\n| `ghost` | nothing |",
+        );
+        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ghost"));
+        assert_eq!(v[0].path, "DESIGN.md");
+    }
+
+    #[test]
+    fn undocumented_snapshot_kind_is_flagged() {
+        let doc = GOOD_DOC.replace("`htee`", "`something-else`");
+        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("htee"), "{v:?}");
+        assert_eq!(v[0].path, "crates/transfer/src/control.rs");
+    }
+
+    #[test]
+    fn missing_struct_or_table_degrades_to_file_level_finding() {
+        let v = check("fn nothing() {}", "ckpt.rs", GOOD_DOC, "DESIGN.md", &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 0);
+        let v = check(CKPT_SRC, "ckpt.rs", "# empty\n", "DESIGN.md", &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("§13"));
+    }
+}

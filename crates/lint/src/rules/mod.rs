@@ -1,6 +1,6 @@
 //! Lint rules and their shared plumbing.
 //!
-//! Four rule families, mirroring the repo's invariants:
+//! Five rule families, mirroring the repo's invariants:
 //!
 //! * [`determinism`] — no ambient time, no ambient randomness, no
 //!   iteration-order-unstable collections anywhere in workspace code;
@@ -9,8 +9,11 @@
 //! * [`schema`] — every telemetry `Event` variant stays documented in the
 //!   DESIGN.md §9 JSONL schema table, field-for-field;
 //! * [`horizon`] — every `Controller` that overrides `next_decision_in`
-//!   is exercised by the macro-stepping equivalence suite.
+//!   is exercised by the macro-stepping equivalence suite;
+//! * [`checkpoint`] — every `EngineCheckpoint` field and every controller
+//!   snapshot kind stays covered by the DESIGN.md §13 checkpoint schema.
 
+pub mod checkpoint;
 pub mod determinism;
 pub mod horizon;
 pub mod robustness;
@@ -21,7 +24,8 @@ use crate::lexer::{Spanned, Tok};
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule family id (`determinism`, `robustness`, `schema`, `horizon`).
+    /// Rule family id (`determinism`, `robustness`, `schema`, `horizon`,
+    /// `checkpoint`).
     pub rule: &'static str,
     /// Repo-relative path the finding is in.
     pub path: String,

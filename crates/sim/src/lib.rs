@@ -41,7 +41,7 @@ pub mod units;
 
 pub use error::{EadtError, ErrorKind};
 pub use event::{EventQueue, ScheduledEvent};
-pub use rng::SimRng;
+pub use rng::{RngSnapshot, SimRng};
 pub use series::TimeSeries;
 pub use stats::{LinearFit, MultiLinearFit, Summary};
 pub use time::{SimDuration, SimTime};

@@ -20,7 +20,7 @@ pub struct Sample {
 
 /// An append-only series of `(time, value)` samples with non-decreasing
 /// timestamps.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
     samples: Vec<Sample>,
 }

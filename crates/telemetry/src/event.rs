@@ -766,6 +766,32 @@ impl Record {
     }
 }
 
+/// What [`Journal::recover_jsonl`] found while reading a journal that
+/// may have been truncated by a crash.
+///
+/// A crash-interrupted writer can leave exactly one kind of damage in
+/// an append-only JSONL file: an incomplete **final** line. Recovery
+/// repairs that (drops the torn tail and reports it) but refuses to
+/// paper over corruption anywhere else — a malformed line in the middle
+/// means the file is not a journal we wrote, and recovery hard-errors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalRecovery {
+    /// The torn final line that was dropped, verbatim, when the last
+    /// non-blank line failed to parse. `None` for a clean journal.
+    pub torn_tail: Option<String>,
+    /// Number of blank (whitespace-only) lines skipped.
+    pub blank_lines: usize,
+    /// 1-based line number of the first record retained, for reporting.
+    pub first_line: Option<usize>,
+}
+
+impl JournalRecovery {
+    /// True when the file parsed without repair.
+    pub fn is_clean(&self) -> bool {
+        self.torn_tail.is_none()
+    }
+}
+
 /// An in-memory, append-only event journal.
 ///
 /// The engine records into it through
@@ -774,6 +800,10 @@ impl Record {
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     records: Vec<Record>,
+    /// Sequence number the next [`Journal::record`] call will assign.
+    /// Equals `records.len()` for journals built from scratch; resumed
+    /// journals (checkpoint restore) start past the checkpoint cursor.
+    next_seq: u64,
 }
 
 impl Journal {
@@ -781,6 +811,19 @@ impl Journal {
     pub fn new() -> Self {
         Journal {
             records: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty journal whose first record will carry sequence
+    /// number `seq`. Used on checkpoint resume: the restored engine
+    /// journals only the suffix of the run, continuing the sequence of
+    /// the journal prefix already on disk so the concatenation is
+    /// byte-identical to an uninterrupted run.
+    pub fn with_start_seq(seq: u64) -> Self {
+        Journal {
+            records: Vec::new(),
+            next_seq: seq,
         }
     }
 
@@ -788,10 +831,16 @@ impl Journal {
     /// sequence number.
     pub fn record(&mut self, t: SimTime, event: Event) {
         self.records.push(Record {
-            seq: self.records.len() as u64,
+            seq: self.next_seq,
             t_us: t.as_micros(),
             event,
         });
+        self.next_seq += 1;
+    }
+
+    /// Sequence number the next recorded event will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// All records in sequence order.
@@ -835,7 +884,67 @@ impl Journal {
             let r = Record::from_json(line).map_err(|e| format!("journal line {}: {e}", i + 1))?;
             records.push(r);
         }
-        Ok(Journal { records })
+        let next_seq = records.last().map(|r: &Record| r.seq + 1).unwrap_or(0);
+        Ok(Journal { records, next_seq })
+    }
+
+    /// Parses a JSON Lines journal that may have been truncated by a
+    /// crash, repairing a torn final line.
+    ///
+    /// Rules, strictest first:
+    ///
+    /// * Blank (whitespace-only) lines anywhere are skipped and counted
+    ///   in [`JournalRecovery::blank_lines`] — a crashed writer can leave
+    ///   a lone trailing newline, and runs of blanks are harmless.
+    /// * A line that fails to parse is tolerated **only** when every
+    ///   later line is blank — i.e. it is the torn tail of the file. It
+    ///   is dropped and returned verbatim in [`JournalRecovery::torn_tail`].
+    /// * A malformed line followed by any non-blank line is corruption,
+    ///   not truncation: hard error with the 1-based line number.
+    /// * Sequence numbers of retained records must be consecutive;
+    ///   a gap is a hard error (a torn *middle* cannot be repaired).
+    pub fn recover_jsonl(text: &str) -> Result<(Self, JournalRecovery), String> {
+        let mut records: Vec<Record> = Vec::new();
+        let mut recovery = JournalRecovery::default();
+        // (line number, verbatim text, parse error) of a failed line,
+        // held until we know whether anything non-blank follows it.
+        let mut pending_bad: Option<(usize, String, String)> = None;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                recovery.blank_lines += 1;
+                continue;
+            }
+            if let Some((bad_line, _, err)) = pending_bad.take() {
+                return Err(format!(
+                    "journal line {bad_line}: {err} (not a torn tail: non-blank line {} follows)",
+                    i + 1
+                ));
+            }
+            match Record::from_json(line) {
+                Ok(r) => {
+                    if let Some(prev) = records.last() {
+                        if r.seq != prev.seq + 1 {
+                            return Err(format!(
+                                "journal line {}: sequence gap ({} after {})",
+                                i + 1,
+                                r.seq,
+                                prev.seq
+                            ));
+                        }
+                    }
+                    if records.is_empty() {
+                        recovery.first_line = Some(i + 1);
+                    }
+                    records.push(r);
+                }
+                Err(e) => pending_bad = Some((i + 1, line.to_string(), e)),
+            }
+        }
+        if let Some((_, text, _)) = pending_bad {
+            recovery.torn_tail = Some(text);
+        }
+        let next_seq = records.last().map(|r| r.seq + 1).unwrap_or(0);
+        Ok((Journal { records, next_seq }, recovery))
     }
 }
 
@@ -1015,6 +1124,105 @@ mod tests {
     fn malformed_lines_error_with_position() {
         let err = Journal::from_jsonl("{\"seq\":0}\nnot json\n").unwrap_err();
         assert!(err.contains("line 1") || err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn with_start_seq_continues_numbering() {
+        let mut j = Journal::with_start_seq(41);
+        assert_eq!(j.next_seq(), 41);
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        j.record(t(2.0), Event::StageStart { stage: 2 });
+        assert_eq!(j.records()[0].seq, 41);
+        assert_eq!(j.records()[1].seq, 42);
+        assert_eq!(j.next_seq(), 43);
+    }
+
+    #[test]
+    fn from_jsonl_continues_seq_after_parse() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        let mut back = Journal::from_jsonl(&j.to_jsonl()).unwrap();
+        back.record(t(2.0), Event::StageStart { stage: 2 });
+        assert_eq!(back.records()[2].seq, 2);
+    }
+
+    #[test]
+    fn recover_clean_journal_reports_no_repair() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        let (back, rec) = Journal::recover_jsonl(&j.to_jsonl()).unwrap();
+        assert!(rec.is_clean());
+        assert_eq!(rec.blank_lines, 0);
+        assert_eq!(rec.first_line, Some(1));
+        assert_eq!(back.records(), j.records());
+        assert_eq!(back.next_seq(), 2);
+    }
+
+    #[test]
+    fn recover_drops_and_reports_torn_final_line() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        let full = j.to_jsonl();
+        // Simulate a crash mid-write: cut the last line in half.
+        let torn = &full[..full.len() - 12];
+        let (back, rec) = Journal::recover_jsonl(torn).unwrap();
+        assert_eq!(back.len(), 1, "only the complete record survives");
+        assert_eq!(back.records()[0].seq, 0);
+        assert!(!rec.is_clean());
+        let tail = rec.torn_tail.expect("torn tail must be reported");
+        assert!(full.contains(&tail), "tail is reported verbatim: {tail}");
+    }
+
+    #[test]
+    fn recover_tolerates_trailing_garbage_followed_only_by_blanks() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        let text = format!("{}{{\"seq\":1,\"t_us\"\n\n  \n", j.to_jsonl());
+        let (back, rec) = Journal::recover_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(rec.torn_tail.as_deref(), Some("{\"seq\":1,\"t_us\""));
+        assert_eq!(rec.blank_lines, 2);
+    }
+
+    #[test]
+    fn recover_counts_blank_line_runs() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        let full = j.to_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        let text = format!("\n\n{}\n \n\t\n{}\n\n", lines[0], lines[1]);
+        let (back, rec) = Journal::recover_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(rec.is_clean());
+        assert_eq!(rec.blank_lines, 5);
+        assert_eq!(rec.first_line, Some(3));
+    }
+
+    #[test]
+    fn recover_rejects_malformed_line_in_the_middle() {
+        let mut j = Journal::new();
+        j.record(t(0.0), Event::StageStart { stage: 0 });
+        j.record(t(1.0), Event::StageStart { stage: 1 });
+        let full = j.to_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        let text = format!("{}\nnot json\n{}\n", lines[0], lines[1]);
+        let err = Journal::recover_jsonl(&text).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("not a torn tail"), "{err}");
+    }
+
+    #[test]
+    fn recover_rejects_sequence_gaps() {
+        let text = concat!(
+            "{\"seq\":0,\"t_us\":0,\"ev\":\"stage_start\",\"stage\":0}\n",
+            "{\"seq\":2,\"t_us\":5,\"ev\":\"stage_start\",\"stage\":1}\n",
+        );
+        let err = Journal::recover_jsonl(text).unwrap_err();
+        assert!(err.contains("sequence gap"), "{err}");
     }
 
     #[test]

@@ -22,8 +22,13 @@ pub mod event;
 pub mod metrics;
 pub mod timeline;
 
-pub use event::{BreakerState, EpisodeKind, Event, Journal, Record, Side, SCHEMA_VERSION};
-pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
+pub use event::{
+    BreakerState, EpisodeKind, Event, Journal, JournalRecovery, Record, Side, SCHEMA_VERSION,
+};
+pub use metrics::{
+    CounterId, CounterSnapshot, GaugeId, GaugeSnapshot, Histogram, HistogramId, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
+};
 
 use eadt_sim::{SimDuration, SimTime};
 
@@ -64,6 +69,13 @@ impl Telemetry {
             journal: Some(Journal::new()),
             metrics: None,
         }
+    }
+
+    /// Reassembles a façade from restored sinks (checkpoint resume): a
+    /// journal continuing at a given sequence cursor and/or a metrics
+    /// registry rebuilt from its snapshot.
+    pub fn from_parts(journal: Option<Journal>, metrics: Option<MetricsRegistry>) -> Self {
+        Telemetry { journal, metrics }
     }
 
     /// True when any sink is attached.

@@ -7,6 +7,7 @@
 //! no hashing, matching the engine's no-allocation slice loop.
 
 use eadt_sim::{SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
 
 /// Handle to a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,6 +275,135 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|h| (h.name.as_str(), &h.hist))
     }
+
+    /// Captures the registry's full state (registrations included) for a
+    /// checkpoint.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cadence: self.cadence,
+            next_sample: self.next_sample,
+            counters: self
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name.clone(),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|g| GaugeSnapshot {
+                    name: g.name.clone(),
+                    value: g.value,
+                    series: g.series.clone(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| HistogramSnapshot {
+                    name: h.name.clone(),
+                    bounds: h.hist.bounds.clone(),
+                    counts: h.hist.counts.clone(),
+                    count: h.hist.count,
+                    sum: h.hist.sum,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a registry from a [`snapshot`]. Registration order is
+    /// preserved, so handles resolved by instrumented code after a restore
+    /// (registration is find-by-name) land on the restored slots.
+    ///
+    /// [`snapshot`]: MetricsRegistry::snapshot
+    pub fn restore(snap: &MetricsSnapshot) -> Self {
+        MetricsRegistry {
+            cadence: snap.cadence,
+            next_sample: snap.next_sample,
+            counters: snap
+                .counters
+                .iter()
+                .map(|c| Counter {
+                    name: c.name.clone(),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|g| Gauge {
+                    name: g.name.clone(),
+                    value: g.value,
+                    series: g.series.clone(),
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| NamedHistogram {
+                    name: h.name.clone(),
+                    hist: Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h.counts.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable state of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Serializable state of one gauge, including its sampled series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Current (not-yet-sampled) value.
+    pub value: f64,
+    /// Samples taken so far.
+    pub series: TimeSeries,
+}
+
+/// Serializable state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (last entry is overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// Serializable state of a [`MetricsRegistry`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Sampling cadence.
+    pub cadence: SimDuration,
+    /// Next instant the sampler fires.
+    pub next_sample: SimTime,
+    /// Counters in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges in registration order.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
 }
 
 #[cfg(test)]
@@ -343,6 +473,38 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(5.0));
         assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
         assert!((h.mean() - 23.4 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restores_registrations_and_sampler_grid() {
+        let mut m = MetricsRegistry::new(SimDuration::from_secs(1));
+        let c = m.counter("retries");
+        let g = m.gauge("thr");
+        let h = m.histogram("lat", &[1.0, 5.0]);
+        m.inc(c, 7);
+        m.set(g, 42.0);
+        m.observe(h, 3.0);
+        m.tick(t(0.0));
+        m.set(g, 43.0);
+        m.tick(t(1.0));
+
+        let snap = m.snapshot();
+        let mut back = MetricsRegistry::restore(&snap);
+        // Same handles resolve (find-by-name, same order)...
+        assert_eq!(back.counter("retries"), c);
+        assert_eq!(back.gauge("thr"), g);
+        assert_eq!(back.histogram("lat", &[1.0, 5.0]), h);
+        assert_eq!(back.counter_value(c), 7);
+        assert_eq!(back.histogram_ref(h).count(), 1);
+        assert_eq!(back.gauge_series(g).len(), 2);
+        // ...and the sampler grid continues where it stopped.
+        assert_eq!(back.next_tick(), m.next_tick());
+        assert!(!back.tick(t(1.5)));
+        assert!(back.tick(t(2.0)));
+        // The snapshot survives its JSON transport bit-exactly.
+        let text = serde_json::to_string(&snap).unwrap();
+        let reparsed: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(reparsed, snap);
     }
 
     #[test]

@@ -8,6 +8,56 @@
 
 use eadt_sim::{Bytes, SimDuration, SimTime};
 use eadt_telemetry::Event;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot kind used by controllers with no mutable state.
+pub const STATELESS_KIND: &str = "stateless";
+
+/// A serialized controller state, as stored inside an engine checkpoint.
+///
+/// The envelope is deliberately opaque: `kind` names the controller type
+/// (so a restore into the wrong controller fails loudly instead of
+/// silently zeroing state) and `data` carries the controller's own state
+/// struct as JSON. Checkpoint resume reconstructs the controller from
+/// the run configuration exactly as the original run did, then calls
+/// [`Controller::restore`] to fast-forward its mutable state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// Controller type tag (e.g. `"htee"`, `"fault-aware"`).
+    pub kind: String,
+    /// The controller's state struct, serialized as JSON. Empty for
+    /// stateless controllers.
+    pub data: String,
+}
+
+impl ControllerSnapshot {
+    /// Snapshot of a controller with no mutable state.
+    pub fn stateless() -> Self {
+        ControllerSnapshot {
+            kind: STATELESS_KIND.to_string(),
+            data: String::new(),
+        }
+    }
+
+    /// Wraps a controller state struct under the given kind tag.
+    pub fn of<T: Serialize>(kind: &str, state: &T) -> Self {
+        ControllerSnapshot {
+            kind: kind.to_string(),
+            data: serde_json::to_string(state).expect("controller state structs always serialize"),
+        }
+    }
+
+    /// Unwraps the state struct, checking the kind tag first.
+    pub fn payload<T: serde::Deserialize>(&self, kind: &str) -> Result<T, String> {
+        if self.kind != kind {
+            return Err(format!(
+                "controller snapshot kind mismatch: checkpoint holds {:?}, controller expects {kind:?}",
+                self.kind
+            ));
+        }
+        serde_json::from_str(&self.data).map_err(|e| format!("controller snapshot ({kind}): {e}"))
+    }
+}
 
 /// The engine's fault picture as exposed to controllers: *learned* state
 /// only (circuit breakers, backoff counts), never the injection oracle —
@@ -137,6 +187,29 @@ pub trait Controller {
     fn drain_events(&mut self) -> Vec<Event> {
         Vec::new()
     }
+
+    /// Serializes the controller's mutable state for an engine
+    /// checkpoint. Called at a slice boundary with the event buffer
+    /// drained; configuration (anything reconstructible from the run
+    /// setup) need not be included. The default suits controllers with
+    /// no mutable state.
+    fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot::stateless()
+    }
+
+    /// Restores the state written by [`Controller::snapshot`] into a
+    /// freshly reconstructed controller. Fails when the snapshot was
+    /// taken from a different controller type.
+    fn restore(&mut self, snap: &ControllerSnapshot) -> Result<(), String> {
+        if snap.kind == STATELESS_KIND {
+            Ok(())
+        } else {
+            Err(format!(
+                "controller snapshot kind mismatch: checkpoint holds {:?}, controller is stateless",
+                snap.kind
+            ))
+        }
+    }
 }
 
 /// A controller that never intervenes (all static algorithms).
@@ -179,6 +252,21 @@ pub struct FaultAware<C> {
     degraded: bool,
     capture: bool,
     events: Vec<Event>,
+}
+
+/// Snapshot kind tag for [`FaultAware`].
+pub const FAULT_AWARE_KIND: &str = "fault-aware";
+
+/// Mutable state of [`FaultAware`] as stored in a checkpoint. The
+/// decorator's configuration knobs ride along so a tuned decorator
+/// survives resume even when the reconstruction used defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FaultAwareState {
+    min_channels: u32,
+    ramp_step: u32,
+    desired: Vec<u32>,
+    degraded: bool,
+    inner: ControllerSnapshot,
 }
 
 impl<C> FaultAware<C> {
@@ -321,6 +409,32 @@ impl<C: Controller> Controller for FaultAware<C> {
             self.inner.next_decision_in(ctx, slice)
         }
     }
+
+    fn snapshot(&self) -> ControllerSnapshot {
+        debug_assert!(
+            self.events.is_empty(),
+            "snapshot must follow an event drain"
+        );
+        ControllerSnapshot::of(
+            FAULT_AWARE_KIND,
+            &FaultAwareState {
+                min_channels: self.min_channels,
+                ramp_step: self.ramp_step,
+                desired: self.desired.clone(),
+                degraded: self.degraded,
+                inner: self.inner.snapshot(),
+            },
+        )
+    }
+
+    fn restore(&mut self, snap: &ControllerSnapshot) -> Result<(), String> {
+        let state: FaultAwareState = snap.payload(FAULT_AWARE_KIND)?;
+        self.min_channels = state.min_channels;
+        self.ramp_step = state.ramp_step;
+        self.desired = state.desired;
+        self.degraded = state.degraded;
+        self.inner.restore(&state.inner)
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +515,54 @@ mod tests {
         // Chunk with 1 channel stays at the floor; empty chunk stays empty.
         let c = ctx(vec![1, 0, 8], degraded);
         assert_eq!(fa.on_slice(&c), ControlAction::Reallocate(vec![1, 0, 2]));
+    }
+
+    #[test]
+    fn fault_aware_snapshot_round_trips_mid_ramp() {
+        let mut fa = FaultAware::new(NullController);
+        let degraded = FaultView {
+            capacity_fraction: 0.5,
+            ..FaultView::default()
+        };
+        // Shed, then start the recovery ramp, then snapshot mid-ramp.
+        assert_eq!(
+            fa.on_slice(&ctx(vec![8], degraded)),
+            ControlAction::Reallocate(vec![4])
+        );
+        assert_eq!(
+            fa.on_slice(&ctx(vec![4], FaultView::default())),
+            ControlAction::Reallocate(vec![5])
+        );
+        let snap = fa.snapshot();
+        assert_eq!(snap.kind, FAULT_AWARE_KIND);
+        let mut restored = FaultAware::new(NullController);
+        restored.restore(&snap).unwrap();
+        // Both continue the ramp identically from slice to slice.
+        for ch in 5..8 {
+            let c = ctx(vec![ch], FaultView::default());
+            assert_eq!(fa.on_slice(&c), restored.on_slice(&c));
+        }
+        let c = ctx(vec![8], FaultView::default());
+        assert_eq!(fa.on_slice(&c), ControlAction::Continue);
+        assert_eq!(restored.on_slice(&c), ControlAction::Continue);
+        // JSON transport round-trips the envelope bit-exactly.
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: ControllerSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn stateless_restore_rejects_foreign_snapshots() {
+        let mut null = NullController;
+        assert!(null.restore(&ControllerSnapshot::stateless()).is_ok());
+        let foreign = ControllerSnapshot {
+            kind: "htee".to_string(),
+            data: "{}".to_string(),
+        };
+        let err = null.restore(&foreign).unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+        let mut fa = FaultAware::new(NullController);
+        assert!(fa.restore(&foreign).is_err());
     }
 
     /// A controller that reallocates to a fixed target every slice, to

@@ -1,0 +1,362 @@
+//! Engine checkpoints: versioned, deterministic serialization of the
+//! full in-flight state of a run at a slice boundary (DESIGN.md §13).
+//!
+//! A checkpoint is taken *between* slices — after one slice's controller
+//! action has been applied and before the next slice's fault window
+//! opens. At that instant every piece of engine state lives in a small
+//! set of locals ([`Engine::run_controlled`]'s accumulators), the chunk
+//! runtime states, the fault runtime, the controller, and the telemetry
+//! sinks; [`EngineCheckpoint`] captures all of them. Restoring into a
+//! freshly built engine with the identical plan and environment resumes
+//! the run so that the completed report, the journal suffix, and every
+//! metric are **bit-identical** to an uninterrupted run (the chaos suite
+//! in `eadt-ckpt` asserts this across algorithms, testbeds and fault
+//! regimes).
+//!
+//! All floating-point accumulators survive the JSON transport exactly:
+//! the vendored `serde_json` prints `f64` with shortest-roundtrip
+//! formatting, so `parse(print(x)) == x` bit-for-bit.
+//!
+//! [`Engine::run_controlled`]: super::Engine::run_controlled
+
+use super::{ChannelState, ChunkState, FileProgress};
+use crate::control::ControllerSnapshot;
+use crate::env::TransferEnv;
+use crate::plan::TransferPlan;
+use crate::report::{ChunkStat, TransferReport};
+use crate::retry::FaultRuntimeSnapshot;
+use eadt_sim::{Bytes, SimDuration, SimTime, TimeSeries};
+use eadt_telemetry::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Version of the checkpoint schema. Bumped on any change to the
+/// serialized layout; [`Engine::run_controlled`] refuses checkpoints
+/// from another version instead of misinterpreting them.
+///
+/// [`Engine::run_controlled`]: super::Engine::run_controlled
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Progress of one file: full size (for restart-on-failure) and bytes
+/// still to push.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSnapshot {
+    /// Full file size.
+    pub size: Bytes,
+    /// Bytes left to move.
+    pub remaining: Bytes,
+}
+
+/// State of one data channel at the checkpoint boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSnapshot {
+    /// The file in flight, if any.
+    pub current: Option<FileSnapshot>,
+    /// Remaining control-channel gap (connection setup, inter-file, or
+    /// failure backoff).
+    pub gap: SimDuration,
+    /// Remaining time-to-failure (fault injection only).
+    pub ttf: Option<SimDuration>,
+    /// Consecutive failures without intervening progress.
+    pub consecutive: u32,
+    /// Whether the current gap is a failure backoff.
+    pub in_backoff: bool,
+}
+
+/// Runtime state of one chunk within the running stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkSnapshot {
+    /// Chunk label from the plan.
+    pub label: String,
+    /// Pipelining depth.
+    pub pipelining: u32,
+    /// Streams per channel.
+    pub parallelism: u32,
+    /// Whether the chunk accepts freed channels.
+    pub accepts_reallocation: bool,
+    /// Total bytes the chunk carries.
+    pub total_bytes: Bytes,
+    /// Number of files in the chunk.
+    pub file_count: u64,
+    /// When the chunk drained, if it already has.
+    pub completed_at: Option<SimTime>,
+    /// Mean file size (drives the duty-cycle model).
+    pub avg_file: Bytes,
+    /// Files not yet assigned to a channel, front first.
+    pub queue: Vec<FileSnapshot>,
+    /// The chunk's channels in engine order.
+    pub channels: Vec<ChannelSnapshot>,
+    /// Channel target the controller has set.
+    pub target: u32,
+}
+
+impl ChunkSnapshot {
+    /// Captures a chunk's runtime state.
+    pub(super) fn of(c: &ChunkState) -> Self {
+        ChunkSnapshot {
+            label: c.label.clone(),
+            pipelining: c.pipelining,
+            parallelism: c.parallelism,
+            accepts_reallocation: c.accepts_reallocation,
+            total_bytes: c.total_bytes,
+            file_count: c.file_count as u64,
+            completed_at: c.completed_at,
+            avg_file: c.avg_file,
+            queue: c.queue.iter().map(file_snapshot).collect(),
+            channels: c
+                .channels
+                .iter()
+                .map(|ch| ChannelSnapshot {
+                    current: ch.current.as_ref().map(file_snapshot),
+                    gap: ch.gap,
+                    ttf: ch.ttf,
+                    consecutive: ch.consecutive,
+                    in_backoff: ch.in_backoff,
+                })
+                .collect(),
+            target: c.target,
+        }
+    }
+
+    /// Rebuilds the chunk's runtime state.
+    pub(super) fn into_state(self) -> ChunkState {
+        ChunkState {
+            label: self.label,
+            pipelining: self.pipelining,
+            parallelism: self.parallelism,
+            accepts_reallocation: self.accepts_reallocation,
+            total_bytes: self.total_bytes,
+            file_count: self.file_count as usize,
+            completed_at: self.completed_at,
+            avg_file: self.avg_file,
+            queue: self.queue.into_iter().map(file_progress).collect(),
+            channels: self
+                .channels
+                .into_iter()
+                .map(|ch| ChannelState {
+                    current: ch.current.map(file_progress),
+                    gap: ch.gap,
+                    ttf: ch.ttf,
+                    consecutive: ch.consecutive,
+                    in_backoff: ch.in_backoff,
+                })
+                .collect(),
+            target: self.target,
+        }
+    }
+}
+
+fn file_snapshot(fp: &FileProgress) -> FileSnapshot {
+    FileSnapshot {
+        size: fp.size,
+        remaining: fp.remaining,
+    }
+}
+
+fn file_progress(fs: FileSnapshot) -> FileProgress {
+    FileProgress {
+        size: fs.size,
+        remaining: fs.remaining,
+    }
+}
+
+/// The full in-flight state of a run at a slice boundary.
+///
+/// Everything a resumed [`Engine::run_controlled`] needs beyond the
+/// (reconstructible) plan, environment, and controller configuration.
+/// The `fingerprint` binds the checkpoint to that configuration so a
+/// resume against the wrong plan fails loudly instead of silently
+/// diverging.
+///
+/// [`Engine::run_controlled`]: super::Engine::run_controlled
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// [`CHECKPOINT_SCHEMA_VERSION`] at capture time.
+    pub version: u32,
+    /// [`config_fingerprint`] of the plan and environment.
+    pub fingerprint: u64,
+    /// Index of the running stage.
+    pub stage: u64,
+    /// Simulated time at the boundary (start of the next slice).
+    pub now: SimTime,
+    /// Slices executed since the run began (replayed macro-step slices
+    /// count individually).
+    pub slices_done: u64,
+    /// Secondary-estimator energy accumulated so far, Joules.
+    pub estimated_energy_j: f64,
+    /// Bytes booked as retransmission so far.
+    pub retransmitted: Bytes,
+    /// Source-site energy so far, Joules.
+    pub src_energy_j: f64,
+    /// Destination-site energy so far, Joules.
+    pub dst_energy_j: f64,
+    /// Goodput so far.
+    pub moved_total: Bytes,
+    /// Wire bytes (goodput inflated by congestion efficiency), exact
+    /// f64 accumulator.
+    pub wire_bytes_f: f64,
+    /// `debug-invariants` auditor: gross bytes moved.
+    pub audit_gross: Bytes,
+    /// `debug-invariants` auditor: bytes entered into started stages.
+    pub audit_stage_requested: Bytes,
+    /// Per-chunk stats of stages that already finished.
+    pub chunk_stats: Vec<ChunkStat>,
+    /// Per-slice throughput samples so far.
+    pub throughput_series: TimeSeries,
+    /// Per-slice total-power samples so far.
+    pub power_series: TimeSeries,
+    /// Per-slice concurrency samples so far.
+    pub concurrency_series: TimeSeries,
+    /// Runtime state of the running stage's chunks.
+    pub chunks: Vec<ChunkSnapshot>,
+    /// Last reported per-server power state, source side (edge memory
+    /// for `power_state` events).
+    pub prev_src_active: Vec<bool>,
+    /// Last reported per-server power state, destination side.
+    pub prev_dst_active: Vec<bool>,
+    /// Fault-runtime state, present iff the environment has an active
+    /// fault plan.
+    pub faults: Option<FaultRuntimeSnapshot>,
+    /// The controller's mutable state.
+    pub controller: ControllerSnapshot,
+    /// Metrics-registry state, present iff the run sampled metrics.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Journal sequence cursor: the `seq` the next journaled event will
+    /// carry. A resumed run journals only the suffix; concatenated with
+    /// the prefix on disk it is byte-identical to an uninterrupted
+    /// journal.
+    pub journal_seq: u64,
+}
+
+impl EngineCheckpoint {
+    /// Serializes the checkpoint as pretty JSON (newline-terminated),
+    /// byte-deterministic for identical states.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("checkpoints always serialize");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a checkpoint serialized by [`EngineCheckpoint::to_json`].
+    /// Rejects other schema versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let ck: EngineCheckpoint =
+            serde_json::from_str(text).map_err(|e| format!("checkpoint: {e}"))?;
+        if ck.version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!(
+                "checkpoint schema version {} is not the supported {CHECKPOINT_SCHEMA_VERSION}",
+                ck.version
+            ));
+        }
+        Ok(ck)
+    }
+}
+
+/// How [`Engine::run_controlled`] starts and stops.
+///
+/// [`Engine::run_controlled`]: super::Engine::run_controlled
+#[derive(Debug, Default)]
+pub struct RunControl {
+    /// Resume from this checkpoint instead of starting fresh. The plan,
+    /// environment and controller passed alongside must be the ones the
+    /// checkpoint was taken under (fingerprint-checked).
+    pub resume: Option<Box<EngineCheckpoint>>,
+    /// Halt at the first slice boundary where the total executed slice
+    /// count reaches this value, returning a checkpoint. `None` runs to
+    /// completion. A halt inside a macro-stepped horizon cuts the replay
+    /// at exactly this boundary — resuming recomputes the rest.
+    pub halt_after: Option<u64>,
+}
+
+impl RunControl {
+    /// Resume from a checkpoint and run to completion.
+    pub fn resume_from(ck: EngineCheckpoint) -> Self {
+        RunControl {
+            resume: Some(Box::new(ck)),
+            halt_after: None,
+        }
+    }
+
+    /// Start fresh and halt once `slices` slices have executed.
+    pub fn halt_at(slices: u64) -> Self {
+        RunControl {
+            resume: None,
+            halt_after: Some(slices),
+        }
+    }
+
+    /// Caps this control with a halt boundary (keeps any resume state).
+    pub fn with_halt(mut self, slices: u64) -> Self {
+        self.halt_after = Some(slices);
+        self
+    }
+}
+
+/// What [`Engine::run_controlled`] produced.
+///
+/// [`Engine::run_controlled`]: super::Engine::run_controlled
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum RunOutcome {
+    /// The run finished (or hit the time guard): the full report.
+    Done(TransferReport),
+    /// The run halted at the requested boundary: the state to resume
+    /// from.
+    Halted(Box<EngineCheckpoint>),
+}
+
+impl RunOutcome {
+    /// The report, when the run finished.
+    pub fn into_report(self) -> Option<TransferReport> {
+        match self {
+            RunOutcome::Done(r) => Some(r),
+            RunOutcome::Halted(_) => None,
+        }
+    }
+
+    /// The checkpoint, when the run halted.
+    pub fn into_checkpoint(self) -> Option<Box<EngineCheckpoint>> {
+        match self {
+            RunOutcome::Done(_) => None,
+            RunOutcome::Halted(ck) => Some(ck),
+        }
+    }
+
+    /// True when the run halted at a boundary.
+    pub fn halted(&self) -> bool {
+        matches!(self, RunOutcome::Halted(_))
+    }
+}
+
+/// A stable digest of the run configuration: plan shape (stages, chunk
+/// labels/bytes/files/parameters), slice length, time guard, server
+/// counts and link bandwidth. FNV-1a over the fields in declaration
+/// order — not cryptographic, just a loud tripwire against resuming a
+/// checkpoint under a different configuration.
+pub fn config_fingerprint(env: &TransferEnv, plan: &TransferPlan) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&plan.total_bytes().as_u64().to_le_bytes());
+    eat(&(plan.stages.len() as u64).to_le_bytes());
+    for stage in &plan.stages {
+        for c in &stage.chunks {
+            eat(c.label.as_bytes());
+            eat(&c.total_bytes().as_u64().to_le_bytes());
+            eat(&(c.files.len() as u64).to_le_bytes());
+            eat(&c.channels.to_le_bytes());
+            eat(&c.pipelining.to_le_bytes());
+            eat(&c.parallelism.to_le_bytes());
+        }
+    }
+    eat(&env.tuning.slice.as_micros().to_le_bytes());
+    eat(&env.tuning.max_duration.as_micros().to_le_bytes());
+    eat(&(env.src.servers.len() as u64).to_le_bytes());
+    eat(&(env.dst.servers.len() as u64).to_le_bytes());
+    eat(&env.link.bandwidth.as_bps().to_bits().to_le_bytes());
+    eat(&env.link.rtt.as_micros().to_le_bytes());
+    eat(&[u8::from(env.faults.as_ref().is_some_and(|p| p.is_active()))]);
+    h
+}

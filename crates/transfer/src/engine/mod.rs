@@ -40,6 +40,13 @@ use eadt_sim::{Bytes, Rate, SimDuration, SimTime, TimeSeries};
 use eadt_telemetry::{Event, GaugeId, HistogramId, MetricsRegistry, Side, Telemetry};
 use std::collections::VecDeque;
 
+mod checkpoint;
+
+pub use checkpoint::{
+    config_fingerprint, ChannelSnapshot, ChunkSnapshot, EngineCheckpoint, FileSnapshot, RunControl,
+    RunOutcome, CHECKPOINT_SCHEMA_VERSION,
+};
+
 /// A file being moved: its full size (for restart after a channel
 /// failure) and how much is left to push.
 #[derive(Debug, Clone)]
@@ -172,12 +179,44 @@ impl<'a> Engine<'a> {
         controller: &mut dyn Controller,
         tel: &mut Telemetry,
     ) -> TransferReport {
+        match self.run_controlled(plan, controller, tel, RunControl::default()) {
+            RunOutcome::Done(report) => report,
+            RunOutcome::Halted(_) => unreachable!("no halt boundary was configured"),
+        }
+    }
+
+    /// Runs the plan with checkpoint control: optionally resuming from an
+    /// [`EngineCheckpoint`] and/or halting at a slice boundary to produce
+    /// one (see [`RunControl`]).
+    ///
+    /// On resume, the plan, environment, telemetry configuration and
+    /// controller *type* must be the ones the checkpoint was taken under:
+    /// the config fingerprint and the controller snapshot kind are
+    /// checked and a mismatch panics (callers that need a typed error —
+    /// `eadt-ckpt` — validate first). A resumed run continues bit-exactly:
+    /// the completed report, the journal suffix (sequence numbers
+    /// continuing at [`EngineCheckpoint::journal_seq`]) and all metrics
+    /// are identical to an uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics when resuming against a different configuration (schema
+    /// version, fingerprint, stage index, fault-plan presence, controller
+    /// kind, or telemetry sinks not matching the checkpoint).
+    pub fn run_controlled(
+        &self,
+        plan: &TransferPlan,
+        controller: &mut dyn Controller,
+        tel: &mut Telemetry,
+        ctl: RunControl,
+    ) -> RunOutcome {
         let env = self.env;
         let slice = env.tuning.slice;
         let slice_secs = slice.as_secs_f64();
         let rtt = env.link.rtt;
+        let fingerprint = config_fingerprint(env, plan);
 
         let mut now = SimTime::ZERO;
+        let mut slices_done = 0u64;
         let mut completed = true;
         let mut estimated_energy = 0.0f64;
         let mut runtime = env
@@ -202,8 +241,81 @@ impl<'a> Engine<'a> {
         let mut audit_gross = Bytes::ZERO;
         let mut audit_stage_requested = Bytes::ZERO;
 
+        let mut prev_src_active = vec![false; env.src.servers.len()];
+        let mut prev_dst_active = vec![false; env.dst.servers.len()];
+
+        // Resume: overwrite the fresh state with the checkpoint's after
+        // validating that the configuration is the one it was taken under.
+        let mut start_stage = 0usize;
+        let mut resume_chunks: Option<Vec<ChunkSnapshot>> = None;
+        if let Some(ck) = ctl.resume {
+            let ck = *ck;
+            assert_eq!(
+                ck.version, CHECKPOINT_SCHEMA_VERSION,
+                "checkpoint schema version mismatch"
+            );
+            assert_eq!(
+                ck.fingerprint, fingerprint,
+                "checkpoint was taken under a different plan/environment"
+            );
+            assert!(
+                (ck.stage as usize) < plan.stages.len(),
+                "checkpoint stage {} out of range ({} stages)",
+                ck.stage,
+                plan.stages.len()
+            );
+            runtime = match (runtime.is_some(), &ck.faults) {
+                (true, Some(snap)) => Some(FaultRuntime::restore(
+                    env.faults.as_ref().expect("runtime implies a plan"),
+                    env.src.servers.len(),
+                    env.dst.servers.len(),
+                    snap,
+                )),
+                (false, None) => None,
+                (have_plan, _) => panic!(
+                    "checkpoint fault state ({}) does not match the environment ({})",
+                    if ck.faults.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                    if have_plan { "active plan" } else { "no plan" },
+                ),
+            };
+            controller
+                .restore(&ck.controller)
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(
+                tel.metrics_ref().is_some(),
+                ck.metrics.is_some(),
+                "checkpoint metrics state does not match the telemetry configuration"
+            );
+            if let (Some(m), Some(snap)) = (tel.metrics(), &ck.metrics) {
+                *m = MetricsRegistry::restore(snap);
+            }
+            now = ck.now;
+            slices_done = ck.slices_done;
+            estimated_energy = ck.estimated_energy_j;
+            retransmitted = ck.retransmitted;
+            chunk_stats = ck.chunk_stats;
+            src_energy = ck.src_energy_j;
+            dst_energy = ck.dst_energy_j;
+            moved_total = ck.moved_total;
+            wire_bytes_f = ck.wire_bytes_f;
+            throughput_series = ck.throughput_series;
+            power_series = ck.power_series;
+            concurrency_series = ck.concurrency_series;
+            audit_gross = ck.audit_gross;
+            audit_stage_requested = ck.audit_stage_requested;
+            prev_src_active = ck.prev_src_active;
+            prev_dst_active = ck.prev_dst_active;
+            start_stage = ck.stage as usize;
+            resume_chunks = Some(ck.chunks);
+        }
+
         // Telemetry wiring. `journaling` is the single branch every event
-        // hook reduces to when telemetry is off.
+        // hook reduces to when telemetry is off. Capture flags are not
+        // part of checkpoints; they are re-derived here, after restore.
         let journaling = tel.journaling();
         let gauges = tel.metrics().map(EngineGauges::register);
         if journaling {
@@ -212,8 +324,6 @@ impl<'a> Engine<'a> {
                 rt.capture_events(true);
             }
         }
-        let mut prev_src_active = vec![false; env.src.servers.len()];
-        let mut prev_dst_active = vec![false; env.dst.servers.len()];
 
         // Recycled per-slice buffers. Every vector the hot loop needs is
         // hoisted here, so the steady state allocates nothing per slice
@@ -221,33 +331,51 @@ impl<'a> Engine<'a> {
         let mut scratch = SliceScratch::default();
 
         for (stage_idx, stage) in plan.stages.iter().enumerate() {
-            let mut chunks: Vec<ChunkState> = stage
-                .chunks
-                .iter()
-                .map(|cp| ChunkState {
-                    label: cp.label.clone(),
-                    pipelining: cp.pipelining.max(1),
-                    parallelism: cp.parallelism.max(1),
-                    accepts_reallocation: cp.accepts_reallocation,
-                    total_bytes: cp.total_bytes(),
-                    file_count: cp.files.len(),
-                    completed_at: None,
-                    avg_file: if cp.files.is_empty() {
-                        Bytes::ZERO
-                    } else {
-                        Bytes(cp.total_bytes().as_u64() / cp.files.len() as u64)
-                    },
-                    queue: cp.files.iter().copied().map(FileProgress::fresh).collect(),
-                    channels: Vec::new(),
-                    target: cp.channels,
-                })
-                .collect();
+            if stage_idx < start_stage {
+                continue;
+            }
+            // A mid-stage resume rebuilds the running stage's chunks from
+            // the checkpoint (and skips the stage preamble — its events
+            // and audit booking happened before the checkpoint was taken).
+            let resumed = resume_chunks.take();
+            let resumed_mid_stage = resumed.is_some();
+            let mut chunks: Vec<ChunkState> = match resumed {
+                Some(snaps) => {
+                    assert_eq!(
+                        snaps.len(),
+                        stage.chunks.len(),
+                        "checkpoint chunk count does not match the stage"
+                    );
+                    snaps.into_iter().map(ChunkSnapshot::into_state).collect()
+                }
+                None => stage
+                    .chunks
+                    .iter()
+                    .map(|cp| ChunkState {
+                        label: cp.label.clone(),
+                        pipelining: cp.pipelining.max(1),
+                        parallelism: cp.parallelism.max(1),
+                        accepts_reallocation: cp.accepts_reallocation,
+                        total_bytes: cp.total_bytes(),
+                        file_count: cp.files.len(),
+                        completed_at: None,
+                        avg_file: if cp.files.is_empty() {
+                            Bytes::ZERO
+                        } else {
+                            Bytes(cp.total_bytes().as_u64() / cp.files.len() as u64)
+                        },
+                        queue: cp.files.iter().copied().map(FileProgress::fresh).collect(),
+                        channels: Vec::new(),
+                        target: cp.channels,
+                    })
+                    .collect(),
+            };
 
-            if cfg!(feature = "debug-invariants") {
+            if cfg!(feature = "debug-invariants") && !resumed_mid_stage {
                 audit_stage_requested += chunks.iter().map(|c| c.total_bytes).sum();
             }
 
-            if journaling {
+            if journaling && !resumed_mid_stage {
                 tel.record(
                     now,
                     Event::StageStart {
@@ -265,6 +393,37 @@ impl<'a> Engine<'a> {
             }
 
             while chunks.iter().any(ChunkState::has_work) {
+                // Checkpoint boundary: between slices, before the next
+                // slice's fault window opens. All controller/runtime event
+                // buffers are drained here, making the snapshot complete.
+                if ctl.halt_after.is_some_and(|h| slices_done >= h) {
+                    return RunOutcome::Halted(Box::new(EngineCheckpoint {
+                        version: CHECKPOINT_SCHEMA_VERSION,
+                        fingerprint,
+                        stage: stage_idx as u64,
+                        now,
+                        slices_done,
+                        estimated_energy_j: estimated_energy,
+                        retransmitted,
+                        src_energy_j: src_energy,
+                        dst_energy_j: dst_energy,
+                        moved_total,
+                        wire_bytes_f,
+                        audit_gross,
+                        audit_stage_requested,
+                        chunk_stats,
+                        throughput_series,
+                        power_series,
+                        concurrency_series,
+                        chunks: chunks.iter().map(ChunkSnapshot::of).collect(),
+                        prev_src_active,
+                        prev_dst_active,
+                        faults: runtime.as_ref().map(FaultRuntime::snapshot),
+                        controller: controller.snapshot(),
+                        metrics: tel.metrics_ref().map(MetricsRegistry::snapshot),
+                        journal_seq: tel.journal().map_or(0, |j| j.next_seq()),
+                    }));
+                }
                 if now.since(SimTime::ZERO) >= env.tuning.max_duration {
                     completed = false;
                     break; // stats for this stage are still collected below
@@ -706,6 +865,7 @@ impl<'a> Engine<'a> {
 
                 let slice_start = now;
                 now += slice;
+                slices_done += 1;
 
                 // Controller.
                 let remaining_per_chunk: Vec<Bytes> =
@@ -929,6 +1089,7 @@ impl<'a> Engine<'a> {
                                     m.observe(g.queue_hist, queue_depth as f64);
                                 }
                                 now += slice;
+                                slices_done += 1;
                                 if cfg!(feature = "debug-invariants") {
                                     audit_remaining = audit_remaining.saturating_sub(slice_bytes);
                                     assert_eq!(
@@ -941,6 +1102,14 @@ impl<'a> Engine<'a> {
                                         moved_total + retransmitted,
                                         "invariant: gross bytes != goodput + retransmitted at t={now:?} (macro)"
                                     );
+                                }
+                                // A halt boundary inside the horizon cuts
+                                // the replay at exactly that slice; the
+                                // resumed run recomputes the remainder (a
+                                // promised slice re-executed normally is
+                                // state-identical by the promise contract).
+                                if ctl.halt_after.is_some_and(|h| slices_done >= h) {
+                                    break;
                                 }
                             }
                         }
@@ -978,7 +1147,7 @@ impl<'a> Engine<'a> {
             .total_packets(Bytes(wire_bytes_f.round() as u64));
         let fault_stats = runtime.map(|rt| rt.stats).unwrap_or_default();
         debug_assert_eq!(retransmitted, fault_stats.retransmitted_bytes);
-        TransferReport {
+        RunOutcome::Done(TransferReport {
             schema: crate::report::REPORT_SCHEMA_VERSION,
             requested_bytes: requested,
             moved_bytes: moved_total,
@@ -995,7 +1164,7 @@ impl<'a> Engine<'a> {
             faults: fault_stats,
             estimated_energy_j: env.estimator.map(|_| estimated_energy),
             chunk_stats,
-        }
+        })
     }
 
     /// Moves the channel targets of finished chunks to the busiest live

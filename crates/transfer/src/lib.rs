@@ -42,17 +42,25 @@ pub mod retry;
 #[cfg(test)]
 mod proptests;
 
-pub use control::{ControlAction, Controller, FaultAware, FaultView, NullController, SliceCtx};
+pub use control::{
+    ControlAction, Controller, ControllerSnapshot, FaultAware, FaultView, NullController, SliceCtx,
+    FAULT_AWARE_KIND, STATELESS_KIND,
+};
 pub use control_channel::{
     closed_form_goodput, exact_goodput, simulate_channel, ControlChannelRun,
 };
-pub use engine::Engine;
+pub use engine::{
+    config_fingerprint, ChannelSnapshot, ChunkSnapshot, Engine, EngineCheckpoint, FileSnapshot,
+    RunControl, RunOutcome, CHECKPOINT_SCHEMA_VERSION,
+};
 pub use env::{EngineTuning, TransferEnv};
 pub use faults::{
-    BackgroundTraffic, DiskDegradationModel, EpisodeStream, FaultCause, FaultModel, FaultPlan,
-    OutageModel, SiteSide, StallModel,
+    BackgroundTraffic, DiskDegradationModel, EpisodeStream, EpisodeStreamSnapshot, FaultCause,
+    FaultModel, FaultPlan, OutageModel, SiteSide, StallModel,
 };
 pub use params::TransferParams;
 pub use plan::{uniform_plan, ChunkPlan, StagePlan, TransferPlan};
 pub use report::{ChunkStat, FaultStats, TransferReport, REPORT_SCHEMA_VERSION};
-pub use retry::{FaultRuntime, RetryPolicy};
+pub use retry::{
+    BreakerSnapshot, BreakerStateSnapshot, FaultRuntime, FaultRuntimeSnapshot, RetryPolicy,
+};

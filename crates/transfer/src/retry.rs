@@ -19,9 +19,9 @@
 //! [`FaultRuntime`] owns the live state (episode streams, breakers, the
 //! jitter stream, accumulated [`FaultStats`]) for one engine run.
 
-use crate::faults::{EpisodeStream, FaultCause, FaultPlan, SiteSide};
+use crate::faults::{EpisodeStream, EpisodeStreamSnapshot, FaultCause, FaultPlan, SiteSide};
 use crate::report::FaultStats;
-use eadt_sim::{Bytes, SimDuration, SimRng, SimTime};
+use eadt_sim::{Bytes, RngSnapshot, SimDuration, SimRng, SimTime};
 use eadt_telemetry::{
     BreakerState as EvBreakerState, EpisodeKind as EvEpisodeKind, Event, Side as EvSide,
 };
@@ -226,6 +226,51 @@ impl Breaker {
     fn is_open(&self) -> bool {
         matches!(self.state, BreakerState::Open { .. })
     }
+
+    fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: match self.state {
+                BreakerState::Closed => BreakerStateSnapshot::Closed,
+                BreakerState::Open { until } => BreakerStateSnapshot::Open { until },
+                BreakerState::HalfOpen => BreakerStateSnapshot::HalfOpen,
+            },
+            consecutive: self.consecutive,
+        }
+    }
+
+    fn restore(snap: &BreakerSnapshot) -> Self {
+        Breaker {
+            state: match snap.state {
+                BreakerStateSnapshot::Closed => BreakerState::Closed,
+                BreakerStateSnapshot::Open { until } => BreakerState::Open { until },
+                BreakerStateSnapshot::HalfOpen => BreakerState::HalfOpen,
+            },
+            consecutive: snap.consecutive,
+        }
+    }
+}
+
+/// Serializable mirror of the private circuit-breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BreakerStateSnapshot {
+    /// Healthy; failures are counted.
+    Closed,
+    /// Quarantined until the given time.
+    Open {
+        /// Cooldown expiry.
+        until: SimTime,
+    },
+    /// Cooldown expired; the next slice probes the server.
+    HalfOpen,
+}
+
+/// Serializable state of one per-server circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    /// State-machine position.
+    pub state: BreakerStateSnapshot,
+    /// Consecutive failures counted against the server.
+    pub consecutive: u32,
 }
 
 /// Live fault state for one engine run: episode streams advanced once per
@@ -654,6 +699,121 @@ impl FaultRuntime {
             SiteSide::Dst => self.dst_breakers.iter().map(Breaker::is_open).collect(),
         }
     }
+
+    /// Captures all mutable runtime state for a checkpoint, taken at a
+    /// slice boundary (the per-slice snapshot vectors are *not* captured —
+    /// the next `begin_slice` refreshes them before any read).
+    ///
+    /// The event buffer must be empty at capture time (the engine drains
+    /// it every slice); a non-empty buffer would silently drop events.
+    pub fn snapshot(&self) -> FaultRuntimeSnapshot {
+        debug_assert!(
+            self.events.is_empty(),
+            "fault-runtime events must be drained before a checkpoint"
+        );
+        FaultRuntimeSnapshot {
+            jitter_rng: self.jitter_rng.snapshot(),
+            ttf_rng: self.ttf_rng.as_ref().map(SimRng::snapshot),
+            outages: self.outages.iter().map(|(_, _, s)| s.snapshot()).collect(),
+            stall: self.stall.as_ref().map(|(_, s)| s.snapshot()),
+            disk: self.disk.iter().map(|(_, _, _, s)| s.snapshot()).collect(),
+            src_breakers: self.src_breakers.iter().map(Breaker::snapshot).collect(),
+            dst_breakers: self.dst_breakers.iter().map(Breaker::snapshot).collect(),
+            ev_src_outage: self.ev_src_outage.clone(),
+            ev_dst_outage: self.ev_dst_outage.clone(),
+            ev_stall: self.ev_stall,
+            ev_src_disk: self.ev_src_disk.clone(),
+            ev_dst_disk: self.ev_dst_disk.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a runtime from a plan plus a [`snapshot`], resuming every
+    /// stream, breaker and statistic exactly where the captured runtime
+    /// stopped. The plan and server counts must match the original run
+    /// (`eadt-ckpt` guards this with a config fingerprint).
+    ///
+    /// [`snapshot`]: FaultRuntime::snapshot
+    pub fn restore(
+        plan: &FaultPlan,
+        src_servers: usize,
+        dst_servers: usize,
+        snap: &FaultRuntimeSnapshot,
+    ) -> Self {
+        let mut rt = FaultRuntime::new(plan, src_servers, dst_servers);
+        assert_eq!(
+            rt.outages.len(),
+            snap.outages.len(),
+            "checkpoint outage-stream count does not match the plan"
+        );
+        assert_eq!(
+            rt.disk.len(),
+            snap.disk.len(),
+            "checkpoint disk-stream count does not match the plan"
+        );
+        assert_eq!(
+            rt.stall.is_some(),
+            snap.stall.is_some(),
+            "checkpoint stall stream does not match the plan"
+        );
+        assert_eq!(rt.src_breakers.len(), snap.src_breakers.len());
+        assert_eq!(rt.dst_breakers.len(), snap.dst_breakers.len());
+        rt.jitter_rng = SimRng::restore(&snap.jitter_rng);
+        rt.ttf_rng = snap.ttf_rng.as_ref().map(SimRng::restore);
+        for ((_, _, stream), s) in rt.outages.iter_mut().zip(&snap.outages) {
+            *stream = EpisodeStream::restore(s);
+        }
+        if let (Some((_, stream)), Some(s)) = (rt.stall.as_mut(), snap.stall.as_ref()) {
+            *stream = EpisodeStream::restore(s);
+        }
+        for ((_, _, _, stream), s) in rt.disk.iter_mut().zip(&snap.disk) {
+            *stream = EpisodeStream::restore(s);
+        }
+        rt.src_breakers = snap.src_breakers.iter().map(Breaker::restore).collect();
+        rt.dst_breakers = snap.dst_breakers.iter().map(Breaker::restore).collect();
+        rt.ev_src_outage = snap.ev_src_outage.clone();
+        rt.ev_dst_outage = snap.ev_dst_outage.clone();
+        rt.ev_stall = snap.ev_stall;
+        rt.ev_src_disk = snap.ev_src_disk.clone();
+        rt.ev_dst_disk = snap.ev_dst_disk.clone();
+        rt.stats = snap.stats;
+        rt
+    }
+}
+
+/// Serializable state of a [`FaultRuntime`], for checkpointing.
+///
+/// Only mutable state is captured; the immutable configuration (plan,
+/// server counts, capture flag) is re-supplied on restore. Episode streams
+/// are stored in construction order (plan order after range filtering).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRuntimeSnapshot {
+    /// Backoff-jitter stream state.
+    pub jitter_rng: RngSnapshot,
+    /// Channel TTF stream state (present iff the plan has a channel model).
+    pub ttf_rng: Option<RngSnapshot>,
+    /// Outage episode streams, in plan order.
+    pub outages: Vec<EpisodeStreamSnapshot>,
+    /// Control-channel stall stream.
+    pub stall: Option<EpisodeStreamSnapshot>,
+    /// Disk-degradation streams, in plan order.
+    pub disk: Vec<EpisodeStreamSnapshot>,
+    /// Sender-site breakers, by server index.
+    pub src_breakers: Vec<BreakerSnapshot>,
+    /// Receiver-site breakers, by server index.
+    pub dst_breakers: Vec<BreakerSnapshot>,
+    /// Last *reported* outage state per src server (event-edge memory).
+    pub ev_src_outage: Vec<bool>,
+    /// Last reported outage state per dst server.
+    pub ev_dst_outage: Vec<bool>,
+    /// Last reported stall state.
+    pub ev_stall: bool,
+    /// Last reported disk-degradation state per src server.
+    pub ev_src_disk: Vec<bool>,
+    /// Last reported disk-degradation state per dst server.
+    pub ev_dst_disk: Vec<bool>,
+    /// Accumulated fault accounting.
+    pub stats: FaultStats,
 }
 
 #[cfg(test)]
@@ -819,6 +979,65 @@ mod tests {
         rt.begin_slice(probe_time);
         // Breaker is now half-open: the horizon collapses to `now`.
         assert_eq!(rt.next_change(probe_time), probe_time);
+    }
+
+    #[test]
+    fn runtime_snapshot_resumes_streams_breakers_and_stats() {
+        let plan = FaultPlan::from(FaultModel::new(SimDuration::from_secs(60), 4)).with_outage(
+            OutageModel::new(
+                SiteSide::Dst,
+                1,
+                SimDuration::from_secs(40),
+                SimDuration::from_secs(10),
+                21,
+            ),
+        );
+        let mut live = FaultRuntime::new(&plan, 1, 2);
+        let slice = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        // Drive the runtime into a nontrivial state: advance streams, burn
+        // jitter draws, sample TTFs, open a breaker.
+        for i in 0..2000 {
+            t += slice;
+            live.begin_slice(t);
+            if i % 300 == 0 {
+                live.next_delay(i / 300);
+                live.sample_ttf();
+            }
+            if live.outage_active(SiteSide::Dst, 1) {
+                live.record_failure(FaultCause::Outage, 0, 1, t);
+            }
+        }
+        let snap = live.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: FaultRuntimeSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+        let mut resumed = FaultRuntime::restore(&plan, 1, 2, &back);
+        assert_eq!(resumed.stats, live.stats);
+        assert_eq!(
+            resumed.quarantined(SiteSide::Dst),
+            live.quarantined(SiteSide::Dst)
+        );
+        // From here on both runtimes must evolve identically.
+        for i in 0..4000 {
+            t += slice;
+            live.begin_slice(t);
+            resumed.begin_slice(t);
+            assert_eq!(
+                live.outage_active(SiteSide::Dst, 1),
+                resumed.outage_active(SiteSide::Dst, 1)
+            );
+            assert_eq!(live.next_change(t), resumed.next_change(t));
+            if i % 250 == 0 {
+                assert_eq!(live.next_delay(2), resumed.next_delay(2));
+                assert_eq!(live.sample_ttf(), resumed.sample_ttf());
+            }
+            if live.outage_active(SiteSide::Dst, 1) {
+                live.record_failure(FaultCause::Outage, 0, 1, t);
+                resumed.record_failure(FaultCause::Outage, 0, 1, t);
+            }
+            assert_eq!(live.stats, resumed.stats);
+        }
     }
 
     #[test]

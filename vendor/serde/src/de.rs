@@ -144,6 +144,20 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::unexpected("array", v))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected an array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deser_value).collect::<Result<_, _>>()?;
+        Ok(parsed.try_into().expect("length checked against N above"))
+    }
+}
+
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn deser_value(v: &Value) -> Result<Self, Error> {
         let map = v

@@ -3,10 +3,11 @@
 //!
 //! Supports what this workspace derives: non-generic structs (named,
 //! tuple/newtype, unit) and enums (unit, tuple, struct variants), plus the
-//! `#[serde(default)]` field attribute. Encoding conventions match real
-//! serde: structs as objects, newtype structs as their inner value,
-//! externally tagged enums, missing `Option` fields as `None` (via
-//! null-probing `missing_field`), unknown fields ignored.
+//! `#[serde(default)]` and `#[serde(skip)]` field attributes. Encoding
+//! conventions match real serde: structs as objects, newtype structs as
+//! their inner value, externally tagged enums, missing `Option` fields as
+//! `None` (via null-probing `missing_field`), skipped fields omitted on
+//! write and defaulted on read, unknown fields ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -15,6 +16,9 @@ struct Field {
     /// `None` = required; `Some(None)` = `#[serde(default)]`;
     /// `Some(Some(path))` = `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `#[serde(skip)]`: omitted when writing, `Default::default()` when
+    /// reading.
+    skip: bool,
 }
 
 enum Shape {
@@ -42,9 +46,11 @@ struct Input {
 }
 
 /// Splits attribute tokens off the front of a token list, reporting any
-/// `#[serde(default)]` / `#[serde(default = "path")]` among them.
-fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<Option<String>>) {
+/// `#[serde(default)]` / `#[serde(default = "path")]` / `#[serde(skip)]`
+/// among them.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<Option<String>>, bool) {
     let mut has_default = None;
+    let mut has_skip = false;
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -58,6 +64,9 @@ fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<Option<String>
                             None => None,
                         });
                     }
+                    if text.starts_with("serde(") && text.contains("skip") {
+                        has_skip = true;
+                    }
                     i += 2;
                 } else {
                     break;
@@ -66,7 +75,7 @@ fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Option<Option<String>
             _ => break,
         }
     }
-    (i, has_default)
+    (i, has_default, has_skip)
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -105,7 +114,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let (ni, has_default) = skip_attrs(&toks, i);
+        let (ni, has_default, has_skip) = skip_attrs(&toks, i);
         i = skip_vis(&toks, ni);
         let name = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -126,6 +135,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             default: has_default,
+            skip: has_skip,
         });
     }
     fields
@@ -137,7 +147,7 @@ fn count_tuple_fields(group: TokenStream) -> usize {
     let mut count = 0;
     let mut i = 0;
     while i < toks.len() {
-        let (ni, _) = skip_attrs(&toks, i);
+        let (ni, _, _) = skip_attrs(&toks, i);
         i = skip_vis(&toks, ni);
         if i >= toks.len() {
             break;
@@ -158,7 +168,7 @@ fn parse_variants(group: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        let (ni, _) = skip_attrs(&toks, i);
+        let (ni, _, _) = skip_attrs(&toks, i);
         i = ni;
         let name = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -191,7 +201,7 @@ fn parse_variants(group: TokenStream) -> Vec<Variant> {
 
 fn parse_input(input: TokenStream) -> Input {
     let toks: Vec<TokenTree> = input.into_iter().collect();
-    let (mut i, _) = skip_attrs(&toks, 0);
+    let (mut i, _, _) = skip_attrs(&toks, 0);
     i = skip_vis(&toks, i);
     let keyword = match toks.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -233,6 +243,9 @@ fn parse_input(input: TokenStream) -> Input {
 fn named_fields_ser(fields: &[Field], access_prefix: &str) -> String {
     let mut out = String::from("let mut __map = ::serde::value::Map::new();\n");
     for f in fields {
+        if f.skip {
+            continue;
+        }
         out.push_str(&format!(
             "__map.insert(::std::string::String::from(\"{n}\"), \
              ::serde::ser::Serialize::ser_value({p}{n}));\n",
@@ -249,6 +262,13 @@ fn named_fields_ser(fields: &[Field], access_prefix: &str) -> String {
 fn named_fields_de(fields: &[Field]) -> String {
     let mut out = String::new();
     for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name,
+            ));
+            continue;
+        }
         let missing = match &f.default {
             // The default-fn path resolves in the deriving module's scope,
             // same as real serde.
