@@ -270,8 +270,9 @@ mod tests {
             slices_done: 0,
             estimated_energy_j: 0.0,
             retransmitted: Bytes::ZERO,
-            src_energy_j: 0.0,
-            dst_energy_j: 0.0,
+            ledger: eadt_telemetry::EnergyLedger::default(),
+            horizon_end: None,
+            open_spans: Vec::new(),
             moved_total: Bytes::ZERO,
             wire_bytes_f: 0.0,
             audit_gross: Bytes::ZERO,

@@ -59,6 +59,11 @@ pub enum Command {
         /// Complete an interrupted batch from `--checkpoint-dir` instead
         /// of starting over.
         resume: bool,
+        /// Write the fleet metrics rollup as Prometheus text exposition
+        /// here (also turns per-job metrics collection on).
+        metrics_out: Option<String>,
+        /// Gauge sampling cadence for `--metrics-out`, simulated seconds.
+        cadence_s: f64,
     },
     /// Run the SLAEE experiment over target percentages.
     Sla {
@@ -99,6 +104,25 @@ pub enum Command {
         journal: String,
         /// Optional Chrome `trace_event` output (open in Perfetto).
         chrome: Option<String>,
+        /// Timeline render width, columns.
+        width: usize,
+    },
+    /// Energy-attribution profile: where did every joule go?
+    Profile {
+        /// Algorithm to run (ignored with `--from`).
+        algorithm: AlgorithmKind,
+        /// Channel budget (`maxChannel`).
+        max_channel: u32,
+        /// SLA level for `slaee`.
+        sla_level: f64,
+        /// Pipelining for `--algorithm manual`.
+        pipelining: u32,
+        /// Parallelism for `--algorithm manual`.
+        parallelism: u32,
+        /// Profile a saved fleet report instead of running a transfer.
+        from: Option<String>,
+        /// Flame render width, columns.
+        width: usize,
     },
     /// The §4 network-energy analysis for one transfer.
     NetEnergy {
@@ -194,7 +218,9 @@ COMMANDS:
   trace      run one transfer with telemetry on, write the event journal
              (--algorithm, --out FILE, --cadence SECS)
   inspect    render a journal: summary, per-chunk timeline, decision log
-             (--journal FILE [--chrome FILE] for Perfetto)
+             (--journal FILE [--chrome FILE] for Perfetto [--width COLS])
+  profile    energy-attribution profile: joules by phase and component
+             (--algorithm … for one run, or --from FLEET.json for a fleet)
   help       this text
 
 OPTIONS:
@@ -217,9 +243,14 @@ OPTIONS:
   --figures          (fleet) run the full 3-testbed figures matrix
   --out FILE         (trace) journal path [default: trace.jsonl]
                      (fleet) write the merged report JSON here
-  --cadence SECS     (trace) gauge sampling cadence    [default: 1]
+  --cadence SECS     (trace, fleet --metrics-out) gauge sampling cadence
+                                                       [default: 1]
   --journal FILE     (inspect) journal to render
   --chrome FILE      (inspect) also export Chrome trace_event JSON
+  --width COLS       (inspect, profile) render width   [default: 72]
+  --from FILE        (profile) read a saved fleet report instead of running
+  --metrics-out FILE (fleet) write the metrics rollup as Prometheus text
+                     exposition (turns per-job metrics collection on)
   --json             machine-readable output
   --no-macro-step    execute every 100 ms slice instead of macro-stepping
                      steady stretches (same output, slower; for debugging
@@ -279,6 +310,9 @@ impl Cli {
         let mut chrome: Option<String> = None;
         let mut workers = 0usize;
         let mut figures = false;
+        let mut width = 72usize;
+        let mut from: Option<String> = None;
+        let mut metrics_out: Option<String> = None;
         let mut no_macro_step = false;
         let mut checkpoint_dir: Option<String> = None;
         let mut checkpoint_every = 600u64;
@@ -329,6 +363,9 @@ impl Cli {
                 "--chrome" => chrome = Some(value("--chrome")?.clone()),
                 "--workers" => workers = parse_num(value("--workers")?, "--workers")?,
                 "--figures" => figures = true,
+                "--width" => width = parse_num(value("--width")?, "--width")?,
+                "--from" => from = Some(value("--from")?.clone()),
+                "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
                 "--no-macro-step" => no_macro_step = true,
                 "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
                 "--checkpoint-every" => {
@@ -401,6 +438,9 @@ impl Cli {
                         "needs at least one algorithm and one level (or --figures)",
                     ));
                 }
+                if cadence_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(EadtError::invalid_argument("--cadence", "must be positive"));
+                }
                 Command::Fleet {
                     algorithms,
                     levels,
@@ -408,6 +448,8 @@ impl Cli {
                     figures,
                     out: out_file,
                     resume,
+                    metrics_out,
+                    cadence_s,
                 }
             }
             "sla" => {
@@ -439,12 +481,38 @@ impl Cli {
                     cadence_s,
                 }
             }
-            "inspect" => Command::Inspect {
-                journal: journal.ok_or_else(|| {
-                    EadtError::invalid_argument("inspect", "requires --journal FILE")
-                })?,
-                chrome,
-            },
+            "inspect" => {
+                if width < 20 {
+                    return Err(EadtError::invalid_argument(
+                        "--width",
+                        "must be at least 20 columns",
+                    ));
+                }
+                Command::Inspect {
+                    journal: journal.ok_or_else(|| {
+                        EadtError::invalid_argument("inspect", "requires --journal FILE")
+                    })?,
+                    chrome,
+                    width,
+                }
+            }
+            "profile" => {
+                if width < 20 {
+                    return Err(EadtError::invalid_argument(
+                        "--width",
+                        "must be at least 20 columns",
+                    ));
+                }
+                Command::Profile {
+                    algorithm,
+                    max_channel,
+                    sla_level,
+                    pipelining,
+                    parallelism,
+                    from,
+                    width,
+                }
+            }
             "netenergy" | "net-energy" => Command::NetEnergy {
                 algorithm,
                 max_channel,
@@ -576,6 +644,8 @@ mod tests {
                 figures,
                 out,
                 resume,
+                metrics_out,
+                cadence_s,
             } => {
                 assert_eq!(algorithms, vec![AlgorithmKind::Sc, AlgorithmKind::ProMc]);
                 assert_eq!(levels, vec![1, 4]);
@@ -583,6 +653,8 @@ mod tests {
                 assert!(!figures);
                 assert!(!resume);
                 assert_eq!(out.as_deref(), Some("/tmp/fleet.json"));
+                assert_eq!(metrics_out, None);
+                assert_eq!(cadence_s, 1.0);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -747,13 +819,75 @@ mod tests {
             cli.command,
             Command::Inspect {
                 journal: "j.jsonl".into(),
-                chrome: Some("t.json".into())
+                chrome: Some("t.json".into()),
+                width: 72,
             }
         );
         // inspect needs an input; trace needs a positive cadence.
         assert!(Cli::parse(&argv("inspect")).is_err());
         assert!(Cli::parse(&argv("trace --cadence 0")).is_err());
         assert!(Cli::parse(&argv("trace --cadence -2")).is_err());
+    }
+
+    #[test]
+    fn inspect_width_is_tunable_with_a_floor() {
+        let cli = Cli::parse(&argv("inspect --journal j.jsonl --width 120")).unwrap();
+        match cli.command {
+            Command::Inspect { width, .. } => assert_eq!(width, 120),
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Below the floor the timeline would degenerate to pure labels.
+        assert!(Cli::parse(&argv("inspect --journal j.jsonl --width 19")).is_err());
+        assert!(Cli::parse(&argv("inspect --journal j.jsonl --width nope")).is_err());
+    }
+
+    #[test]
+    fn profile_parses_run_and_from_forms() {
+        let cli = Cli::parse(&argv("profile --algorithm htee --max-channel 6")).unwrap();
+        match cli.command {
+            Command::Profile {
+                algorithm,
+                max_channel,
+                from,
+                width,
+                ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::Htee);
+                assert_eq!(max_channel, 6);
+                assert_eq!(from, None);
+                assert_eq!(width, 72);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(&argv("profile --from fleet.json --width 100")).unwrap();
+        match cli.command {
+            Command::Profile { from, width, .. } => {
+                assert_eq!(from.as_deref(), Some("fleet.json"));
+                assert_eq!(width, 100);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(&argv("profile --width 10")).is_err());
+    }
+
+    #[test]
+    fn fleet_metrics_out_parses_and_validates_cadence() {
+        let cli = Cli::parse(&argv(
+            "fleet --figures --metrics-out /tmp/m.prom --cadence 0.5",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Fleet {
+                metrics_out,
+                cadence_s,
+                ..
+            } => {
+                assert_eq!(metrics_out.as_deref(), Some("/tmp/m.prom"));
+                assert_eq!(cadence_s, 0.5);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(&argv("fleet --figures --metrics-out m.prom --cadence 0")).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::envfile;
 use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
 use eadt_core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt_dataset::{partition, Dataset};
-use eadt_fleet::{figures_matrix, JobSpec, Session};
+use eadt_fleet::{figures_matrix, FleetReport, JobSpec, Session};
 use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
 use eadt_sim::{EadtError, SimDuration, SimTime};
 use eadt_telemetry::{chrome, timeline, Event, Journal, Telemetry, SCHEMA_VERSION};
@@ -104,6 +104,8 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
             figures,
             out: report_path,
             resume,
+            metrics_out,
+            cadence_s,
         } => {
             let mut builder = Session::builder().root_seed(cli.seed);
             if *workers > 0 {
@@ -111,6 +113,9 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
             }
             if let Some(dir) = &cli.checkpoint_dir {
                 builder = builder.checkpoints(dir, cli.checkpoint_every);
+            }
+            if metrics_out.is_some() {
+                builder = builder.metrics(SimDuration::from_secs_f64(*cadence_s));
             }
             let session = builder.build();
             let jobs = if *figures {
@@ -172,6 +177,11 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
                 std::fs::write(path, report.to_json())
                     .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
                 writeln!(out, "[fleet report -> {path}]")?;
+            }
+            if let Some(path) = metrics_out {
+                std::fs::write(path, report.metrics.to_prometheus())
+                    .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                writeln!(out, "[fleet metrics -> {path}]")?;
             }
             Ok(())
         }
@@ -355,6 +365,7 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
         Command::Inspect {
             journal,
             chrome: chrome_path,
+            width,
         } => {
             let text = std::fs::read_to_string(journal)
                 .map_err(|e| EadtError::io(journal.clone(), e.to_string()))?;
@@ -362,13 +373,87 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
                 .map_err(|e| EadtError::io(journal.clone(), format!("cannot parse: {e}")))?;
             out.write_all(timeline::render_summary(&j).as_bytes())?;
             writeln!(out)?;
-            out.write_all(timeline::render_timeline(&j, 72).as_bytes())?;
+            out.write_all(timeline::render_timeline(&j, *width).as_bytes())?;
             writeln!(out)?;
             out.write_all(timeline::render_decisions(&j).as_bytes())?;
             if let Some(path) = chrome_path {
                 std::fs::write(path, chrome::to_chrome_trace(&j))
                     .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
                 writeln!(out, "[chrome trace -> {path}] (open in Perfetto)")?;
+            }
+            Ok(())
+        }
+        Command::Profile {
+            algorithm,
+            max_channel,
+            sla_level,
+            pipelining,
+            parallelism,
+            from,
+            width,
+        } => {
+            // Either re-read a saved fleet report's rolled-up ledger or run
+            // one transfer and profile it; both paths print the same flame.
+            let (source, ledger) = match from {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                    let report: FleetReport = serde_json::from_str(&text)
+                        .map_err(|e| EadtError::io(path.clone(), format!("cannot parse: {e}")))?;
+                    let label = format!(
+                        "fleet of {} jobs (root seed {})",
+                        report.metrics.jobs_total, report.root_seed
+                    );
+                    (label, report.metrics.ledger)
+                }
+                None => {
+                    let tb = resolve(cli)?;
+                    let dataset = make_dataset(cli, &tb, out)?;
+                    let report = if *algorithm == AlgorithmKind::Manual {
+                        let plan = eadt_transfer::uniform_plan(
+                            &dataset,
+                            eadt_transfer::TransferParams::new(
+                                *pipelining,
+                                *parallelism,
+                                *max_channel,
+                            ),
+                            eadt_endsys::Placement::PackFirst,
+                        );
+                        run_manual(&tb.env, &plan, cli.faults.fault_aware)
+                    } else {
+                        run_algorithm(
+                            &tb,
+                            &dataset,
+                            *algorithm,
+                            *max_channel,
+                            *sla_level,
+                            cli.faults.fault_aware,
+                        )
+                    };
+                    (algorithm.name().to_string(), report.ledger)
+                }
+            };
+            if cli.json {
+                let json = serde_json::json!({
+                    "source": source,
+                    "total_j": ledger.total_j(),
+                    "ledger": ledger,
+                });
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string_pretty(&json).expect("serializable")
+                )?;
+            } else {
+                writeln!(out, "profile: {source}")?;
+                writeln!(
+                    out,
+                    "total energy: {:.1} J (src {:.1} + dst {:.1})",
+                    ledger.total_j(),
+                    ledger.src.total_j(),
+                    ledger.dst.total_j()
+                )?;
+                out.write_all(ledger.render_flame(*width).as_bytes())?;
             }
             Ok(())
         }
@@ -1048,6 +1133,112 @@ mod tests {
         let jb = std::fs::read(&b).unwrap();
         assert!(!ja.is_empty());
         assert_eq!(ja, jb, "same seed must produce byte-identical journals");
+    }
+
+    #[test]
+    fn inspect_width_changes_timeline_columns() {
+        let dir = std::env::temp_dir().join("eadt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("width.jsonl");
+        let jp = jpath.to_string_lossy().into_owned();
+        run_cli(&format!(
+            "trace --testbed didclab --algorithm sc --scale 0.01 --out {jp}"
+        ));
+        let narrow = run_cli(&format!("inspect --journal {jp} --width 40"));
+        let wide = run_cli(&format!("inspect --journal {jp} --width 100"));
+        let max_line = |s: &str| s.lines().map(str::len).max().unwrap_or(0);
+        assert!(
+            max_line(&wide) > max_line(&narrow),
+            "wider --width must widen the render: {} vs {}",
+            max_line(&wide),
+            max_line(&narrow)
+        );
+    }
+
+    #[test]
+    fn profile_accounts_for_the_report_energy() {
+        let out = run_cli("profile --testbed didclab --algorithm htee --scale 0.01 --json");
+        let start = out.find('{').expect("json in output");
+        let v: serde_json::Value = serde_json::from_str(&out[start..]).unwrap();
+        assert_eq!(v["source"], "HTEE");
+        let total = v["total_j"].as_f64().unwrap();
+        assert!(total > 0.0);
+        let phases = [
+            "steady_j",
+            "probe_j",
+            "retransmit_j",
+            "backoff_idle_j",
+            "outage_idle_j",
+            "startup_j",
+        ];
+        for side in ["src", "dst"] {
+            for p in phases {
+                assert!(
+                    v["ledger"][side][p].as_f64().is_some(),
+                    "missing {side}.{p}"
+                );
+            }
+        }
+        // HTEE's probe windows must book probe-phase joules.
+        assert!(
+            v["ledger"]["src"]["probe_j"].as_f64().unwrap() > 0.0,
+            "{out}"
+        );
+
+        // Text mode draws the flame.
+        let out = run_cli("profile --testbed didclab --algorithm htee --scale 0.01");
+        assert!(out.contains("profile: HTEE"), "{out}");
+        assert!(out.contains("energy by phase"), "{out}");
+        assert!(out.contains("energy by component"), "{out}");
+        assert!(out.contains("probe"), "{out}");
+    }
+
+    #[test]
+    fn profile_from_fleet_report_uses_the_rollup() {
+        let dir = std::env::temp_dir().join(format!("eadt-cli-prof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.json");
+        let ps = path.to_string_lossy().into_owned();
+        run_cli(&format!(
+            "fleet --testbed didclab --algorithms sc,promc --levels 1 --scale 0.01 \
+             --seed 5 --out {ps}"
+        ));
+        let out = run_cli(&format!("profile --from {ps}"));
+        assert!(
+            out.contains("profile: fleet of 2 jobs (root seed 5)"),
+            "{out}"
+        );
+        assert!(out.contains("energy by phase"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_metrics_out_writes_deterministic_exposition() {
+        let dir = std::env::temp_dir().join(format!("eadt-cli-prom-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str, workers: u32| {
+            let p = dir.join(name);
+            let ps = p.to_string_lossy().into_owned();
+            let out = run_cli(&format!(
+                "fleet --testbed didclab --algorithms sc,mine --levels 1,2 --scale 0.01 \
+                 --seed 7 --workers {workers} --metrics-out {ps}"
+            ));
+            assert!(out.contains("fleet metrics ->"), "{out}");
+            std::fs::read_to_string(&p).unwrap()
+        };
+        let serial = run_once("a.prom", 1);
+        let parallel = run_once("b.prom", 4);
+        assert_eq!(serial, parallel, "exposition must not depend on workers");
+        assert!(
+            serial.contains("# TYPE eadt_fleet_jobs_total counter"),
+            "{serial}"
+        );
+        assert!(serial.contains("eadt_fleet_energy_joules{side=\"src\",phase=\"steady\"}"));
+        assert!(
+            serial.contains("eadt_fleet_channel_throughput_mbps_bucket{le=\"+Inf\"}"),
+            "{serial}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

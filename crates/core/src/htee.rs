@@ -133,6 +133,10 @@ struct HteeState {
     reprobe_interval: Option<SimDuration>,
     searches: u32,
     chosen_level: Option<u32>,
+    /// Whether the current probe window's span_begin was already emitted
+    /// (absent in pre-span checkpoints: no span was open).
+    #[serde(default)]
+    span_open: bool,
 }
 
 /// The controller implementing HTEE's search phase.
@@ -154,6 +158,8 @@ pub struct HteeController {
     pub chosen_level: Option<u32>,
     capture: bool,
     events: Vec<Event>,
+    /// True while a probe-window span is open (capture only).
+    span_open: bool,
 }
 
 impl HteeController {
@@ -174,6 +180,33 @@ impl HteeController {
             chosen_level: None,
             capture: false,
             events: Vec::new(),
+            span_open: false,
+        }
+    }
+
+    /// Opens a probe-window span for `level` (capture only). The façade
+    /// assigns the deterministic id.
+    fn open_probe_span(&mut self, level: u32) {
+        if self.capture {
+            self.events.push(Event::SpanBegin {
+                id: 0,
+                parent: 0,
+                kind: "probe".to_string(),
+                detail: format!("level {level}"),
+            });
+            self.span_open = true;
+        }
+    }
+
+    /// Closes the open probe-window span for `level`.
+    fn close_probe_span(&mut self, level: u32) {
+        if self.capture && self.span_open {
+            self.events.push(Event::SpanEnd {
+                id: 0,
+                kind: "probe".to_string(),
+                detail: format!("level {level}"),
+            });
+            self.span_open = false;
         }
     }
 
@@ -222,12 +255,18 @@ impl Controller for HteeController {
                                 targets: targets.clone(),
                             });
                         }
+                        self.open_probe_span(self.levels[0]);
                         return ControlAction::Reallocate(targets);
                     }
                 }
                 return ControlAction::Continue;
             }
         };
+        if self.capture && !self.span_open {
+            // First observed slice of this probe window (covers the very
+            // first window, whose start predates any controller event).
+            self.open_probe_span(self.levels[idx]);
+        }
         self.window_bytes += ctx.slice_bytes.as_f64();
         self.window_energy += ctx.slice_energy_j;
         let elapsed = ctx.now.since(self.window_start);
@@ -247,6 +286,7 @@ impl Controller for HteeController {
             });
         }
         self.ratios.push(ratio);
+        self.close_probe_span(self.levels[idx]);
         self.window_bytes = 0.0;
         self.window_energy = 0.0;
         self.window_start = ctx.now;
@@ -254,6 +294,7 @@ impl Controller for HteeController {
         let next = idx + 1;
         if next < self.levels.len() {
             self.phase = Phase::Searching { idx: next };
+            self.open_probe_span(self.levels[next]);
             ControlAction::Reallocate(weight_allocation_live(
                 &self.chunks,
                 &live,
@@ -283,6 +324,12 @@ impl Controller for HteeController {
             }
             ControlAction::Reallocate(weight_allocation_live(&self.chunks, &live, level))
         }
+    }
+
+    /// Searching windows sacrifice throughput to measure: the engine's
+    /// energy ledger books them under the `probe` phase.
+    fn probing(&self) -> bool {
+        matches!(self.phase, Phase::Searching { .. })
     }
 
     fn enable_event_capture(&mut self) {
@@ -326,6 +373,7 @@ impl Controller for HteeController {
                 reprobe_interval: self.reprobe_interval,
                 searches: self.searches,
                 chosen_level: self.chosen_level,
+                span_open: self.span_open,
             },
         )
     }
@@ -348,6 +396,7 @@ impl Controller for HteeController {
         self.reprobe_interval = state.reprobe_interval;
         self.searches = state.searches;
         self.chosen_level = state.chosen_level;
+        self.span_open = state.span_open;
         Ok(())
     }
 }

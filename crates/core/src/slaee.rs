@@ -135,6 +135,10 @@ struct SlaeeState {
     best_seen: Option<(u32, f64)>,
     frozen: bool,
     window_throughputs: Vec<(SimTime, f64)>,
+    /// Whether a rearrangement-round span is open (absent in pre-span
+    /// checkpoints: no span was open).
+    #[serde(default)]
+    round_open: bool,
 }
 
 /// The controller implementing SLAEE's adaptation loop.
@@ -167,6 +171,8 @@ pub struct SlaeeController {
     pub window_throughputs: Vec<(SimTime, f64)>,
     capture: bool,
     events: Vec<Event>,
+    /// True while a rearrangement-round span is open (capture only).
+    round_open: bool,
 }
 
 impl SlaeeController {
@@ -192,6 +198,7 @@ impl SlaeeController {
             window_throughputs: Vec::new(),
             capture: false,
             events: Vec::new(),
+            round_open: false,
         }
     }
 
@@ -200,10 +207,19 @@ impl SlaeeController {
     }
 
     /// Emits the allocation for the current state, logging `reason` when
-    /// event capture is on.
+    /// event capture is on. Each decision opens a rearrangement-round
+    /// span covering the probe window that evaluates the new allocation
+    /// (closed at the next window boundary).
     fn decide(&mut self, reason: String, live: &[bool]) -> ControlAction {
         let targets = self.allocation(live);
         if self.capture {
+            self.events.push(Event::SpanBegin {
+                id: 0,
+                parent: 0,
+                kind: "round".to_string(),
+                detail: reason.clone(),
+            });
+            self.round_open = true;
             self.events.push(Event::Decision {
                 reason,
                 targets: targets.clone(),
@@ -227,6 +243,15 @@ impl Controller for SlaeeController {
         self.window_throughputs.push((ctx.now, actual_mbps));
         self.window_start_total = ctx.total_bytes;
         self.window_start = ctx.now;
+        // The window that evaluated the previous decision just closed.
+        if self.capture && self.round_open {
+            self.events.push(Event::SpanEnd {
+                id: 0,
+                kind: "round".to_string(),
+                detail: String::new(),
+            });
+            self.round_open = false;
+        }
 
         let target_mbps = self.target.as_mbps();
         // Gradient guard: on paths where extra channels *reduce* throughput
@@ -358,6 +383,7 @@ impl Controller for SlaeeController {
                 best_seen: self.best_seen,
                 frozen: self.frozen,
                 window_throughputs: self.window_throughputs.clone(),
+                round_open: self.round_open,
             },
         )
     }
@@ -377,6 +403,7 @@ impl Controller for SlaeeController {
         self.best_seen = state.best_seen;
         self.frozen = state.frozen;
         self.window_throughputs = state.window_throughputs;
+        self.round_open = state.round_open;
         Ok(())
     }
 }

@@ -6,6 +6,7 @@ use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, Singl
 use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, RunCtx, Slaee};
 use eadt_dataset::Dataset;
 use eadt_sim::Rate;
+use eadt_telemetry::Telemetry;
 use eadt_transfer::{RunControl, RunOutcome, TransferReport};
 
 /// Runs one job at the given seed and returns the engine's report.
@@ -60,7 +61,18 @@ impl<'a> JobRunner<'a> {
     }
 
     fn ctx<'b>(spec: &'b JobSpec, dataset: &'b Dataset) -> RunCtx<'b> {
-        let mut ctx = RunCtx::new(&spec.env.env, dataset);
+        Self::ctx_with(spec, dataset, None)
+    }
+
+    fn ctx_with<'b>(
+        spec: &'b JobSpec,
+        dataset: &'b Dataset,
+        tel: Option<&'b mut Telemetry>,
+    ) -> RunCtx<'b> {
+        let mut ctx = match tel {
+            Some(tel) => RunCtx::with_telemetry(&spec.env.env, dataset, tel),
+            None => RunCtx::new(&spec.env.env, dataset),
+        };
         match &spec.faults {
             FaultOverride::Inherit => {}
             FaultOverride::Disable => {
@@ -77,9 +89,22 @@ impl<'a> JobRunner<'a> {
     /// per `ctl`). Calling this repeatedly with the default control always
     /// reproduces the same report.
     pub fn run_controlled(&self, ctl: RunControl) -> RunOutcome {
+        self.run_with(ctl, None)
+    }
+
+    /// Like [`JobRunner::run_controlled`], but recording into `tel` —
+    /// the fleet's metrics-collection path. When `tel` carries a metrics
+    /// registry the engine samples its gauges and histograms into it,
+    /// and a resume restores the registry from the checkpoint before
+    /// continuing, so the final snapshot is interrupt-invariant.
+    pub fn run_instrumented(&self, ctl: RunControl, tel: &mut Telemetry) -> RunOutcome {
+        self.run_with(ctl, Some(tel))
+    }
+
+    fn run_with(&self, ctl: RunControl, tel: Option<&mut Telemetry>) -> RunOutcome {
         let spec = self.spec;
         let partition = spec.env.partition;
-        let mut ctx = Self::ctx(spec, &self.dataset);
+        let mut ctx = Self::ctx_with(spec, &self.dataset, tel);
         match spec.kind {
             AlgorithmKind::MinE => MinE {
                 partition,

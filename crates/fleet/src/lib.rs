@@ -45,12 +45,14 @@
 
 mod dispatch;
 mod matrix;
+mod rollup;
 mod seed;
 mod session;
 mod spec;
 
 pub use dispatch::{run_job, JobRunner};
 pub use matrix::{figures_matrix, sweep_matrix};
+pub use rollup::FleetMetrics;
 pub use seed::derive_job_seed;
 pub use session::{FleetReport, JobOutcome, Session, SessionBuilder, FLEET_SCHEMA_VERSION};
 pub use spec::{FaultOverride, JobSpec};

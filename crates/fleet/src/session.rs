@@ -2,10 +2,12 @@
 //! merge-ordered results, optional crash-safe checkpointing.
 
 use crate::dispatch::{run_job, JobRunner};
+use crate::rollup::FleetMetrics;
 use crate::seed::derive_job_seed;
 use crate::spec::JobSpec;
 use eadt_ckpt::{CheckpointStore, JobCheckpoint, JOB_CHECKPOINT_SCHEMA_VERSION};
-use eadt_sim::{EadtError, ErrorKind};
+use eadt_sim::{EadtError, ErrorKind, SimDuration};
+use eadt_telemetry::{EnergyLedger, MetricsRegistry, MetricsSnapshot, Telemetry};
 use eadt_transfer::{RunControl, RunOutcome, TransferReport};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -13,8 +15,15 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Version stamped into [`FleetReport`] JSON.
-pub const FLEET_SCHEMA_VERSION: u32 = 1;
+/// Version stamped into [`FleetReport`] JSON. Version 2 added the
+/// per-job rollup fields (wire/retry counters, the energy ledger, the
+/// optional metrics snapshot) and the fleet-wide `metrics` rollup.
+pub const FLEET_SCHEMA_VERSION: u32 = 2;
+
+/// What one invocation of the job-runner closure produced: the engine's
+/// report plus, when the session collects metrics, the registry snapshot
+/// the run sampled into.
+type JobRun = (TransferReport, Option<MetricsSnapshot>);
 
 /// Builder for [`Session`].
 #[derive(Debug, Clone, Default)]
@@ -22,6 +31,7 @@ pub struct SessionBuilder {
     root_seed: u64,
     workers: Option<usize>,
     checkpoint: Option<(PathBuf, u64)>,
+    metrics: Option<SimDuration>,
 }
 
 impl SessionBuilder {
@@ -48,6 +58,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables per-job metrics collection: every job runs with a
+    /// [`MetricsRegistry`] sampling on `cadence`, its final snapshot
+    /// rides in the [`JobOutcome`], and the fleet rollup merges the
+    /// engine histograms bucket-wise. Off by default — the registry adds
+    /// per-slice work to every job.
+    pub fn metrics(mut self, cadence: SimDuration) -> Self {
+        self.metrics = Some(cadence);
+        self
+    }
+
     /// Builds the session.
     pub fn build(self) -> Session {
         let workers = self.workers.unwrap_or_else(|| {
@@ -59,6 +79,7 @@ impl SessionBuilder {
             checkpoint: self
                 .checkpoint
                 .map(|(dir, every)| Checkpointing { dir, every }),
+            metrics: self.metrics,
         }
     }
 }
@@ -90,6 +111,7 @@ pub struct Session {
     root_seed: u64,
     workers: usize,
     checkpoint: Option<Checkpointing>,
+    metrics: Option<SimDuration>,
 }
 
 impl Session {
@@ -153,10 +175,21 @@ impl Session {
 
     /// The production job executor: checkpointed when the session has a
     /// cadence configured, straight-through otherwise.
-    fn default_runner(&self) -> impl Fn(usize, &JobSpec, u64) -> TransferReport + Sync + '_ {
+    fn default_runner(&self) -> impl Fn(usize, &JobSpec, u64) -> JobRun + Sync + '_ {
         move |index, job, seed| match &self.checkpoint {
-            None => run_job(job, seed),
-            Some(cfg) => run_job_checkpointed(cfg, index, job, seed),
+            None => match self.metrics {
+                None => (run_job(job, seed), None),
+                Some(cadence) => {
+                    let mut tel = Telemetry::from_parts(None, Some(MetricsRegistry::new(cadence)));
+                    let report = JobRunner::prepare(job, seed)
+                        .run_instrumented(RunControl::default(), &mut tel)
+                        .into_report()
+                        .expect("no halt boundary configured");
+                    let snap = tel.metrics_ref().map(MetricsRegistry::snapshot);
+                    (report, snap)
+                }
+            },
+            Some(cfg) => run_job_checkpointed(cfg, self.metrics, index, job, seed),
         }
     }
 
@@ -166,7 +199,7 @@ impl Session {
         &self,
         jobs: &[JobSpec],
         resume: bool,
-        run: &(dyn Fn(usize, &JobSpec, u64) -> TransferReport + Sync),
+        run: &(dyn Fn(usize, &JobSpec, u64) -> JobRun + Sync),
     ) -> FleetReport {
         let checkpoint = self.checkpoint.as_ref();
         let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -207,9 +240,11 @@ impl Session {
                     })
             })
             .collect();
+        let metrics = FleetMetrics::rollup(&jobs);
         FleetReport {
             schema: FLEET_SCHEMA_VERSION,
             root_seed: self.root_seed,
+            metrics,
             jobs,
         }
     }
@@ -227,7 +262,7 @@ fn execute_job(
     root_seed: u64,
     index: usize,
     job: &JobSpec,
-    run: &(dyn Fn(usize, &JobSpec, u64) -> TransferReport + Sync),
+    run: &(dyn Fn(usize, &JobSpec, u64) -> JobRun + Sync),
 ) -> JobOutcome {
     let seed = job
         .seed
@@ -240,8 +275,8 @@ fn execute_job(
         }
     }
     let executed = catch_unwind(AssertUnwindSafe(|| {
-        let report = run(index, job, seed);
-        let outcome = JobOutcome::from_report(index, job, seed, report);
+        let (report, metrics) = run(index, job, seed);
+        let outcome = JobOutcome::from_report(index, job, seed, report, metrics);
         if let Some(cfg) = checkpoint {
             persist_outcome(cfg, &outcome);
         }
@@ -274,14 +309,19 @@ fn execute_job(
 /// failures panic (booked as the job's outcome by the caller).
 fn run_job_checkpointed(
     cfg: &Checkpointing,
+    metrics: Option<SimDuration>,
     index: usize,
     job: &JobSpec,
     seed: u64,
-) -> TransferReport {
+) -> JobRun {
     let store = cfg.open();
     let every = cfg.every.max(1);
     let label = job.display_label();
     let runner = JobRunner::prepare(job, seed);
+    // A fresh registry per leg is fine: a resume restores the registry's
+    // contents from the checkpoint before the engine moves, so the final
+    // snapshot is interrupt-invariant.
+    let mut tel = Telemetry::from_parts(None, metrics.map(MetricsRegistry::new));
     let mut ctl = match store
         .load_job_checkpoint(index)
         .unwrap_or_else(|e| panic!("{e}"))
@@ -297,8 +337,11 @@ fn run_job_checkpointed(
         None => RunControl::halt_at(every),
     };
     loop {
-        match runner.run_controlled(ctl) {
-            RunOutcome::Done(report) => return report,
+        match runner.run_instrumented(ctl, &mut tel) {
+            RunOutcome::Done(report) => {
+                let snap = tel.metrics_ref().map(MetricsRegistry::snapshot);
+                return (report, snap);
+            }
             RunOutcome::Halted(engine) => {
                 let halt = engine.slices_done + every;
                 let ck = JobCheckpoint {
@@ -384,6 +427,30 @@ pub struct JobOutcome {
     pub efficiency: f64,
     /// Injected channel failures over the run.
     pub failures: u64,
+    /// Bytes that crossed the wire, retransmissions included.
+    #[serde(default)]
+    pub wire_bytes: u64,
+    /// Packets pushed through the path (data + control).
+    #[serde(default)]
+    pub packets: u64,
+    /// Reconnection attempts scheduled.
+    #[serde(default)]
+    pub retries: u64,
+    /// Circuit-breaker open transitions.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Progress lost to marker-less restarts and moved again.
+    #[serde(default)]
+    pub retransmitted_bytes: u64,
+    /// Phase/component energy attribution for the job (what the fleet
+    /// rollup sums and `eadt profile --from` renders).
+    #[serde(default)]
+    pub ledger: EnergyLedger,
+    /// Final metrics-registry snapshot, when the session collects
+    /// metrics. Persisted with the outcome so a resumed batch re-admits
+    /// finished jobs with their histograms intact.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
     /// Coarse error class (`None` for a clean run).
     pub error_kind: Option<String>,
     /// Human-readable error (`None` for a clean run).
@@ -395,7 +462,13 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    fn from_report(index: usize, job: &JobSpec, seed: u64, report: TransferReport) -> Self {
+    fn from_report(
+        index: usize,
+        job: &JobSpec,
+        seed: u64,
+        report: TransferReport,
+        metrics: Option<MetricsSnapshot>,
+    ) -> Self {
         let failure = report.failure();
         JobOutcome {
             job: index,
@@ -411,6 +484,13 @@ impl JobOutcome {
             energy_j: report.total_energy_j(),
             efficiency: report.efficiency(),
             failures: report.failures,
+            wire_bytes: report.wire_bytes.as_u64(),
+            packets: report.packets,
+            retries: report.faults.retries,
+            breaker_opens: report.faults.breaker_opens,
+            retransmitted_bytes: report.faults.retransmitted_bytes.as_u64(),
+            ledger: report.ledger,
+            metrics,
             error_kind: failure.as_ref().map(|e| e.kind().as_str().to_string()),
             error: failure.as_ref().map(EadtError::to_string),
             report: Some(report),
@@ -432,6 +512,13 @@ impl JobOutcome {
             energy_j: 0.0,
             efficiency: 0.0,
             failures: 0,
+            wire_bytes: 0,
+            packets: 0,
+            retries: 0,
+            breaker_opens: 0,
+            retransmitted_bytes: 0,
+            ledger: EnergyLedger::default(),
+            metrics: None,
             error_kind: Some(error.kind().as_str().to_string()),
             error: Some(error.to_string()),
             report: None,
@@ -453,6 +540,13 @@ impl JobOutcome {
             energy_j: 0.0,
             efficiency: 0.0,
             failures: 0,
+            wire_bytes: 0,
+            packets: 0,
+            retries: 0,
+            breaker_opens: 0,
+            retransmitted_bytes: 0,
+            ledger: EnergyLedger::default(),
+            metrics: None,
             error_kind: Some(ErrorKind::JobFailed.as_str().to_string()),
             error: Some("job result slot was never filled".to_string()),
             report: None,
@@ -461,12 +555,16 @@ impl JobOutcome {
 }
 
 /// The merged result of a batch, in job order.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Report schema version ([`FLEET_SCHEMA_VERSION`]).
     pub schema: u32,
     /// The root seed the batch ran at.
     pub root_seed: u64,
+    /// Fleet-wide rollup: counters summed, histograms merged bucket-wise,
+    /// ledgers added — all in job-index order.
+    #[serde(default)]
+    pub metrics: FleetMetrics,
     /// Per-job outcomes, index-ordered (independent of execution order).
     pub jobs: Vec<JobOutcome>,
 }
@@ -579,7 +677,7 @@ mod tests {
             if index == 1 {
                 panic!("injected chaos payload");
             }
-            run_job(job, seed)
+            (run_job(job, seed), None)
         });
         assert_eq!(report.error_count(), 1);
         assert_eq!(report.completed_count(), 2);
@@ -665,6 +763,87 @@ mod tests {
             .resume(&jobs);
         assert_eq!(resumed.to_json(), baseline.to_json());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollup_rides_the_report_and_is_worker_invariant() {
+        let jobs = small_jobs();
+        let serial = Session::builder()
+            .root_seed(5)
+            .workers(1)
+            .metrics(eadt_sim::SimDuration::from_secs(1))
+            .build()
+            .run(&jobs);
+        let parallel = Session::builder()
+            .root_seed(5)
+            .workers(3)
+            .metrics(eadt_sim::SimDuration::from_secs(1))
+            .build()
+            .run(&jobs);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        let m = &serial.metrics;
+        assert_eq!(m.jobs_total, 3);
+        assert_eq!(m.jobs_completed, 3);
+        assert!(m.bytes_moved > 0);
+        assert!(m.energy_j > 0.0);
+        assert!(!m.ledger.is_empty());
+        assert!(
+            m.histograms
+                .iter()
+                .any(|h| h.name == "channel_throughput_mbps"),
+            "engine histograms should be merged into the rollup"
+        );
+        assert_eq!(
+            m.to_prometheus(),
+            parallel.metrics.to_prometheus(),
+            "exposition must be worker-invariant"
+        );
+        // Without metrics collection the rollup still carries counters
+        // and ledgers, just no histograms.
+        let plain = Session::builder().root_seed(5).build().run(&jobs);
+        assert!(plain.metrics.histograms.is_empty());
+        assert_eq!(plain.metrics.bytes_moved, m.bytes_moved);
+        assert_eq!(plain.metrics.energy_j, m.energy_j);
+    }
+
+    #[test]
+    fn checkpointed_metrics_rollup_matches_straight_run() {
+        let jobs = small_jobs();
+        let cadence = eadt_sim::SimDuration::from_secs(1);
+        let plain = Session::builder()
+            .root_seed(5)
+            .workers(1)
+            .metrics(cadence)
+            .build()
+            .run(&jobs);
+        let dir = ckpt_dir("metrics");
+        let checkpointed = Session::builder()
+            .root_seed(5)
+            .workers(2)
+            .metrics(cadence)
+            .checkpoints(&dir, 4)
+            .build()
+            .run(&jobs);
+        assert_eq!(plain.to_json(), checkpointed.to_json());
+        assert_eq!(
+            plain.metrics.to_prometheus(),
+            checkpointed.metrics.to_prometheus()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_report_json_round_trips() {
+        let report = Session::builder()
+            .root_seed(11)
+            .workers(1)
+            .metrics(eadt_sim::SimDuration::from_secs(1))
+            .build()
+            .run(&small_jobs()[..1]);
+        let text = report.to_json();
+        let back: FleetReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.schema, FLEET_SCHEMA_VERSION);
+        assert_eq!(back.to_json(), text, "round trip must be byte-identical");
     }
 
     #[test]

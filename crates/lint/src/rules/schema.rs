@@ -324,6 +324,8 @@ mod tests {
             RunStart { schema: u32, seed: u64 },
             StageStart { stage: u32 },
             FaultEpisode { side: Option<Side>, active: bool },
+            SpanBegin { id: u64, parent: u64, kind: String, detail: String },
+            SpanEnd { id: u64, kind: String, detail: String },
         }
         impl Event {
             pub fn tag(&self) -> &'static str {
@@ -331,6 +333,8 @@ mod tests {
                     Event::RunStart { .. } => "run_start",
                     Event::StageStart { .. } => "stage_start",
                     Event::FaultEpisode { .. } => "fault_episode",
+                    Event::SpanBegin { .. } => "span_begin",
+                    Event::SpanEnd { .. } => "span_end",
                 }
             }
         }
@@ -344,6 +348,8 @@ mod tests {
 | `run_start` | tracer | `schema`, `seed` |
 | `stage_start` | engine | `stage` |
 | `fault_episode` | runtime | `side?`, `active` |
+| `span_begin` | engine, controllers | `id`, `parent`, `kind`, `detail` |
+| `span_end` | engine, controllers | `id`, `kind`, `detail` |
 
 ## 10. Next
 ";
@@ -378,9 +384,31 @@ mod tests {
     fn optional_marker_and_generics_are_handled() {
         let toks = tokenize(EVENT_SRC);
         let vars = parse_event_variants(&toks);
-        assert_eq!(vars.len(), 3);
+        assert_eq!(vars.len(), 5);
         assert_eq!(vars[2].fields, vec!["side", "active"]);
         let rows = parse_doc_rows(GOOD_DOC);
         assert_eq!(rows[2].fields, vec!["side", "active"]);
+    }
+
+    #[test]
+    fn span_field_drift_is_flagged() {
+        // Dropping `parent` from the span_begin row must be caught: the
+        // span schema is what external trace readers key nesting on.
+        let doc = GOOD_DOC.replace(
+            "| `span_begin` | engine, controllers | `id`, `parent`, `kind`, `detail` |",
+            "| `span_begin` | engine, controllers | `id`, `kind`, `detail` |",
+        );
+        let v = check(EVENT_SRC, "event.rs", &doc, "DESIGN.md");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("span_begin"), "{v:?}");
+        assert!(v[0].message.contains("parent"), "{v:?}");
+
+        // An undocumented span kind variant is caught from the code side.
+        let src = EVENT_SRC.replace(
+            "Event::SpanEnd { .. } => \"span_end\",",
+            "Event::SpanEnd { .. } => \"span_close\",",
+        );
+        let v = check(&src, "event.rs", GOOD_DOC, "DESIGN.md");
+        assert!(v.iter().any(|v| v.message.contains("span_close")), "{v:?}");
     }
 }

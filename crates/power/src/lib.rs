@@ -27,4 +27,6 @@ pub mod model;
 
 pub use calibrate::{CalibrationOutcome, GroundTruth, ToolProfile};
 pub use meter::EnergyMeter;
-pub use model::{cpu_coefficient, CpuOnlyModel, FineGrainedModel, PowerModel, PowerModelKind};
+pub use model::{
+    cpu_coefficient, CpuOnlyModel, FineGrainedModel, PowerBreakdown, PowerModel, PowerModelKind,
+};

@@ -26,10 +26,51 @@ pub fn cpu_coefficient(active_cores: u32) -> f64 {
     0.011 * n * n - 0.082 * n + 0.344
 }
 
+/// Per-component split of one power prediction, Watts. Produced by
+/// [`PowerModel::power_components`] for the energy-attribution profiler;
+/// the component view is approximate (it apportions by the model's own
+/// utilization terms) while the phase ledger carries the exact total.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// CPU share, Watts.
+    pub cpu_w: f64,
+    /// NIC share, Watts.
+    pub nic_w: f64,
+    /// Disk share, Watts.
+    pub disk_w: f64,
+    /// Everything else the model tracks (memory, unmodeled).
+    pub other_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum of the four components.
+    pub fn total(&self) -> f64 {
+        self.cpu_w + self.nic_w + self.disk_w + self.other_w
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &PowerBreakdown) {
+        self.cpu_w += other.cpu_w;
+        self.nic_w += other.nic_w;
+        self.disk_w += other.disk_w;
+        self.other_w += other.other_w;
+    }
+}
+
 /// Anything that predicts instantaneous server power from utilization.
 pub trait PowerModel {
     /// Predicted power draw in Watts for the given utilization snapshot.
     fn power_watts(&self, util: &Utilization) -> f64;
+
+    /// The same prediction split by hardware component. The default
+    /// books everything under `other_w`; models that know their terms
+    /// override this.
+    fn power_components(&self, util: &Utilization) -> PowerBreakdown {
+        PowerBreakdown {
+            other_w: self.power_watts(util),
+            ..PowerBreakdown::default()
+        }
+    }
 
     /// Short label for reports.
     fn name(&self) -> &str;
@@ -84,6 +125,15 @@ impl PowerModel for FineGrainedModel {
             + self.c_memory * util.memory
             + self.c_disk * util.disk
             + self.c_nic * util.nic
+    }
+
+    fn power_components(&self, util: &Utilization) -> PowerBreakdown {
+        PowerBreakdown {
+            cpu_w: self.c_cpu(util.active_cores) * util.cpu,
+            nic_w: self.c_nic * util.nic,
+            disk_w: self.c_disk * util.disk,
+            other_w: self.c_memory * util.memory,
+        }
     }
 
     fn name(&self) -> &str {
@@ -146,6 +196,14 @@ impl PowerModel for CpuOnlyModel {
         self.cpu_weight * cpu_coefficient(util.active_cores) * util.cpu * self.tdp_ratio()
     }
 
+    fn power_components(&self, util: &Utilization) -> PowerBreakdown {
+        // The CPU-only predictor sees nothing but CPU utilization.
+        PowerBreakdown {
+            cpu_w: self.power_watts(util),
+            ..PowerBreakdown::default()
+        }
+    }
+
     fn name(&self) -> &str {
         "cpu-only"
     }
@@ -168,6 +226,13 @@ impl PowerModel for PowerModelKind {
         match self {
             PowerModelKind::FineGrained(m) => m.power_watts(util),
             PowerModelKind::CpuOnly(m) => m.power_watts(util),
+        }
+    }
+
+    fn power_components(&self, util: &Utilization) -> PowerBreakdown {
+        match self {
+            PowerModelKind::FineGrained(m) => m.power_components(util),
+            PowerModelKind::CpuOnly(m) => m.power_components(util),
         }
     }
 
@@ -277,6 +342,26 @@ mod tests {
     fn model_names() {
         assert_eq!(FineGrainedModel::paper_default().name(), "fine-grained");
         assert_eq!(CpuOnlyModel::local(1.0, 100.0).name(), "cpu-only");
+    }
+
+    #[test]
+    fn component_split_sums_to_the_total_prediction() {
+        let u = util(50.0, 40.0, 30.0, 20.0, 4);
+        let fine = FineGrainedModel::paper_default();
+        let parts = fine.power_components(&u);
+        assert!((parts.total() - fine.power_watts(&u)).abs() < 1e-12);
+        assert!((parts.cpu_w - 0.192 * 50.0).abs() < 1e-9);
+        assert!((parts.nic_w - 0.05 * 20.0).abs() < 1e-12);
+        assert!((parts.disk_w - 0.06 * 30.0).abs() < 1e-12);
+        assert!((parts.other_w - 0.03 * 40.0).abs() < 1e-12);
+
+        let cpu = CpuOnlyModel::local(1.4, 115.0);
+        let parts = cpu.power_components(&u);
+        assert_eq!(parts.cpu_w, cpu.power_watts(&u));
+        assert_eq!(parts.nic_w + parts.disk_w + parts.other_w, 0.0);
+
+        let kind = PowerModelKind::FineGrained(fine);
+        assert_eq!(kind.power_components(&u), fine.power_components(&u));
     }
 
     #[test]

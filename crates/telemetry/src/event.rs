@@ -282,6 +282,35 @@ pub enum Event {
         /// True when the server picked up its first working channel.
         active: bool,
     },
+    /// A causal span opened (probe window, retry chain, quarantine,
+    /// macro-step horizon, …). Emitters may leave `id` as 0; the
+    /// [`Telemetry`](crate::Telemetry) façade then assigns the
+    /// deterministic id `1 + seq` of this record and fills `parent` with
+    /// the innermost still-open span (0 = root).
+    SpanBegin {
+        /// Deterministic span id (`1 + seq` of the begin record).
+        id: u64,
+        /// Id of the enclosing open span, 0 when the span is top-level.
+        parent: u64,
+        /// Span taxonomy kind (`probe`, `retry`, `quarantine`, `horizon`,
+        /// `rearrange`, …; see DESIGN.md §14).
+        kind: String,
+        /// Free-text detail (probed level, server, horizon source, …).
+        detail: String,
+    },
+    /// A causal span closed. Emitters may leave `id` as 0 and `detail`
+    /// empty; the façade matches the innermost open span of the same
+    /// `kind` (and `detail`, when given) and fills the id in.
+    SpanEnd {
+        /// Id assigned by the matching [`Event::SpanBegin`] (0 when no
+        /// open span matched).
+        id: u64,
+        /// Span taxonomy kind, mirrors the begin record.
+        kind: String,
+        /// Free-text detail (may differ from the begin's, e.g. an
+        /// outcome annotation).
+        detail: String,
+    },
     /// A periodic metrics sample (cadence set by the tracer).
     Sample {
         /// Aggregate goodput over the last slice, Mbps.
@@ -327,6 +356,8 @@ impl Event {
             Event::Breaker { .. } => "breaker",
             Event::FaultEpisode { .. } => "fault_episode",
             Event::PowerState { .. } => "power_state",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
             Event::Sample { .. } => "sample",
             Event::RunEnd { .. } => "run_end",
         }
@@ -481,6 +512,23 @@ impl Event {
                     side.as_str()
                 );
             }
+            Event::SpanBegin {
+                id,
+                parent,
+                kind,
+                detail,
+            } => {
+                let _ = write!(s, ",\"id\":{id},\"parent\":{parent},\"kind\":");
+                write_json_str(s, kind);
+                s.push_str(",\"detail\":");
+                write_json_str(s, detail);
+            }
+            Event::SpanEnd { id, kind, detail } => {
+                let _ = write!(s, ",\"id\":{id},\"kind\":");
+                write_json_str(s, kind);
+                s.push_str(",\"detail\":");
+                write_json_str(s, detail);
+            }
             Event::Sample {
                 throughput_mbps,
                 power_w,
@@ -604,6 +652,17 @@ impl Event {
                 side: Side::parse(&get_string(m, "side")?)?,
                 server: get_u32(m, "server")?,
                 active: get_bool(m, "active")?,
+            }),
+            "span_begin" => Ok(Event::SpanBegin {
+                id: get_u64(m, "id")?,
+                parent: get_u64(m, "parent")?,
+                kind: get_string(m, "kind")?,
+                detail: get_string(m, "detail")?,
+            }),
+            "span_end" => Ok(Event::SpanEnd {
+                id: get_u64(m, "id")?,
+                kind: get_string(m, "kind")?,
+                detail: get_string(m, "detail")?,
             }),
             "sample" => Ok(Event::Sample {
                 throughput_mbps: get_f64(m, "throughput_mbps")?,
@@ -1051,6 +1110,17 @@ mod tests {
                 side: Side::Src,
                 server: 0,
                 active: true,
+            },
+            Event::SpanBegin {
+                id: 10,
+                parent: 3,
+                kind: "probe".into(),
+                detail: "level 3".into(),
+            },
+            Event::SpanEnd {
+                id: 10,
+                kind: "probe".into(),
+                detail: "ratio 694.9".into(),
             },
             Event::Sample {
                 throughput_mbps: 420.0,

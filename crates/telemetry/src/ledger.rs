@@ -1,0 +1,330 @@
+//! Energy-attribution ledger: where did every joule go?
+//!
+//! The engine splits each slice's end-system energy into exactly one
+//! *phase* bucket per site (probe, steady transfer, retransmit, backoff
+//! idle, outage idle, startup) and, in parallel, into approximate
+//! *component* buckets (cpu/nic/disk/other). The phase buckets are the
+//! authoritative split: [`SideLedger::total_j`] sums them in one fixed
+//! order, and the engine derives the report's `src_energy_j`/`dst_energy_j`
+//! from that very sum — so the profile accounts for 100% of the report
+//! energy within 0 ULP by construction (asserted under
+//! `debug-invariants`). The component split shares the same accumulation
+//! discipline but is a *view*, not a conservation law: a slice's watts
+//! are apportioned by the power model's utilization weights.
+//!
+//! Ledgers are pure data: `Copy`, serializable (every field
+//! `#[serde(default)]` so old reports parse), and additive — fleet
+//! rollup merges per-job ledgers by summing buckets in job-index order.
+
+use serde::{Deserialize, Serialize};
+
+/// The transfer phase a slice's energy is attributed to. Classification
+/// is by priority: a slice that both retransmits and sits in backoff
+/// books as retransmit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyPhase {
+    /// A controller was probing (HTEE's search windows).
+    Probe,
+    /// At least one channel was killed this slice (lost work).
+    Retransmit,
+    /// An outage episode was active on some server.
+    OutageIdle,
+    /// Channels were waiting out a backoff/cooldown.
+    BackoffIdle,
+    /// Nothing moved yet (connection ramp before the first byte).
+    Startup,
+    /// Plain steady transfer.
+    Steady,
+}
+
+impl EnergyPhase {
+    /// All phases, in the canonical summation/rendering order.
+    pub const ALL: [EnergyPhase; 6] = [
+        EnergyPhase::Steady,
+        EnergyPhase::Probe,
+        EnergyPhase::Retransmit,
+        EnergyPhase::BackoffIdle,
+        EnergyPhase::OutageIdle,
+        EnergyPhase::Startup,
+    ];
+
+    /// Stable spelling used in JSON profiles and metric labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EnergyPhase::Steady => "steady",
+            EnergyPhase::Probe => "probe",
+            EnergyPhase::Retransmit => "retransmit",
+            EnergyPhase::BackoffIdle => "backoff_idle",
+            EnergyPhase::OutageIdle => "outage_idle",
+            EnergyPhase::Startup => "startup",
+        }
+    }
+}
+
+/// One site's energy split by phase and (approximately) by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SideLedger {
+    /// Joules booked while the transfer had moved no bytes yet.
+    #[serde(default)]
+    pub startup_j: f64,
+    /// Joules booked during controller probe windows.
+    #[serde(default)]
+    pub probe_j: f64,
+    /// Joules booked in plain steady transfer.
+    #[serde(default)]
+    pub steady_j: f64,
+    /// Joules booked in slices that killed channels (lost work).
+    #[serde(default)]
+    pub retransmit_j: f64,
+    /// Joules booked while channels waited out backoff/cooldowns.
+    #[serde(default)]
+    pub backoff_idle_j: f64,
+    /// Joules booked while an outage episode was active.
+    #[serde(default)]
+    pub outage_idle_j: f64,
+    /// Approximate CPU share of the site's joules.
+    #[serde(default)]
+    pub cpu_j: f64,
+    /// Approximate NIC share.
+    #[serde(default)]
+    pub nic_j: f64,
+    /// Approximate disk share.
+    #[serde(default)]
+    pub disk_j: f64,
+    /// Remainder (memory and anything unmodeled).
+    #[serde(default)]
+    pub other_j: f64,
+}
+
+impl SideLedger {
+    /// Total site energy: the six phase buckets summed in the canonical
+    /// [`EnergyPhase::ALL`] order. This sum *is* the report's per-site
+    /// energy — same addends, same order, 0 ULP apart.
+    pub fn total_j(&self) -> f64 {
+        self.steady_j
+            + self.probe_j
+            + self.retransmit_j
+            + self.backoff_idle_j
+            + self.outage_idle_j
+            + self.startup_j
+    }
+
+    /// Read access to one phase bucket.
+    pub fn phase_j(&self, phase: EnergyPhase) -> f64 {
+        match phase {
+            EnergyPhase::Startup => self.startup_j,
+            EnergyPhase::Probe => self.probe_j,
+            EnergyPhase::Steady => self.steady_j,
+            EnergyPhase::Retransmit => self.retransmit_j,
+            EnergyPhase::BackoffIdle => self.backoff_idle_j,
+            EnergyPhase::OutageIdle => self.outage_idle_j,
+        }
+    }
+
+    /// Mutable access to one phase bucket (the engine's accumulation
+    /// target).
+    pub fn phase_mut(&mut self, phase: EnergyPhase) -> &mut f64 {
+        match phase {
+            EnergyPhase::Startup => &mut self.startup_j,
+            EnergyPhase::Probe => &mut self.probe_j,
+            EnergyPhase::Steady => &mut self.steady_j,
+            EnergyPhase::Retransmit => &mut self.retransmit_j,
+            EnergyPhase::BackoffIdle => &mut self.backoff_idle_j,
+            EnergyPhase::OutageIdle => &mut self.outage_idle_j,
+        }
+    }
+
+    /// Adds the component split of one slice (joules per component).
+    pub fn add_components(&mut self, cpu_j: f64, nic_j: f64, disk_j: f64, other_j: f64) {
+        self.cpu_j += cpu_j;
+        self.nic_j += nic_j;
+        self.disk_j += disk_j;
+        self.other_j += other_j;
+    }
+
+    /// Bucket-wise sum (fleet rollup). Order-sensitive like any f64
+    /// accumulation: the fleet merges in job-index order.
+    pub fn merge(&mut self, other: &SideLedger) {
+        self.startup_j += other.startup_j;
+        self.probe_j += other.probe_j;
+        self.steady_j += other.steady_j;
+        self.retransmit_j += other.retransmit_j;
+        self.backoff_idle_j += other.backoff_idle_j;
+        self.outage_idle_j += other.outage_idle_j;
+        self.cpu_j += other.cpu_j;
+        self.nic_j += other.nic_j;
+        self.disk_j += other.disk_j;
+        self.other_j += other.other_j;
+    }
+}
+
+/// Both sites' ledgers: the full "where did every joule go" answer for
+/// one run (or, merged, for a fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Sending-site ledger.
+    #[serde(default)]
+    pub src: SideLedger,
+    /// Receiving-site ledger.
+    #[serde(default)]
+    pub dst: SideLedger,
+}
+
+impl EnergyLedger {
+    /// Total end-system energy across both sites.
+    pub fn total_j(&self) -> f64 {
+        self.src.total_j() + self.dst.total_j()
+    }
+
+    /// Combined (src+dst) joules of one phase.
+    pub fn phase_j(&self, phase: EnergyPhase) -> f64 {
+        self.src.phase_j(phase) + self.dst.phase_j(phase)
+    }
+
+    /// Bucket-wise sum (fleet rollup, job-index order).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.src.merge(&other.src);
+        self.dst.merge(&other.dst);
+    }
+
+    /// True when nothing has been booked yet.
+    pub fn is_empty(&self) -> bool {
+        self.total_j() == 0.0
+    }
+
+    /// Renders the ASCII flame-style breakdown `eadt profile` prints:
+    /// one bar per phase (widest first), then the component view.
+    pub fn render_flame(&self, width: usize) -> String {
+        let width = width.max(20);
+        let bar_w = width.saturating_sub(34).max(8);
+        let total = self.total_j();
+        let mut out = String::new();
+        out.push_str("energy by phase (src+dst):\n");
+        let mut rows: Vec<(&str, f64)> = EnergyPhase::ALL
+            .iter()
+            .map(|&p| (p.as_str(), self.phase_j(p)))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, j) in &rows {
+            push_bar(&mut out, name, *j, total, bar_w);
+        }
+        out.push_str("energy by component (approximate):\n");
+        let comp = |f: fn(&SideLedger) -> f64| f(&self.src) + f(&self.dst);
+        let comps = [
+            ("cpu", comp(|s| s.cpu_j)),
+            ("nic", comp(|s| s.nic_j)),
+            ("disk", comp(|s| s.disk_j)),
+            ("other", comp(|s| s.other_j)),
+        ];
+        for (name, j) in comps {
+            push_bar(&mut out, name, j, total, bar_w);
+        }
+        out
+    }
+}
+
+fn push_bar(out: &mut String, name: &str, joules: f64, total: f64, bar_w: usize) {
+    use std::fmt::Write as _;
+    let frac = if total > 0.0 { joules / total } else { 0.0 };
+    let fill = ((frac * bar_w as f64).round() as usize).min(bar_w);
+    let _ = write!(out, "  {name:<13} {joules:>10.1} J {:>5.1}% ", frac * 100.0);
+    for _ in 0..fill {
+        out.push('#');
+    }
+    for _ in fill..bar_w {
+        out.push('.');
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_the_six_phase_buckets() {
+        let mut s = SideLedger::default();
+        for (i, p) in EnergyPhase::ALL.iter().enumerate() {
+            *s.phase_mut(*p) += (i + 1) as f64;
+        }
+        assert_eq!(s.total_j(), 21.0);
+        // Components do not contribute to the total.
+        s.add_components(5.0, 4.0, 3.0, 2.0);
+        assert_eq!(s.total_j(), 21.0);
+        assert_eq!(s.cpu_j + s.nic_j + s.disk_j + s.other_j, 14.0);
+    }
+
+    #[test]
+    fn total_sum_order_is_bit_stable() {
+        // The exact order of total_j()'s additions is a contract: the
+        // engine reproduces it when deriving the report energy. Pin it
+        // against a hand-rolled sum in ALL order.
+        let s = SideLedger {
+            steady_j: 0.1,
+            probe_j: 0.2,
+            retransmit_j: 0.3,
+            backoff_idle_j: 0.4,
+            outage_idle_j: 0.5,
+            startup_j: 0.6,
+            ..SideLedger::default()
+        };
+        let manual = EnergyPhase::ALL
+            .iter()
+            .fold(0.0f64, |acc, &p| acc + s.phase_j(p));
+        assert_eq!(manual.to_bits(), s.total_j().to_bits());
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let mut a = EnergyLedger::default();
+        a.src.steady_j = 1.0;
+        a.dst.probe_j = 2.0;
+        let mut b = EnergyLedger::default();
+        b.src.steady_j = 3.0;
+        b.dst.outage_idle_j = 4.0;
+        a.merge(&b);
+        assert_eq!(a.src.steady_j, 4.0);
+        assert_eq!(a.dst.probe_j, 2.0);
+        assert_eq!(a.dst.outage_idle_j, 4.0);
+        assert_eq!(a.total_j(), 10.0);
+    }
+
+    #[test]
+    fn json_round_trips_and_tolerates_missing_fields() {
+        let mut l = EnergyLedger::default();
+        l.src.steady_j = 123.456;
+        l.src.cpu_j = 100.0;
+        l.dst.backoff_idle_j = 0.25;
+        let text = serde_json::to_string(&l).unwrap();
+        let back: EnergyLedger = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, l);
+        // A PR6-era report has no ledger fields at all.
+        let old: EnergyLedger = serde_json::from_str("{}").unwrap();
+        assert_eq!(old, EnergyLedger::default());
+        let partial: SideLedger = serde_json::from_str("{\"steady_j\":1.5}").unwrap();
+        assert_eq!(partial.steady_j, 1.5);
+        assert_eq!(partial.probe_j, 0.0);
+    }
+
+    #[test]
+    fn flame_render_scales_bars() {
+        let mut l = EnergyLedger::default();
+        l.src.steady_j = 75.0;
+        l.dst.probe_j = 25.0;
+        let text = l.render_flame(60);
+        assert!(text.contains("steady"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("25.0%"), "{text}");
+        // Steady's bar is longer than probe's.
+        let bar = |name: &str| {
+            text.lines()
+                .find(|ln| ln.trim_start().starts_with(name))
+                .map(|ln| ln.matches('#').count())
+                .unwrap()
+        };
+        assert!(bar("steady") > bar("probe"), "{text}");
+        // An empty ledger renders without dividing by zero.
+        let empty = EnergyLedger::default().render_flame(60);
+        assert!(empty.contains("0.0%"), "{empty}");
+    }
+}

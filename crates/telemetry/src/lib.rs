@@ -19,18 +19,35 @@
 
 pub mod chrome;
 pub mod event;
+pub mod ledger;
 pub mod metrics;
 pub mod timeline;
 
 pub use event::{
     BreakerState, EpisodeKind, Event, Journal, JournalRecovery, Record, Side, SCHEMA_VERSION,
 };
+pub use ledger::{EnergyLedger, EnergyPhase, SideLedger};
 pub use metrics::{
     CounterId, CounterSnapshot, GaugeId, GaugeSnapshot, Histogram, HistogramId, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot,
 };
 
 use eadt_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One still-open causal span: enough state to close it later (or after
+/// a checkpoint/resume — the engine checkpoints the façade's open-span
+/// stack so span ids keep matching across a restore).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanCursor {
+    /// Deterministic span id (`1 + seq` of the begin record).
+    pub id: u64,
+    /// Span kind, e.g. `"probe"`, `"horizon"`, `"retry"`.
+    pub kind: String,
+    /// Free-form detail carried from the begin event.
+    #[serde(default)]
+    pub detail: String,
+}
 
 /// Default gauge-sampling cadence: once per simulated second.
 pub const DEFAULT_CADENCE: SimDuration = SimDuration::from_secs(1);
@@ -43,6 +60,10 @@ pub const DEFAULT_CADENCE: SimDuration = SimDuration::from_secs(1);
 pub struct Telemetry {
     journal: Option<Journal>,
     metrics: Option<MetricsRegistry>,
+    /// Innermost-last stack of open causal spans. Only maintained while
+    /// journaling; it is what makes span ids and parent links
+    /// deterministic (ids derive from journal seq numbers).
+    open_spans: Vec<SpanCursor>,
 }
 
 impl Telemetry {
@@ -51,6 +72,7 @@ impl Telemetry {
         Telemetry {
             journal: None,
             metrics: None,
+            open_spans: Vec::new(),
         }
     }
 
@@ -60,6 +82,7 @@ impl Telemetry {
         Telemetry {
             journal: Some(Journal::new()),
             metrics: Some(MetricsRegistry::new(cadence)),
+            open_spans: Vec::new(),
         }
     }
 
@@ -68,14 +91,20 @@ impl Telemetry {
         Telemetry {
             journal: Some(Journal::new()),
             metrics: None,
+            open_spans: Vec::new(),
         }
     }
 
     /// Reassembles a façade from restored sinks (checkpoint resume): a
     /// journal continuing at a given sequence cursor and/or a metrics
-    /// registry rebuilt from its snapshot.
+    /// registry rebuilt from its snapshot. Restore the open-span stack
+    /// separately with [`Telemetry::set_open_spans`].
     pub fn from_parts(journal: Option<Journal>, metrics: Option<MetricsRegistry>) -> Self {
-        Telemetry { journal, metrics }
+        Telemetry {
+            journal,
+            metrics,
+            open_spans: Vec::new(),
+        }
     }
 
     /// True when any sink is attached.
@@ -91,11 +120,16 @@ impl Telemetry {
     }
 
     /// Records an already-built event (use [`Telemetry::record_with`]
-    /// when building the event allocates).
+    /// when building the event allocates). Span events pass through the
+    /// id-assignment interceptor: a [`Event::SpanBegin`] with `id == 0`
+    /// is given the deterministic id `1 + seq` of its own record and its
+    /// `parent` is filled with the innermost open span; a
+    /// [`Event::SpanEnd`] with `id == 0` closes the innermost open span
+    /// of the same kind (and detail, when the end names one).
     #[inline]
     pub fn record(&mut self, t: SimTime, event: Event) {
-        if let Some(j) = &mut self.journal {
-            j.record(t, event);
+        if self.journal.is_some() {
+            self.record_span_aware(t, event);
         }
     }
 
@@ -104,9 +138,65 @@ impl Telemetry {
     /// are free in the disabled configuration.
     #[inline]
     pub fn record_with(&mut self, t: SimTime, make: impl FnOnce() -> Event) {
-        if let Some(j) = &mut self.journal {
-            j.record(t, make());
+        if self.journal.is_some() {
+            let event = make();
+            self.record_span_aware(t, event);
         }
+    }
+
+    /// The journaling path: intercepts span begin/end events to assign
+    /// deterministic ids and maintain the open-span stack, then appends
+    /// the (possibly rewritten) event to the journal.
+    fn record_span_aware(&mut self, t: SimTime, mut event: Event) {
+        let Some(j) = &mut self.journal else { return };
+        match &mut event {
+            Event::SpanBegin {
+                id,
+                parent,
+                kind,
+                detail,
+            } => {
+                if *id == 0 {
+                    *id = j.next_seq() + 1;
+                }
+                if *parent == 0 {
+                    *parent = self.open_spans.last().map_or(0, |s| s.id);
+                }
+                self.open_spans.push(SpanCursor {
+                    id: *id,
+                    kind: kind.clone(),
+                    detail: detail.clone(),
+                });
+            }
+            Event::SpanEnd { id, kind, detail } => {
+                if *id == 0 {
+                    let found = self.open_spans.iter().rposition(|s| {
+                        s.kind == *kind && (detail.is_empty() || s.detail == *detail)
+                    });
+                    if let Some(pos) = found {
+                        let cursor = self.open_spans.remove(pos);
+                        *id = cursor.id;
+                        if detail.is_empty() {
+                            *detail = cursor.detail;
+                        }
+                    }
+                } else if let Some(pos) = self.open_spans.iter().rposition(|s| s.id == *id) {
+                    self.open_spans.remove(pos);
+                }
+            }
+            _ => {}
+        }
+        j.record(t, event);
+    }
+
+    /// The open-span stack, innermost last (checkpointing support).
+    pub fn open_spans(&self) -> &[SpanCursor] {
+        &self.open_spans
+    }
+
+    /// Restores the open-span stack (checkpoint resume).
+    pub fn set_open_spans(&mut self, spans: Vec<SpanCursor>) {
+        self.open_spans = spans;
     }
 
     /// The metrics registry, when sampling is on.
@@ -163,5 +253,95 @@ mod tests {
         let (journal, metrics) = tel.into_parts();
         assert_eq!(journal.unwrap().len(), 1);
         assert_eq!(metrics.unwrap().gauge_series(g).len(), 1);
+    }
+
+    fn begin(kind: &str, detail: &str) -> Event {
+        Event::SpanBegin {
+            id: 0,
+            parent: 0,
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+
+    fn end(kind: &str, detail: &str) -> Event {
+        Event::SpanEnd {
+            id: 0,
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn span_ids_derive_from_seq_and_nest() {
+        let mut tel = Telemetry::with_journal();
+        tel.record(SimTime::ZERO, Event::StageStart { stage: 0 }); // seq 0
+        tel.record(SimTime::ZERO, begin("probe", "level 1")); // seq 1 → id 2
+        tel.record(SimTime::ZERO, begin("retry", "src[0]")); // seq 2 → id 3
+        assert_eq!(
+            tel.open_spans()
+                .iter()
+                .map(|s| (s.id, s.kind.as_str()))
+                .collect::<Vec<_>>(),
+            vec![(2, "probe"), (3, "retry")]
+        );
+        tel.record(SimTime::ZERO, end("retry", "src[0]"));
+        tel.record(SimTime::ZERO, end("probe", "")); // empty detail: innermost probe
+        assert!(tel.open_spans().is_empty());
+        let journal = tel.into_journal().unwrap();
+        let ids: Vec<(u64, u64)> = journal
+            .records()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::SpanBegin { id, parent, .. } => Some((*id, *parent)),
+                _ => None,
+            })
+            .collect();
+        // probe is a root span; retry nests under it.
+        assert_eq!(ids, vec![(2, 0), (3, 2)]);
+        let ends: Vec<(u64, String)> = journal
+            .records()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::SpanEnd { id, detail, .. } => Some((*id, detail.clone())),
+                _ => None,
+            })
+            .collect();
+        // The empty-detail end inherited the begin's detail.
+        assert_eq!(ends, vec![(3, "src[0]".into()), (2, "level 1".into())]);
+    }
+
+    #[test]
+    fn span_end_matches_by_detail_among_same_kind() {
+        let mut tel = Telemetry::with_journal();
+        tel.record(SimTime::ZERO, begin("retry", "src[0]")); // id 1
+        tel.record(SimTime::ZERO, begin("retry", "dst[2]")); // id 2
+        tel.record(SimTime::ZERO, end("retry", "src[0]")); // closes id 1, not innermost
+        assert_eq!(tel.open_spans().len(), 1);
+        assert_eq!(tel.open_spans()[0].detail, "dst[2]");
+        // Unmatched end records with id 0 and leaves the stack alone.
+        tel.record(SimTime::ZERO, end("horizon", ""));
+        assert_eq!(tel.open_spans().len(), 1);
+        let journal = tel.into_journal().unwrap();
+        let last = journal.records().last().unwrap();
+        assert!(matches!(last.event, Event::SpanEnd { id: 0, .. }));
+    }
+
+    #[test]
+    fn open_spans_round_trip_through_parts() {
+        let mut tel = Telemetry::with_journal();
+        tel.record(SimTime::ZERO, begin("horizon", "controller+40"));
+        let saved: Vec<SpanCursor> = tel.open_spans().to_vec();
+        let (journal, metrics) = tel.into_parts();
+        let mut resumed = Telemetry::from_parts(journal, metrics);
+        assert!(resumed.open_spans().is_empty());
+        resumed.set_open_spans(saved);
+        resumed.record(SimTime::ZERO, end("horizon", ""));
+        assert!(resumed.open_spans().is_empty());
+        let journal = resumed.into_journal().unwrap();
+        let last = journal.records().last().unwrap();
+        assert!(
+            matches!(&last.event, Event::SpanEnd { id: 1, detail, .. } if detail == "controller+40")
+        );
     }
 }

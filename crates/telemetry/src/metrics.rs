@@ -391,6 +391,38 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Bucket-wise merge (fleet rollup): adds `other`'s counts and sum
+    /// into `self`. Returns `false` — and leaves `self` untouched — when
+    /// the bucket bounds differ (merging across incompatible grids would
+    /// silently misbucket). Counts are integers and bucket addition is
+    /// commutative and associative; the f64 `sum` is order-sensitive like
+    /// any float accumulation, which is why the fleet merges in job-index
+    /// order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        true
+    }
+
+    /// Rebuilds a live [`Histogram`] from the snapshot (quantile queries
+    /// on rolled-up fleet data).
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
 /// Serializable state of a [`MetricsRegistry`], for checkpointing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -513,5 +545,90 @@ mod tests {
         h.observe(1.0);
         h.observe(2.0);
         assert_eq!(h.counts(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn quantile_of_an_empty_histogram_is_none() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for q in [0.0, 0.5, 1.0, -3.0, 42.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_and_out_of_range_q_clamp() {
+        let mut h = Histogram::new(vec![1.0, 5.0, 10.0]);
+        for v in [0.5, 3.0, 7.0] {
+            h.observe(v);
+        }
+        // q=0 lands on the first occupied bucket, q=1 on the last.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        // Out-of-range q clamps to [0, 1] rather than panicking.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_a_single_bucket_histogram() {
+        // No explicit bounds: everything lands in the overflow bucket.
+        let mut h = Histogram::new(vec![]);
+        h.observe(3.0);
+        assert_eq!(h.counts(), &[1]);
+        assert_eq!(h.quantile(0.0), Some(f64::INFINITY));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        // One real bucket that holds the only observation.
+        let mut h = Histogram::new(vec![10.0]);
+        h.observe(3.0);
+        assert_eq!(h.quantile(0.5), Some(10.0));
+    }
+
+    fn snap_of(values: &[f64]) -> HistogramSnapshot {
+        let mut h = Histogram::new(vec![1.0, 5.0, 10.0]);
+        for v in values {
+            h.observe(*v);
+        }
+        HistogramSnapshot {
+            name: "lat".into(),
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            count: h.count(),
+            sum: h.sum(),
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_bucket_wise_and_associative() {
+        // Integer-valued observations keep the f64 sums exact, so
+        // associativity holds bit-for-bit.
+        let a = snap_of(&[0.0, 3.0]);
+        let b = snap_of(&[7.0]);
+        let c = snap_of(&[12.0, 12.0, 4.0]);
+
+        let mut ab_c = a.clone();
+        assert!(ab_c.merge(&b));
+        assert!(ab_c.merge(&c));
+
+        let mut bc = b.clone();
+        assert!(bc.merge(&c));
+        let mut a_bc = a.clone();
+        assert!(a_bc.merge(&bc));
+
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.count, 6);
+        assert_eq!(ab_c.counts, vec![1, 2, 1, 2]);
+        assert_eq!(ab_c.sum, 38.0);
+        // And the merged snapshot still answers quantile queries.
+        assert_eq!(ab_c.to_histogram().quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn snapshot_merge_rejects_mismatched_bounds() {
+        let mut a = snap_of(&[3.0]);
+        let before = a.clone();
+        let mut other = snap_of(&[3.0]);
+        other.bounds = vec![2.0, 5.0, 10.0];
+        assert!(!a.merge(&other));
+        assert_eq!(a, before, "rejected merge must not mutate");
     }
 }

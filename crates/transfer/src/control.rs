@@ -175,6 +175,17 @@ pub trait Controller {
         0
     }
 
+    /// True while the controller is actively probing (sacrificing
+    /// throughput to measure, e.g. HTEE's search windows). The engine's
+    /// energy-attribution ledger books slices under the `probe` phase
+    /// while this holds. Contract: a probing controller must return 0
+    /// from [`Controller::next_decision_in`] (probing accumulates
+    /// per-slice measurements), so the flag is constant across any
+    /// macro-stepped window. Default: never probing.
+    fn probing(&self) -> bool {
+        false
+    }
+
     /// Switches on controller-authored telemetry: after this call the
     /// controller buffers typed events (decisions with reasons, probe
     /// windows, commits) for the engine to drain each slice. Off by
@@ -384,6 +395,10 @@ impl<C: Controller> Controller for FaultAware<C> {
         // chunk-completion rebalancing, so second-guessing it here only
         // churns allocations.
         inner_action
+    }
+
+    fn probing(&self) -> bool {
+        self.inner.probing()
     }
 
     fn enable_event_capture(&mut self) {

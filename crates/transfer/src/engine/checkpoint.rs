@@ -26,15 +26,18 @@ use crate::plan::TransferPlan;
 use crate::report::{ChunkStat, TransferReport};
 use crate::retry::FaultRuntimeSnapshot;
 use eadt_sim::{Bytes, SimDuration, SimTime, TimeSeries};
-use eadt_telemetry::MetricsSnapshot;
+use eadt_telemetry::{EnergyLedger, MetricsSnapshot, SpanCursor};
 use serde::{Deserialize, Serialize};
 
 /// Version of the checkpoint schema. Bumped on any change to the
 /// serialized layout; [`Engine::run_controlled`] refuses checkpoints
-/// from another version instead of misinterpreting them.
+/// from another version instead of misinterpreting them. Version 2
+/// replaced the flat `src_energy_j`/`dst_energy_j` accumulators with the
+/// energy-attribution ledger and added the observability cursors
+/// (`horizon_end`, `open_spans`).
 ///
 /// [`Engine::run_controlled`]: super::Engine::run_controlled
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 
 /// Progress of one file: full size (for restart-on-failure) and bytes
 /// still to push.
@@ -185,10 +188,18 @@ pub struct EngineCheckpoint {
     pub estimated_energy_j: f64,
     /// Bytes booked as retransmission so far.
     pub retransmitted: Bytes,
-    /// Source-site energy so far, Joules.
-    pub src_energy_j: f64,
-    /// Destination-site energy so far, Joules.
-    pub dst_energy_j: f64,
+    /// Energy-attribution ledger so far: both sites' phase and component
+    /// buckets. The resumed run's report derives its per-site energy from
+    /// the restored phase sums.
+    pub ledger: EnergyLedger,
+    /// End boundary (in `slices_done`) of the horizon span open at the
+    /// halt, if any (journaled runs only). The resumed run closes the
+    /// span at this boundary instead of opening a new one.
+    pub horizon_end: Option<u64>,
+    /// Span cursors open at the boundary (journaled runs only): restored
+    /// into the telemetry façade so `span_end` events in the resumed
+    /// suffix match their `span_begin` ids from the prefix.
+    pub open_spans: Vec<SpanCursor>,
     /// Goodput so far.
     pub moved_total: Bytes,
     /// Wire bytes (goodput inflated by congestion efficiency), exact

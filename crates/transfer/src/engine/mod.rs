@@ -35,9 +35,11 @@ use crate::retry::FaultRuntime;
 use eadt_dataset::FileSpec;
 use eadt_endsys::{ServerLoad, Utilization};
 use eadt_net::fair::{fair_share_into, FairScratch};
-use eadt_power::PowerModel;
+use eadt_power::{PowerBreakdown, PowerModel};
 use eadt_sim::{Bytes, Rate, SimDuration, SimTime, TimeSeries};
-use eadt_telemetry::{Event, GaugeId, HistogramId, MetricsRegistry, Side, Telemetry};
+use eadt_telemetry::{
+    EnergyLedger, EnergyPhase, Event, GaugeId, HistogramId, MetricsRegistry, Side, Telemetry,
+};
 use std::collections::VecDeque;
 
 mod checkpoint;
@@ -226,8 +228,13 @@ impl<'a> Engine<'a> {
             .map(|p| FaultRuntime::new(p, env.src.servers.len(), env.dst.servers.len()));
         let mut retransmitted = Bytes::ZERO;
         let mut chunk_stats: Vec<crate::report::ChunkStat> = Vec::new();
-        let mut src_energy = 0.0f64;
-        let mut dst_energy = 0.0f64;
+        // Energy attribution (DESIGN.md §14): the per-site energy lives in
+        // the ledger's phase buckets; the report totals are derived from
+        // their fixed-order sum at the end of the run.
+        let mut ledger = EnergyLedger::default();
+        // End boundary (in `slices_done`) of the currently open horizon
+        // span. Tracked only on journaled runs; `None` otherwise.
+        let mut horizon_end: Option<u64> = None;
         let mut moved_total = Bytes::ZERO;
         let mut wire_bytes_f = 0.0f64;
         let mut throughput_series = TimeSeries::new();
@@ -298,8 +305,9 @@ impl<'a> Engine<'a> {
             estimated_energy = ck.estimated_energy_j;
             retransmitted = ck.retransmitted;
             chunk_stats = ck.chunk_stats;
-            src_energy = ck.src_energy_j;
-            dst_energy = ck.dst_energy_j;
+            ledger = ck.ledger;
+            horizon_end = ck.horizon_end;
+            tel.set_open_spans(ck.open_spans);
             moved_total = ck.moved_total;
             wire_bytes_f = ck.wire_bytes_f;
             throughput_series = ck.throughput_series;
@@ -405,8 +413,9 @@ impl<'a> Engine<'a> {
                         slices_done,
                         estimated_energy_j: estimated_energy,
                         retransmitted,
-                        src_energy_j: src_energy,
-                        dst_energy_j: dst_energy,
+                        ledger,
+                        horizon_end,
+                        open_spans: tel.open_spans().to_vec(),
                         moved_total,
                         wire_bytes_f,
                         audit_gross,
@@ -423,6 +432,19 @@ impl<'a> Engine<'a> {
                         metrics: tel.metrics_ref().map(MetricsRegistry::snapshot),
                         journal_seq: tel.journal().map_or(0, |j| j.next_seq()),
                     }));
+                }
+                // A horizon span closes at the first boundary at/after its
+                // promised end. This sits after the halt check — a halted
+                // run leaves the span open in the checkpoint and the
+                // resumed run emits the `span_end` at the same sequence
+                // number an uninterrupted run would.
+                if horizon_end.is_some_and(|h| slices_done >= h) {
+                    horizon_end = None;
+                    tel.record_with(now, || Event::SpanEnd {
+                        id: 0,
+                        kind: "horizon".to_string(),
+                        detail: String::new(),
+                    });
                 }
                 if now.since(SimTime::ZERO) >= env.tuning.max_duration {
                     completed = false;
@@ -543,6 +565,7 @@ impl<'a> Engine<'a> {
                 // markers — the lost progress leaves `moved_total` and is
                 // booked as retransmission) and schedules the reconnect
                 // through the retry policy.
+                let mut slice_kills = false;
                 if let Some(rt) = &mut runtime {
                     for (i, &(ci, chi)) in refs.iter().enumerate() {
                         let c = &mut chunks[ci];
@@ -566,6 +589,7 @@ impl<'a> Engine<'a> {
                             cause = Some(FaultCause::Outage);
                         }
                         let Some(cause) = cause else { continue };
+                        slice_kills = true;
                         if let Some(mut fp) = ch.current.take() {
                             if !rt.restart_markers() {
                                 let lost = fp.size.saturating_sub(fp.remaining);
@@ -803,9 +827,9 @@ impl<'a> Engine<'a> {
                 }
 
                 // Utilization → power → energy, per site.
-                let (src_power, src_est) =
+                let (src_power, src_est, src_parts) =
                     site_power(env, src_chan, src_streams, src_moved, slice_secs, eff, true);
-                let (dst_power, dst_est) = site_power(
+                let (dst_power, dst_est, dst_parts) = site_power(
                     env,
                     dst_chan,
                     dst_streams,
@@ -814,8 +838,40 @@ impl<'a> Engine<'a> {
                     eff,
                     false,
                 );
-                src_energy += src_power * slice_secs;
-                dst_energy += dst_power * slice_secs;
+                // Attribute the slice's joules to exactly one phase per
+                // site (DESIGN.md §14), by priority. Every classification
+                // input is constant across a macro-stepped window (kills
+                // cannot happen inside one; the probe flag, outage state,
+                // backoff occupancy and first-byte state are all pinned by
+                // the window bounds), so the frozen replay below books the
+                // same buckets addend-for-addend.
+                let phase = if slice_kills {
+                    EnergyPhase::Retransmit
+                } else if controller.probing() {
+                    EnergyPhase::Probe
+                } else if runtime.as_ref().is_some_and(FaultRuntime::any_outage) {
+                    EnergyPhase::OutageIdle
+                } else if in_backoff > 0 {
+                    EnergyPhase::BackoffIdle
+                } else if moved_total.is_zero() {
+                    EnergyPhase::Startup
+                } else {
+                    EnergyPhase::Steady
+                };
+                *ledger.src.phase_mut(phase) += src_power * slice_secs;
+                *ledger.dst.phase_mut(phase) += dst_power * slice_secs;
+                ledger.src.add_components(
+                    src_parts.cpu_w * slice_secs,
+                    src_parts.nic_w * slice_secs,
+                    src_parts.disk_w * slice_secs,
+                    src_parts.other_w * slice_secs,
+                );
+                ledger.dst.add_components(
+                    dst_parts.cpu_w * slice_secs,
+                    dst_parts.nic_w * slice_secs,
+                    dst_parts.disk_w * slice_secs,
+                    dst_parts.other_w * slice_secs,
+                );
                 estimated_energy += (src_est + dst_est) * slice_secs;
                 power_series.push(now, src_power + dst_power);
                 throughput_series.push(now, slice_bytes.as_f64() * 8.0 / slice_secs / 1e6);
@@ -887,9 +943,10 @@ impl<'a> Engine<'a> {
                             && dst_power.is_finite(),
                         "invariant: site power finite and non-negative, got src={src_power} dst={dst_power}"
                     );
+                    let (src_e, dst_e) = (ledger.src.total_j(), ledger.dst.total_j());
                     assert!(
-                        src_energy >= 0.0 && dst_energy >= 0.0 && (src_energy + dst_energy).is_finite(),
-                        "invariant: accumulated energy finite and non-negative, got src={src_energy} dst={dst_energy}"
+                        src_e >= 0.0 && dst_e >= 0.0 && (src_e + dst_e).is_finite(),
+                        "invariant: accumulated energy finite and non-negative, got src={src_e} dst={dst_e}"
                     );
                     assert_eq!(
                         audit_stage_requested,
@@ -945,13 +1002,23 @@ impl<'a> Engine<'a> {
                             c.target = if c.has_work() { t } else { 0 };
                         }
                     }
-                    ControlAction::Continue if env.tuning.macro_step => {
+                    ControlAction::Continue
+                        if (env.tuning.macro_step || journaling) && horizon_end.is_none() =>
+                    {
                         // Event-horizon macro-stepping (DESIGN.md §12):
                         // count how many upcoming slices are provably in
                         // steady state and replay them arithmetically.
                         // Every bound is conservative — when in doubt the
                         // horizon is 0 and the engine falls back to the
                         // plain slice loop above.
+                        //
+                        // Journaled runs run the same computation even with
+                        // macro-stepping off: the window then only drives
+                        // the horizon span (the slices execute normally),
+                        // so macro and non-macro journals stay
+                        // byte-identical. While a span is open (that mode,
+                        // or a resumed mid-window run) nothing is
+                        // recomputed until it closes at its boundary.
                         let mut k = controller.next_decision_in(&ctx, slice);
 
                         // A state boundary at time `b` caps the window:
@@ -963,17 +1030,37 @@ impl<'a> Engine<'a> {
                                 b.since(now).slices_before(slice).saturating_add(1)
                             }
                         };
-                        k = k.min(bound_at(SimTime::ZERO + env.tuning.max_duration));
-                        if let Some(m) = tel.metrics_ref() {
-                            k = k.min(bound_at(m.next_tick()));
+                        // Which bound won names the horizon span's source;
+                        // ties keep the earlier (checked-first) source.
+                        let mut k_src = "controller";
+                        let b = bound_at(SimTime::ZERO + env.tuning.max_duration);
+                        if b < k {
+                            k = b;
+                            k_src = "max_duration";
                         }
-                        if let Some(b) = env.background {
-                            k = k.min(bound_at(b.next_change(slice_start)));
+                        if let Some(m) = tel.metrics_ref() {
+                            let b = bound_at(m.next_tick());
+                            if b < k {
+                                k = b;
+                                k_src = "metrics";
+                            }
+                        }
+                        if let Some(bg) = env.background {
+                            let b = bound_at(bg.next_change(slice_start));
+                            if b < k {
+                                k = b;
+                                k_src = "background";
+                            }
                         }
                         if let Some(rt) = &runtime {
-                            k = k.min(bound_at(rt.next_change(slice_start)));
+                            let b = bound_at(rt.next_change(slice_start));
+                            if b < k {
+                                k = b;
+                                k_src = "faults";
+                            }
                         }
 
+                        let k_before_channels = k;
                         if k > 0 {
                             for (i, &(ci, chi)) in refs.iter().enumerate() {
                                 let c = &chunks[ci];
@@ -1028,8 +1115,22 @@ impl<'a> Engine<'a> {
                                 }
                             }
                         }
+                        if k < k_before_channels {
+                            k_src = "channel";
+                        }
 
-                        if k > 0 {
+                        if k > 0 && journaling {
+                            let detail = format!("{k_src} k={k}");
+                            tel.record_with(now, || Event::SpanBegin {
+                                id: 0,
+                                parent: 0,
+                                kind: "horizon".to_string(),
+                                detail,
+                            });
+                            horizon_end = Some(slices_done + k);
+                        }
+
+                        if k > 0 && env.tuning.macro_step {
                             // Replay `k` slices. Every accumulator receives
                             // exactly the addends — same values, same order —
                             // that `k` executed slices would have produced,
@@ -1038,6 +1139,41 @@ impl<'a> Engine<'a> {
                             let src_add = src_power * slice_secs;
                             let dst_add = dst_power * slice_secs;
                             let est_add = (src_est + dst_est) * slice_secs;
+                            // Frozen phase classification for the window:
+                            // kills cannot happen inside one, and every
+                            // other input is pinned by the bounds above, so
+                            // one classification serves all `k` slices. The
+                            // backoff occupancy is re-read from the current
+                            // flags (not the executed slice's count): a
+                            // channel that left backoff during the decision
+                            // slice was counted there but is a plain mover
+                            // inside the window.
+                            let next_backoff = refs
+                                .iter()
+                                .any(|&(ci, chi)| chunks[ci].channels[chi].in_backoff);
+                            let span_phase = if controller.probing() {
+                                EnergyPhase::Probe
+                            } else if runtime.as_ref().is_some_and(FaultRuntime::any_outage) {
+                                EnergyPhase::OutageIdle
+                            } else if next_backoff {
+                                EnergyPhase::BackoffIdle
+                            } else if moved_total.is_zero() {
+                                EnergyPhase::Startup
+                            } else {
+                                EnergyPhase::Steady
+                            };
+                            let src_comp_add = [
+                                src_parts.cpu_w * slice_secs,
+                                src_parts.nic_w * slice_secs,
+                                src_parts.disk_w * slice_secs,
+                                src_parts.other_w * slice_secs,
+                            ];
+                            let dst_comp_add = [
+                                dst_parts.cpu_w * slice_secs,
+                                dst_parts.nic_w * slice_secs,
+                                dst_parts.disk_w * slice_secs,
+                                dst_parts.other_w * slice_secs,
+                            ];
                             let power_sum = src_power + dst_power;
                             let thr_mbps = slice_bytes.as_f64() * 8.0 / slice_secs / 1e6;
                             let queue_depth: u64 =
@@ -1078,8 +1214,20 @@ impl<'a> Engine<'a> {
                                     audit_gross += slice_bytes;
                                 }
                                 wire_bytes_f += wire_add;
-                                src_energy += src_add;
-                                dst_energy += dst_add;
+                                *ledger.src.phase_mut(span_phase) += src_add;
+                                *ledger.dst.phase_mut(span_phase) += dst_add;
+                                ledger.src.add_components(
+                                    src_comp_add[0],
+                                    src_comp_add[1],
+                                    src_comp_add[2],
+                                    src_comp_add[3],
+                                );
+                                ledger.dst.add_components(
+                                    dst_comp_add[0],
+                                    dst_comp_add[1],
+                                    dst_comp_add[2],
+                                    dst_comp_add[3],
+                                );
                                 estimated_energy += est_add;
                                 power_series.push(now, power_sum);
                                 throughput_series.push(now, thr_mbps);
@@ -1136,7 +1284,7 @@ impl<'a> Engine<'a> {
                 Event::RunEnd {
                     moved_bytes: moved_total.as_u64(),
                     duration_s: now.since(SimTime::ZERO).as_secs_f64(),
-                    energy_j: src_energy + dst_energy,
+                    energy_j: ledger.total_j(),
                     completed: completed && moved_total == requested,
                 },
             );
@@ -1147,6 +1295,20 @@ impl<'a> Engine<'a> {
             .total_packets(Bytes(wire_bytes_f.round() as u64));
         let fault_stats = runtime.map(|rt| rt.stats).unwrap_or_default();
         debug_assert_eq!(retransmitted, fault_stats.retransmitted_bytes);
+        // The report's per-site energy IS the ledger's fixed-order phase
+        // sum, so the profile accounts for 100% of it within 0 ULP.
+        let src_energy = ledger.src.total_j();
+        let dst_energy = ledger.dst.total_j();
+        if cfg!(feature = "debug-invariants") {
+            let manual = EnergyPhase::ALL
+                .iter()
+                .fold(0.0f64, |a, &p| a + ledger.src.phase_j(p));
+            assert_eq!(
+                manual.to_bits(),
+                src_energy.to_bits(),
+                "invariant: ledger phases must sum to the report energy bit-exactly"
+            );
+        }
         RunOutcome::Done(TransferReport {
             schema: crate::report::REPORT_SCHEMA_VERSION,
             requested_bytes: requested,
@@ -1155,6 +1317,7 @@ impl<'a> Engine<'a> {
             completed: completed && moved_total == requested,
             src_energy_j: src_energy,
             dst_energy_j: dst_energy,
+            ledger,
             wire_bytes: Bytes(wire_bytes_f.round() as u64),
             packets,
             throughput_series,
@@ -1438,7 +1601,9 @@ fn advance_channel(
 
 /// Total power of one site's active servers for the slice: the reference
 /// model's Watts plus (when configured) the secondary estimator's Watts
-/// over the same utilization snapshots.
+/// over the same utilization snapshots, plus the reference model's
+/// per-component split (the energy profiler's approximate cpu/nic/disk
+/// attribution — the scalar total stays the authoritative number).
 #[allow(clippy::too_many_arguments)]
 fn site_power(
     env: &TransferEnv,
@@ -1448,10 +1613,11 @@ fn site_power(
     slice_secs: f64,
     eff: f64,
     is_src: bool,
-) -> (f64, f64) {
+) -> (f64, f64, PowerBreakdown) {
     let site = if is_src { &env.src } else { &env.dst };
     let mut total = 0.0;
     let mut estimated = 0.0;
+    let mut parts = PowerBreakdown::default();
     for (i, spec) in site.servers.iter().enumerate() {
         if channels[i] == 0 {
             continue;
@@ -1466,11 +1632,12 @@ fn site_power(
         };
         let util = Utilization::compute(spec, load, &env.util);
         total += env.power.power_watts(&util);
+        parts.add(&env.power.power_components(&util));
         if let Some(est) = &env.estimator {
             estimated += est.power_watts(&util);
         }
     }
-    (total, estimated)
+    (total, estimated, parts)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Transfer outcome: everything Figures 2–7 plot.
 
 use eadt_sim::{Bytes, EadtError, Rate, SimDuration, TimeSeries};
+use eadt_telemetry::EnergyLedger;
 use serde::{Deserialize, Serialize};
 
 /// Per-chunk outcome within a transfer.
@@ -89,10 +90,16 @@ pub struct TransferReport {
     pub duration: SimDuration,
     /// True when every file finished before the engine's time guard.
     pub completed: bool,
-    /// Sender-side end-system energy, Joules.
+    /// Sender-side end-system energy, Joules. Derived from the ledger's
+    /// source-side phase sum (same addends, same order — 0 ULP apart).
     pub src_energy_j: f64,
-    /// Receiver-side end-system energy, Joules.
+    /// Receiver-side end-system energy, Joules (ledger-derived likewise).
     pub dst_energy_j: f64,
+    /// Energy attribution by phase and (approximately) component, per
+    /// site — what `eadt profile` renders. Defaults to an empty ledger
+    /// when absent (pre-observability JSON).
+    #[serde(default)]
+    pub ledger: EnergyLedger,
     /// Bytes that crossed the wire, retransmissions included.
     pub wire_bytes: Bytes,
     /// Total packets pushed through the path (data + control).
@@ -223,6 +230,7 @@ mod tests {
             completed: true,
             src_energy_j: 300.0,
             dst_energy_j: 200.0,
+            ledger: EnergyLedger::default(),
             wire_bytes: Bytes::from_gb(1),
             packets: 1_000_000,
             throughput_series: TimeSeries::new(),

@@ -302,8 +302,20 @@ pub struct FaultRuntime {
     ev_stall: bool,
     ev_src_disk: Vec<bool>,
     ev_dst_disk: Vec<bool>,
+    // Per-server span-open memory (capture only): a `retry` span covers a
+    // server's consecutive-failure run, a `quarantine` span its
+    // breaker-open interval.
+    span_src_retry: Vec<bool>,
+    span_dst_retry: Vec<bool>,
+    span_src_quar: Vec<bool>,
+    span_dst_quar: Vec<bool>,
     /// Accumulated fault accounting, copied into the report at the end.
     pub stats: FaultStats,
+}
+
+/// Formats the span detail naming one server, e.g. `src[2]`.
+fn server_detail(side: EvSide, server: usize) -> String {
+    format!("{}[{server}]", side.as_str())
 }
 
 impl FaultRuntime {
@@ -367,6 +379,10 @@ impl FaultRuntime {
             ev_stall: false,
             ev_src_disk: vec![false; src_servers],
             ev_dst_disk: vec![false; dst_servers],
+            span_src_retry: vec![false; src_servers],
+            span_dst_retry: vec![false; dst_servers],
+            span_src_quar: vec![false; src_servers],
+            span_dst_quar: vec![false; dst_servers],
             stats: FaultStats::default(),
             plan: plan.clone(),
         }
@@ -505,6 +521,12 @@ impl FaultRuntime {
         Some(model.sample_ttf(rng))
     }
 
+    /// Whether any outage window is currently active on either site (the
+    /// engine's `outage_idle` ledger-phase signal).
+    pub fn any_outage(&self) -> bool {
+        self.src_outage.iter().chain(&self.dst_outage).any(|&o| o)
+    }
+
     /// Whether an outage window currently covers the given server.
     pub fn outage_active(&self, side: SiteSide, server: usize) -> bool {
         match side {
@@ -563,30 +585,77 @@ impl FaultRuntime {
             FaultCause::Channel => self.stats.channel_failures += 1,
             FaultCause::Outage => {
                 self.stats.outage_failures += 1;
-                if self.src_outage.get(src_srv).copied().unwrap_or(false)
-                    && self.src_breakers[src_srv].record_failure(now, &self.plan.retry)
-                {
-                    self.stats.breaker_opens += 1;
+                if self.src_outage.get(src_srv).copied().unwrap_or(false) {
+                    let was_zero = self.src_breakers[src_srv].consecutive == 0;
+                    let opened = self.src_breakers[src_srv].record_failure(now, &self.plan.retry);
+                    if opened {
+                        self.stats.breaker_opens += 1;
+                    }
                     if self.capture {
-                        self.events.push(Event::Breaker {
-                            side: EvSide::Src,
-                            server: src_srv as u32,
-                            state: EvBreakerState::Open,
-                        });
+                        self.charge_events(EvSide::Src, src_srv, was_zero, opened);
                     }
                 }
-                if self.dst_outage.get(dst_srv).copied().unwrap_or(false)
-                    && self.dst_breakers[dst_srv].record_failure(now, &self.plan.retry)
-                {
-                    self.stats.breaker_opens += 1;
+                if self.dst_outage.get(dst_srv).copied().unwrap_or(false) {
+                    let was_zero = self.dst_breakers[dst_srv].consecutive == 0;
+                    let opened = self.dst_breakers[dst_srv].record_failure(now, &self.plan.retry);
+                    if opened {
+                        self.stats.breaker_opens += 1;
+                    }
                     if self.capture {
-                        self.events.push(Event::Breaker {
-                            side: EvSide::Dst,
-                            server: dst_srv as u32,
-                            state: EvBreakerState::Open,
-                        });
+                        self.charge_events(EvSide::Dst, dst_srv, was_zero, opened);
                     }
                 }
+            }
+        }
+    }
+
+    /// Emits the telemetry for one breaker charge: the start of a
+    /// consecutive-failure run opens a `retry` span, a newly opened
+    /// breaker emits its transition and opens a `quarantine` span.
+    fn charge_events(&mut self, side: EvSide, server: usize, was_zero: bool, opened: bool) {
+        let begin_retry = {
+            let retry_open = match side {
+                EvSide::Src => &mut self.span_src_retry,
+                EvSide::Dst => &mut self.span_dst_retry,
+            };
+            let begin = was_zero && !retry_open[server];
+            if begin {
+                retry_open[server] = true;
+            }
+            begin
+        };
+        if begin_retry {
+            self.events.push(Event::SpanBegin {
+                id: 0,
+                parent: 0,
+                kind: "retry".to_string(),
+                detail: server_detail(side, server),
+            });
+        }
+        if opened {
+            self.events.push(Event::Breaker {
+                side,
+                server: server as u32,
+                state: EvBreakerState::Open,
+            });
+            let begin_quar = {
+                let quar_open = match side {
+                    EvSide::Src => &mut self.span_src_quar,
+                    EvSide::Dst => &mut self.span_dst_quar,
+                };
+                let begin = !quar_open[server];
+                if begin {
+                    quar_open[server] = true;
+                }
+                begin
+            };
+            if begin_quar {
+                self.events.push(Event::SpanBegin {
+                    id: 0,
+                    parent: 0,
+                    kind: "quarantine".to_string(),
+                    detail: server_detail(side, server),
+                });
             }
         }
     }
@@ -598,12 +667,43 @@ impl FaultRuntime {
             SiteSide::Src => self.src_breakers.get_mut(server),
             SiteSide::Dst => self.dst_breakers.get_mut(server),
         };
-        if let Some(b) = breaker {
-            if b.record_success() && self.capture {
-                self.events.push(Event::Breaker {
-                    side: ev_side(side),
-                    server: server as u32,
-                    state: EvBreakerState::Closed,
+        let Some(b) = breaker else { return };
+        let had_run = b.consecutive > 0;
+        let closed = b.record_success();
+        if !self.capture {
+            return;
+        }
+        // The failure run is over: close the server's retry span.
+        if had_run {
+            let retry_open = match side {
+                SiteSide::Src => &mut self.span_src_retry,
+                SiteSide::Dst => &mut self.span_dst_retry,
+            };
+            if retry_open[server] {
+                retry_open[server] = false;
+                self.events.push(Event::SpanEnd {
+                    id: 0,
+                    kind: "retry".to_string(),
+                    detail: server_detail(ev_side(side), server),
+                });
+            }
+        }
+        if closed {
+            self.events.push(Event::Breaker {
+                side: ev_side(side),
+                server: server as u32,
+                state: EvBreakerState::Closed,
+            });
+            let quar_open = match side {
+                SiteSide::Src => &mut self.span_src_quar,
+                SiteSide::Dst => &mut self.span_dst_quar,
+            };
+            if quar_open[server] {
+                quar_open[server] = false;
+                self.events.push(Event::SpanEnd {
+                    id: 0,
+                    kind: "quarantine".to_string(),
+                    detail: server_detail(ev_side(side), server),
                 });
             }
         }
@@ -724,6 +824,10 @@ impl FaultRuntime {
             ev_stall: self.ev_stall,
             ev_src_disk: self.ev_src_disk.clone(),
             ev_dst_disk: self.ev_dst_disk.clone(),
+            span_src_retry: self.span_src_retry.clone(),
+            span_dst_retry: self.span_dst_retry.clone(),
+            span_src_quar: self.span_src_quar.clone(),
+            span_dst_quar: self.span_dst_quar.clone(),
             stats: self.stats,
         }
     }
@@ -776,6 +880,17 @@ impl FaultRuntime {
         rt.ev_stall = snap.ev_stall;
         rt.ev_src_disk = snap.ev_src_disk.clone();
         rt.ev_dst_disk = snap.ev_dst_disk.clone();
+        // Pre-span checkpoints carry empty vectors: resize to the server
+        // counts (no span was open).
+        let resized = |v: &Vec<bool>, n: usize| {
+            let mut v = v.clone();
+            v.resize(n, false);
+            v
+        };
+        rt.span_src_retry = resized(&snap.span_src_retry, src_servers);
+        rt.span_dst_retry = resized(&snap.span_dst_retry, dst_servers);
+        rt.span_src_quar = resized(&snap.span_src_quar, src_servers);
+        rt.span_dst_quar = resized(&snap.span_dst_quar, dst_servers);
         rt.stats = snap.stats;
         rt
     }
@@ -812,6 +927,18 @@ pub struct FaultRuntimeSnapshot {
     pub ev_src_disk: Vec<bool>,
     /// Last reported disk-degradation state per dst server.
     pub ev_dst_disk: Vec<bool>,
+    /// Open `retry` span per src server (absent in pre-span checkpoints).
+    #[serde(default)]
+    pub span_src_retry: Vec<bool>,
+    /// Open `retry` span per dst server.
+    #[serde(default)]
+    pub span_dst_retry: Vec<bool>,
+    /// Open `quarantine` span per src server.
+    #[serde(default)]
+    pub span_src_quar: Vec<bool>,
+    /// Open `quarantine` span per dst server.
+    #[serde(default)]
+    pub span_dst_quar: Vec<bool>,
     /// Accumulated fault accounting.
     pub stats: FaultStats,
 }
