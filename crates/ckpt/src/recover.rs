@@ -99,12 +99,19 @@ where
         .ok_or(CkptError::Interrupted)?;
 
     let (journal, metrics) = tel.into_parts();
-    let suffix = journal.expect("telemetry was built with a journal");
+    // The telemetry above is built with a journal; losing it mid-run is
+    // corruption, reported as such rather than aborting the recovery.
+    let Some(suffix) = journal else {
+        return Err(CkptError::Corrupt {
+            path: Default::default(),
+            detail: "replay telemetry returned without its journal".to_string(),
+        });
+    };
     let replayed = suffix.records();
     if tail.len() > replayed.len() {
         return Err(CkptError::TailDiverged {
             seq: cursor + replayed.len() as u64,
-            disk: tail[replayed.len()].clone(),
+            disk: tail.get(replayed.len()).cloned().unwrap_or_default(),
             replay: "<run ended>".to_string(),
         });
     }

@@ -334,11 +334,12 @@ fn allocation_by_weights_impl(weights: &[f64], max_channel: u32) -> Vec<u32> {
     }
     // Distribute (or claw back) the difference by fractional part / weight.
     fractions.sort_by(|a, b| b.0.total_cmp(&a.0));
-    let mut k = 0usize;
-    while assigned < max_channel {
-        out[fractions[k % n].1] += 1;
+    // `fractions` holds one entry per chunk (n ≥ 1 here), so cycling it
+    // hands out exactly the deficit, round-robin by fractional part.
+    let deficit = max_channel.saturating_sub(assigned);
+    for &(_, i) in fractions.iter().cycle().take(deficit as usize) {
+        out[i] += 1;
         assigned += 1;
-        k += 1;
     }
     while assigned > max_channel {
         // Take from the smallest fractional parts, never below 1.
@@ -413,11 +414,10 @@ pub fn sla_allocation_live(
         .filter(|&i| live[i] && !is_large[i])
         .collect();
     order.sort_by(|&a, &b| chunks[b].weight().total_cmp(&chunks[a].weight()));
-    let mut k = 0usize;
-    while excess > 0 {
-        alloc[order[k % order.len()]] += 1;
-        excess -= 1;
-        k += 1;
+    // `order` is non-empty (has_live_non_large above), so cycling it
+    // places every excess channel.
+    for &i in order.iter().cycle().take(excess as usize) {
+        alloc[i] += 1;
     }
     // Auditor (Algorithm 3): rearranging the Large-chunk cap moves
     // channels, it never mints or burns them; and with the cap in force

@@ -1,0 +1,253 @@
+//! A conservative workspace call graph over the symbol table.
+//!
+//! Edges are built by scanning each fn body for call expressions and
+//! resolving them by name (see [`crate::symbols`] for the resolution
+//! policy). The graph over-approximates: a method call adds an edge to
+//! every same-named method in the workspace, and a bare call that names
+//! no free fn falls back to same-named methods — so calls routed through
+//! closures or fn-typed parameters stay visible. External calls (std,
+//! vendored crates) resolve to nothing and end the walk, which is
+//! exactly the boundary the panic-reachability rule needs: the sinks it
+//! hunts are workspace-local source expressions.
+
+use crate::parser::Expr;
+use crate::symbols::SymbolTable;
+use std::collections::BTreeMap;
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Calling fn (id into the symbol table).
+    pub caller: usize,
+    /// Called fn (id into the symbol table).
+    pub callee: usize,
+    /// 1-based line of the call site, in the caller's file.
+    pub line: u32,
+    /// The callee name as written at the call site (`run`,
+    /// `Type::run`, …) — the text per-edge allowlist entries match on.
+    pub call_text: String,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every resolved edge.
+    pub edges: Vec<Edge>,
+    /// caller id → indices into [`CallGraph::edges`].
+    pub out: BTreeMap<usize, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every fn body in the table.
+    pub fn build(table: &SymbolTable) -> Self {
+        let mut g = CallGraph::default();
+        for def in &table.fns {
+            let Some(body) = def.body else { continue };
+            let self_ty = def.self_ty.clone();
+            collect_calls(&table.bodies[body], &mut |call| {
+                let (targets, text) = resolve(table, &call, self_ty.as_deref());
+                for callee in targets {
+                    let idx = g.edges.len();
+                    g.edges.push(Edge {
+                        caller: def.id,
+                        callee,
+                        line: call.line,
+                        call_text: text.clone(),
+                    });
+                    g.out.entry(def.id).or_default().push(idx);
+                }
+            });
+        }
+        g
+    }
+
+    /// Walks the graph breadth-first from `roots`, returning for each
+    /// reached fn id the edge index that first discovered it (`None`
+    /// for the roots themselves). `cut` drops edges before traversal —
+    /// the per-edge allowlist hook.
+    pub fn reach(
+        &self,
+        roots: &[usize],
+        mut cut: impl FnMut(&Edge) -> bool,
+    ) -> BTreeMap<usize, Option<usize>> {
+        let mut seen: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if seen.insert(r, None).is_none() {
+                queue.push(r);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            let Some(out) = self.out.get(&cur) else {
+                continue;
+            };
+            for &ei in out {
+                let e = &self.edges[ei];
+                if cut(e) {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(v) = seen.entry(e.callee) {
+                    v.insert(Some(ei));
+                    queue.push(e.callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders a sample call path from a root down to `id`, using the
+    /// discovery edges from [`CallGraph::reach`].
+    pub fn sample_path(
+        &self,
+        table: &SymbolTable,
+        reached: &BTreeMap<usize, Option<usize>>,
+        id: usize,
+    ) -> String {
+        let mut names = vec![table.def(id).name.clone()];
+        let mut cur = id;
+        while let Some(Some(ei)) = reached.get(&cur) {
+            let e = &self.edges[*ei];
+            names.push(table.def(e.caller).name.clone());
+            cur = e.caller;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// A call site found in a body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Call-site kind and name data.
+    pub kind: CallKind,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// How the call was written.
+#[derive(Debug)]
+pub enum CallKind {
+    /// `name(…)` — a single-segment path call.
+    Bare(String),
+    /// `a::…::name(…)` — qualified; first element is the qualifier
+    /// *preceding* the final segment.
+    Qualified(String, String),
+    /// `recv.name(…)`.
+    Method(String),
+}
+
+fn collect_calls(body: &Expr, f: &mut dyn FnMut(CallSite)) {
+    body.visit(&mut |e| match e {
+        Expr::Call { callee, line, .. } => {
+            if let Expr::Path { segs, .. } = &**callee {
+                match segs.len() {
+                    0 => {}
+                    1 => f(CallSite {
+                        kind: CallKind::Bare(segs[0].clone()),
+                        line: *line,
+                    }),
+                    n => f(CallSite {
+                        kind: CallKind::Qualified(segs[n - 2].clone(), segs[n - 1].clone()),
+                        line: *line,
+                    }),
+                }
+            }
+        }
+        Expr::MethodCall { method, line, .. } => f(CallSite {
+            kind: CallKind::Method(method.clone()),
+            line: *line,
+        }),
+        _ => {}
+    });
+}
+
+/// Std vocabulary whose names collide with workspace methods constantly
+/// (`.get(…)` on a `Vec` would otherwise edge into every workspace
+/// `fn get`). Method calls written with these names resolve to nothing —
+/// a deliberate, documented precision/soundness tradeoff: any workspace
+/// method that *should* be walked under one of these names is reached
+/// through its qualified or bare call sites instead.
+const STD_VOCABULARY_METHODS: &[&str] = &[
+    "map", "and_then", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok_or", "ok_or_else",
+    "iter", "into_iter", "collect", "push", "pop", "insert", "remove", "get", "len", "is_empty",
+    "clone", "to_string", "into", "from", "as_ref", "as_mut", "filter", "fold", "sum", "min",
+    "max", "abs", "sort", "sort_by", "extend", "join", "contains", "starts_with", "ends_with",
+    "then", "take", "last", "first", "next", "enumerate", "zip", "rev", "chain", "flat_map",
+];
+
+fn resolve(
+    table: &SymbolTable,
+    call: &CallSite,
+    self_ty: Option<&str>,
+) -> (Vec<usize>, String) {
+    match &call.kind {
+        CallKind::Bare(name) => (table.resolve_bare(name, self_ty), format!("{name}(")),
+        CallKind::Qualified(q, name) => {
+            let q = if q == "Self" {
+                self_ty.unwrap_or(q.as_str())
+            } else {
+                q.as_str()
+            };
+            (table.resolve_qualified(q, name), format!("{q}::{name}("))
+        }
+        CallKind::Method(name) => {
+            if STD_VOCABULARY_METHODS.contains(&name.as_str()) {
+                (Vec::new(), format!(".{name}("))
+            } else {
+                (table.resolve_method(name), format!(".{name}("))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse_file;
+
+    fn graph(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let mut t = SymbolTable::default();
+        for (path, src) in files {
+            t.add_file("demo", path, false, &parse_file(&tokenize(src)));
+        }
+        let g = CallGraph::build(&t);
+        (t, g)
+    }
+
+    #[test]
+    fn bare_qualified_and_method_calls_resolve() {
+        let (t, g) = graph(&[(
+            "a.rs",
+            "fn top() { helper(); S::assoc(); obj.method_x(); }\nfn helper() {}\nstruct S;\nimpl S { fn assoc() {} fn method_x(&self) {} }",
+        )]);
+        let top = t.fns.iter().find(|f| f.name == "top").unwrap().id;
+        let reached = g.reach(&[top], |_| false);
+        let names: Vec<&str> = reached.keys().map(|id| t.def(*id).name.as_str()).collect();
+        assert!(names.contains(&"helper"), "{names:?}");
+        assert!(names.contains(&"assoc"), "{names:?}");
+        assert!(names.contains(&"method_x"), "{names:?}");
+    }
+
+    #[test]
+    fn edge_cut_stops_traversal() {
+        let (t, g) = graph(&[("a.rs", "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}")]);
+        let top = t.fns.iter().find(|f| f.name == "top").unwrap().id;
+        let reached = g.reach(&[top], |e| e.call_text == "leaf(");
+        let names: Vec<&str> = reached.keys().map(|id| t.def(*id).name.as_str()).collect();
+        assert!(names.contains(&"mid"));
+        assert!(!names.contains(&"leaf"), "{names:?}");
+    }
+
+    #[test]
+    fn sample_path_renders_root_to_sink() {
+        let (t, g) = graph(&[("a.rs", "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}")]);
+        let top = t.fns.iter().find(|f| f.name == "top").unwrap().id;
+        let leaf = t.fns.iter().find(|f| f.name == "leaf").unwrap().id;
+        let reached = g.reach(&[top], |_| false);
+        assert_eq!(g.sample_path(&t, &reached, leaf), "top -> mid -> leaf");
+    }
+}

@@ -28,8 +28,9 @@ pub enum Tok {
     Str(String),
     /// A char or byte literal (contents dropped).
     CharLit,
-    /// A numeric literal (contents dropped).
-    Num,
+    /// A numeric literal; the payload is the literal text (the parser's
+    /// fp-order rule needs to tell `1.5` and `1.5f64` from `3`).
+    Num(String),
     /// A lifetime such as `'a` (name dropped).
     Lifetime,
 }
@@ -157,6 +158,7 @@ pub fn tokenize(src: &str) -> Vec<Spanned> {
                 });
             }
             c if c.is_ascii_digit() => {
+                let start = i;
                 while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
                     // `1..=9` range: stop before a second consecutive dot.
                     if b[i] == '.' && b.get(i + 1) == Some(&'.') {
@@ -165,7 +167,7 @@ pub fn tokenize(src: &str) -> Vec<Spanned> {
                     i += 1;
                 }
                 out.push(Spanned {
-                    tok: Tok::Num,
+                    tok: Tok::Num(b[start..i].iter().collect()),
                     line,
                 });
             }

@@ -1,8 +1,11 @@
 //! `eadt-lint` — the workspace conformance analyzer.
 //!
-//! A dependency-free, token-level static-analysis pass that walks every
-//! workspace crate (excluding `vendor/`) and enforces the repo's
-//! machine-checkable invariants (DESIGN.md §10):
+//! A dependency-free static-analysis pipeline that walks every workspace
+//! crate (excluding `vendor/`) and enforces the repo's machine-checkable
+//! invariants (DESIGN.md §10, §15). The pass runs in two layers over the
+//! same token streams:
+//!
+//! **Token-level rules** (PR 3 lineage):
 //!
 //! * **determinism** — no `HashMap`/`HashSet`, no `Instant::now` /
 //!   `SystemTime`, no `thread_rng` / `rand::random` anywhere;
@@ -11,26 +14,43 @@
 //! * **schema** — every telemetry `Event` variant documented,
 //!   field-for-field, in the DESIGN.md §9 JSONL schema table;
 //! * **horizon** — every `Controller` overriding `next_decision_in()`
-//!   exercised by the macro-stepping equivalence suite
-//!   (`tests/macro_equivalence.rs`), so a new controller cannot silently
-//!   break the bit-for-bit macro-stepping invariant (DESIGN.md §12);
+//!   exercised by the macro-stepping equivalence suite;
 //! * **checkpoint** — every `EngineCheckpoint` field and controller
-//!   snapshot kind covered by the DESIGN.md §13 checkpoint schema, so
-//!   state added to the snapshot surface cannot drift undocumented.
+//!   snapshot kind covered by the DESIGN.md §13 checkpoint schema.
+//!
+//! **Tree-level rules**, on a recursive-descent parse ([`parser`]), a
+//! workspace symbol table ([`symbols`]) and a conservative call graph
+//! ([`callgraph`]) — see DESIGN.md §15:
+//!
+//! * **fp-order** — `partial_cmp` comparators, float accumulation over
+//!   unordered iterators, `as f32` narrowing in numeric hot paths;
+//! * **panic-reach** — panic sinks transitively reachable from
+//!   `Engine::run_controlled`, the fleet workers and checkpoint
+//!   recovery, with per-edge allowlist scoping (`panic-reach-edge`);
+//! * **unit-escape** — raw-`f64` `+`/`-` across different unit-newtype
+//!   extractor families within one function;
+//! * **api-surface** — canonical per-crate public-API snapshots under
+//!   `docs/api/`, failing on undocumented drift (regenerate with
+//!   `--update-api`).
 //!
 //! Known violations burn down explicitly through `lint-allow.toml`.
 //! Run it as `cargo run -p eadt-lint -- --deny-warnings` (the CI
-//! `lint-conformance` job does exactly that).
+//! `lint-conformance` and `lint-deep` jobs do exactly that).
 
 #![deny(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
 use allow::Allowlist;
 use rules::Violation;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Location of the telemetry event definitions, relative to the repo root.
@@ -47,10 +67,52 @@ pub const ALLOW_TOML: &str = "lint-allow.toml";
 pub struct Report {
     /// Violations that survived the allowlist, in path/line order.
     pub violations: Vec<Violation>,
-    /// Violations suppressed by `lint-allow.toml`.
+    /// Violations suppressed by `lint-allow.toml` (including one entry
+    /// per severed `panic-reach-edge`).
     pub allowed: Vec<Violation>,
     /// Number of files analyzed.
     pub files: usize,
+}
+
+/// One analyzed source file with both analysis layers materialized.
+struct Analyzed {
+    file: walk::SourceFile,
+    toks: Vec<lexer::Spanned>,
+    parsed: parser::ParsedFile,
+}
+
+/// Reads sources and materializes tokens + parse trees, once per file.
+fn analyze_sources(root: &Path) -> Result<Vec<Analyzed>, String> {
+    let sources = walk::collect_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    Ok(sources
+        .into_iter()
+        .map(|file| {
+            let toks = lexer::tokenize(&file.text);
+            let parsed = parser::parse_file(&toks);
+            Analyzed { file, toks, parsed }
+        })
+        .collect())
+}
+
+/// Recomputes every crate's API snapshot and writes `docs/api/*.txt`.
+/// Returns the written paths (repo-relative), for reporting.
+pub fn update_api_snapshots(root: &Path) -> Result<Vec<String>, String> {
+    let analyzed = analyze_sources(root)?;
+    let snapshots = rules::api_surface::build_snapshots(
+        analyzed
+            .iter()
+            .filter(|a| !a.file.is_test_code())
+            .map(|a| (a.file.rel_path.as_str(), &a.parsed)),
+    );
+    let dir = root.join(rules::api_surface::API_DIR);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for (krate, text) in &snapshots {
+        let path = dir.join(format!("{krate}.txt"));
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        written.push(format!("{}/{krate}.txt", rules::api_surface::API_DIR));
+    }
+    Ok(written)
 }
 
 /// Runs every rule over the workspace rooted at `root`.
@@ -63,7 +125,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
         Err(e) => return Err(format!("{ALLOW_TOML}: {e}")),
     };
-    let sources = walk::collect_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let analyzed = analyze_sources(root)?;
     let mut raw: Vec<Violation> = Vec::new();
 
     let suite_src = std::fs::read_to_string(root.join(rules::horizon::SUITE_PATH)).ok();
@@ -76,25 +138,102 @@ pub fn run(root: &Path) -> Result<Report, String> {
         });
     }
 
-    for file in &sources {
-        let toks = lexer::tokenize(&file.text);
-        raw.extend(rules::determinism::check(&file.rel_path, &toks));
+    // --- Token-level rules, plus per-body tree rules -------------------
+    let mut table = symbols::SymbolTable::default();
+    for a in &analyzed {
+        let file = &a.file;
+        raw.extend(rules::determinism::check(&file.rel_path, &a.toks));
         if rules::robustness::CHECKED_CRATES.contains(&file.crate_name()) && !file.is_test_code() {
-            raw.extend(rules::robustness::check(&file.rel_path, &toks));
+            raw.extend(rules::robustness::check(&file.rel_path, &a.toks));
         }
         if let Some(suite) = &suite_src {
             if !file.is_test_code() {
-                raw.extend(rules::horizon::check(&file.rel_path, &toks, suite));
+                raw.extend(rules::horizon::check(&file.rel_path, &a.toks, suite));
+            }
+        }
+
+        let narrowing = rules::fp_order::HOT_CRATES.contains(&file.crate_name())
+            && !file.is_test_code();
+        let unit_checked = rules::unit_escape::CHECKED_CRATES.contains(&file.crate_name())
+            && !file.is_test_code();
+        a.parsed.visit_items(&mut |it, stack| {
+            // Nested helper fns are inlined into their enclosing body
+            // (parser.rs), so visiting them again would double-report.
+            if stack
+                .iter()
+                .any(|p| matches!(p.kind, parser::ItemKind::Fn))
+            {
+                return;
+            }
+            if let Some(body) = &it.body {
+                raw.extend(rules::fp_order::check_body(
+                    &file.rel_path,
+                    body,
+                    narrowing && !it.cfg_test,
+                ));
+                if unit_checked && !it.cfg_test {
+                    raw.extend(rules::unit_escape::check_body(&file.rel_path, body));
+                }
+            }
+        });
+
+        table.add_file(
+            file.crate_name(),
+            &file.rel_path,
+            file.is_test_code(),
+            &a.parsed,
+        );
+    }
+
+    // --- Panic reachability over the call graph ------------------------
+    let graph = callgraph::CallGraph::build(&table);
+    let edge_allow: Vec<(String, String)> = allowlist
+        .entries
+        .iter()
+        .filter(|e| e.rule == "panic-reach-edge")
+        .map(|e| (e.path.clone(), e.context.clone()))
+        .collect();
+    let texts: BTreeMap<&str, &str> = analyzed
+        .iter()
+        .map(|a| (a.file.rel_path.as_str(), a.file.text.as_str()))
+        .collect();
+    let reach = rules::panic_reach::check(&table, &graph, &edge_allow, |file, line| {
+        texts
+            .get(file)
+            .map(|t| line_of(t, line))
+            .unwrap_or_default()
+    });
+    raw.extend(reach.violations);
+    let mut allowed_extra = reach.severed_edges;
+
+    // --- API surface ----------------------------------------------------
+    let snapshots = rules::api_surface::build_snapshots(
+        analyzed
+            .iter()
+            .filter(|a| !a.file.is_test_code())
+            .map(|a| (a.file.rel_path.as_str(), &a.parsed)),
+    );
+    let mut on_disk = BTreeMap::new();
+    let api_dir = root.join(rules::api_surface::API_DIR);
+    if let Ok(entries) = std::fs::read_dir(&api_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(krate) = name.strip_suffix(".txt") {
+                if let Ok(text) = std::fs::read_to_string(entry.path()) {
+                    on_disk.insert(krate.to_string(), text);
+                }
             }
         }
     }
+    raw.extend(rules::api_surface::check(&snapshots, &on_disk));
 
+    // --- Schema / checkpoint (doc-coupled) ------------------------------
     let design =
         std::fs::read_to_string(root.join(DESIGN_MD)).map_err(|e| format!("{DESIGN_MD}: {e}"))?;
-    match sources.iter().find(|f| f.rel_path == EVENT_RS) {
+    match analyzed.iter().find(|a| a.file.rel_path == EVENT_RS) {
         Some(event_file) => {
             raw.extend(rules::schema::check(
-                &event_file.text,
+                &event_file.file.text,
                 EVENT_RS,
                 &design,
                 DESIGN_MD,
@@ -108,21 +247,20 @@ pub fn run(root: &Path) -> Result<Report, String> {
         }),
     }
 
-    match sources.iter().find(|f| f.rel_path == CHECKPOINT_RS) {
+    match analyzed.iter().find(|a| a.file.rel_path == CHECKPOINT_RS) {
         Some(ckpt_file) => {
             let mut kinds = Vec::new();
-            for file in &sources {
-                if file.is_test_code() {
+            for a in &analyzed {
+                if a.file.is_test_code() {
                     continue;
                 }
-                let toks = lexer::tokenize(&file.text);
                 kinds.extend(rules::checkpoint::collect_kind_consts(
-                    &file.rel_path,
-                    &toks,
+                    &a.file.rel_path,
+                    &a.toks,
                 ));
             }
             raw.extend(rules::checkpoint::check(
-                &ckpt_file.text,
+                &ckpt_file.file.text,
                 CHECKPOINT_RS,
                 &design,
                 DESIGN_MD,
@@ -140,17 +278,16 @@ pub fn run(root: &Path) -> Result<Report, String> {
     // Apply the allowlist: an entry covers a violation when rule and path
     // match and the source line contains the entry's context.
     let mut report = Report {
-        files: sources.len(),
+        files: analyzed.len(),
         ..Report::default()
     };
     for v in raw {
         let line_text = if v.path == DESIGN_MD {
             line_of(&design, v.line)
         } else {
-            sources
-                .iter()
-                .find(|f| f.rel_path == v.path)
-                .map(|f| line_of(&f.text, v.line))
+            texts
+                .get(v.path.as_str())
+                .map(|t| line_of(t, v.line))
                 .unwrap_or_default()
         };
         if allowlist.covers(v.rule, &v.path, &line_text) {
@@ -159,6 +296,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
             report.violations.push(v);
         }
     }
+    report.allowed.append(&mut allowed_extra);
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));

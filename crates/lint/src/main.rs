@@ -1,4 +1,5 @@
-//! CLI entry point: `cargo run -p eadt-lint -- [--deny-warnings] [--root DIR]`.
+//! CLI entry point: `cargo run -p eadt-lint -- [--deny-warnings] [--root DIR]
+//! [--format text|json|sarif] [--update-api]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,19 +14,42 @@ OPTIONS:
     --deny-warnings    Exit non-zero when any violation is found (CI mode)
     --root DIR         Workspace root to analyze (default: ancestor of this
                        crate containing Cargo.lock, else the working dir)
+    --format FORMAT    Report format: text (default), json, or sarif
+    --update-api       Regenerate docs/api/*.txt public-API snapshots and exit
     --list-allow       Print the active allowlist entries and exit
     --help             Show this help
 ";
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut list_allow = false;
+    let mut update_api = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => deny = true,
             "--list-allow" => list_allow = true,
+            "--update-api" => update_api = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "error: --format needs one of text|json|sarif, got {other:?}\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -44,6 +68,21 @@ fn main() -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(default_root);
+
+    if update_api {
+        return match eadt_lint::update_api_snapshots(&root) {
+            Ok(written) => {
+                for p in &written {
+                    println!("wrote {p}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if list_allow {
         // A missing allowlist is an empty allowlist; an unreadable or
@@ -73,15 +112,21 @@ fn main() -> ExitCode {
 
     match eadt_lint::run(&root) {
         Ok(report) => {
-            for v in &report.violations {
-                println!("{v}");
+            match format {
+                Format::Text => {
+                    for v in &report.violations {
+                        println!("{v}");
+                    }
+                    println!(
+                        "eadt-lint: {} files, {} violation(s), {} allowlisted",
+                        report.files,
+                        report.violations.len(),
+                        report.allowed.len()
+                    );
+                }
+                Format::Json => println!("{}", eadt_lint::output::json(&report)),
+                Format::Sarif => println!("{}", eadt_lint::output::sarif(&report)),
             }
-            println!(
-                "eadt-lint: {} files, {} violation(s), {} allowlisted",
-                report.files,
-                report.violations.len(),
-                report.allowed.len()
-            );
             if deny && !report.violations.is_empty() {
                 ExitCode::FAILURE
             } else {

@@ -1,0 +1,240 @@
+//! FP-order lints: machine-checking the float-determinism conventions.
+//!
+//! Every bit-identical guarantee in the repo (journal replay, macro-step
+//! equivalence, fleet rollups) assumes floating-point operations happen
+//! in a fixed order with fixed precision. Three conventions keep that
+//! true, and this rule makes each structural instead of reviewed-for:
+//!
+//! * **total order comparators** — `partial_cmp` inside a
+//!   `sort_by`/`max_by`/`min_by`/`binary_search_by` comparator either
+//!   panics on NaN (via `unwrap`) or silently reorders (via
+//!   `unwrap_or`); `f64::total_cmp` is the convention. Checked
+//!   workspace-wide, tests included — a test that sorts with
+//!   `partial_cmp` is exactly how a flaky comparison sneaks in.
+//! * **no float accumulation over unordered iterators** — `sum`/`fold`/
+//!   `reduce`/`product` of floats over `par_iter`-family or `read_dir`
+//!   streams depends on reduction order; reduce sequentially or over an
+//!   index-ordered collection instead.
+//! * **no float narrowing in hot paths** — an `as f32` cast in
+//!   engine/net/power code quietly halves precision and is never part
+//!   of the simulation's numeric contract.
+
+use super::Violation;
+use crate::parser::Expr;
+
+/// Crates whose non-test code the narrowing sub-rule applies to (the
+/// numeric hot paths feeding bit-identical artifacts).
+pub const HOT_CRATES: &[&str] = &["core", "transfer", "net", "power", "netenergy", "sim"];
+
+/// Comparator-taking methods whose argument must use a total order.
+const COMPARATOR_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "partition_point_by",
+];
+
+/// Accumulator methods order-sensitive for floats.
+const ACCUMULATORS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Iterator sources with no deterministic order guarantee.
+const UNORDERED_SOURCES: &[&str] = &["par_iter", "into_par_iter", "par_bridge", "read_dir"];
+
+/// Unit-extractor methods that mark a value as float-typed (shared with
+/// the unit-escape rule's family table).
+const FLOAT_EXTRACTORS: &[&str] = &[
+    "as_secs_f64",
+    "as_f64",
+    "as_mb",
+    "as_gb",
+    "as_bps",
+    "as_mbps",
+    "as_gbps",
+    "energy_joules",
+    "energy_between",
+    "mean_watts",
+    "idle_watts",
+];
+
+/// Runs the fp-order lints over one function body.
+///
+/// `check_narrowing` is true for non-test code in [`HOT_CRATES`].
+pub fn check_body(path: &str, body: &Expr, check_narrowing: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    body.visit(&mut |e| {
+        match e {
+            Expr::MethodCall { method, args, recv, turbofish, .. } => {
+                if COMPARATOR_METHODS.contains(&method.as_str()) {
+                    for a in args {
+                        flag_partial_cmp(path, a, method, &mut out);
+                    }
+                }
+                if ACCUMULATORS.contains(&method.as_str())
+                    && chain_has_unordered_source(recv)
+                    && is_float_accumulation(turbofish, args)
+                {
+                    out.push(Violation {
+                        rule: "fp-order",
+                        path: path.to_string(),
+                        line: e.line(),
+                        message: format!(
+                            "float `{method}` over an unordered iterator: reduction order is \
+                             non-deterministic; collect in job/index order first, then reduce \
+                             sequentially (DESIGN.md §15)"
+                        ),
+                    });
+                }
+            }
+            Expr::Cast { ty, line, .. } if check_narrowing && ty == "f32" => {
+                out.push(Violation {
+                    rule: "fp-order",
+                    path: path.to_string(),
+                    line: *line,
+                    message: "`as f32` narrowing in a numeric hot path: precision loss is not \
+                              part of the simulation contract; stay in f64 (DESIGN.md §15)"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    });
+    out
+}
+
+/// Flags `partial_cmp` calls anywhere inside a comparator argument.
+fn flag_partial_cmp(path: &str, arg: &Expr, comparator: &str, out: &mut Vec<Violation>) {
+    arg.visit(&mut |e| {
+        if let Expr::MethodCall { method, line, .. } = e {
+            if method == "partial_cmp" {
+                out.push(Violation {
+                    rule: "fp-order",
+                    path: path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`partial_cmp` inside `{comparator}`: NaN either panics or silently \
+                         reorders; use `f64::total_cmp` (the workspace total-order convention, \
+                         DESIGN.md §15)"
+                    ),
+                });
+            }
+        }
+    });
+}
+
+/// True when the receiver chain reaches one of [`UNORDERED_SOURCES`].
+fn chain_has_unordered_source(recv: &Expr) -> bool {
+    let mut found = false;
+    recv.visit(&mut |e| match e {
+        Expr::MethodCall { method, .. } if UNORDERED_SOURCES.contains(&method.as_str()) => {
+            found = true;
+        }
+        Expr::Path { segs, .. }
+            if segs
+                .last()
+                .is_some_and(|s| UNORDERED_SOURCES.contains(&s.as_str())) =>
+        {
+            found = true;
+        }
+        _ => {}
+    });
+    found
+}
+
+/// True when the accumulation is float-typed: a `f32`/`f64` turbofish, a
+/// float-literal initial value, or a unit extractor in the closure.
+fn is_float_accumulation(turbofish: &str, args: &[Expr]) -> bool {
+    if turbofish.contains("f64") || turbofish.contains("f32") {
+        return true;
+    }
+    let mut float = false;
+    for a in args {
+        a.visit(&mut |e| match e {
+            Expr::Lit { float: true, .. } => float = true,
+            Expr::MethodCall { method, .. }
+                if FLOAT_EXTRACTORS.contains(&method.as_str()) =>
+            {
+                float = true;
+            }
+            _ => {}
+        });
+    }
+    float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse_file;
+
+    fn run(src: &str, narrowing: bool) -> Vec<Violation> {
+        let pf = parse_file(&tokenize(src));
+        let mut out = Vec::new();
+        pf.visit_items(&mut |it, _| {
+            if let Some(body) = &it.body {
+                out.extend(check_body("x.rs", body, narrowing));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn partial_cmp_in_sort_by_is_flagged() {
+        let src = r#"
+            fn f(v: &mut Vec<f64>) {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+        "#;
+        let v = run(src, false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn total_cmp_sort_passes() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_outside_comparators_passes() {
+        // NaN-rejecting validation is the legitimate use of partial_cmp.
+        let src = "fn ok(x: f64) -> bool { x.partial_cmp(&0.0) == Some(Ordering::Greater) }";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn float_parallel_sum_is_flagged() {
+        let src = "fn f(v: &[f64]) -> f64 { v.par_iter().map(|x| x * 2.0).sum::<f64>() }";
+        let v = run(src, false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("non-deterministic"));
+    }
+
+    #[test]
+    fn float_fold_over_par_iter_is_flagged() {
+        let src = "fn f(v: &[Bytes]) -> f64 { v.into_par_iter().fold(0.0, |a, b| a + b.as_f64()) }";
+        assert_eq!(run(src, false).len(), 1);
+    }
+
+    #[test]
+    fn sequential_float_sum_passes() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn integer_parallel_sum_passes() {
+        let src = "fn f(v: &[u64]) -> u64 { v.par_iter().sum::<u64>() }";
+        assert!(run(src, false).is_empty());
+    }
+
+    #[test]
+    fn f32_narrowing_is_flagged_only_in_hot_paths() {
+        let src = "fn f(x: f64) -> f32 { x as f32 }";
+        assert_eq!(run(src, true).len(), 1);
+        assert!(run(src, false).is_empty());
+    }
+}

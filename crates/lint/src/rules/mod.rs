@@ -1,6 +1,7 @@
 //! Lint rules and their shared plumbing.
 //!
-//! Five rule families, mirroring the repo's invariants:
+//! Nine rule families, mirroring the repo's invariants. Five are
+//! token-level:
 //!
 //! * [`determinism`] — no ambient time, no ambient randomness, no
 //!   iteration-order-unstable collections anywhere in workspace code;
@@ -12,12 +13,30 @@
 //!   is exercised by the macro-stepping equivalence suite;
 //! * [`checkpoint`] — every `EngineCheckpoint` field and every controller
 //!   snapshot kind stays covered by the DESIGN.md §13 checkpoint schema.
+//!
+//! Four run on the parsed item/expr tree and the workspace call graph
+//! (DESIGN.md §15):
+//!
+//! * [`fp_order`] — `partial_cmp` comparators, float accumulation over
+//!   unordered iterators, and `as f32` narrowing in numeric hot paths;
+//! * [`panic_reach`] — the robustness ban made *transitive*: every
+//!   `unwrap`/`expect`/`panic!`/computed-index sink reachable from the
+//!   engine, fleet-worker and recovery roots, with per-edge allowlist
+//!   scoping;
+//! * [`unit_escape`] — raw-`f64` `+`/`-` mixing values extracted from
+//!   different unit newtypes within one function;
+//! * [`api_surface`] — per-crate public-API snapshots under `docs/api/`,
+//!   failing on undocumented drift.
 
+pub mod api_surface;
 pub mod checkpoint;
 pub mod determinism;
+pub mod fp_order;
 pub mod horizon;
+pub mod panic_reach;
 pub mod robustness;
 pub mod schema;
+pub mod unit_escape;
 
 use crate::lexer::{Spanned, Tok};
 

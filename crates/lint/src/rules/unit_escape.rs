@@ -1,0 +1,150 @@
+//! Unit-escape lint: raw-`f64` arithmetic must not mix unit families.
+//!
+//! The `eadt-sim` unit newtypes (`Bytes`, `Rate`, `SimTime`,
+//! `SimDuration`) and the power meters keep dimensions straight at the
+//! type level — until someone extracts raw `f64`s and adds seconds to
+//! megabits. The escape hatch methods are easy to spot (`as_secs_f64`,
+//! `as_mbps`, `energy_joules`, …), so this rule tracks which *unit
+//! family* a raw subexpression came from and flags `+`/`-` between
+//! different families inside one function.
+//!
+//! Multiplication and division are exempt (products legitimately change
+//! dimension: `rate * time = volume`), as are values passing through
+//! casts or unknown calls — the rule only claims what it can prove from
+//! the extractor call itself.
+
+use super::Violation;
+use crate::parser::Expr;
+
+/// Crates whose non-test code the rule applies to. The CLI is excluded:
+/// its `serde_json::Value::as_f64` would collide with the `Bytes`
+/// extractor by name.
+pub const CHECKED_CRATES: &[&str] = &["core", "transfer", "net", "power", "netenergy", "fleet"];
+
+/// Extractor method → unit family.
+const FAMILIES: &[(&str, &str)] = &[
+    ("as_secs_f64", "time-seconds"),
+    ("as_f64", "bytes"),
+    ("as_mb", "bytes"),
+    ("as_gb", "bytes"),
+    ("as_bps", "rate"),
+    ("as_mbps", "rate"),
+    ("as_gbps", "rate"),
+    ("energy_joules", "energy-joules"),
+    ("energy_between", "energy-joules"),
+    ("mean_watts", "power-watts"),
+    ("idle_watts", "power-watts"),
+];
+
+/// Methods transparent to the unit family of their receiver.
+const TRANSPARENT: &[&str] = &["min", "max", "abs", "clamp", "floor", "ceil", "round"];
+
+/// Runs the unit-escape lint over one function body.
+pub fn check_body(path: &str, body: &Expr) -> Vec<Violation> {
+    let mut out = Vec::new();
+    body.visit(&mut |e| {
+        if let Expr::Binary { op, lhs, rhs, line } = e {
+            if op == "+" || op == "-" {
+                if let (Some(a), Some(b)) = (family_of(lhs), family_of(rhs)) {
+                    if a != b {
+                        out.push(Violation {
+                            rule: "unit-escape",
+                            path: path.to_string(),
+                            line: *line,
+                            message: format!(
+                                "`{op}` mixes unit families `{a}` and `{b}` as raw f64: keep \
+                                 values in their newtypes, or convert explicitly before \
+                                 combining (DESIGN.md §15)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+/// The unit family a subexpression provably carries, if any.
+///
+/// Descends through unary ops, parens and [`TRANSPARENT`] methods;
+/// stops (returns `None`) at `*`/`/`, casts, literals and calls it does
+/// not know — those change or launder the dimension.
+fn family_of(e: &Expr) -> Option<&'static str> {
+    match e {
+        Expr::MethodCall { method, recv, .. } => {
+            if let Some((_, fam)) = FAMILIES.iter().find(|(m, _)| m == method) {
+                return Some(fam);
+            }
+            if TRANSPARENT.contains(&method.as_str()) {
+                return family_of(recv);
+            }
+            None
+        }
+        Expr::Unary { inner, .. } => family_of(inner),
+        Expr::Binary { op, lhs, rhs, .. } if op == "+" || op == "-" => {
+            // A same-family sum keeps the family; a mixed one is already
+            // flagged at its own node.
+            let (a, b) = (family_of(lhs)?, family_of(rhs)?);
+            (a == b).then_some(a)
+        }
+        Expr::Seq { exprs, .. } if exprs.len() == 1 => family_of(&exprs[0]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse_file;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = parse_file(&tokenize(src));
+        let mut out = Vec::new();
+        pf.visit_items(&mut |it, _| {
+            if let Some(body) = &it.body {
+                out.extend(check_body("x.rs", body));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn mixing_time_and_rate_is_flagged() {
+        let src = "fn f(t: SimDuration, r: Rate) -> f64 { t.as_secs_f64() + r.as_mbps() }";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("time-seconds"));
+        assert!(v[0].message.contains("rate"));
+    }
+
+    #[test]
+    fn same_family_arithmetic_passes() {
+        let src = "fn f(a: Bytes, b: Bytes) -> f64 { a.as_f64() + b.as_f64() - a.as_mb() }";
+        // `as_f64` and `as_mb` are both bytes-family; mixing *scales*
+        // within a family is a different bug class the rule does not
+        // claim.
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn products_across_families_pass() {
+        let src = "fn f(t: SimDuration, r: Rate) -> f64 { r.as_bps() * t.as_secs_f64() / 8.0 }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn transparent_methods_keep_the_family() {
+        let src = "fn f(a: Rate, t: SimDuration) -> f64 { a.as_bps().max(0.0) - t.as_secs_f64() }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn laundered_values_are_not_claimed() {
+        // Passing through an unknown call drops the family: no proof, no
+        // finding.
+        let src = "fn f(t: SimDuration, r: Rate) -> f64 { scale(t.as_secs_f64()) + r.as_bps() }";
+        assert!(run(src).is_empty());
+    }
+}

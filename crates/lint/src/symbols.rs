@@ -1,0 +1,247 @@
+//! Workspace symbol table: every function definition, addressable enough
+//! for conservative call resolution.
+//!
+//! The table is intentionally name-based rather than type-based — the
+//! lint pipeline has no type inference, so a method call `x.run(…)`
+//! resolves to *every* `fn run` defined in an impl or trait anywhere in
+//! the workspace. That over-approximation is exactly what the
+//! panic-reachability rule wants: an edge we cannot rule out is an edge
+//! we must assume.
+
+use crate::parser::{Item, ItemKind, ParsedFile, Vis};
+use std::collections::BTreeMap;
+
+/// One function definition somewhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Stable id: index into [`SymbolTable::fns`].
+    pub id: usize,
+    /// Function name.
+    pub name: String,
+    /// Crate the definition lives in (`core`, `transfer`, … or the
+    /// `eadt` root package).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` item.
+    pub line: u32,
+    /// The enclosing impl's self type, for associated fns (`Engine` for
+    /// `impl Engine { fn run … }`); `None` for free fns and trait
+    /// declarations.
+    pub self_ty: Option<String>,
+    /// The enclosing trait (trait declarations *and* trait impls).
+    pub trait_name: Option<String>,
+    /// Index of the item's body in [`SymbolTable::bodies`], when it has
+    /// one.
+    pub body: Option<usize>,
+    /// True when the fn is test-gated (or defined in a test-only file).
+    pub test_only: bool,
+    /// Visibility as written.
+    pub vis: Vis,
+}
+
+/// All function definitions in the workspace, with name-based lookup.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function definition.
+    pub fns: Vec<FnDef>,
+    /// Parsed bodies, referenced by [`FnDef::body`].
+    pub bodies: Vec<crate::parser::Expr>,
+    /// name → fn ids, for free functions.
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+    /// name → fn ids, for impl-associated and trait functions.
+    pub method_by_name: BTreeMap<String, Vec<usize>>,
+    /// (self type, name) → fn ids, for qualified `Type::method` calls.
+    pub by_ty_and_name: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Adds every fn in a parsed file to the table.
+    pub fn add_file(&mut self, krate: &str, rel_path: &str, file_is_test: bool, pf: &ParsedFile) {
+        collect(
+            self,
+            krate,
+            rel_path,
+            file_is_test,
+            &pf.items,
+            None,
+            None,
+        );
+    }
+
+    /// Looks up a function definition by id.
+    pub fn def(&self, id: usize) -> &FnDef {
+        &self.fns[id]
+    }
+
+    /// Resolves a bare call `name(…)` seen inside `self_ty`'s impl (if
+    /// any): free fns first; if none exist, fall back to methods of the
+    /// same name — that covers calls through closures and fn-typed
+    /// parameters, which the panic rule must not lose.
+    pub fn resolve_bare(&self, name: &str, self_ty: Option<&str>) -> Vec<usize> {
+        if let Some(ty) = self_ty {
+            if let Some(ids) = self.by_ty_and_name.get(&(ty.to_string(), name.to_string())) {
+                let mut out = ids.clone();
+                if let Some(free) = self.free_by_name.get(name) {
+                    out.extend_from_slice(free);
+                }
+                return out;
+            }
+        }
+        if let Some(ids) = self.free_by_name.get(name) {
+            return ids.clone();
+        }
+        self.method_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a method call `recv.name(…)`: every impl/trait fn of
+    /// that name in the workspace.
+    pub fn resolve_method(&self, name: &str) -> Vec<usize> {
+        self.method_by_name.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Resolves a qualified call `Qualifier::name(…)`. A qualifier that
+    /// matches a known self type narrows to that type's fns; `Self`
+    /// must already be substituted by the caller. Unknown qualifiers
+    /// (std, serde_json, …) resolve to nothing — external code is
+    /// outside the graph.
+    pub fn resolve_qualified(&self, qualifier: &str, name: &str) -> Vec<usize> {
+        self.by_ty_and_name
+            .get(&(qualifier.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+fn collect(
+    table: &mut SymbolTable,
+    krate: &str,
+    rel_path: &str,
+    file_is_test: bool,
+    items: &[Item],
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+) {
+    for it in items {
+        match &it.kind {
+            ItemKind::Fn => {
+                let id = table.fns.len();
+                let body = it.body.as_ref().map(|b| {
+                    table.bodies.push(b.clone());
+                    table.bodies.len() - 1
+                });
+                let def = FnDef {
+                    id,
+                    name: it.name.clone(),
+                    krate: krate.to_string(),
+                    file: rel_path.to_string(),
+                    line: it.line,
+                    self_ty: self_ty.map(str::to_string),
+                    trait_name: trait_name.map(str::to_string),
+                    body,
+                    test_only: file_is_test || it.cfg_test,
+                    vis: it.vis,
+                };
+                match self_ty.or(trait_name) {
+                    Some(ty) => {
+                        table
+                            .method_by_name
+                            .entry(def.name.clone())
+                            .or_default()
+                            .push(id);
+                        table
+                            .by_ty_and_name
+                            .entry((ty.to_string(), def.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        table
+                            .free_by_name
+                            .entry(def.name.clone())
+                            .or_default()
+                            .push(id);
+                    }
+                }
+                table.fns.push(def);
+            }
+            ItemKind::Impl {
+                self_ty: ty,
+                trait_name: tr,
+            } => {
+                collect(
+                    table,
+                    krate,
+                    rel_path,
+                    file_is_test,
+                    &it.children,
+                    Some(ty),
+                    tr.as_deref(),
+                );
+            }
+            ItemKind::Trait => {
+                collect(
+                    table,
+                    krate,
+                    rel_path,
+                    file_is_test,
+                    &it.children,
+                    None,
+                    Some(&it.name),
+                );
+            }
+            ItemKind::Mod { .. } => {
+                collect(
+                    table,
+                    krate,
+                    rel_path,
+                    file_is_test,
+                    &it.children,
+                    None,
+                    None,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse_file;
+
+    fn table(src: &str) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        t.add_file("demo", "crates/demo/src/lib.rs", false, &parse_file(&tokenize(src)));
+        t
+    }
+
+    #[test]
+    fn free_and_method_fns_are_indexed_separately() {
+        let t = table(
+            "fn free() {}\nstruct S;\nimpl S { pub fn go(&self) {} }\ntrait T { fn go(&self); }",
+        );
+        assert_eq!(t.resolve_bare("free", None).len(), 1);
+        assert_eq!(t.resolve_method("go").len(), 2);
+        assert_eq!(t.resolve_qualified("S", "go").len(), 1);
+        assert!(t.resolve_qualified("Unknown", "go").is_empty());
+    }
+
+    #[test]
+    fn bare_calls_fall_back_to_methods() {
+        let t = table("struct S;\nimpl S { fn run(&self) {} }");
+        // `run(x)` through a closure/fn-pointer still finds the method.
+        assert_eq!(t.resolve_bare("run", None).len(), 1);
+    }
+
+    #[test]
+    fn test_gating_is_recorded() {
+        let t = table("#[cfg(test)]\nmod tests { fn helper() {} }\nfn live() {}");
+        let helper = t.fns.iter().find(|f| f.name == "helper").unwrap();
+        let live = t.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(helper.test_only);
+        assert!(!live.test_only);
+    }
+}

@@ -41,21 +41,30 @@ impl SourceFile {
 }
 
 /// Collects every `.rs` file of the workspace under `root`, skipping
-/// [`SKIP_DIRS`]. Paths come back sorted so diagnostics are stable.
+/// [`SKIP_DIRS`]. Files come back sorted by their normalized repo-relative
+/// path **as UTF-8 bytes** — not by `PathBuf`'s platform-dependent
+/// component order — so finding order and the API snapshots are
+/// byte-stable across filesystems and readdir orders.
 pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut paths = Vec::new();
     walk(root, &mut paths)?;
-    paths.sort();
-    let mut out = Vec::with_capacity(paths.len());
-    for p in paths {
+    let mut keyed: Vec<(String, PathBuf)> = paths
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            (rel, p)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    let mut out = Vec::with_capacity(keyed.len());
+    for (rel, p) in keyed {
         let text = std::fs::read_to_string(&p)?;
-        let rel = p
-            .strip_prefix(root)
-            .unwrap_or(&p)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
         out.push(SourceFile {
             rel_path: rel,
             text,

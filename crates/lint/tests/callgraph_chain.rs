@@ -1,0 +1,102 @@
+//! Call-graph integration test: a known call chain spanning three crates
+//! — a free fn in crate `a`, through a free fn in crate `b`, into an
+//! inherent method in crate `c` — must come out of the resolver as one
+//! connected path, and the BFS walk must recover that exact path.
+
+use eadt_lint::callgraph::CallGraph;
+use eadt_lint::lexer::tokenize;
+use eadt_lint::parser::parse_file;
+use eadt_lint::symbols::SymbolTable;
+
+fn table() -> SymbolTable {
+    let files = [
+        (
+            "a",
+            "crates/a/src/lib.rs",
+            "pub fn top() { middle_step(); }",
+        ),
+        (
+            "b",
+            "crates/b/src/lib.rs",
+            "pub fn middle_step() { let e = Engine; e.finish_step(); }",
+        ),
+        (
+            "c",
+            "crates/c/src/lib.rs",
+            "pub struct Engine;\nimpl Engine { pub fn finish_step(&self) { panic!(\"boom\"); } }",
+        ),
+    ];
+    let mut table = SymbolTable::default();
+    for (krate, path, src) in files {
+        table.add_file(krate, path, false, &parse_file(&tokenize(src)));
+    }
+    table
+}
+
+fn fn_id(table: &SymbolTable, name: &str) -> usize {
+    table
+        .fns
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("fn {name} not in table"))
+        .id
+}
+
+#[test]
+fn three_crate_chain_is_connected_and_walkable() {
+    let table = table();
+    let graph = CallGraph::build(&table);
+    let top = fn_id(&table, "top");
+    let mid = fn_id(&table, "middle_step");
+    let leaf = fn_id(&table, "finish_step");
+
+    // The defs really span three crates.
+    assert_eq!(table.def(top).krate, "a");
+    assert_eq!(table.def(mid).krate, "b");
+    assert_eq!(table.def(leaf).krate, "c");
+
+    // BFS from the top reaches the leaf, and the recorded discovery
+    // edges reconstruct the exact chain.
+    let reached = graph.reach(&[top], |_| false);
+    assert!(reached.contains_key(&mid), "top -> middle_step edge missing");
+    assert!(reached.contains_key(&leaf), "middle_step -> finish_step edge missing");
+    assert_eq!(
+        graph.sample_path(&table, &reached, leaf),
+        "top -> middle_step -> finish_step"
+    );
+}
+
+#[test]
+fn severing_the_middle_edge_disconnects_the_leaf() {
+    let table = table();
+    let graph = CallGraph::build(&table);
+    let top = fn_id(&table, "top");
+    let leaf = fn_id(&table, "finish_step");
+    let reached = graph.reach(&[top], |e| e.call_text.contains("finish_step"));
+    assert!(!reached.contains_key(&leaf), "cut edge still walked");
+}
+
+#[test]
+fn std_vocabulary_methods_resolve_to_nothing() {
+    // `.get(...)` must not edge into a workspace fn that happens to be
+    // named `get` — the precision/soundness tradeoff documented in
+    // callgraph.rs.
+    let mut table = SymbolTable::default();
+    table.add_file(
+        "a",
+        "crates/a/src/lib.rs",
+        false,
+        &parse_file(&tokenize("pub fn top(v: &[u32]) { v.get(0); }")),
+    );
+    table.add_file(
+        "b",
+        "crates/b/src/lib.rs",
+        false,
+        &parse_file(&tokenize("pub struct S;\nimpl S { pub fn get(&self) -> u32 { 1 } }")),
+    );
+    let graph = CallGraph::build(&table);
+    let top = fn_id(&table, "top");
+    let get = fn_id(&table, "get");
+    let reached = graph.reach(&[top], |_| false);
+    assert!(!reached.contains_key(&get), "std-vocabulary `.get(` grew an edge");
+}

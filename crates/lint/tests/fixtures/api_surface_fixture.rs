@@ -1,0 +1,25 @@
+//! Fixture for the api-surface rule: a small crate surface with public
+//! and private items side by side. Never compiled — parsed by
+//! tests/rules.rs, which also perturbs the snapshot to prove drift in
+//! either direction is caught.
+
+pub fn exported(x: u32) -> u32 {
+    x
+}
+
+fn hidden() {}
+
+pub struct Surface {
+    pub visible: u32,
+    secret: u32,
+}
+
+impl Surface {
+    pub fn reading(&self) -> u32 {
+        self.visible
+    }
+
+    fn internal(&self) -> u32 {
+        self.secret
+    }
+}

@@ -1,0 +1,22 @@
+//! Positive fixture for the fp-order rule: every trap in one file.
+//! Never compiled — parsed by tests/rules.rs.
+
+/// NaN-unsafe comparator: panics or silently reorders.
+fn comparator(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// Float reduction over a parallel iterator: order is nondeterministic.
+fn accumulation(items: &[Sample]) -> f64 {
+    items.par_iter().map(|s| s.energy_joules()).sum::<f64>()
+}
+
+/// Float fold seeded with a float literal over an unordered source.
+fn folded(items: &[Sample]) -> f64 {
+    items.into_par_iter().fold(0.0, |acc, s| acc + s.as_mb())
+}
+
+/// Precision narrowing in (what the test declares) a hot path.
+fn narrowing(x: f64) -> f32 {
+    x as f32
+}

@@ -1,0 +1,27 @@
+//! Negative fixture for the fp-order rule: the sanctioned spellings of
+//! everything fp_order_bad.rs does wrong. Never compiled.
+
+/// Total-order comparator: the workspace convention.
+fn comparator(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Sequential float reduction: a fixed, index-ordered reduction tree.
+fn accumulation(items: &[Sample]) -> f64 {
+    items.iter().map(|s| s.energy_joules()).sum::<f64>()
+}
+
+/// Integer reduction over a parallel iterator is order-insensitive.
+fn counting(items: &[Sample]) -> u64 {
+    items.par_iter().map(|s| s.events()).sum::<u64>()
+}
+
+/// NaN-rejecting validation is the legitimate use of partial_cmp.
+fn validated(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(Ordering::Greater)
+}
+
+/// Widening is always safe; only narrowing is flagged.
+fn widening(x: f32) -> f64 {
+    x as f64
+}

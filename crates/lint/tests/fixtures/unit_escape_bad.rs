@@ -1,0 +1,14 @@
+//! Positive fixture for the unit-escape rule: raw-f64 addition and
+//! subtraction across different unit-newtype extractor families.
+//! Never compiled — parsed by tests/rules.rs.
+
+/// Seconds plus megabytes: dimensionally meaningless.
+fn mixed_add(elapsed: Duration, moved: Bytes) -> f64 {
+    elapsed.as_secs_f64() + moved.as_mb()
+}
+
+/// Joules minus watts: an energy/power confusion the types would have
+/// caught had the values stayed wrapped.
+fn mixed_sub(report: &Report, profile: &Profile) -> f64 {
+    report.energy_joules() - profile.mean_watts()
+}

@@ -1,0 +1,18 @@
+//! Negative fixture for the unit-escape rule: same-family arithmetic and
+//! cross-family ratios are both legitimate. Never compiled.
+
+/// Same family (seconds): a plain duration difference.
+fn same_family(start: Duration, end: Duration) -> f64 {
+    end.as_secs_f64() - start.as_secs_f64()
+}
+
+/// Division across families forms a new quantity (throughput); only
+/// `+`/`-` assert same-dimension operands.
+fn ratio(moved: Bytes, elapsed: Duration) -> f64 {
+    moved.as_mb() / elapsed.as_secs_f64()
+}
+
+/// Energy = power × time: multiplication is dimension-forming too.
+fn product(profile: &Profile, elapsed: Duration) -> f64 {
+    profile.mean_watts() * elapsed.as_secs_f64()
+}

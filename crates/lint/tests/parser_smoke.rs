@@ -1,0 +1,67 @@
+//! Parser smoke test: the recursive-descent parser must swallow every
+//! `.rs` file in the live workspace without panicking, and its item tree
+//! must account for every `fn` the raw token stream mentions — a parser
+//! that silently drops items would silently shrink the call graph and
+//! with it the panic-reachability guarantee.
+
+use eadt_lint::lexer::{tokenize, Tok};
+use eadt_lint::parser::{parse_file, ItemKind};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // repo root
+    dir
+}
+
+#[test]
+fn every_workspace_file_parses_and_keeps_every_fn() {
+    let sources = eadt_lint::walk::collect_sources(&workspace_root()).expect("walk");
+    assert!(sources.len() > 50, "walker found only {} files", sources.len());
+    for file in &sources {
+        let toks = tokenize(&file.text);
+        let parsed = parse_file(&toks);
+
+        // Every `fn name` token pair must surface as a Fn item (free fn,
+        // method, trait method, or a fn nested inside a body).
+        let mut expected = BTreeSet::new();
+        for pair in toks.windows(2) {
+            if let (Tok::Ident(kw), Tok::Ident(name)) = (&pair[0].tok, &pair[1].tok) {
+                if kw == "fn" {
+                    expected.insert(name.clone());
+                }
+            }
+        }
+        let mut found = BTreeSet::new();
+        parsed.visit_items(&mut |it, _| {
+            if matches!(it.kind, ItemKind::Fn) {
+                found.insert(it.name.clone());
+            }
+        });
+        let missing: Vec<&String> = expected.difference(&found).collect();
+        assert!(
+            missing.is_empty(),
+            "{}: parser lost fn items {missing:?}",
+            file.rel_path
+        );
+    }
+}
+
+#[test]
+fn parsing_is_total_even_on_junk() {
+    // The parser degrades, never errors: token soup still yields a tree.
+    for junk in [
+        "fn",
+        "fn f(",
+        "impl {{{",
+        "let = = =;",
+        "match { => => }",
+        "pub pub pub",
+        ") ] } fn g() {}",
+    ] {
+        let parsed = parse_file(&tokenize(junk));
+        parsed.visit_items(&mut |_, _| {});
+    }
+}

@@ -81,12 +81,7 @@ pub fn fair_share_into(
         // below the fair share in one sweep. The filling loop below only
         // reads the order, so it stays valid for the next call as long as
         // the demand vector is bitwise identical.
-        unsatisfied.sort_by(|&a, &b| {
-            demands[a]
-                .as_bps()
-                .partial_cmp(&demands[b].as_bps())
-                .expect("rates are finite")
-        });
+        unsatisfied.sort_by(|&a, &b| demands[a].as_bps().total_cmp(&demands[b].as_bps()));
         cached_demands.clear();
         cached_demands.extend_from_slice(demands);
     }
