@@ -14,6 +14,9 @@
 //!   drills at uniform and adversarial slice boundaries (mid-outage,
 //!   mid-backoff, intra-horizon, probe→commit gaps) asserting resumed
 //!   runs are byte-identical to uninterrupted ones;
+//! * [`service`] — the continuous-service layer's snapshot
+//!   ([`ServiceCheckpoint`]): queue/admission state and per-job
+//!   timelines at a scheduling-round boundary (DESIGN.md §16);
 //! * [`error`] — typed failures ([`CkptError`]) so services can report a
 //!   damaged checkpoint directory instead of dying on it.
 
@@ -23,6 +26,7 @@
 pub mod chaos;
 pub mod error;
 pub mod recover;
+pub mod service;
 pub mod store;
 
 pub use chaos::{
@@ -31,4 +35,5 @@ pub use chaos::{
 };
 pub use error::CkptError;
 pub use recover::{resume_verified, VerifiedResume};
+pub use service::{ServiceCheckpoint, ServiceJobState, SERVICE_CHECKPOINT_SCHEMA_VERSION};
 pub use store::{CheckpointStore, JobCheckpoint, JOB_CHECKPOINT_SCHEMA_VERSION};

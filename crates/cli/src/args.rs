@@ -8,6 +8,7 @@
 use eadt_sim::EadtError;
 
 pub use eadt_core::AlgorithmKind;
+pub use eadt_endsys::ArbitrationPolicy;
 
 /// Where the transfer runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +65,34 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Gauge sampling cadence for `--metrics-out`, simulated seconds.
         cadence_s: f64,
+    },
+    /// Run a multi-tenant continuous service on shared site pools.
+    Serve {
+        /// Algorithms to cycle jobs over.
+        algorithms: Vec<AlgorithmKind>,
+        /// Total jobs to submit (0 = one per algorithm).
+        jobs: usize,
+        /// Tenants to spread the jobs over round-robin (the tenant index
+        /// doubles as the job's priority class).
+        tenants: u32,
+        /// Mean inter-arrival gap of the seeded arrival process, seconds.
+        arrival_gap_s: f64,
+        /// Site pool arbitration policy.
+        policy: ArbitrationPolicy,
+        /// Core slots of the shared site (concurrent residents).
+        slots: u32,
+        /// Scheduling quantum, engine slices.
+        quantum: u64,
+        /// Channel budget for every job.
+        max_channel: u32,
+        /// Worker threads (0 = ask the OS for its parallelism).
+        workers: usize,
+        /// Write the service report JSON here.
+        out: Option<String>,
+        /// Write the service event journal (JSON Lines) here.
+        journal: Option<String>,
+        /// Complete an interrupted service from `--checkpoint-dir`.
+        resume: bool,
     },
     /// Run the SLAEE experiment over target percentages.
     Sla {
@@ -210,6 +239,10 @@ COMMANDS:
   sweep      algorithms × concurrency    (--algorithms a,b,c --levels 1,2,4)
   fleet      batch runner on worker threads (--workers N [--figures] [--out F])
              deterministic: same --seed → byte-identical report, any N
+  serve      multi-tenant continuous service: jobs arrive on a seeded
+             process and contend for one shared site pool
+             (--tenants N --policy fair|priority --slots N --arrival-gap S)
+             deterministic: same --seed → byte-identical report, any N
   sla        SLAEE target sweep          (--targets 95,90,50 --max-channel N)
   dataset    show the dataset and its BDP partitioning
   env        show the environment        (--export FILE writes JSON)
@@ -239,13 +272,22 @@ OPTIONS:
   --csv FILE         (transfer) write per-slice series as CSV
   --pipelining N     (transfer --algorithm manual) command queue depth
   --parallelism N    (transfer --algorithm manual) streams per channel
-  --workers N        (fleet) worker threads            [default: all cores]
+  --workers N        (fleet, serve) worker threads     [default: all cores]
+  --jobs N           (serve) total jobs to submit      [default: one per algorithm]
+  --tenants N        (serve) tenants, round-robin over jobs; the tenant
+                     index is also the job's priority  [default: 2]
+  --arrival-gap S    (serve) mean inter-arrival gap, simulated seconds
+                     (0 = everything arrives at once)  [default: 0]
+  --policy NAME      (serve) fair | priority           [default: fair]
+  --slots N          (serve) core slots of the shared site [default: 2]
+  --quantum N        (serve) scheduling quantum, 100 ms slices [default: 600]
   --figures          (fleet) run the full 3-testbed figures matrix
   --out FILE         (trace) journal path [default: trace.jsonl]
-                     (fleet) write the merged report JSON here
+                     (fleet, serve) write the merged report JSON here
   --cadence SECS     (trace, fleet --metrics-out) gauge sampling cadence
                                                        [default: 1]
   --journal FILE     (inspect) journal to render
+                     (serve) write the service event journal here
   --chrome FILE      (inspect) also export Chrome trace_event JSON
   --width COLS       (inspect, profile) render width   [default: 72]
   --from FILE        (profile) read a saved fleet report instead of running
@@ -256,12 +298,13 @@ OPTIONS:
                      steady stretches (same output, slower; for debugging
                      and timing the plain slice loop)
 
-CRASH SAFETY (transfer and fleet):
+CRASH SAFETY (transfer, fleet and serve):
   --checkpoint-dir D   persist engine checkpoints under D; a rerun with the
                        same flags resumes from the latest snapshot, and the
                        result is byte-identical to an uninterrupted run
-  --checkpoint-every N checkpoint cadence, 100 ms slices   [default: 600]
-  --resume             (fleet) complete an interrupted batch from
+  --checkpoint-every N checkpoint cadence: 100 ms slices for transfer and
+                       fleet, scheduling rounds for serve   [default: 600]
+  --resume             (fleet, serve) complete an interrupted run from
                        --checkpoint-dir: finished jobs are re-admitted from
                        their saved outcomes, half-done jobs resume from
                        their checkpoints, the rest run fresh
@@ -317,6 +360,12 @@ impl Cli {
         let mut checkpoint_dir: Option<String> = None;
         let mut checkpoint_every = 600u64;
         let mut resume = false;
+        let mut jobs = 0usize;
+        let mut tenants = 2u32;
+        let mut arrival_gap_s = 0.0f64;
+        let mut policy = ArbitrationPolicy::FairShare;
+        let mut slots = 2u32;
+        let mut quantum = 600u64;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, EadtError> {
@@ -373,6 +422,17 @@ impl Cli {
                         parse_num(value("--checkpoint-every")?, "--checkpoint-every")?
                 }
                 "--resume" => resume = true,
+                "--jobs" => jobs = parse_num(value("--jobs")?, "--jobs")?,
+                "--tenants" => tenants = parse_num(value("--tenants")?, "--tenants")?,
+                "--arrival-gap" => {
+                    arrival_gap_s = parse_num(value("--arrival-gap")?, "--arrival-gap")?
+                }
+                "--policy" => {
+                    policy = ArbitrationPolicy::parse(value("--policy")?)
+                        .map_err(|e| EadtError::invalid_argument("--policy", e))?
+                }
+                "--slots" => slots = parse_num(value("--slots")?, "--slots")?,
+                "--quantum" => quantum = parse_num(value("--quantum")?, "--quantum")?,
                 other => {
                     return Err(EadtError::invalid_argument(
                         other,
@@ -450,6 +510,49 @@ impl Cli {
                     resume,
                     metrics_out,
                     cadence_s,
+                }
+            }
+            "serve" => {
+                if algorithms.is_empty() {
+                    return Err(EadtError::invalid_argument(
+                        "serve",
+                        "needs at least one algorithm",
+                    ));
+                }
+                if tenants == 0 {
+                    return Err(EadtError::invalid_argument(
+                        "--tenants",
+                        "must be at least 1",
+                    ));
+                }
+                if slots == 0 {
+                    return Err(EadtError::invalid_argument("--slots", "must be at least 1"));
+                }
+                if quantum == 0 {
+                    return Err(EadtError::invalid_argument(
+                        "--quantum",
+                        "must be at least 1 slice",
+                    ));
+                }
+                if !(arrival_gap_s >= 0.0 && arrival_gap_s.is_finite()) {
+                    return Err(EadtError::invalid_argument(
+                        "--arrival-gap",
+                        "must be a finite non-negative number of seconds",
+                    ));
+                }
+                Command::Serve {
+                    algorithms,
+                    jobs,
+                    tenants,
+                    arrival_gap_s,
+                    policy,
+                    slots,
+                    quantum,
+                    max_channel,
+                    workers,
+                    out: out_file,
+                    journal,
+                    resume,
                 }
             }
             "sla" => {
@@ -667,6 +770,80 @@ mod tests {
                 assert_eq!(workers, 2);
             }
             other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_parses_service_flags() {
+        let cli = Cli::parse(&argv(
+            "serve --algorithms sc,promc --tenants 3 --arrival-gap 20 --policy priority \
+             --slots 1 --quantum 300 --workers 2 --out /tmp/s.json --journal /tmp/s.jsonl",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                algorithms,
+                jobs,
+                tenants,
+                arrival_gap_s,
+                policy,
+                slots,
+                quantum,
+                workers,
+                out,
+                journal,
+                resume,
+                ..
+            } => {
+                assert_eq!(algorithms, vec![AlgorithmKind::Sc, AlgorithmKind::ProMc]);
+                assert_eq!(jobs, 0, "0 = one job per algorithm");
+                assert_eq!(tenants, 3);
+                assert_eq!(arrival_gap_s, 20.0);
+                assert_eq!(policy, ArbitrationPolicy::StrictPriority);
+                assert_eq!(slots, 1);
+                assert_eq!(quantum, 300);
+                assert_eq!(workers, 2);
+                assert_eq!(out.as_deref(), Some("/tmp/s.json"));
+                assert_eq!(journal.as_deref(), Some("/tmp/s.jsonl"));
+                assert!(!resume);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults: fair policy, 2 tenants, 2 slots, immediate arrivals.
+        let cli = Cli::parse(&argv("serve")).unwrap();
+        match cli.command {
+            Command::Serve {
+                tenants,
+                policy,
+                slots,
+                quantum,
+                arrival_gap_s,
+                ..
+            } => {
+                assert_eq!(tenants, 2);
+                assert_eq!(policy, ArbitrationPolicy::FairShare);
+                assert_eq!(slots, 2);
+                assert_eq!(quantum, 600);
+                assert_eq!(arrival_gap_s, 0.0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(Cli::parse(&argv("serve --policy bogus")).is_err());
+        assert!(Cli::parse(&argv("serve --tenants 0")).is_err());
+        assert!(Cli::parse(&argv("serve --slots 0")).is_err());
+        assert!(Cli::parse(&argv("serve --quantum 0")).is_err());
+        assert!(Cli::parse(&argv("serve --arrival-gap -2")).is_err());
+        assert!(Cli::parse(&argv("serve --resume")).is_err());
+        // Both policy spellings from the pool module parse.
+        for name in ["fair", "fair-share", "priority", "strict-priority"] {
+            assert!(
+                Cli::parse(&argv(&format!("serve --policy {name}"))).is_ok(),
+                "{name}"
+            );
         }
     }
 

@@ -6,7 +6,10 @@ use crate::envfile;
 use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
 use eadt_core::{Algorithm, Htee, MinE, RunCtx, Slaee};
 use eadt_dataset::{partition, Dataset};
-use eadt_fleet::{figures_matrix, FleetReport, JobSpec, Session};
+use eadt_endsys::PoolCapacity;
+use eadt_fleet::{
+    figures_matrix, FleetReport, JobSpec, ServiceJob, ServiceSession, Session, Workload,
+};
 use eadt_power::calibrate::{build_models, evaluate_model, GroundTruth, ToolProfile};
 use eadt_sim::{EadtError, SimDuration, SimTime};
 use eadt_telemetry::{chrome, timeline, Event, Journal, Telemetry, SCHEMA_VERSION};
@@ -182,6 +185,130 @@ pub fn execute(cli: &Cli, out: Out) -> Result<(), EadtError> {
                 std::fs::write(path, report.metrics.to_prometheus())
                     .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
                 writeln!(out, "[fleet metrics -> {path}]")?;
+            }
+            Ok(())
+        }
+        Command::Serve {
+            algorithms,
+            jobs,
+            tenants,
+            arrival_gap_s,
+            policy,
+            slots,
+            quantum,
+            max_channel,
+            workers,
+            out: report_path,
+            journal: journal_path,
+            resume,
+        } => {
+            let tb = resolve(cli)?;
+            let site = tb.name.clone();
+            let capacity =
+                PoolCapacity::from_servers(tb.env.link.bandwidth, &tb.env.src.servers, *slots);
+            let n_jobs = if *jobs == 0 { algorithms.len() } else { *jobs };
+            let mut workload = Workload::new()
+                .site(site.clone(), capacity)
+                .arrival_gap_s(*arrival_gap_s);
+            for i in 0..n_jobs {
+                let kind = algorithms[i % algorithms.len()];
+                let tenant = (i % *tenants as usize) as u32;
+                workload = workload.job(
+                    ServiceJob::new(
+                        JobSpec::new(kind, tb.clone())
+                            .with_scale(cli.scale)
+                            .with_max_channel(*max_channel)
+                            .with_fault_aware(cli.faults.fault_aware),
+                        site.clone(),
+                    )
+                    .with_tenant(tenant)
+                    .with_priority(tenant),
+                );
+            }
+            let mut builder = ServiceSession::builder()
+                .root_seed(cli.seed)
+                .policy(*policy)
+                .quantum(*quantum);
+            if *workers > 0 {
+                builder = builder.workers(*workers);
+            }
+            if let Some(dir) = &cli.checkpoint_dir {
+                builder = builder.checkpoints(dir, cli.checkpoint_every);
+            }
+            let session = builder.build();
+            let run = if *resume {
+                session.resume(&workload)?
+            } else {
+                session.run(&workload)?
+            };
+            let report = &run.report;
+            if cli.json {
+                write!(out, "{}", report.to_json())?;
+            } else {
+                writeln!(
+                    out,
+                    "serve: {} jobs, {} tenants on site {} ({} slots, {} policy, quantum {} slices)",
+                    report.jobs.len(),
+                    tenants,
+                    site,
+                    slots,
+                    report.policy,
+                    report.quantum_slices
+                )?;
+                writeln!(
+                    out,
+                    "{:<24} {:>6} {:>4} {:>7} {:>7} {:>7} {:>5} {:>10} {:>12}",
+                    "job",
+                    "tenant",
+                    "pri",
+                    "arrive",
+                    "admit",
+                    "finish",
+                    "evict",
+                    "Mbps",
+                    "energy (J)"
+                )?;
+                for j in &report.jobs {
+                    writeln!(
+                        out,
+                        "{:<24} {:>6} {:>4} {:>7} {:>7} {:>7} {:>5} {:>10.0} {:>12.0}",
+                        j.outcome.label,
+                        j.tenant,
+                        j.priority,
+                        j.arrival_round,
+                        j.admitted_round.map_or("-".into(), |r| r.to_string()),
+                        j.finished_round.map_or("-".into(), |r| r.to_string()),
+                        j.preemptions,
+                        j.outcome.throughput_mbps,
+                        j.outcome.energy_j
+                    )?;
+                    if let Some(err) = &j.outcome.error {
+                        writeln!(out, "  error: {err}")?;
+                    }
+                }
+                for s in &report.sites {
+                    writeln!(
+                        out,
+                        "site {}: {} jobs, {} bytes, {:.0} J over {} rounds",
+                        s.site, s.jobs, s.moved_bytes, s.energy_j, report.rounds
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "completed {}/{}",
+                    report.completed_count(),
+                    report.jobs.len()
+                )?;
+            }
+            if let Some(path) = report_path {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                writeln!(out, "[service report -> {path}]")?;
+            }
+            if let Some(path) = journal_path {
+                std::fs::write(path, run.journal.to_jsonl())
+                    .map_err(|e| EadtError::io(path.clone(), e.to_string()))?;
+                writeln!(out, "[service journal -> {path}]")?;
             }
             Ok(())
         }
@@ -1001,6 +1128,77 @@ mod tests {
         let json_of = |s: &str| s[s.find('{').expect("json in output")..].to_string();
         assert_eq!(json_of(&straight), json_of(&checkpointed));
         assert_eq!(json_of(&straight), json_of(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_runs_contending_tenants_and_prints_summary() {
+        let out = run_cli(
+            "serve --testbed didclab --algorithms sc,promc --tenants 2 --slots 2 \
+             --quantum 100 --scale 0.01 --workers 2",
+        );
+        assert!(out.contains("serve: 2 jobs, 2 tenants"), "{out}");
+        assert!(out.contains("site DIDCLAB:"), "{out}");
+        assert!(out.contains("completed 2/2"), "{out}");
+    }
+
+    #[test]
+    fn serve_json_is_worker_count_invariant() {
+        let run_json = |workers: u32| {
+            let out = run_cli(&format!(
+                "serve --testbed didclab --algorithms sc,promc --quantum 100 --scale 0.01 \
+                 --seed 9 --workers {workers} --json"
+            ));
+            let start = out.find('{').expect("json in output");
+            out[start..].to_string()
+        };
+        let serial = run_json(1);
+        let parallel = run_json(4);
+        assert_eq!(serial, parallel, "serve JSON must not depend on workers");
+        let v: serde_json::Value = serde_json::from_str(&serial).unwrap();
+        assert_eq!(v["root_seed"].as_u64().unwrap(), 9);
+        assert_eq!(v["policy"], "fair");
+        assert_eq!(v["jobs"].as_array().unwrap().len(), 2);
+        assert_eq!(v["sites"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn serve_policies_produce_different_reports_and_journals() {
+        let dir = std::env::temp_dir().join(format!("eadt-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_policy = |policy: &str| {
+            let jp = dir.join(format!("{policy}.jsonl"));
+            // The arrival gap makes the low-priority tenant-0 job land
+            // first and occupy the single slot; when the tenant-1 job
+            // arrives a round later, strict priority must preempt.
+            let out = run_cli(&format!(
+                "serve --testbed didclab --algorithms sc,promc --tenants 2 --slots 1 \
+                 --quantum 100 --scale 0.05 --seed 4 --arrival-gap 40 --policy {policy} \
+                 --json --journal {}",
+                jp.to_string_lossy()
+            ));
+            let start = out.find('{').expect("json in output");
+            (
+                out[start..].to_string(),
+                std::fs::read_to_string(&jp).unwrap(),
+            )
+        };
+        let (fair, fair_journal) = run_policy("fair");
+        let (strict, strict_journal) = run_policy("priority");
+        assert_ne!(fair, strict, "policies must change the schedule");
+        assert!(
+            fair_journal.contains("\"ev\":\"job_submitted\""),
+            "{fair_journal}"
+        );
+        assert!(
+            fair_journal.contains("\"ev\":\"job_admitted\""),
+            "{fair_journal}"
+        );
+        // One slot + a higher-priority tenant ⇒ strict priority preempts.
+        assert!(
+            strict_journal.contains("\"ev\":\"job_preempted\""),
+            "{strict_journal}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

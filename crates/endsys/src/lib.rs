@@ -14,12 +14,16 @@
 //! * [`site`] — a site with one or more transfer servers and a channel
 //!   **placement policy**: the custom client packs channels onto one server
 //!   while Globus Online spreads them, which is why GO burns ~60% more
-//!   energy at concurrency 2 on XSEDE (Figure 2b).
+//!   energy at concurrency 2 on XSEDE (Figure 2b);
+//! * [`pool`] — the multi-tenant contention surface: per-site shared
+//!   bandwidth/disk/core-slot pools arbitrated fair-share or
+//!   strict-priority across all transfers resident at the site.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod disk;
+pub mod pool;
 #[cfg(test)]
 mod proptests;
 pub mod server;
@@ -27,6 +31,7 @@ pub mod site;
 pub mod util;
 
 pub use disk::DiskSubsystem;
+pub use pool::{arbitrate, ArbitrationPolicy, PoolCapacity, PoolGrant, PoolMember, SitePool};
 pub use server::ServerSpec;
 pub use site::{Placement, Site};
 pub use util::{ServerLoad, Utilization, UtilizationCoeffs};

@@ -47,6 +47,7 @@ mod dispatch;
 mod matrix;
 mod rollup;
 mod seed;
+mod service;
 mod session;
 mod spec;
 
@@ -54,5 +55,9 @@ pub use dispatch::{run_job, JobRunner};
 pub use matrix::{figures_matrix, sweep_matrix};
 pub use rollup::FleetMetrics;
 pub use seed::derive_job_seed;
+pub use service::{
+    ServiceJob, ServiceJobOutcome, ServiceReport, ServiceRun, ServiceSession,
+    ServiceSessionBuilder, SiteReport, Workload, SERVICE_SCHEMA_VERSION,
+};
 pub use session::{FleetReport, JobOutcome, Session, SessionBuilder, FLEET_SCHEMA_VERSION};
 pub use spec::{FaultOverride, JobSpec};

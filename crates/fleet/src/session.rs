@@ -462,7 +462,7 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    fn from_report(
+    pub(crate) fn from_report(
         index: usize,
         job: &JobSpec,
         seed: u64,
@@ -497,7 +497,7 @@ impl JobOutcome {
         }
     }
 
-    fn failed(index: usize, job: &JobSpec, seed: u64, error: EadtError) -> Self {
+    pub(crate) fn failed(index: usize, job: &JobSpec, seed: u64, error: EadtError) -> Self {
         JobOutcome {
             job: index,
             label: job.display_label(),

@@ -171,18 +171,55 @@ fn collect_calls(body: &Expr, f: &mut dyn FnMut(CallSite)) {
 /// method that *should* be walked under one of these names is reached
 /// through its qualified or bare call sites instead.
 const STD_VOCABULARY_METHODS: &[&str] = &[
-    "map", "and_then", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok_or", "ok_or_else",
-    "iter", "into_iter", "collect", "push", "pop", "insert", "remove", "get", "len", "is_empty",
-    "clone", "to_string", "into", "from", "as_ref", "as_mut", "filter", "fold", "sum", "min",
-    "max", "abs", "sort", "sort_by", "extend", "join", "contains", "starts_with", "ends_with",
-    "then", "take", "last", "first", "next", "enumerate", "zip", "rev", "chain", "flat_map",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "iter",
+    "into_iter",
+    "collect",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "len",
+    "is_empty",
+    "clone",
+    "to_string",
+    "into",
+    "from",
+    "as_ref",
+    "as_mut",
+    "filter",
+    "fold",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "sort",
+    "sort_by",
+    "extend",
+    "join",
+    "contains",
+    "starts_with",
+    "ends_with",
+    "then",
+    "take",
+    "last",
+    "first",
+    "next",
+    "enumerate",
+    "zip",
+    "rev",
+    "chain",
+    "flat_map",
 ];
 
-fn resolve(
-    table: &SymbolTable,
-    call: &CallSite,
-    self_ty: Option<&str>,
-) -> (Vec<usize>, String) {
+fn resolve(table: &SymbolTable, call: &CallSite, self_ty: Option<&str>) -> (Vec<usize>, String) {
     match &call.kind {
         CallKind::Bare(name) => (table.resolve_bare(name, self_ty), format!("{name}(")),
         CallKind::Qualified(q, name) => {
@@ -234,7 +271,10 @@ mod tests {
 
     #[test]
     fn edge_cut_stops_traversal() {
-        let (t, g) = graph(&[("a.rs", "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}")]);
+        let (t, g) = graph(&[(
+            "a.rs",
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
         let top = t.fns.iter().find(|f| f.name == "top").unwrap().id;
         let reached = g.reach(&[top], |e| e.call_text == "leaf(");
         let names: Vec<&str> = reached.keys().map(|id| t.def(*id).name.as_str()).collect();
@@ -244,7 +284,10 @@ mod tests {
 
     #[test]
     fn sample_path_renders_root_to_sink() {
-        let (t, g) = graph(&[("a.rs", "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}")]);
+        let (t, g) = graph(&[(
+            "a.rs",
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
         let top = t.fns.iter().find(|f| f.name == "top").unwrap().id;
         let leaf = t.fns.iter().find(|f| f.name == "leaf").unwrap().id;
         let reached = g.reach(&[top], |_| false);

@@ -190,6 +190,10 @@ fn scan_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) 
     while i < b.len() {
         match b[i] {
             '\\' => {
+                // A `\<newline>` continuation still ends a physical line.
+                if b.get(i + 1) == Some(&'\n') {
+                    line += 1;
+                }
                 i += 2;
             }
             '"' => {
@@ -242,6 +246,9 @@ fn scan_raw_or_byte(b: &[char], mut i: usize, mut line: u32) -> (String, usize, 
     let mut text = String::new();
     while i < b.len() {
         if !raw && b[i] == '\\' {
+            if b.get(i + 1) == Some(&'\n') {
+                line += 1;
+            }
             i += 2;
             continue;
         }
@@ -306,6 +313,13 @@ mod tests {
             2,
             "{toks:?}"
         );
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_honest() {
+        let toks = tokenize("let s = \"first \\\n    second\";\nfoo.unwrap()\n");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 3, "{toks:?}");
     }
 
     #[test]

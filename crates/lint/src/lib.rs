@@ -57,6 +57,8 @@ use std::path::Path;
 pub const EVENT_RS: &str = "crates/telemetry/src/event.rs";
 /// Location of the engine checkpoint definitions, relative to the repo root.
 pub const CHECKPOINT_RS: &str = rules::checkpoint::CHECKPOINT_RS;
+/// Location of the service scheduler snapshot, relative to the repo root.
+pub const SERVICE_CKPT_RS: &str = rules::checkpoint::SERVICE_CKPT_RS;
 /// Location of the schema documentation, relative to the repo root.
 pub const DESIGN_MD: &str = "DESIGN.md";
 /// Location of the allowlist, relative to the repo root.
@@ -152,17 +154,14 @@ pub fn run(root: &Path) -> Result<Report, String> {
             }
         }
 
-        let narrowing = rules::fp_order::HOT_CRATES.contains(&file.crate_name())
-            && !file.is_test_code();
-        let unit_checked = rules::unit_escape::CHECKED_CRATES.contains(&file.crate_name())
-            && !file.is_test_code();
+        let narrowing =
+            rules::fp_order::HOT_CRATES.contains(&file.crate_name()) && !file.is_test_code();
+        let unit_checked =
+            rules::unit_escape::CHECKED_CRATES.contains(&file.crate_name()) && !file.is_test_code();
         a.parsed.visit_items(&mut |it, stack| {
             // Nested helper fns are inlined into their enclosing body
             // (parser.rs), so visiting them again would double-report.
-            if stack
-                .iter()
-                .any(|p| matches!(p.kind, parser::ItemKind::Fn))
-            {
+            if stack.iter().any(|p| matches!(p.kind, parser::ItemKind::Fn)) {
                 return;
             }
             if let Some(body) = &it.body {
@@ -247,8 +246,10 @@ pub fn run(root: &Path) -> Result<Report, String> {
         }),
     }
 
-    match analyzed.iter().find(|a| a.file.rel_path == CHECKPOINT_RS) {
-        Some(ckpt_file) => {
+    let ckpt_file = analyzed.iter().find(|a| a.file.rel_path == CHECKPOINT_RS);
+    let service_file = analyzed.iter().find(|a| a.file.rel_path == SERVICE_CKPT_RS);
+    match (ckpt_file, service_file) {
+        (Some(ckpt_file), Some(service_file)) => {
             let mut kinds = Vec::new();
             for a in &analyzed {
                 if a.file.is_test_code() {
@@ -262,17 +263,26 @@ pub fn run(root: &Path) -> Result<Report, String> {
             raw.extend(rules::checkpoint::check(
                 &ckpt_file.file.text,
                 CHECKPOINT_RS,
+                &service_file.file.text,
+                SERVICE_CKPT_RS,
                 &design,
                 DESIGN_MD,
                 &kinds,
             ));
         }
-        None => raw.push(Violation {
-            rule: "checkpoint",
-            path: CHECKPOINT_RS.to_string(),
-            line: 0,
-            message: "engine checkpoint definitions not found — checkpoint lint cannot run".into(),
-        }),
+        (missing_engine, _) => {
+            let path = if missing_engine.is_none() {
+                CHECKPOINT_RS
+            } else {
+                SERVICE_CKPT_RS
+            };
+            raw.push(Violation {
+                rule: "checkpoint",
+                path: path.to_string(),
+                line: 0,
+                message: "checkpoint definitions not found — checkpoint lint cannot run".into(),
+            });
+        }
     }
 
     // Apply the allowlist: an entry covers a violation when rule and path

@@ -302,9 +302,30 @@ fn parse_items(tts: &[Tt], in_test: bool) -> Vec<Item> {
         i = vis_start;
         let item = match kw {
             Some("fn") => Some(parse_fn(tts, &mut i, j, vis, cfg_test)),
-            Some("struct") => Some(parse_type_item(tts, &mut i, j, vis, cfg_test, ItemKind::Struct)),
-            Some("enum") => Some(parse_type_item(tts, &mut i, j, vis, cfg_test, ItemKind::Enum)),
-            Some("union") => Some(parse_type_item(tts, &mut i, j, vis, cfg_test, ItemKind::Union)),
+            Some("struct") => Some(parse_type_item(
+                tts,
+                &mut i,
+                j,
+                vis,
+                cfg_test,
+                ItemKind::Struct,
+            )),
+            Some("enum") => Some(parse_type_item(
+                tts,
+                &mut i,
+                j,
+                vis,
+                cfg_test,
+                ItemKind::Enum,
+            )),
+            Some("union") => Some(parse_type_item(
+                tts,
+                &mut i,
+                j,
+                vis,
+                cfg_test,
+                ItemKind::Union,
+            )),
             Some("trait") => Some(parse_trait(tts, &mut i, j, vis, cfg_test)),
             Some("impl") => Some(parse_impl(tts, &mut i, j, vis, cfg_test)),
             Some("mod") => Some(parse_mod(tts, &mut i, j, vis, cfg_test)),
@@ -312,8 +333,22 @@ fn parse_items(tts: &[Tt], in_test: bool) -> Vec<Item> {
             Some("const") if tts.get(j + 1).and_then(Tt::ident) != Some("fn") => {
                 Some(parse_simple(tts, &mut i, j, vis, cfg_test, ItemKind::Const))
             }
-            Some("static") => Some(parse_simple(tts, &mut i, j, vis, cfg_test, ItemKind::Static)),
-            Some("type") => Some(parse_simple(tts, &mut i, j, vis, cfg_test, ItemKind::TypeAlias)),
+            Some("static") => Some(parse_simple(
+                tts,
+                &mut i,
+                j,
+                vis,
+                cfg_test,
+                ItemKind::Static,
+            )),
+            Some("type") => Some(parse_simple(
+                tts,
+                &mut i,
+                j,
+                vis,
+                cfg_test,
+                ItemKind::TypeAlias,
+            )),
             Some("macro_rules") => Some(parse_macro_def(tts, &mut i, j, cfg_test)),
             Some("extern") => Some(parse_simple(tts, &mut i, j, vis, cfg_test, ItemKind::Other)),
             _ => None,
@@ -341,7 +376,13 @@ fn parse_items(tts: &[Tt], in_test: bool) -> Vec<Item> {
                     }))
                 );
                 let brace = match (kw, bang, tts.get(j + 2)) {
-                    (Some(_), true, Some(Tt::Group { open: '{', items, .. })) => Some(items),
+                    (
+                        Some(_),
+                        true,
+                        Some(Tt::Group {
+                            open: '{', items, ..
+                        }),
+                    ) => Some(items),
                     _ => None,
                 };
                 match brace {
@@ -580,7 +621,7 @@ fn parse_fields(tts: &[Tt], cfg_test: bool) -> Vec<Item> {
         }
         let mut vis = Vis::Private;
         let mut k = 0usize;
-        if part.get(0).and_then(Tt::ident) == Some("pub") {
+        if part.first().and_then(Tt::ident) == Some("pub") {
             k += 1;
             if part.get(k).is_some_and(|t| t.is_group('(')) {
                 vis = Vis::Scoped;
@@ -715,7 +756,7 @@ fn impl_heads(header: &[Tt]) -> (String, Option<String>) {
         header[from..to]
             .iter()
             .filter_map(Tt::ident)
-            .last()
+            .next_back()
             .map(|s| s.to_string())
             .unwrap_or_default()
     };
@@ -1007,7 +1048,7 @@ impl Expr {
 
 /// Splits a token-tree slice at top-level occurrences of `sep`.
 /// Empty segments are dropped.
-pub fn split_top<'a>(tts: &'a [Tt], sep: char) -> Vec<&'a [Tt]> {
+pub fn split_top(tts: &[Tt], sep: char) -> Vec<&[Tt]> {
     let mut out = Vec::new();
     let mut start = 0usize;
     for (k, t) in tts.iter().enumerate() {
@@ -1042,9 +1083,8 @@ fn parse_stmt(tts: &[Tt]) -> Expr {
     // initializer; a trailing `else { … }` block is folded in.
     if tts.first().and_then(Tt::ident) == Some("let") {
         if let Some(eq) = find_top_assign(tts) {
-            let mut exprs = vec![parse_expr(&tts[eq + 1..])];
             // The pattern may contain const generics etc. — skipped.
-            return single_or_seq(exprs.drain(..).collect(), line);
+            return single_or_seq(vec![parse_expr(&tts[eq + 1..])], line);
         }
         return Expr::Seq {
             exprs: Vec::new(),
@@ -1208,7 +1248,10 @@ fn peek_op(tts: &[Tt], k: usize) -> Option<(String, usize)> {
             return Some((s.into(), 2));
         }
     }
-    if matches!(c0, '+' | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '^' | '=') {
+    if matches!(
+        c0,
+        '+' | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '^' | '='
+    ) {
         // `=>` is an arm arrow, not an operator.
         if c0 == '=' && c1 == Some('>') {
             return None;
@@ -1220,10 +1263,7 @@ fn peek_op(tts: &[Tt], k: usize) -> Option<(String, usize)> {
 
 fn parse_binary(tts: &[Tt], pos: &mut usize, min_prec: u8) -> Expr {
     let mut lhs = parse_unary_postfix(tts, pos);
-    loop {
-        let Some((op, n)) = peek_op(tts, *pos) else {
-            break;
-        };
+    while let Some((op, n)) = peek_op(tts, *pos) {
         let Some(prec) = precedence(&op) else { break };
         if prec < min_prec {
             break;
@@ -1312,10 +1352,9 @@ fn parse_unary_postfix(tts: &[Tt], pos: &mut usize) -> Expr {
                             }
                             if tts.get(*pos).is_some_and(|t| t.is_group('(')) {
                                 let args = match &tts[*pos] {
-                                    Tt::Group { items, .. } => split_top(items, ',')
-                                        .into_iter()
-                                        .map(parse_expr)
-                                        .collect(),
+                                    Tt::Group { items, .. } => {
+                                        split_top(items, ',').into_iter().map(parse_expr).collect()
+                                    }
                                     _ => Vec::new(),
                                 };
                                 *pos += 1;
@@ -1444,8 +1483,8 @@ fn parse_unary_postfix(tts: &[Tt], pos: &mut usize) -> Expr {
 
 /// Expression-position keywords handled structurally.
 const EXPR_KEYWORDS: &[&str] = &[
-    "if", "else", "match", "for", "while", "loop", "unsafe", "return", "break", "continue",
-    "move", "async", "let", "in", "await", "dyn", "ref", "mut", "where",
+    "if", "else", "match", "for", "while", "loop", "unsafe", "return", "break", "continue", "move",
+    "async", "let", "in", "await", "dyn", "ref", "mut", "where",
 ];
 
 fn parse_primary(tts: &[Tt], pos: &mut usize) -> Expr {
@@ -1457,12 +1496,16 @@ fn parse_primary(tts: &[Tt], pos: &mut usize) -> Expr {
     };
     let line = first.line();
     match first {
-        Tt::Group { open: '(', items, .. } => {
+        Tt::Group {
+            open: '(', items, ..
+        } => {
             *pos += 1;
             let parts: Vec<Expr> = split_top(items, ',').into_iter().map(parse_expr).collect();
             single_or_seq(parts, line)
         }
-        Tt::Group { open: '{', items, .. } => {
+        Tt::Group {
+            open: '{', items, ..
+        } => {
             *pos += 1;
             parse_block(items)
         }
@@ -1618,7 +1661,9 @@ fn parse_cond_construct(tts: &[Tt], pos: &mut usize, line: u32) -> Expr {
     while tts.get(*pos).and_then(Tt::ident) == Some("else") {
         *pos += 1;
         match tts.get(*pos) {
-            Some(Tt::Group { open: '{', items, .. }) => {
+            Some(Tt::Group {
+                open: '{', items, ..
+            }) => {
                 exprs.push(parse_block(items));
                 *pos += 1;
             }
@@ -1695,7 +1740,7 @@ fn parse_match_arms(tts: &[Tt]) -> Vec<Expr> {
 
 fn parse_for(tts: &[Tt], pos: &mut usize, line: u32) -> Expr {
     *pos += 1; // `for`
-    // Skip the pattern up to `in`.
+               // Skip the pattern up to `in`.
     while *pos < tts.len() && tts[*pos].ident() != Some("in") {
         *pos += 1;
     }
@@ -1825,14 +1870,20 @@ mod tests {
     fn impl_heads_resolve() {
         let f = parse("impl<'a> Engine<'a> { pub fn run(&self) {} }\nimpl Clone for Engine<'_> { fn clone(&self) -> Self { todo!() } }");
         match &f.items[0].kind {
-            ItemKind::Impl { self_ty, trait_name } => {
+            ItemKind::Impl {
+                self_ty,
+                trait_name,
+            } => {
                 assert_eq!(self_ty, "Engine");
                 assert!(trait_name.is_none());
             }
             k => panic!("{k:?}"),
         }
         match &f.items[1].kind {
-            ItemKind::Impl { self_ty, trait_name } => {
+            ItemKind::Impl {
+                self_ty,
+                trait_name,
+            } => {
                 assert_eq!(self_ty, "Engine");
                 assert_eq!(trait_name.as_deref(), Some("Clone"));
             }
@@ -1854,7 +1905,10 @@ mod tests {
         let body = f.items[0].body.as_ref().unwrap();
         let mut methods = Vec::new();
         body.visit(&mut |e| {
-            if let Expr::MethodCall { method, turbofish, .. } = e {
+            if let Expr::MethodCall {
+                method, turbofish, ..
+            } = e
+            {
                 methods.push((method.clone(), turbofish.clone()));
             }
         });

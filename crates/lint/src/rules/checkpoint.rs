@@ -10,7 +10,11 @@
 //! * every field of `EngineCheckpoint` in
 //!   `crates/transfer/src/engine/checkpoint.rs` must have a row in the
 //!   §13 field table;
-//! * every table row must name a live field (no stale docs);
+//! * every field of `ServiceCheckpoint` in `crates/ckpt/src/service.rs`
+//!   (the continuous-service scheduler snapshot) must likewise have a
+//!   §13 row;
+//! * every table row must name a live field of one of the two snapshot
+//!   structs (no stale docs);
 //! * every controller snapshot kind (a `…_KIND: &str` constant anywhere
 //!   in non-test workspace code) must be mentioned, backticked, in §13 —
 //!   a controller whose state can be snapshotted but is absent from the
@@ -21,6 +25,8 @@ use crate::lexer::{tokenize, Spanned, Tok};
 
 /// Location of the engine checkpoint definition, repo-relative.
 pub const CHECKPOINT_RS: &str = "crates/transfer/src/engine/checkpoint.rs";
+/// Location of the service scheduler snapshot definition, repo-relative.
+pub const SERVICE_CKPT_RS: &str = "crates/ckpt/src/service.rs";
 
 /// A `…_KIND: &str = "…"` constant found in workspace code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,24 +73,38 @@ pub fn collect_kind_consts(rel_path: &str, toks: &[Spanned]) -> Vec<KindConst> {
 }
 
 /// Runs the checkpoint lint: `ckpt_src` is
-/// `crates/transfer/src/engine/checkpoint.rs`, `design_src` is DESIGN.md,
-/// `kinds` the snapshot-kind constants collected across the workspace.
+/// `crates/transfer/src/engine/checkpoint.rs`, `service_src` is
+/// `crates/ckpt/src/service.rs` (the continuous-service scheduler
+/// snapshot), `design_src` is DESIGN.md, `kinds` the snapshot-kind
+/// constants collected across the workspace.
 pub fn check(
     ckpt_src: &str,
     ckpt_path: &str,
+    service_src: &str,
+    service_path: &str,
     design_src: &str,
     design_path: &str,
     kinds: &[KindConst],
 ) -> Vec<Violation> {
-    let toks = tokenize(ckpt_src);
     let mut out = Vec::new();
-    let fields = parse_struct_fields(&toks, "EngineCheckpoint");
-    if fields.is_empty() {
+    let engine_fields = parse_struct_fields(&tokenize(ckpt_src), "EngineCheckpoint");
+    if engine_fields.is_empty() {
         out.push(Violation {
             rule: "checkpoint",
             path: ckpt_path.to_string(),
             line: 0,
             message: "could not locate `struct EngineCheckpoint` — checkpoint lint cannot run"
+                .into(),
+        });
+        return out;
+    }
+    let service_fields = parse_struct_fields(&tokenize(service_src), "ServiceCheckpoint");
+    if service_fields.is_empty() {
+        out.push(Violation {
+            rule: "checkpoint",
+            path: service_path.to_string(),
+            line: 0,
+            message: "could not locate `struct ServiceCheckpoint` — checkpoint lint cannot run"
                 .into(),
         });
         return out;
@@ -101,28 +121,35 @@ pub fn check(
         return out;
     }
 
-    for (field, line) in &fields {
-        if !rows.iter().any(|(name, _)| name == field) {
-            out.push(Violation {
-                rule: "checkpoint",
-                path: ckpt_path.to_string(),
-                line: *line,
-                message: format!(
-                    "`EngineCheckpoint::{field}` has no row in the DESIGN.md §13 checkpoint \
-                     schema table — undocumented state cannot be trusted across a resume"
-                ),
-            });
+    for (struct_name, path, fields) in [
+        ("EngineCheckpoint", ckpt_path, &engine_fields),
+        ("ServiceCheckpoint", service_path, &service_fields),
+    ] {
+        for (field, line) in fields {
+            if !rows.iter().any(|(name, _)| name == field) {
+                out.push(Violation {
+                    rule: "checkpoint",
+                    path: path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`{struct_name}::{field}` has no row in the DESIGN.md §13 checkpoint \
+                         schema tables — undocumented state cannot be trusted across a resume"
+                    ),
+                });
+            }
         }
     }
     for (name, line) in &rows {
-        if !fields.iter().any(|(field, _)| field == name) {
+        let live = engine_fields.iter().any(|(field, _)| field == name)
+            || service_fields.iter().any(|(field, _)| field == name);
+        if !live {
             out.push(Violation {
                 rule: "checkpoint",
                 path: design_path.to_string(),
                 line: *line,
                 message: format!(
-                    "§13 checkpoint table documents `{name}`, which `EngineCheckpoint` \
-                     does not carry"
+                    "§13 checkpoint tables document `{name}`, which neither \
+                     `EngineCheckpoint` nor `ServiceCheckpoint` carries"
                 ),
             });
         }
@@ -256,6 +283,14 @@ mod tests {
         }
     "#;
 
+    const SERVICE_SRC: &str = r#"
+        pub struct ServiceCheckpoint {
+            pub version: u32,
+            pub round: u64,
+            pub queue: Vec<u32>,
+        }
+    "#;
+
     const GOOD_DOC: &str = "\
 ## 13. Checkpointing
 
@@ -267,6 +302,14 @@ Controller kinds: `stateless`, `htee`.
 | `now` | sim clock |
 | `chunks` | chunk queues |
 | `controller` | controller state |
+
+The service scheduler snapshot:
+
+| field | captures |
+|---|---|
+| `version` | service schema version |
+| `round` | next round |
+| `queue` | waiting jobs |
 
 ## 14. Next
 ";
@@ -292,19 +335,40 @@ Controller kinds: `stateless`, `htee`.
         assert_eq!(k[1].value, "htee");
     }
 
+    fn check_doc(doc: &str, kinds: &[KindConst]) -> Vec<Violation> {
+        check(
+            CKPT_SRC,
+            "ckpt.rs",
+            SERVICE_SRC,
+            "service.rs",
+            doc,
+            "DESIGN.md",
+            kinds,
+        )
+    }
+
     #[test]
     fn in_sync_checkpoint_schema_passes() {
-        let v = check(CKPT_SRC, "ckpt.rs", GOOD_DOC, "DESIGN.md", &kinds());
+        let v = check_doc(GOOD_DOC, &kinds());
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn undocumented_field_is_flagged() {
         let doc = GOOD_DOC.replace("| `chunks` | chunk queues |\n", "");
-        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        let v = check_doc(&doc, &kinds());
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("chunks"));
         assert_eq!(v[0].path, "ckpt.rs");
+    }
+
+    #[test]
+    fn undocumented_service_field_is_flagged() {
+        let doc = GOOD_DOC.replace("| `round` | next round |\n", "");
+        let v = check_doc(&doc, &kinds());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("ServiceCheckpoint::round"), "{v:?}");
+        assert_eq!(v[0].path, "service.rs");
     }
 
     #[test]
@@ -313,16 +377,26 @@ Controller kinds: `stateless`, `htee`.
             "| `now` | sim clock |",
             "| `now` | sim clock |\n| `ghost` | nothing |",
         );
-        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        let v = check_doc(&doc, &kinds());
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("ghost"));
         assert_eq!(v[0].path, "DESIGN.md");
     }
 
     #[test]
+    fn fields_shared_between_the_structs_satisfy_both() {
+        // `version` appears in both structs and both tables; dropping the
+        // service table's copy is fine because the engine table still
+        // documents a live `version` field.
+        let doc = GOOD_DOC.replace("| `version` | service schema version |\n", "");
+        let v = check_doc(&doc, &kinds());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn undocumented_snapshot_kind_is_flagged() {
         let doc = GOOD_DOC.replace("`htee`", "`something-else`");
-        let v = check(CKPT_SRC, "ckpt.rs", &doc, "DESIGN.md", &kinds());
+        let v = check_doc(&doc, &kinds());
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("htee"), "{v:?}");
         assert_eq!(v[0].path, "crates/transfer/src/control.rs");
@@ -330,10 +404,30 @@ Controller kinds: `stateless`, `htee`.
 
     #[test]
     fn missing_struct_or_table_degrades_to_file_level_finding() {
-        let v = check("fn nothing() {}", "ckpt.rs", GOOD_DOC, "DESIGN.md", &[]);
+        let v = check(
+            "fn nothing() {}",
+            "ckpt.rs",
+            SERVICE_SRC,
+            "service.rs",
+            GOOD_DOC,
+            "DESIGN.md",
+            &[],
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 0);
-        let v = check(CKPT_SRC, "ckpt.rs", "# empty\n", "DESIGN.md", &[]);
+        let v = check(
+            CKPT_SRC,
+            "ckpt.rs",
+            "fn nothing() {}",
+            "service.rs",
+            GOOD_DOC,
+            "DESIGN.md",
+            &[],
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("ServiceCheckpoint"), "{v:?}");
+        assert_eq!(v[0].path, "service.rs");
+        let v = check_doc("# empty\n", &[]);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("§13"));
     }

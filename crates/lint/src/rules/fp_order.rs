@@ -63,42 +63,46 @@ const FLOAT_EXTRACTORS: &[&str] = &[
 /// `check_narrowing` is true for non-test code in [`HOT_CRATES`].
 pub fn check_body(path: &str, body: &Expr, check_narrowing: bool) -> Vec<Violation> {
     let mut out = Vec::new();
-    body.visit(&mut |e| {
-        match e {
-            Expr::MethodCall { method, args, recv, turbofish, .. } => {
-                if COMPARATOR_METHODS.contains(&method.as_str()) {
-                    for a in args {
-                        flag_partial_cmp(path, a, method, &mut out);
-                    }
-                }
-                if ACCUMULATORS.contains(&method.as_str())
-                    && chain_has_unordered_source(recv)
-                    && is_float_accumulation(turbofish, args)
-                {
-                    out.push(Violation {
-                        rule: "fp-order",
-                        path: path.to_string(),
-                        line: e.line(),
-                        message: format!(
-                            "float `{method}` over an unordered iterator: reduction order is \
-                             non-deterministic; collect in job/index order first, then reduce \
-                             sequentially (DESIGN.md §15)"
-                        ),
-                    });
+    body.visit(&mut |e| match e {
+        Expr::MethodCall {
+            method,
+            args,
+            recv,
+            turbofish,
+            ..
+        } => {
+            if COMPARATOR_METHODS.contains(&method.as_str()) {
+                for a in args {
+                    flag_partial_cmp(path, a, method, &mut out);
                 }
             }
-            Expr::Cast { ty, line, .. } if check_narrowing && ty == "f32" => {
+            if ACCUMULATORS.contains(&method.as_str())
+                && chain_has_unordered_source(recv)
+                && is_float_accumulation(turbofish, args)
+            {
                 out.push(Violation {
                     rule: "fp-order",
                     path: path.to_string(),
-                    line: *line,
-                    message: "`as f32` narrowing in a numeric hot path: precision loss is not \
-                              part of the simulation contract; stay in f64 (DESIGN.md §15)"
-                        .into(),
+                    line: e.line(),
+                    message: format!(
+                        "float `{method}` over an unordered iterator: reduction order is \
+                             non-deterministic; collect in job/index order first, then reduce \
+                             sequentially (DESIGN.md §15)"
+                    ),
                 });
             }
-            _ => {}
         }
+        Expr::Cast { ty, line, .. } if check_narrowing && ty == "f32" => {
+            out.push(Violation {
+                rule: "fp-order",
+                path: path.to_string(),
+                line: *line,
+                message: "`as f32` narrowing in a numeric hot path: precision loss is not \
+                              part of the simulation contract; stay in f64 (DESIGN.md §15)"
+                    .into(),
+            });
+        }
+        _ => {}
     });
     out
 }
@@ -152,9 +156,7 @@ fn is_float_accumulation(turbofish: &str, args: &[Expr]) -> bool {
     for a in args {
         a.visit(&mut |e| match e {
             Expr::Lit { float: true, .. } => float = true,
-            Expr::MethodCall { method, .. }
-                if FLOAT_EXTRACTORS.contains(&method.as_str()) =>
-            {
+            Expr::MethodCall { method, .. } if FLOAT_EXTRACTORS.contains(&method.as_str()) => {
                 float = true;
             }
             _ => {}

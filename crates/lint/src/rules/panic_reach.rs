@@ -112,7 +112,7 @@ pub fn check(
     // in their parent's body (parser.rs), so the same sink can surface
     // twice — dedup by location.
     let mut seen = std::collections::BTreeSet::new();
-    for (&id, _) in &reached {
+    for &id in reached.keys() {
         let def = table.def(id);
         if def.test_only {
             continue;
@@ -202,7 +202,9 @@ mod tests {
         ]);
         let r = check(&t, &g, &[], |_, _| String::new());
         assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
-        assert!(r.violations[0].message.contains("run_controlled -> helper -> deep"));
+        assert!(r.violations[0]
+            .message
+            .contains("run_controlled -> helper -> deep"));
     }
 
     #[test]

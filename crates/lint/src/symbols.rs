@@ -58,15 +58,7 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Adds every fn in a parsed file to the table.
     pub fn add_file(&mut self, krate: &str, rel_path: &str, file_is_test: bool, pf: &ParsedFile) {
-        collect(
-            self,
-            krate,
-            rel_path,
-            file_is_test,
-            &pf.items,
-            None,
-            None,
-        );
+        collect(self, krate, rel_path, file_is_test, &pf.items, None, None);
     }
 
     /// Looks up a function definition by id.
@@ -214,7 +206,12 @@ mod tests {
 
     fn table(src: &str) -> SymbolTable {
         let mut t = SymbolTable::default();
-        t.add_file("demo", "crates/demo/src/lib.rs", false, &parse_file(&tokenize(src)));
+        t.add_file(
+            "demo",
+            "crates/demo/src/lib.rs",
+            false,
+            &parse_file(&tokenize(src)),
+        );
         t
     }
 

@@ -58,8 +58,14 @@ fn three_crate_chain_is_connected_and_walkable() {
     // BFS from the top reaches the leaf, and the recorded discovery
     // edges reconstruct the exact chain.
     let reached = graph.reach(&[top], |_| false);
-    assert!(reached.contains_key(&mid), "top -> middle_step edge missing");
-    assert!(reached.contains_key(&leaf), "middle_step -> finish_step edge missing");
+    assert!(
+        reached.contains_key(&mid),
+        "top -> middle_step edge missing"
+    );
+    assert!(
+        reached.contains_key(&leaf),
+        "middle_step -> finish_step edge missing"
+    );
     assert_eq!(
         graph.sample_path(&table, &reached, leaf),
         "top -> middle_step -> finish_step"
@@ -92,11 +98,16 @@ fn std_vocabulary_methods_resolve_to_nothing() {
         "b",
         "crates/b/src/lib.rs",
         false,
-        &parse_file(&tokenize("pub struct S;\nimpl S { pub fn get(&self) -> u32 { 1 } }")),
+        &parse_file(&tokenize(
+            "pub struct S;\nimpl S { pub fn get(&self) -> u32 { 1 } }",
+        )),
     );
     let graph = CallGraph::build(&table);
     let top = fn_id(&table, "top");
     let get = fn_id(&table, "get");
     let reached = graph.reach(&[top], |_| false);
-    assert!(!reached.contains_key(&get), "std-vocabulary `.get(` grew an edge");
+    assert!(
+        !reached.contains_key(&get),
+        "std-vocabulary `.get(` grew an edge"
+    );
 }

@@ -19,7 +19,11 @@ fn workspace_root() -> PathBuf {
 #[test]
 fn every_workspace_file_parses_and_keeps_every_fn() {
     let sources = eadt_lint::walk::collect_sources(&workspace_root()).expect("walk");
-    assert!(sources.len() > 50, "walker found only {} files", sources.len());
+    assert!(
+        sources.len() > 50,
+        "walker found only {} files",
+        sources.len()
+    );
     for file in &sources {
         let toks = tokenize(&file.text);
         let parsed = parse_file(&toks);

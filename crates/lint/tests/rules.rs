@@ -31,7 +31,10 @@ fn parse(src: &str) -> ParsedFile {
 }
 
 /// Runs a per-body rule over every function body in a fixture.
-fn over_bodies(src: &str, mut rule: impl FnMut(&eadt_lint::parser::Expr) -> Vec<Violation>) -> Vec<Violation> {
+fn over_bodies(
+    src: &str,
+    mut rule: impl FnMut(&eadt_lint::parser::Expr) -> Vec<Violation>,
+) -> Vec<Violation> {
     let pf = parse(src);
     let mut out = Vec::new();
     pf.visit_items(&mut |it, _| {
@@ -111,7 +114,12 @@ fn fp_order_fixture_catches_every_trap() {
     let v = over_bodies(FP_BAD, |b| fp_order::check_body("fixture.rs", b, true));
     assert_eq!(v.len(), 4, "{v:#?}");
     assert!(v.iter().any(|v| v.message.contains("total_cmp")));
-    assert!(v.iter().filter(|v| v.message.contains("unordered iterator")).count() == 2);
+    assert!(
+        v.iter()
+            .filter(|v| v.message.contains("unordered iterator"))
+            .count()
+            == 2
+    );
     assert!(v.iter().any(|v| v.message.contains("as f32")));
 }
 
@@ -141,13 +149,21 @@ fn unit_escape_fixture_negative_is_clean() {
 /// engine file and stub definitions for the other guaranteed roots.
 fn reach_table(engine_src: &str) -> (SymbolTable, Vec<(String, String)>) {
     let files = vec![
-        ("transfer", "crates/transfer/src/engine/mod.rs", engine_src.to_string()),
+        (
+            "transfer",
+            "crates/transfer/src/engine/mod.rs",
+            engine_src.to_string(),
+        ),
         (
             "fleet",
             "crates/fleet/src/session.rs",
             "pub fn run_one() {}\npub fn execute_job() {}".to_string(),
         ),
-        ("ckpt", "crates/ckpt/src/recover.rs", "pub fn resume_verified() {}".to_string()),
+        (
+            "ckpt",
+            "crates/ckpt/src/recover.rs",
+            "pub fn resume_verified() {}".to_string(),
+        ),
     ];
     let mut table = SymbolTable::default();
     let mut texts = Vec::new();
@@ -177,7 +193,11 @@ fn panic_reach_fixture_reports_transitive_sink_with_path() {
     assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
     let v = &report.violations[0];
     assert_eq!(v.rule, "panic-reach");
-    assert!(v.message.contains("run_controlled -> helper -> deep"), "{}", v.message);
+    assert!(
+        v.message.contains("run_controlled -> helper -> deep"),
+        "{}",
+        v.message
+    );
 }
 
 #[test]
@@ -190,7 +210,10 @@ fn panic_reach_fixture_negative_is_clean() {
 
 #[test]
 fn panic_reach_edge_allowlist_severs_the_walk() {
-    let cut = vec![("crates/transfer/src/engine/mod.rs".to_string(), "helper();".to_string())];
+    let cut = vec![(
+        "crates/transfer/src/engine/mod.rs".to_string(),
+        "helper();".to_string(),
+    )];
     let report = reach_check(REACH_BAD, &cut);
     assert!(report.violations.is_empty(), "{:#?}", report.violations);
     // The severed edge is reported so the allowlist staleness check sees
@@ -205,7 +228,10 @@ fn panic_reach_missing_root_is_loud() {
     // which must surface as a violation, not silently shrink the walk.
     let report = reach_check("pub fn renamed() {}", &[]);
     assert!(
-        report.violations.iter().any(|v| v.message.contains("run_controlled")),
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("run_controlled")),
         "{:#?}",
         report.violations
     );

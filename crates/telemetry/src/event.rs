@@ -335,6 +335,59 @@ pub enum Event {
         /// Whether every file finished before the time guard.
         completed: bool,
     },
+    /// A job arrived at the continuous fleet service and joined the
+    /// admission queue.
+    JobSubmitted {
+        /// Service-wide job index.
+        job: u32,
+        /// Owning tenant index.
+        tenant: u32,
+        /// Site whose pool the job contends for.
+        site: String,
+        /// Priority class (higher wins under strict-priority).
+        priority: u32,
+    },
+    /// Admission control moved a queued job into a site's resource pool.
+    JobAdmitted {
+        /// Service-wide job index.
+        job: u32,
+        /// Site whose pool admitted the job.
+        site: String,
+        /// Transfers resident at the site after admission.
+        resident: u32,
+        /// Jobs still waiting in the queue after admission.
+        waiting: u32,
+    },
+    /// The scheduler evicted a running job from its site pool (its engine
+    /// checkpoint goes back to the queue for a later resume).
+    JobPreempted {
+        /// Service-wide job index.
+        job: u32,
+        /// The higher-priority job that displaced it (absent when the
+        /// eviction had no single displacing job, e.g. a zero grant).
+        by: Option<u32>,
+        /// Site whose pool evicted the job.
+        site: String,
+    },
+    /// A previously-preempted job re-entered a site pool and resumed from
+    /// its checkpoint.
+    JobResumed {
+        /// Service-wide job index.
+        job: u32,
+        /// Site whose pool re-admitted the job.
+        site: String,
+        /// Scheduling round at which the resume happened.
+        round: u64,
+    },
+    /// A service job ran to completion and left its site pool.
+    JobFinished {
+        /// Service-wide job index.
+        job: u32,
+        /// Whether the transfer finished before the time guard.
+        completed: bool,
+        /// Goodput bytes the job moved.
+        moved_bytes: u64,
+    },
 }
 
 impl Event {
@@ -360,6 +413,11 @@ impl Event {
             Event::SpanEnd { .. } => "span_end",
             Event::Sample { .. } => "sample",
             Event::RunEnd { .. } => "run_end",
+            Event::JobSubmitted { .. } => "job_submitted",
+            Event::JobAdmitted { .. } => "job_admitted",
+            Event::JobPreempted { .. } => "job_preempted",
+            Event::JobResumed { .. } => "job_resumed",
+            Event::JobFinished { .. } => "job_finished",
         }
     }
 
@@ -558,6 +616,49 @@ impl Event {
                 write_json_f64(s, *energy_j);
                 let _ = write!(s, ",\"completed\":{completed}");
             }
+            Event::JobSubmitted {
+                job,
+                tenant,
+                site,
+                priority,
+            } => {
+                let _ = write!(s, ",\"job\":{job},\"tenant\":{tenant},\"site\":");
+                write_json_str(s, site);
+                let _ = write!(s, ",\"priority\":{priority}");
+            }
+            Event::JobAdmitted {
+                job,
+                site,
+                resident,
+                waiting,
+            } => {
+                let _ = write!(s, ",\"job\":{job},\"site\":");
+                write_json_str(s, site);
+                let _ = write!(s, ",\"resident\":{resident},\"waiting\":{waiting}");
+            }
+            Event::JobPreempted { job, by, site } => {
+                let _ = write!(s, ",\"job\":{job}");
+                if let Some(by) = by {
+                    let _ = write!(s, ",\"by\":{by}");
+                }
+                s.push_str(",\"site\":");
+                write_json_str(s, site);
+            }
+            Event::JobResumed { job, site, round } => {
+                let _ = write!(s, ",\"job\":{job},\"site\":");
+                write_json_str(s, site);
+                let _ = write!(s, ",\"round\":{round}");
+            }
+            Event::JobFinished {
+                job,
+                completed,
+                moved_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{job},\"completed\":{completed},\"moved_bytes\":{moved_bytes}"
+                );
+            }
         }
     }
 
@@ -676,6 +777,39 @@ impl Event {
                 duration_s: get_f64(m, "duration_s")?,
                 energy_j: get_f64(m, "energy_j")?,
                 completed: get_bool(m, "completed")?,
+            }),
+            "job_submitted" => Ok(Event::JobSubmitted {
+                job: get_u32(m, "job")?,
+                tenant: get_u32(m, "tenant")?,
+                site: get_string(m, "site")?,
+                priority: get_u32(m, "priority")?,
+            }),
+            "job_admitted" => Ok(Event::JobAdmitted {
+                job: get_u32(m, "job")?,
+                site: get_string(m, "site")?,
+                resident: get_u32(m, "resident")?,
+                waiting: get_u32(m, "waiting")?,
+            }),
+            "job_preempted" => Ok(Event::JobPreempted {
+                job: get_u32(m, "job")?,
+                by: match m.get("by") {
+                    Some(v) => Some(
+                        u32::try_from(v.as_u64().ok_or_else(|| err_type("by", "integer"))?)
+                            .map_err(|_| err_type("by", "u32"))?,
+                    ),
+                    None => None,
+                },
+                site: get_string(m, "site")?,
+            }),
+            "job_resumed" => Ok(Event::JobResumed {
+                job: get_u32(m, "job")?,
+                site: get_string(m, "site")?,
+                round: get_u64(m, "round")?,
+            }),
+            "job_finished" => Ok(Event::JobFinished {
+                job: get_u32(m, "job")?,
+                completed: get_bool(m, "completed")?,
+                moved_bytes: get_u64(m, "moved_bytes")?,
             }),
             other => Err(format!("unknown event tag `{other}`")),
         }

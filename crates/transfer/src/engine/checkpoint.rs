@@ -262,6 +262,57 @@ impl EngineCheckpoint {
     }
 }
 
+/// Fractional grant of externally-shared site resources applied to one
+/// engine run.
+///
+/// When a transfer shares its site with other tenants
+/// (`eadt_endsys::pool`), an arbiter outside the engine decides what
+/// fraction of the link and disk capacity this transfer may use for the
+/// leg being executed. The engine multiplies these factors into its
+/// shared-capacity terms each slice: `bandwidth` scales the congested
+/// link capacity, `src_disk`/`dst_disk` scale the per-server disk
+/// aggregates. The default grant is `1.0` everywhere, which is an exact
+/// floating-point identity — un-pooled runs are byte-for-byte unchanged.
+///
+/// The share is deliberately **not** part of the checkpoint or the
+/// config fingerprint: a service recomputes grants deterministically
+/// from pool membership on every leg, so a job may resume under a
+/// different share than it halted with (that is the whole point of
+/// re-arbitrating each round).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceShare {
+    /// Fraction of the link bandwidth granted (0–1].
+    pub bandwidth: f64,
+    /// Fraction of the source site's disk aggregate granted (0–1].
+    pub src_disk: f64,
+    /// Fraction of the destination site's disk aggregate granted (0–1].
+    pub dst_disk: f64,
+}
+
+impl ResourceShare {
+    /// The whole-machine grant: every factor exactly `1.0`.
+    pub const FULL: ResourceShare = ResourceShare {
+        bandwidth: 1.0,
+        src_disk: 1.0,
+        dst_disk: 1.0,
+    };
+
+    /// A uniform grant: the same fraction on link and both disks.
+    pub fn uniform(fraction: f64) -> Self {
+        ResourceShare {
+            bandwidth: fraction,
+            src_disk: fraction,
+            dst_disk: fraction,
+        }
+    }
+}
+
+impl Default for ResourceShare {
+    fn default() -> Self {
+        ResourceShare::FULL
+    }
+}
+
 /// How [`Engine::run_controlled`] starts and stops.
 ///
 /// [`Engine::run_controlled`]: super::Engine::run_controlled
@@ -276,6 +327,9 @@ pub struct RunControl {
     /// completion. A halt inside a macro-stepped horizon cuts the replay
     /// at exactly this boundary — resuming recomputes the rest.
     pub halt_after: Option<u64>,
+    /// Fraction of shared site resources granted to this run (defaults
+    /// to the full machine). See [`ResourceShare`].
+    pub share: ResourceShare,
 }
 
 impl RunControl {
@@ -284,6 +338,7 @@ impl RunControl {
         RunControl {
             resume: Some(Box::new(ck)),
             halt_after: None,
+            share: ResourceShare::FULL,
         }
     }
 
@@ -292,12 +347,19 @@ impl RunControl {
         RunControl {
             resume: None,
             halt_after: Some(slices),
+            share: ResourceShare::FULL,
         }
     }
 
     /// Caps this control with a halt boundary (keeps any resume state).
     pub fn with_halt(mut self, slices: u64) -> Self {
         self.halt_after = Some(slices);
+        self
+    }
+
+    /// Applies a resource share grant (keeps resume/halt state).
+    pub fn with_share(mut self, share: ResourceShare) -> Self {
+        self.share = share;
         self
     }
 }

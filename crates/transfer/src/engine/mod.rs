@@ -45,8 +45,8 @@ use std::collections::VecDeque;
 mod checkpoint;
 
 pub use checkpoint::{
-    config_fingerprint, ChannelSnapshot, ChunkSnapshot, EngineCheckpoint, FileSnapshot, RunControl,
-    RunOutcome, CHECKPOINT_SCHEMA_VERSION,
+    config_fingerprint, ChannelSnapshot, ChunkSnapshot, EngineCheckpoint, FileSnapshot,
+    ResourceShare, RunControl, RunOutcome, CHECKPOINT_SCHEMA_VERSION,
 };
 
 /// A file being moved: its full size (for restart after a channel
@@ -709,7 +709,10 @@ impl<'a> Engine<'a> {
 
                 let eff = env.congestion.efficiency(total_streams);
                 let bg = env.background.map_or(1.0, |b| b.capacity_factor(now));
-                let capacity = env.link.bandwidth * (eff * bg);
+                // Pool arbitration (multi-tenant sites) scales the shared
+                // link capacity; the default 1.0 grant is an exact FP
+                // identity, so solo runs are byte-for-byte unchanged.
+                let capacity = env.link.bandwidth * (eff * bg * ctl.share.bandwidth);
 
                 // Demands: per-channel ceiling from the window/process
                 // model scaled by the channel's control-plane duty cycle
@@ -745,13 +748,15 @@ impl<'a> Engine<'a> {
                     let factor = runtime
                         .as_ref()
                         .map_or(1.0, |rt| rt.disk_factor(SiteSide::Src, srv));
-                    env.src.servers[srv].disk.aggregate_rate(src_chan[srv]) * factor
+                    env.src.servers[srv].disk.aggregate_rate(src_chan[srv])
+                        * (factor * ctl.share.src_disk)
                 });
                 apply_disk_fairness(demands, dst_assign, dst_chan, disk, |srv| {
                     let factor = runtime
                         .as_ref()
                         .map_or(1.0, |rt| rt.disk_factor(SiteSide::Dst, srv));
-                    env.dst.servers[srv].disk.aggregate_rate(dst_chan[srv]) * factor
+                    env.dst.servers[srv].disk.aggregate_rate(dst_chan[srv])
+                        * (factor * ctl.share.dst_disk)
                 });
 
                 // Grants are time-averaged rates; while a channel is

@@ -27,6 +27,33 @@
 //! assert!(report.jobs[0].completed);
 //! ```
 //!
+//! Multi-tenant workloads contending for shared site pools go through the
+//! continuous [`fleet`] service ([`ServiceSession`](fleet::ServiceSession),
+//! DESIGN.md §16): jobs arrive on a seeded process, are admitted and
+//! preempted by the scheduler, and share each site's bandwidth and disk
+//! under fair-share or strict-priority arbitration:
+//!
+//! ```
+//! use eadt::prelude::*;
+//!
+//! let tb = eadt::testbeds::didclab();
+//! let capacity = PoolCapacity::from_servers(tb.env.link.bandwidth, &tb.env.src.servers, 2);
+//! let workload = Workload::new()
+//!     .site("didclab", capacity)
+//!     .job(ServiceJob::new(
+//!         JobSpec::new(AlgorithmKind::Sc, tb.clone()).with_scale(0.01),
+//!         "didclab",
+//!     ))
+//!     .job(ServiceJob::new(
+//!         JobSpec::new(AlgorithmKind::ProMc, tb).with_scale(0.01),
+//!         "didclab",
+//!     ).with_tenant(1));
+//! let run = ServiceSession::builder().root_seed(42).quantum(100).build()
+//!     .run(&workload)
+//!     .unwrap();
+//! assert_eq!(run.report.completed_count(), 2);
+//! ```
+//!
 //! The three paper algorithms live in [`core`] as [`MinE`](core::MinE),
 //! [`Htee`](core::Htee) and [`Slaee`](core::Slaee); the baselines they are
 //! evaluated against (GUC, GO, SC, ProMC, BF) are in
@@ -51,7 +78,10 @@ pub mod prelude {
     pub use eadt_core::baselines::{BruteForce, GlobusOnline, GlobusUrlCopy, ProMc, SingleChunk};
     pub use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, Planner, RunCtx, Slaee};
     pub use eadt_dataset::{Dataset, FileSpec};
-    pub use eadt_fleet::{FleetReport, JobSpec, Session};
+    pub use eadt_endsys::{ArbitrationPolicy, PoolCapacity};
+    pub use eadt_fleet::{
+        FleetReport, JobSpec, ServiceJob, ServiceReport, ServiceSession, Session, Workload,
+    };
     pub use eadt_sim::{Bytes, EadtError, Rate, SimDuration, SimTime};
     pub use eadt_testbeds::{didclab, futuregrid, xsede, Environment};
     pub use eadt_transfer::{TransferParams, TransferReport};
