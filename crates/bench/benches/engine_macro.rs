@@ -8,104 +8,20 @@
 //! horizon opens up (the ≥10× target), turbulence is where it must cost
 //! nothing (every slice hosts a fault/backoff/completion event, so the
 //! horizon stays closed and only the horizon computation itself is paid).
+//! The scenarios themselves live in `eadt_bench::kernel`, shared with the
+//! `slice_kernel` bench and the `perf_gate` test.
 
 use criterion::measurement::WallTime;
 use criterion::{criterion_group, criterion_main, Criterion};
-use eadt_dataset::Dataset;
-use eadt_endsys::Placement;
-use eadt_sim::{Bytes, SimDuration};
-use eadt_testbeds::xsede;
-use eadt_transfer::{
-    uniform_plan, BackgroundTraffic, ControlAction, Controller, DiskDegradationModel, Engine,
-    FaultModel, FaultPlan, OutageModel, SiteSide, SliceCtx, StallModel, TransferEnv,
-    TransferParams, TransferPlan,
+use eadt_bench::kernel::{
+    merge_into_bench_json, steady_scenario, turbulent_scenario, SliceCounter,
 };
+use eadt_transfer::{Engine, TransferEnv, TransferPlan};
 use std::hint::black_box;
 
 /// Timed passes per configuration; the minimum is recorded so scheduler
 /// noise on small CI hosts cannot fake a regression.
 const PASSES: usize = 5;
-
-/// `NullController` with an odometer: counts how many slices the engine
-/// actually executed (macro-stepped replays never reach the controller),
-/// so `1 - executed_fast / executed_slow` is the slices-skipped ratio.
-#[derive(Default)]
-struct CountingController {
-    slices: u64,
-}
-
-impl Controller for CountingController {
-    fn on_slice(&mut self, _ctx: &SliceCtx) -> ControlAction {
-        self.slices += 1;
-        ControlAction::Continue
-    }
-
-    fn next_decision_in(&self, _ctx: &SliceCtx, _slice: SimDuration) -> u64 {
-        u64::MAX
-    }
-}
-
-fn merge_into_bench_json(key: &str, value: serde_json::Value) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    let mut root: serde_json::Value = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str(&s).ok())
-        .unwrap_or_else(|| serde_json::json!({ "schema": 1 }));
-    if let Some(map) = root.as_object_mut() {
-        map.insert(key.to_string(), value);
-    }
-    let mut text = serde_json::to_string_pretty(&root).expect("serializable");
-    text.push('\n');
-    std::fs::write(path, text).expect("workspace root is writable");
-}
-
-/// Long steady transfer: a handful of very large files, no faults — after
-/// the ramp-in every slice is a steady mover slice.
-fn steady_scenario() -> (TransferEnv, TransferPlan) {
-    let env = xsede().env;
-    let dataset = Dataset::from_sizes("steady", [Bytes::from_gb(60); 16]);
-    let plan = uniform_plan(&dataset, TransferParams::new(4, 4, 4), Placement::PackFirst);
-    (env, plan)
-}
-
-/// Fault-heavy turbulent transfer: short MTBF kills, an outage window, a
-/// stall regime, disk degradation and square-wave cross traffic keep the
-/// horizon pinned near zero.
-fn turbulent_scenario() -> (TransferEnv, TransferPlan) {
-    let mut env = xsede().env;
-    env.faults = Some(
-        FaultPlan::channel_only(FaultModel::new(SimDuration::from_secs(5), 7))
-            .with_outage(OutageModel::new(
-                SiteSide::Src,
-                0,
-                SimDuration::from_secs(15),
-                SimDuration::from_secs(3),
-                13,
-            ))
-            .with_stall(StallModel::new(
-                SimDuration::from_secs(10),
-                SimDuration::from_secs(2),
-                4.0,
-                17,
-            ))
-            .with_disk(DiskDegradationModel::new(
-                SiteSide::Dst,
-                0,
-                SimDuration::from_secs(20),
-                SimDuration::from_secs(4),
-                0.4,
-                19,
-            )),
-    );
-    env.background = Some(BackgroundTraffic::square(
-        SimDuration::from_secs(7),
-        SimDuration::from_secs(3),
-        0.5,
-    ));
-    let dataset = Dataset::from_sizes("turbulent", [Bytes::from_gb(2); 4]);
-    let plan = uniform_plan(&dataset, TransferParams::new(4, 4, 4), Placement::PackFirst);
-    (env, plan)
-}
 
 /// Runs one configuration `PASSES` times; returns (min wall seconds,
 /// executed slice count) and asserts the report is identical every pass.
@@ -115,7 +31,7 @@ fn measure(env: &TransferEnv, plan: &TransferPlan, macro_step: bool) -> (f64, u6
     let mut best = f64::INFINITY;
     let mut slices = 0;
     for _ in 0..PASSES {
-        let mut ctrl = CountingController::default();
+        let mut ctrl = SliceCounter::default();
         let (report, s) = WallTime::time(|| Engine::new(&env).run(plan, &mut ctrl));
         black_box(&report);
         assert!(report.completed, "bench transfer must finish");
@@ -163,7 +79,7 @@ fn bench(c: &mut Criterion) {
         let mut env = env.clone();
         env.tuning.macro_step = false;
         g.bench_function(name, |b| {
-            b.iter(|| black_box(Engine::new(&env).run(plan, &mut CountingController::default())))
+            b.iter(|| black_box(Engine::new(&env).run(plan, &mut SliceCounter::default())))
         });
     }
     for (name, env, plan) in [
@@ -173,7 +89,7 @@ fn bench(c: &mut Criterion) {
         let mut env = env.clone();
         env.tuning.macro_step = true;
         g.bench_function(name, |b| {
-            b.iter(|| black_box(Engine::new(&env).run(plan, &mut CountingController::default())))
+            b.iter(|| black_box(Engine::new(&env).run(plan, &mut SliceCounter::default())))
         });
     }
     g.finish();

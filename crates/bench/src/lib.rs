@@ -12,6 +12,7 @@ pub mod ablate;
 pub mod accuracy;
 pub mod device;
 pub mod estimator;
+pub mod kernel;
 pub mod plot;
 pub mod repeat;
 pub mod sla;
@@ -24,6 +25,10 @@ pub use ablate::{ablation_matrix, fault_ablation, AblationRow, FaultAblationRow}
 pub use accuracy::{model_accuracy, AccuracyRow};
 pub use device::{fig10_decomposition, fig8_series, fig9_paths, table1_rows, DecompositionRow};
 pub use estimator::{estimator_experiment, EstimatorRow};
+pub use kernel::{
+    count_executed_slices, measure_allocs_per_slice, merge_into_bench_json, steady_scenario,
+    turbulent_scenario, AllocWindow, KernelGate, SliceCounter,
+};
 pub use plot::{write_sla_plot, write_sweep_plot, write_trace_plot};
 pub use repeat::{replicated_sweep, AggregatePoint, ReplicatedSweep};
 pub use sla::{sla_figure, SlaFigure, SlaRow};

@@ -52,13 +52,13 @@ impl Algorithm for GlobusUrlCopy {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let plan = eadt_transfer::uniform_plan(
             dataset,
             eadt_transfer::TransferParams::BASELINE,
             Placement::RoundRobin,
         );
-        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
+        Engine::new(env).run_controlled_in(&plan, &mut NullController, tel, ctl, arena)
     }
 }
 
@@ -95,7 +95,7 @@ impl Algorithm for GlobusOnline {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let chunks = partition_globus_online(dataset);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
@@ -107,7 +107,7 @@ impl Algorithm for GlobusOnline {
         // GO transfers partitions one by one and spreads its channels over
         // all of the site's servers.
         let plan = TransferPlan::sequential(chunk_plans, Placement::RoundRobin);
-        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
+        Engine::new(env).run_controlled_in(&plan, &mut NullController, tel, ctl, arena)
     }
 }
 
@@ -142,7 +142,7 @@ impl Algorithm for SingleChunk {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let chunk_plans: Vec<ChunkPlan> = chunks
             .iter()
@@ -157,7 +157,7 @@ impl Algorithm for SingleChunk {
             })
             .collect();
         let plan = TransferPlan::sequential(chunk_plans, Placement::PackFirst);
-        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
+        Engine::new(env).run_controlled_in(&plan, &mut NullController, tel, ctl, arena)
     }
 }
 
@@ -213,12 +213,18 @@ impl Algorithm for ProMc {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let plan = self.plan(env, dataset);
         if self.fault_aware {
-            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(NullController), tel, ctl)
+            Engine::new(env).run_controlled_in(
+                &plan,
+                &mut FaultAware::new(NullController),
+                tel,
+                ctl,
+                arena,
+            )
         } else {
-            Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
+            Engine::new(env).run_controlled_in(&plan, &mut NullController, tel, ctl, arena)
         }
     }
 }

@@ -11,12 +11,19 @@
 
 use eadt_dataset::Dataset;
 use eadt_telemetry::Telemetry;
-use eadt_transfer::{FaultPlan, TransferEnv};
+use eadt_transfer::{FaultPlan, SliceArena, TransferEnv};
 use std::borrow::Cow;
 
 enum TelSlot<'a> {
     Owned(Telemetry),
     Borrowed(&'a mut Telemetry),
+}
+
+enum ArenaSlot<'a> {
+    // Boxed: the arena's inline columns would otherwise dominate the
+    // enum (clippy::large_enum_variant) and every RunCtx on the stack.
+    Owned(Box<SliceArena>),
+    Borrowed(&'a mut SliceArena),
 }
 
 /// Everything one [`Algorithm::run`](crate::Algorithm::run) call needs:
@@ -31,6 +38,7 @@ pub struct RunCtx<'a> {
     env: Cow<'a, TransferEnv>,
     dataset: &'a Dataset,
     tel: TelSlot<'a>,
+    arena: ArenaSlot<'a>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -41,6 +49,7 @@ impl<'a> RunCtx<'a> {
             env: Cow::Borrowed(env),
             dataset,
             tel: TelSlot::Owned(Telemetry::disabled()),
+            arena: ArenaSlot::Owned(Box::default()),
         }
     }
 
@@ -55,7 +64,21 @@ impl<'a> RunCtx<'a> {
             env: Cow::Borrowed(env),
             dataset,
             tel: TelSlot::Borrowed(tel),
+            arena: ArenaSlot::Owned(Box::default()),
         }
+    }
+
+    /// Lends a caller-owned [`SliceArena`] to every engine run this
+    /// context dispatches (see
+    /// [`Engine::run_controlled_in`](eadt_transfer::Engine::run_controlled_in)):
+    /// the arena's buffer capacity then survives beyond this context, so a
+    /// caller re-running jobs — the fleet service advancing a resident
+    /// every quantum — stops paying engine-scratch allocations. Without
+    /// this the context owns a private arena, which is just as correct but
+    /// warms up from cold each time.
+    pub fn use_arena(&mut self, arena: &'a mut SliceArena) -> &mut Self {
+        self.arena = ArenaSlot::Borrowed(arena);
+        self
     }
 
     /// Replaces the environment's fault plan for this run (clones the
@@ -88,10 +111,22 @@ impl<'a> RunCtx<'a> {
     /// the borrow checker happy when an algorithm needs the environment
     /// and the telemetry sink simultaneously.
     pub fn parts(&mut self) -> (&TransferEnv, &'a Dataset, &mut Telemetry) {
+        let (env, dataset, tel, _) = self.parts_arena();
+        (env, dataset, tel)
+    }
+
+    /// [`RunCtx::parts`] plus the scratch arena — for implementors that
+    /// drive the engine through
+    /// [`Engine::run_controlled_in`](eadt_transfer::Engine::run_controlled_in).
+    pub fn parts_arena(&mut self) -> (&TransferEnv, &'a Dataset, &mut Telemetry, &mut SliceArena) {
         let tel = match &mut self.tel {
             TelSlot::Owned(t) => t,
             TelSlot::Borrowed(t) => &mut **t,
         };
-        (self.env.as_ref(), self.dataset, tel)
+        let arena = match &mut self.arena {
+            ArenaSlot::Owned(a) => a,
+            ArenaSlot::Borrowed(a) => &mut **a,
+        };
+        (self.env.as_ref(), self.dataset, tel, arena)
     }
 }

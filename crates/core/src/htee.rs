@@ -85,7 +85,7 @@ impl Algorithm for Htee {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let chunks = self.chunks(env, dataset);
         let levels = self.search_levels();
         let first_alloc = Planner::new(&env.link).weight_allocation(&chunks, levels[0]);
@@ -101,9 +101,15 @@ impl Algorithm for Htee {
         let mut controller = HteeController::new(chunks, levels, self.probe_window);
         controller.reprobe_interval = self.reprobe_interval;
         if self.fault_aware {
-            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(controller), tel, ctl)
+            Engine::new(env).run_controlled_in(
+                &plan,
+                &mut FaultAware::new(controller),
+                tel,
+                ctl,
+                arena,
+            )
         } else {
-            Engine::new(env).run_controlled(&plan, &mut controller, tel, ctl)
+            Engine::new(env).run_controlled_in(&plan, &mut controller, tel, ctl, arena)
         }
     }
 }

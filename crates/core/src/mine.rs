@@ -72,7 +72,7 @@ impl Algorithm for MinE {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let plan = self.plan(env, dataset);
         // A resumed run replays the deterministic planning but not its
         // telemetry: the decision event is already in the journal prefix.
@@ -85,7 +85,7 @@ impl Algorithm for MinE {
                 }
             });
         }
-        Engine::new(env).run_controlled(&plan, &mut NullController, tel, ctl)
+        Engine::new(env).run_controlled_in(&plan, &mut NullController, tel, ctl, arena)
     }
 }
 

@@ -86,7 +86,7 @@ impl Algorithm for Slaee {
     }
 
     fn run_controlled(&self, ctx: &mut RunCtx<'_>, ctl: RunControl) -> RunOutcome {
-        let (env, dataset, tel) = ctx.parts();
+        let (env, dataset, tel, arena) = ctx.parts_arena();
         let chunks = partition(dataset, env.link.bdp(), &self.partition);
         let first_alloc = Planner::new(&env.link).sla_allocation(&chunks, 1, false);
         let chunk_plans: Vec<ChunkPlan> = chunks
@@ -107,9 +107,15 @@ impl Algorithm for Slaee {
         controller.overshoot_margin = self.overshoot_margin.max(1.0);
         controller.degrade_tolerance = self.degrade_tolerance.clamp(0.0, 1.0);
         if self.fault_aware {
-            Engine::new(env).run_controlled(&plan, &mut FaultAware::new(controller), tel, ctl)
+            Engine::new(env).run_controlled_in(
+                &plan,
+                &mut FaultAware::new(controller),
+                tel,
+                ctl,
+                arena,
+            )
         } else {
-            Engine::new(env).run_controlled(&plan, &mut controller, tel, ctl)
+            Engine::new(env).run_controlled_in(&plan, &mut controller, tel, ctl, arena)
         }
     }
 }

@@ -51,10 +51,20 @@ impl Site {
     /// `placement`, returning the channel count per server (same order as
     /// [`Site::servers`]).
     pub fn place_channels(&self, channels: u32, placement: Placement) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.place_channels_into(channels, placement, &mut counts);
+        counts
+    }
+
+    /// In-place variant of [`Site::place_channels`] for hot paths: writes
+    /// the per-server channel counts into `counts` (cleared and refilled;
+    /// capacity is reused across calls, so a warm buffer never allocates).
+    pub fn place_channels_into(&self, channels: u32, placement: Placement, counts: &mut Vec<u32>) {
         let n = self.servers.len();
-        let mut counts = vec![0u32; n];
+        counts.clear();
+        counts.resize(n, 0);
         if channels == 0 {
-            return counts;
+            return;
         }
         match placement {
             Placement::PackFirst => {
@@ -68,7 +78,6 @@ impl Site {
                 }
             }
         }
-        counts
     }
 
     /// Like [`Site::place_channels`], but restricted to the servers marked
@@ -84,29 +93,48 @@ impl Site {
         placement: Placement,
         avail: &[bool],
     ) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.place_channels_masked_into(channels, placement, avail, &mut counts);
+        counts
+    }
+
+    /// In-place variant of [`Site::place_channels_masked`]: same semantics,
+    /// writing into a reusable buffer and allocating nothing when the
+    /// buffer is warm.
+    pub fn place_channels_masked_into(
+        &self,
+        channels: u32,
+        placement: Placement,
+        avail: &[bool],
+        counts: &mut Vec<u32>,
+    ) {
         let n = self.servers.len();
-        let usable: Vec<usize> = (0..n).filter(|&i| *avail.get(i).unwrap_or(&true)).collect();
-        if usable.len() == n || usable.is_empty() {
-            return self.place_channels(channels, placement);
+        let is_usable = |i: usize| *avail.get(i).unwrap_or(&true);
+        let usable = (0..n).filter(|&i| is_usable(i)).count();
+        if usable == n || usable == 0 {
+            self.place_channels_into(channels, placement, counts);
+            return;
         }
-        let mut counts = vec![0u32; n];
+        counts.clear();
+        counts.resize(n, 0);
         if channels == 0 {
-            return counts;
+            return;
         }
         match placement {
             Placement::PackFirst => {
-                counts[usable[0]] = channels;
+                if let Some(first) = (0..n).find(|&i| is_usable(i)) {
+                    counts[first] = channels;
+                }
             }
             Placement::RoundRobin => {
-                let m = usable.len() as u32;
+                let m = usable as u32;
                 let per = channels / m;
                 let extra = (channels % m) as usize;
-                for (k, &srv) in usable.iter().enumerate() {
+                for (k, srv) in (0..n).filter(|&i| is_usable(i)).enumerate() {
                     counts[srv] = per + u32::from(k < extra);
                 }
             }
         }
-        counts
     }
 
     /// Number of servers that would be active (≥ 1 channel) for a given

@@ -7,7 +7,7 @@ use eadt_core::{Algorithm, AlgorithmKind, Htee, MinE, RunCtx, Slaee};
 use eadt_dataset::Dataset;
 use eadt_sim::Rate;
 use eadt_telemetry::Telemetry;
-use eadt_transfer::{RunControl, RunOutcome, TransferReport};
+use eadt_transfer::{RunControl, RunOutcome, SliceArena, TransferReport};
 
 /// Runs one job at the given seed and returns the engine's report.
 ///
@@ -89,7 +89,15 @@ impl<'a> JobRunner<'a> {
     /// per `ctl`). Calling this repeatedly with the default control always
     /// reproduces the same report.
     pub fn run_controlled(&self, ctl: RunControl) -> RunOutcome {
-        self.run_with(ctl, None)
+        self.run_with(ctl, None, None)
+    }
+
+    /// Like [`JobRunner::run_controlled`], but running the engine inside
+    /// a caller-owned [`SliceArena`] — the service's per-quantum advance
+    /// path, which keeps one arena per resident so re-entering a job
+    /// every round reuses warm engine scratch instead of reallocating it.
+    pub fn run_controlled_in(&self, ctl: RunControl, arena: &mut SliceArena) -> RunOutcome {
+        self.run_with(ctl, None, Some(arena))
     }
 
     /// Like [`JobRunner::run_controlled`], but recording into `tel` —
@@ -98,13 +106,21 @@ impl<'a> JobRunner<'a> {
     /// and a resume restores the registry from the checkpoint before
     /// continuing, so the final snapshot is interrupt-invariant.
     pub fn run_instrumented(&self, ctl: RunControl, tel: &mut Telemetry) -> RunOutcome {
-        self.run_with(ctl, Some(tel))
+        self.run_with(ctl, Some(tel), None)
     }
 
-    fn run_with(&self, ctl: RunControl, tel: Option<&mut Telemetry>) -> RunOutcome {
+    fn run_with(
+        &self,
+        ctl: RunControl,
+        tel: Option<&mut Telemetry>,
+        arena: Option<&mut SliceArena>,
+    ) -> RunOutcome {
         let spec = self.spec;
         let partition = spec.env.partition;
         let mut ctx = Self::ctx_with(spec, &self.dataset, tel);
+        if let Some(arena) = arena {
+            ctx.use_arena(arena);
+        }
         match spec.kind {
             AlgorithmKind::MinE => MinE {
                 partition,
@@ -155,17 +171,24 @@ impl<'a> JobRunner<'a> {
                     ),
                     eadt_endsys::Placement::PackFirst,
                 );
-                let (env, _, tel) = ctx.parts();
+                let (env, _, tel, arena) = ctx.parts_arena();
                 let engine = eadt_transfer::Engine::new(env);
                 if spec.fault_aware {
-                    engine.run_controlled(
+                    engine.run_controlled_in(
                         &plan,
                         &mut eadt_transfer::FaultAware::new(eadt_transfer::NullController),
                         tel,
                         ctl,
+                        arena,
                     )
                 } else {
-                    engine.run_controlled(&plan, &mut eadt_transfer::NullController, tel, ctl)
+                    engine.run_controlled_in(
+                        &plan,
+                        &mut eadt_transfer::NullController,
+                        tel,
+                        ctl,
+                        arena,
+                    )
                 }
             }
         }

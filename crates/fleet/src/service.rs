@@ -45,7 +45,7 @@ use eadt_ckpt::{
 use eadt_endsys::pool::{arbitrate, ArbitrationPolicy, PoolCapacity, PoolMember};
 use eadt_sim::{EadtError, Rate, SimRng, SimTime};
 use eadt_telemetry::{EnergyLedger, Event, Journal};
-use eadt_transfer::{EngineCheckpoint, ResourceShare, RunControl, RunOutcome};
+use eadt_transfer::{EngineCheckpoint, ResourceShare, RunControl, RunOutcome, SliceArena};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -441,6 +441,12 @@ impl ServiceSession {
             .collect();
 
         let mut state = SchedulerState::fresh(jobs.len());
+        // Per-job engine scratch arenas, reused across quanta: a resident
+        // advancing every round re-enters the engine with its warm arena
+        // instead of rebuilding scratch from cold. Deliberately *not* part
+        // of the serialized scheduler state — arenas carry capacity, not
+        // semantics, and a resumed service starts them cold again.
+        let mut arenas: Vec<SliceArena> = jobs.iter().map(|_| SliceArena::default()).collect();
         let mut journal = Journal::new();
         let store = match &self.checkpoint {
             Some((dir, _)) => Some(CheckpointStore::create(dir).map_err(ckpt_err)?),
@@ -634,6 +640,7 @@ impl ServiceSession {
                     job,
                     engine: state.engine[job].take(),
                     share: shares[job].unwrap_or_default(),
+                    arena: std::mem::take(&mut arenas[job]),
                 })
                 .collect();
             let results = self.advance(jobs, &seeds, tasks);
@@ -643,7 +650,8 @@ impl ServiceSession {
             let end = round_start(slice, self.quantum, round + 1);
             let mut still_resident = Vec::with_capacity(state.resident.len());
             let mut finished_now = Vec::new();
-            for (job, outcome) in results {
+            for (job, outcome, arena) in results {
+                arenas[job] = arena;
                 match outcome {
                     Advanced::Halted(engine) => {
                         state.engine[job] = Some(engine);
@@ -696,14 +704,14 @@ impl ServiceSession {
         jobs: &[ServiceJob],
         seeds: &[u64],
         tasks: Vec<AdvanceTask>,
-    ) -> Vec<(usize, Advanced)> {
+    ) -> Vec<(usize, Advanced, SliceArena)> {
         let quantum = self.quantum;
-        let slots: Vec<Mutex<Option<(usize, Advanced)>>> =
+        let slots: Vec<Mutex<Option<(usize, Advanced, SliceArena)>>> =
             tasks.iter().map(|_| Mutex::new(None)).collect();
         let run_one = |task: AdvanceTask| {
             let job = task.job;
-            let outcome = advance_job(&jobs[job], seeds[job], job, task, quantum);
-            (job, outcome)
+            let (outcome, arena) = advance_job(&jobs[job], seeds[job], job, task, quantum);
+            (job, outcome, arena)
         };
         let workers = self.workers.min(tasks.len()).max(1);
         if workers == 1 {
@@ -993,6 +1001,10 @@ struct AdvanceTask {
     job: usize,
     engine: Option<Box<EngineCheckpoint>>,
     share: ResourceShare,
+    /// The job's engine scratch arena, moved through the task (and back
+    /// with the result) so each quantum reuses the previous one's warm
+    /// buffers.
+    arena: SliceArena,
 }
 
 /// What one quantum produced for a resident.
@@ -1011,20 +1023,26 @@ fn advance_job(
     index: usize,
     task: AdvanceTask,
     quantum: u64,
-) -> Advanced {
+) -> (Advanced, SliceArena) {
+    let AdvanceTask {
+        engine,
+        share,
+        mut arena,
+        ..
+    } = task;
     let result = catch_unwind(AssertUnwindSafe(|| {
         let runner = JobRunner::prepare(&job.spec, seed);
-        let ctl = match task.engine {
+        let ctl = match engine {
             Some(engine) => {
                 let halt = engine.slices_done + quantum;
                 RunControl::resume_from(*engine).with_halt(halt)
             }
             None => RunControl::halt_at(quantum),
         }
-        .with_share(task.share);
-        runner.run_controlled(ctl)
+        .with_share(share);
+        runner.run_controlled_in(ctl, &mut arena)
     }));
-    match result {
+    let outcome = match result {
         Ok(RunOutcome::Done(report)) => Advanced::Finished(Box::new(JobOutcome::from_report(
             index, &job.spec, seed, report, None,
         ))),
@@ -1045,7 +1063,8 @@ fn advance_job(
                 ),
             )))
         }
-    }
+    };
+    (outcome, arena)
 }
 
 /// Writes a finished job's outcome (and retires its engine checkpoint).

@@ -24,6 +24,9 @@
 //!
 //! * **fp-order** — `partial_cmp` comparators, float accumulation over
 //!   unordered iterators, `as f32` narrowing in numeric hot paths;
+//! * **hot-alloc** — no `Vec::new` / `vec![]` / `.collect()` /
+//!   `Box::new` inside the configured slice-kernel hot functions
+//!   (the zero-allocation contract of DESIGN.md §17);
 //! * **panic-reach** — panic sinks transitively reachable from
 //!   `Engine::run_controlled`, the fleet workers and checkpoint
 //!   recovery, with per-edge allowlist scoping (`panic-reach-edge`);
@@ -172,6 +175,9 @@ pub fn run(root: &Path) -> Result<Report, String> {
                 ));
                 if unit_checked && !it.cfg_test {
                     raw.extend(rules::unit_escape::check_body(&file.rel_path, body));
+                }
+                if rules::hot_alloc::is_hot(&file.rel_path, &it.name) && !it.cfg_test {
+                    raw.extend(rules::hot_alloc::check_body(&file.rel_path, body));
                 }
             }
         });

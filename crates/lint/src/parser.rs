@@ -1109,6 +1109,10 @@ fn parse_stmt(tts: &[Tt]) -> Expr {
 fn find_top_assign(tts: &[Tt]) -> Option<usize> {
     let mut k = 0usize;
     let mut angle = 0i32;
+    // Index of the last `>` that closed a generic bracket: the `=` of
+    // `let x: Vec<u32> = …` follows one and is an assignment, unlike the
+    // `=` of a `>=` comparison (whose `>` never opened a bracket).
+    let mut closed_angle_at = usize::MAX;
     while k < tts.len() {
         let t = &tts[k];
         if t.is_punct('<') {
@@ -1116,11 +1120,13 @@ fn find_top_assign(tts: &[Tt]) -> Option<usize> {
         }
         if t.is_punct('>') && angle > 0 {
             angle -= 1;
+            closed_angle_at = k;
         }
         if t.is_punct('=') && angle == 0 {
             let next_eq = tts.get(k + 1).is_some_and(|t| t.is_punct('='));
             let next_gt = tts.get(k + 1).is_some_and(|t| t.is_punct('>'));
             let prev_op = k > 0
+                && !(closed_angle_at == k - 1 && tts[k - 1].is_punct('>'))
                 && matches!(&tts[k - 1], Tt::Tok(s) if matches!(s.tok, Tok::Punct('=' | '<' | '>' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')));
             if !next_eq && !next_gt && !prev_op {
                 return Some(k);

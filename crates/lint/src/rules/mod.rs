@@ -1,6 +1,6 @@
 //! Lint rules and their shared plumbing.
 //!
-//! Nine rule families, mirroring the repo's invariants. Five are
+//! Ten rule families, mirroring the repo's invariants. Five are
 //! token-level:
 //!
 //! * [`determinism`] — no ambient time, no ambient randomness, no
@@ -14,11 +14,13 @@
 //! * [`checkpoint`] — every `EngineCheckpoint` field and every controller
 //!   snapshot kind stays covered by the DESIGN.md §13 checkpoint schema.
 //!
-//! Four run on the parsed item/expr tree and the workspace call graph
+//! Five run on the parsed item/expr tree and the workspace call graph
 //! (DESIGN.md §15):
 //!
 //! * [`fp_order`] — `partial_cmp` comparators, float accumulation over
 //!   unordered iterators, and `as f32` narrowing in numeric hot paths;
+//! * [`hot_alloc`] — no `Vec::new`/`vec![]`/`.collect()`/`Box::new`
+//!   inside the configured slice-kernel hot functions (DESIGN.md §17);
 //! * [`panic_reach`] — the robustness ban made *transitive*: every
 //!   `unwrap`/`expect`/`panic!`/computed-index sink reachable from the
 //!   engine, fleet-worker and recovery roots, with per-edge allowlist
@@ -33,6 +35,7 @@ pub mod checkpoint;
 pub mod determinism;
 pub mod fp_order;
 pub mod horizon;
+pub mod hot_alloc;
 pub mod panic_reach;
 pub mod robustness;
 pub mod schema;

@@ -1,0 +1,19 @@
+//! Hot-alloc fixture: every flagged allocating construct inside what the
+//! rule treats as a hot function body.
+
+fn hot_kernel(demands: &[f64], n: usize) -> f64 {
+    // One of each: Vec::new, vec![], .collect(), Box::new.
+    let mut grants: Vec<f64> = Vec::new();
+    let zeros = vec![0.0f64; n];
+    let doubled: Vec<f64> = demands.iter().map(|d| d * 2.0).collect();
+    let boxed = Box::new(zeros);
+    grants.extend_from_slice(&doubled);
+    grants.iter().sum::<f64>() + boxed.len() as f64
+}
+
+fn hot_with_closure(n: usize) -> usize {
+    // Allocation hidden inside a closure still counts: the closure runs
+    // per-slice when the enclosing function does.
+    let build = || -> Vec<u32> { std::vec::Vec::new() };
+    build().len() + n
+}

@@ -1,0 +1,20 @@
+//! Hot-alloc fixture: the arena idiom the rule is steering toward —
+//! clear + extend over caller-owned buffers, `*_into` variants, and
+//! non-allocating constructors.
+
+fn hot_kernel(arena: &mut SliceArena, demands: &[f64], cap: f64) -> f64 {
+    arena.demands.clear();
+    arena.demands.extend_from_slice(demands);
+    arena.grants.clear();
+    arena.grants.resize(demands.len(), 0.0);
+    fair_share_into(&arena.demands, cap, &mut arena.grants, &mut arena.fair);
+    arena.grants.iter().sum::<f64>()
+}
+
+fn hot_counters(slice: SimDuration) -> SimTime {
+    // Plain value constructors are not allocations.
+    let t = SimTime::ZERO;
+    let series = TimeSeries::new();
+    let _ = series;
+    t + slice
+}

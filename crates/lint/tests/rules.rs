@@ -7,7 +7,8 @@ use eadt_lint::callgraph::CallGraph;
 use eadt_lint::lexer::tokenize;
 use eadt_lint::parser::{parse_file, ParsedFile};
 use eadt_lint::rules::{
-    api_surface, determinism, fp_order, panic_reach, robustness, schema, unit_escape, Violation,
+    api_surface, determinism, fp_order, hot_alloc, panic_reach, robustness, schema, unit_escape,
+    Violation,
 };
 use eadt_lint::symbols::SymbolTable;
 
@@ -24,6 +25,8 @@ const UNIT_BAD: &str = include_str!("fixtures/unit_escape_bad.rs");
 const UNIT_OK: &str = include_str!("fixtures/unit_escape_ok.rs");
 const REACH_BAD: &str = include_str!("fixtures/panic_reach_engine_bad.rs");
 const REACH_OK: &str = include_str!("fixtures/panic_reach_engine_ok.rs");
+const HOT_ALLOC_BAD: &str = include_str!("fixtures/hot_alloc_bad.rs");
+const HOT_ALLOC_OK: &str = include_str!("fixtures/hot_alloc_ok.rs");
 const API_FIX: &str = include_str!("fixtures/api_surface_fixture.rs");
 
 fn parse(src: &str) -> ParsedFile {
@@ -127,6 +130,44 @@ fn fp_order_fixture_catches_every_trap() {
 fn fp_order_fixture_negative_is_clean() {
     let v = over_bodies(FP_OK, |b| fp_order::check_body("fixture.rs", b, true));
     assert!(v.is_empty(), "{v:#?}");
+}
+
+// --- hot-alloc ---------------------------------------------------------
+
+#[test]
+fn hot_alloc_fixture_catches_every_allocating_construct() {
+    let v = over_bodies(HOT_ALLOC_BAD, |b| hot_alloc::check_body("fixture.rs", b));
+    // Vec::new + vec![] + .collect() + Box::new, plus the closure-hidden
+    // fully-qualified Vec::new.
+    assert_eq!(v.len(), 5, "{v:#?}");
+    for needle in ["`Vec::new`", "`vec!", "`.collect()`", "`Box::new`"] {
+        assert!(
+            v.iter().any(|v| v.message.contains(needle)),
+            "missing {needle} in {v:#?}"
+        );
+    }
+}
+
+#[test]
+fn hot_alloc_fixture_negative_is_clean() {
+    let v = over_bodies(HOT_ALLOC_OK, |b| hot_alloc::check_body("fixture.rs", b));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn hot_alloc_list_covers_the_kernel_and_its_helpers() {
+    assert!(hot_alloc::is_hot(
+        "crates/transfer/src/engine/mod.rs",
+        "run_controlled_in"
+    ));
+    assert!(hot_alloc::is_hot(
+        "crates/net/src/fair.rs",
+        "fair_share_into"
+    ));
+    assert!(!hot_alloc::is_hot(
+        "crates/transfer/src/engine/mod.rs",
+        "run_instrumented"
+    ));
 }
 
 // --- unit-escape -------------------------------------------------------

@@ -19,7 +19,7 @@
 //!
 //! [`Engine::run_controlled`]: super::Engine::run_controlled
 
-use super::{ChannelState, ChunkState, FileProgress};
+use super::{ChannelSoA, ChunkState, FileProgress};
 use crate::control::ControllerSnapshot;
 use crate::env::TransferEnv;
 use crate::plan::TransferPlan;
@@ -93,8 +93,12 @@ pub struct ChunkSnapshot {
 }
 
 impl ChunkSnapshot {
-    /// Captures a chunk's runtime state.
-    pub(super) fn of(c: &ChunkState) -> Self {
+    /// Captures a chunk's runtime state: the chunk itself plus its block
+    /// of channel columns (`start..start + len`) in the arena's SoA. The
+    /// serialized layout is unchanged from the pre-SoA engine — channels
+    /// re-materialize as per-channel records in engine order, so
+    /// checkpoints stay byte-identical across the layout refactor.
+    pub(super) fn of(c: &ChunkState, ch: &ChannelSoA, start: usize, len: usize) -> Self {
         ChunkSnapshot {
             label: c.label.clone(),
             pipelining: c.pipelining,
@@ -105,23 +109,39 @@ impl ChunkSnapshot {
             completed_at: c.completed_at,
             avg_file: c.avg_file,
             queue: c.queue.iter().map(file_snapshot).collect(),
-            channels: c
-                .channels
-                .iter()
-                .map(|ch| ChannelSnapshot {
-                    current: ch.current.as_ref().map(file_snapshot),
-                    gap: ch.gap,
-                    ttf: ch.ttf,
-                    consecutive: ch.consecutive,
-                    in_backoff: ch.in_backoff,
+            channels: (start..start + len)
+                .map(|i| ChannelSnapshot {
+                    current: ch.has_file[i].then(|| FileSnapshot {
+                        size: ch.file_size[i],
+                        remaining: ch.file_remaining[i],
+                    }),
+                    gap: ch.gap[i],
+                    ttf: ch.ttf[i],
+                    consecutive: ch.consecutive[i],
+                    in_backoff: ch.in_backoff[i],
                 })
                 .collect(),
             target: c.target,
         }
     }
 
-    /// Rebuilds the chunk's runtime state.
-    pub(super) fn into_state(self) -> ChunkState {
+    /// Rebuilds the chunk's runtime state, appending its channels (as
+    /// chunk `ci`) to the arena's SoA columns. Callers restore chunks in
+    /// index order, preserving the chunk-major block layout.
+    pub(super) fn into_state(self, ch: &mut ChannelSoA, ci: u32) -> ChunkState {
+        for snap in self.channels {
+            let pos = ch.len();
+            ch.insert_fresh(pos, ci, snap.gap, snap.ttf);
+            ch.consecutive[pos] = snap.consecutive;
+            ch.in_backoff[pos] = snap.in_backoff;
+            if let Some(f) = snap.current {
+                ch.has_file[pos] = true;
+                ch.file_size[pos] = f.size;
+                ch.file_remaining[pos] = f.remaining;
+            }
+        }
+        let mut queue = std::collections::VecDeque::with_capacity(self.file_count as usize);
+        queue.extend(self.queue.into_iter().map(file_progress));
         ChunkState {
             label: self.label,
             pipelining: self.pipelining,
@@ -131,18 +151,7 @@ impl ChunkSnapshot {
             file_count: self.file_count as usize,
             completed_at: self.completed_at,
             avg_file: self.avg_file,
-            queue: self.queue.into_iter().map(file_progress).collect(),
-            channels: self
-                .channels
-                .into_iter()
-                .map(|ch| ChannelState {
-                    current: ch.current.map(file_progress),
-                    gap: ch.gap,
-                    ttf: ch.ttf,
-                    consecutive: ch.consecutive,
-                    in_backoff: ch.in_backoff,
-                })
-                .collect(),
+            queue,
             target: self.target,
         }
     }

@@ -25,6 +25,21 @@
 //!
 //! Everything is deterministic: no wall clock, and the only RNGs are the
 //! fault plan's seeded streams.
+//!
+//! # Data layout (DESIGN.md §17)
+//!
+//! The hot state is struct-of-arrays: every per-channel field lives in a
+//! flat column of the engine-owned [`SliceArena`] ([`ChannelSoA`]),
+//! grouped chunk-major, and every per-chunk quantity the kernel needs
+//! (remaining bytes, in-flight count, channel capacity, duty cycle,
+//! demand, inter-file gap) is a flat array indexed by chunk. The slice
+//! kernel, the fair-share fill, the duty-cycle accounting and the
+//! macro-step replay all stream through these contiguous columns; a
+//! steady-state slice performs **zero heap allocations** (asserted by the
+//! counting-allocator harness in `eadt-bench`). Remaining bytes are
+//! maintained incrementally in exact integer arithmetic instead of being
+//! recomputed from the queues, and the controller's [`SliceCtx`] vectors
+//! are lent out of the arena and reclaimed after each decision.
 
 use crate::control::{ControlAction, Controller, FaultView, SliceCtx};
 use crate::env::TransferEnv;
@@ -64,27 +79,91 @@ impl FileProgress {
             remaining: file.size,
         }
     }
+}
 
-    /// Resets progress — a broken data channel restarts its file.
-    fn restart(&mut self) {
-        self.remaining = self.size;
+/// Flat struct-of-arrays channel state: index `i` across every column is
+/// one data channel. Channels are grouped chunk-major — all of chunk 0's
+/// channels, then chunk 1's, and so on — so a channel's position within
+/// its chunk is `i - chunk_start[chunk]`. A channel carries at most one
+/// file in flight (`has_file` plus the size/remaining columns) and a
+/// control-channel gap.
+#[derive(Debug, Default, Clone)]
+struct ChannelSoA {
+    /// Owning chunk of each channel.
+    chunk: Vec<u32>,
+    /// Remaining control-channel gap (connection setup, inter-file, or
+    /// failure backoff).
+    gap: Vec<SimDuration>,
+    /// Remaining time until the channel fails (fault injection only).
+    ttf: Vec<Option<SimDuration>>,
+    /// Consecutive failures without intervening progress (drives backoff).
+    consecutive: Vec<u32>,
+    /// Whether the current gap is a failure backoff (for time accounting).
+    in_backoff: Vec<bool>,
+    /// Whether a file is in flight on this channel.
+    has_file: Vec<bool>,
+    /// Full size of the in-flight file (restart after failure).
+    file_size: Vec<Bytes>,
+    /// Bytes left to push of the in-flight file.
+    file_remaining: Vec<Bytes>,
+}
+
+impl ChannelSoA {
+    fn len(&self) -> usize {
+        self.chunk.len()
+    }
+
+    fn clear(&mut self) {
+        self.chunk.clear();
+        self.gap.clear();
+        self.ttf.clear();
+        self.consecutive.clear();
+        self.in_backoff.clear();
+        self.has_file.clear();
+        self.file_size.clear();
+        self.file_remaining.clear();
+    }
+
+    /// Inserts an idle channel (no file, fresh counters) at `pos`.
+    /// Structural — only the cold channel-sync path inserts.
+    fn insert_fresh(&mut self, pos: usize, chunk: u32, gap: SimDuration, ttf: Option<SimDuration>) {
+        self.chunk.insert(pos, chunk);
+        self.gap.insert(pos, gap);
+        self.ttf.insert(pos, ttf);
+        self.consecutive.insert(pos, 0);
+        self.in_backoff.insert(pos, false);
+        self.has_file.insert(pos, false);
+        self.file_size.insert(pos, Bytes::ZERO);
+        self.file_remaining.insert(pos, Bytes::ZERO);
+    }
+
+    fn remove(&mut self, pos: usize) {
+        self.chunk.remove(pos);
+        self.gap.remove(pos);
+        self.ttf.remove(pos);
+        self.consecutive.remove(pos);
+        self.in_backoff.remove(pos);
+        self.has_file.remove(pos);
+        self.file_size.remove(pos);
+        self.file_remaining.remove(pos);
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.chunk.swap(a, b);
+        self.gap.swap(a, b);
+        self.ttf.swap(a, b);
+        self.consecutive.swap(a, b);
+        self.in_backoff.swap(a, b);
+        self.has_file.swap(a, b);
+        self.file_size.swap(a, b);
+        self.file_remaining.swap(a, b);
     }
 }
 
-/// One data channel: at most one file in flight plus a control-channel gap.
-#[derive(Debug, Clone)]
-struct ChannelState {
-    current: Option<FileProgress>,
-    gap: SimDuration,
-    /// Remaining time until this channel fails (fault injection only).
-    ttf: Option<SimDuration>,
-    /// Consecutive failures without intervening progress (drives backoff).
-    consecutive: u32,
-    /// Whether the current gap is a failure backoff (for time accounting).
-    in_backoff: bool,
-}
-
-/// Runtime state of one chunk plan within a stage.
+/// Runtime state of one chunk plan within a stage. Per-channel state
+/// lives in the arena's flat [`ChannelSoA`] columns (chunk-major) and the
+/// per-chunk hot quantities in the arena's chunk arrays; the chunk itself
+/// keeps only its file queue and scalar plan facts.
 #[derive(Debug, Clone)]
 struct ChunkState {
     label: String,
@@ -98,55 +177,7 @@ struct ChunkState {
     /// cycle (share of time spent moving bytes vs. per-file gaps).
     avg_file: Bytes,
     queue: VecDeque<FileProgress>,
-    channels: Vec<ChannelState>,
     target: u32,
-}
-
-impl ChunkState {
-    fn remaining_bytes(&self) -> Bytes {
-        let queued: Bytes = self.queue.iter().map(|f| f.remaining).sum();
-        let in_flight: Bytes = self
-            .channels
-            .iter()
-            .filter_map(|c| c.current.as_ref().map(|f| f.remaining))
-            .sum();
-        queued + in_flight
-    }
-
-    fn is_done(&self) -> bool {
-        self.queue.is_empty() && self.channels.iter().all(|c| c.current.is_none())
-    }
-
-    fn has_work(&self) -> bool {
-        !self.is_done()
-    }
-
-    /// Grows or shrinks the channel set to match `target`. New channels pay
-    /// a connection-setup gap of one RTT; removed channels return their
-    /// in-flight file (with progress) to the front of the queue.
-    fn sync_channels(&mut self, rtt: SimDuration, mut ttf: impl FnMut() -> Option<SimDuration>) {
-        while (self.channels.len() as u32) < self.target {
-            self.channels.push(ChannelState {
-                current: None,
-                gap: rtt,
-                ttf: ttf(),
-                consecutive: 0,
-                in_backoff: false,
-            });
-        }
-        while (self.channels.len() as u32) > self.target {
-            // Prefer dropping idle channels.
-            if let Some(idx) = self.channels.iter().position(|c| c.current.is_none()) {
-                self.channels.swap_remove(idx);
-            } else if let Some(ch) = self.channels.pop() {
-                if let Some(fp) = ch.current {
-                    self.queue.push_front(fp);
-                }
-            } else {
-                break; // len > target ≥ 0 makes this unreachable
-            }
-        }
-    }
 }
 
 /// Executes [`TransferPlan`]s in a [`TransferEnv`].
@@ -210,6 +241,28 @@ impl<'a> Engine<'a> {
         controller: &mut dyn Controller,
         tel: &mut Telemetry,
         ctl: RunControl,
+    ) -> RunOutcome {
+        self.run_controlled_in(plan, controller, tel, ctl, &mut SliceArena::default())
+    }
+
+    /// [`Engine::run_controlled`] with a caller-owned [`SliceArena`]:
+    /// all per-slice scratch state lives in `arena` and its buffer
+    /// capacity survives across calls, so repeated runs — the fleet
+    /// service re-advancing a job every quantum, benchmark loops —
+    /// allocate nothing once the arena is warm. The arena carries no
+    /// state between runs (every stage resets it); reusing one arena
+    /// across different plans, environments or resumed checkpoints is
+    /// always sound and byte-identical to a fresh arena.
+    ///
+    /// # Panics
+    /// As [`Engine::run_controlled`].
+    pub fn run_controlled_in(
+        &self,
+        plan: &TransferPlan,
+        controller: &mut dyn Controller,
+        tel: &mut Telemetry,
+        ctl: RunControl,
+        arena: &mut SliceArena,
     ) -> RunOutcome {
         let env = self.env;
         let slice = env.tuning.slice;
@@ -333,11 +386,6 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Recycled per-slice buffers. Every vector the hot loop needs is
-        // hoisted here, so the steady state allocates nothing per slice
-        // (buffers grow to the run's high-water mark and stay there).
-        let mut scratch = SliceScratch::default();
-
         for (stage_idx, stage) in plan.stages.iter().enumerate() {
             if stage_idx < start_stage {
                 continue;
@@ -347,6 +395,45 @@ impl<'a> Engine<'a> {
             // and audit booking happened before the checkpoint was taken).
             let resumed = resume_chunks.take();
             let resumed_mid_stage = resumed.is_some();
+
+            // Reset the arena's per-chunk columns and split it into
+            // per-field borrows the whole stage holds at once. Buffer
+            // capacity persists across stages and runs.
+            arena.begin_stage(stage.chunks.len());
+            let SliceArena {
+                ch,
+                chunk_start,
+                chunk_len,
+                chunk_in_flight,
+                chunk_remaining,
+                chunk_cap,
+                chunk_gap,
+                chunk_duty,
+                chunk_demand,
+                chunk_moved,
+                src_assign,
+                dst_assign,
+                src_chan,
+                src_streams,
+                dst_chan,
+                dst_streams,
+                working,
+                demands,
+                grants,
+                src_moved,
+                dst_moved,
+                ch_moved,
+                place,
+                src_avail,
+                dst_avail,
+                ctx_channels,
+                ctx_remaining,
+                ctx_q_src,
+                ctx_q_dst,
+                fair,
+                disk,
+            } = &mut *arena;
+
             let mut chunks: Vec<ChunkState> = match resumed {
                 Some(snaps) => {
                     assert_eq!(
@@ -354,30 +441,56 @@ impl<'a> Engine<'a> {
                         stage.chunks.len(),
                         "checkpoint chunk count does not match the stage"
                     );
-                    snaps.into_iter().map(ChunkSnapshot::into_state).collect()
+                    let mut out = Vec::with_capacity(snaps.len());
+                    for (ci, snap) in snaps.into_iter().enumerate() {
+                        let start = ch.len();
+                        let c = snap.into_state(ch, ci as u32);
+                        let len = ch.len() - start;
+                        chunk_start[ci] = start;
+                        chunk_len[ci] = len;
+                        chunk_in_flight[ci] =
+                            (start..start + len).filter(|&i| ch.has_file[i]).count() as u32;
+                        let queued: Bytes = c.queue.iter().map(|f| f.remaining).sum();
+                        let in_flight: Bytes = (start..start + len)
+                            .filter(|&i| ch.has_file[i])
+                            .map(|i| ch.file_remaining[i])
+                            .sum();
+                        chunk_remaining[ci] = queued + in_flight;
+                        out.push(c);
+                    }
+                    out
                 }
                 None => stage
                     .chunks
                     .iter()
-                    .map(|cp| ChunkState {
-                        label: cp.label.clone(),
-                        pipelining: cp.pipelining.max(1),
-                        parallelism: cp.parallelism.max(1),
-                        accepts_reallocation: cp.accepts_reallocation,
-                        total_bytes: cp.total_bytes(),
-                        file_count: cp.files.len(),
-                        completed_at: None,
-                        avg_file: if cp.files.is_empty() {
-                            Bytes::ZERO
-                        } else {
-                            Bytes(cp.total_bytes().as_u64() / cp.files.len() as u64)
-                        },
-                        queue: cp.files.iter().copied().map(FileProgress::fresh).collect(),
-                        channels: Vec::new(),
-                        target: cp.channels,
+                    .enumerate()
+                    .map(|(ci, cp)| {
+                        let total = cp.total_bytes();
+                        chunk_remaining[ci] = total;
+                        ChunkState {
+                            label: cp.label.clone(),
+                            pipelining: cp.pipelining.max(1),
+                            parallelism: cp.parallelism.max(1),
+                            accepts_reallocation: cp.accepts_reallocation,
+                            total_bytes: total,
+                            file_count: cp.files.len(),
+                            completed_at: None,
+                            avg_file: if cp.files.is_empty() {
+                                Bytes::ZERO
+                            } else {
+                                Bytes(total.as_u64() / cp.files.len() as u64)
+                            },
+                            queue: cp.files.iter().copied().map(FileProgress::fresh).collect(),
+                            target: cp.channels,
+                        }
                     })
                     .collect(),
             };
+            // The channel rate ceiling depends only on the chunk's (fixed)
+            // parallelism: computed once per stage, read every slice.
+            for (ci, c) in chunks.iter().enumerate() {
+                chunk_cap[ci] = env.channel_cap(c.parallelism);
+            }
 
             if cfg!(feature = "debug-invariants") && !resumed_mid_stage {
                 audit_stage_requested += chunks.iter().map(|c| c.total_bytes).sum();
@@ -400,7 +513,11 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            while chunks.iter().any(ChunkState::has_work) {
+            while chunks
+                .iter()
+                .enumerate()
+                .any(|(ci, c)| !c.queue.is_empty() || chunk_in_flight[ci] > 0)
+            {
                 // Checkpoint boundary: between slices, before the next
                 // slice's fault window opens. All controller/runtime event
                 // buffers are drained here, making the snapshot complete.
@@ -424,7 +541,11 @@ impl<'a> Engine<'a> {
                         throughput_series,
                         power_series,
                         concurrency_series,
-                        chunks: chunks.iter().map(ChunkSnapshot::of).collect(),
+                        chunks: chunks
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, c)| ChunkSnapshot::of(c, ch, chunk_start[ci], chunk_len[ci]))
+                            .collect(),
                         prev_src_active,
                         prev_dst_active,
                         faults: runtime.as_ref().map(FaultRuntime::snapshot),
@@ -451,15 +572,37 @@ impl<'a> Engine<'a> {
                     break; // stats for this stage are still collected below
                 }
 
-                self.rebalance_targets(&mut chunks, plan.reallocate_on_completion);
+                rebalance_targets(
+                    &mut chunks,
+                    chunk_in_flight,
+                    chunk_remaining,
+                    plan.reallocate_on_completion,
+                );
                 if let Some(rt) = &mut runtime {
                     rt.begin_slice(now);
                 }
+                // Sync each chunk's channel block with its target. Blocks
+                // stay contiguous and chunk-major: `start` accumulates the
+                // post-sync lengths of the chunks already processed, so
+                // inserts/removals in earlier chunks shift later blocks
+                // without breaking the invariant.
+                let mut start = 0usize;
                 for (ci, c) in chunks.iter_mut().enumerate() {
-                    let before = c.channels.len() as u32;
-                    c.sync_channels(rtt, || runtime.as_mut().and_then(FaultRuntime::sample_ttf));
+                    chunk_start[ci] = start;
+                    let before = chunk_len[ci] as u32;
+                    sync_chunk_channels(
+                        ch,
+                        start,
+                        &mut chunk_len[ci],
+                        &mut chunk_in_flight[ci],
+                        &mut c.queue,
+                        ci as u32,
+                        c.target,
+                        rtt,
+                        || runtime.as_mut().and_then(FaultRuntime::sample_ttf),
+                    );
                     if journaling {
-                        let after = c.channels.len() as u32;
+                        let after = chunk_len[ci] as u32;
                         if after > before {
                             tel.record(
                                 now,
@@ -480,42 +623,17 @@ impl<'a> Engine<'a> {
                             );
                         }
                     }
+                    start += chunk_len[ci];
                 }
 
-                // Split the scratch into per-field borrows so the loop
-                // below can hold several buffers at once.
-                let SliceScratch {
-                    refs,
-                    src_assign,
-                    dst_assign,
-                    src_chan,
-                    src_streams,
-                    dst_chan,
-                    dst_streams,
-                    working,
-                    demands,
-                    duties,
-                    grants,
-                    src_moved,
-                    dst_moved,
-                    ch_moved,
-                    fair,
-                    disk,
-                } = &mut scratch;
-
-                // Flat view of all channels: (chunk idx, channel idx).
-                refs.clear();
-                for (ci, c) in chunks.iter().enumerate() {
-                    for chi in 0..c.channels.len() {
-                        refs.push((ci, chi));
-                    }
-                }
-                let total_channels = refs.len() as u32;
+                let total_channels = ch.len() as u32;
                 concurrency_series.push(now, f64::from(total_channels));
                 if total_channels == 0 {
                     // No channels but work remains (controller zeroed
                     // everything): force one channel on the fattest chunk.
-                    if let Some(idx) = busiest_chunk(&chunks, false) {
+                    if let Some(idx) =
+                        busiest_chunk(&chunks, chunk_in_flight, chunk_remaining, false)
+                    {
                         chunks[idx].target = 1;
                         continue;
                     }
@@ -528,33 +646,29 @@ impl<'a> Engine<'a> {
                 // not; it is discovered by failing against it below.
                 match &runtime {
                     Some(rt) => {
-                        let (src_avail, dst_avail) = rt.avail_masks();
-                        assign_servers_into(
-                            &env.src.place_channels_masked(
-                                total_channels,
-                                plan.placement,
-                                &src_avail,
-                            ),
-                            src_assign,
+                        rt.avail_masks_into(src_avail, dst_avail);
+                        env.src.place_channels_masked_into(
+                            total_channels,
+                            plan.placement,
+                            src_avail,
+                            place,
                         );
-                        assign_servers_into(
-                            &env.dst.place_channels_masked(
-                                total_channels,
-                                plan.placement,
-                                &dst_avail,
-                            ),
-                            dst_assign,
+                        assign_servers_into(place, src_assign);
+                        env.dst.place_channels_masked_into(
+                            total_channels,
+                            plan.placement,
+                            dst_avail,
+                            place,
                         );
+                        assign_servers_into(place, dst_assign);
                     }
                     None => {
-                        assign_servers_into(
-                            &env.src.place_channels(total_channels, plan.placement),
-                            src_assign,
-                        );
-                        assign_servers_into(
-                            &env.dst.place_channels(total_channels, plan.placement),
-                            dst_assign,
-                        );
+                        env.src
+                            .place_channels_into(total_channels, plan.placement, place);
+                        assign_servers_into(place, src_assign);
+                        env.dst
+                            .place_channels_into(total_channels, plan.placement, place);
+                        assign_servers_into(place, dst_assign);
                     }
                 }
 
@@ -567,17 +681,16 @@ impl<'a> Engine<'a> {
                 // through the retry policy.
                 let mut slice_kills = false;
                 if let Some(rt) = &mut runtime {
-                    for (i, &(ci, chi)) in refs.iter().enumerate() {
-                        let c = &mut chunks[ci];
-                        let ch = &mut c.channels[chi];
-                        let connects = ch.gap < slice;
-                        let busy = ch.current.is_some() || !c.queue.is_empty();
+                    for i in 0..ch.len() {
+                        let ci = ch.chunk[i] as usize;
+                        let connects = ch.gap[i] < slice;
+                        let busy = ch.has_file[i] || !chunks[ci].queue.is_empty();
                         let mut cause = None;
-                        if let Some(ttf) = ch.ttf {
+                        if let Some(ttf) = ch.ttf[i] {
                             if ttf <= slice {
                                 cause = Some(FaultCause::Channel);
                             } else {
-                                ch.ttf = Some(ttf - slice);
+                                ch.ttf[i] = Some(ttf - slice);
                             }
                         }
                         if cause.is_none()
@@ -590,29 +703,40 @@ impl<'a> Engine<'a> {
                         }
                         let Some(cause) = cause else { continue };
                         slice_kills = true;
-                        if let Some(mut fp) = ch.current.take() {
+                        if ch.has_file[i] {
+                            let size = ch.file_size[i];
+                            let mut rem = ch.file_remaining[i];
                             if !rt.restart_markers() {
-                                let lost = fp.size.saturating_sub(fp.remaining);
+                                let lost = size.saturating_sub(rem);
                                 moved_total = moved_total.saturating_sub(lost);
                                 retransmitted += lost;
                                 rt.book_retransmit(lost);
-                                fp.restart();
+                                // The file restarts from zero; its lost
+                                // progress re-enters the chunk's remaining.
+                                rem = size;
+                                chunk_remaining[ci] += lost;
                             }
-                            c.queue.push_front(fp);
+                            chunks[ci].queue.push_front(FileProgress {
+                                size,
+                                remaining: rem,
+                            });
+                            ch.has_file[i] = false;
+                            chunk_in_flight[ci] -= 1;
                         }
-                        let attempt = ch.consecutive;
+                        let attempt = ch.consecutive[i];
                         let (delay, exhausted) = rt.next_delay(attempt);
-                        ch.gap = delay;
-                        ch.in_backoff = true;
-                        ch.consecutive = if exhausted { 0 } else { ch.consecutive + 1 };
+                        ch.gap[i] = delay;
+                        ch.in_backoff[i] = true;
+                        ch.consecutive[i] = if exhausted { 0 } else { ch.consecutive[i] + 1 };
                         rt.record_failure(cause, src_assign[i], dst_assign[i], now);
                         if cause == FaultCause::Channel {
-                            ch.ttf = rt.sample_ttf();
+                            ch.ttf[i] = rt.sample_ttf();
                         }
                         if journaling {
+                            let chi = (i - chunk_start[ci]) as u32;
                             tel.record_with(now, || Event::ChannelFail {
                                 chunk: ci as u32,
-                                channel: chi as u32,
+                                channel: chi,
                                 cause: match cause {
                                     FaultCause::Channel => "channel".to_string(),
                                     FaultCause::Outage => "outage".to_string(),
@@ -624,7 +748,7 @@ impl<'a> Engine<'a> {
                                 now,
                                 Event::ChannelRetry {
                                     chunk: ci as u32,
-                                    channel: chi as u32,
+                                    channel: chi,
                                     attempt,
                                     delay_us: delay.as_micros(),
                                     exhausted,
@@ -642,25 +766,24 @@ impl<'a> Engine<'a> {
                 reset(src_streams, env.src.servers.len(), 0);
                 reset(dst_chan, env.dst.servers.len(), 0);
                 reset(dst_streams, env.dst.servers.len(), 0);
-                reset(working, refs.len(), false);
+                reset(working, ch.len(), false);
                 let mut total_streams = 0u32;
                 let mut in_backoff = 0u32;
-                for (i, &(ci, chi)) in refs.iter().enumerate() {
-                    let chunk = &mut chunks[ci];
-                    let ch = &mut chunk.channels[chi];
-                    let busy = ch.current.is_some() || !chunk.queue.is_empty();
-                    if ch.in_backoff {
+                for i in 0..ch.len() {
+                    let ci = ch.chunk[i] as usize;
+                    let busy = ch.has_file[i] || !chunks[ci].queue.is_empty();
+                    if ch.in_backoff[i] {
                         if let Some(rt) = &mut runtime {
-                            rt.book_backoff(ch.gap.min(slice));
+                            rt.book_backoff(ch.gap[i].min(slice));
                         }
-                        if ch.gap <= slice {
-                            ch.in_backoff = false;
+                        if ch.gap[i] <= slice {
+                            ch.in_backoff[i] = false;
                         }
                         in_backoff += 1;
                     }
-                    working[i] = busy && ch.gap < slice;
+                    working[i] = busy && ch.gap[i] < slice;
                     if working[i] {
-                        let p = chunk.parallelism;
+                        let p = chunks[ci].parallelism;
                         src_chan[src_assign[i]] += 1;
                         src_streams[src_assign[i]] += p;
                         dst_chan[dst_assign[i]] += 1;
@@ -720,29 +843,32 @@ impl<'a> Engine<'a> {
                 // per-file gaps and must not reserve bandwidth it cannot
                 // use), then shaped max-min fairly through each server's
                 // disk subsystem on both ends, then through the path.
+                //
+                // Every input is per-chunk constant, so the gap, duty and
+                // demand are hoisted to one computation per chunk — the
+                // same operations on the same values the per-channel loop
+                // used to run, hence FP-identical.
                 let stall_mult = runtime.as_ref().map_or(1.0, FaultRuntime::gap_multiplier);
-                reset(demands, refs.len(), Rate::ZERO);
-                reset(duties, refs.len(), 1.0f64);
-                for (i, &(ci, _chi)) in refs.iter().enumerate() {
-                    if !working[i] {
-                        continue;
-                    }
-                    let chunk = &chunks[ci];
-                    let cap = env.channel_cap(chunk.parallelism);
-                    let gap = ((rtt / u64::from(chunk.pipelining)).mul_f64(stall_mult)
-                        + env.tuning.per_file_overhead)
-                        .as_secs_f64();
+                for (ci, c) in chunks.iter().enumerate() {
+                    chunk_gap[ci] = (rtt / u64::from(c.pipelining)).mul_f64(stall_mult)
+                        + env.tuning.per_file_overhead;
+                    let gap = chunk_gap[ci].as_secs_f64();
                     // Steady-state duty cycle from the chunk's mean file
                     // size (NOT the in-flight remainder: that would decay
                     // the demand to zero as a file nears completion).
-                    let t_x = chunk.avg_file.as_f64() * 8.0 / cap.as_bps().max(1.0);
-                    let duty = if t_x + gap <= 0.0 {
+                    let t_x = c.avg_file.as_f64() * 8.0 / chunk_cap[ci].as_bps().max(1.0);
+                    chunk_duty[ci] = if t_x + gap <= 0.0 {
                         1.0
                     } else {
                         (t_x / (t_x + gap)).max(0.05)
                     };
-                    duties[i] = duty;
-                    demands[i] = cap * duty;
+                    chunk_demand[ci] = chunk_cap[ci] * chunk_duty[ci];
+                }
+                reset(demands, ch.len(), Rate::ZERO);
+                for i in 0..ch.len() {
+                    if working[i] {
+                        demands[i] = chunk_demand[ch.chunk[i] as usize];
+                    }
                 }
                 apply_disk_fairness(demands, src_assign, src_chan, disk, |srv| {
                     let factor = runtime
@@ -761,38 +887,44 @@ impl<'a> Engine<'a> {
 
                 // Grants are time-averaged rates; while a channel is
                 // actively moving a file it bursts at grant/duty (its gaps
-                // bring the average back down to the grant).
+                // bring the average back down to the grant). Non-working
+                // channels hold an exact-zero grant, which any duty maps
+                // back to exact zero.
                 fair_share_into(capacity, demands, grants, fair);
                 for (i, g) in grants.iter_mut().enumerate() {
-                    let cap = env.channel_cap(chunks[refs[i].0].parallelism);
-                    *g = (*g / duties[i]).min(cap);
+                    let ci = ch.chunk[i] as usize;
+                    *g = (*g / chunk_duty[ci]).min(chunk_cap[ci]);
                 }
 
-                // Advance channels through their queues.
+                // Advance channels through their queues. Chunk remaining
+                // bytes are maintained incrementally: `moved` leaves the
+                // queue/in-flight total exactly, in integer arithmetic.
                 let mut slice_bytes = Bytes::ZERO;
                 reset(src_moved, env.src.servers.len(), Bytes::ZERO);
                 reset(dst_moved, env.dst.servers.len(), Bytes::ZERO);
-                reset(ch_moved, refs.len(), Bytes::ZERO);
-                for (i, &(ci, chi)) in refs.iter().enumerate() {
-                    let chunk = &mut chunks[ci];
-                    // Inter-file control gap, inflated while the control
-                    // channel is stalled.
-                    let inter_file_gap = (rtt / u64::from(chunk.pipelining)).mul_f64(stall_mult)
-                        + env.tuning.per_file_overhead;
+                reset(ch_moved, ch.len(), Bytes::ZERO);
+                reset(chunk_moved, chunks.len(), Bytes::ZERO);
+                for i in 0..ch.len() {
+                    let ci = ch.chunk[i] as usize;
+                    let c = &mut chunks[ci];
                     let moved = advance_channel(
-                        &mut chunk.channels[chi],
-                        &mut chunk.queue,
+                        ch,
+                        i,
+                        &mut c.queue,
+                        &mut chunk_in_flight[ci],
                         grants[i],
                         slice,
-                        inter_file_gap,
+                        chunk_gap[ci],
                     );
                     if !moved.is_zero() {
-                        chunk.channels[chi].consecutive = 0;
+                        ch.consecutive[i] = 0;
                     }
                     slice_bytes += moved;
                     src_moved[src_assign[i]] += moved;
                     dst_moved[dst_assign[i]] += moved;
                     ch_moved[i] = moved;
+                    chunk_moved[ci] += moved;
+                    chunk_remaining[ci] = chunk_remaining[ci].saturating_sub(moved);
                     if let Some(g) = &gauges {
                         if working[i] {
                             if let Some(m) = tel.metrics() {
@@ -825,8 +957,8 @@ impl<'a> Engine<'a> {
                     audit_gross += slice_bytes;
                 }
                 wire_bytes_f += slice_bytes.as_f64() / eff.max(1e-6);
-                for c in &mut chunks {
-                    if c.completed_at.is_none() && c.is_done() {
+                for (ci, c) in chunks.iter_mut().enumerate() {
+                    if c.completed_at.is_none() && c.queue.is_empty() && chunk_in_flight[ci] == 0 {
                         c.completed_at = Some(now + slice);
                     }
                 }
@@ -928,10 +1060,9 @@ impl<'a> Engine<'a> {
                 now += slice;
                 slices_done += 1;
 
-                // Controller.
-                let remaining_per_chunk: Vec<Bytes> =
-                    chunks.iter().map(ChunkState::remaining_bytes).collect();
-                let remaining: Bytes = remaining_per_chunk.iter().copied().sum();
+                // Controller. Remaining bytes are read off the incremental
+                // per-chunk column (exact integers, no queue walk).
+                let remaining: Bytes = chunk_remaining.iter().copied().sum();
 
                 // Conservation and monotonicity audits, per slice:
                 // bytes that entered the stage equal goodput plus what is
@@ -939,7 +1070,9 @@ impl<'a> Engine<'a> {
                 // lost byte to one side of the ledger); gross bytes moved
                 // equal goodput plus booked retransmissions; power — and
                 // with it accumulated energy — stays finite and
-                // non-negative, so energy is monotone in sim-time.
+                // non-negative, so energy is monotone in sim-time. The
+                // incremental per-chunk remaining column is cross-checked
+                // against a full recount of the queues and channel columns.
                 if cfg!(feature = "debug-invariants") {
                     assert!(
                         src_power >= 0.0
@@ -963,17 +1096,46 @@ impl<'a> Engine<'a> {
                         moved_total + retransmitted,
                         "invariant: gross bytes != goodput + retransmitted at t={now:?}"
                     );
+                    for (ci, c) in chunks.iter().enumerate() {
+                        let queued: Bytes = c.queue.iter().map(|f| f.remaining).sum();
+                        let s = chunk_start[ci];
+                        let in_flight: Bytes = (s..s + chunk_len[ci])
+                            .filter(|&i| ch.has_file[i])
+                            .map(|i| ch.file_remaining[i])
+                            .sum();
+                        assert_eq!(
+                            chunk_remaining[ci],
+                            queued + in_flight,
+                            "invariant: incremental chunk remaining diverged from channel state at t={now:?}"
+                        );
+                    }
                 }
 
-                let fault = runtime
-                    .as_ref()
-                    .map_or_else(FaultView::default, |rt| FaultView {
-                        capacity_fraction: rt.capacity_fraction(),
-                        quarantined_src: rt.quarantined(SiteSide::Src),
-                        quarantined_dst: rt.quarantined(SiteSide::Dst),
-                        failures: rt.stats.total_failures(),
-                        in_backoff,
-                    });
+                // The controller's view borrows the arena's lending
+                // buffers (reclaimed after the decision below), so a
+                // steady slice builds the ctx without allocating.
+                let fault = match &runtime {
+                    Some(rt) => {
+                        let mut q_src = std::mem::take(ctx_q_src);
+                        let mut q_dst = std::mem::take(ctx_q_dst);
+                        rt.quarantined_into(SiteSide::Src, &mut q_src);
+                        rt.quarantined_into(SiteSide::Dst, &mut q_dst);
+                        FaultView {
+                            capacity_fraction: rt.capacity_fraction(),
+                            quarantined_src: q_src,
+                            quarantined_dst: q_dst,
+                            failures: rt.stats.total_failures(),
+                            in_backoff,
+                        }
+                    }
+                    None => FaultView::default(),
+                };
+                let mut targets = std::mem::take(ctx_channels);
+                targets.clear();
+                targets.extend(chunks.iter().map(|c| c.target));
+                let mut per_chunk = std::mem::take(ctx_remaining);
+                per_chunk.clear();
+                per_chunk.extend_from_slice(chunk_remaining);
                 let ctx = SliceCtx {
                     now,
                     stage: stage_idx,
@@ -981,8 +1143,8 @@ impl<'a> Engine<'a> {
                     slice_energy_j: (src_power + dst_power) * slice_secs,
                     total_bytes: moved_total,
                     remaining_bytes: remaining,
-                    channels: chunks.iter().map(|c| c.target).collect(),
-                    remaining_per_chunk,
+                    channels: targets,
+                    remaining_per_chunk: per_chunk,
                     fault,
                 };
                 let action = controller.on_slice(&ctx);
@@ -1003,8 +1165,9 @@ impl<'a> Engine<'a> {
                                 targets: new_targets.clone(),
                             });
                         }
-                        for (c, &t) in chunks.iter_mut().zip(&new_targets) {
-                            c.target = if c.has_work() { t } else { 0 };
+                        for (ci, (c, &t)) in chunks.iter_mut().zip(&new_targets).enumerate() {
+                            let live = !c.queue.is_empty() || chunk_in_flight[ci] > 0;
+                            c.target = if live { t } else { 0 };
                         }
                     }
                     ControlAction::Continue
@@ -1067,14 +1230,13 @@ impl<'a> Engine<'a> {
 
                         let k_before_channels = k;
                         if k > 0 {
-                            for (i, &(ci, chi)) in refs.iter().enumerate() {
-                                let c = &chunks[ci];
-                                let ch = &c.channels[chi];
-                                if let Some(ttf) = ch.ttf {
+                            for i in 0..ch.len() {
+                                let ci = ch.chunk[i] as usize;
+                                if let Some(ttf) = ch.ttf[i] {
                                     k = k.min(ttf.slices_before(slice));
                                 }
-                                let busy = ch.current.is_some() || !c.queue.is_empty();
-                                let next_working = busy && ch.gap < slice;
+                                let busy = ch.has_file[i] || !chunks[ci].queue.is_empty();
+                                let next_working = busy && ch.gap[i] < slice;
                                 if next_working
                                     && runtime.as_ref().is_some_and(|rt| {
                                         rt.outage_active(SiteSide::Src, src_assign[i])
@@ -1098,22 +1260,24 @@ impl<'a> Engine<'a> {
                                     // gap, and the executed slice moved
                                     // exactly the per-slice quantum.
                                     let quantum = grants[i].bytes_in(slice);
-                                    match &ch.current {
-                                        Some(fp) if ch.gap.is_zero() && ch_moved[i] == quantum => {
-                                            k = k.min(steady_move_bound(
-                                                fp.remaining,
-                                                quantum,
-                                                grants[i],
-                                                slice,
-                                            ));
-                                        }
-                                        _ => k = 0,
+                                    if ch.has_file[i]
+                                        && ch.gap[i].is_zero()
+                                        && ch_moved[i] == quantum
+                                    {
+                                        k = k.min(steady_move_bound(
+                                            ch.file_remaining[i],
+                                            quantum,
+                                            grants[i],
+                                            slice,
+                                        ));
+                                    } else {
+                                        k = 0;
                                     }
-                                } else if busy || ch.in_backoff {
+                                } else if busy || ch.in_backoff[i] {
                                     // Blocked channel: its gap must outlast
                                     // every skipped slice (an idle channel's
                                     // draining gap is inert and replayed).
-                                    k = k.min(ch.gap.slices_within(slice));
+                                    k = k.min(ch.gap[i].slices_within(slice));
                                 }
                                 if k == 0 {
                                     break;
@@ -1153,9 +1317,7 @@ impl<'a> Engine<'a> {
                             // channel that left backoff during the decision
                             // slice was counted there but is a plain mover
                             // inside the window.
-                            let next_backoff = refs
-                                .iter()
-                                .any(|&(ci, chi)| chunks[ci].channels[chi].in_backoff);
+                            let next_backoff = ch.in_backoff.iter().any(|&b| b);
                             let span_phase = if controller.probing() {
                                 EnergyPhase::Probe
                             } else if runtime.as_ref().is_some_and(FaultRuntime::any_outage) {
@@ -1186,23 +1348,25 @@ impl<'a> Engine<'a> {
                             let mut audit_remaining = remaining;
                             for _ in 0..k {
                                 concurrency_series.push(now, f64::from(total_channels));
-                                for (i, &(ci, chi)) in refs.iter().enumerate() {
-                                    let c = &mut chunks[ci];
-                                    let ch = &mut c.channels[chi];
-                                    if let Some(ttf) = ch.ttf {
-                                        ch.ttf = Some(ttf - slice);
+                                for i in 0..ch.len() {
+                                    if let Some(ttf) = ch.ttf[i] {
+                                        ch.ttf[i] = Some(ttf - slice);
                                     }
-                                    if ch.in_backoff {
+                                    if ch.in_backoff[i] {
                                         if let Some(rt) = &mut runtime {
-                                            rt.book_backoff(ch.gap.min(slice));
+                                            rt.book_backoff(ch.gap[i].min(slice));
                                         }
-                                        if ch.gap <= slice {
-                                            ch.in_backoff = false;
+                                        if ch.gap[i] <= slice {
+                                            ch.in_backoff[i] = false;
                                         }
                                     }
                                     if working[i] {
-                                        if let Some(fp) = ch.current.as_mut() {
-                                            fp.remaining = fp.remaining.saturating_sub(ch_moved[i]);
+                                        // Steady movers are mid-file by the
+                                        // window bounds; each replayed slice
+                                        // drains exactly the quantum.
+                                        if ch.has_file[i] {
+                                            ch.file_remaining[i] =
+                                                ch.file_remaining[i].saturating_sub(ch_moved[i]);
                                         }
                                         if let (Some(g), Some(m)) = (&gauges, tel.metrics()) {
                                             m.observe(
@@ -1211,8 +1375,15 @@ impl<'a> Engine<'a> {
                                             );
                                         }
                                     } else {
-                                        ch.gap = ch.gap.saturating_sub(slice);
+                                        ch.gap[i] = ch.gap[i].saturating_sub(slice);
                                     }
+                                }
+                                // Working channels drained their quantum
+                                // from the chunk's remaining, exactly as
+                                // the executed slice did.
+                                for (ci, moved) in chunk_moved.iter().enumerate() {
+                                    chunk_remaining[ci] =
+                                        chunk_remaining[ci].saturating_sub(*moved);
                                 }
                                 moved_total += slice_bytes;
                                 if cfg!(feature = "debug-invariants") {
@@ -1269,6 +1440,19 @@ impl<'a> Engine<'a> {
                     }
                     ControlAction::Continue => {}
                 }
+
+                // Reclaim the ctx buffers lent to the controller view (the
+                // contents are dead; only the capacity is recycled).
+                let SliceCtx {
+                    channels: lent_targets,
+                    remaining_per_chunk: lent_remaining,
+                    fault: lent_fault,
+                    ..
+                } = ctx;
+                *ctx_channels = lent_targets;
+                *ctx_remaining = lent_remaining;
+                *ctx_q_src = lent_fault.quarantined_src;
+                *ctx_q_dst = lent_fault.quarantined_dst;
             }
             for c in &chunks {
                 chunk_stats.push(crate::report::ChunkStat {
@@ -1334,36 +1518,64 @@ impl<'a> Engine<'a> {
             chunk_stats,
         })
     }
-
-    /// Moves the channel targets of finished chunks to the busiest live
-    /// chunk (the Multi-Chunk reallocation of the custom client).
-    fn rebalance_targets(&self, chunks: &mut [ChunkState], reallocate: bool) {
-        let mut freed = 0u32;
-        for c in chunks.iter_mut() {
-            if c.is_done() && c.target > 0 {
-                freed += c.target;
-                c.target = 0;
-            }
-        }
-        if !reallocate || freed == 0 {
-            return;
-        }
-        if let Some(idx) = busiest_chunk(chunks, true) {
-            chunks[idx].target += freed;
-        }
-        // If no chunk accepts reallocation, freed channels simply retire —
-        // exactly MinE's behaviour once only pinned Large chunks remain.
-    }
 }
 
-/// Recycled buffers for the engine's per-slice hot loop. One instance
-/// lives for the whole run; every slice clears and refills these in place
-/// instead of allocating fresh vectors (which used to dominate the
-/// allocator profile at hundreds of slices per simulated transfer).
+/// Moves the channel targets of finished chunks to the busiest live
+/// chunk (the Multi-Chunk reallocation of the custom client).
+fn rebalance_targets(
+    chunks: &mut [ChunkState],
+    in_flight: &[u32],
+    remaining: &[Bytes],
+    reallocate: bool,
+) {
+    let mut freed = 0u32;
+    for (ci, c) in chunks.iter_mut().enumerate() {
+        if c.queue.is_empty() && in_flight[ci] == 0 && c.target > 0 {
+            freed += c.target;
+            c.target = 0;
+        }
+    }
+    if !reallocate || freed == 0 {
+        return;
+    }
+    if let Some(idx) = busiest_chunk(chunks, in_flight, remaining, true) {
+        chunks[idx].target += freed;
+    }
+    // If no chunk accepts reallocation, freed channels simply retire —
+    // exactly MinE's behaviour once only pinned Large chunks remain.
+}
+
+/// The engine's reusable scratch arena (DESIGN.md §17): the flat
+/// [`ChannelSoA`] channel columns, the per-chunk hot state, and every
+/// per-slice buffer the kernel touches, owned in one place so buffer
+/// capacity survives across slices, stages, and — via
+/// [`Engine::run_controlled_in`] — across whole runs (the fleet service
+/// keeps one arena per slot and re-advances jobs through it every
+/// quantum). The arena carries no semantic state between runs; reusing
+/// it is always byte-identical to starting fresh.
 #[derive(Debug, Default, Clone)]
-struct SliceScratch {
-    /// Flat (chunk idx, channel idx) view of all channels.
-    refs: Vec<(usize, usize)>,
+pub struct SliceArena {
+    /// Flat per-channel columns, chunk-major.
+    ch: ChannelSoA,
+    /// First channel index of each chunk's block.
+    chunk_start: Vec<usize>,
+    /// Number of channels in each chunk's block.
+    chunk_len: Vec<usize>,
+    /// Files currently in flight on each chunk's channels.
+    chunk_in_flight: Vec<u32>,
+    /// Bytes still queued or in flight per chunk, maintained
+    /// incrementally in exact integer arithmetic.
+    chunk_remaining: Vec<Bytes>,
+    /// Per-channel rate ceiling of each chunk (stage-constant).
+    chunk_cap: Vec<Rate>,
+    /// Inter-file control gap of each chunk this slice.
+    chunk_gap: Vec<SimDuration>,
+    /// Control-plane duty cycle of each chunk this slice.
+    chunk_duty: Vec<f64>,
+    /// Duty-scaled per-channel demand of each chunk this slice.
+    chunk_demand: Vec<Rate>,
+    /// Bytes moved per chunk this slice (macro-step replay).
+    chunk_moved: Vec<Bytes>,
     /// Per-channel source / destination server assignment.
     src_assign: Vec<usize>,
     dst_assign: Vec<usize>,
@@ -1374,19 +1586,46 @@ struct SliceScratch {
     dst_streams: Vec<u32>,
     /// Whether each channel moves bytes this slice.
     working: Vec<bool>,
-    /// Per-channel demand, duty cycle and granted rate.
+    /// Per-channel demand and granted rate.
     demands: Vec<Rate>,
-    duties: Vec<f64>,
     grants: Vec<Rate>,
     /// Per-server bytes moved this slice.
     src_moved: Vec<Bytes>,
     dst_moved: Vec<Bytes>,
     /// Per-channel bytes moved this slice (macro-step steadiness check).
     ch_moved: Vec<Bytes>,
+    /// Per-server placement counts (shared by both sites sequentially).
+    place: Vec<u32>,
+    /// Per-server availability masks (breaker state).
+    src_avail: Vec<bool>,
+    dst_avail: Vec<bool>,
+    /// Lending buffers for the controller's [`SliceCtx`]/[`FaultView`]
+    /// vectors, reclaimed after each decision.
+    ctx_channels: Vec<u32>,
+    ctx_remaining: Vec<Bytes>,
+    ctx_q_src: Vec<bool>,
+    ctx_q_dst: Vec<bool>,
     /// Scratch for the path-level max-min fill.
     fair: FairScratch,
     /// Scratch for the per-server disk shaping.
     disk: DiskScratch,
+}
+
+impl SliceArena {
+    /// Resets the channel columns and per-chunk arrays for a stage of
+    /// `n` chunks, keeping every buffer's capacity.
+    fn begin_stage(&mut self, n: usize) {
+        self.ch.clear();
+        reset(&mut self.chunk_start, n, 0);
+        reset(&mut self.chunk_len, n, 0);
+        reset(&mut self.chunk_in_flight, n, 0);
+        reset(&mut self.chunk_remaining, n, Bytes::ZERO);
+        reset(&mut self.chunk_cap, n, Rate::ZERO);
+        reset(&mut self.chunk_gap, n, SimDuration::ZERO);
+        reset(&mut self.chunk_duty, n, 1.0);
+        reset(&mut self.chunk_demand, n, Rate::ZERO);
+        reset(&mut self.chunk_moved, n, Bytes::ZERO);
+    }
 }
 
 /// Reusable buffers for [`apply_disk_fairness`].
@@ -1403,6 +1642,48 @@ struct DiskScratch {
 fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
     buf.clear();
     buf.resize(len, value);
+}
+
+/// Grows or shrinks one chunk's channel block (at `start`, length
+/// `len`) to match `target`. New channels pay a connection-setup gap of
+/// one RTT; removed channels return their in-flight file (with
+/// progress) to the front of the queue. Structural Vec inserts/removals
+/// only happen on target changes — the steady state never enters the
+/// loops.
+#[allow(clippy::too_many_arguments)]
+fn sync_chunk_channels(
+    ch: &mut ChannelSoA,
+    start: usize,
+    len: &mut usize,
+    in_flight: &mut u32,
+    queue: &mut VecDeque<FileProgress>,
+    chunk: u32,
+    target: u32,
+    rtt: SimDuration,
+    mut ttf: impl FnMut() -> Option<SimDuration>,
+) {
+    while (*len as u32) < target {
+        ch.insert_fresh(start + *len, chunk, rtt, ttf());
+        *len += 1;
+    }
+    while (*len as u32) > target {
+        let last = start + *len - 1;
+        // Prefer dropping idle channels (swap-remove within the block,
+        // reproducing the old per-chunk `Vec::swap_remove` ordering).
+        if let Some(off) = (0..*len).position(|o| !ch.has_file[start + o]) {
+            ch.swap(start + off, last);
+            ch.remove(last);
+        } else {
+            // Every channel is busy: the last one returns its file.
+            queue.push_front(FileProgress {
+                size: ch.file_size[last],
+                remaining: ch.file_remaining[last],
+            });
+            *in_flight -= 1;
+            ch.remove(last);
+        }
+        *len -= 1;
+    }
 }
 
 /// Handles for the engine's registered metrics, resolved once per run so
@@ -1441,16 +1722,24 @@ impl EngineGauges {
     }
 }
 
-/// Index of the live chunk with the most remaining bytes. With
-/// `respect_pinning`, chunks that refuse reallocation are skipped (used
-/// when handing out freed channels); without it, any live chunk qualifies
-/// (used as a liveness guard).
-fn busiest_chunk(chunks: &[ChunkState], respect_pinning: bool) -> Option<usize> {
+/// Index of the live chunk with the most remaining bytes (read off the
+/// arena's incremental columns). With `respect_pinning`, chunks that
+/// refuse reallocation are skipped (used when handing out freed
+/// channels); without it, any live chunk qualifies (a liveness guard).
+fn busiest_chunk(
+    chunks: &[ChunkState],
+    in_flight: &[u32],
+    remaining: &[Bytes],
+    respect_pinning: bool,
+) -> Option<usize> {
     chunks
         .iter()
         .enumerate()
-        .filter(|(_, c)| c.has_work() && (!respect_pinning || c.accepts_reallocation))
-        .max_by_key(|(_, c)| c.remaining_bytes())
+        .filter(|&(ci, c)| {
+            (!c.queue.is_empty() || in_flight[ci] > 0)
+                && (!respect_pinning || c.accepts_reallocation)
+        })
+        .max_by_key(|&(ci, _)| remaining[ci])
         .map(|(i, _)| i)
 }
 
@@ -1553,13 +1842,16 @@ fn steady_move_bound(remaining: Bytes, per_slice: Bytes, grant: Rate, slice: Sim
     lo
 }
 
-/// Advances one channel for one slice at its granted rate; returns bytes
+/// Advances channel `i` for one slice at its granted rate; returns bytes
 /// moved. Completing a file schedules `inter_file_gap` — the
 /// `RTT/pipelining` control gap (stall-inflated when applicable) plus the
-/// un-pipelinable per-file server overhead.
+/// un-pipelinable per-file server overhead. `in_flight` tracks the
+/// owning chunk's in-flight file count as files pop and complete.
 fn advance_channel(
-    ch: &mut ChannelState,
+    ch: &mut ChannelSoA,
+    i: usize,
     queue: &mut VecDeque<FileProgress>,
+    in_flight: &mut u32,
     grant: Rate,
     slice: SimDuration,
     inter_file_gap: SimDuration,
@@ -1570,34 +1862,37 @@ fn advance_channel(
         if budget.is_zero() {
             break;
         }
-        if !ch.gap.is_zero() {
-            let g = ch.gap.min(budget);
-            ch.gap -= g;
+        if !ch.gap[i].is_zero() {
+            let g = ch.gap[i].min(budget);
+            ch.gap[i] -= g;
             budget -= g;
             continue;
         }
-        if ch.current.is_none() {
+        if !ch.has_file[i] {
             match queue.pop_front() {
-                Some(fp) => ch.current = Some(fp),
+                Some(fp) => {
+                    ch.has_file[i] = true;
+                    ch.file_size[i] = fp.size;
+                    ch.file_remaining[i] = fp.remaining;
+                    *in_flight += 1;
+                }
                 None => break,
             }
         }
         if grant.is_zero() {
             break;
         }
-        let Some(fp) = ch.current.as_mut() else {
-            break; // set above; defensive against queue/current desync
-        };
-        let t_need = fp.remaining.time_at(grant);
+        let t_need = ch.file_remaining[i].time_at(grant);
         if t_need <= budget {
-            moved += fp.remaining;
+            moved += ch.file_remaining[i];
             budget -= t_need;
-            ch.current = None;
-            ch.gap = inter_file_gap;
+            ch.has_file[i] = false;
+            *in_flight -= 1;
+            ch.gap[i] = inter_file_gap;
         } else {
-            let b = grant.bytes_in(budget).min(fp.remaining);
+            let b = grant.bytes_in(budget).min(ch.file_remaining[i]);
             moved += b;
-            fp.remaining = fp.remaining.saturating_sub(b);
+            ch.file_remaining[i] = ch.file_remaining[i].saturating_sub(b);
             budget = SimDuration::ZERO;
         }
     }

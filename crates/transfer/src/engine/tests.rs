@@ -317,44 +317,41 @@ fn wire_bytes_at_least_goodput() {
 
 #[test]
 fn advance_channel_respects_gap_and_grant() {
-    let mut ch = ChannelState {
-        current: None,
-        gap: SimDuration::from_millis(50),
-        ttf: None,
-        consecutive: 0,
-        in_backoff: false,
-    };
+    let mut ch = ChannelSoA::default();
+    ch.insert_fresh(0, 0, SimDuration::from_millis(50), None);
     let mut q: VecDeque<FileProgress> =
         vec![FileProgress::fresh(FileSpec::new(0, Bytes::from_mb(100)))].into();
+    let mut in_flight = 0u32;
     // 100 ms slice, 50 ms gap → 50 ms of transfer at 800 Mbps = 5 MB.
     let moved = advance_channel(
         &mut ch,
+        0,
         &mut q,
+        &mut in_flight,
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
         SimDuration::from_millis(40),
     );
     assert_eq!(moved, Bytes::from_mb(5));
-    assert!(ch.gap.is_zero());
-    assert!(ch.current.is_some());
+    assert!(ch.gap[0].is_zero());
+    assert!(ch.has_file[0]);
+    assert_eq!(in_flight, 1);
 }
 
 #[test]
 fn advance_channel_chains_small_files_with_gaps() {
-    let mut ch = ChannelState {
-        current: None,
-        gap: SimDuration::ZERO,
-        ttf: None,
-        consecutive: 0,
-        in_backoff: false,
-    };
+    let mut ch = ChannelSoA::default();
+    ch.insert_fresh(0, 0, SimDuration::ZERO, None);
     let mut q: VecDeque<FileProgress> = (0..100)
         .map(|i| FileProgress::fresh(FileSpec::new(i, Bytes::from_kb(100))))
         .collect();
+    let mut in_flight = 0u32;
     // grant 800 Mbps → 100 KB file takes 1 ms; pp=1 → 40 ms gap each.
     let moved = advance_channel(
         &mut ch,
+        0,
         &mut q,
+        &mut in_flight,
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
         SimDuration::from_millis(40),
@@ -365,19 +362,17 @@ fn advance_channel_chains_small_files_with_gaps() {
         "{moved}"
     );
     // With pipelining 40 the gap is 1 ms → ~50 files fit.
-    let mut ch2 = ChannelState {
-        current: None,
-        gap: SimDuration::ZERO,
-        ttf: None,
-        consecutive: 0,
-        in_backoff: false,
-    };
+    let mut ch2 = ChannelSoA::default();
+    ch2.insert_fresh(0, 0, SimDuration::ZERO, None);
     let mut q2: VecDeque<FileProgress> = (0..100)
         .map(|i| FileProgress::fresh(FileSpec::new(i, Bytes::from_kb(100))))
         .collect();
+    let mut in_flight2 = 0u32;
     let moved2 = advance_channel(
         &mut ch2,
+        0,
         &mut q2,
+        &mut in_flight2,
         Rate::from_mbps(800.0),
         SimDuration::from_millis(100),
         SimDuration::from_millis(1),
@@ -387,44 +382,40 @@ fn advance_channel_chains_small_files_with_gaps() {
 
 #[test]
 fn sync_channels_preserves_in_flight_progress() {
-    let mut c = ChunkState {
-        label: "t".into(),
-        pipelining: 1,
-        parallelism: 1,
-        accepts_reallocation: true,
-        total_bytes: Bytes::from_mb(10),
-        file_count: 2,
-        completed_at: None,
-        avg_file: Bytes::from_mb(10),
-        queue: VecDeque::new(),
-        channels: vec![
-            ChannelState {
-                current: Some(FileProgress {
-                    size: Bytes::from_mb(10),
-                    remaining: Bytes::from_mb(3),
-                }),
-                gap: SimDuration::ZERO,
-                ttf: None,
-                consecutive: 0,
-                in_backoff: false,
-            },
-            ChannelState {
-                current: Some(FileProgress {
-                    size: Bytes::from_mb(10),
-                    remaining: Bytes::from_mb(7),
-                }),
-                gap: SimDuration::ZERO,
-                ttf: None,
-                consecutive: 0,
-                in_backoff: false,
-            },
-        ],
-        target: 1,
-    };
-    c.sync_channels(SimDuration::from_millis(40), || None);
-    assert_eq!(c.channels.len(), 1);
-    assert_eq!(c.queue.len(), 1);
-    assert_eq!(c.remaining_bytes(), Bytes::from_mb(10));
+    // Two busy channels (3 MB and 7 MB left of 10 MB files), target 1:
+    // the shrink must return the last channel's file — with its progress —
+    // to the queue, not drop it.
+    let mut ch = ChannelSoA::default();
+    for (pos, rem_mb) in [(0usize, 3u64), (1, 7)] {
+        ch.insert_fresh(pos, 0, SimDuration::ZERO, None);
+        ch.has_file[pos] = true;
+        ch.file_size[pos] = Bytes::from_mb(10);
+        ch.file_remaining[pos] = Bytes::from_mb(rem_mb);
+    }
+    let mut queue: VecDeque<FileProgress> = VecDeque::new();
+    let mut len = 2usize;
+    let mut in_flight = 2u32;
+    sync_chunk_channels(
+        &mut ch,
+        0,
+        &mut len,
+        &mut in_flight,
+        &mut queue,
+        0,
+        1,
+        SimDuration::from_millis(40),
+        || None,
+    );
+    assert_eq!(len, 1);
+    assert_eq!(ch.len(), 1);
+    assert_eq!(queue.len(), 1);
+    assert_eq!(in_flight, 1);
+    let queued: Bytes = queue.iter().map(|f| f.remaining).sum();
+    let flight: Bytes = (0..len)
+        .filter(|&i| ch.has_file[i])
+        .map(|i| ch.file_remaining[i])
+        .sum();
+    assert_eq!(queued + flight, Bytes::from_mb(10));
 }
 
 #[test]
@@ -644,14 +635,21 @@ fn busiest_chunk_respects_pinning() {
             Bytes::from_mb(bytes_mb),
         ))]
         .into(),
-        channels: Vec::new(),
         target: 1,
     };
     let chunks = vec![mk(100, false), mk(900, true)];
+    let in_flight = [0u32, 0];
+    let remaining = [Bytes::from_mb(100), Bytes::from_mb(900)];
     // With pinning respected, the smaller unpinned chunk wins.
-    assert_eq!(busiest_chunk(&chunks, true), Some(0));
+    assert_eq!(
+        busiest_chunk(&chunks, &in_flight, &remaining, true),
+        Some(0)
+    );
     // As a liveness guard, the truly busiest chunk is chosen.
-    assert_eq!(busiest_chunk(&chunks, false), Some(1));
+    assert_eq!(
+        busiest_chunk(&chunks, &in_flight, &remaining, false),
+        Some(1)
+    );
 }
 
 #[test]

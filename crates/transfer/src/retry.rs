@@ -553,10 +553,20 @@ impl FaultRuntime {
     /// has not collided with yet do not mask — the client is not an
     /// oracle; it discovers outages by failing against them.
     pub fn avail_masks(&self) -> (Vec<bool>, Vec<bool>) {
-        (
-            self.src_breakers.iter().map(|b| !b.is_open()).collect(),
-            self.dst_breakers.iter().map(|b| !b.is_open()).collect(),
-        )
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        self.avail_masks_into(&mut src, &mut dst);
+        (src, dst)
+    }
+
+    /// In-place variant of [`FaultRuntime::avail_masks`] for the engine's
+    /// hot loop: refills the caller's buffers (capacity reused, so warm
+    /// buffers never allocate).
+    pub fn avail_masks_into(&self, src: &mut Vec<bool>, dst: &mut Vec<bool>) {
+        src.clear();
+        src.extend(self.src_breakers.iter().map(|b| !b.is_open()));
+        dst.clear();
+        dst.extend(self.dst_breakers.iter().map(|b| !b.is_open()));
     }
 
     /// Fraction of servers not quarantined, taken as the min over both
@@ -794,9 +804,18 @@ impl FaultRuntime {
 
     /// Breaker quarantine mask for one site (true = quarantined).
     pub fn quarantined(&self, side: SiteSide) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.quarantined_into(side, &mut out);
+        out
+    }
+
+    /// In-place variant of [`FaultRuntime::quarantined`]: refills the
+    /// caller's buffer (capacity reused across slices).
+    pub fn quarantined_into(&self, side: SiteSide, out: &mut Vec<bool>) {
+        out.clear();
         match side {
-            SiteSide::Src => self.src_breakers.iter().map(Breaker::is_open).collect(),
-            SiteSide::Dst => self.dst_breakers.iter().map(Breaker::is_open).collect(),
+            SiteSide::Src => out.extend(self.src_breakers.iter().map(Breaker::is_open)),
+            SiteSide::Dst => out.extend(self.dst_breakers.iter().map(Breaker::is_open)),
         }
     }
 
